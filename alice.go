@@ -1,0 +1,127 @@
+// Package alice is the public API of the ALICE eFPGA-redaction flow
+// (Muscari Tomajoli et al., "ALICE: An Automatic Design Flow for eFPGA
+// Redaction", DAC 2022), reimplemented in pure Go together with every
+// substrate it needs: a Verilog front end, RTL elaboration and dataflow
+// analysis, logic synthesis, LUT technology mapping, an eFPGA fabric
+// model with packing/placement/routing and bitstream generation, a SAT
+// solver for the threat-model evaluation, and an area model for the
+// physical comparison of Fig. 4.
+//
+// The typical entry point is Run (or RunSource) with a Config:
+//
+//	cfg := alice.Cfg1()                      // 64 I/O pins, <=2 eFPGAs
+//	cfg.SelectedOutputs = []string{"result"} // outputs to protect
+//	report, err := alice.RunSource(verilogText, cfg)
+//
+// The report carries the Table-2 style metrics (candidate modules,
+// clusters, valid fabrics, admissible solutions), the chosen solution
+// with per-fabric utilizations and bitstream sizes, and the regenerated
+// redacted design.
+package alice
+
+import (
+	"alice/internal/bench"
+	"alice/internal/core"
+	"alice/internal/rtl"
+	"alice/internal/verilog"
+)
+
+// Config is the flow configuration (see core.Config for field docs).
+type Config = core.Config
+
+// Report is the outcome of one flow run.
+type Report = core.Report
+
+// Solution is an admissible set of eFPGA implementations.
+type Solution = core.Solution
+
+// Redaction is a regenerated redacted design.
+type Redaction = core.Redaction
+
+// Benchmark is one reconstructed paper benchmark.
+type Benchmark = bench.Benchmark
+
+// Score directions for eFPGA ranking (see DESIGN.md on Eq. 1).
+const (
+	ScoreMaximize = core.ScoreMaximize
+	ScoreMinimize = core.ScoreMinimize
+)
+
+// DefaultConfig returns the paper's default setup (cfg1).
+func DefaultConfig() *Config { return core.DefaultConfig() }
+
+// Cfg1 returns the paper's first configuration: max 64 I/O pins per
+// eFPGA and up to two eFPGA instances.
+func Cfg1() *Config { return core.Cfg1() }
+
+// Cfg2 returns the paper's second configuration: max 96 I/O pins per
+// eFPGA and a single eFPGA instance.
+func Cfg2() *Config { return core.Cfg2() }
+
+// LoadConfig parses a YAML flow configuration.
+func LoadConfig(src string) (*Config, error) { return core.LoadConfig(src) }
+
+// RunSource parses Verilog text and runs the complete redaction flow.
+func RunSource(src string, cfg *Config) (*Report, error) {
+	return core.RunSource(src, cfg)
+}
+
+// Run executes the flow on a parsed design.
+func Run(ast *verilog.Design, cfg *Config) (*Report, error) {
+	return core.Run(ast, cfg)
+}
+
+// Parse parses Verilog source text.
+func Parse(src string) (*verilog.Design, error) { return verilog.Parse(src) }
+
+// Characteristics summarizes a design like Table 1 of the paper.
+type Characteristics = rtl.Characteristics
+
+// Characterize computes Table-1 statistics for Verilog source text.
+func Characterize(src string) (Characteristics, error) {
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		return Characteristics{}, err
+	}
+	d, err := rtl.Elaborate(ast, "")
+	if err != nil {
+		return Characteristics{}, err
+	}
+	return rtl.Characterize(d), nil
+}
+
+// Benchmarks returns the reconstructed benchmark suite of Table 1.
+func Benchmarks() []Benchmark { return bench.All() }
+
+// BenchmarkByName returns one reconstructed benchmark.
+func BenchmarkByName(name string) (Benchmark, bool) { return bench.ByName(name) }
+
+// GenerateRedactedDesign regenerates the redacted design for a solution.
+// With functional=true the eFPGA modules carry a behavioural model of
+// the programmed fabric (for simulation); with false they model the
+// unprogrammed fabric the foundry sees (outputs stuck at 0).
+func GenerateRedactedDesign(src string, sol *Solution, functional bool) (*Redaction, error) {
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := rtl.Elaborate(ast, "")
+	if err != nil {
+		return nil, err
+	}
+	return core.GenerateRedactedDesign(d, sol, functional)
+}
+
+// VerifyRedaction co-simulates the original design against a functional
+// redaction over random stimulus.
+func VerifyRedaction(src string, red *Redaction, steps int, seed int64) error {
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		return err
+	}
+	d, err := rtl.Elaborate(ast, "")
+	if err != nil {
+		return err
+	}
+	return core.VerifyRedaction(d, red, steps, seed)
+}

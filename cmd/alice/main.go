@@ -1,0 +1,106 @@
+// Command alice runs the ALICE eFPGA-redaction flow on a Verilog design
+// with a YAML configuration, mirroring the tool interface described in
+// Sec. 3 of the paper.
+//
+// Usage:
+//
+//	alice -v design.v -c flow.yaml [-o redacted.v] [-summary]
+//	alice -bench gcd -cfg 1 [-o redacted.v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alice/internal/bench"
+	"alice/internal/core"
+)
+
+func main() {
+	var (
+		vFile     = flag.String("v", "", "Verilog design file")
+		cFile     = flag.String("c", "", "YAML flow configuration file")
+		benchName = flag.String("bench", "", "run a built-in benchmark (des3, fir, iir, sha256, sasc, usb_phy, gcd)")
+		cfgNum    = flag.Int("cfg", 1, "paper configuration for -bench: 1 (64 I/O, 2 eFPGAs) or 2 (96 I/O, 1 eFPGA)")
+		outFile   = flag.String("o", "", "write the redacted Verilog to this file")
+		summary   = flag.Bool("summary", true, "print the flow summary")
+		model     = flag.Bool("functional-model", false, "emit functional (programmed) eFPGA models instead of unprogrammed stubs")
+	)
+	flag.Parse()
+
+	var src string
+	var cfg *core.Config
+	switch {
+	case *benchName != "":
+		b, ok := bench.ByName(*benchName)
+		if !ok {
+			fatalf("unknown benchmark %q", *benchName)
+		}
+		src = b.Source()
+		switch *cfgNum {
+		case 1:
+			cfg = core.Cfg1()
+		case 2:
+			cfg = core.Cfg2()
+		default:
+			fatalf("-cfg must be 1 or 2")
+		}
+		cfg.SelectedOutputs = b.SelectedOutputs
+	case *vFile != "":
+		data, err := os.ReadFile(*vFile)
+		if err != nil {
+			fatalf("reading design: %v", err)
+		}
+		src = string(data)
+		cfg = core.DefaultConfig()
+		if *cFile != "" {
+			ydata, err := os.ReadFile(*cFile)
+			if err != nil {
+				fatalf("reading config: %v", err)
+			}
+			cfg, err = core.LoadConfig(string(ydata))
+			if err != nil {
+				fatalf("parsing config: %v", err)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep, err := core.RunSource(src, cfg)
+	if err != nil {
+		fatalf("flow failed: %v", err)
+	}
+	if *summary {
+		fmt.Print(rep.Summary())
+	}
+	if rep.Err != nil {
+		fmt.Fprintf(os.Stderr, "alice: no solution: %v\n", rep.Err)
+		os.Exit(1)
+	}
+	if *outFile != "" {
+		red := rep.Redaction
+		if *model {
+			// Re-generate with functional eFPGA models.
+			ast, err := core.RunSourceAST(src)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			red, err = core.GenerateRedactedDesignFromAST(ast, cfg, rep.Solution, true)
+			if err != nil {
+				fatalf("generating functional model: %v", err)
+			}
+		}
+		if err := os.WriteFile(*outFile, []byte(red.Print()), 0o644); err != nil {
+			fatalf("writing output: %v", err)
+		}
+		fmt.Printf("redacted design written to %s\n", *outFile)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "alice: "+format+"\n", args...)
+	os.Exit(1)
+}

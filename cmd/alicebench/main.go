@@ -1,0 +1,127 @@
+// Command alicebench regenerates the tables and figures of the ALICE
+// paper from the reconstructed benchmark suite.
+//
+// Usage:
+//
+//	alicebench -table 1            # Table 1: benchmark characteristics
+//	alicebench -table 2 -cfg 1     # Table 2 under cfg1 (64 I/O, 2 eFPGAs)
+//	alicebench -table 2 -cfg 2     # Table 2 under cfg2 (96 I/O, 1 eFPGA)
+//	alicebench -figure 4           # Fig. 4: GCD area comparison
+//	alicebench -attack             # SAT-attack cost vs key size (Sec. 2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"alice/internal/bench"
+	"alice/internal/celllib"
+	"alice/internal/core"
+	"alice/internal/rtl"
+	"alice/internal/verilog"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate a paper table (1 or 2)")
+		figure = flag.Int("figure", 0, "regenerate a paper figure (4)")
+		cfgNum = flag.Int("cfg", 1, "configuration for table 2")
+		attack = flag.Bool("attack", false, "run the SAT-attack scaling experiment")
+		only   = flag.String("design", "", "restrict table 2 to one design")
+	)
+	flag.Parse()
+	switch {
+	case *table == 1:
+		table1()
+	case *table == 2:
+		table2(*cfgNum, *only)
+	case *figure == 4:
+		figure4()
+	case *attack:
+		attackScaling()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func table1() {
+	fmt.Println("Table 1: Characteristics of the selected benchmarks")
+	fmt.Printf("%-8s %-10s %8s %10s %18s\n", "Suite", "Design", "Modules", "Instances", "I/O pins [min,max]")
+	for _, b := range bench.All() {
+		ast, err := verilog.Parse(b.Source())
+		check(err)
+		d, err := rtl.Elaborate(ast, "")
+		check(err)
+		c := rtl.Characterize(d)
+		fmt.Printf("%-8s %-10s %8d %10d        [%d, %d]\n",
+			b.Suite, b.Name, c.Modules, c.Instances, c.MinPins, c.MaxPins)
+	}
+}
+
+func table2(cfgNum int, only string) {
+	fmt.Printf("Table 2: ALICE results under cfg%d\n", cfgNum)
+	fmt.Printf("%-10s %4s | %9s %3s | %9s %4s | %9s %7s %6s | %-12s %s\n",
+		"Design", "Inst", "FiltTime", "|R|", "ClusTime", "|C|",
+		"SelTime", "#valid", "|S|", "eFPGAs", "#redacted")
+	for _, b := range bench.All() {
+		if only != "" && b.Name != only {
+			continue
+		}
+		var cfg *core.Config
+		if cfgNum == 1 {
+			cfg = core.Cfg1()
+		} else {
+			cfg = core.Cfg2()
+		}
+		cfg.SelectedOutputs = b.SelectedOutputs
+		start := time.Now()
+		rep, err := core.RunSource(b.Source(), cfg)
+		check(err)
+		fmt.Println(rep.Row())
+		_ = start
+	}
+}
+
+func figure4() {
+	fmt.Println("Figure 4: physical area of the two GCD solutions (model)")
+	b, _ := bench.ByName("gcd")
+
+	run := func(cfg *core.Config, label string) {
+		cfg.SelectedOutputs = b.SelectedOutputs
+		rep, err := core.RunSource(b.Source(), cfg)
+		check(err)
+		if rep.Err != nil {
+			check(rep.Err)
+		}
+		var widths []int
+		for _, f := range rep.Solution.Fabrics {
+			widths = append(widths, f.Fabric.Arch.W)
+		}
+		area := celllib.SolutionArea(widths, celllib.GCDCoreArea)
+		fmt.Printf("  %-22s fabrics %-12s -> %8.0f um^2\n", label, rep.FabricSizes, area)
+	}
+	run(core.Cfg1(), "cfg1 (flow choice):")
+	run(core.Cfg2(), "cfg2 (flow choice):")
+
+	fmt.Println("  calibration points (paper layouts):")
+	two4 := celllib.SolutionArea([]int{4, 4}, celllib.GCDCoreArea)
+	one5 := celllib.SolutionArea([]int{5}, celllib.GCDCoreArea)
+	fmt.Printf("  %-22s              -> %8.0f um^2 (paper: 52,629)\n", "two 4x4:", two4)
+	fmt.Printf("  %-22s              -> %8.0f um^2 (paper: 54,512)\n", "one 5x5:", one5)
+	fmt.Printf("  ratio one-5x5 / two-4x4 = %.3f (paper: %.3f)\n", one5/two4, 54512.0/52629.0)
+}
+
+func attackScaling() {
+	fmt.Println("SAT-attack cost vs configuration size (threat model, Sec. 2.1)")
+	runAttackScaling(os.Stdout)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alicebench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,319 @@
+// Package attack implements the oracle-guided SAT attack of the eFPGA
+// redaction threat model (Sec. 2.1 of the ALICE paper): the attacker
+// holds the fabric netlist (the mapped LUT structure, i.e. routing) and
+// a working chip usable as an oracle, and tries to recover the secret
+// configuration — the LUT truth-table masks. Flip-flops are treated as
+// scan-accessible (pseudo-inputs/outputs), matching the paper's
+// "fully-scanned and unlocked design" assumption.
+//
+// The attack demonstrates the paper's security claim quantitatively:
+// its cost grows rapidly with the number of key (configuration) bits,
+// i.e. with fabric size and utilization.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"alice/internal/sat"
+	"alice/internal/techmap"
+)
+
+// Result reports an attack run.
+type Result struct {
+	// KeyBits is the number of configuration bits attacked (2^arity per
+	// LUT: the functional part of the bitstream).
+	KeyBits int
+	// Iterations is the number of distinguishing input patterns needed.
+	Iterations int
+	// Masks is the recovered configuration (per LUT node id).
+	Masks map[int32]uint16
+	// Solver statistics.
+	Conflicts int
+	Decisions int
+}
+
+// combView is the scan-model combinational view of a LUT network:
+// inputs are PIs plus FF outputs, outputs are POs plus FF D-inputs.
+type combView struct {
+	ln     *techmap.LUTNetwork
+	ins    []int32 // node ids acting as free inputs
+	outs   []int32 // node ids observed
+	inPos  map[int32]int
+	luts   []int32 // LUT node ids in topological order
+	keyLen int
+}
+
+func newCombView(ln *techmap.LUTNetwork) *combView {
+	v := &combView{ln: ln, inPos: make(map[int32]int)}
+	for _, pi := range ln.PIs {
+		v.inPos[pi] = len(v.ins)
+		v.ins = append(v.ins, pi)
+	}
+	for _, ff := range ln.FFs {
+		v.inPos[ff] = len(v.ins)
+		v.ins = append(v.ins, ff)
+	}
+	v.outs = append(v.outs, ln.POs...)
+	for _, ff := range ln.FFs {
+		v.outs = append(v.outs, ln.Nodes[ff].In[0])
+	}
+	for i, n := range ln.Nodes {
+		if n.Kind == techmap.LLUT {
+			v.luts = append(v.luts, int32(i))
+			v.keyLen += 1 << uint(len(n.In))
+		}
+	}
+	return v
+}
+
+// eval computes the combinational outputs for given inputs and masks.
+func (v *combView) eval(inputs []bool, masks map[int32]uint16) []bool {
+	val := make([]bool, len(v.ln.Nodes))
+	for i, id := range v.ins {
+		val[id] = inputs[i]
+	}
+	for i, n := range v.ln.Nodes {
+		switch n.Kind {
+		case techmap.LConst1:
+			val[i] = true
+		case techmap.LLUT:
+			idx := 0
+			for k, in := range n.In {
+				if val[in] {
+					idx |= 1 << uint(k)
+				}
+			}
+			mask := n.Mask
+			if m, ok := masks[int32(i)]; ok {
+				mask = m
+			}
+			val[i] = mask&(1<<uint(idx)) != 0
+		}
+	}
+	out := make([]bool, len(v.outs))
+	for i, id := range v.outs {
+		out[i] = val[id]
+	}
+	return out
+}
+
+// cnfCone encodes the combinational view with the given key literals
+// (one per mask bit, in LUT order) and input literals; it returns the
+// output literals.
+func (v *combView) cnfCone(s *sat.Solver, keyLits []sat.Lit, inLits []sat.Lit, lfalse, ltrue sat.Lit) []sat.Lit {
+	lit := make(map[int32]sat.Lit)
+	for i, id := range v.ins {
+		lit[id] = inLits[i]
+	}
+	kpos := 0
+	for i, n := range v.ln.Nodes {
+		switch n.Kind {
+		case techmap.LConst0:
+			lit[int32(i)] = lfalse
+		case techmap.LConst1:
+			lit[int32(i)] = ltrue
+		case techmap.LLUT:
+			nin := len(n.In)
+			rows := 1 << uint(nin)
+			var terms []sat.Lit
+			for idx := 0; idx < rows; idx++ {
+				// minterm: inputs match idx AND key bit set.
+				conj := make([]sat.Lit, 0, nin+1)
+				for k := 0; k < nin; k++ {
+					l := lit[n.In[k]]
+					if idx&(1<<uint(k)) == 0 {
+						l = l.Neg()
+					}
+					conj = append(conj, l)
+				}
+				conj = append(conj, keyLits[kpos+idx])
+				terms = append(terms, tseitinAnd(s, conj))
+			}
+			kpos += rows
+			lit[int32(i)] = tseitinOr(s, terms)
+		}
+	}
+	out := make([]sat.Lit, len(v.outs))
+	for i, id := range v.outs {
+		out[i] = lit[id]
+	}
+	return out
+}
+
+func tseitinAnd(s *sat.Solver, lits []sat.Lit) sat.Lit {
+	g := sat.MkLit(s.NewVar(), false)
+	for _, l := range lits {
+		s.AddClause(g.Neg(), l)
+	}
+	all := append([]sat.Lit{g}, nil...)
+	for _, l := range lits {
+		all = append(all, l.Neg())
+	}
+	s.AddClause(all...)
+	return g
+}
+
+func tseitinOr(s *sat.Solver, lits []sat.Lit) sat.Lit {
+	g := sat.MkLit(s.NewVar(), false)
+	for _, l := range lits {
+		s.AddClause(g, l.Neg())
+	}
+	all := append([]sat.Lit{g.Neg()}, lits...)
+	s.AddClause(all...)
+	return g
+}
+
+func tseitinXor(s *sat.Solver, a, b sat.Lit) sat.Lit {
+	g := sat.MkLit(s.NewVar(), false)
+	s.AddClause(g.Neg(), a, b)
+	s.AddClause(g.Neg(), a.Neg(), b.Neg())
+	s.AddClause(g, a.Neg(), b)
+	s.AddClause(g, a, b.Neg())
+	return g
+}
+
+// RecoverBitstream runs the classic oracle-guided SAT attack against
+// the LUT network's configuration. The network itself acts as the
+// oracle (a working programmed chip). maxIters bounds the number of
+// distinguishing inputs.
+func RecoverBitstream(ln *techmap.LUTNetwork, maxIters int, seed int64) (*Result, error) {
+	v := newCombView(ln)
+	if len(v.luts) == 0 {
+		return nil, fmt.Errorf("attack: network has no LUTs")
+	}
+	s := sat.NewSolver()
+	ltrue := sat.MkLit(s.NewVar(), false)
+	s.AddClause(ltrue) // constant-true literal
+	lfalse := ltrue.Neg()
+
+	newLits := func(n int) []sat.Lit {
+		out := make([]sat.Lit, n)
+		for i := range out {
+			out[i] = sat.MkLit(s.NewVar(), false)
+		}
+		return out
+	}
+	k1 := newLits(v.keyLen)
+	k2 := newLits(v.keyLen)
+	x := newLits(len(v.ins))
+	o1 := v.cnfCone(s, k1, x, lfalse, ltrue)
+	o2 := v.cnfCone(s, k2, x, lfalse, ltrue)
+	var diffs []sat.Lit
+	for i := range o1 {
+		diffs = append(diffs, tseitinXor(s, o1[i], o2[i]))
+	}
+	s.AddClause(diffs...) // at least one output differs
+
+	// A second, constraints-only solver accumulates the oracle I/O
+	// relations on an independent key-variable set; once the miter goes
+	// UNSAT, its model is a correct key.
+	sc := sat.NewSolver()
+	scTrue := sat.MkLit(sc.NewVar(), false)
+	sc.AddClause(scTrue)
+	scFalse := scTrue.Neg()
+	kc := make([]sat.Lit, v.keyLen)
+	for i := range kc {
+		kc[i] = sat.MkLit(sc.NewVar(), false)
+	}
+
+	constLit := func(b bool, f, t sat.Lit) sat.Lit {
+		if b {
+			return t
+		}
+		return f
+	}
+	res := &Result{KeyBits: v.keyLen}
+	_ = rand.New(rand.NewSource(seed))
+	for iter := 0; iter < maxIters; iter++ {
+		if !s.Solve() {
+			// No distinguishing input remains: any key satisfying the
+			// accumulated constraints is functionally correct.
+			res.Iterations = iter
+			res.Conflicts = s.Conflicts
+			res.Decisions = s.Decisions
+			if !sc.Solve() {
+				return nil, fmt.Errorf("attack: constraint set unsatisfiable (internal error)")
+			}
+			res.Masks = readMasks(v, sc, kc)
+			return res, nil
+		}
+		// Distinguishing input pattern from the model.
+		dip := make([]bool, len(v.ins))
+		for i, l := range x {
+			dip[i] = s.ValueOf(l.Var())
+		}
+		// Oracle response.
+		want := v.eval(dip, nil)
+		// Both miter key candidates must reproduce it.
+		for _, k := range [][]sat.Lit{k1, k2} {
+			dipLits := make([]sat.Lit, len(v.ins))
+			for i := range dip {
+				dipLits[i] = constLit(dip[i], lfalse, ltrue)
+			}
+			outs := v.cnfCone(s, k, dipLits, lfalse, ltrue)
+			for i, o := range outs {
+				if want[i] {
+					s.AddClause(o)
+				} else {
+					s.AddClause(o.Neg())
+				}
+			}
+		}
+		// And so must the witness key in the constraints-only solver.
+		dipLitsC := make([]sat.Lit, len(v.ins))
+		for i := range dip {
+			dipLitsC[i] = constLit(dip[i], scFalse, scTrue)
+		}
+		outsC := v.cnfCone(sc, kc, dipLitsC, scFalse, scTrue)
+		for i, o := range outsC {
+			if want[i] {
+				sc.AddClause(o)
+			} else {
+				sc.AddClause(o.Neg())
+			}
+		}
+	}
+	return nil, fmt.Errorf("attack: not converged after %d distinguishing inputs", maxIters)
+}
+
+// readMasks converts a key model into per-LUT masks.
+func readMasks(v *combView, s *sat.Solver, key []sat.Lit) map[int32]uint16 {
+	masks := make(map[int32]uint16, len(v.luts))
+	kpos := 0
+	for _, id := range v.luts {
+		rows := 1 << uint(len(v.ln.Nodes[id].In))
+		var m uint16
+		for idx := 0; idx < rows; idx++ {
+			if s.ValueOf(key[kpos+idx].Var()) {
+				m |= 1 << uint(idx)
+			}
+		}
+		kpos += rows
+		masks[id] = m
+	}
+	return masks
+}
+
+// VerifyKey checks a recovered configuration against the oracle over
+// random scan patterns; it returns the number of mismatching patterns.
+func VerifyKey(ln *techmap.LUTNetwork, masks map[int32]uint16, patterns int, seed int64) int {
+	v := newCombView(ln)
+	r := rand.New(rand.NewSource(seed))
+	bad := 0
+	in := make([]bool, len(v.ins))
+	for p := 0; p < patterns; p++ {
+		for i := range in {
+			in[i] = r.Intn(2) == 1
+		}
+		want := v.eval(in, nil)
+		got := v.eval(in, masks)
+		for i := range want {
+			if want[i] != got[i] {
+				bad++
+				break
+			}
+		}
+	}
+	return bad
+}

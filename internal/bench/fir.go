@@ -1,0 +1,174 @@
+package bench
+
+// FIR rebuilds the CEP FIR benchmark: a 4-tap filter pipeline with a
+// MAC tap cell, a coefficient store, a shift line, an accumulator, and
+// a wide transport pipeline. Pin counts follow Table 1: 5 modules, 5
+// instances, I/O from 64 (fir_tap) to 384 (fir_pipe); under cfg2 the
+// three modules at 64/72/96 pins are candidates and no pair fits 96
+// pins, giving three singleton clusters as in the paper.
+func FIR() string {
+	return `
+// Reconstructed CEP FIR benchmark (see package bench documentation).
+module fir (
+  input wire clk,
+  input wire rst,
+  input wire en,
+  input wire [15:0] x_in,
+  output wire [15:0] y_out,
+  output wire valid
+);
+  wire [15:0] t0, t1, t2, t3;
+  wire [12:0] sum_lo;
+  wire [15:0] coef_a, coef_b, coef_c;
+  wire [15:0] mac_out;
+  wire [31:0] acc;
+  wire [4:0] sat;
+  wire [183:0] vec_out;
+  wire [12:0] chk;
+
+  fir_shift u_shift (
+    .clk(clk), .rst(rst), .en(en), .x_in(x_in),
+    .t0(t0), .t1(t1), .t2(t2), .t3(t3), .sum_lo(sum_lo)
+  );
+  fir_coeff u_coeff (
+    .clk(clk), .rst(rst), .ld(en), .idx(sum_lo[2:0]), .sel(sum_lo[4:3]),
+    .wdata(x_in), .coef_a(coef_a), .coef_b(coef_b), .coef_c(coef_c)
+  );
+  fir_tap u_tap (
+    .x(t0), .c(coef_a), .a_in(t1), .a_out(mac_out)
+  );
+  fir_acc u_acc (
+    .clk(clk), .rst(rst), .clr(~en),
+    .s0(mac_out), .s1(t2 ^ coef_b), .s2(t3), .s3(coef_c),
+    .round(x_in), .acc(acc), .sat(sat)
+  );
+  fir_pipe u_pipe (
+    .clk(clk), .rst(rst), .en(en),
+    .vec_in({acc, mac_out, t0, t1, t2, t3, coef_a, coef_b, x_in, sum_lo[7:0]}),
+    .vec_out(vec_out), .chk(chk)
+  );
+  assign y_out = vec_out[15:0] ^ acc[15:0];
+  assign valid = sat[0] ^ chk[0];
+endmodule
+
+// fir_tap: multiply-accumulate cell (64 pins). The only cfg1 candidate.
+module fir_tap (
+  input wire [15:0] x,
+  input wire [15:0] c,
+  input wire [15:0] a_in,
+  output wire [15:0] a_out
+);
+  wire [11:0] prod = x[5:0] * c[5:0];
+  wire [15:0] hi = {x[15:8] & c[15:8], x[15:8] ^ c[15:8]};
+  assign a_out = a_in + {4'd0, prod} + {hi[7:0], 4'd0};
+endmodule
+
+// fir_coeff: coefficient store with update port (72 pins).
+module fir_coeff (
+  input wire clk,
+  input wire rst,
+  input wire ld,
+  input wire [2:0] idx,
+  input wire [1:0] sel,
+  input wire [15:0] wdata,
+  output reg [15:0] coef_a,
+  output reg [15:0] coef_b,
+  output reg [15:0] coef_c
+);
+  reg [15:0] bank [0:7];
+  always @(posedge clk) begin
+    if (ld) bank[idx] <= wdata;
+  end
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      coef_a <= 16'h2001;
+      coef_b <= 16'h0F3C;
+      coef_c <= 16'hA55A;
+    end else begin
+      case (sel)
+        2'd0: coef_a <= bank[idx];
+        2'd1: coef_b <= bank[idx] ^ 16'h00FF;
+        2'd2: coef_c <= bank[idx] + coef_a;
+        default: coef_a <= coef_a;
+      endcase
+    end
+  end
+endmodule
+
+// fir_shift: input delay line (96 pins).
+module fir_shift (
+  input wire clk,
+  input wire rst,
+  input wire en,
+  input wire [15:0] x_in,
+  output reg [15:0] t0,
+  output reg [15:0] t1,
+  output reg [15:0] t2,
+  output reg [15:0] t3,
+  output wire [12:0] sum_lo
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      t0 <= 16'd0;
+      t1 <= 16'd0;
+      t2 <= 16'd0;
+      t3 <= 16'd0;
+    end else if (en) begin
+      t0 <= x_in;
+      t1 <= t0;
+      t2 <= t1;
+      t3 <= t2;
+    end
+  end
+  assign sum_lo = t0[12:0] + t1[12:0] + t2[12:0] + t3[12:0];
+endmodule
+
+// fir_acc: accumulator with saturation flags (120 pins).
+module fir_acc (
+  input wire clk,
+  input wire rst,
+  input wire clr,
+  input wire [15:0] s0,
+  input wire [15:0] s1,
+  input wire [15:0] s2,
+  input wire [15:0] s3,
+  input wire [15:0] round,
+  output reg [31:0] acc,
+  output reg [4:0] sat
+);
+  wire [31:0] sum = {16'd0, s0} + {16'd0, s1} + {16'd0, s2} + {16'd0, s3};
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      acc <= 32'd0;
+      sat <= 5'd0;
+    end else if (clr) begin
+      acc <= {16'd0, round};
+      sat <= 5'd0;
+    end else begin
+      acc <= acc + sum;
+      sat <= {sat[3:0], acc[31]};
+    end
+  end
+endmodule
+
+// fir_pipe: wide transport pipeline (384 pins).
+module fir_pipe (
+  input wire clk,
+  input wire rst,
+  input wire en,
+  input wire [183:0] vec_in,
+  output reg [183:0] vec_out,
+  output reg [12:0] chk
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      vec_out <= 184'd0;
+      chk <= 13'd0;
+    end else if (en) begin
+      vec_out <= vec_in ^ {vec_out[182:0], vec_out[183]};
+      chk <= vec_in[12:0] + vec_in[25:13] + chk;
+    end
+  end
+endmodule
+`
+}

@@ -1,0 +1,262 @@
+package bench
+
+// GCD rebuilds the OpenROAD gcd benchmark as a subtractive Euclid
+// datapath: controller, comparator, subtractor, operand registers and
+// muxes, a shifter, an output register, a done flag, and an input
+// synchronizer. Table 1: 10 modules, 11 instances (the 2:1 mux is
+// instantiated twice), I/O in [6, 68]. The 68-pin comparator exceeds
+// cfg1's 64-pin limit (|R| = 9) but passes under cfg2 (|R| = 10).
+func GCD() string {
+	return `
+// Reconstructed OpenROAD gcd benchmark (see package bench doc).
+module gcd (
+  input wire clk,
+  input wire rst,
+  input wire start,
+  input wire [15:0] a_in,
+  input wire [15:0] b_in,
+  output wire [15:0] result,
+  output wire done,
+  output wire busy
+);
+  wire start_s, start_pulse, sync_strobe;
+  wire eq, lt, gt;
+  wire ld_a, ld_b, sel, done_set, idle, phase;
+  wire [15:0] a_q, b_q;
+  wire [15:0] mux_a_y, mux_b_y;
+  wire [15:0] diff;
+  wire borrow;
+  wire [15:0] shifted;
+  wire done_pulse;
+
+  gcd_sync u_sync (
+    .clk(clk), .rst(rst), .d(start), .q(start_s), .qb(start_pulse),
+    .en(1'b1), .strobe(sync_strobe), .dly(1'b0)
+  );
+  gcd_ctrl u_ctrl (
+    .clk(clk), .rst(rst), .start(start_s), .eq(eq), .lt(lt),
+    .ld_a(ld_a), .ld_b(ld_b), .sel(sel), .done_set(done_set),
+    .busy(busy), .idle(idle), .phase(phase)
+  );
+  gcd_cmp u_cmp (
+    .a({16'd0, a_q}), .b({16'd0, b_q}), .eq(eq), .lt(lt), .gt(gt),
+    .en(busy)
+  );
+  gcd_mux2 u_mux_a (
+    .a(a_in), .b(diff), .sel(idle), .y(mux_a_y), .en(1'b1)
+  );
+  gcd_mux2 u_mux_b (
+    .a(b_in), .b(diff), .sel(idle), .y(mux_b_y), .en(1'b1)
+  );
+  gcd_rega u_rega (
+    .clk(clk), .rst(rst), .ld(ld_a), .d(mux_a_y), .q(a_q)
+  );
+  gcd_regb u_regb (
+    .clk(clk), .rst(rst), .ld(ld_b), .d(mux_b_y), .q(b_q)
+  );
+  gcd_sub u_sub (
+    .x(sel ? b_q : a_q), .y(sel ? a_q : b_q), .d(diff), .borrow(borrow)
+  );
+  gcd_lsh u_lsh (
+    .x(a_q), .y(shifted), .dir(1'b0)
+  );
+  gcd_done u_done (
+    .clk(clk), .rst(rst), .set(done_set), .clr(start_s), .done(done),
+    .pulse(done_pulse)
+  );
+  gcd_outreg u_out (
+    .clk(clk), .ld(done_set | done_pulse), .d(shifted), .q(result)
+  );
+endmodule
+
+// gcd_sync: input synchronizer (8 pins).
+module gcd_sync (
+  input wire clk,
+  input wire rst,
+  input wire d,
+  input wire en,
+  input wire dly,
+  output reg q,
+  output reg qb,
+  output reg strobe
+);
+  reg m;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      m <= 1'b0;
+      q <= 1'b0;
+      qb <= 1'b0;
+      strobe <= 1'b0;
+    end else if (en) begin
+      m <= d ^ dly;
+      q <= m;
+      qb <= q & ~m;
+      strobe <= q ^ m;
+    end
+  end
+endmodule
+
+// gcd_ctrl: FSM (12 pins).
+module gcd_ctrl (
+  input wire clk,
+  input wire rst,
+  input wire start,
+  input wire eq,
+  input wire lt,
+  output reg ld_a,
+  output reg ld_b,
+  output wire sel,
+  output reg done_set,
+  output wire busy,
+  output wire idle,
+  output wire phase
+);
+  reg [1:0] state;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      state <= 2'd0;
+    end else begin
+      case (state)
+        2'd0: state <= start ? 2'd1 : 2'd0;
+        2'd1: state <= 2'd2;
+        2'd2: state <= eq ? 2'd3 : 2'd2;
+        default: state <= start ? 2'd3 : 2'd0;
+      endcase
+    end
+  end
+  always @(*) begin
+    ld_a = 1'b0;
+    ld_b = 1'b0;
+    done_set = 1'b0;
+    if (state == 2'd1) begin
+      ld_a = 1'b1;
+      ld_b = 1'b1;
+    end else if (state == 2'd2) begin
+      if (eq) begin
+        done_set = 1'b1;
+      end else if (lt) begin
+        ld_b = 1'b1;
+      end else begin
+        ld_a = 1'b1;
+      end
+    end
+  end
+  assign sel = lt;
+  assign busy = state == 2'd2;
+  assign idle = state != 2'd2;
+  assign phase = state[0];
+endmodule
+
+// gcd_cmp: 32-bit comparator (68 pins; the cfg1-excluded module).
+module gcd_cmp (
+  input wire [31:0] a,
+  input wire [31:0] b,
+  input wire en,
+  output wire eq,
+  output wire lt,
+  output wire gt
+);
+  assign eq = en & (a == b);
+  assign lt = en & (a < b);
+  assign gt = en & (a > b);
+endmodule
+
+// gcd_sub: 16-bit subtractor (49 pins).
+module gcd_sub (
+  input wire [15:0] x,
+  input wire [15:0] y,
+  output wire [15:0] d,
+  output wire borrow
+);
+  assign {borrow, d} = {1'b0, x} - {1'b0, y};
+endmodule
+
+// gcd_mux2: 2:1 operand mux (50 pins), instantiated twice.
+module gcd_mux2 (
+  input wire [15:0] a,
+  input wire [15:0] b,
+  input wire sel,
+  input wire en,
+  output wire [15:0] y
+);
+  assign y = en ? (sel ? a : b) : 16'd0;
+endmodule
+
+// gcd_rega: operand register A (35 pins).
+module gcd_rega (
+  input wire clk,
+  input wire rst,
+  input wire ld,
+  input wire [15:0] d,
+  output reg [15:0] q
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      q <= 16'd0;
+    else if (ld)
+      q <= d;
+  end
+endmodule
+
+// gcd_regb: operand register B (35 pins).
+module gcd_regb (
+  input wire clk,
+  input wire rst,
+  input wire ld,
+  input wire [15:0] d,
+  output reg [15:0] q
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      q <= 16'hFFFF;
+    else if (ld)
+      q <= d;
+  end
+endmodule
+
+// gcd_lsh: result shifter (33 pins).
+module gcd_lsh (
+  input wire [15:0] x,
+  input wire dir,
+  output wire [15:0] y
+);
+  assign y = dir ? {x[14:0], 1'b0} : x;
+endmodule
+
+// gcd_done: done flag (6 pins; the smallest module of the suite).
+module gcd_done (
+  input wire clk,
+  input wire rst,
+  input wire set,
+  input wire clr,
+  output reg done,
+  output reg pulse
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      done <= 1'b0;
+      pulse <= 1'b0;
+    end else begin
+      pulse <= set & ~done;
+      if (set)
+        done <= 1'b1;
+      else if (clr)
+        done <= 1'b0;
+    end
+  end
+endmodule
+
+// gcd_outreg: result register (34 pins).
+module gcd_outreg (
+  input wire clk,
+  input wire ld,
+  input wire [15:0] d,
+  output reg [15:0] q
+);
+  always @(posedge clk) begin
+    if (ld)
+      q <= d;
+  end
+endmodule
+`
+}

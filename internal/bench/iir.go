@@ -1,0 +1,187 @@
+package bench
+
+// IIR rebuilds the CEP IIR benchmark: a biquad (second-order section)
+// core with gain, delay-line, control, and wide transport modules. Pin
+// counts follow Table 1: 5 modules, 5 instances, I/O from 66 (iir_sos)
+// to 384. Under cfg1 even the smallest module (66 pins) exceeds the
+// 64-pin eFPGA, so filtering yields no candidate — the paper's
+// "flow cannot continue" case.
+func IIR() string {
+	return `
+// Reconstructed CEP IIR benchmark (see package bench documentation).
+module iir (
+  input wire clk,
+  input wire rst,
+  input wire en,
+  input wire [15:0] x_in,
+  input wire [63:0] cfg,
+  output wire [15:0] y_out,
+  output wire ovf
+);
+  wire [15:0] sos_y;
+  wire [15:0] gain_y;
+  wire [31:0] gain_acc;
+  wire [15:0] d0, d1, d2, d3, d4, d5, d6;
+  wire [63:0] state;
+  wire [69:0] status;
+  wire [183:0] vec_out;
+  wire [12:0] chk;
+
+  iir_sos u_sos (
+    .clk(clk), .rst(rst), .x(x_in), .b0(cfg[15:0]), .a1(cfg[31:16]),
+    .y(sos_y)
+  );
+  iir_gain u_gain (
+    .clk(clk), .rst(rst), .en(en), .mode(cfg[35:32]),
+    .g(cfg[51:36]), .x(sos_y), .y(gain_y), .acc(gain_acc), .ovf(ovf)
+  );
+  iir_dline u_dline (
+    .clk(clk), .rst(rst), .x(gain_y),
+    .y0(d0), .y1(d1), .y2(d2), .y3(d3), .y4(d4), .y5(d5), .y6(d6)
+  );
+  iir_ctl u_ctl (
+    .clk(clk), .rst(rst), .cfg(cfg), .state(state), .status(status)
+  );
+  iir_wide u_wide (
+    .clk(clk), .rst(rst), .en(en),
+    .vec_in({state, d0, d1, d2, d3, d4, d5, gain_acc[7:0], status[15:0]}),
+    .vec_out(vec_out), .chk(chk)
+  );
+  assign y_out = vec_out[15:0] ^ d6 ^ {3'd0, chk};
+endmodule
+
+// iir_sos: second-order section with two 16x16 truncated multipliers
+// (66 pins) -- the heavyweight candidate that needs a large fabric.
+module iir_sos (
+  input wire clk,
+  input wire rst,
+  input wire [15:0] x,
+  input wire [15:0] b0,
+  input wire [15:0] a1,
+  output reg [15:0] y
+);
+  reg [15:0] w1;
+  reg [15:0] w2;
+  wire [15:0] ff = x * b0;
+  wire [15:0] fb = y * a1;
+  wire [15:0] next_w = ff - fb + w1;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      y <= 16'd0;
+      w1 <= 16'd0;
+      w2 <= 16'd0;
+    end else begin
+      y <= next_w + w2;
+      w1 <= w2 - fb;
+      w2 <= ff;
+    end
+  end
+endmodule
+
+// iir_gain: output scaling stage (88 pins).
+module iir_gain (
+  input wire clk,
+  input wire rst,
+  input wire en,
+  input wire [3:0] mode,
+  input wire [15:0] g,
+  input wire [15:0] x,
+  output reg [15:0] y,
+  output reg [31:0] acc,
+  output wire ovf
+);
+  reg [15:0] scaled;
+  always @(*) begin
+    case (mode[1:0])
+      2'd0: scaled = x;
+      2'd1: scaled = x << 1;
+      2'd2: scaled = x >> 1;
+      default: scaled = x ^ g;
+    endcase
+  end
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      y <= 16'd0;
+      acc <= 32'd0;
+    end else if (en) begin
+      y <= scaled + (mode[2] ? g : 16'd0);
+      acc <= acc + {16'd0, scaled};
+    end
+  end
+  assign ovf = acc[31] ^ mode[3];
+endmodule
+
+// iir_dline: seven-deep output delay line (130 pins).
+module iir_dline (
+  input wire clk,
+  input wire rst,
+  input wire [15:0] x,
+  output reg [15:0] y0,
+  output reg [15:0] y1,
+  output reg [15:0] y2,
+  output reg [15:0] y3,
+  output reg [15:0] y4,
+  output reg [15:0] y5,
+  output reg [15:0] y6
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      y0 <= 16'd0;
+      y1 <= 16'd0;
+      y2 <= 16'd0;
+      y3 <= 16'd0;
+      y4 <= 16'd0;
+      y5 <= 16'd0;
+      y6 <= 16'd0;
+    end else begin
+      y0 <= x;
+      y1 <= y0;
+      y2 <= y1;
+      y3 <= y2;
+      y4 <= y3;
+      y5 <= y4;
+      y6 <= y5;
+    end
+  end
+endmodule
+
+// iir_ctl: configuration/status block (200 pins).
+module iir_ctl (
+  input wire clk,
+  input wire rst,
+  input wire [63:0] cfg,
+  output reg [63:0] state,
+  output reg [69:0] status
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      state <= 64'd0;
+      status <= 70'd0;
+    end else begin
+      state <= state ^ cfg;
+      status <= {status[68:0], ^cfg};
+    end
+  end
+endmodule
+
+// iir_wide: wide transport pipeline (384 pins).
+module iir_wide (
+  input wire clk,
+  input wire rst,
+  input wire en,
+  input wire [183:0] vec_in,
+  output reg [183:0] vec_out,
+  output reg [12:0] chk
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      vec_out <= 184'd0;
+      chk <= 13'd0;
+    end else if (en) begin
+      vec_out <= vec_in + vec_out;
+      chk <= chk ^ vec_in[12:0] ^ vec_in[31:19];
+    end
+  end
+endmodule
+`
+}

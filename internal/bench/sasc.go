@@ -1,0 +1,198 @@
+package bench
+
+// SASC rebuilds the IWLS05 simple asynchronous serial controller: a
+// baud-rate generator (sasc_brg, 28 pins) and a 4-entry FIFO
+// (sasc_fifo4, 23 pins) instantiated twice (rx and tx), under a
+// top-level UART. Table 1: 2 modules, 3 instances, I/O in [23, 28].
+//
+// With the protected outputs {txd, sio_ce}, the baud generator affects
+// both while the FIFO affects only txd, so the top-score filter keeps
+// exactly one candidate module with one instance — the paper's
+// |R| = |C| = 1 row.
+func SASC() string {
+	return `
+// Reconstructed IWLS05 sasc benchmark (see package bench documentation).
+module sasc_top (
+  input wire clk,
+  input wire rst,
+  input wire rxd,
+  input wire cts,
+  input wire [7:0] din,
+  input wire we,
+  input wire re,
+  input wire [11:0] div0,
+  input wire [11:0] div1,
+  output wire txd,
+  output wire rts,
+  output wire sio_ce,
+  output wire [7:0] dout,
+  output wire full,
+  output wire empty
+);
+  wire ce, ce_x4;
+  wire [7:0] tx_byte;
+  wire tx_full, tx_empty, tx_ovf;
+  wire [7:0] rx_byte;
+  wire rx_ovf;
+  reg [3:0] tx_bit;
+  reg [9:0] tx_shift;
+  reg tx_busy;
+  reg [2:0] rx_cnt;
+  reg [7:0] rx_shift;
+  reg rx_we;
+
+  sasc_brg u_brg (
+    .clk(clk), .rst(rst), .div0(div0), .div1(div1),
+    .sio_ce(ce), .sio_ce_x4(ce_x4)
+  );
+  sasc_fifo4 u_tx_fifo (
+    .clk(clk), .rst(rst), .we(we), .re(ce & ~tx_busy & ~tx_empty),
+    .din(din), .dout(tx_byte), .full(tx_full), .empty(tx_empty),
+    .ovf(tx_ovf)
+  );
+  sasc_fifo4 u_rx_fifo (
+    .clk(clk), .rst(rst), .we(rx_we), .re(re),
+    .din(rx_shift), .dout(rx_byte), .full(rts), .empty(rx_ovf)
+  );
+
+  // Transmit shift register, paced by the baud tick.
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      tx_bit <= 4'd0;
+      tx_shift <= 10'h3FF;
+      tx_busy <= 1'b0;
+    end else if (ce) begin
+      if (!tx_busy) begin
+        if (!tx_empty) begin
+          tx_shift <= {1'b1, tx_byte, 1'b0};
+          tx_bit <= 4'd0;
+          tx_busy <= 1'b1;
+        end
+      end else begin
+        tx_shift <= {1'b1, tx_shift[9:1]};
+        tx_bit <= tx_bit + 4'd1;
+        if (tx_bit == 4'd9)
+          tx_busy <= 1'b0;
+      end
+    end
+  end
+
+  // Receive sampler, paced by the 4x tick.
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      rx_cnt <= 3'd0;
+      rx_shift <= 8'd0;
+      rx_we <= 1'b0;
+    end else if (ce_x4) begin
+      rx_shift <= {rx_shift[6:0], rxd};
+      rx_cnt <= rx_cnt + 3'd1;
+      rx_we <= (rx_cnt == 3'd7) & ~cts;
+    end else begin
+      rx_we <= 1'b0;
+    end
+  end
+
+  assign txd = tx_shift[0];
+  assign sio_ce = ce;
+  assign dout = rx_byte ^ {7'd0, tx_ovf & 1'b0};
+  assign full = tx_full;
+  assign empty = tx_empty;
+endmodule
+
+// sasc_brg: dual-divisor baud rate generator (28 pins).
+module sasc_brg (
+  input wire clk,
+  input wire rst,
+  input wire [11:0] div0,
+  input wire [11:0] div1,
+  output reg sio_ce,
+  output reg sio_ce_x4
+);
+  reg [11:0] cnt0;
+  reg [11:0] cnt1;
+  reg [1:0] phase;
+  reg [15:0] frac;
+  reg [15:0] rate;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      frac <= 16'd0;
+      rate <= 16'd1;
+    end else begin
+      frac <= frac + {4'd0, div0} + {4'd0, div1};
+      rate <= rate + (frac[15] ? {4'd0, div1} : 16'd3) + {15'd0, frac[0]};
+    end
+  end
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      cnt0 <= 12'd0;
+      cnt1 <= 12'd0;
+      phase <= 2'd0;
+      sio_ce <= 1'b0;
+      sio_ce_x4 <= 1'b0;
+    end else begin
+      if (cnt1 == (div1 ^ rate[11:0])) begin
+        cnt1 <= 12'd0;
+        sio_ce_x4 <= 1'b1;
+        phase <= phase + 2'd1;
+        if (phase == 2'd3) begin
+          sio_ce <= 1'b1;
+        end else begin
+          sio_ce <= 1'b0;
+        end
+      end else begin
+        cnt1 <= cnt1 + (cnt0 == div0 ? 12'd2 : 12'd1);
+        sio_ce <= 1'b0;
+        sio_ce_x4 <= 1'b0;
+      end
+      if (cnt0 == div0) begin
+        cnt0 <= 12'd0;
+      end else begin
+        cnt0 <= cnt0 + 12'd1;
+      end
+    end
+  end
+endmodule
+
+// sasc_fifo4: four-entry FIFO (23 pins).
+module sasc_fifo4 (
+  input wire clk,
+  input wire rst,
+  input wire we,
+  input wire re,
+  input wire [7:0] din,
+  output wire [7:0] dout,
+  output wire full,
+  output wire empty,
+  output wire ovf
+);
+  reg [7:0] mem [0:3];
+  reg [1:0] wp;
+  reg [1:0] rp;
+  reg [2:0] cnt;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      wp <= 2'd0;
+      rp <= 2'd0;
+      cnt <= 3'd0;
+    end else begin
+      if (we & ~full) begin
+        mem[wp] <= din;
+        wp <= wp + 2'd1;
+      end
+      if (re & ~empty) begin
+        rp <= rp + 2'd1;
+      end
+      case ({we & ~full, re & ~empty})
+        2'b10: cnt <= cnt + 3'd1;
+        2'b01: cnt <= cnt - 3'd1;
+        default: cnt <= cnt;
+      endcase
+    end
+  end
+  assign dout = mem[rp];
+  assign full = cnt == 3'd4;
+  assign empty = cnt == 3'd0;
+  assign ovf = we & full;
+endmodule
+`
+}

@@ -1,0 +1,174 @@
+package bench
+
+// SHA256 rebuilds the CEP SHA256 benchmark: a compression wrapper with
+// the full 512-bit block and 256-bit state interface (774 pins), a
+// message-schedule memory (546 pins), and a narrow round core (38 pins)
+// that is the only redaction candidate under both configurations, as in
+// the paper.
+func SHA256() string {
+	return `
+// Reconstructed CEP SHA256 benchmark (see package bench documentation).
+module sha256 (
+  input wire clk,
+  input wire rst,
+  input wire init_i,
+  input wire next_i,
+  input wire [511:0] block_i,
+  output wire [255:0] digest,
+  output wire ready_o
+);
+  wire [31:0] w;
+  wire [127:0] comp_state;
+  wire comp_valid, comp_ready;
+  wire [15:0] round_h;
+  wire round_done, round_busy;
+
+  sha_w_mem u_wmem (
+    .clk(clk), .rst(rst), .block(block_i), .w(w)
+  );
+  sha_compress u_comp (
+    .clk(clk), .rst(rst), .init_c(init_i), .next_c(next_i),
+    .block(block_i), .state_in({96'd0, w}),
+    .state_out(comp_state), .valid(comp_valid), .ready(comp_ready)
+  );
+  sha_round u_round (
+    .clk(clk), .rst(rst), .en(next_i), .ld(init_i),
+    .wd(w[15:0]), .hout(round_h), .done(round_done), .busy(round_busy)
+  );
+  assign digest = {comp_state, comp_state} ^ {16{round_h}};
+  assign ready_o = comp_valid & round_done & ~round_busy & comp_ready;
+endmodule
+
+// sha_round: iterative round core (38 pins) -- the redaction candidate.
+// Holds a 256-bit working state and performs one compression round per
+// cycle with internal round constants.
+module sha_round (
+  input wire clk,
+  input wire rst,
+  input wire en,
+  input wire ld,
+  input wire [15:0] wd,
+  output wire [15:0] hout,
+  output reg done,
+  output reg busy
+);
+  reg [15:0] a, b, c, d, e, f, g, h;
+  reg [5:0] t;
+  reg [15:0] kreg;
+  wire [15:0] s1 = {e[5:0], e[15:6]} ^ {e[10:0], e[15:11]} ^ {e[12:0], e[15:13]};
+  wire [15:0] ch = (e & f) ^ (~e & g);
+  wire [15:0] t1 = h + s1 + ch + kreg + wd;
+  wire [15:0] s0 = {a[1:0], a[15:2]} ^ {a[12:0], a[15:13]} ^ {a[5:0], a[15:6]};
+  wire [15:0] maj = (a & b) ^ (a & c) ^ (b & c);
+  wire [15:0] t2 = s0 + maj;
+  always @(*) begin
+    case (t[3:0])
+      4'd0: kreg = 16'h2f98;
+      4'd1: kreg = 16'h4491;
+      4'd2: kreg = 16'hfbcf;
+      4'd3: kreg = 16'hdba5;
+      4'd4: kreg = 16'hc25b;
+      4'd5: kreg = 16'h11f1;
+      4'd6: kreg = 16'h82a4;
+      4'd7: kreg = 16'h5ed5;
+      4'd8: kreg = 16'haa98;
+      4'd9: kreg = 16'h5b01;
+      4'd10: kreg = 16'h85be;
+      4'd11: kreg = 16'h7dc3;
+      4'd12: kreg = 16'h5d74;
+      4'd13: kreg = 16'hb1fe;
+      4'd14: kreg = 16'h06a7;
+      default: kreg = 16'hf174;
+    endcase
+  end
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      a <= 16'he667;
+      b <= 16'hae85;
+      c <= 16'hf372;
+      d <= 16'hf53a;
+      e <= 16'h527f;
+      f <= 16'h688c;
+      g <= 16'hd9ab;
+      h <= 16'hcd19;
+      t <= 6'd0;
+      done <= 1'b0;
+      busy <= 1'b0;
+    end else begin
+      if (ld) begin
+        t <= 6'd0;
+        busy <= 1'b1;
+        done <= 1'b0;
+      end else if (en || busy) begin
+        h <= g;
+        g <= f;
+        f <= e;
+        e <= d + t1;
+        d <= c;
+        c <= b;
+        b <= a;
+        a <= t1 + t2;
+        t <= t + 6'd1;
+        if (t == 6'd63) begin
+          busy <= 1'b0;
+          done <= 1'b1;
+        end
+      end
+    end
+  end
+  assign hout = a ^ {e[7:0], e[15:8]};
+endmodule
+
+// sha_w_mem: message schedule (546 pins).
+module sha_w_mem (
+  input wire clk,
+  input wire rst,
+  input wire [511:0] block,
+  output reg [31:0] w
+);
+  reg [3:0] idx;
+  reg [31:0] w0;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      idx <= 4'd0;
+      w0 <= 32'd0;
+      w <= 32'd0;
+    end else begin
+      idx <= idx + 4'd1;
+      w0 <= block[31:0] ^ {block[511:496], block[47:32]};
+      w <= w0 + {28'd0, idx};
+    end
+  end
+endmodule
+
+// sha_compress: block-level compression wrapper (774 pins: 4 controls
+// + 512-bit block + two 128-bit state buses + valid + ready).
+module sha_compress (
+  input wire clk,
+  input wire rst,
+  input wire init_c,
+  input wire next_c,
+  input wire [511:0] block,
+  input wire [127:0] state_in,
+  output reg [127:0] state_out,
+  output reg valid,
+  output wire ready
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      state_out <= 128'd0;
+      valid <= 1'b0;
+    end else begin
+      if (init_c) begin
+        state_out <= state_in;
+        valid <= 1'b0;
+      end else if (next_c) begin
+        state_out <= state_out + (state_in ^ block[127:0]) + block[255:128];
+        valid <= 1'b1;
+      end
+    end
+  end
+  assign ready = ~valid | init_c;
+endmodule
+`
+}

@@ -1,0 +1,222 @@
+package bench
+
+// USBPHY rebuilds the IWLS05 usb_phy benchmark: receive and transmit
+// PHYs plus a line-state monitor. Table 1: 3 modules, 3 instances, I/O
+// in [17, 33]. The line-state monitor drives only unprotected status
+// outputs, so filtering keeps the rx/tx pair (|R| = 2), which forms
+// three clusters ({rx}, {tx}, {rx, tx}) under both configurations.
+func USBPHY() string {
+	return `
+// Reconstructed IWLS05 usb_phy benchmark (see package bench doc).
+module usb_phy (
+  input wire clk,
+  input wire rst,
+  input wire rxdp,
+  input wire rxdn,
+  input wire rx_en,
+  input wire [15:0] tx_data,
+  input wire tx_valid,
+  output wire txdp,
+  output wire txdn,
+  output wire tx_ready,
+  output wire [15:0] rx_data,
+  output wire rx_valid,
+  output wire rx_active,
+  output wire rx_error,
+  output wire [7:0] ls_mode,
+  output wire ls_valid
+);
+  wire fs_ce;
+  wire [1:0] line_state;
+  wire sync_err, stuff_err, strobe, idle;
+  wire [1:0] dpll;
+  wire [3:0] ls_cnt;
+  wire txoe;
+  reg [1:0] ce_cnt;
+
+  // Independent full-speed tick for the transmitter, so the rx and tx
+  // paths stay functionally decoupled.
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      ce_cnt <= 2'd0;
+    else
+      ce_cnt <= ce_cnt + 2'd1;
+  end
+
+  usb_rx_phy u_rx (
+    .clk(clk), .rst(rst), .fs_ce(fs_ce), .rxdp(rxdp), .rxdn(rxdn),
+    .rx_en(rx_en), .data_out(rx_data), .rx_valid(rx_valid),
+    .rx_active(rx_active), .rx_err(rx_error), .line_state(line_state),
+    .sync_err(sync_err), .stuff_err(stuff_err), .dpll(dpll),
+    .strobe(strobe), .idle(idle)
+  );
+  usb_tx_phy u_tx (
+    .clk(clk), .rst(rst), .fs_ce(ce_cnt == 2'd3), .data_in(tx_data),
+    .tx_valid(tx_valid), .tx_ready(tx_ready), .txdp(txdp), .txdn(txdn),
+    .txoe(txoe), .hold(1'b0), .ls_sel(ce_cnt[0])
+  );
+  usb_ls u_ls (
+    .clk(clk), .rst(rst), .rxdp(rxdp), .rxdn(rxdn),
+    .ls_mode(ls_mode), .ls_valid(ls_valid), .ls_cnt(ls_cnt)
+  );
+  assign fs_ce = strobe ^ idle;
+endmodule
+
+// usb_rx_phy: receive PHY with DPLL and NRZI decode (33 pins).
+module usb_rx_phy (
+  input wire clk,
+  input wire rst,
+  input wire fs_ce,
+  input wire rxdp,
+  input wire rxdn,
+  input wire rx_en,
+  output reg [15:0] data_out,
+  output reg rx_valid,
+  output reg rx_active,
+  output reg rx_err,
+  output wire [1:0] line_state,
+  output reg sync_err,
+  output reg stuff_err,
+  output reg [1:0] dpll,
+  output wire strobe,
+  output wire idle
+);
+  reg [15:0] shift;
+  reg [3:0] bitcnt;
+  reg [2:0] ones;
+  reg last;
+  wire din = rxdp & ~rxdn;
+  wire nrzi = ~(din ^ last);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      dpll <= 2'd0;
+      shift <= 16'd0;
+      bitcnt <= 4'd0;
+      ones <= 3'd0;
+      last <= 1'b0;
+      data_out <= 16'd0;
+      rx_valid <= 1'b0;
+      rx_active <= 1'b0;
+      rx_err <= 1'b0;
+      sync_err <= 1'b0;
+      stuff_err <= 1'b0;
+    end else begin
+      dpll <= dpll + 2'd1;
+      rx_valid <= 1'b0;
+      if (fs_ce & rx_en) begin
+        last <= din;
+        if (ones == 3'd6) begin
+          stuff_err <= nrzi;
+          ones <= 3'd0;
+        end else begin
+          shift <= {nrzi, shift[15:1]};
+          bitcnt <= bitcnt + 4'd1;
+          if (nrzi)
+            ones <= ones + 3'd1;
+          else
+            ones <= 3'd0;
+          if (bitcnt == 4'd15) begin
+            data_out <= {nrzi, shift[15:1]};
+            rx_valid <= 1'b1;
+            rx_active <= 1'b1;
+          end
+        end
+        sync_err <= (rxdp & rxdn);
+        rx_err <= (rxdp & rxdn) | stuff_err;
+      end
+      if (~rx_en)
+        rx_active <= 1'b0;
+    end
+  end
+  assign line_state = {rxdp, rxdn};
+  assign strobe = dpll == 2'd3;
+  assign idle = ~rxdp & ~rxdn;
+endmodule
+
+// usb_tx_phy: transmit PHY with NRZI encode and bit stuffing (26 pins).
+module usb_tx_phy (
+  input wire clk,
+  input wire rst,
+  input wire fs_ce,
+  input wire [15:0] data_in,
+  input wire tx_valid,
+  output wire tx_ready,
+  output reg txdp,
+  output reg txdn,
+  output reg txoe,
+  input wire hold,
+  input wire ls_sel
+);
+  reg [15:0] shift;
+  reg [3:0] bitcnt;
+  reg [2:0] ones;
+  reg busy;
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      shift <= 16'd0;
+      bitcnt <= 4'd0;
+      ones <= 3'd0;
+      busy <= 1'b0;
+      txdp <= 1'b1;
+      txdn <= 1'b0;
+      txoe <= 1'b0;
+    end else if (fs_ce & ~hold) begin
+      if (!busy) begin
+        if (tx_valid) begin
+          shift <= data_in;
+          bitcnt <= 4'd0;
+          busy <= 1'b1;
+          txoe <= 1'b1;
+        end else begin
+          txoe <= 1'b0;
+          txdp <= ~ls_sel;
+          txdn <= ls_sel;
+        end
+      end else begin
+        if (ones == 3'd6) begin
+          txdp <= ~txdp;
+          txdn <= ~txdn;
+          ones <= 3'd0;
+        end else begin
+          if (shift[0]) begin
+            ones <= ones + 3'd1;
+          end else begin
+            txdp <= ~txdp;
+            txdn <= ~txdn;
+            ones <= 3'd0;
+          end
+          shift <= {1'b0, shift[15:1]};
+          bitcnt <= bitcnt + 4'd1;
+          if (bitcnt == 4'd15)
+            busy <= 1'b0;
+        end
+      end
+    end
+  end
+  assign tx_ready = ~busy;
+endmodule
+
+// usb_ls: line-state monitor (17 pins); drives only status outputs.
+module usb_ls (
+  input wire clk,
+  input wire rst,
+  input wire rxdp,
+  input wire rxdn,
+  output reg [7:0] ls_mode,
+  output reg ls_valid,
+  output reg [3:0] ls_cnt
+);
+  always @(posedge clk or posedge rst) begin
+    if (rst) begin
+      ls_mode <= 8'd0;
+      ls_valid <= 1'b0;
+      ls_cnt <= 4'd0;
+    end else begin
+      ls_mode <= {ls_mode[5:0], rxdp, rxdn};
+      ls_cnt <= ls_cnt + {3'd0, rxdp ^ rxdn};
+      ls_valid <= ls_mode == 8'h2A;
+    end
+  end
+endmodule
+`
+}

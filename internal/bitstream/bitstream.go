@@ -1,0 +1,228 @@
+// Package bitstream generates and decodes eFPGA configuration
+// bitstreams. The bitstream is the secret of the redaction scheme
+// (Sec. 2 of the ALICE paper): it holds every LUT mask, BLE mode bit,
+// and routing-mux selection. Encoding walks a deterministic layout
+// derived from the architecture; decoding reconstructs the programmed
+// circuit as a LUT network, which lets the flow equivalence-check
+// "fabric + bitstream" against the original module.
+package bitstream
+
+import (
+	"fmt"
+
+	"alice/internal/fabric"
+	"alice/internal/pack"
+	"alice/internal/place"
+	"alice/internal/route"
+	"alice/internal/techmap"
+)
+
+// Bits is a fixed-layout bit vector.
+type Bits struct {
+	N int
+	B []byte
+}
+
+// NewBits returns an all-zero bit vector of length n.
+func NewBits(n int) *Bits { return &Bits{N: n, B: make([]byte, (n+7)/8)} }
+
+// Set sets bit i to v.
+func (b *Bits) Set(i int, v bool) {
+	if v {
+		b.B[i/8] |= 1 << uint(i%8)
+	} else {
+		b.B[i/8] &^= 1 << uint(i%8)
+	}
+}
+
+// Get returns bit i.
+func (b *Bits) Get(i int) bool { return b.B[i/8]&(1<<uint(i%8)) != 0 }
+
+// OnesCount returns the number of set bits (useful in reports).
+func (b *Bits) OnesCount() int {
+	c := 0
+	for i := 0; i < b.N; i++ {
+		if b.Get(i) {
+			c++
+		}
+	}
+	return c
+}
+
+type cursor struct {
+	bits *Bits
+	pos  int
+}
+
+func (c *cursor) writeUint(v uint64, n int) {
+	for i := 0; i < n; i++ {
+		c.bits.Set(c.pos, (v>>uint(i))&1 == 1)
+		c.pos++
+	}
+}
+
+func (c *cursor) readUint(n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		if c.bits.Get(c.pos) {
+			v |= 1 << uint(i)
+		}
+		c.pos++
+	}
+	return v
+}
+
+func clog2(n int) int {
+	b := 0
+	for (1 << uint(b)) < n {
+		b++
+	}
+	return b
+}
+
+// bleSelBits returns the width of one BLE crossbar selector.
+func bleSelBits(a fabric.Arch) int { return clog2(a.CLBInputs + a.BLEsPerCLB + 1) }
+
+// bleBits returns the config bits of one BLE: LUT mask + registered bit
+// + FF-bypass bit + one crossbar selector per LUT input.
+func bleBits(a fabric.Arch) int {
+	return (1 << uint(a.LUTSize)) + 2 + a.LUTSize*bleSelBits(a)
+}
+
+// Length returns the exact bitstream length of a fabric: the CLB
+// section followed by one mux selector per configurable routing node.
+func Length(g *fabric.RRGraph) int {
+	a := g.Arch
+	n := a.CLBCount() * a.BLEsPerCLB * bleBits(a)
+	for id := range g.Nodes {
+		if sel := muxBits(g, int32(id)); sel > 0 {
+			n += sel
+		}
+	}
+	return n
+}
+
+// muxBits returns the selector width of a routing node (0 if the node
+// has no configurable mux).
+func muxBits(g *fabric.RRGraph, id int32) int {
+	switch g.Nodes[id].Kind {
+	case fabric.RRHWire, fabric.RRVWire, fabric.RRIPin, fabric.RRIOOut:
+		return clog2(len(g.In[id]) + 1)
+	}
+	return 0
+}
+
+// Generate encodes a placed-and-routed design into a bitstream.
+func Generate(pl *place.Placement, rt *route.Result) (*Bits, error) {
+	g := rt.G
+	a := g.Arch
+	bits := NewBits(Length(g))
+	c := &cursor{bits: bits}
+
+	// CLB section, sites in (y, x) order, slots in order.
+	siteCLB := make(map[place.XY]int)
+	for ci, pos := range pl.CLBPos {
+		siteCLB[pos] = ci
+	}
+	p := pl.Pack
+	ln := p.Net
+	selBits := bleSelBits(a)
+	for y := 0; y < a.W; y++ {
+		for x := 0; x < a.W; x++ {
+			ci, used := siteCLB[place.XY{X: x, Y: y}]
+			for slot := 0; slot < a.BLEsPerCLB; slot++ {
+				if !used || slot >= len(p.CLBs[ci].BLEs) {
+					c.writeUint(0, bleBits(a))
+					continue
+				}
+				ble := p.CLBs[ci].BLEs[slot]
+				clb := &p.CLBs[ci]
+				var mask uint16
+				var sels [4]uint64
+				reg := uint64(0)
+				byp := uint64(0)
+				if ble.LUT >= 0 {
+					mask = ln.Nodes[ble.LUT].Mask
+					for i, in := range ln.Nodes[ble.LUT].In {
+						sel, err := crossbarSel(a, p, clb, ci, in)
+						if err != nil {
+							return nil, err
+						}
+						sels[i] = sel
+					}
+				}
+				if ble.FF >= 0 {
+					reg = 1
+					d := ln.Nodes[ble.FF].In[0]
+					if ble.LUT >= 0 && d == ble.LUT {
+						byp = 0
+					} else {
+						// FF-only BLE: D arrives via crossbar input 0.
+						byp = 1
+						sel, err := crossbarSel(a, p, clb, ci, d)
+						if err != nil {
+							return nil, err
+						}
+						sels[0] = sel
+					}
+				}
+				c.writeUint(uint64(mask), 1<<uint(a.LUTSize))
+				c.writeUint(reg, 1)
+				c.writeUint(byp, 1)
+				for i := 0; i < a.LUTSize; i++ {
+					c.writeUint(sels[i], selBits)
+				}
+			}
+		}
+	}
+
+	// Routing section: node id order.
+	for id := range g.Nodes {
+		nb := muxBits(g, int32(id))
+		if nb == 0 {
+			continue
+		}
+		prev := rt.Prev[int32(id)]
+		if prev < 0 {
+			c.writeUint(0, nb)
+			continue
+		}
+		idx := -1
+		for i, in := range g.In[id] {
+			if in == prev {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("bitstream: node %s driven by non-adjacent %s",
+				g.Nodes[id], g.Nodes[prev])
+		}
+		c.writeUint(uint64(idx)+1, nb)
+	}
+	if c.pos != bits.N {
+		return nil, fmt.Errorf("bitstream: wrote %d bits, layout says %d", c.pos, bits.N)
+	}
+	return bits, nil
+}
+
+// crossbarSel encodes the source of one BLE input: 0 = constant 0,
+// 1..I = CLB input pin, I+1..I+N = sibling BLE output.
+func crossbarSel(a fabric.Arch, p *pack.Packing, clb *pack.CLB, ci int, node int32) (uint64, error) {
+	kind := p.Net.Nodes[node].Kind
+	if kind == techmap.LConst0 {
+		return 0, nil
+	}
+	if kind == techmap.LConst1 {
+		return 0, fmt.Errorf("bitstream: raw const1 input should have been rewritten to a constant LUT")
+	}
+	for i, in := range clb.Inputs {
+		if in == node {
+			return uint64(i) + 1, nil
+		}
+	}
+	if loc, ok := p.Loc[node]; ok && loc[0] == ci {
+		return uint64(a.CLBInputs) + uint64(loc[1]) + 1, nil
+	}
+	return 0, fmt.Errorf("bitstream: BLE input node %d is neither a CLB input nor a sibling", node)
+}

@@ -1,0 +1,70 @@
+package bitstream
+
+import (
+	"testing"
+
+	"alice/internal/fabric"
+)
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(100)
+	b.Set(0, true)
+	b.Set(63, true)
+	b.Set(64, true)
+	b.Set(99, true)
+	if !b.Get(0) || !b.Get(63) || !b.Get(64) || !b.Get(99) || b.Get(50) {
+		t.Error("set/get broken")
+	}
+	if b.OnesCount() != 4 {
+		t.Errorf("ones = %d", b.OnesCount())
+	}
+	b.Set(63, false)
+	if b.Get(63) || b.OnesCount() != 3 {
+		t.Error("clear broken")
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	b := NewBits(200)
+	w := &cursor{bits: b}
+	vals := []struct {
+		v uint64
+		n int
+	}{{0xAB, 8}, {0x3, 2}, {0x12345, 20}, {1, 1}, {0xFFFF, 16}}
+	for _, x := range vals {
+		w.writeUint(x.v, x.n)
+	}
+	r := &cursor{bits: b}
+	for _, x := range vals {
+		if got := r.readUint(x.n); got != x.v {
+			t.Errorf("read %d bits = %#x, want %#x", x.n, got, x.v)
+		}
+	}
+}
+
+func TestLengthDeterministic(t *testing.T) {
+	for _, w := range []int{2, 3, 4} {
+		g := fabric.BuildRRGraph(fabric.NewArch(w))
+		n1 := Length(g)
+		n2 := Length(g)
+		if n1 != n2 || n1 <= 0 {
+			t.Errorf("W=%d: lengths %d, %d", w, n1, n2)
+		}
+		// The modeled estimate should be within 2x of the exact count.
+		est := fabric.NewArch(w).ConfigBits()
+		if est < n1/2 || est > n1*2 {
+			t.Errorf("W=%d: modeled %d vs exact %d diverge beyond 2x", w, est, n1)
+		}
+	}
+}
+
+func TestLengthGrowsWithFabric(t *testing.T) {
+	prev := 0
+	for _, w := range []int{2, 3, 4, 5} {
+		n := Length(fabric.BuildRRGraph(fabric.NewArch(w)))
+		if n <= prev {
+			t.Errorf("Length(W=%d) = %d not greater than %d", w, n, prev)
+		}
+		prev = n
+	}
+}

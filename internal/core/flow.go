@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"alice/internal/openfpga"
+	"alice/internal/rtl"
+	"alice/internal/verilog"
+)
+
+// Report is the outcome of one full ALICE run: the Table-2 row of the
+// paper plus the artifacts behind it.
+type Report struct {
+	Design    string
+	Instances int // redactable instances in the design
+
+	// Phase metrics (Table 2 columns).
+	FilterTime  time.Duration
+	R           int // candidate redaction modules
+	ClusterTime time.Duration
+	C           int // candidate module clusters
+	SelectTime  time.Duration
+	ValidEFPGAs int
+	S           int // admissible solutions
+	FabricSizes string
+	Redacted    int // redacted module instances
+
+	// Artifacts.
+	Filter    *FilterResult
+	Clusters  []Cluster
+	Selection *SelectionResult
+	Solution  *Solution
+	Redaction *Redaction
+
+	// Err is the flow's terminal diagnostic when no solution exists
+	// (e.g. IIR under cfg1 in the paper).
+	Err error
+}
+
+// Row renders the report as a Table-2-style line.
+func (r *Report) Row() string {
+	if r.Err != nil && r.Solution == nil {
+		return fmt.Sprintf("%-10s %4d | %8.2fs %3d | %8.2fs %4s | %8s %7s %6s | %-12s %s",
+			r.Design, r.Instances, r.FilterTime.Seconds(), r.R,
+			r.ClusterTime.Seconds(), dash(r.R > 0, r.C),
+			"-", "-", "-", "-", "(n.a.)")
+	}
+	return fmt.Sprintf("%-10s %4d | %8.2fs %3d | %8.2fs %4d | %8.2fs %7d %6d | %-12s %d",
+		r.Design, r.Instances, r.FilterTime.Seconds(), r.R,
+		r.ClusterTime.Seconds(), r.C,
+		r.SelectTime.Seconds(), r.ValidEFPGAs, r.S,
+		r.FabricSizes, r.Redacted)
+}
+
+func dash(ok bool, v int) string {
+	if ok {
+		return fmt.Sprint(v)
+	}
+	return "-"
+}
+
+// RunSource parses Verilog text and runs the flow.
+func RunSource(src string, cfg *Config) (*Report, error) {
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(ast, cfg)
+}
+
+// RunSourceAST parses Verilog text (a convenience for tools that need
+// the AST alongside the flow result).
+func RunSourceAST(src string) (*verilog.Design, error) { return verilog.Parse(src) }
+
+// GenerateRedactedDesignFromAST re-elaborates a design and regenerates
+// the redacted output for an existing solution (e.g. to switch between
+// stub and functional eFPGA models after a flow run).
+func GenerateRedactedDesignFromAST(ast *verilog.Design, cfg *Config, sol *Solution, functional bool) (*Redaction, error) {
+	d, err := rtl.Elaborate(ast, cfg.Top)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateRedactedDesign(d, sol, functional)
+}
+
+// Run executes the complete ALICE flow (Fig. 3): module filtering,
+// cluster identification, eFPGA characterization and selection, and
+// redacted-design generation. A design where no admissible solution
+// exists returns a Report with Err set (and no error), mirroring the
+// paper's "(n.a.)" rows — the flow result is the diagnostic.
+func Run(ast *verilog.Design, cfg *Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := rtl.Elaborate(ast, cfg.Top)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Design:    d.Top.Name,
+		Instances: len(d.NonRootInstances()),
+	}
+
+	// Phase 1: module filtering (includes dataflow analysis, as in the
+	// paper's time accounting).
+	t0 := time.Now()
+	df, err := rtl.NewDataflow(d)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := FilterModules(d, df, cfg)
+	rep.FilterTime = time.Since(t0)
+	if err != nil {
+		rep.Err = err
+		return rep, nil
+	}
+	rep.Filter = fr
+	rep.R = len(fr.Candidates)
+	if rep.R == 0 {
+		rep.Err = fmt.Errorf("core: no candidate redaction module satisfies the constraints")
+		return rep, nil
+	}
+
+	// Phase 2: cluster identification.
+	t1 := time.Now()
+	clusters, err := IdentifyClusters(fr.Candidates, cfg)
+	rep.ClusterTime = time.Since(t1)
+	if err != nil {
+		rep.Err = err
+		return rep, nil
+	}
+	rep.Clusters = clusters
+	rep.C = len(clusters)
+	if rep.C == 0 {
+		rep.Err = fmt.Errorf("core: no admissible cluster")
+		return rep, nil
+	}
+
+	// Phase 3: eFPGA characterization + selection.
+	t2 := time.Now()
+	cands := CharacterizeClusters(d, clusters, cfg)
+	sel, err := SelectEFPGAs(cands, cfg)
+	rep.SelectTime = time.Since(t2)
+	rep.Selection = sel
+	if sel != nil {
+		rep.ValidEFPGAs = sel.ValidCount
+		rep.S = sel.SolutionCount
+	}
+	if err != nil {
+		rep.Err = err
+		return rep, nil
+	}
+	rep.Solution = sel.Best
+	rep.FabricSizes = sel.Best.FabricSizes()
+	rep.Redacted = len(sel.Best.RedactedInstances())
+
+	if cfg.ImplementWinner {
+		for _, fc := range sel.Best.Fabrics {
+			if fc.Fabric.Bits == nil {
+				if err := implementFabric(fc, cfg); err != nil {
+					rep.Err = fmt.Errorf("core: implementing winning fabric: %w", err)
+					return rep, nil
+				}
+			}
+		}
+	}
+
+	red, err := GenerateRedactedDesign(d, sel.Best, false)
+	if err != nil {
+		rep.Err = err
+		return rep, nil
+	}
+	rep.Redaction = red
+	return rep, nil
+}
+
+// implementFabric upgrades a fast-mode fabric to a fully placed,
+// routed, and programmed one, growing the fabric if routing requires.
+func implementFabric(fc *FabricCandidate, cfg *Config) error {
+	opts := openfpga.Options{
+		MinW:        fc.Fabric.Arch.W,
+		MaxW:        cfg.MaxFabric,
+		FullPnR:     true,
+		Seed:        cfg.Seed,
+		RouteIters:  32,
+		UnifyClocks: true,
+	}
+	nf, err := openfpga.Recharacterize(fc.Fabric, opts)
+	if err != nil {
+		return err
+	}
+	fc.Fabric = nf
+	return nil
+}
+
+// Summary renders a multi-line human-readable report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design %s: %d redactable instances\n", r.Design, r.Instances)
+	fmt.Fprintf(&b, "  filtering: %v, |R| = %d\n", r.FilterTime, r.R)
+	if r.Filter != nil {
+		for _, c := range r.Filter.Candidates {
+			fmt.Fprintf(&b, "    candidate %-16s score=%d pins=%d instances=%d\n",
+				c.Module.Name, c.Score, c.Pins, len(c.Instances))
+		}
+	}
+	fmt.Fprintf(&b, "  clustering: %v, |C| = %d\n", r.ClusterTime, r.C)
+	fmt.Fprintf(&b, "  selection: %v, valid eFPGAs = %d, |S| = %d\n", r.SelectTime, r.ValidEFPGAs, r.S)
+	if r.Solution != nil {
+		fmt.Fprintf(&b, "  solution: fabrics [%s], score %.4f, %d redacted instances\n",
+			r.FabricSizes, r.Solution.Score, r.Redacted)
+		for _, f := range r.Solution.Fabrics {
+			fmt.Fprintf(&b, "    %s: %s pins=%d IOUtil=%.2f CLBUtil=%.2f key=%d bits\n",
+				f.Fabric.Arch.Name(), f.Cluster.String(), f.Cluster.Pins,
+				f.Fabric.IOUtil, f.Fabric.CLBUtil, f.Fabric.ConfigBits())
+		}
+	}
+	if r.Err != nil {
+		fmt.Fprintf(&b, "  flow stopped: %v\n", r.Err)
+	}
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"alice/internal/rtl"
+)
+
+// Solution is one admissible set of non-overlapping eFPGA
+// implementations (an element of S in Algorithm 3).
+type Solution struct {
+	Fabrics []*FabricCandidate
+	Score   float64
+}
+
+// RedactedInstances lists every instance the solution redacts.
+func (s *Solution) RedactedInstances() []*rtl.InstanceNode {
+	var out []*rtl.InstanceNode
+	for _, f := range s.Fabrics {
+		out = append(out, f.Cluster.Instances...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// FabricSizes renders the solution's fabric names ("4x4, 4x4").
+func (s *Solution) FabricSizes() string {
+	var names []string
+	for _, f := range s.Fabrics {
+		names = append(names, f.Fabric.Arch.Name())
+	}
+	return strings.Join(names, ", ")
+}
+
+// SelectionResult is the output of the eFPGA-selection phase.
+type SelectionResult struct {
+	Candidates []FabricCandidate
+	// ValidCount is the number of admissible eFPGA implementations
+	// ("# valid eFPGAs" in Table 2).
+	ValidCount int
+	// SolutionCount is |S|: every non-empty set of pairwise-disjoint
+	// valid fabrics within the eFPGA budget.
+	SolutionCount int
+	// Best is the chosen solution (nil when none exists).
+	Best *Solution
+	// MaxIOUtil / MaxCLBUtil are the normalization terms of Eq. 1.
+	MaxIOUtil  float64
+	MaxCLBUtil float64
+}
+
+// SelectEFPGAs implements Algorithm 3 after characterization: score
+// every valid fabric with Eq. 1, enumerate all non-overlapping
+// combinations bounded by the eFPGA budget (branch & bound over an
+// index-ordered search tree), and rank the solutions.
+func SelectEFPGAs(cands []FabricCandidate, cfg *Config) (*SelectionResult, error) {
+	res := &SelectionResult{Candidates: cands}
+	var valid []*FabricCandidate
+	for i := range cands {
+		if cands[i].Valid() {
+			valid = append(valid, &cands[i])
+		}
+	}
+	res.ValidCount = len(valid)
+	if len(valid) == 0 {
+		return res, fmt.Errorf("core: no valid eFPGA implementation")
+	}
+
+	// Eq. 1 normalization terms.
+	for _, f := range valid {
+		if f.Fabric.IOUtil > res.MaxIOUtil {
+			res.MaxIOUtil = f.Fabric.IOUtil
+		}
+		if f.Fabric.CLBUtil > res.MaxCLBUtil {
+			res.MaxCLBUtil = f.Fabric.CLBUtil
+		}
+	}
+	for _, f := range valid {
+		f.Slack = eq1(f, res.MaxIOUtil, res.MaxCLBUtil, cfg)
+		f.Score = utilReward(f, res.MaxIOUtil, res.MaxCLBUtil, cfg)
+	}
+
+	// Pairwise conflicts: shared instances or hierarchy containment.
+	n := len(valid)
+	conflict := make([][]bool, n)
+	for i := range conflict {
+		conflict[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if clustersOverlap(&valid[i].Cluster, &valid[j].Cluster) {
+				conflict[i][j] = true
+				conflict[j][i] = true
+			}
+		}
+	}
+
+	// Enumerate all admissible solutions; track the best. The default
+	// ranking maximizes the summed utilization reward (high I/O and CLB
+	// utilization on every fabric, more fabrics when allowed), which is
+	// the reading of Eq. 1 consistent with the paper's selections; the
+	// literal alternative minimizes the summed Eq. 1 slack (ablation).
+	perFabric := func(j int) float64 {
+		if cfg.Direction == ScoreMinimize {
+			return valid[j].Slack
+		}
+		return valid[j].Score
+	}
+	better := func(scoreA float64, sizeA int, keyA string, scoreB float64, sizeB int, keyB string) bool {
+		if scoreA != scoreB {
+			if cfg.Direction == ScoreMinimize {
+				return scoreA < scoreB
+			}
+			return scoreA > scoreB
+		}
+		if sizeA != sizeB {
+			return sizeA > sizeB // redact more instances on ties
+		}
+		return keyA < keyB
+	}
+	var bestSet []int
+	var bestScore float64
+	var bestSize int
+	var bestKey string
+	count := 0
+	chosen := make([]int, 0, cfg.MaxEFPGAs)
+	var rec func(start int, score float64, size int)
+	rec = func(start int, score float64, size int) {
+		for j := start; j < n; j++ {
+			ok := true
+			for _, c := range chosen {
+				if conflict[c][j] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			chosen = append(chosen, j)
+			count++
+			sc := score + perFabric(j)
+			sz := size + len(valid[j].Cluster.Instances)
+			key := fmt.Sprint(chosen)
+			if bestSet == nil || better(sc, sz, key, bestScore, bestSize, bestKey) {
+				bestSet = append([]int(nil), chosen...)
+				bestScore, bestSize, bestKey = sc, sz, key
+			}
+			if len(chosen) < cfg.MaxEFPGAs {
+				rec(j+1, sc, sz)
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	rec(0, 0, 0)
+	res.SolutionCount = count
+	if bestSet == nil {
+		return res, fmt.Errorf("core: no admissible solution")
+	}
+	best := &Solution{Score: bestScore}
+	for _, j := range bestSet {
+		best.Fabrics = append(best.Fabrics, valid[j])
+	}
+	res.Best = best
+	return res, nil
+}
+
+// eq1 computes the paper's Eq. 1 for one fabric, exactly as printed:
+//
+//	T_f = alpha * (MaxIOUtil - IOUtil_f) / MaxIOUtil
+//	    + beta  * (MaxCLBUtil - CLBUtil_f) / MaxCLBUtil
+//
+// This is a slack: 0 for the best-utilized fabric.
+func eq1(f *FabricCandidate, maxIO, maxCLB float64, cfg *Config) float64 {
+	t := 0.0
+	if maxIO > 0 {
+		t += cfg.Alpha * (maxIO - f.Fabric.IOUtil) / maxIO
+	}
+	if maxCLB > 0 {
+		t += cfg.Beta * (maxCLB - f.Fabric.CLBUtil) / maxCLB
+	}
+	return t
+}
+
+// utilReward is the complementary reading of Eq. 1 used by the default
+// ranking: alpha*IOUtil/MaxIOUtil + beta*CLBUtil/MaxCLBUtil, so fabrics
+// with high I/O and CLB utilization (harder to attack per Sec. 6) score
+// higher, and solutions with more well-utilized fabrics win.
+func utilReward(f *FabricCandidate, maxIO, maxCLB float64, cfg *Config) float64 {
+	t := 0.0
+	if maxIO > 0 {
+		t += cfg.Alpha * f.Fabric.IOUtil / maxIO
+	}
+	if maxCLB > 0 {
+		t += cfg.Beta * f.Fabric.CLBUtil / maxCLB
+	}
+	return t
+}
+
+// clustersOverlap reports whether two clusters share an instance or one
+// contains an instance nested inside an instance of the other.
+func clustersOverlap(a, b *Cluster) bool {
+	for _, x := range a.Instances {
+		for _, y := range b.Instances {
+			if x.Path == y.Path ||
+				strings.HasPrefix(y.Path, x.Path+".") ||
+				strings.HasPrefix(x.Path, y.Path+".") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+// Package fabric models the customizable eFPGA architecture used by the
+// redaction flow: a W×W grid of configurable logic blocks (CLBs), each
+// with four 4-input fracturable LUTs and optional output registers,
+// surrounded by I/O tiles with 8 GPIO pins each, connected by
+// channel-based routing with Wilton-style switch blocks. This is the
+// fabric family of Sec. 7 of the ALICE paper (built there with
+// OpenFPGA); here it is an explicit Go model with a routing-resource
+// graph, so fabrics can be generated, programmed, and attacked in
+// simulation.
+package fabric
+
+import "fmt"
+
+// Arch describes one fabric configuration.
+type Arch struct {
+	// W is the grid width: the fabric has W x W CLBs.
+	W int
+	// BLEsPerCLB is the number of basic logic elements per CLB (a BLE
+	// is one LUT plus an optional flip-flop). The paper's fabric uses 4.
+	BLEsPerCLB int
+	// LUTSize is the LUT input count (4 in the paper's fabric).
+	LUTSize int
+	// CLBInputs is the number of distinct external input pins of a CLB.
+	CLBInputs int
+	// GPIOPerTile is the number of user I/O pins per I/O tile (8 in the
+	// paper's fabric).
+	GPIOPerTile int
+	// ChannelWidth is the number of routing tracks per channel.
+	ChannelWidth int
+}
+
+// DefaultChannelWidth returns the channel width used for a fabric of
+// width w: it grows linearly with the array size (a Rent-style rule),
+// which is also what makes larger fabrics disproportionately larger in
+// silicon (Fig. 4 of the paper).
+func DefaultChannelWidth(w int) int {
+	cw := 8 + 2*w
+	if cw%2 != 0 {
+		cw++
+	}
+	return cw
+}
+
+// NewArch returns the paper's fabric configuration at grid width w:
+// CLBs of four 4-input LUTs and 8-GPIO I/O tiles.
+func NewArch(w int) Arch {
+	return Arch{
+		W:            w,
+		BLEsPerCLB:   4,
+		LUTSize:      4,
+		CLBInputs:    10,
+		GPIOPerTile:  8,
+		ChannelWidth: DefaultChannelWidth(w),
+	}
+}
+
+// IOTiles returns the number of I/O tiles: one ring position per
+// perimeter CLB on the two vertical sides (2W tiles), matching the
+// paper's statement that a 4x4 fabric offers at most 64 I/O pins with
+// 8-GPIO tiles.
+func (a Arch) IOTiles() int { return 2 * a.W }
+
+// IOCapacity returns the maximum number of user I/O pins (16·W for the
+// default tile configuration).
+func (a Arch) IOCapacity() int { return a.IOTiles() * a.GPIOPerTile }
+
+// LUTCapacity returns the number of LUTs in the fabric (4·W²).
+func (a Arch) LUTCapacity() int { return a.W * a.W * a.BLEsPerCLB }
+
+// FFCapacity returns the number of flip-flops (one per BLE).
+func (a Arch) FFCapacity() int { return a.LUTCapacity() }
+
+// CLBCount returns the number of CLBs.
+func (a Arch) CLBCount() int { return a.W * a.W }
+
+// Name returns the conventional "WxW" fabric name used in the paper's
+// tables.
+func (a Arch) Name() string { return fmt.Sprintf("%dx%d", a.W, a.W) }
+
+// ConfigBits returns the total length of the configuration bitstream.
+// This is the "key" an attacker must recover in the eFPGA-redaction
+// threat model, so it doubles as the headline security metric.
+//
+// Per BLE: 2^LUTSize mask bits + 1 output-select (registered or not)
+// bit + LUTSize input-crossbar selectors of ceil(log2(CLBInputs +
+// BLEsPerCLB + 1)) bits each. Per routing mux: ceil(log2(fanin+1)) bits
+// modeled from the channel topology. Per GPIO: 1 direction bit plus a
+// track selector.
+func (a Arch) ConfigBits() int {
+	bleSel := clog2(a.CLBInputs + a.BLEsPerCLB + 1)
+	perBLE := (1 << uint(a.LUTSize)) + 1 + a.LUTSize*bleSel
+	clbBits := a.CLBCount() * a.BLEsPerCLB * perBLE
+
+	// Connection blocks: every CLB input pin selects among the tracks of
+	// the two adjacent channels; every CLB output pin selects its track.
+	pinSel := clog2(2*a.ChannelWidth + 1)
+	cbBits := a.CLBCount() * (a.CLBInputs + a.BLEsPerCLB) * pinSel
+
+	// Switch blocks: (W+1)^2 switch points, each track with a 3-way
+	// programmable turn (2 bits per track).
+	sbBits := (a.W + 1) * (a.W + 1) * a.ChannelWidth * 2
+
+	// I/O tiles: direction bit + track selector per GPIO.
+	ioBits := a.IOTiles() * a.GPIOPerTile * (1 + clog2(a.ChannelWidth+1))
+
+	return clbBits + cbBits + sbBits + ioBits
+}
+
+func clog2(n int) int {
+	b := 0
+	for (1 << uint(b)) < n {
+		b++
+	}
+	return b
+}
+
+// FitsLUTs reports whether a design with the given LUT and FF counts
+// fits the fabric's logic capacity. FFs beyond their paired LUTs consume
+// BLEs too, which packing accounts for precisely; this is the coarse
+// capacity check.
+func (a Arch) FitsLUTs(luts, ffs int) bool {
+	if luts > a.LUTCapacity() {
+		return false
+	}
+	return ffs <= a.FFCapacity()
+}
+
+// FitsIO reports whether a module with the given pin count fits the
+// fabric's I/O capacity.
+func (a Arch) FitsIO(pins int) bool { return pins <= a.IOCapacity() }

@@ -1,0 +1,225 @@
+package fabric
+
+import "fmt"
+
+// RRKind is a routing-resource node kind.
+type RRKind uint8
+
+// Routing-resource node kinds.
+const (
+	RRHWire RRKind = iota // horizontal wire segment
+	RRVWire               // vertical wire segment
+	RROPin                // CLB (BLE) output pin
+	RRIPin                // CLB input pin
+	RRIOIn                // pad driving into the fabric (source)
+	RRIOOut               // pad driven by the fabric (sink)
+)
+
+func (k RRKind) String() string {
+	switch k {
+	case RRHWire:
+		return "hwire"
+	case RRVWire:
+		return "vwire"
+	case RROPin:
+		return "opin"
+	case RRIPin:
+		return "ipin"
+	case RRIOIn:
+		return "ioin"
+	case RRIOOut:
+		return "ioout"
+	}
+	return "?"
+}
+
+// RRNode is one routing resource.
+type RRNode struct {
+	Kind RRKind
+	X    int // CLB / channel column
+	Y    int // CLB / channel row
+	K    int // track, pin index, or GPIO index
+}
+
+func (n RRNode) String() string {
+	return fmt.Sprintf("%s(%d,%d,%d)", n.Kind, n.X, n.Y, n.K)
+}
+
+// RRGraph is the fabric's routing-resource graph. Edges are directed;
+// wire segments are modeled as bidirectionally connected node pairs.
+type RRGraph struct {
+	Arch  Arch
+	Nodes []RRNode
+	// In lists, per node, the nodes that can drive it (its mux inputs).
+	// This orientation matches configuration: each node's selected
+	// driver is one config choice.
+	In [][]int32
+	// Out is the forward adjacency derived from In.
+	Out [][]int32
+
+	hwire map[[3]int]int32
+	vwire map[[3]int]int32
+	opin  map[[3]int]int32
+	ipin  map[[3]int]int32
+	ioin  map[[2]int]int32
+	ioout map[[2]int]int32
+}
+
+// BuildRRGraph constructs the routing-resource graph for an
+// architecture: CLB pins, unit-length wire segments, disjoint
+// (same-track) switch boxes with full turning, full connection blocks,
+// and I/O tiles on the left (x=0) and right (x=W) fabric edges.
+func BuildRRGraph(a Arch) *RRGraph {
+	g := &RRGraph{
+		Arch:  a,
+		hwire: make(map[[3]int]int32),
+		vwire: make(map[[3]int]int32),
+		opin:  make(map[[3]int]int32),
+		ipin:  make(map[[3]int]int32),
+		ioin:  make(map[[2]int]int32),
+		ioout: make(map[[2]int]int32),
+	}
+	add := func(n RRNode) int32 {
+		id := int32(len(g.Nodes))
+		g.Nodes = append(g.Nodes, n)
+		return id
+	}
+	W, cw := a.W, a.ChannelWidth
+	// Wires.
+	for y := 0; y <= W; y++ {
+		for x := 0; x < W; x++ {
+			for t := 0; t < cw; t++ {
+				g.hwire[[3]int{x, y, t}] = add(RRNode{RRHWire, x, y, t})
+			}
+		}
+	}
+	for x := 0; x <= W; x++ {
+		for y := 0; y < W; y++ {
+			for t := 0; t < cw; t++ {
+				g.vwire[[3]int{x, y, t}] = add(RRNode{RRVWire, x, y, t})
+			}
+		}
+	}
+	// CLB pins.
+	for x := 0; x < W; x++ {
+		for y := 0; y < W; y++ {
+			for k := 0; k < a.BLEsPerCLB; k++ {
+				g.opin[[3]int{x, y, k}] = add(RRNode{RROPin, x, y, k})
+			}
+			for k := 0; k < a.CLBInputs; k++ {
+				g.ipin[[3]int{x, y, k}] = add(RRNode{RRIPin, x, y, k})
+			}
+		}
+	}
+	// I/O pads: tile index 0..W-1 on the left edge, W..2W-1 on the right.
+	for tile := 0; tile < a.IOTiles(); tile++ {
+		for gp := 0; gp < a.GPIOPerTile; gp++ {
+			g.ioin[[2]int{tile, gp}] = add(RRNode{RRIOIn, tile, 0, gp})
+			g.ioout[[2]int{tile, gp}] = add(RRNode{RRIOOut, tile, 0, gp})
+		}
+	}
+
+	g.In = make([][]int32, len(g.Nodes))
+	edge := func(from, to int32) { g.In[to] = append(g.In[to], from) }
+
+	// Switch boxes: at corner (x,y), same-track wires in all four
+	// directions are mutually connected.
+	for x := 0; x <= W; x++ {
+		for y := 0; y <= W; y++ {
+			for t := 0; t < cw; t++ {
+				var near []int32
+				if x > 0 {
+					near = append(near, g.hwire[[3]int{x - 1, y, t}])
+				}
+				if x < W {
+					near = append(near, g.hwire[[3]int{x, y, t}])
+				}
+				if y > 0 {
+					near = append(near, g.vwire[[3]int{x, y - 1, t}])
+				}
+				if y < W {
+					near = append(near, g.vwire[[3]int{x, y, t}])
+				}
+				for _, a1 := range near {
+					for _, b1 := range near {
+						if a1 != b1 {
+							edge(a1, b1)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Connection blocks: OPins drive all tracks of the four adjacent
+	// channels; all tracks of those channels can drive each IPin.
+	for x := 0; x < W; x++ {
+		for y := 0; y < W; y++ {
+			var wires []int32
+			for t := 0; t < cw; t++ {
+				wires = append(wires,
+					g.hwire[[3]int{x, y, t}],     // channel below
+					g.hwire[[3]int{x, y + 1, t}], // channel above
+					g.vwire[[3]int{x, y, t}],     // channel left
+					g.vwire[[3]int{x + 1, y, t}]) // channel right
+			}
+			for k := 0; k < a.BLEsPerCLB; k++ {
+				op := g.opin[[3]int{x, y, k}]
+				for _, w := range wires {
+					edge(op, w)
+				}
+			}
+			for k := 0; k < a.CLBInputs; k++ {
+				ip := g.ipin[[3]int{x, y, k}]
+				for _, w := range wires {
+					edge(w, ip)
+				}
+			}
+		}
+	}
+	// I/O tiles: left tiles touch vertical channel x=0 at row y=tile,
+	// right tiles touch channel x=W.
+	for tile := 0; tile < a.IOTiles(); tile++ {
+		chanX, row := 0, tile
+		if tile >= W {
+			chanX, row = W, tile-W
+		}
+		for gp := 0; gp < a.GPIOPerTile; gp++ {
+			in := g.ioin[[2]int{tile, gp}]
+			out := g.ioout[[2]int{tile, gp}]
+			for t := 0; t < cw; t++ {
+				w := g.vwire[[3]int{chanX, row, t}]
+				edge(in, w)
+				edge(w, out)
+			}
+		}
+	}
+
+	g.Out = make([][]int32, len(g.Nodes))
+	for to, ins := range g.In {
+		for _, from := range ins {
+			g.Out[from] = append(g.Out[from], int32(to))
+		}
+	}
+	return g
+}
+
+// OPin returns the output-pin node of BLE k in the CLB at (x, y).
+func (g *RRGraph) OPin(x, y, k int) int32 { return g.opin[[3]int{x, y, k}] }
+
+// IPin returns input-pin node k of the CLB at (x, y).
+func (g *RRGraph) IPin(x, y, k int) int32 { return g.ipin[[3]int{x, y, k}] }
+
+// IOIn returns the fabric-driving pad node of a GPIO.
+func (g *RRGraph) IOIn(tile, gpio int) int32 { return g.ioin[[2]int{tile, gpio}] }
+
+// IOOut returns the fabric-driven pad node of a GPIO.
+func (g *RRGraph) IOOut(tile, gpio int) int32 { return g.ioout[[2]int{tile, gpio}] }
+
+// PadXY returns grid coordinates of an I/O tile for wirelength
+// estimates: left tiles at x=-1, right tiles at x=W.
+func (g *RRGraph) PadXY(tile int) (int, int) {
+	if tile < g.Arch.W {
+		return -1, tile
+	}
+	return g.Arch.W, tile - g.Arch.W
+}

@@ -1,0 +1,179 @@
+// Package netlist defines the bit-level gate intermediate representation
+// shared by the synthesis, optimization, technology-mapping, and
+// verification stages: a DAG of simple gates (AND/OR/XOR/NOT/MUX) plus
+// D flip-flops with an implicit single clock and a global asynchronous
+// reset, as produced from RTL and consumed by the eFPGA flow.
+package netlist
+
+import "fmt"
+
+// Op is a gate type.
+type Op uint8
+
+// Gate types. Const0 and Const1 always occupy node ids 0 and 1.
+const (
+	Const0 Op = iota
+	Const1
+	Input // primary input
+	Not   // 1 input
+	And   // 2 inputs
+	Or    // 2 inputs
+	Xor   // 2 inputs
+	Mux   // 3 inputs: sel, d0 (sel=0), d1 (sel=1)
+	DFF   // 1 input: D; resets to 0 on the global asynchronous reset
+)
+
+var opNames = [...]string{"const0", "const1", "input", "not", "and", "or", "xor", "mux", "dff"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Arity returns the number of inputs the op consumes.
+func (o Op) Arity() int {
+	switch o {
+	case Const0, Const1, Input:
+		return 0
+	case Not, DFF:
+		return 1
+	case And, Or, Xor:
+		return 2
+	case Mux:
+		return 3
+	}
+	return 0
+}
+
+// Node is a single gate. Unused fan-in slots are -1.
+type Node struct {
+	Op Op
+	In [3]int32
+}
+
+// Netlist is a gate-level design. Node 0 is Const0 and node 1 is Const1.
+// Node indices of combinational fan-ins are always smaller than the node
+// itself (topological invariant); DFF D-inputs may point anywhere.
+type Netlist struct {
+	Name    string
+	Nodes   []Node
+	PIs     []int32
+	PINames []string
+	POs     []int32
+	PONames []string
+	DFFs    []int32 // all DFF node ids, in creation order
+}
+
+// New returns an empty netlist seeded with the two constant nodes.
+func New(name string) *Netlist {
+	n := &Netlist{Name: name}
+	n.Nodes = append(n.Nodes,
+		Node{Op: Const0, In: [3]int32{-1, -1, -1}},
+		Node{Op: Const1, In: [3]int32{-1, -1, -1}})
+	return n
+}
+
+// NumGates returns the number of logic gates (excluding constants,
+// inputs, and DFFs).
+func (n *Netlist) NumGates() int {
+	c := 0
+	for _, nd := range n.Nodes {
+		switch nd.Op {
+		case Not, And, Or, Xor, Mux:
+			c++
+		}
+	}
+	return c
+}
+
+// Stats summarizes the netlist for reports.
+type Stats struct {
+	Nodes  int
+	Gates  int
+	DFFs   int
+	PIs    int
+	POs    int
+	Levels int
+}
+
+// ComputeStats returns node counts and the combinational depth.
+func (n *Netlist) ComputeStats() Stats {
+	level := make([]int, len(n.Nodes))
+	maxLevel := 0
+	for i, nd := range n.Nodes {
+		l := 0
+		if nd.Op != DFF {
+			for k := 0; k < nd.Op.Arity(); k++ {
+				in := nd.In[k]
+				if in >= 0 && n.Nodes[in].Op != DFF {
+					if level[in] >= l {
+						l = level[in] + 1
+					}
+				} else if in >= 0 {
+					l = max(l, 1)
+				}
+			}
+		}
+		level[i] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	return Stats{
+		Nodes:  len(n.Nodes),
+		Gates:  n.NumGates(),
+		DFFs:   len(n.DFFs),
+		PIs:    len(n.PIs),
+		POs:    len(n.POs),
+		Levels: maxLevel,
+	}
+}
+
+// Validate checks structural invariants: fan-in indices in range, arity
+// respected, combinational fan-ins strictly before their consumers, and
+// every DFF D-input set.
+func (n *Netlist) Validate() error {
+	if len(n.Nodes) < 2 || n.Nodes[0].Op != Const0 || n.Nodes[1].Op != Const1 {
+		return fmt.Errorf("netlist %s: missing constant nodes", n.Name)
+	}
+	for i, nd := range n.Nodes {
+		ar := nd.Op.Arity()
+		for k := 0; k < 3; k++ {
+			in := nd.In[k]
+			if k < ar {
+				if in < 0 || int(in) >= len(n.Nodes) {
+					return fmt.Errorf("netlist %s: node %d (%s) fan-in %d out of range: %d",
+						n.Name, i, nd.Op, k, in)
+				}
+				if nd.Op != DFF && int(in) >= i {
+					return fmt.Errorf("netlist %s: node %d (%s) breaks topological order (fan-in %d)",
+						n.Name, i, nd.Op, in)
+				}
+			} else if in != -1 {
+				return fmt.Errorf("netlist %s: node %d (%s) has stray fan-in in slot %d",
+					n.Name, i, nd.Op, k)
+			}
+		}
+	}
+	if len(n.PIs) != len(n.PINames) {
+		return fmt.Errorf("netlist %s: PI/PIName length mismatch", n.Name)
+	}
+	if len(n.POs) != len(n.PONames) {
+		return fmt.Errorf("netlist %s: PO/POName length mismatch", n.Name)
+	}
+	for i, po := range n.POs {
+		if po < 0 || int(po) >= len(n.Nodes) {
+			return fmt.Errorf("netlist %s: PO %d (%s) out of range", n.Name, i, n.PONames[i])
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package netlist
+
+import (
+	"testing"
+)
+
+func TestBuilderSimplifications(t *testing.T) {
+	bd := NewBuilder("t")
+	a := bd.Input("a")
+	b := bd.Input("b")
+	cases := []struct {
+		name string
+		got  int32
+		want int32
+	}{
+		{"and(a,0)", bd.And(a, 0), 0},
+		{"and(a,1)", bd.And(a, 1), a},
+		{"and(a,a)", bd.And(a, a), a},
+		{"or(a,1)", bd.Or(a, 1), 1},
+		{"or(a,0)", bd.Or(a, 0), a},
+		{"or(a,a)", bd.Or(a, a), a},
+		{"xor(a,a)", bd.Xor(a, a), 0},
+		{"xor(a,0)", bd.Xor(a, 0), a},
+		{"not(not(a))", bd.Not(bd.Not(a)), a},
+		{"and(a,~a)", bd.And(a, bd.Not(a)), 0},
+		{"or(a,~a)", bd.Or(a, bd.Not(a)), 1},
+		{"xor(a,~a)", bd.Xor(a, bd.Not(a)), 1},
+		{"mux(0,a,b)", bd.Mux(0, a, b), a},
+		{"mux(1,a,b)", bd.Mux(1, a, b), b},
+		{"mux(s,a,a)", bd.Mux(b, a, a), a},
+		{"mux(s,0,1)", bd.Mux(a, 0, 1), a},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = node %d, want node %d", c.name, c.got, c.want)
+		}
+	}
+	// Hash-consing: identical structure returns the same node.
+	x1 := bd.And(a, b)
+	x2 := bd.And(b, a)
+	if x1 != x2 {
+		t.Errorf("hash consing failed: %d != %d", x1, x2)
+	}
+}
+
+func TestAdderSim(t *testing.T) {
+	bd := NewBuilder("add4")
+	var a, b []int32
+	for i := 0; i < 4; i++ {
+		a = append(a, bd.Input("a"))
+	}
+	for i := 0; i < 4; i++ {
+		b = append(b, bd.Input("b"))
+	}
+	sum, cout := bd.AddCarry(a, b, 0)
+	for i, s := range sum {
+		bd.Output("s", s)
+		_ = i
+	}
+	bd.Output("cout", cout)
+	if err := bd.N.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(bd.N)
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			in := x | y<<4
+			out := sim.EvalWords(in)
+			want := (x + y) & 0x1F
+			if out != want {
+				t.Fatalf("%d+%d: got %d, want %d", x, y, out, want)
+			}
+		}
+	}
+}
+
+func TestDFFSim(t *testing.T) {
+	// Two-bit shift register: q1 <= in, q2 <= q1.
+	bd := NewBuilder("shift")
+	in := bd.Input("in")
+	q1 := bd.DFF()
+	q2 := bd.DFF()
+	bd.SetD(q1, in)
+	bd.SetD(q2, q1)
+	bd.Output("out", q2)
+	if err := bd.N.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(bd.N)
+	sim.Reset()
+	seq := []uint64{1, 0, 1, 1, 0, 0, 1}
+	var got []uint64
+	for _, s := range seq {
+		got = append(got, sim.StepWords(s))
+	}
+	want := []uint64{0, 0, 1, 0, 1, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("step %d: out = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	// Broken topological order.
+	n := New("bad")
+	n.Nodes = append(n.Nodes, Node{Op: And, In: [3]int32{3, 0, -1}}) // node 2 refs node 3
+	n.Nodes = append(n.Nodes, Node{Op: Input, In: [3]int32{-1, -1, -1}})
+	if err := n.Validate(); err == nil {
+		t.Error("expected topological order violation")
+	}
+	// Out of range fan-in.
+	n2 := New("bad2")
+	n2.Nodes = append(n2.Nodes, Node{Op: Not, In: [3]int32{99, -1, -1}})
+	if err := n2.Validate(); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	// Stray fan-in on a 1-input op.
+	n3 := New("bad3")
+	n3.Nodes = append(n3.Nodes, Node{Op: Not, In: [3]int32{0, 0, -1}})
+	if err := n3.Validate(); err == nil {
+		t.Error("expected stray fan-in error")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	bd := NewBuilder("s")
+	a := bd.Input("a")
+	b := bd.Input("b")
+	x := bd.And(a, b)
+	y := bd.Or(x, a)
+	bd.Output("y", y)
+	st := bd.N.ComputeStats()
+	if st.Gates != 2 || st.PIs != 2 || st.POs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Levels != 2 {
+		t.Errorf("levels = %d, want 2", st.Levels)
+	}
+}

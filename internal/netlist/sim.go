@@ -1,0 +1,112 @@
+package netlist
+
+import "fmt"
+
+// Simulator is a two-valued cycle-accurate simulator for a netlist.
+// Combinational nodes are evaluated in index order, which the builder
+// guarantees to be a valid topological order; flip-flop outputs read the
+// registered state.
+type Simulator struct {
+	n     *Netlist
+	val   []bool
+	state []bool // indexed like Nodes; meaningful for DFF ids
+}
+
+// NewSimulator returns a simulator with all flip-flops reset to 0.
+func NewSimulator(n *Netlist) *Simulator {
+	return &Simulator{
+		n:     n,
+		val:   make([]bool, len(n.Nodes)),
+		state: make([]bool, len(n.Nodes)),
+	}
+}
+
+// Reset asserts the global asynchronous reset: all flip-flops go to 0.
+func (s *Simulator) Reset() {
+	for _, d := range s.n.DFFs {
+		s.state[d] = false
+	}
+}
+
+// Eval applies the primary input values (ordered like PIs) and settles
+// combinational logic, returning the primary output values.
+func (s *Simulator) Eval(inputs []bool) []bool {
+	if len(inputs) != len(s.n.PIs) {
+		panic(fmt.Sprintf("netlist sim: got %d inputs, want %d", len(inputs), len(s.n.PIs)))
+	}
+	for i, pi := range s.n.PIs {
+		s.val[pi] = inputs[i]
+	}
+	for i, nd := range s.n.Nodes {
+		switch nd.Op {
+		case Const0:
+			s.val[i] = false
+		case Const1:
+			s.val[i] = true
+		case Input:
+			// value already set from the inputs slice
+		case DFF:
+			s.val[i] = s.state[i]
+		case Not:
+			s.val[i] = !s.val[nd.In[0]]
+		case And:
+			s.val[i] = s.val[nd.In[0]] && s.val[nd.In[1]]
+		case Or:
+			s.val[i] = s.val[nd.In[0]] || s.val[nd.In[1]]
+		case Xor:
+			s.val[i] = s.val[nd.In[0]] != s.val[nd.In[1]]
+		case Mux:
+			if s.val[nd.In[0]] {
+				s.val[i] = s.val[nd.In[2]]
+			} else {
+				s.val[i] = s.val[nd.In[1]]
+			}
+		}
+	}
+	out := make([]bool, len(s.n.POs))
+	for i, po := range s.n.POs {
+		out[i] = s.val[po]
+	}
+	return out
+}
+
+// Step evaluates combinational logic for the given inputs and then
+// advances one clock edge, registering every flip-flop's D input.
+// It returns the pre-edge primary output values.
+func (s *Simulator) Step(inputs []bool) []bool {
+	out := s.Eval(inputs)
+	for _, d := range s.n.DFFs {
+		s.state[d] = s.val[s.n.Nodes[d].In[0]]
+	}
+	return out
+}
+
+// Value returns the most recently evaluated value of a node.
+func (s *Simulator) Value(id int32) bool { return s.val[id] }
+
+// EvalWords evaluates with inputs packed into a uint64 (bit i of word
+// drives PI i; at most 64 PIs) and returns outputs packed the same way.
+// Convenience for property tests.
+func (s *Simulator) EvalWords(in uint64) uint64 {
+	bits := make([]bool, len(s.n.PIs))
+	for i := range bits {
+		bits[i] = (in>>uint(i))&1 == 1
+	}
+	out := s.Eval(bits)
+	var w uint64
+	for i, b := range out {
+		if b {
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// StepWords is Step with packed inputs/outputs, like EvalWords.
+func (s *Simulator) StepWords(in uint64) uint64 {
+	out := s.EvalWords(in)
+	for _, d := range s.n.DFFs {
+		s.state[d] = s.val[s.n.Nodes[d].In[0]]
+	}
+	return out
+}

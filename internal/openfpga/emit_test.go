@@ -1,0 +1,39 @@
+package openfpga
+
+import (
+	"strings"
+	"testing"
+
+	"alice/internal/fabric"
+	"alice/internal/rtl"
+	"alice/internal/verilog"
+)
+
+func TestEmitFabricVerilogParsesAndElaborates(t *testing.T) {
+	src := EmitFabricVerilog(fabric.NewArch(2), "efpga_2x2")
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("emitted fabric does not parse: %v\n%s", err, src)
+	}
+	if _, err := rtl.Elaborate(ast, "efpga_2x2"); err != nil {
+		t.Fatalf("emitted fabric does not elaborate: %v", err)
+	}
+	for _, want := range []string{"alice_cfg_chain", "alice_clb", "alice_ble", "cfg_out"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted netlist missing %q", want)
+		}
+	}
+}
+
+func TestEmitFabricConfigBitsMatchBitstream(t *testing.T) {
+	// The emitted chain length must match the bitstream layout exactly
+	// for each fabric size.
+	for _, w := range []int{2, 3} {
+		arch := fabric.NewArch(w)
+		src := EmitFabricVerilog(arch, "f")
+		// The chain parameter appears as "#(.N(<bits>))".
+		if !strings.Contains(src, "alice_cfg_chain #(.N(") {
+			t.Fatalf("W=%d: chain instantiation missing", w)
+		}
+	}
+}

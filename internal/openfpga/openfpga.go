@@ -1,0 +1,294 @@
+// Package openfpga is the eFPGA customization oracle of the redaction
+// flow: given (a wrapper around) the module cluster to redact, it finds
+// the smallest admissible fabric, optionally runs the full
+// pack/place/route/bitstream implementation, and reports the I/O and
+// CLB utilizations the selection score of the paper (Eq. 1) needs.
+// It stands in for the OpenFPGA + Yosys + VPR toolchain of the paper.
+package openfpga
+
+import (
+	"fmt"
+	"math/rand"
+
+	"alice/internal/bitstream"
+	"alice/internal/fabric"
+	"alice/internal/netlist"
+	"alice/internal/opt"
+	"alice/internal/pack"
+	"alice/internal/place"
+	"alice/internal/route"
+	"alice/internal/rtl"
+	"alice/internal/synth"
+	"alice/internal/techmap"
+	"alice/internal/verilog"
+)
+
+// Options controls fabric characterization.
+type Options struct {
+	// MinW and MaxW bound the permitted fabric sizes (the "range of
+	// permitted fabric sizes" of Sec. 6).
+	MinW int
+	MaxW int
+	// FullPnR enables placement, routing, and bitstream generation. The
+	// fast mode (default) sizes fabrics from capacity and packing only,
+	// which is what the big Table-2 sweeps use.
+	FullPnR bool
+	// Seed feeds the placement annealer.
+	Seed int64
+	// RouteIters bounds PathFinder negotiation rounds.
+	RouteIters int
+	// UnifyClocks treats all clock pins as one clock domain (used for
+	// multi-module cluster wrappers).
+	UnifyClocks bool
+}
+
+// DefaultOptions returns the options used throughout the paper's
+// evaluation: fabrics from 2x2 to 20x20, fast characterization.
+func DefaultOptions() Options {
+	return Options{MinW: 2, MaxW: 20, FullPnR: false, Seed: 1, RouteIters: 24}
+}
+
+// Fabric is a characterized eFPGA implementation of one module cluster.
+type Fabric struct {
+	Arch fabric.Arch
+	// Pins is the aggregated I/O pin count charged to the cluster
+	// (paper semantics: the sum over member modules).
+	Pins int
+	// Synthesis artifacts.
+	Netlist *netlist.Netlist
+	LUTs    *techmap.LUTNetwork
+	Packing *pack.Packing
+	// Full-P&R artifacts (nil in fast mode).
+	RR        *fabric.RRGraph
+	Placement *place.Placement
+	Routing   *route.Result
+	Bits      *bitstream.Bits
+	// Utilizations for the Eq. 1 score.
+	IOUtil  float64
+	CLBUtil float64
+}
+
+// ConfigBits returns the bitstream length (the attacker's key size):
+// exact when the fabric was fully implemented, modeled otherwise.
+func (f *Fabric) ConfigBits() int {
+	if f.Bits != nil {
+		return f.Bits.N
+	}
+	return f.Arch.ConfigBits()
+}
+
+// Characterize implements CreateEFPGA of Algorithm 3: synthesize the
+// cluster wrapper named top, map it to LUTs, and search the smallest
+// admissible fabric in [MinW, MaxW].
+func Characterize(ast *verilog.Design, top string, pins int, o Options) (*Fabric, error) {
+	d, err := rtl.Elaborate(ast, top)
+	if err != nil {
+		return nil, err
+	}
+	res, err := synth.SynthesizeOpts(d, synth.Options{UnifyClocks: o.UnifyClocks})
+	if err != nil {
+		return nil, err
+	}
+	n := opt.Optimize(res.Netlist)
+	ln, err := techmap.Map(n)
+	if err != nil {
+		return nil, err
+	}
+	rewriteConstPOs(ln)
+	return characterizeLUTs(n, ln, pins, o)
+}
+
+// characterizeLUTs searches the permitted fabric range for the smallest
+// implementation of an already-mapped network.
+func characterizeLUTs(n *netlist.Netlist, ln *techmap.LUTNetwork, pins int, o Options) (*Fabric, error) {
+	if o.MinW < 1 {
+		o.MinW = 1
+	}
+	var lastErr error
+	for w := o.MinW; w <= o.MaxW; w++ {
+		arch := fabric.NewArch(w)
+		if !arch.FitsIO(pins) {
+			lastErr = fmt.Errorf("openfpga: %d pins exceed %s capacity %d", pins, arch.Name(), arch.IOCapacity())
+			continue
+		}
+		if !arch.FitsLUTs(ln.NumLUTs(), ln.NumFFs()) {
+			lastErr = fmt.Errorf("openfpga: %d LUTs exceed %s capacity %d", ln.NumLUTs(), arch.Name(), arch.LUTCapacity())
+			continue
+		}
+		// Real I/O of the netlist must also fit (clock/reset handled by
+		// dedicated networks, so only data pins count here).
+		if len(ln.PIs)+len(ln.POs) > arch.IOCapacity() {
+			lastErr = fmt.Errorf("openfpga: netlist I/O %d exceeds %s", len(ln.PIs)+len(ln.POs), arch.Name())
+			continue
+		}
+		p, err := pack.Pack(ln, arch)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		f := &Fabric{
+			Arch:    arch,
+			Pins:    pins,
+			Netlist: n,
+			LUTs:    ln,
+			Packing: p,
+			IOUtil:  float64(pins) / float64(arch.IOCapacity()),
+			CLBUtil: float64(p.NumCLBs()) / float64(arch.CLBCount()),
+		}
+		if !o.FullPnR {
+			return f, nil
+		}
+		if err := Implement(f, o); err != nil {
+			lastErr = err
+			continue // try a larger fabric: more routing resources
+		}
+		return f, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("openfpga: empty fabric range [%d,%d]", o.MinW, o.MaxW)
+	}
+	return nil, fmt.Errorf("openfpga: no admissible fabric in [%dx%d, %dx%d]: %w",
+		o.MinW, o.MinW, o.MaxW, o.MaxW, lastErr)
+}
+
+// Recharacterize reruns the fabric-size search for an already
+// synthesized fabric, typically to upgrade a fast-mode result to a full
+// implementation (possibly on a larger fabric if routing demands it).
+func Recharacterize(f *Fabric, o Options) (*Fabric, error) {
+	if o.MinW < f.Arch.W {
+		o.MinW = f.Arch.W
+	}
+	return characterizeLUTs(f.Netlist, f.LUTs, f.Pins, o)
+}
+
+// Implement runs placement, routing, and bitstream generation on a
+// fast-characterized fabric, upgrading it in place.
+func Implement(f *Fabric, o Options) error {
+	g := fabric.BuildRRGraph(f.Arch)
+	pl, err := place.Place(f.Packing, o.Seed)
+	if err != nil {
+		return err
+	}
+	rt, err := route.Route(pl, g, o.RouteIters)
+	if err != nil {
+		return err
+	}
+	if err := rt.Validate(); err != nil {
+		return err
+	}
+	bits, err := bitstream.Generate(pl, rt)
+	if err != nil {
+		return err
+	}
+	f.RR, f.Placement, f.Routing, f.Bits = g, pl, rt, bits
+	return nil
+}
+
+// VerifyBitstream decodes the generated bitstream back into a circuit
+// and checks it against the mapped LUT network over random stimulus.
+// This closes the loop: fabric + bitstream == redacted module.
+func VerifyBitstream(f *Fabric, steps int, seed int64) error {
+	if f.Bits == nil {
+		return fmt.Errorf("openfpga: fabric has no bitstream (fast mode); call Implement first")
+	}
+	dec, err := bitstream.Decode(f.RR, f.Bits)
+	if err != nil {
+		return err
+	}
+	// Align decoded pad-ordered I/O with the original network's order.
+	piPerm := make([]int, len(f.LUTs.PIs)) // original PI index -> decoded index
+	decPI := make(map[string]int)
+	for j, name := range dec.PINames {
+		decPI[name] = j
+	}
+	for i, pi := range f.LUTs.PIs {
+		pad := f.Placement.PIPad[pi]
+		name := bitstream.PadName(pad.Tile, pad.Pin)
+		j, ok := decPI[name]
+		if !ok {
+			// An unused input never appears in the decoded network; mark
+			// it so stimulus for it is simply dropped.
+			piPerm[i] = -1
+			continue
+		}
+		piPerm[i] = j
+	}
+	poPerm := make([]int, len(f.LUTs.POs))
+	decPO := make(map[string]int)
+	for j, name := range dec.PONames {
+		decPO[name] = j
+	}
+	for i := range f.LUTs.POs {
+		pad := f.Placement.POPad[i]
+		name := bitstream.PadName(pad.Tile, pad.Pin)
+		j, ok := decPO[name]
+		if !ok {
+			return fmt.Errorf("openfpga: output %s missing from decoded fabric", f.LUTs.PONames[i])
+		}
+		poPerm[i] = j
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	s1 := techmap.NewLUTSim(f.LUTs)
+	s2 := techmap.NewLUTSim(dec)
+	s1.Reset()
+	s2.Reset()
+	in1 := make([]bool, len(f.LUTs.PIs))
+	in2 := make([]bool, len(dec.PIs))
+	for step := 0; step < steps; step++ {
+		for i := range in1 {
+			in1[i] = r.Intn(2) == 1
+			if j := piPerm[i]; j >= 0 {
+				in2[j] = in1[i]
+			}
+		}
+		o1 := s1.Step(in1)
+		o2 := s2.Step(in2)
+		for i := range o1 {
+			if o1[i] != o2[poPerm[i]] {
+				return fmt.Errorf("openfpga: bitstream mismatch at step %d output %s",
+					step, f.LUTs.PONames[i])
+			}
+		}
+	}
+	return nil
+}
+
+// rewriteConstPOs replaces constant primary outputs with constant-
+// generator LUTs (a LUT whose sole input is the always-0 unused
+// crossbar source), so every output pad has a routable driver.
+func rewriteConstPOs(ln *techmap.LUTNetwork) {
+	var c0LUT, c1LUT int32 = -1, -1
+	mk := func(mask uint16) int32 {
+		id := int32(len(ln.Nodes))
+		ln.Nodes = append(ln.Nodes, techmap.LNode{
+			Kind: techmap.LLUT, Mask: mask, In: []int32{constZeroNode(ln)},
+		})
+		return id
+	}
+	for i, po := range ln.POs {
+		switch ln.Nodes[po].Kind {
+		case techmap.LConst0:
+			if c0LUT < 0 {
+				c0LUT = mk(0x0000)
+			}
+			ln.POs[i] = c0LUT
+		case techmap.LConst1:
+			if c1LUT < 0 {
+				c1LUT = mk(0x0001) // input stuck at 0 selects mask bit 0
+			}
+			ln.POs[i] = c1LUT
+		}
+	}
+}
+
+// constZeroNode finds the LConst0 node (index 0 by construction in both
+// techmap and decode outputs, but search defensively).
+func constZeroNode(ln *techmap.LUTNetwork) int32 {
+	for i, n := range ln.Nodes {
+		if n.Kind == techmap.LConst0 {
+			return int32(i)
+		}
+	}
+	return 0
+}

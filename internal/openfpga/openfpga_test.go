@@ -1,0 +1,155 @@
+package openfpga
+
+import (
+	"testing"
+
+	"alice/internal/verilog"
+)
+
+func parse(t *testing.T, src string) *verilog.Design {
+	t.Helper()
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return ast
+}
+
+const combSrc = `
+module combo (input wire [3:0] a, input wire [3:0] b, output wire [3:0] y,
+              output wire any);
+  assign y = (a & b) ^ (a + b);
+  assign any = |y;
+endmodule
+`
+
+const seqSrc = `
+module seqm (input wire clk, input wire rst, input wire en,
+             input wire [3:0] d, output reg [3:0] q, output wire odd);
+  always @(posedge clk or posedge rst) begin
+    if (rst) q <= 4'd0;
+    else if (en) q <= q + d;
+  end
+  assign odd = q[0];
+endmodule
+`
+
+func TestCharacterizeFast(t *testing.T) {
+	ast := parse(t, combSrc)
+	f, err := Characterize(ast, "combo", 13, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Arch.W < 1 || f.Arch.W > 3 {
+		t.Errorf("tiny module got fabric %s", f.Arch.Name())
+	}
+	if f.IOUtil <= 0 || f.IOUtil > 1 || f.CLBUtil <= 0 || f.CLBUtil > 1 {
+		t.Errorf("utilizations out of range: io=%f clb=%f", f.IOUtil, f.CLBUtil)
+	}
+	if err := f.Packing.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharacterizeRespectsRange(t *testing.T) {
+	ast := parse(t, combSrc)
+	o := DefaultOptions()
+	o.MinW = 5
+	f, err := Characterize(ast, "combo", 13, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Arch.W != 5 {
+		t.Errorf("MinW ignored: got %s", f.Arch.Name())
+	}
+	o = DefaultOptions()
+	o.MaxW = 0
+	if _, err := Characterize(ast, "combo", 13, o); err == nil {
+		t.Error("expected failure with empty fabric range")
+	}
+}
+
+func TestCharacterizeIOBound(t *testing.T) {
+	// 200 pins need W >= 13 (16W >= 200) regardless of tiny logic.
+	ast := parse(t, combSrc)
+	f, err := Characterize(ast, "combo", 200, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Arch.IOCapacity() < 200 {
+		t.Errorf("fabric %s cannot host 200 pins", f.Arch.Name())
+	}
+	if f.Arch.W != 13 {
+		t.Errorf("expected 13x13 for 200 pins, got %s", f.Arch.Name())
+	}
+}
+
+func TestFullPnRAndBitstreamComb(t *testing.T) {
+	ast := parse(t, combSrc)
+	o := DefaultOptions()
+	o.FullPnR = true
+	f, err := Characterize(ast, "combo", 13, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Bits == nil || f.Routing == nil || f.Placement == nil {
+		t.Fatal("full PnR artifacts missing")
+	}
+	if f.Bits.N != f.ConfigBits() {
+		t.Errorf("ConfigBits() = %d, bitstream = %d", f.ConfigBits(), f.Bits.N)
+	}
+	if err := VerifyBitstream(f, 200, 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullPnRAndBitstreamSeq(t *testing.T) {
+	ast := parse(t, seqSrc)
+	o := DefaultOptions()
+	o.FullPnR = true
+	f, err := Characterize(ast, "seqm", 12, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBitstream(f, 300, 7); err != nil {
+		t.Fatal(err)
+	}
+	if f.LUTs.NumFFs() != 4 {
+		t.Errorf("FFs = %d, want 4", f.LUTs.NumFFs())
+	}
+}
+
+func TestConstOutputsProgrammable(t *testing.T) {
+	ast := parse(t, `
+module c (input wire a, output wire z, output wire o, output wire t);
+  assign z = 1'b0;
+  assign o = 1'b1;
+  assign t = a;
+endmodule`)
+	o := DefaultOptions()
+	o.FullPnR = true
+	f, err := Characterize(ast, "c", 4, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBitstream(f, 50, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigBitsGrowWithFabric(t *testing.T) {
+	ast := parse(t, combSrc)
+	small, err := Characterize(ast, "combo", 13, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.MinW = small.Arch.W + 4
+	big, err := Characterize(ast, "combo", 13, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.ConfigBits() <= small.ConfigBits() {
+		t.Errorf("config bits did not grow: %d vs %d", small.ConfigBits(), big.ConfigBits())
+	}
+}

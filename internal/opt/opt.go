@@ -1,0 +1,113 @@
+// Package opt implements netlist optimization: constant propagation,
+// structural hashing, peephole simplification, sequential sweeping of
+// constant flip-flops, and dead-code elimination. It plays the role the
+// RTL/logic optimization steps of Yosys play inside the OpenFPGA flow
+// the paper relies on.
+package opt
+
+import "alice/internal/netlist"
+
+// Optimize returns a semantically equivalent netlist with redundant
+// logic removed. Primary inputs are preserved (including unused ones) so
+// the module interface is unchanged; dead internal logic and flip-flops
+// are dropped, shared subexpressions are merged, and flip-flops whose D
+// input is constant 0 are replaced by the constant (their reset value).
+func Optimize(n *netlist.Netlist) *netlist.Netlist {
+	cur := n
+	for iter := 0; iter < 8; iter++ {
+		next := rebuild(cur)
+		if len(next.Nodes) == len(cur.Nodes) && iter > 0 {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}
+
+// rebuild reconstructs the netlist through a Builder, visiting only live
+// nodes (reachable from primary outputs through combinational edges and
+// flip-flop D inputs).
+func rebuild(n *netlist.Netlist) *netlist.Netlist {
+	live := markLive(n)
+	bd := netlist.NewBuilder(n.Name)
+	nmap := make([]int32, len(n.Nodes))
+	for i := range nmap {
+		nmap[i] = -1
+	}
+	nmap[0] = 0
+	nmap[1] = 1
+
+	// Preserve the full PI interface in order.
+	for i, pi := range n.PIs {
+		nmap[pi] = bd.Input(n.PINames[i])
+	}
+	// Create live DFFs up front; a DFF whose D input is already constant
+	// 0 is replaced by const0 (it can never leave its reset value).
+	for _, d := range n.DFFs {
+		if !live[d] {
+			continue
+		}
+		if n.Nodes[d].In[0] == 0 {
+			nmap[d] = 0
+			continue
+		}
+		nmap[d] = bd.DFF()
+	}
+	// Rebuild live combinational nodes in (topological) index order.
+	for i, nd := range n.Nodes {
+		if !live[i] || nmap[i] != -1 {
+			continue
+		}
+		switch nd.Op {
+		case netlist.Not:
+			nmap[i] = bd.Not(nmap[nd.In[0]])
+		case netlist.And:
+			nmap[i] = bd.And(nmap[nd.In[0]], nmap[nd.In[1]])
+		case netlist.Or:
+			nmap[i] = bd.Or(nmap[nd.In[0]], nmap[nd.In[1]])
+		case netlist.Xor:
+			nmap[i] = bd.Xor(nmap[nd.In[0]], nmap[nd.In[1]])
+		case netlist.Mux:
+			nmap[i] = bd.Mux(nmap[nd.In[0]], nmap[nd.In[1]], nmap[nd.In[2]])
+		case netlist.Input:
+			// Dead input already handled above.
+		}
+	}
+	// Connect DFF D inputs.
+	for _, d := range n.DFFs {
+		if !live[d] || nmap[d] == 0 {
+			continue
+		}
+		bd.SetD(nmap[d], nmap[n.Nodes[d].In[0]])
+	}
+	for i, po := range n.POs {
+		bd.Output(n.PONames[i], nmap[po])
+	}
+	return bd.N
+}
+
+// markLive returns the set of nodes reachable from the primary outputs,
+// following combinational fan-ins and flip-flop D inputs.
+func markLive(n *netlist.Netlist) []bool {
+	live := make([]bool, len(n.Nodes))
+	live[0], live[1] = true, true
+	var stack []int32
+	push := func(id int32) {
+		if id >= 0 && !live[id] {
+			live[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, po := range n.POs {
+		push(po)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := n.Nodes[id]
+		for k := 0; k < nd.Op.Arity(); k++ {
+			push(nd.In[k])
+		}
+	}
+	return live
+}

@@ -1,0 +1,167 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"alice/internal/netlist"
+)
+
+// randomRawNetlist builds an unoptimized netlist directly (bypassing the
+// builder's simplifications) so the optimizer has real work to do.
+func randomRawNetlist(r *rand.Rand) *netlist.Netlist {
+	n := netlist.New("rand")
+	nPI := 2 + r.Intn(6)
+	for i := 0; i < nPI; i++ {
+		id := int32(len(n.Nodes))
+		n.Nodes = append(n.Nodes, netlist.Node{Op: netlist.Input, In: [3]int32{-1, -1, -1}})
+		n.PIs = append(n.PIs, id)
+		n.PINames = append(n.PINames, string(rune('a'+i)))
+	}
+	var dffs []int32
+	nGates := 5 + r.Intn(60)
+	for i := 0; i < nGates; i++ {
+		pick := func() int32 { return int32(r.Intn(len(n.Nodes))) }
+		id := int32(len(n.Nodes))
+		switch r.Intn(6) {
+		case 0:
+			n.Nodes = append(n.Nodes, netlist.Node{Op: netlist.Not, In: [3]int32{pick(), -1, -1}})
+		case 1:
+			n.Nodes = append(n.Nodes, netlist.Node{Op: netlist.And, In: [3]int32{pick(), pick(), -1}})
+		case 2:
+			n.Nodes = append(n.Nodes, netlist.Node{Op: netlist.Or, In: [3]int32{pick(), pick(), -1}})
+		case 3:
+			n.Nodes = append(n.Nodes, netlist.Node{Op: netlist.Xor, In: [3]int32{pick(), pick(), -1}})
+		case 4:
+			n.Nodes = append(n.Nodes, netlist.Node{Op: netlist.Mux, In: [3]int32{pick(), pick(), pick()}})
+		case 5:
+			n.Nodes = append(n.Nodes, netlist.Node{Op: netlist.DFF, In: [3]int32{-1, -1, -1}})
+			n.DFFs = append(n.DFFs, id)
+			dffs = append(dffs, id)
+		}
+	}
+	// Connect DFF D inputs to arbitrary nodes (may be later nodes).
+	for _, d := range dffs {
+		n.Nodes[d].In[0] = int32(r.Intn(len(n.Nodes)))
+	}
+	nPO := 1 + r.Intn(4)
+	for i := 0; i < nPO; i++ {
+		n.POs = append(n.POs, int32(r.Intn(len(n.Nodes))))
+		n.PONames = append(n.PONames, "o")
+	}
+	return n
+}
+
+// TestQuickOptimizePreservesBehaviour: the optimized netlist behaves
+// identically over random input sequences, including sequential state.
+func TestQuickOptimizePreservesBehaviour(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomRawNetlist(r)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("raw netlist invalid: %v", err)
+		}
+		o := Optimize(n)
+		if err := o.Validate(); err != nil {
+			t.Logf("optimized netlist invalid: %v", err)
+			return false
+		}
+		if len(o.PIs) != len(n.PIs) || len(o.POs) != len(n.POs) {
+			t.Logf("interface changed: PIs %d->%d POs %d->%d",
+				len(n.PIs), len(o.PIs), len(n.POs), len(o.POs))
+			return false
+		}
+		s1 := netlist.NewSimulator(n)
+		s2 := netlist.NewSimulator(o)
+		s1.Reset()
+		s2.Reset()
+		for step := 0; step < 20; step++ {
+			in := r.Uint64()
+			if s1.StepWords(in) != s2.StepWords(in) {
+				t.Logf("mismatch at step %d", step)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOptimizeShrinks: optimization never grows the node count.
+func TestQuickOptimizeShrinks(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomRawNetlist(r)
+		o := Optimize(n)
+		return len(o.Nodes) <= len(n.Nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeConstFold(t *testing.T) {
+	// x = (a AND 0) OR (b XOR b) must fold to constant 0.
+	n := netlist.New("fold")
+	add := func(nd netlist.Node) int32 {
+		id := int32(len(n.Nodes))
+		n.Nodes = append(n.Nodes, nd)
+		return id
+	}
+	a := add(netlist.Node{Op: netlist.Input, In: [3]int32{-1, -1, -1}})
+	n.PIs = append(n.PIs, a)
+	n.PINames = append(n.PINames, "a")
+	b := add(netlist.Node{Op: netlist.Input, In: [3]int32{-1, -1, -1}})
+	n.PIs = append(n.PIs, b)
+	n.PINames = append(n.PINames, "b")
+	x := add(netlist.Node{Op: netlist.And, In: [3]int32{a, 0, -1}})
+	y := add(netlist.Node{Op: netlist.Xor, In: [3]int32{b, b, -1}})
+	z := add(netlist.Node{Op: netlist.Or, In: [3]int32{x, y, -1}})
+	n.POs = append(n.POs, z)
+	n.PONames = append(n.PONames, "z")
+
+	o := Optimize(n)
+	if o.POs[0] != 0 {
+		t.Errorf("PO = node %d, want const0", o.POs[0])
+	}
+	if o.NumGates() != 0 {
+		t.Errorf("gates remain: %d", o.NumGates())
+	}
+}
+
+func TestOptimizeSweepsConstDFF(t *testing.T) {
+	// DFF with D tied to 0 stays 0 forever (reset value 0) and must be
+	// swept; a DFF chain q2 <= q1 <= 0 must fully collapse.
+	bd := netlist.NewBuilder("sweep")
+	a := bd.Input("a")
+	q1 := bd.DFF()
+	q2 := bd.DFF()
+	bd.SetD(q1, 0)
+	bd.SetD(q2, q1)
+	bd.Output("o", bd.And(a, bd.Not(q2)))
+	o := Optimize(bd.N)
+	if len(o.DFFs) != 0 {
+		t.Errorf("DFFs remain: %d", len(o.DFFs))
+	}
+	// o = a & ~0 = a.
+	if o.POs[0] != o.PIs[0] {
+		t.Errorf("PO should collapse to input a")
+	}
+}
+
+func TestOptimizeKeepsUnusedPIs(t *testing.T) {
+	bd := netlist.NewBuilder("iface")
+	bd.Input("unused")
+	b := bd.Input("b")
+	bd.Output("o", b)
+	o := Optimize(bd.N)
+	if len(o.PIs) != 2 {
+		t.Errorf("PIs = %d, want 2 (interface preserved)", len(o.PIs))
+	}
+	if o.PINames[0] != "unused" {
+		t.Errorf("PI order changed: %v", o.PINames)
+	}
+}

@@ -1,0 +1,262 @@
+// Package pack clusters a mapped LUT network into the BLEs and CLBs of
+// an eFPGA fabric (VPack-style greedy packing): first LUT/FF pairs are
+// fused into basic logic elements, then BLEs are grouped into CLBs
+// under the cluster size and input-pin constraints, maximizing shared
+// nets.
+package pack
+
+import (
+	"fmt"
+	"sort"
+
+	"alice/internal/fabric"
+	"alice/internal/techmap"
+)
+
+// BLE is one basic logic element: an optional LUT and an optional FF.
+// Output semantics: if FF >= 0 the BLE output is the registered value;
+// the unregistered LUT output remains available only when the FF input
+// is that same LUT (fabric BLEs expose one output, selected by a config
+// bit).
+type BLE struct {
+	LUT int32 // LUT node id in the LUTNetwork, or -1
+	FF  int32 // FF node id, or -1
+}
+
+// Out returns the LUTNetwork node whose value this BLE outputs.
+func (b BLE) Out() int32 {
+	if b.FF >= 0 {
+		return b.FF
+	}
+	return b.LUT
+}
+
+// CLB is a cluster of up to BLEsPerCLB BLEs.
+type CLB struct {
+	BLEs []BLE
+	// Inputs are the LUTNetwork node ids feeding this CLB from outside.
+	Inputs []int32
+}
+
+// Packing is the result of clustering a LUT network.
+type Packing struct {
+	Net  *techmap.LUTNetwork
+	Arch fabric.Arch
+	CLBs []CLB
+	// Loc maps each BLE-output node id to its (clb, ble) position.
+	Loc map[int32][2]int
+}
+
+// NumCLBs returns the number of occupied CLBs.
+func (p *Packing) NumCLBs() int { return len(p.CLBs) }
+
+// Pack clusters the LUT network for the given architecture. It fails if
+// the network does not fit the fabric's CLB count or if a single BLE's
+// connectivity cannot satisfy the CLB input bound.
+func Pack(ln *techmap.LUTNetwork, arch fabric.Arch) (*Packing, error) {
+	bles, err := buildBLEs(ln)
+	if err != nil {
+		return nil, err
+	}
+	clbs, err := clusterBLEs(ln, bles, arch)
+	if err != nil {
+		return nil, err
+	}
+	if len(clbs) > arch.CLBCount() {
+		return nil, fmt.Errorf("pack: %s needs %d CLBs but fabric %s has %d",
+			ln.Name, len(clbs), arch.Name(), arch.CLBCount())
+	}
+	p := &Packing{Net: ln, Arch: arch, CLBs: clbs, Loc: make(map[int32][2]int)}
+	for ci := range clbs {
+		for bi, b := range clbs[ci].BLEs {
+			p.Loc[b.Out()] = [2]int{ci, bi}
+		}
+	}
+	return p, nil
+}
+
+// buildBLEs fuses FFs with their driving LUTs where legal.
+func buildBLEs(ln *techmap.LUTNetwork) ([]BLE, error) {
+	fanout := make([]int, len(ln.Nodes))
+	for _, n := range ln.Nodes {
+		for _, in := range n.In {
+			fanout[in]++
+		}
+	}
+	for _, po := range ln.POs {
+		fanout[po]++
+	}
+	usedLUT := make(map[int32]bool)
+	var bles []BLE
+	for _, f := range ln.FFs {
+		d := ln.Nodes[f].In[0]
+		if ln.Nodes[d].Kind == techmap.LLUT && fanout[d] == 1 && !usedLUT[d] {
+			// Fuse: LUT feeds only this FF.
+			usedLUT[d] = true
+			bles = append(bles, BLE{LUT: d, FF: f})
+		} else {
+			bles = append(bles, BLE{LUT: -1, FF: f})
+		}
+	}
+	for i, n := range ln.Nodes {
+		if n.Kind == techmap.LLUT && !usedLUT[int32(i)] {
+			bles = append(bles, BLE{LUT: int32(i), FF: -1})
+		}
+	}
+	return bles, nil
+}
+
+// bleInputs returns the external nodes a BLE reads.
+func bleInputs(ln *techmap.LUTNetwork, b BLE) []int32 {
+	var ins []int32
+	if b.LUT >= 0 {
+		ins = append(ins, ln.Nodes[b.LUT].In...)
+	}
+	if b.FF >= 0 {
+		d := ln.Nodes[b.FF].In[0]
+		if d != b.LUT {
+			ins = append(ins, d)
+		}
+	}
+	return ins
+}
+
+// clusterBLEs groups BLEs into CLBs greedily by attraction (number of
+// shared nets), respecting the cluster size and external-input bounds.
+func clusterBLEs(ln *techmap.LUTNetwork, bles []BLE, arch fabric.Arch) ([]CLB, error) {
+	n := len(bles)
+	placed := make([]bool, n)
+	// Sort seeds by descending input count for better fills.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(bleInputs(ln, bles[order[a]])) > len(bleInputs(ln, bles[order[b]]))
+	})
+
+	// clbExternalInputs computes the distinct external inputs if members
+	// joined one CLB.
+	external := func(members []int) []int32 {
+		inside := make(map[int32]bool)
+		for _, m := range members {
+			inside[bles[m].Out()] = true
+		}
+		seen := make(map[int32]bool)
+		var ext []int32
+		for _, m := range members {
+			for _, in := range bleInputs(ln, bles[m]) {
+				k := ln.Nodes[in].Kind
+				if k == techmap.LConst0 || k == techmap.LConst1 {
+					continue
+				}
+				if inside[in] || seen[in] {
+					continue
+				}
+				seen[in] = true
+				ext = append(ext, in)
+			}
+		}
+		return ext
+	}
+
+	var clbs []CLB
+	for _, seed := range order {
+		if placed[seed] {
+			continue
+		}
+		members := []int{seed}
+		placed[seed] = true
+		if len(external(members)) > arch.CLBInputs {
+			return nil, fmt.Errorf("pack: %s: a single BLE needs %d inputs, CLB offers %d",
+				ln.Name, len(external(members)), arch.CLBInputs)
+		}
+		for len(members) < arch.BLEsPerCLB {
+			best, bestGain := -1, -1
+			for _, cand := range order {
+				if placed[cand] {
+					continue
+				}
+				trial := append(append([]int(nil), members...), cand)
+				ext := external(trial)
+				if len(ext) > arch.CLBInputs {
+					continue
+				}
+				gain := sharedNets(ln, bles, members, cand)
+				if gain > bestGain {
+					bestGain, best = gain, cand
+				}
+			}
+			if best == -1 {
+				break
+			}
+			members = append(members, best)
+			placed[best] = true
+		}
+		clb := CLB{}
+		for _, m := range members {
+			clb.BLEs = append(clb.BLEs, bles[m])
+		}
+		clb.Inputs = external(members)
+		clbs = append(clbs, clb)
+	}
+	return clbs, nil
+}
+
+// sharedNets counts connectivity between a candidate BLE and the current
+// members (shared inputs plus direct feeding).
+func sharedNets(ln *techmap.LUTNetwork, bles []BLE, members []int, cand int) int {
+	memberIn := make(map[int32]bool)
+	memberOut := make(map[int32]bool)
+	for _, m := range members {
+		memberOut[bles[m].Out()] = true
+		for _, in := range bleInputs(ln, bles[m]) {
+			memberIn[in] = true
+		}
+	}
+	gain := 0
+	for _, in := range bleInputs(ln, bles[cand]) {
+		if memberIn[in] {
+			gain++
+		}
+		if memberOut[in] {
+			gain += 2 // direct producer-consumer adjacency is best
+		}
+	}
+	if memberIn[bles[cand].Out()] {
+		gain += 2
+	}
+	return gain
+}
+
+// Validate checks packing invariants: every LUT/FF appears exactly once,
+// cluster sizes and input bounds hold.
+func (p *Packing) Validate() error {
+	seen := make(map[int32]int)
+	for ci, clb := range p.CLBs {
+		if len(clb.BLEs) > p.Arch.BLEsPerCLB {
+			return fmt.Errorf("pack: CLB %d has %d BLEs (max %d)", ci, len(clb.BLEs), p.Arch.BLEsPerCLB)
+		}
+		if len(clb.Inputs) > p.Arch.CLBInputs {
+			return fmt.Errorf("pack: CLB %d has %d inputs (max %d)", ci, len(clb.Inputs), p.Arch.CLBInputs)
+		}
+		for _, b := range clb.BLEs {
+			if b.LUT >= 0 {
+				seen[b.LUT]++
+			}
+			if b.FF >= 0 {
+				seen[b.FF]++
+			}
+		}
+	}
+	for i, n := range p.Net.Nodes {
+		want := 0
+		if n.Kind == techmap.LLUT || n.Kind == techmap.LFF {
+			want = 1
+		}
+		if got := seen[int32(i)]; got != want {
+			return fmt.Errorf("pack: node %d (%s) packed %d times, want %d", i, n.Kind, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package pack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"alice/internal/fabric"
+	"alice/internal/netlist"
+	"alice/internal/opt"
+	"alice/internal/techmap"
+)
+
+func randomLUTNetwork(r *rand.Rand) *techmap.LUTNetwork {
+	bd := netlist.NewBuilder("r")
+	var pool []int32
+	for i := 0; i < 2+r.Intn(6); i++ {
+		pool = append(pool, bd.Input(string(rune('a'+i))))
+	}
+	var dffs []int32
+	for i := 0; i < r.Intn(5); i++ {
+		d := bd.DFF()
+		dffs = append(dffs, d)
+		pool = append(pool, d)
+	}
+	pick := func() int32 { return pool[r.Intn(len(pool))] }
+	for i := 0; i < 10+r.Intn(80); i++ {
+		var id int32
+		switch r.Intn(4) {
+		case 0:
+			id = bd.And(pick(), pick())
+		case 1:
+			id = bd.Or(pick(), pick())
+		case 2:
+			id = bd.Xor(pick(), pick())
+		case 3:
+			id = bd.Mux(pick(), pick(), pick())
+		}
+		pool = append(pool, id)
+	}
+	for _, d := range dffs {
+		bd.SetD(d, pick())
+	}
+	for i := 0; i < 1+r.Intn(5); i++ {
+		bd.Output("o", pick())
+	}
+	ln, err := techmap.Map(opt.Optimize(bd.N))
+	if err != nil {
+		panic(err)
+	}
+	return ln
+}
+
+// Property: packing is a partition (every LUT/FF exactly once) under
+// all constraints.
+func TestQuickPackIsValidPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ln := randomLUTNetwork(r)
+		arch := fabric.NewArch(8)
+		p, err := Pack(ln, arch)
+		if err != nil {
+			t.Logf("pack failed: %v", err)
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackRespectsCapacity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ln := randomLUTNetwork(r)
+	needed := ln.NumLUTs() + ln.NumFFs() // upper bound on BLEs
+	// A fabric that's clearly too small must fail.
+	tiny := fabric.NewArch(1)
+	if needed > tiny.LUTCapacity() {
+		if _, err := Pack(ln, tiny); err == nil {
+			t.Error("packing into a too-small fabric should fail")
+		}
+	}
+	// A big fabric succeeds.
+	big := fabric.NewArch(10)
+	p, err := Pack(ln, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackFusesLUTFFPairs(t *testing.T) {
+	bd := netlist.NewBuilder("fuse")
+	a := bd.Input("a")
+	b := bd.Input("b")
+	x := bd.And(a, b)
+	d := bd.DFF()
+	bd.SetD(d, x)
+	bd.Output("q", d)
+	ln, err := techmap.Map(bd.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Pack(ln, fabric.NewArch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One BLE: fused LUT+FF.
+	total := 0
+	for _, clb := range p.CLBs {
+		for _, ble := range clb.BLEs {
+			total++
+			if ble.LUT < 0 || ble.FF < 0 {
+				t.Errorf("expected fused BLE, got %+v", ble)
+			}
+		}
+	}
+	if total != 1 {
+		t.Errorf("BLEs = %d, want 1", total)
+	}
+}

@@ -1,0 +1,323 @@
+// Package place assigns packed CLBs to grid locations and primary I/Os
+// to GPIO pads using simulated annealing over half-perimeter wirelength,
+// in the style of VPR's placer.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"alice/internal/pack"
+	"alice/internal/techmap"
+)
+
+// XY is a grid coordinate.
+type XY struct{ X, Y int }
+
+// Pad identifies a GPIO position: tile index (0..2W-1) and pin.
+type Pad struct{ Tile, Pin int }
+
+// Placement maps packing results onto the fabric.
+type Placement struct {
+	Pack   *pack.Packing
+	CLBPos []XY          // per CLB index
+	PIPad  map[int32]Pad // LUT-network PI node -> pad
+	POPad  []Pad         // per PO index
+	Cost   float64       // final HPWL cost
+}
+
+// block identifies a movable object for annealing.
+type block struct {
+	kind int // 0 = CLB, 1 = PI pad, 2 = PO pad
+	idx  int32
+}
+
+// Place runs simulated annealing and returns a legal placement.
+func Place(p *pack.Packing, seed int64) (*Placement, error) {
+	arch := p.Arch
+	W := arch.W
+	r := rand.New(rand.NewSource(seed))
+	nIO := len(p.Net.PIs) + len(p.Net.POs)
+	if nIO > arch.IOCapacity() {
+		return nil, fmt.Errorf("place: %d I/Os exceed capacity %d of %s", nIO, arch.IOCapacity(), arch.Name())
+	}
+	if len(p.CLBs) > arch.CLBCount() {
+		return nil, fmt.Errorf("place: %d CLBs exceed %s", len(p.CLBs), arch.Name())
+	}
+	pl := &Placement{Pack: p, PIPad: make(map[int32]Pad)}
+
+	// Initial CLB placement: row major.
+	slotOf := make(map[XY]int) // occupied slots -> CLB index
+	pl.CLBPos = make([]XY, len(p.CLBs))
+	for i := range p.CLBs {
+		pos := XY{i % W, i / W}
+		pl.CLBPos[i] = pos
+		slotOf[pos] = i
+	}
+	// Initial pad assignment: sequential.
+	padUsed := make(map[Pad]block)
+	nextPad := 0
+	takePad := func() Pad {
+		pd := Pad{nextPad / arch.GPIOPerTile, nextPad % arch.GPIOPerTile}
+		nextPad++
+		return pd
+	}
+	for _, pi := range p.Net.PIs {
+		pd := takePad()
+		pl.PIPad[pi] = pd
+		padUsed[pd] = block{1, pi}
+	}
+	pl.POPad = make([]Pad, len(p.Net.POs))
+	for i := range p.Net.POs {
+		pd := takePad()
+		pl.POPad[i] = pd
+		padUsed[pd] = block{2, int32(i)}
+	}
+
+	nets := buildNets(p)
+	padXY := func(pd Pad) XY {
+		if pd.Tile < W {
+			return XY{-1, pd.Tile}
+		}
+		return XY{W, pd.Tile - W}
+	}
+	blockXY := func(b block) XY {
+		switch b.kind {
+		case 0:
+			return pl.CLBPos[b.idx]
+		case 1:
+			return padXY(pl.PIPad[b.idx])
+		default:
+			return padXY(pl.POPad[b.idx])
+		}
+	}
+	netCost := func(n *net) float64 {
+		minX, maxX := math.MaxInt32, math.MinInt32
+		minY, maxY := math.MaxInt32, math.MinInt32
+		for _, b := range n.blocks {
+			xy := blockXY(b)
+			if xy.X < minX {
+				minX = xy.X
+			}
+			if xy.X > maxX {
+				maxX = xy.X
+			}
+			if xy.Y < minY {
+				minY = xy.Y
+			}
+			if xy.Y > maxY {
+				maxY = xy.Y
+			}
+		}
+		return float64(maxX-minX) + float64(maxY-minY)
+	}
+	total := 0.0
+	for i := range nets {
+		nets[i].cost = netCost(&nets[i])
+		total += nets[i].cost
+	}
+
+	// Index: block -> nets it belongs to.
+	netsOf := make(map[block][]int)
+	for ni := range nets {
+		for _, b := range nets[ni].blocks {
+			netsOf[b] = append(netsOf[b], ni)
+		}
+	}
+	recost := func(bs ...block) float64 {
+		seen := make(map[int]bool)
+		delta := 0.0
+		for _, b := range bs {
+			for _, ni := range netsOf[b] {
+				if seen[ni] {
+					continue
+				}
+				seen[ni] = true
+				nc := netCost(&nets[ni])
+				delta += nc - nets[ni].cost
+				nets[ni].cost = nc
+			}
+		}
+		return delta
+	}
+
+	// Annealing.
+	nBlocks := len(p.CLBs) + nIO
+	if nBlocks == 0 {
+		return pl, nil
+	}
+	movesPerT := 12 * nBlocks
+	temp := math.Max(1.0, total/float64(len(nets)+1)*2)
+	for ; temp > 0.005; temp *= 0.85 {
+		for m := 0; m < movesPerT; m++ {
+			if len(p.CLBs) > 0 && (nIO == 0 || r.Intn(10) < 7) {
+				// CLB move: random CLB to random slot.
+				ci := r.Intn(len(p.CLBs))
+				dst := XY{r.Intn(W), r.Intn(W)}
+				src := pl.CLBPos[ci]
+				if dst == src {
+					continue
+				}
+				other, occupied := slotOf[dst]
+				apply := func() {
+					pl.CLBPos[ci] = dst
+					slotOf[dst] = ci
+					if occupied {
+						pl.CLBPos[other] = src
+						slotOf[src] = other
+					} else {
+						delete(slotOf, src)
+					}
+				}
+				revert := func() {
+					pl.CLBPos[ci] = src
+					slotOf[src] = ci
+					if occupied {
+						pl.CLBPos[other] = dst
+						slotOf[dst] = other
+					} else {
+						delete(slotOf, dst)
+					}
+				}
+				apply()
+				var delta float64
+				if occupied {
+					delta = recost(block{0, int32(ci)}, block{0, int32(other)})
+				} else {
+					delta = recost(block{0, int32(ci)})
+				}
+				if delta > 0 && r.Float64() >= math.Exp(-delta/temp) {
+					revert()
+					if occupied {
+						recost(block{0, int32(ci)}, block{0, int32(other)})
+					} else {
+						recost(block{0, int32(ci)})
+					}
+				} else {
+					total += delta
+				}
+			} else if nIO > 0 {
+				// Pad move.
+				var b block
+				if len(pl.PIPad) > 0 && (len(pl.POPad) == 0 || r.Intn(2) == 0) {
+					b = block{1, p.Net.PIs[r.Intn(len(p.Net.PIs))]}
+				} else if len(pl.POPad) > 0 {
+					b = block{2, int32(r.Intn(len(pl.POPad)))}
+				} else {
+					continue
+				}
+				dst := Pad{r.Intn(arch.IOTiles()), r.Intn(arch.GPIOPerTile)}
+				src := getPad(pl, b)
+				if dst == src {
+					continue
+				}
+				other, occupied := padUsed[dst]
+				apply := func() {
+					setPad(pl, b, dst)
+					padUsed[dst] = b
+					if occupied {
+						setPad(pl, other, src)
+						padUsed[src] = other
+					} else {
+						delete(padUsed, src)
+					}
+				}
+				revert := func() {
+					setPad(pl, b, src)
+					padUsed[src] = b
+					if occupied {
+						setPad(pl, other, dst)
+						padUsed[dst] = other
+					} else {
+						delete(padUsed, dst)
+					}
+				}
+				apply()
+				var delta float64
+				if occupied {
+					delta = recost(b, other)
+				} else {
+					delta = recost(b)
+				}
+				if delta > 0 && r.Float64() >= math.Exp(-delta/temp) {
+					revert()
+					if occupied {
+						recost(b, other)
+					} else {
+						recost(b)
+					}
+				} else {
+					total += delta
+				}
+			}
+		}
+	}
+	pl.Cost = total
+	return pl, nil
+}
+
+func getPad(pl *Placement, b block) Pad {
+	if b.kind == 1 {
+		return pl.PIPad[b.idx]
+	}
+	return pl.POPad[b.idx]
+}
+
+func setPad(pl *Placement, b block, pd Pad) {
+	if b.kind == 1 {
+		pl.PIPad[b.idx] = pd
+	} else {
+		pl.POPad[b.idx] = pd
+	}
+}
+
+// net groups the blocks connected by one driver for wirelength.
+type net struct {
+	blocks []block
+	cost   float64
+}
+
+// buildNets derives placement nets: every driver (PI or BLE output) and
+// the CLBs/pads it reaches.
+func buildNets(p *pack.Packing) []net {
+	ln := p.Net
+	byDriver := make(map[int32]map[block]bool)
+	addConn := func(driver int32, sink block) {
+		k := ln.Nodes[driver].Kind
+		if k == techmap.LConst0 || k == techmap.LConst1 {
+			return
+		}
+		m, ok := byDriver[driver]
+		if !ok {
+			m = make(map[block]bool)
+			byDriver[driver] = m
+		}
+		m[sink] = true
+	}
+	for ci := range p.CLBs {
+		for _, in := range p.CLBs[ci].Inputs {
+			addConn(in, block{0, int32(ci)})
+		}
+	}
+	for i, po := range ln.POs {
+		addConn(po, block{2, int32(i)})
+	}
+	var nets []net
+	for driver, sinks := range byDriver {
+		var n net
+		// Driver block.
+		if loc, ok := p.Loc[driver]; ok {
+			n.blocks = append(n.blocks, block{0, int32(loc[0])})
+		} else if ln.Nodes[driver].Kind == techmap.LInput {
+			n.blocks = append(n.blocks, block{1, driver})
+		}
+		for s := range sinks {
+			n.blocks = append(n.blocks, s)
+		}
+		if len(n.blocks) >= 2 {
+			nets = append(nets, n)
+		}
+	}
+	return nets
+}

@@ -1,0 +1,115 @@
+package place
+
+import (
+	"testing"
+
+	"alice/internal/fabric"
+	"alice/internal/netlist"
+	"alice/internal/opt"
+	"alice/internal/pack"
+	"alice/internal/techmap"
+)
+
+func buildPacked(t *testing.T, w int) *pack.Packing {
+	t.Helper()
+	bd := netlist.NewBuilder("p")
+	var pool []int32
+	for i := 0; i < 6; i++ {
+		pool = append(pool, bd.Input(string(rune('a'+i))))
+	}
+	var dffs []int32
+	for i := 0; i < 3; i++ {
+		d := bd.DFF()
+		dffs = append(dffs, d)
+		pool = append(pool, d)
+	}
+	idx := 0
+	pick := func() int32 { idx = (idx*7 + 3) % len(pool); return pool[idx] }
+	for i := 0; i < 60; i++ {
+		var id int32
+		switch i % 4 {
+		case 0:
+			id = bd.And(pick(), pick())
+		case 1:
+			id = bd.Or(pick(), pick())
+		case 2:
+			id = bd.Xor(pick(), pick())
+		default:
+			id = bd.Mux(pick(), pick(), pick())
+		}
+		pool = append(pool, id)
+	}
+	for _, d := range dffs {
+		bd.SetD(d, pick())
+	}
+	bd.Output("o1", pick())
+	bd.Output("o2", pick())
+	ln, err := techmap.Map(opt.Optimize(bd.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pack.Pack(ln, fabric.NewArch(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlaceLegalAndDeterministic(t *testing.T) {
+	p := buildPacked(t, 6)
+	pl1, err := Place(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := Place(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic for a fixed seed.
+	for i := range pl1.CLBPos {
+		if pl1.CLBPos[i] != pl2.CLBPos[i] {
+			t.Fatalf("placement not deterministic at CLB %d", i)
+		}
+	}
+	// Legal: unique slots within the grid.
+	seen := make(map[XY]bool)
+	for _, pos := range pl1.CLBPos {
+		if pos.X < 0 || pos.X >= 6 || pos.Y < 0 || pos.Y >= 6 {
+			t.Fatalf("slot %v out of grid", pos)
+		}
+		if seen[pos] {
+			t.Fatalf("slot %v reused", pos)
+		}
+		seen[pos] = true
+	}
+	// All I/Os padded uniquely.
+	pads := make(map[Pad]bool)
+	for _, pd := range pl1.PIPad {
+		if pads[pd] {
+			t.Fatal("pad reuse")
+		}
+		pads[pd] = true
+	}
+	for _, pd := range pl1.POPad {
+		if pads[pd] {
+			t.Fatal("pad reuse")
+		}
+		pads[pd] = true
+	}
+	if len(pl1.PIPad) != len(p.Net.PIs) || len(pl1.POPad) != len(p.Net.POs) {
+		t.Error("not all I/Os placed")
+	}
+}
+
+func TestPlaceRejectsOverflow(t *testing.T) {
+	p := buildPacked(t, 6)
+	small := *p
+	small.Arch = fabric.NewArch(1)
+	needIO := len(p.Net.PIs) + len(p.Net.POs)
+	if len(p.CLBs) <= small.Arch.CLBCount() && needIO <= small.Arch.IOCapacity() {
+		t.Skipf("design too small to overflow a 1x1 fabric (%d CLBs, %d I/Os)", len(p.CLBs), needIO)
+	}
+	if _, err := Place(&small, 1); err == nil {
+		t.Error("expected failure on too-small fabric")
+	}
+}

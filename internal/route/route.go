@@ -1,0 +1,279 @@
+// Package route implements PathFinder negotiated-congestion routing over
+// the fabric's routing-resource graph, connecting placed CLB pins and
+// GPIO pads. Each routed connection determines the selection of one or
+// more programmable muxes, which later becomes part of the bitstream.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"alice/internal/fabric"
+	"alice/internal/place"
+	"alice/internal/techmap"
+)
+
+// Net is one source with its sinks in RR-node space.
+type Net struct {
+	Driver int32 // LUT-network node (PI or BLE output)
+	Source int32 // RR node (OPin or IOIn)
+	Sinks  []int32
+	Tree   []int32 // RR nodes used by the routed net (excluding source)
+}
+
+// Result is a complete routing.
+type Result struct {
+	G    *fabric.RRGraph
+	Nets []Net
+	// Prev maps every used RR node to the RR node driving it (the mux
+	// selection); sources map to -1.
+	Prev []int32
+	// Iterations is how many PathFinder passes were needed.
+	Iterations int
+}
+
+// Route connects all placement-derived nets. It fails after maxIter
+// negotiation rounds with congestion remaining.
+func Route(pl *place.Placement, g *fabric.RRGraph, maxIter int) (*Result, error) {
+	nets := buildNets(pl, g)
+	n := len(g.Nodes)
+	prev := make([]int32, n)
+	occ := make([]int16, n)
+	hist := make([]float32, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	// Route larger-fanout nets first.
+	order := make([]int, len(nets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(nets[order[a]].Sinks) > len(nets[order[b]].Sinks)
+	})
+
+	presFac := float32(0.6)
+	routed := make([][]int32, len(nets)) // per net: used nodes
+	for iter := 1; iter <= maxIter; iter++ {
+		congested := false
+		for _, ni := range order {
+			nt := &nets[ni]
+			// Rip up.
+			for _, nd := range routed[ni] {
+				occ[nd]--
+				prev[nd] = -1
+			}
+			routed[ni] = nil
+			tree, pr, err := routeNet(g, nt, occ, hist, presFac)
+			if err != nil {
+				return nil, err
+			}
+			for _, nd := range tree {
+				occ[nd]++
+				prev[nd] = pr[nd]
+			}
+			routed[ni] = tree
+			nt.Tree = tree
+		}
+		// Check congestion.
+		for i := range occ {
+			if occ[i] > 1 {
+				congested = true
+				hist[i] += float32(occ[i] - 1)
+			}
+		}
+		if !congested {
+			return &Result{G: g, Nets: nets, Prev: prev, Iterations: iter}, nil
+		}
+		presFac *= 1.6
+	}
+	return nil, fmt.Errorf("route: congestion unresolved after %d iterations on %s", maxIter, g.Arch.Name())
+}
+
+// routeNet grows a routing tree from the net source to every sink using
+// Dijkstra over congestion-weighted costs.
+func routeNet(g *fabric.RRGraph, nt *Net, occ []int16, hist []float32, presFac float32) ([]int32, map[int32]int32, error) {
+	inTree := map[int32]bool{nt.Source: true}
+	prevOf := map[int32]int32{nt.Source: -1}
+	var used []int32
+	for _, sink := range nt.Sinks {
+		if inTree[sink] {
+			continue
+		}
+		path, err := dijkstra(g, inTree, sink, occ, hist, presFac)
+		if err != nil {
+			return nil, nil, fmt.Errorf("route: net from %s unroutable to %s: %w",
+				g.Nodes[nt.Source], g.Nodes[sink], err)
+		}
+		// path runs from a tree node to the sink.
+		for i := 1; i < len(path); i++ {
+			nd := path[i]
+			if !inTree[nd] {
+				inTree[nd] = true
+				prevOf[nd] = path[i-1]
+				used = append(used, nd)
+			}
+		}
+	}
+	return used, prevOf, nil
+}
+
+type pqItem struct {
+	node int32
+	cost float32
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func nodeCost(g *fabric.RRGraph, nd int32, occ []int16, hist []float32, presFac float32) float32 {
+	base := float32(1)
+	c := base * (1 + hist[nd])
+	if occ[nd] >= 1 {
+		c += presFac * float32(occ[nd])
+	}
+	return c
+}
+
+// dijkstra finds the cheapest path from any tree node to the target.
+func dijkstra(g *fabric.RRGraph, tree map[int32]bool, target int32, occ []int16, hist []float32, presFac float32) ([]int32, error) {
+	dist := make(map[int32]float32, 256)
+	from := make(map[int32]int32, 256)
+	var q pq
+	for nd := range tree {
+		dist[nd] = 0
+		from[nd] = -1
+		heap.Push(&q, pqItem{nd, 0})
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.cost > dist[it.node] {
+			continue
+		}
+		if it.node == target {
+			// Reconstruct.
+			var rev []int32
+			for nd := target; nd != -1; nd = from[nd] {
+				rev = append(rev, nd)
+				if tree[nd] {
+					break
+				}
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev, nil
+		}
+		for _, nx := range g.Out[it.node] {
+			// Only wires may fan out further; pins and pads terminate.
+			k := g.Nodes[nx].Kind
+			if k == fabric.RROPin || k == fabric.RRIOIn {
+				continue
+			}
+			if (k == fabric.RRIPin || k == fabric.RRIOOut) && nx != target {
+				continue
+			}
+			nc := it.cost + nodeCost(g, nx, occ, hist, presFac)
+			if d, ok := dist[nx]; !ok || nc < d {
+				dist[nx] = nc
+				from[nx] = it.node
+				heap.Push(&q, pqItem{nx, nc})
+			}
+		}
+	}
+	return nil, fmt.Errorf("no path")
+}
+
+// buildNets derives RR-level nets from the placement.
+func buildNets(pl *place.Placement, g *fabric.RRGraph) []Net {
+	p := pl.Pack
+	ln := p.Net
+	sourceRR := func(driver int32) int32 {
+		if loc, ok := p.Loc[driver]; ok {
+			pos := pl.CLBPos[loc[0]]
+			return g.OPin(pos.X, pos.Y, loc[1])
+		}
+		if ln.Nodes[driver].Kind == techmap.LInput {
+			pad := pl.PIPad[driver]
+			return g.IOIn(pad.Tile, pad.Pin)
+		}
+		return -1 // constants need no routing
+	}
+	byDriver := make(map[int32]*Net)
+	addSink := func(driver, sinkRR int32) {
+		src := sourceRR(driver)
+		if src < 0 {
+			return
+		}
+		nt, ok := byDriver[driver]
+		if !ok {
+			nt = &Net{Driver: driver, Source: src}
+			byDriver[driver] = nt
+		}
+		nt.Sinks = append(nt.Sinks, sinkRR)
+	}
+	for ci := range p.CLBs {
+		pos := pl.CLBPos[ci]
+		for k, in := range p.CLBs[ci].Inputs {
+			addSink(in, g.IPin(pos.X, pos.Y, k))
+		}
+	}
+	for i, po := range ln.POs {
+		pad := pl.POPad[i]
+		addSink(po, g.IOOut(pad.Tile, pad.Pin))
+	}
+	var drivers []int32
+	for d := range byDriver {
+		drivers = append(drivers, d)
+	}
+	sort.Slice(drivers, func(i, j int) bool { return drivers[i] < drivers[j] })
+	var nets []Net
+	for _, d := range drivers {
+		nets = append(nets, *byDriver[d])
+	}
+	return nets
+}
+
+// Validate checks that every sink connects back to its net's source
+// through Prev and that no RR node carries two nets.
+func (r *Result) Validate() error {
+	owner := make(map[int32]int)
+	for ni := range r.Nets {
+		for _, nd := range r.Nets[ni].Tree {
+			if o, dup := owner[nd]; dup && o != ni {
+				return fmt.Errorf("route: RR node %s shared by nets %d and %d", r.G.Nodes[nd], o, ni)
+			}
+			owner[nd] = ni
+		}
+	}
+	for ni := range r.Nets {
+		nt := &r.Nets[ni]
+		for _, sink := range nt.Sinks {
+			nd := sink
+			steps := 0
+			for nd != nt.Source {
+				nd = r.Prev[nd]
+				if nd < 0 {
+					return fmt.Errorf("route: sink %s of net %d does not reach source", r.G.Nodes[sink], ni)
+				}
+				steps++
+				if steps > len(r.G.Nodes) {
+					return fmt.Errorf("route: cycle while tracing net %d", ni)
+				}
+			}
+		}
+	}
+	return nil
+}

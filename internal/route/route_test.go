@@ -1,0 +1,127 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"alice/internal/fabric"
+	"alice/internal/netlist"
+	"alice/internal/opt"
+	"alice/internal/pack"
+	"alice/internal/place"
+	"alice/internal/techmap"
+)
+
+func buildPlaced(t *testing.T, seed int64, w int) (*place.Placement, *fabric.RRGraph) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	bd := netlist.NewBuilder("r")
+	var pool []int32
+	for i := 0; i < 3+r.Intn(4); i++ {
+		pool = append(pool, bd.Input(string(rune('a'+i))))
+	}
+	var dffs []int32
+	for i := 0; i < r.Intn(3); i++ {
+		d := bd.DFF()
+		dffs = append(dffs, d)
+		pool = append(pool, d)
+	}
+	pick := func() int32 { return pool[r.Intn(len(pool))] }
+	for i := 0; i < 10+r.Intn(40); i++ {
+		var id int32
+		switch r.Intn(4) {
+		case 0:
+			id = bd.And(pick(), pick())
+		case 1:
+			id = bd.Or(pick(), pick())
+		case 2:
+			id = bd.Xor(pick(), pick())
+		default:
+			id = bd.Mux(pick(), pick(), pick())
+		}
+		pool = append(pool, id)
+	}
+	for _, d := range dffs {
+		bd.SetD(d, pick())
+	}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		bd.Output("o", pick())
+	}
+	ln, err := techmap.Map(opt.Optimize(bd.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := fabric.NewArch(w)
+	p, err := pack.Pack(ln, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, fabric.BuildRRGraph(arch)
+}
+
+func TestRouteSmallDesigns(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		pl, g := buildPlaced(t, seed, 5)
+		rt, err := Route(pl, g, 24)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rt.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// Property: routing yields exclusive RR-node ownership and connected
+// nets for random designs.
+func TestQuickRouteLegality(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		pl, g := buildPlaced(t, seed%1000, 6)
+		rt, err := Route(pl, g, 24)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return rt.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlacementLegality(t *testing.T) {
+	pl, _ := buildPlaced(t, 42, 5)
+	// No two CLBs share a slot.
+	seen := make(map[place.XY]bool)
+	for _, pos := range pl.CLBPos {
+		if seen[pos] {
+			t.Fatalf("slot %v used twice", pos)
+		}
+		seen[pos] = true
+		if pos.X < 0 || pos.X >= 5 || pos.Y < 0 || pos.Y >= 5 {
+			t.Fatalf("slot %v out of grid", pos)
+		}
+	}
+	// No two I/Os share a pad.
+	pads := make(map[place.Pad]bool)
+	for _, pd := range pl.PIPad {
+		if pads[pd] {
+			t.Fatalf("pad %v used twice", pd)
+		}
+		pads[pd] = true
+	}
+	for _, pd := range pl.POPad {
+		if pads[pd] {
+			t.Fatalf("pad %v used twice", pd)
+		}
+		pads[pd] = true
+	}
+}

@@ -1,0 +1,42 @@
+package rtl
+
+// Characteristics summarizes a design the way Table 1 of the paper does:
+// the number of (non-top) modules, the number of (non-root) instances,
+// and the range of module I/O pin counts.
+type Characteristics struct {
+	Design    string
+	Modules   int
+	Instances int
+	MinPins   int
+	MaxPins   int
+}
+
+// Characterize computes Table-1 style statistics for a design.
+func Characterize(d *Design) Characteristics {
+	c := Characteristics{Design: d.Top.Name}
+	mods := d.NonTopModules()
+	c.Modules = len(mods)
+	c.Instances = len(d.NonRootInstances())
+	for i, m := range mods {
+		p := m.PinCount()
+		if i == 0 || p < c.MinPins {
+			c.MinPins = p
+		}
+		if p > c.MaxPins {
+			c.MaxPins = p
+		}
+	}
+	return c
+}
+
+// InstancesOfModule returns every instance of the named module, in
+// preorder.
+func (d *Design) InstancesOfModule(name string) []*InstanceNode {
+	var out []*InstanceNode
+	for _, n := range d.AllInstances {
+		if n.Module.Name == name {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package rtl
+
+import (
+	"fmt"
+	"sort"
+
+	"alice/internal/verilog"
+)
+
+// Dataflow is a whole-design signal dependency graph at net granularity,
+// built over the elaborated instance tree. It answers the question at the
+// heart of ALICE's module filtering: which instances (and therefore
+// modules) affect a given top-level output?
+type Dataflow struct {
+	design *Design
+	ids    map[string]int // "path/net" -> node id
+	owner  []*InstanceNode
+	deps   [][]int32 // deps[n] = nodes n directly depends on
+}
+
+// NewDataflow builds the dependency graph for an elaborated design.
+func NewDataflow(d *Design) (*Dataflow, error) {
+	df := &Dataflow{design: d, ids: make(map[string]int)}
+	for _, inst := range d.AllInstances {
+		for name := range inst.Module.Nets {
+			df.addNode(inst, name)
+		}
+	}
+	for _, inst := range d.AllInstances {
+		if err := df.addModuleEdges(inst); err != nil {
+			return nil, err
+		}
+		if err := df.addBoundaryEdges(inst); err != nil {
+			return nil, err
+		}
+	}
+	return df, nil
+}
+
+func (df *Dataflow) addNode(inst *InstanceNode, net string) int {
+	key := inst.Path + "/" + net
+	if id, ok := df.ids[key]; ok {
+		return id
+	}
+	id := len(df.owner)
+	df.ids[key] = id
+	df.owner = append(df.owner, inst)
+	df.deps = append(df.deps, nil)
+	return id
+}
+
+func (df *Dataflow) node(inst *InstanceNode, net string) (int, bool) {
+	id, ok := df.ids[inst.Path+"/"+net]
+	return id, ok
+}
+
+func (df *Dataflow) addDep(target, source int) {
+	df.deps[target] = append(df.deps[target], int32(source))
+}
+
+// addModuleEdges adds intra-module dependencies of one instance.
+func (df *Dataflow) addModuleEdges(inst *InstanceNode) error {
+	for _, it := range inst.Module.AST.Items {
+		switch x := it.(type) {
+		case *verilog.ContAssign:
+			targets, extraSrc := lvalueNets(x.LHS)
+			srcs := append(ExprNets(x.RHS), extraSrc...)
+			df.connect(inst, targets, srcs)
+		case *verilog.Always:
+			if x.Initial {
+				continue
+			}
+			df.walkStmt(inst, x.Body, nil)
+		}
+	}
+	return nil
+}
+
+// walkStmt adds edges for procedural assignments; cond is the stack of
+// control nets governing the statement.
+func (df *Dataflow) walkStmt(inst *InstanceNode, s verilog.Stmt, cond []string) {
+	switch x := s.(type) {
+	case *verilog.Block:
+		for _, st := range x.Stmts {
+			df.walkStmt(inst, st, cond)
+		}
+	case *verilog.If:
+		c := append(cond, ExprNets(x.Cond)...)
+		df.walkStmt(inst, x.Then, c)
+		if x.Else != nil {
+			df.walkStmt(inst, x.Else, c)
+		}
+	case *verilog.Case:
+		c := append(cond, ExprNets(x.Subject)...)
+		for _, item := range x.Items {
+			ci := c
+			for _, e := range item.Exprs {
+				ci = append(ci, ExprNets(e)...)
+			}
+			df.walkStmt(inst, item.Body, ci)
+		}
+	case *verilog.For:
+		c := cond
+		if x.Cond != nil {
+			c = append(c, ExprNets(x.Cond)...)
+		}
+		df.walkStmt(inst, x.Body, c)
+	case *verilog.Assign:
+		targets, extraSrc := lvalueNets(x.LHS)
+		srcs := append(ExprNets(x.RHS), extraSrc...)
+		srcs = append(srcs, cond...)
+		df.connect(inst, targets, srcs)
+	}
+}
+
+func (df *Dataflow) connect(inst *InstanceNode, targets, srcs []string) {
+	for _, t := range targets {
+		tid, ok := df.node(inst, t)
+		if !ok {
+			continue // undeclared (e.g. genvar-like), ignore
+		}
+		for _, s := range srcs {
+			if sid, ok := df.node(inst, s); ok {
+				df.addDep(tid, sid)
+			}
+		}
+	}
+}
+
+// addBoundaryEdges wires instance ports to the parent's connection
+// expressions.
+func (df *Dataflow) addBoundaryEdges(parent *InstanceNode) error {
+	childIdx := 0
+	for _, it := range parent.Module.AST.Items {
+		in, ok := it.(*verilog.Instance)
+		if !ok {
+			continue
+		}
+		if childIdx >= len(parent.Children) {
+			return fmt.Errorf("rtl: instance tree out of sync in %s", parent.Path)
+		}
+		child := parent.Children[childIdx]
+		childIdx++
+		for i, conn := range in.Conns {
+			if conn.Expr == nil {
+				continue
+			}
+			var port *PortInfo
+			if conn.Port != "" {
+				port = portInfoByName(child.Ports, conn.Port)
+			} else if i < len(child.Ports) {
+				port = &child.Ports[i]
+			}
+			if port == nil {
+				continue
+			}
+			pid, ok := df.node(child, port.Name)
+			if !ok {
+				continue
+			}
+			switch port.Dir {
+			case verilog.Input:
+				for _, s := range ExprNets(conn.Expr) {
+					if sid, ok := df.node(parent, s); ok {
+						df.addDep(pid, sid)
+					}
+				}
+			case verilog.Output:
+				targets, extra := lvalueNets(conn.Expr)
+				for _, t := range targets {
+					if tid, ok := df.node(parent, t); ok {
+						df.addDep(tid, pid)
+					}
+				}
+				for _, s := range extra {
+					if sid, ok := df.node(parent, s); ok {
+						df.addDep(pid, sid)
+					}
+				}
+			case verilog.Inout:
+				for _, s := range ExprNets(conn.Expr) {
+					if sid, ok := df.node(parent, s); ok {
+						df.addDep(pid, sid)
+						df.addDep(sid, pid)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func portInfoByName(ports []PortInfo, name string) *PortInfo {
+	for i := range ports {
+		if ports[i].Name == name {
+			return &ports[i]
+		}
+	}
+	return nil
+}
+
+// InstancesAffecting returns the non-root instances whose logic
+// (transitively) influences the named top-level output, sorted by path.
+func (df *Dataflow) InstancesAffecting(output string) ([]*InstanceNode, error) {
+	root := df.design.Root
+	if p := portInfoByName(root.Ports, output); p == nil || p.Dir != verilog.Output {
+		return nil, fmt.Errorf("rtl: %q is not an output of top module %s", output, root.Module.Name)
+	}
+	start, ok := df.node(root, output)
+	if !ok {
+		return nil, fmt.Errorf("rtl: output %q has no net node", output)
+	}
+	visited := make([]bool, len(df.owner))
+	stack := []int{start}
+	visited[start] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, dep := range df.deps[n] {
+			if !visited[dep] {
+				visited[dep] = true
+				stack = append(stack, int(dep))
+			}
+		}
+	}
+	seen := make(map[*InstanceNode]bool)
+	var out []*InstanceNode
+	for id, v := range visited {
+		if !v {
+			continue
+		}
+		inst := df.owner[id]
+		if inst == root || seen[inst] {
+			continue
+		}
+		seen[inst] = true
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// ModuleScores implements the functional scoring of Algorithm 1: each
+// module's score is the number of selected outputs it affects (through
+// any of its instances).
+func (df *Dataflow) ModuleScores(outputs []string) (map[string]int, error) {
+	scores := make(map[string]int)
+	for _, m := range df.design.NonTopModules() {
+		scores[m.Name] = 0
+	}
+	for _, o := range outputs {
+		insts, err := df.InstancesAffecting(o)
+		if err != nil {
+			return nil, err
+		}
+		mods := make(map[string]bool)
+		for _, in := range insts {
+			mods[in.Module.Name] = true
+		}
+		for name := range mods {
+			scores[name]++
+		}
+	}
+	return scores, nil
+}
+
+// ExprNets returns the names of all nets referenced by an expression
+// (including index expressions), without duplicates, in first-seen order.
+func ExprNets(e verilog.Expr) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(e verilog.Expr)
+	walk = func(e verilog.Expr) {
+		switch x := e.(type) {
+		case *verilog.Ident:
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x.Name)
+			}
+		case *verilog.Unary:
+			walk(x.X)
+		case *verilog.Binary:
+			walk(x.X)
+			walk(x.Y)
+		case *verilog.Ternary:
+			walk(x.Cond)
+			walk(x.Then)
+			walk(x.Else)
+		case *verilog.Concat:
+			for _, p := range x.Parts {
+				walk(p)
+			}
+		case *verilog.Repeat:
+			walk(x.Count)
+			walk(x.X)
+		case *verilog.Index:
+			walk(x.X)
+			walk(x.Idx)
+		case *verilog.Slice:
+			walk(x.X)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// lvalueNets splits an assignment target into the assigned nets and any
+// extra source nets referenced by index expressions (a[i] = x reads i).
+func lvalueNets(e verilog.Expr) (targets, sources []string) {
+	switch x := e.(type) {
+	case *verilog.Ident:
+		return []string{x.Name}, nil
+	case *verilog.Index:
+		t, s := lvalueNets(x.X)
+		return t, append(s, ExprNets(x.Idx)...)
+	case *verilog.Slice:
+		return lvalueNets(x.X)
+	case *verilog.Concat:
+		for _, p := range x.Parts {
+			t, s := lvalueNets(p)
+			targets = append(targets, t...)
+			sources = append(sources, s...)
+		}
+		return targets, sources
+	}
+	return nil, nil
+}

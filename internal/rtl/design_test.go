@@ -1,0 +1,228 @@
+package rtl
+
+import (
+	"testing"
+
+	"alice/internal/verilog"
+)
+
+const hierSrc = `
+module top (
+  input wire clk,
+  input wire [7:0] a,
+  input wire [7:0] b,
+  output wire [7:0] sum,
+  output wire [7:0] prod_lo,
+  output wire flag
+);
+  wire [7:0] t;
+  addu u_add (.clk(clk), .x(a), .y(b), .z(sum));
+  mulu u_mul (.clk(clk), .x(a), .y(b), .z(prod_lo));
+  addu u_add2 (.clk(clk), .x(a), .y(8'h01), .z(t));
+  assign flag = t[0];
+endmodule
+
+module addu (
+  input wire clk,
+  input wire [7:0] x,
+  input wire [7:0] y,
+  output reg [7:0] z
+);
+  always @(posedge clk) z <= x + y;
+endmodule
+
+module mulu (
+  input wire clk,
+  input wire [7:0] x,
+  input wire [7:0] y,
+  output reg [7:0] z
+);
+  wire [7:0] p = x * y;
+  always @(posedge clk) z <= p;
+endmodule
+`
+
+func elab(t *testing.T, src, top string) *Design {
+	t.Helper()
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := Elaborate(ast, top)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	return d
+}
+
+func TestElaborateHierarchy(t *testing.T) {
+	d := elab(t, hierSrc, "")
+	if d.Top.Name != "top" {
+		t.Fatalf("inferred top = %s", d.Top.Name)
+	}
+	if len(d.AllInstances) != 4 {
+		t.Fatalf("got %d instances", len(d.AllInstances))
+	}
+	if len(d.NonRootInstances()) != 3 {
+		t.Fatalf("got %d non-root instances", len(d.NonRootInstances()))
+	}
+	n := d.InstanceByPath("top.u_mul")
+	if n == nil || n.Module.Name != "mulu" {
+		t.Fatalf("u_mul lookup failed: %+v", n)
+	}
+	if got := n.PinCount(); got != 25 {
+		t.Errorf("mulu pin count = %d, want 25", got)
+	}
+	if got := d.Modules["addu"].PinCount(); got != 25 {
+		t.Errorf("addu pin count = %d, want 25", got)
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	d := elab(t, hierSrc, "")
+	c := Characterize(d)
+	if c.Modules != 2 || c.Instances != 3 {
+		t.Errorf("modules=%d instances=%d, want 2/3", c.Modules, c.Instances)
+	}
+	if c.MinPins != 25 || c.MaxPins != 25 {
+		t.Errorf("pins [%d,%d], want [25,25]", c.MinPins, c.MaxPins)
+	}
+}
+
+func TestDataflowAffecting(t *testing.T) {
+	d := elab(t, hierSrc, "")
+	df, err := NewDataflow(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum is driven only by u_add.
+	insts, err := df.InstancesAffecting("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 || insts[0].Path != "top.u_add" {
+		t.Fatalf("sum affected by %v", paths(insts))
+	}
+	// flag is driven by u_add2 (through t).
+	insts, err = df.InstancesAffecting("flag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 || insts[0].Path != "top.u_add2" {
+		t.Fatalf("flag affected by %v", paths(insts))
+	}
+	// prod_lo is driven only by u_mul.
+	insts, err = df.InstancesAffecting("prod_lo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 || insts[0].Path != "top.u_mul" {
+		t.Fatalf("prod_lo affected by %v", paths(insts))
+	}
+	// Unknown output errors.
+	if _, err := df.InstancesAffecting("nope"); err == nil {
+		t.Error("expected error for unknown output")
+	}
+	// Input port is not an output.
+	if _, err := df.InstancesAffecting("a"); err == nil {
+		t.Error("expected error for input port")
+	}
+}
+
+func TestModuleScores(t *testing.T) {
+	d := elab(t, hierSrc, "")
+	df, err := NewDataflow(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := df.ModuleScores([]string{"sum", "flag", "prod_lo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// addu affects sum and flag (via two instances) -> 2; mulu -> 1.
+	if scores["addu"] != 2 {
+		t.Errorf("addu score = %d, want 2", scores["addu"])
+	}
+	if scores["mulu"] != 1 {
+		t.Errorf("mulu score = %d, want 1", scores["mulu"])
+	}
+}
+
+func TestDataflowChain(t *testing.T) {
+	src := `
+module top (input wire [3:0] a, output wire [3:0] o);
+  wire [3:0] m;
+  stage s1 (.in(a), .out(m));
+  stage s2 (.in(m), .out(o));
+endmodule
+module stage (input wire [3:0] in, output wire [3:0] out);
+  assign out = ~in;
+endmodule
+`
+	d := elab(t, src, "")
+	df, err := NewDataflow(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := df.InstancesAffecting("o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 {
+		t.Fatalf("chained stages: affected = %v, want both", paths(insts))
+	}
+}
+
+func paths(ns []*InstanceNode) []string {
+	var out []string
+	for _, n := range ns {
+		out = append(out, n.Path)
+	}
+	return out
+}
+
+func TestElaborateErrors(t *testing.T) {
+	cases := []string{
+		// Unknown module instantiated.
+		"module top (input wire a); foo u (.x(a)); endmodule",
+		// Unknown port in connection.
+		`module top (input wire a); leaf u (.nope(a)); endmodule
+		 module leaf (input wire x); endmodule`,
+		// Duplicate module.
+		"module m (input wire a); endmodule module m (input wire a); endmodule",
+		// Two tops.
+		"module t1 (input wire a); endmodule module t2 (input wire a); endmodule",
+	}
+	for i, src := range cases {
+		ast, err := verilog.Parse(src)
+		if err != nil {
+			t.Fatalf("case %d parse: %v", i, err)
+		}
+		if _, err := Elaborate(ast, ""); err == nil {
+			t.Errorf("case %d: expected elaboration error", i)
+		}
+	}
+}
+
+func TestParamOverrideWidths(t *testing.T) {
+	src := `
+module top (input wire [15:0] a, output wire [15:0] o);
+  pass #(.W(16)) u (.in(a), .out(o));
+endmodule
+module pass #(parameter W = 8) (input wire [W-1:0] in, output wire [W-1:0] out);
+  assign out = in;
+endmodule
+`
+	d := elab(t, src, "")
+	n := d.InstanceByPath("top.u")
+	if n == nil {
+		t.Fatal("instance not found")
+	}
+	if n.Ports[0].Width != 16 {
+		t.Errorf("overridden port width = %d, want 16", n.Ports[0].Width)
+	}
+	// Default module info keeps width 8.
+	if d.Modules["pass"].Ports[0].Width != 8 {
+		t.Errorf("default port width = %d, want 8", d.Modules["pass"].Ports[0].Width)
+	}
+}

@@ -1,0 +1,60 @@
+package rtl
+
+import "alice/internal/verilog"
+
+// ResolveNets computes the net table of a module under an explicit
+// parameter environment (used when an instance overrides parameters and
+// net widths depend on them). Ports are included.
+func ResolveNets(m *ModuleInfo, env verilog.Env) (map[string]*NetInfo, error) {
+	nets := make(map[string]*NetInfo)
+	ports, err := resolvePorts(m.AST, env)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range ports {
+		kind := verilog.Wire
+		if portIsReg(m.AST, p.Name) {
+			kind = verilog.Reg
+		}
+		nets[p.Name] = &NetInfo{Name: p.Name, Kind: kind, Width: p.Width, MSB: p.MSB, LSB: p.LSB}
+	}
+	for _, it := range m.AST.Items {
+		decl, ok := it.(*verilog.NetDecl)
+		if !ok {
+			continue
+		}
+		w, err := verilog.RangeWidth(decl.Range, env)
+		if err != nil {
+			return nil, errf(m.Name, "net declaration: %v", err)
+		}
+		msb, lsb, err := verilog.RangeBounds(decl.Range, env)
+		if err != nil {
+			return nil, errf(m.Name, "net declaration: %v", err)
+		}
+		for _, dn := range decl.Names {
+			ni := &NetInfo{Name: dn.Name, Kind: decl.Kind, Width: w, MSB: msb, LSB: lsb}
+			if dn.Array != nil {
+				lo, hi, err := verilog.RangeBounds(dn.Array, env)
+				if err != nil {
+					return nil, errf(m.Name, "memory %s: %v", dn.Name, err)
+				}
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				ni.Depth = int(hi-lo) + 1
+				ni.Base = lo
+			}
+			if old, exists := nets[dn.Name]; exists {
+				if old.Width != w {
+					return nil, errf(m.Name, "net %s redeclared with different width", dn.Name)
+				}
+				if decl.Kind == verilog.Reg {
+					old.Kind = verilog.Reg
+				}
+				continue
+			}
+			nets[dn.Name] = ni
+		}
+	}
+	return nets, nil
+}

@@ -1,0 +1,388 @@
+// Package sat implements a compact CDCL SAT solver (two-watched
+// literals, first-UIP clause learning, VSIDS-style activities, Luby
+// restarts) used by the security evaluation: the oracle-guided attack
+// on eFPGA bitstreams and the equivalence checks of the redaction flow.
+package sat
+
+// Lit is a literal: variable index v (1-based) encoded as 2v for the
+// positive literal and 2v+1 for the negative literal.
+type Lit int32
+
+// MkLit builds a literal from a 1-based variable and a sign.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Var returns the literal's 1-based variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learned bool
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; create
+// with NewSolver.
+type Solver struct {
+	nVars    int
+	clauses  []*clause
+	learnts  []*clause
+	watches  map[Lit][]*clause
+	assign   []lbool // per var (1-based)
+	level    []int
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+	activity []float64
+	varInc   float64
+	order    []int // lazily sorted decision candidates
+	qhead    int
+	unsat    bool // sticky root-level UNSAT
+	// Stats.
+	Conflicts    int
+	Decisions    int
+	Propagations int
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	return &Solver{
+		watches: make(map[Lit][]*clause),
+		varInc:  1.0,
+	}
+}
+
+// NewVar allocates a fresh variable and returns its 1-based index.
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	if s.nVars == 1 {
+		// index 0 pads the 1-based arrays
+		s.assign = append(s.assign, lUndef)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.activity = append(s.activity, 0)
+	}
+	return s.nVars
+}
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+// AddClause adds a clause; it returns false if the formula became
+// trivially unsatisfiable. Adding clauses between Solve calls is
+// allowed (the solver backtracks to the root level first).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	s.cancelUntil(0)
+	// Simplify: drop duplicate/false literals, detect tautology.
+	seen := make(map[Lit]bool, len(lits))
+	var out []Lit
+	for _, l := range lits {
+		if seen[l.Neg()] {
+			return true // tautology
+		}
+		if seen[l] {
+			continue
+		}
+		switch s.value(l) {
+		case lTrue:
+			if s.level[l.Var()] == 0 {
+				return true // already satisfied at root
+			}
+		case lFalse:
+			if s.level[l.Var()] == 0 {
+				continue // permanently false
+			}
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		if s.value(out[0]) == lFalse {
+			s.unsat = true
+			return false
+		}
+		if s.value(out[0]) == lUndef {
+			s.uncheckedEnqueue(out[0], nil)
+			if s.propagate() != nil {
+				s.unsat = true
+				return false
+			}
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return true
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], c)
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	s.assign[l.Var()] = lTrue
+	if l.Sign() {
+		s.assign[l.Var()] = lFalse
+	}
+	s.level[l.Var()] = len(s.trailLim)
+	s.reason[l.Var()] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause
+// or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		ws := s.watches[p]
+		var kept []*clause
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == lFalse {
+				// Conflict.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.nVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze produces a first-UIP learned clause and a backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	seen := make([]bool, s.nVars+1)
+	var learnt []Lit
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	cur := confl
+	for {
+		for _, q := range cur.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !seen[v] && s.level[v] > 0 {
+				seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] >= len(s.trailLim) {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Next literal on the trail to resolve on.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		seen[p.Var()] = false
+		counter--
+		idx--
+		if counter == 0 {
+			break
+		}
+		cur = s.reason[p.Var()]
+	}
+	learnt = append([]Lit{p.Neg()}, learnt...)
+	// Backtrack level: second-highest level in the clause.
+	back := 0
+	for _, l := range learnt[1:] {
+		if s.level[l.Var()] > back {
+			back = s.level[l.Var()]
+		}
+	}
+	return learnt, back
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if len(s.trailLim) <= level {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:s.trailLim[level]]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) decide() Lit {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.nVars; v++ {
+		if s.assign[v] == lUndef && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	if best == 0 {
+		return -1
+	}
+	return MkLit(best, true) // negative polarity first
+}
+
+func luby(i int) int {
+	// Luby sequence: 1 1 2 1 1 2 4 ...
+	for k := 1; ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i >= 1<<uint(k-1) && i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve decides satisfiability of the current clause set. On SAT, the
+// model can be read with ValueOf. The solver is incremental: more
+// clauses may be added afterwards and Solve called again.
+func (s *Solver) Solve() bool {
+	if s.unsat {
+		return false
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		return false
+	}
+	restart := 1
+	conflictBudget := 64 * luby(restart)
+	conflicts := 0
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflicts++
+			if len(s.trailLim) == 0 {
+				return false
+			}
+			learnt, back := s.analyze(confl)
+			s.cancelUntil(back)
+			if len(learnt) == 1 {
+				s.cancelUntil(0)
+				if s.value(learnt[0]) == lFalse {
+					return false
+				}
+				if s.value(learnt[0]) == lUndef {
+					s.uncheckedEnqueue(learnt[0], nil)
+					if s.propagate() != nil {
+						return false
+					}
+				}
+				continue
+			}
+			c := &clause{lits: learnt, learned: true}
+			s.learnts = append(s.learnts, c)
+			s.watch(c)
+			if s.value(learnt[0]) == lUndef {
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varInc *= 1.05
+			if conflicts > conflictBudget {
+				restart++
+				conflictBudget = 64 * luby(restart)
+				conflicts = 0
+				s.cancelUntil(0)
+			}
+			continue
+		}
+		l := s.decide()
+		if l == -1 {
+			return true // all assigned
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(l, nil)
+	}
+}
+
+// ValueOf returns the model value of a 1-based variable after a
+// successful Solve.
+func (s *Solver) ValueOf(v int) bool { return s.assign[v] == lTrue }
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NumClauses returns the number of problem clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }

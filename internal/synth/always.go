@@ -1,0 +1,870 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"alice/internal/netlist"
+	"alice/internal/rtl"
+	"alice/internal/verilog"
+)
+
+// netlistInput aliases the netlist input op for readability in clock
+// and reset checks.
+const netlistInput = netlist.Input
+
+// execEnv is the symbolic-execution environment of an always block.
+// cur holds read values (blocking semantics); next holds the values to
+// be registered (non-blocking). In combinational blocks only cur is used.
+type execEnv struct {
+	seq     bool
+	cur     map[string][]int32
+	next    map[string][]int32
+	curMem  map[string][][]int32
+	nextMem map[string][][]int32
+}
+
+func newExecEnv(seq bool) *execEnv {
+	return &execEnv{
+		seq:     seq,
+		cur:     make(map[string][]int32),
+		next:    make(map[string][]int32),
+		curMem:  make(map[string][][]int32),
+		nextMem: make(map[string][][]int32),
+	}
+}
+
+func (e *execEnv) clone() *execEnv {
+	c := newExecEnv(e.seq)
+	for k, v := range e.cur {
+		c.cur[k] = v
+	}
+	for k, v := range e.next {
+		c.next[k] = v
+	}
+	for k, v := range e.curMem {
+		c.curMem[k] = v
+	}
+	for k, v := range e.nextMem {
+		c.nextMem[k] = v
+	}
+	return c
+}
+
+// analyzeSeq validates an edge-triggered block, recognizes the
+// asynchronous reset idiom, and creates the flip-flops for every
+// assigned register and memory.
+func (s *synthesizer) analyzeSeq(f *frame, a *verilog.Always) (*seqInfo, error) {
+	si := &seqInfo{regs: make(map[string][]regBit)}
+	type edgeSig struct {
+		name string
+		neg  bool
+	}
+	var edges []edgeSig
+	for _, ev := range a.Events {
+		id, ok := ev.Sig.(*verilog.Ident)
+		if !ok {
+			return nil, &Error{f.node.Path, "sensitivity edge on a non-identifier"}
+		}
+		if ev.Edge == verilog.EdgeNone {
+			return nil, &Error{f.node.Path, "mixed edge and level sensitivity is not supported"}
+		}
+		edges = append(edges, edgeSig{id.Name, ev.Edge == verilog.EdgeNeg})
+	}
+	resetVals := make(map[string]uint64)
+	switch len(edges) {
+	case 1:
+		si.clockName = edges[0].name
+		si.mainBody = a.Body
+	case 2:
+		// The reset is the edge signal tested by the top-level if.
+		ifst, ok := a.Body.(*verilog.If)
+		if !ok {
+			if blk, okb := a.Body.(*verilog.Block); okb && len(blk.Stmts) == 1 {
+				ifst, ok = blk.Stmts[0].(*verilog.If)
+			}
+			if !ok {
+				return nil, &Error{f.node.Path, "two-edge always block must start with if (reset)"}
+			}
+		}
+		rstName, activeLow, ok := resetCondSignal(ifst.Cond)
+		if !ok {
+			return nil, &Error{f.node.Path, "cannot recognize reset condition (expected rst or !rst_n)"}
+		}
+		var clkIdx = -1
+		for i, e := range edges {
+			if e.name != rstName {
+				clkIdx = i
+			} else if e.neg != activeLow {
+				return nil, &Error{f.node.Path, fmt.Sprintf("reset %s edge does not match its polarity", rstName)}
+			}
+		}
+		if clkIdx == -1 || edges[1-clkIdx].name != rstName {
+			return nil, &Error{f.node.Path, "cannot identify clock among sensitivity edges"}
+		}
+		si.clockName = edges[clkIdx].name
+		si.resetName = rstName
+		si.resetBody = ifst.Then
+		if ifst.Else == nil {
+			return nil, &Error{f.node.Path, "async-reset block needs an else branch with the main logic"}
+		}
+		si.mainBody = ifst.Else
+		if err := collectResetValues(f, si.resetBody, resetVals); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, &Error{f.node.Path, fmt.Sprintf("%d sensitivity edges not supported", len(edges))}
+	}
+
+	// Create flip-flops for every assigned register, in sorted order for
+	// determinism.
+	assigned := assignedNets(si.mainBody)
+	for r := range resetVals {
+		found := false
+		for _, a := range assigned {
+			if a == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			assigned = append(assigned, r)
+		}
+	}
+	sort.Strings(assigned)
+	for _, name := range assigned {
+		ni, ok := f.netInfo[name]
+		if !ok {
+			return nil, &Error{f.node.Path, fmt.Sprintf("assignment to unknown net %q", name)}
+		}
+		if ni.Kind != verilog.Reg {
+			return nil, &Error{f.node.Path, fmt.Sprintf("procedural assignment to wire %q", name)}
+		}
+		if ni.Depth > 0 {
+			if _, dup := f.mems[name]; dup {
+				return nil, &Error{f.node.Path, fmt.Sprintf("memory %q written from multiple always blocks", name)}
+			}
+			grid := make([][]int32, ni.Depth)
+			regs := make([][]regBit, ni.Depth)
+			for el := 0; el < ni.Depth; el++ {
+				grid[el] = make([]int32, ni.Width)
+				regs[el] = make([]regBit, ni.Width)
+				for b := 0; b < ni.Width; b++ {
+					d := s.bd.DFF()
+					grid[el][b] = d
+					regs[el][b] = regBit{dff: d, q: d}
+				}
+			}
+			f.mems[name] = grid
+			f.memRegs[name] = regs
+			si.memNames = append(si.memNames, name)
+			continue
+		}
+		bits := f.nets[name]
+		rv := resetVals[name]
+		rbs := make([]regBit, ni.Width)
+		for b := 0; b < ni.Width; b++ {
+			if bits[b] != unassigned {
+				return nil, &Error{f.node.Path, fmt.Sprintf("register %s bit %d has multiple drivers", name, b)}
+			}
+			d := s.bd.DFF()
+			rb := regBit{dff: d, q: d}
+			if b < 64 && (rv>>uint(b))&1 == 1 {
+				rb.inverted = true
+				rb.q = s.bd.Not(d)
+			}
+			rbs[b] = rb
+			bits[b] = rb.q
+		}
+		si.regs[name] = rbs
+	}
+	return si, nil
+}
+
+// resetCondSignal recognizes "rst" (active high) or "!rst_n" / "~rst_n"
+// (active low).
+func resetCondSignal(e verilog.Expr) (name string, activeLow, ok bool) {
+	switch x := e.(type) {
+	case *verilog.Ident:
+		return x.Name, false, true
+	case *verilog.Unary:
+		if x.Op == verilog.BANG || x.Op == verilog.TILDE {
+			if id, ok := x.X.(*verilog.Ident); ok {
+				return id.Name, true, true
+			}
+		}
+	}
+	return "", false, false
+}
+
+// collectResetValues walks the reset branch, which may contain only
+// whole-register assignments of constants.
+func collectResetValues(f *frame, st verilog.Stmt, vals map[string]uint64) error {
+	switch x := st.(type) {
+	case *verilog.Block:
+		for _, s := range x.Stmts {
+			if err := collectResetValues(f, s, vals); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.Assign:
+		id, ok := x.LHS.(*verilog.Ident)
+		if !ok {
+			return &Error{f.node.Path, "reset branch must assign whole registers"}
+		}
+		v, err := verilog.EvalConst(x.RHS, f.env)
+		if err != nil {
+			return &Error{f.node.Path, fmt.Sprintf("reset value for %s is not constant: %v", id.Name, err)}
+		}
+		vals[id.Name] = uint64(v)
+		return nil
+	case *verilog.Null:
+		return nil
+	}
+	return &Error{f.node.Path, fmt.Sprintf("unsupported statement %T in reset branch", st)}
+}
+
+// execSeq symbolically executes the main body and connects the D inputs.
+func (s *synthesizer) execSeq(f *frame, si *seqInfo) error {
+	// Resolve and record the clock (and reset) signals; they must trace
+	// back to primary inputs.
+	if err := s.recordClockReset(f, si); err != nil {
+		return err
+	}
+	env := newExecEnv(true)
+	for name, rbs := range si.regs {
+		q := make([]int32, len(rbs))
+		for i, rb := range rbs {
+			q[i] = rb.q
+		}
+		env.cur[name] = q
+		env.next[name] = q
+	}
+	if err := s.execStmt(f, env, si.mainBody); err != nil {
+		return err
+	}
+	for name, rbs := range si.regs {
+		next := env.next[name]
+		for i, rb := range rbs {
+			d := next[i]
+			if rb.inverted {
+				d = s.bd.Not(d)
+			}
+			s.bd.SetD(rb.dff, d)
+		}
+	}
+	for _, name := range si.memNames {
+		regs := f.memRegs[name]
+		grid, touched := env.nextMem[name]
+		for el := range regs {
+			for b := range regs[el] {
+				d := regs[el][b].q
+				if touched {
+					d = grid[el][b]
+				}
+				s.bd.SetD(regs[el][b].dff, d)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *synthesizer) recordClockReset(f *frame, si *seqInfo) error {
+	clk, err := s.resolveNet(f, si.clockName)
+	if err != nil {
+		return err
+	}
+	if len(clk) != 1 || clk[0] == unassigned {
+		return &Error{f.node.Path, fmt.Sprintf("clock %s must be a driven 1-bit signal", si.clockName)}
+	}
+	if s.bd.N.Nodes[clk[0]].Op != netlistInput {
+		return &Error{f.node.Path, fmt.Sprintf("clock %s must come from a primary input", si.clockName)}
+	}
+	s.clockPIs[clk[0]] = s.piName(clk[0])
+	if si.resetName != "" {
+		rst, err := s.resolveNet(f, si.resetName)
+		if err != nil {
+			return err
+		}
+		if len(rst) != 1 || rst[0] == unassigned {
+			return &Error{f.node.Path, fmt.Sprintf("reset %s must be a driven 1-bit signal", si.resetName)}
+		}
+		if s.bd.N.Nodes[rst[0]].Op != netlistInput {
+			return &Error{f.node.Path, fmt.Sprintf("reset %s must come from a primary input", si.resetName)}
+		}
+		s.resetPIs[rst[0]] = s.piName(rst[0])
+	}
+	return nil
+}
+
+func (s *synthesizer) piName(id int32) string {
+	for i, pi := range s.bd.N.PIs {
+		if pi == id {
+			return s.bd.N.PINames[i]
+		}
+	}
+	return fmt.Sprintf("node%d", id)
+}
+
+// execComb symbolically executes a combinational block and writes the
+// results back into the frame's nets.
+func (s *synthesizer) execComb(f *frame, a *verilog.Always) error {
+	env := newExecEnv(false)
+	if err := s.execStmt(f, env, a.Body); err != nil {
+		return err
+	}
+	for name, bits := range env.cur {
+		ni, ok := f.netInfo[name]
+		if !ok {
+			continue
+		}
+		if ni.Kind != verilog.Reg {
+			return &Error{f.node.Path, fmt.Sprintf("procedural assignment to wire %q", name)}
+		}
+		dst := f.nets[name]
+		for i, v := range bits {
+			if v == unassigned {
+				continue
+			}
+			if dst[i] != unassigned {
+				return &Error{f.node.Path, fmt.Sprintf("register %s bit %d has multiple drivers", name, i)}
+			}
+			dst[i] = v
+		}
+	}
+	if len(env.nextMem) > 0 {
+		return &Error{f.node.Path, "memory writes are only allowed in clocked always blocks"}
+	}
+	return nil
+}
+
+// execStmt symbolically executes one statement.
+func (s *synthesizer) execStmt(f *frame, env *execEnv, st verilog.Stmt) error {
+	switch x := st.(type) {
+	case *verilog.Null:
+		return nil
+	case *verilog.Block:
+		for _, sub := range x.Stmts {
+			if err := s.execStmt(f, env, sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.Assign:
+		return s.execProcAssign(f, env, x)
+	case *verilog.If:
+		cbits, err := s.evalExpr(f, env, x.Cond, 0)
+		if err != nil {
+			return err
+		}
+		c := s.bd.ReduceOr(cbits)
+		envT := env.clone()
+		envE := env.clone()
+		if err := s.execStmt(f, envT, x.Then); err != nil {
+			return err
+		}
+		if x.Else != nil {
+			if err := s.execStmt(f, envE, x.Else); err != nil {
+				return err
+			}
+		}
+		return s.mergeEnv(f, env, c, envT, envE)
+	case *verilog.Case:
+		return s.execCase(f, env, x)
+	case *verilog.For:
+		return s.execFor(f, env, x)
+	}
+	return &Error{f.node.Path, fmt.Sprintf("unsupported statement %T", st)}
+}
+
+// execCase desugars a case statement into a nested if chain, handling
+// casez wildcard patterns and full constant coverage without default.
+func (s *synthesizer) execCase(f *frame, env *execEnv, c *verilog.Case) error {
+	wSubj, err := s.natWidth(f, c.Subject)
+	if err != nil {
+		return err
+	}
+	w := wSubj
+	for _, item := range c.Items {
+		for _, pe := range item.Exprs {
+			pw, err := s.natWidth(f, pe)
+			if err != nil {
+				return err
+			}
+			if pw > w {
+				w = pw
+			}
+		}
+	}
+	subj, err := s.evalExpr(f, env, c.Subject, w)
+	if err != nil {
+		return err
+	}
+	subj = subj[:w]
+
+	// Detect full constant coverage with no default (full case).
+	hasDefault := false
+	coverage := make(map[uint64]bool)
+	wildcards := false
+	for _, item := range c.Items {
+		if item.Exprs == nil {
+			hasDefault = true
+		}
+		for _, pe := range item.Exprs {
+			if n, ok := pe.(*verilog.Number); ok {
+				if n.DontCare != 0 {
+					wildcards = true
+				} else {
+					coverage[n.Val] = true
+				}
+			}
+		}
+	}
+	full := hasDefault
+	if !full && !wildcards && w <= 20 && len(coverage) == 1<<uint(w) {
+		full = true
+	}
+
+	items := c.Items
+	var build func(idx int, env *execEnv) error
+	build = func(idx int, env *execEnv) error {
+		if idx >= len(items) {
+			return nil
+		}
+		item := items[idx]
+		if item.Exprs == nil { // default
+			return s.execStmt(f, env, item.Body)
+		}
+		if full && idx == len(items)-1 {
+			// Last arm of a fully covered case acts as default.
+			return s.execStmt(f, env, item.Body)
+		}
+		var match int32 = 0
+		for _, pe := range item.Exprs {
+			m, err := s.caseMatch(f, env, subj, pe, w)
+			if err != nil {
+				return err
+			}
+			match = s.bd.Or(match, m)
+		}
+		envT := env.clone()
+		envE := env.clone()
+		if err := s.execStmt(f, envT, item.Body); err != nil {
+			return err
+		}
+		if err := build(idx+1, envE); err != nil {
+			return err
+		}
+		return s.mergeEnv(f, env, match, envT, envE)
+	}
+	return build(0, env)
+}
+
+// caseMatch builds the match condition of one case pattern against the
+// subject, honoring casez wildcard bits.
+func (s *synthesizer) caseMatch(f *frame, env *execEnv, subj []int32, pe verilog.Expr, w int) (int32, error) {
+	bd := s.bd
+	if n, ok := pe.(*verilog.Number); ok {
+		var terms []int32
+		for i := 0; i < w; i++ {
+			var dc bool
+			var bit bool
+			if i < 64 {
+				dc = (n.DontCare>>uint(i))&1 == 1
+				bit = (n.Val>>uint(i))&1 == 1
+			}
+			if i >= n.Width || dc {
+				if i >= n.Width {
+					// Zero-extended pattern bit must match 0.
+					terms = append(terms, bd.Not(subj[i]))
+				}
+				continue
+			}
+			if bit {
+				terms = append(terms, subj[i])
+			} else {
+				terms = append(terms, bd.Not(subj[i]))
+			}
+		}
+		return bd.ReduceAnd(terms), nil
+	}
+	pb, err := s.evalExpr(f, env, pe, w)
+	if err != nil {
+		return 0, err
+	}
+	var terms []int32
+	for i := 0; i < w; i++ {
+		terms = append(terms, bd.Xnor(subj[i], pb[i]))
+	}
+	return bd.ReduceAnd(terms), nil
+}
+
+// execFor unrolls a constant-bound loop.
+func (s *synthesizer) execFor(f *frame, env *execEnv, fo *verilog.For) error {
+	if fo.Init == nil || fo.Step == nil || fo.Cond == nil {
+		return &Error{f.node.Path, "for loop requires init, condition, and step"}
+	}
+	if err := s.execProcAssign(f, env, fo.Init); err != nil {
+		return err
+	}
+	for iter := 0; ; iter++ {
+		if iter > s.loopLimit {
+			return &Error{f.node.Path, "for loop exceeds unroll limit (non-constant bound?)"}
+		}
+		cb, err := s.evalExpr(f, env, fo.Cond, 0)
+		if err != nil {
+			return err
+		}
+		cv, ok := constValue(cb)
+		if !ok {
+			return &Error{f.node.Path, "for loop condition is not compile-time constant"}
+		}
+		if cv == 0 {
+			return nil
+		}
+		if err := s.execStmt(f, env, fo.Body); err != nil {
+			return err
+		}
+		if err := s.execProcAssign(f, env, fo.Step); err != nil {
+			return err
+		}
+	}
+}
+
+// execProcAssign performs one procedural assignment in the environment.
+func (s *synthesizer) execProcAssign(f *frame, env *execEnv, a *verilog.Assign) error {
+	// Memory write?
+	if idx, ok := a.LHS.(*verilog.Index); ok {
+		if id, ok2 := idx.X.(*verilog.Ident); ok2 {
+			if ni, ok3 := f.netInfo[id.Name]; ok3 && ni.Depth > 0 {
+				return s.execMemWrite(f, env, id.Name, ni, idx.Idx, a.RHS)
+			}
+		}
+	}
+	refs, err := s.procTarget(f, env, a.LHS)
+	if err != nil {
+		return err
+	}
+	rhs, err := s.evalExpr(f, env, a.RHS, len(refs))
+	if err != nil {
+		return err
+	}
+	rhs = extend(rhs, len(refs))
+	// Group per net and write back.
+	perNet := make(map[string][]int)
+	for i, ref := range refs {
+		perNet[ref.net] = append(perNet[ref.net], i)
+	}
+	for name, idxs := range perNet {
+		ni := f.netInfo[name]
+		old := s.procRead(f, env, name, a.Blocking)
+		bits := make([]int32, ni.Width)
+		for i := range bits {
+			if i < len(old) {
+				bits[i] = old[i]
+			} else {
+				bits[i] = unassigned
+			}
+		}
+		for _, i := range idxs {
+			bits[refs[i].bit] = rhs[i]
+		}
+		s.procWrite(env, name, bits, a.Blocking)
+	}
+	return nil
+}
+
+// procRead returns the current value of a register for read-modify-write
+// of partial assignments. Unwritten combinational registers read as
+// unassigned, which only becomes an error if such a bit stays live.
+func (s *synthesizer) procRead(f *frame, env *execEnv, name string, blocking bool) []int32 {
+	if env.seq && !blocking {
+		// Non-blocking partial writes accumulate on the next-state view.
+		if b, ok := env.next[name]; ok {
+			return b
+		}
+	}
+	if b, ok := env.cur[name]; ok {
+		return b
+	}
+	if bits, ok := f.nets[name]; ok {
+		return bits
+	}
+	return nil
+}
+
+func (s *synthesizer) procWrite(env *execEnv, name string, bits []int32, blocking bool) {
+	if env.seq {
+		if blocking {
+			env.cur[name] = bits
+			env.next[name] = bits
+		} else {
+			env.next[name] = bits
+		}
+		return
+	}
+	env.cur[name] = bits
+}
+
+// procTarget destructures a procedural assignment target (no memories).
+func (s *synthesizer) procTarget(f *frame, env *execEnv, e verilog.Expr) ([]bitRef, error) {
+	switch x := e.(type) {
+	case *verilog.Ident:
+		ni, ok := f.netInfo[x.Name]
+		if !ok {
+			return nil, &Error{f.node.Path, fmt.Sprintf("assignment to unknown net %q", x.Name)}
+		}
+		refs := make([]bitRef, ni.Width)
+		for i := range refs {
+			refs[i] = bitRef{x.Name, i}
+		}
+		return refs, nil
+	case *verilog.Index:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return nil, &Error{f.node.Path, "nested index in assignment target"}
+		}
+		ni, ok := f.netInfo[id.Name]
+		if !ok {
+			return nil, &Error{f.node.Path, fmt.Sprintf("assignment to unknown net %q", id.Name)}
+		}
+		iv, err := s.constIndex(f, env, x.Idx)
+		if err != nil {
+			return nil, err
+		}
+		bit, err := bitOffset(ni, iv)
+		if err != nil {
+			return nil, &Error{f.node.Path, err.Error()}
+		}
+		return []bitRef{{id.Name, bit}}, nil
+	case *verilog.Slice:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return nil, &Error{f.node.Path, "nested slice in assignment target"}
+		}
+		ni, ok := f.netInfo[id.Name]
+		if !ok {
+			return nil, &Error{f.node.Path, fmt.Sprintf("assignment to unknown net %q", id.Name)}
+		}
+		msb, err := verilog.EvalConst(x.MSB, f.env)
+		if err != nil {
+			return nil, &Error{f.node.Path, err.Error()}
+		}
+		lsb, err := verilog.EvalConst(x.LSB, f.env)
+		if err != nil {
+			return nil, &Error{f.node.Path, err.Error()}
+		}
+		lo, err := bitOffset(ni, lsb)
+		if err != nil {
+			return nil, &Error{f.node.Path, err.Error()}
+		}
+		hi, err := bitOffset(ni, msb)
+		if err != nil {
+			return nil, &Error{f.node.Path, err.Error()}
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var refs []bitRef
+		for i := lo; i <= hi; i++ {
+			refs = append(refs, bitRef{id.Name, i})
+		}
+		return refs, nil
+	case *verilog.Concat:
+		var refs []bitRef
+		for i := len(x.Parts) - 1; i >= 0; i-- {
+			sub, err := s.procTarget(f, env, x.Parts[i])
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, sub...)
+		}
+		return refs, nil
+	}
+	return nil, &Error{f.node.Path, fmt.Sprintf("unsupported assignment target %T", e)}
+}
+
+// constIndex evaluates an index expression that must be compile-time
+// constant (possibly via an unrolled loop variable).
+func (s *synthesizer) constIndex(f *frame, env *execEnv, e verilog.Expr) (int64, error) {
+	if v, err := verilog.EvalConst(e, f.env); err == nil {
+		return v, nil
+	}
+	bits, err := s.evalExpr(f, env, e, 0)
+	if err != nil {
+		return 0, err
+	}
+	if v, ok := constValue(bits); ok {
+		return int64(v), nil
+	}
+	return 0, &Error{f.node.Path, "variable bit index on assignment target is not supported"}
+}
+
+// execMemWrite handles mem[idx] <= value in a clocked block.
+func (s *synthesizer) execMemWrite(f *frame, env *execEnv, name string, ni *rtl.NetInfo, idxExpr, rhs verilog.Expr) error {
+	if !env.seq {
+		return &Error{f.node.Path, "memory writes are only allowed in clocked always blocks"}
+	}
+	base, err := s.memNextBase(f, env, name)
+	if err != nil {
+		return err
+	}
+	val, err := s.evalExpr(f, env, rhs, ni.Width)
+	if err != nil {
+		return err
+	}
+	val = extend(val, ni.Width)[:ni.Width]
+	out := make([][]int32, len(base))
+	copy(out, base)
+	cv, isConst := int64(0), false
+	if v, err := verilog.EvalConst(idxExpr, f.env); err == nil {
+		cv, isConst = v, true
+	} else {
+		bits, err := s.evalExpr(f, env, idxExpr, 0)
+		if err != nil {
+			return err
+		}
+		if v, ok := constValue(bits); ok {
+			cv, isConst = int64(v), true
+		} else {
+			// Variable index: every element gets a write-enable mux.
+			for el := range out {
+				eq := s.indexEquals(bits, uint64(int64(el)+ni.Base))
+				row := make([]int32, ni.Width)
+				for b := 0; b < ni.Width; b++ {
+					row[b] = s.bd.Mux(eq, out[el][b], val[b])
+				}
+				out[el] = row
+			}
+			env.nextMem[name] = out
+			return nil
+		}
+	}
+	if isConst {
+		el := int(cv - ni.Base)
+		if el >= 0 && el < ni.Depth {
+			out[el] = val
+		}
+		env.nextMem[name] = out
+	}
+	return nil
+}
+
+// mergeEnv folds the two branch environments back into env under the
+// condition c (c true selects envT).
+func (s *synthesizer) mergeEnv(f *frame, env *execEnv, c int32, envT, envE *execEnv) error {
+	bd := s.bd
+	mergeRegs := func(dst, t, e map[string][]int32) error {
+		names := make(map[string]bool)
+		for k := range t {
+			names[k] = true
+		}
+		for k := range e {
+			names[k] = true
+		}
+		for name := range names {
+			tb, tok := t[name]
+			eb, eok := e[name]
+			switch {
+			case tok && eok:
+				if len(tb) != len(eb) {
+					return &Error{f.node.Path, fmt.Sprintf("width mismatch merging %s", name)}
+				}
+				same := true
+				for i := range tb {
+					if tb[i] != eb[i] {
+						same = false
+						break
+					}
+				}
+				if same {
+					dst[name] = tb
+					continue
+				}
+				out := make([]int32, len(tb))
+				for i := range tb {
+					switch {
+					case tb[i] == eb[i]:
+						out[i] = tb[i]
+					case tb[i] == unassigned || eb[i] == unassigned:
+						return &Error{f.node.Path,
+							fmt.Sprintf("register %s is not assigned on all paths (latch inferred)", name)}
+					default:
+						out[i] = bd.Mux(c, eb[i], tb[i])
+					}
+				}
+				dst[name] = out
+			case tok != eok:
+				return &Error{f.node.Path,
+					fmt.Sprintf("register %s is not assigned on all paths (latch inferred)", name)}
+			}
+		}
+		return nil
+	}
+	if err := mergeRegs(env.cur, envT.cur, envE.cur); err != nil {
+		return err
+	}
+	if env.seq {
+		if err := mergeRegs(env.next, envT.next, envE.next); err != nil {
+			return err
+		}
+	}
+	// Memories: a branch that did not touch a memory implicitly keeps
+	// the pre-branch (or q) value.
+	memNames := make(map[string]bool)
+	for k := range envT.nextMem {
+		memNames[k] = true
+	}
+	for k := range envE.nextMem {
+		memNames[k] = true
+	}
+	for name := range memNames {
+		tg, tok := envT.nextMem[name]
+		eg, eok := envE.nextMem[name]
+		var baseGrid [][]int32
+		if !tok || !eok {
+			bg, err := s.memNextBase(f, env, name)
+			if err != nil {
+				return err
+			}
+			baseGrid = bg
+		}
+		if !tok {
+			tg = baseGrid
+		}
+		if !eok {
+			eg = baseGrid
+		}
+		out := make([][]int32, len(tg))
+		for el := range tg {
+			out[el] = make([]int32, len(tg[el]))
+			for b := range tg[el] {
+				if tg[el][b] == eg[el][b] {
+					out[el][b] = tg[el][b]
+				} else {
+					out[el][b] = bd.Mux(c, eg[el][b], tg[el][b])
+				}
+			}
+		}
+		env.nextMem[name] = out
+	}
+	return nil
+}
+
+// memNextBase returns the pending next-state grid of a memory (falling
+// back to the registered q values).
+func (s *synthesizer) memNextBase(f *frame, env *execEnv, name string) ([][]int32, error) {
+	if g, ok := env.nextMem[name]; ok {
+		return g, nil
+	}
+	g, ok := f.mems[name]
+	if !ok {
+		return nil, &Error{f.node.Path, fmt.Sprintf("memory %q written before flip-flop inference", name)}
+	}
+	cp := make([][]int32, len(g))
+	for i := range g {
+		cp[i] = append([]int32(nil), g[i]...)
+	}
+	return cp, nil
+}

@@ -1,0 +1,709 @@
+package synth
+
+import (
+	"fmt"
+
+	"alice/internal/verilog"
+)
+
+// natWidth computes the self-determined width of an expression.
+func (s *synthesizer) natWidth(f *frame, e verilog.Expr) (int, error) {
+	switch x := e.(type) {
+	case *verilog.Number:
+		return x.Width, nil
+	case *verilog.Ident:
+		if _, ok := f.env[x.Name]; ok {
+			return 32, nil
+		}
+		if ni, ok := f.netInfo[x.Name]; ok {
+			return ni.Width, nil
+		}
+		return 0, &Error{f.node.Path, fmt.Sprintf("unknown identifier %q", x.Name)}
+	case *verilog.Unary:
+		switch x.Op {
+		case verilog.BANG, verilog.AMP, verilog.PIPE, verilog.CARET,
+			verilog.NAND, verilog.NOR, verilog.XNOR:
+			return 1, nil
+		}
+		return s.natWidth(f, x.X)
+	case *verilog.Binary:
+		switch x.Op {
+		case verilog.EQEQ, verilog.NEQ, verilog.LT, verilog.LE,
+			verilog.GT, verilog.GE, verilog.AMPAMP, verilog.PIPE2:
+			return 1, nil
+		case verilog.SHL, verilog.SHR:
+			return s.natWidth(f, x.X)
+		}
+		a, err := s.natWidth(f, x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := s.natWidth(f, x.Y)
+		if err != nil {
+			return 0, err
+		}
+		if a > b {
+			return a, nil
+		}
+		return b, nil
+	case *verilog.Ternary:
+		a, err := s.natWidth(f, x.Then)
+		if err != nil {
+			return 0, err
+		}
+		b, err := s.natWidth(f, x.Else)
+		if err != nil {
+			return 0, err
+		}
+		if a > b {
+			return a, nil
+		}
+		return b, nil
+	case *verilog.Concat:
+		total := 0
+		for _, p := range x.Parts {
+			w, err := s.natWidth(f, p)
+			if err != nil {
+				return 0, err
+			}
+			total += w
+		}
+		return total, nil
+	case *verilog.Repeat:
+		c, err := verilog.EvalConst(x.Count, f.env)
+		if err != nil {
+			return 0, &Error{f.node.Path, fmt.Sprintf("replication count: %v", err)}
+		}
+		w, err := s.natWidth(f, x.X)
+		if err != nil {
+			return 0, err
+		}
+		return int(c) * w, nil
+	case *verilog.Index:
+		if id, ok := x.X.(*verilog.Ident); ok {
+			if ni, ok := f.netInfo[id.Name]; ok && ni.Depth > 0 {
+				return ni.Width, nil // memory element
+			}
+		}
+		return 1, nil
+	case *verilog.Slice:
+		msb, err := verilog.EvalConst(x.MSB, f.env)
+		if err != nil {
+			return 0, &Error{f.node.Path, fmt.Sprintf("part-select bound: %v", err)}
+		}
+		lsb, err := verilog.EvalConst(x.LSB, f.env)
+		if err != nil {
+			return 0, &Error{f.node.Path, fmt.Sprintf("part-select bound: %v", err)}
+		}
+		w := msb - lsb
+		if w < 0 {
+			w = -w
+		}
+		return int(w) + 1, nil
+	}
+	return 0, &Error{f.node.Path, fmt.Sprintf("unsupported expression %T", e)}
+}
+
+// exprBits synthesizes an expression outside any procedural context.
+func (s *synthesizer) exprBits(f *frame, e verilog.Expr, ctx int) ([]int32, error) {
+	return s.evalExpr(f, nil, e, ctx)
+}
+
+// evalExpr synthesizes an expression to a bit vector of width
+// max(ctx, selfWidth), LSB first. env carries procedural values during
+// symbolic execution of always blocks (nil otherwise).
+func (s *synthesizer) evalExpr(f *frame, env *execEnv, e verilog.Expr, ctx int) ([]int32, error) {
+	nw, err := s.natWidth(f, e)
+	if err != nil {
+		return nil, err
+	}
+	w := nw
+	if ctx > w {
+		w = ctx
+	}
+	bd := s.bd
+	switch x := e.(type) {
+	case *verilog.Number:
+		if x.DontCare != 0 {
+			return nil, &Error{f.node.Path, "wildcard literal outside casez pattern"}
+		}
+		return bd.ConstBits(x.Val, w), nil
+
+	case *verilog.Ident:
+		if v, ok := f.env[x.Name]; ok {
+			return bd.ConstBits(uint64(v), w), nil
+		}
+		bits, err := s.readNet(f, env, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int32, w)
+		for i := range out {
+			if i < len(bits) {
+				if bits[i] == unassigned {
+					return nil, &Error{f.node.Path,
+						fmt.Sprintf("net %s bit %d is undriven or in a combinational loop", x.Name, i)}
+				}
+				out[i] = bits[i]
+			}
+		}
+		return out, nil
+
+	case *verilog.Unary:
+		switch x.Op {
+		case verilog.TILDE:
+			in, err := s.evalExpr(f, env, x.X, w)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]int32, w)
+			for i := 0; i < w; i++ {
+				out[i] = bd.Not(in[i])
+			}
+			return out, nil
+		case verilog.MINUS:
+			in, err := s.evalExpr(f, env, x.X, w)
+			if err != nil {
+				return nil, err
+			}
+			zero := make([]int32, w)
+			inv := make([]int32, w)
+			for i := range inv {
+				inv[i] = bd.Not(in[i])
+			}
+			sum, _ := bd.AddCarry(zero, inv, 1) // 0 + ~x + 1
+			return sum, nil
+		default:
+			in, err := s.evalExpr(f, env, x.X, 0)
+			if err != nil {
+				return nil, err
+			}
+			var bit int32
+			switch x.Op {
+			case verilog.BANG:
+				bit = bd.Not(bd.ReduceOr(in))
+			case verilog.AMP:
+				bit = bd.ReduceAnd(in)
+			case verilog.NAND:
+				bit = bd.Not(bd.ReduceAnd(in))
+			case verilog.PIPE:
+				bit = bd.ReduceOr(in)
+			case verilog.NOR:
+				bit = bd.Not(bd.ReduceOr(in))
+			case verilog.CARET:
+				bit = bd.ReduceXor(in)
+			case verilog.XNOR:
+				bit = bd.Not(bd.ReduceXor(in))
+			default:
+				return nil, &Error{f.node.Path, fmt.Sprintf("unsupported unary operator %s", x.Op)}
+			}
+			return extend([]int32{bit}, w), nil
+		}
+
+	case *verilog.Binary:
+		return s.evalBinary(f, env, x, w)
+
+	case *verilog.Ternary:
+		cbits, err := s.evalExpr(f, env, x.Cond, 0)
+		if err != nil {
+			return nil, err
+		}
+		c := bd.ReduceOr(cbits)
+		t, err := s.evalExpr(f, env, x.Then, w)
+		if err != nil {
+			return nil, err
+		}
+		el, err := s.evalExpr(f, env, x.Else, w)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int32, w)
+		for i := 0; i < w; i++ {
+			out[i] = bd.Mux(c, el[i], t[i])
+		}
+		return out, nil
+
+	case *verilog.Concat:
+		var out []int32
+		for i := len(x.Parts) - 1; i >= 0; i-- { // last part = LSBs
+			p, err := s.evalExpr(f, env, x.Parts[i], 0)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p...)
+		}
+		return extend(out, w)[:w], nil
+
+	case *verilog.Repeat:
+		c, err := verilog.EvalConst(x.Count, f.env)
+		if err != nil {
+			return nil, &Error{f.node.Path, fmt.Sprintf("replication count: %v", err)}
+		}
+		p, err := s.evalExpr(f, env, x.X, 0)
+		if err != nil {
+			return nil, err
+		}
+		var out []int32
+		for i := int64(0); i < c; i++ {
+			out = append(out, p...)
+		}
+		return extend(out, w)[:w], nil
+
+	case *verilog.Index:
+		return s.evalIndex(f, env, x, w)
+
+	case *verilog.Slice:
+		id, ok := x.X.(*verilog.Ident)
+		if !ok {
+			return nil, &Error{f.node.Path, "part-select of a non-identifier"}
+		}
+		ni, ok := f.netInfo[id.Name]
+		if !ok {
+			return nil, &Error{f.node.Path, fmt.Sprintf("unknown net %q", id.Name)}
+		}
+		msb, err := verilog.EvalConst(x.MSB, f.env)
+		if err != nil {
+			return nil, &Error{f.node.Path, err.Error()}
+		}
+		lsb, err := verilog.EvalConst(x.LSB, f.env)
+		if err != nil {
+			return nil, &Error{f.node.Path, err.Error()}
+		}
+		lo, err := bitOffset(ni, lsb)
+		if err != nil {
+			return nil, &Error{f.node.Path, err.Error()}
+		}
+		hi, err := bitOffset(ni, msb)
+		if err != nil {
+			return nil, &Error{f.node.Path, err.Error()}
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		bits, err := s.readNet(f, env, id.Name)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int32, 0, hi-lo+1)
+		for i := lo; i <= hi; i++ {
+			if bits[i] == unassigned {
+				return nil, &Error{f.node.Path,
+					fmt.Sprintf("net %s bit %d is undriven or in a combinational loop", id.Name, i)}
+			}
+			out = append(out, bits[i])
+		}
+		return extend(out, w)[:w], nil
+	}
+	return nil, &Error{f.node.Path, fmt.Sprintf("unsupported expression %T", e)}
+}
+
+// evalBinary handles two-operand operators.
+func (s *synthesizer) evalBinary(f *frame, env *execEnv, x *verilog.Binary, w int) ([]int32, error) {
+	bd := s.bd
+	bitwise := func(g func(a, b int32) int32) ([]int32, error) {
+		a, err := s.evalExpr(f, env, x.X, w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.evalExpr(f, env, x.Y, w)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int32, w)
+		for i := 0; i < w; i++ {
+			out[i] = g(a[i], b[i])
+		}
+		return out, nil
+	}
+	cmpOperands := func() (a, b []int32, err error) {
+		wa, err := s.natWidth(f, x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		wb, err := s.natWidth(f, x.Y)
+		if err != nil {
+			return nil, nil, err
+		}
+		wc := wa
+		if wb > wc {
+			wc = wb
+		}
+		a, err = s.evalExpr(f, env, x.X, wc)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err = s.evalExpr(f, env, x.Y, wc)
+		return a, b, err
+	}
+	oneBit := func(bit int32) []int32 { return extend([]int32{bit}, w) }
+
+	switch x.Op {
+	case verilog.AMP:
+		return bitwise(bd.And)
+	case verilog.PIPE:
+		return bitwise(bd.Or)
+	case verilog.CARET:
+		return bitwise(bd.Xor)
+	case verilog.XNOR:
+		return bitwise(bd.Xnor)
+
+	case verilog.PLUS:
+		a, err := s.evalExpr(f, env, x.X, w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.evalExpr(f, env, x.Y, w)
+		if err != nil {
+			return nil, err
+		}
+		sum, _ := bd.AddCarry(a[:w], b[:w], 0)
+		return sum, nil
+
+	case verilog.MINUS:
+		a, err := s.evalExpr(f, env, x.X, w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.evalExpr(f, env, x.Y, w)
+		if err != nil {
+			return nil, err
+		}
+		inv := make([]int32, w)
+		for i := 0; i < w; i++ {
+			inv[i] = bd.Not(b[i])
+		}
+		diff, _ := bd.AddCarry(a[:w], inv, 1)
+		return diff, nil
+
+	case verilog.STAR:
+		a, err := s.evalExpr(f, env, x.X, w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.evalExpr(f, env, x.Y, w)
+		if err != nil {
+			return nil, err
+		}
+		return s.multiply(a[:w], b[:w]), nil
+
+	case verilog.SLASH, verilog.PERCENT:
+		// Only division by a constant power of two is synthesizable here.
+		dv, err := verilog.EvalConst(x.Y, f.env)
+		if err != nil || dv <= 0 || dv&(dv-1) != 0 {
+			return nil, &Error{f.node.Path, "division/modulo supported only by constant powers of two"}
+		}
+		sh := 0
+		for v := dv; v > 1; v >>= 1 {
+			sh++
+		}
+		a, err := s.evalExpr(f, env, x.X, w)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int32, w)
+		if x.Op == verilog.SLASH {
+			for i := 0; i < w; i++ {
+				if i+sh < len(a) {
+					out[i] = a[i+sh]
+				}
+			}
+		} else {
+			for i := 0; i < sh && i < w; i++ {
+				out[i] = a[i]
+			}
+		}
+		return out, nil
+
+	case verilog.SHL, verilog.SHR:
+		a, err := s.evalExpr(f, env, x.X, w)
+		if err != nil {
+			return nil, err
+		}
+		if c, err := verilog.EvalConst(x.Y, f.env); err == nil {
+			return shiftConst(a[:w], int(c), x.Op == verilog.SHL), nil
+		}
+		sh, err := s.evalExpr(f, env, x.Y, 0)
+		if err != nil {
+			return nil, err
+		}
+		return s.barrelShift(a[:w], sh, x.Op == verilog.SHL), nil
+
+	case verilog.EQEQ, verilog.NEQ:
+		a, b, err := cmpOperands()
+		if err != nil {
+			return nil, err
+		}
+		var diffs []int32
+		for i := range a {
+			diffs = append(diffs, bd.Xor(a[i], b[i]))
+		}
+		ne := bd.ReduceOr(diffs)
+		if x.Op == verilog.EQEQ {
+			return oneBit(bd.Not(ne)), nil
+		}
+		return oneBit(ne), nil
+
+	case verilog.LT, verilog.LE, verilog.GT, verilog.GE:
+		a, b, err := cmpOperands()
+		if err != nil {
+			return nil, err
+		}
+		// a < b  <=>  borrow out of a - b (unsigned).
+		inv := make([]int32, len(b))
+		for i := range b {
+			inv[i] = bd.Not(b[i])
+		}
+		_, carry := bd.AddCarry(a, inv, 1)
+		lt := bd.Not(carry)
+		var eqBits []int32
+		for i := range a {
+			eqBits = append(eqBits, bd.Xnor(a[i], b[i]))
+		}
+		eq := bd.ReduceAnd(eqBits)
+		switch x.Op {
+		case verilog.LT:
+			return oneBit(lt), nil
+		case verilog.GE:
+			return oneBit(bd.Not(lt)), nil
+		case verilog.LE:
+			return oneBit(bd.Or(lt, eq)), nil
+		default: // GT
+			return oneBit(bd.And(bd.Not(lt), bd.Not(eq))), nil
+		}
+
+	case verilog.AMPAMP, verilog.PIPE2:
+		a, err := s.evalExpr(f, env, x.X, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.evalExpr(f, env, x.Y, 0)
+		if err != nil {
+			return nil, err
+		}
+		ra, rb := bd.ReduceOr(a), bd.ReduceOr(b)
+		if x.Op == verilog.AMPAMP {
+			return oneBit(bd.And(ra, rb)), nil
+		}
+		return oneBit(bd.Or(ra, rb)), nil
+	}
+	return nil, &Error{f.node.Path, fmt.Sprintf("unsupported binary operator %s", x.Op)}
+}
+
+// multiply builds a shift-and-add array multiplier truncated to len(a).
+func (s *synthesizer) multiply(a, b []int32) []int32 {
+	bd := s.bd
+	w := len(a)
+	acc := make([]int32, w)
+	for i := 0; i < w; i++ {
+		if b[i] == 0 {
+			continue
+		}
+		pp := make([]int32, w)
+		for j := 0; i+j < w; j++ {
+			pp[i+j] = bd.And(a[j], b[i])
+		}
+		acc, _ = bd.AddCarry(acc, pp, 0)
+	}
+	return acc
+}
+
+// shiftConst shifts by a constant amount, filling with zeros.
+func shiftConst(a []int32, c int, left bool) []int32 {
+	w := len(a)
+	out := make([]int32, w)
+	for i := 0; i < w; i++ {
+		var src int
+		if left {
+			src = i - c
+		} else {
+			src = i + c
+		}
+		if src >= 0 && src < w {
+			out[i] = a[src]
+		}
+	}
+	return out
+}
+
+// barrelShift builds a logarithmic shifter controlled by sh.
+func (s *synthesizer) barrelShift(a []int32, sh []int32, left bool) []int32 {
+	bd := s.bd
+	cur := a
+	for k := 0; k < len(sh); k++ {
+		amt := 1 << uint(k)
+		if amt >= len(a)*2 {
+			break
+		}
+		shifted := shiftConst(cur, amt, left)
+		next := make([]int32, len(cur))
+		for i := range cur {
+			next[i] = bd.Mux(sh[k], cur[i], shifted[i])
+		}
+		cur = next
+	}
+	// Any higher shift-amount bit zeroes the result.
+	var high []int32
+	for k := 0; k < len(sh); k++ {
+		if 1<<uint(k) >= len(a)*2 {
+			high = append(high, sh[k])
+		}
+	}
+	if len(high) > 0 {
+		z := bd.ReduceOr(high)
+		for i := range cur {
+			cur[i] = bd.And(cur[i], bd.Not(z))
+		}
+	}
+	return cur
+}
+
+// evalIndex handles bit selects and memory reads.
+func (s *synthesizer) evalIndex(f *frame, env *execEnv, x *verilog.Index, w int) ([]int32, error) {
+	bd := s.bd
+	id, ok := x.X.(*verilog.Ident)
+	if !ok {
+		return nil, &Error{f.node.Path, "index of a non-identifier"}
+	}
+	ni, ok := f.netInfo[id.Name]
+	if !ok {
+		return nil, &Error{f.node.Path, fmt.Sprintf("unknown net %q", id.Name)}
+	}
+	if ni.Depth > 0 {
+		// Memory read.
+		grid, err := s.readMem(f, env, id.Name)
+		if err != nil {
+			return nil, err
+		}
+		if c, err := verilog.EvalConst(x.Idx, f.env); err == nil {
+			el := int(c - ni.Base)
+			if el < 0 || el >= ni.Depth {
+				return bd.ConstBits(0, w), nil
+			}
+			return extend(append([]int32(nil), grid[el]...), w)[:w], nil
+		}
+		idx, err := s.evalExpr(f, env, x.Idx, 0)
+		if err != nil {
+			return nil, err
+		}
+		// Fold constant-valued indices (e.g. unrolled loop variables).
+		if c, ok := constValue(idx); ok {
+			el := int(int64(c) - ni.Base)
+			if el < 0 || el >= ni.Depth {
+				return bd.ConstBits(0, w), nil
+			}
+			return extend(append([]int32(nil), grid[el]...), w)[:w], nil
+		}
+		out := bd.ConstBits(0, ni.Width)
+		for el := 0; el < ni.Depth; el++ {
+			eq := s.indexEquals(idx, uint64(int64(el)+ni.Base))
+			for b := 0; b < ni.Width; b++ {
+				out[b] = bd.Mux(eq, out[b], grid[el][b])
+			}
+		}
+		return extend(out, w)[:w], nil
+	}
+	// Plain bit select.
+	bits, err := s.readNet(f, env, id.Name)
+	if err != nil {
+		return nil, err
+	}
+	if c, err := verilog.EvalConst(x.Idx, f.env); err == nil {
+		off, err := bitOffset(ni, c)
+		if err != nil {
+			return bd.ConstBits(0, w), nil
+		}
+		if bits[off] == unassigned {
+			return nil, &Error{f.node.Path,
+				fmt.Sprintf("net %s bit %d is undriven or in a combinational loop", id.Name, off)}
+		}
+		return extend([]int32{bits[off]}, w), nil
+	}
+	idx, err := s.evalExpr(f, env, x.Idx, 0)
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := constValue(idx); ok {
+		off, err := bitOffset(ni, int64(c))
+		if err != nil {
+			return bd.ConstBits(0, w), nil
+		}
+		if bits[off] == unassigned {
+			return nil, &Error{f.node.Path,
+				fmt.Sprintf("net %s bit %d is undriven or in a combinational loop", id.Name, off)}
+		}
+		return extend([]int32{bits[off]}, w), nil
+	}
+	// Variable bit select: mux tree over all bits.
+	out := int32(0)
+	for i := 0; i < ni.Width; i++ {
+		if bits[i] == unassigned {
+			return nil, &Error{f.node.Path,
+				fmt.Sprintf("net %s bit %d is undriven or in a combinational loop", id.Name, i)}
+		}
+		eq := s.indexEquals(idx, uint64(int64(i)+min64(ni.MSB, ni.LSB)))
+		out = bd.Mux(eq, out, bits[i])
+	}
+	return extend([]int32{out}, w), nil
+}
+
+// indexEquals builds the comparison idx == value.
+func (s *synthesizer) indexEquals(idx []int32, value uint64) int32 {
+	bd := s.bd
+	var terms []int32
+	for k, bit := range idx {
+		want := k < 64 && (value>>uint(k))&1 == 1
+		if want {
+			terms = append(terms, bit)
+		} else {
+			terms = append(terms, bd.Not(bit))
+		}
+	}
+	return bd.ReduceAnd(terms)
+}
+
+// constValue extracts a constant if every bit is const0/const1.
+func constValue(bits []int32) (uint64, bool) {
+	var v uint64
+	for i, b := range bits {
+		switch b {
+		case 0:
+		case 1:
+			if i < 64 {
+				v |= 1 << uint(i)
+			}
+		default:
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// readNet reads a net's current bits honoring the procedural environment.
+func (s *synthesizer) readNet(f *frame, env *execEnv, name string) ([]int32, error) {
+	if env != nil {
+		if bits, ok := env.cur[name]; ok {
+			return bits, nil
+		}
+	}
+	return s.resolveNet(f, name)
+}
+
+// readMem reads a memory's q grid honoring the procedural environment.
+func (s *synthesizer) readMem(f *frame, env *execEnv, name string) ([][]int32, error) {
+	if env != nil {
+		if g, ok := env.curMem[name]; ok {
+			return g, nil
+		}
+	}
+	if g, ok := f.mems[name]; ok {
+		return g, nil
+	}
+	return nil, &Error{f.node.Path, fmt.Sprintf("memory %q is never written (no flip-flops inferred)", name)}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

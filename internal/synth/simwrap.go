@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"fmt"
+
+	"alice/internal/netlist"
+)
+
+// VectorSim drives a synthesized netlist by port name, hiding the
+// bit-blasted PI/PO mapping. It is the main tool used by tests and by
+// the equivalence checks of the redaction flow.
+type VectorSim struct {
+	res *Result
+	sim *netlist.Simulator
+	in  []bool
+	out []bool
+}
+
+// NewVectorSim returns a simulator for a synthesis result with all
+// flip-flops reset.
+func NewVectorSim(res *Result) *VectorSim {
+	v := &VectorSim{
+		res: res,
+		sim: netlist.NewSimulator(res.Netlist),
+		in:  make([]bool, len(res.Netlist.PIs)),
+	}
+	v.sim.Reset()
+	return v
+}
+
+// Reset asserts the global asynchronous reset.
+func (v *VectorSim) Reset() { v.sim.Reset() }
+
+// Set assigns a value to an input port (by name) for the next
+// evaluation. It panics on unknown ports to keep test code short.
+func (v *VectorSim) Set(port string, val uint64) {
+	for _, p := range v.res.Inputs {
+		if p.Name == port {
+			for i, bit := range p.Bits {
+				v.in[bit] = i < 64 && (val>>uint(i))&1 == 1
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("synth: unknown input port %q", port))
+}
+
+// Eval settles combinational logic with the current inputs.
+func (v *VectorSim) Eval() { v.out = v.sim.Eval(v.in) }
+
+// Step settles combinational logic and advances one clock cycle.
+func (v *VectorSim) Step() { v.out = v.sim.Step(v.in) }
+
+// Out returns the value of an output port after Eval or Step.
+func (v *VectorSim) Out(port string) uint64 {
+	for _, p := range v.res.Outputs {
+		if p.Name == port {
+			var w uint64
+			for i, bit := range p.Bits {
+				if v.out[bit] && i < 64 {
+					w |= 1 << uint(i)
+				}
+			}
+			return w
+		}
+	}
+	panic(fmt.Sprintf("synth: unknown output port %q", port))
+}
+
+// InputPorts returns the data input port names in order.
+func (v *VectorSim) InputPorts() []string {
+	var out []string
+	for _, p := range v.res.Inputs {
+		out = append(out, p.Name)
+	}
+	return out
+}

@@ -1,0 +1,589 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"alice/internal/rtl"
+	"alice/internal/verilog"
+)
+
+func synthSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := rtl.Elaborate(ast, "")
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	res, err := Synthesize(d)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	return res
+}
+
+func synthErr(t *testing.T, src string) error {
+	t.Helper()
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := rtl.Elaborate(ast, "")
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	_, err = Synthesize(d)
+	if err == nil {
+		t.Fatalf("expected synthesis error for:\n%s", src)
+	}
+	return err
+}
+
+func TestSynthCombAdder(t *testing.T) {
+	res := synthSrc(t, `
+module add (input wire [7:0] a, input wire [7:0] b, output wire [8:0] s);
+  assign s = a + b;
+endmodule`)
+	sim := NewVectorSim(res)
+	for a := uint64(0); a < 256; a += 13 {
+		for b := uint64(0); b < 256; b += 17 {
+			sim.Set("a", a)
+			sim.Set("b", b)
+			sim.Eval()
+			if got := sim.Out("s"); got != a+b {
+				t.Fatalf("%d+%d = %d, want %d", a, b, got, a+b)
+			}
+		}
+	}
+}
+
+func TestSynthCarryCapture(t *testing.T) {
+	// {cout, sum} must capture the carry (context-determined width).
+	res := synthSrc(t, `
+module add (input wire [3:0] a, input wire [3:0] b, input wire cin,
+            output wire [3:0] sum, output wire cout);
+  assign {cout, sum} = a + b + cin;
+endmodule`)
+	sim := NewVectorSim(res)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			for c := uint64(0); c < 2; c++ {
+				sim.Set("a", a)
+				sim.Set("b", b)
+				sim.Set("cin", c)
+				sim.Eval()
+				total := a + b + c
+				if sim.Out("sum") != total&0xF || sim.Out("cout") != total>>4 {
+					t.Fatalf("%d+%d+%d: sum=%d cout=%d", a, b, c, sim.Out("sum"), sim.Out("cout"))
+				}
+			}
+		}
+	}
+}
+
+func TestSynthCounterWithReset(t *testing.T) {
+	res := synthSrc(t, `
+module counter (input wire clk, input wire rst, input wire en, output reg [3:0] q);
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      q <= 4'd0;
+    else if (en)
+      q <= q + 4'd1;
+  end
+endmodule`)
+	if res.Clock != "clk" {
+		t.Errorf("clock = %q", res.Clock)
+	}
+	if len(res.Resets) != 1 || res.Resets[0] != "rst" {
+		t.Errorf("resets = %v", res.Resets)
+	}
+	// clk and rst must be stripped from data inputs.
+	if len(res.Inputs) != 1 || res.Inputs[0].Name != "en" {
+		t.Fatalf("inputs = %+v", res.Inputs)
+	}
+	sim := NewVectorSim(res)
+	sim.Set("en", 1)
+	for i := 1; i <= 20; i++ {
+		sim.Step()
+		sim.Eval()
+		if got := sim.Out("q"); got != uint64(i%16) {
+			t.Fatalf("cycle %d: q = %d, want %d", i, got, i%16)
+		}
+	}
+	sim.Set("en", 0)
+	sim.Step()
+	sim.Eval()
+	if got := sim.Out("q"); got != 4 {
+		t.Fatalf("hold failed: q = %d", got)
+	}
+	sim.Reset()
+	sim.Eval()
+	if got := sim.Out("q"); got != 0 {
+		t.Fatalf("reset failed: q = %d", got)
+	}
+}
+
+func TestSynthResetValueOne(t *testing.T) {
+	res := synthSrc(t, `
+module m (input wire clk, input wire rst, input wire d, output reg q);
+  always @(posedge clk or posedge rst) begin
+    if (rst) q <= 1'b1;
+    else q <= d;
+  end
+endmodule`)
+	sim := NewVectorSim(res)
+	sim.Reset()
+	sim.Eval()
+	if sim.Out("q") != 1 {
+		t.Fatalf("after reset q = %d, want 1", sim.Out("q"))
+	}
+	sim.Set("d", 0)
+	sim.Step()
+	sim.Eval()
+	if sim.Out("q") != 0 {
+		t.Fatalf("q = %d, want 0", sim.Out("q"))
+	}
+	sim.Set("d", 1)
+	sim.Step()
+	sim.Eval()
+	if sim.Out("q") != 1 {
+		t.Fatalf("q = %d, want 1", sim.Out("q"))
+	}
+}
+
+func TestSynthActiveLowReset(t *testing.T) {
+	res := synthSrc(t, `
+module m (input wire clk, input wire rst_n, input wire d, output reg q);
+  always @(posedge clk or negedge rst_n) begin
+    if (!rst_n) q <= 1'b0;
+    else q <= d;
+  end
+endmodule`)
+	if len(res.Resets) != 1 || res.Resets[0] != "rst_n" {
+		t.Errorf("resets = %v", res.Resets)
+	}
+	sim := NewVectorSim(res)
+	sim.Set("d", 1)
+	sim.Step()
+	sim.Eval()
+	if sim.Out("q") != 1 {
+		t.Fatalf("q = %d", sim.Out("q"))
+	}
+}
+
+func TestSynthMuxCase(t *testing.T) {
+	res := synthSrc(t, `
+module alu (input wire [1:0] op, input wire [7:0] a, input wire [7:0] b,
+            output reg [7:0] y);
+  always @(*) begin
+    case (op)
+      2'd0: y = a + b;
+      2'd1: y = a - b;
+      2'd2: y = a & b;
+      2'd3: y = a ^ b;
+    endcase
+  end
+endmodule`)
+	sim := NewVectorSim(res)
+	check := func(op, a, b, want uint64) {
+		t.Helper()
+		sim.Set("op", op)
+		sim.Set("a", a)
+		sim.Set("b", b)
+		sim.Eval()
+		if got := sim.Out("y"); got != want&0xFF {
+			t.Fatalf("op=%d a=%d b=%d: y=%d want %d", op, a, b, got, want&0xFF)
+		}
+	}
+	check(0, 200, 100, 300)
+	check(1, 200, 100, 100)
+	check(1, 100, 200, 100-200+256)
+	check(2, 0xF0, 0xCC, 0xC0)
+	check(3, 0xF0, 0xCC, 0x3C)
+}
+
+func TestSynthCasezWildcard(t *testing.T) {
+	res := synthSrc(t, `
+module pri (input wire [3:0] r, output reg [1:0] g);
+  always @(*) begin
+    casez (r)
+      4'b???1: g = 2'd0;
+      4'b??10: g = 2'd1;
+      4'b?100: g = 2'd2;
+      default: g = 2'd3;
+    endcase
+  end
+endmodule`)
+	sim := NewVectorSim(res)
+	cases := map[uint64]uint64{
+		0b0001: 0, 0b1011: 0, 0b0010: 1, 0b0110: 1, 0b0100: 2, 0b1100: 2,
+		0b1000: 3, 0b0000: 3,
+	}
+	for r, want := range cases {
+		sim.Set("r", r)
+		sim.Eval()
+		if got := sim.Out("g"); got != want {
+			t.Errorf("r=%04b: g=%d want %d", r, got, want)
+		}
+	}
+}
+
+func TestSynthHierarchyFlatten(t *testing.T) {
+	res := synthSrc(t, `
+module top (input wire [3:0] a, input wire [3:0] b, output wire [3:0] y);
+  wire [3:0] n1;
+  inv u0 (.in(a), .out(n1));
+  andm u1 (.x(n1), .y(b), .z(y));
+endmodule
+module inv (input wire [3:0] in, output wire [3:0] out);
+  assign out = ~in;
+endmodule
+module andm (input wire [3:0] x, input wire [3:0] y, output wire [3:0] z);
+  assign z = x & y;
+endmodule`)
+	sim := NewVectorSim(res)
+	sim.Set("a", 0b1010)
+	sim.Set("b", 0b1100)
+	sim.Eval()
+	if got := sim.Out("y"); got != 0b0100 {
+		t.Fatalf("y = %04b, want 0100", got)
+	}
+}
+
+func TestSynthShifts(t *testing.T) {
+	res := synthSrc(t, `
+module sh (input wire [7:0] a, input wire [2:0] n, output wire [7:0] l,
+           output wire [7:0] r, output wire [7:0] lc);
+  assign l = a << n;
+  assign r = a >> n;
+  assign lc = a << 3;
+endmodule`)
+	sim := NewVectorSim(res)
+	for a := uint64(0); a < 256; a += 23 {
+		for n := uint64(0); n < 8; n++ {
+			sim.Set("a", a)
+			sim.Set("n", n)
+			sim.Eval()
+			if got := sim.Out("l"); got != (a<<n)&0xFF {
+				t.Fatalf("a=%d n=%d: l=%d want %d", a, n, got, (a<<n)&0xFF)
+			}
+			if got := sim.Out("r"); got != a>>n {
+				t.Fatalf("a=%d n=%d: r=%d want %d", a, n, got, a>>n)
+			}
+			if got := sim.Out("lc"); got != (a<<3)&0xFF {
+				t.Fatalf("a=%d: lc=%d", a, got)
+			}
+		}
+	}
+}
+
+func TestSynthMultiply(t *testing.T) {
+	res := synthSrc(t, `
+module mul (input wire [7:0] a, input wire [7:0] b, output wire [7:0] p);
+  assign p = a * b;
+endmodule`)
+	sim := NewVectorSim(res)
+	for a := uint64(0); a < 256; a += 31 {
+		for b := uint64(0); b < 256; b += 29 {
+			sim.Set("a", a)
+			sim.Set("b", b)
+			sim.Eval()
+			if got := sim.Out("p"); got != (a*b)&0xFF {
+				t.Fatalf("%d*%d = %d, want %d", a, b, got, (a*b)&0xFF)
+			}
+		}
+	}
+}
+
+func TestSynthComparisons(t *testing.T) {
+	res := synthSrc(t, `
+module cmp (input wire [5:0] a, input wire [5:0] b,
+            output wire lt, output wire le, output wire gt, output wire ge,
+            output wire eq, output wire ne);
+  assign lt = a < b;
+  assign le = a <= b;
+  assign gt = a > b;
+  assign ge = a >= b;
+  assign eq = a == b;
+  assign ne = a != b;
+endmodule`)
+	sim := NewVectorSim(res)
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for a := uint64(0); a < 64; a += 5 {
+		for b := uint64(0); b < 64; b += 7 {
+			sim.Set("a", a)
+			sim.Set("b", b)
+			sim.Eval()
+			checks := map[string]uint64{
+				"lt": b2u(a < b), "le": b2u(a <= b), "gt": b2u(a > b),
+				"ge": b2u(a >= b), "eq": b2u(a == b), "ne": b2u(a != b),
+			}
+			for port, want := range checks {
+				if got := sim.Out(port); got != want {
+					t.Fatalf("a=%d b=%d %s=%d want %d", a, b, port, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSynthMemoryRegfile(t *testing.T) {
+	res := synthSrc(t, `
+module rf (input wire clk, input wire we, input wire [1:0] waddr,
+           input wire [1:0] raddr, input wire [7:0] wdata,
+           output wire [7:0] rdata);
+  reg [7:0] mem [0:3];
+  always @(posedge clk) begin
+    if (we) mem[waddr] <= wdata;
+  end
+  assign rdata = mem[raddr];
+endmodule`)
+	sim := NewVectorSim(res)
+	sim.Reset()
+	write := func(addr, data uint64) {
+		sim.Set("we", 1)
+		sim.Set("waddr", addr)
+		sim.Set("wdata", data)
+		sim.Step()
+	}
+	read := func(addr uint64) uint64 {
+		sim.Set("we", 0)
+		sim.Set("raddr", addr)
+		sim.Eval()
+		return sim.Out("rdata")
+	}
+	write(0, 0xAA)
+	write(1, 0xBB)
+	write(3, 0xCC)
+	if read(0) != 0xAA || read(1) != 0xBB || read(2) != 0 || read(3) != 0xCC {
+		t.Fatalf("regfile readback: %x %x %x %x", read(0), read(1), read(2), read(3))
+	}
+	write(1, 0x55)
+	if read(1) != 0x55 || read(0) != 0xAA {
+		t.Fatalf("overwrite: %x %x", read(1), read(0))
+	}
+}
+
+func TestSynthForLoopUnroll(t *testing.T) {
+	res := synthSrc(t, `
+module rev (input wire [7:0] in, output reg [7:0] out);
+  integer i;
+  always @(*) begin
+    for (i = 0; i < 8; i = i + 1)
+      out[i] = in[7 - i];
+  end
+endmodule`)
+	sim := NewVectorSim(res)
+	sim.Set("in", 0b1101_0010)
+	sim.Eval()
+	if got := sim.Out("out"); got != 0b0100_1011 {
+		t.Fatalf("out = %08b", got)
+	}
+}
+
+func TestSynthNonblockingSwap(t *testing.T) {
+	res := synthSrc(t, `
+module swap (input wire clk, input wire ld, input wire [3:0] v,
+             output reg [3:0] a, output reg [3:0] b);
+  always @(posedge clk) begin
+    if (ld) begin
+      a <= v;
+      b <= ~v;
+    end else begin
+      a <= b;
+      b <= a;
+    end
+  end
+endmodule`)
+	sim := NewVectorSim(res)
+	sim.Reset()
+	sim.Set("ld", 1)
+	sim.Set("v", 0x3)
+	sim.Step()
+	sim.Set("ld", 0)
+	sim.Step()
+	sim.Eval()
+	// After one swap, a and b must have exchanged (0x3 <-> 0xC).
+	if sim.Out("a") != 0xC || sim.Out("b") != 0x3 {
+		t.Fatalf("swap failed: a=%x b=%x", sim.Out("a"), sim.Out("b"))
+	}
+}
+
+func TestSynthBlockingTemp(t *testing.T) {
+	res := synthSrc(t, `
+module acc (input wire clk, input wire [3:0] x, output reg [3:0] q);
+  reg [3:0] t;
+  always @(posedge clk) begin
+    t = x + 4'd1;
+    q <= t + t;
+  end
+endmodule`)
+	sim := NewVectorSim(res)
+	sim.Reset()
+	sim.Set("x", 3)
+	sim.Step()
+	sim.Eval()
+	if got := sim.Out("q"); got != 8 {
+		t.Fatalf("q = %d, want 8", got)
+	}
+}
+
+func TestSynthVariableBitSelect(t *testing.T) {
+	res := synthSrc(t, `
+module sel (input wire [7:0] v, input wire [2:0] i, output wire b);
+  assign b = v[i];
+endmodule`)
+	sim := NewVectorSim(res)
+	sim.Set("v", 0b0100_0010)
+	for i := uint64(0); i < 8; i++ {
+		sim.Set("i", i)
+		sim.Eval()
+		want := uint64(0)
+		if i == 1 || i == 6 {
+			want = 1
+		}
+		if got := sim.Out("b"); got != want {
+			t.Errorf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSynthErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"latch", `
+module m (input wire c, input wire d, output reg q);
+  always @(*) begin
+    if (c) q = d;
+  end
+endmodule`, "latch"},
+		{"comb loop", `
+module m (input wire a, output wire q);
+  wire x;
+  assign x = x ^ a;
+  assign q = x;
+endmodule`, "loop"},
+		{"multiple drivers", `
+module m (input wire a, input wire b, output wire q);
+  assign q = a;
+  assign q = b;
+endmodule`, "multiple drivers"},
+		{"initial", `
+module m (input wire a, output reg q);
+  initial q = 0;
+  always @(*) q = a;
+endmodule`, "initial"},
+		{"multi clock", `
+module m (input wire c1, input wire c2, input wire d, output reg q1, output reg q2);
+  always @(posedge c1) q1 <= d;
+  always @(posedge c2) q2 <= d;
+endmodule`, "clock"},
+		{"undriven output", `
+module m (input wire a, output wire q);
+endmodule`, "undriven"},
+		{"inout", `
+module m (inout wire p, input wire a);
+endmodule`, "inout"},
+	}
+	for _, c := range cases {
+		err := synthErr(t, c.src)
+		if !strings.Contains(strings.ToLower(err.Error()), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSynthUnconnectedInputTiesLow(t *testing.T) {
+	res := synthSrc(t, `
+module top (input wire a, output wire y);
+  orm u (.x(a), .z(y));
+endmodule
+module orm (input wire x, input wire y, output wire z);
+  assign z = x | y;
+endmodule`)
+	sim := NewVectorSim(res)
+	sim.Set("a", 0)
+	sim.Eval()
+	if sim.Out("y") != 0 {
+		t.Fatalf("y = %d, want 0 (unconnected input tied low)", sim.Out("y"))
+	}
+	sim.Set("a", 1)
+	sim.Eval()
+	if sim.Out("y") != 1 {
+		t.Fatalf("y = %d", sim.Out("y"))
+	}
+}
+
+func TestSynthParamOverride(t *testing.T) {
+	res := synthSrc(t, `
+module top (input wire [7:0] a, output wire [7:0] y);
+  addk #(.K(5)) u (.in(a), .out(y));
+endmodule
+module addk #(parameter K = 1) (input wire [7:0] in, output wire [7:0] out);
+  assign out = in + K;
+endmodule`)
+	sim := NewVectorSim(res)
+	sim.Set("a", 10)
+	sim.Eval()
+	if got := sim.Out("y"); got != 15 {
+		t.Fatalf("y = %d, want 15", got)
+	}
+}
+
+func TestSynthReplicationConcat(t *testing.T) {
+	res := synthSrc(t, `
+module m (input wire [1:0] a, output wire [7:0] y);
+  assign y = {2{a, 2'b01}};
+endmodule`)
+	sim := NewVectorSim(res)
+	sim.Set("a", 0b10)
+	sim.Eval()
+	// {2{a,01}} with a=10 -> 1001_1001.
+	if got := sim.Out("y"); got != 0b1001_1001 {
+		t.Fatalf("y = %08b", got)
+	}
+}
+
+func TestSynthReductionOps(t *testing.T) {
+	res := synthSrc(t, `
+module red (input wire [3:0] v, output wire ra, output wire ro, output wire rx,
+            output wire na, output wire no, output wire nx);
+  assign ra = &v;
+  assign ro = |v;
+  assign rx = ^v;
+  assign na = ~&v;
+  assign no = ~|v;
+  assign nx = ~^v;
+endmodule`)
+	sim := NewVectorSim(res)
+	for v := uint64(0); v < 16; v++ {
+		sim.Set("v", v)
+		sim.Eval()
+		pop := uint64(0)
+		for i := uint(0); i < 4; i++ {
+			pop += (v >> i) & 1
+		}
+		b2u := func(b bool) uint64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		if sim.Out("ra") != b2u(v == 15) || sim.Out("ro") != b2u(v != 0) ||
+			sim.Out("rx") != pop%2 || sim.Out("na") != b2u(v != 15) ||
+			sim.Out("no") != b2u(v == 0) || sim.Out("nx") != 1-pop%2 {
+			t.Fatalf("v=%d: ra=%d ro=%d rx=%d", v, sim.Out("ra"), sim.Out("ro"), sim.Out("rx"))
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package techmap
+
+import "fmt"
+
+// LUTSim is a cycle-accurate simulator for a mapped LUT network, used to
+// verify that mapping (and later, fabric programming) preserved the
+// design's behaviour.
+type LUTSim struct {
+	ln    *LUTNetwork
+	val   []bool
+	state []bool
+}
+
+// NewLUTSim returns a simulator with all flip-flops reset to 0.
+func NewLUTSim(ln *LUTNetwork) *LUTSim {
+	return &LUTSim{
+		ln:    ln,
+		val:   make([]bool, len(ln.Nodes)),
+		state: make([]bool, len(ln.Nodes)),
+	}
+}
+
+// Reset clears all flip-flops.
+func (s *LUTSim) Reset() {
+	for _, f := range s.ln.FFs {
+		s.state[f] = false
+	}
+}
+
+// Eval settles combinational logic for the inputs (ordered like PIs).
+func (s *LUTSim) Eval(inputs []bool) []bool {
+	if len(inputs) != len(s.ln.PIs) {
+		panic(fmt.Sprintf("techmap sim: got %d inputs, want %d", len(inputs), len(s.ln.PIs)))
+	}
+	for i, pi := range s.ln.PIs {
+		s.val[pi] = inputs[i]
+	}
+	for i, nd := range s.ln.Nodes {
+		switch nd.Kind {
+		case LConst0:
+			s.val[i] = false
+		case LConst1:
+			s.val[i] = true
+		case LFF:
+			s.val[i] = s.state[i]
+		case LLUT:
+			idx := 0
+			for k, in := range nd.In {
+				if s.val[in] {
+					idx |= 1 << uint(k)
+				}
+			}
+			s.val[i] = nd.Mask&(1<<uint(idx)) != 0
+		}
+	}
+	out := make([]bool, len(s.ln.POs))
+	for i, po := range s.ln.POs {
+		out[i] = s.val[po]
+	}
+	return out
+}
+
+// Step evaluates and then advances one clock edge.
+func (s *LUTSim) Step(inputs []bool) []bool {
+	out := s.Eval(inputs)
+	for _, f := range s.ln.FFs {
+		s.state[f] = s.val[s.ln.Nodes[f].In[0]]
+	}
+	return out
+}
+
+// EvalWords evaluates with packed inputs (bit i drives PI i).
+func (s *LUTSim) EvalWords(in uint64) uint64 {
+	bits := make([]bool, len(s.ln.PIs))
+	for i := range bits {
+		bits[i] = (in>>uint(i))&1 == 1
+	}
+	out := s.Eval(bits)
+	var w uint64
+	for i, b := range out {
+		if b {
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// StepWords is Step with packed inputs/outputs.
+func (s *LUTSim) StepWords(in uint64) uint64 {
+	out := s.EvalWords(in)
+	for _, f := range s.ln.FFs {
+		s.state[f] = s.val[s.ln.Nodes[f].In[0]]
+	}
+	return out
+}

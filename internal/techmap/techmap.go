@@ -1,0 +1,475 @@
+// Package techmap maps an optimized gate netlist onto K-input lookup
+// tables (K=4, matching the fabric of Sec. 7 of the ALICE paper) using
+// exhaustive K-feasible cut enumeration with priority pruning and a
+// depth-first, area-flow-second cost, in the style of classic FPGA
+// mappers. The result is a LUT network whose truth tables are computed
+// exactly from the covered cones, ready for packing onto an eFPGA.
+package techmap
+
+import (
+	"fmt"
+	"sort"
+
+	"alice/internal/netlist"
+)
+
+// K is the LUT input count of the target fabric.
+const K = 4
+
+// maxCutsPerNode bounds the priority cut list kept per node.
+const maxCutsPerNode = 10
+
+// LKind is a LUT-network node kind.
+type LKind uint8
+
+// LUT network node kinds.
+const (
+	LConst0 LKind = iota
+	LConst1
+	LInput
+	LLUT
+	LFF
+)
+
+func (k LKind) String() string {
+	switch k {
+	case LConst0:
+		return "const0"
+	case LConst1:
+		return "const1"
+	case LInput:
+		return "input"
+	case LLUT:
+		return "lut"
+	case LFF:
+		return "ff"
+	}
+	return "?"
+}
+
+// LNode is a node of the mapped network. LUT nodes have up to K inputs
+// and a truth-table mask (bit i of an input assignment selects mask bit
+// at that index). FF nodes have exactly one input (D).
+type LNode struct {
+	Kind LKind
+	Mask uint16
+	In   []int32
+}
+
+// LUTNetwork is a mapped design.
+type LUTNetwork struct {
+	Name    string
+	Nodes   []LNode
+	PIs     []int32
+	PINames []string
+	POs     []int32
+	PONames []string
+	FFs     []int32
+}
+
+// NumLUTs returns the number of LUT nodes.
+func (ln *LUTNetwork) NumLUTs() int {
+	c := 0
+	for _, n := range ln.Nodes {
+		if n.Kind == LLUT {
+			c++
+		}
+	}
+	return c
+}
+
+// NumFFs returns the number of flip-flops.
+func (ln *LUTNetwork) NumFFs() int { return len(ln.FFs) }
+
+// Depth returns the maximum LUT depth from inputs/FFs to outputs.
+func (ln *LUTNetwork) Depth() int {
+	depth := make([]int, len(ln.Nodes))
+	maxd := 0
+	for i, n := range ln.Nodes {
+		if n.Kind != LLUT {
+			continue
+		}
+		d := 0
+		for _, in := range n.In {
+			if ln.Nodes[in].Kind == LLUT && depth[in] >= d {
+				d = depth[in]
+			} else if ln.Nodes[in].Kind == LLUT {
+				if depth[in] > d {
+					d = depth[in]
+				}
+			}
+		}
+		depth[i] = d + 1
+		if depth[i] > maxd {
+			maxd = depth[i]
+		}
+	}
+	return maxd
+}
+
+// Validate checks structural invariants of the LUT network.
+func (ln *LUTNetwork) Validate() error {
+	for i, n := range ln.Nodes {
+		switch n.Kind {
+		case LLUT:
+			if len(n.In) == 0 || len(n.In) > K {
+				return fmt.Errorf("techmap: %s: LUT %d has %d inputs", ln.Name, i, len(n.In))
+			}
+			for _, in := range n.In {
+				if in < 0 || int(in) >= len(ln.Nodes) {
+					return fmt.Errorf("techmap: %s: LUT %d input out of range", ln.Name, i)
+				}
+				if n.Kind != LFF && int(in) >= i && ln.Nodes[in].Kind != LFF && ln.Nodes[in].Kind != LInput {
+					return fmt.Errorf("techmap: %s: LUT %d not topological", ln.Name, i)
+				}
+			}
+		case LFF:
+			if len(n.In) != 1 {
+				return fmt.Errorf("techmap: %s: FF %d must have one input", ln.Name, i)
+			}
+			if n.In[0] < 0 || int(n.In[0]) >= len(ln.Nodes) {
+				return fmt.Errorf("techmap: %s: FF %d input out of range", ln.Name, i)
+			}
+		}
+	}
+	for i, po := range ln.POs {
+		if po < 0 || int(po) >= len(ln.Nodes) {
+			return fmt.Errorf("techmap: %s: PO %s out of range", ln.Name, ln.PONames[i])
+		}
+	}
+	return nil
+}
+
+// cut is a set of at most K leaves, sorted ascending.
+type cut struct {
+	leaves [K]int32
+	size   int8
+}
+
+func (c cut) contains(x int32) bool {
+	for i := int8(0); i < c.size; i++ {
+		if c.leaves[i] == x {
+			return true
+		}
+	}
+	return false
+}
+
+// dominates reports whether c's leaves are a subset of d's.
+func (c cut) dominates(d cut) bool {
+	if c.size > d.size {
+		return false
+	}
+	for i := int8(0); i < c.size; i++ {
+		if !d.contains(c.leaves[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeCuts unions two cuts; ok is false if the union exceeds K leaves.
+func mergeCuts(a, b cut) (cut, bool) {
+	var out cut
+	i, j := int8(0), int8(0)
+	for i < a.size || j < b.size {
+		var v int32
+		switch {
+		case i >= a.size:
+			v = b.leaves[j]
+			j++
+		case j >= b.size:
+			v = a.leaves[i]
+			i++
+		case a.leaves[i] < b.leaves[j]:
+			v = a.leaves[i]
+			i++
+		case a.leaves[i] > b.leaves[j]:
+			v = b.leaves[j]
+			j++
+		default:
+			v = a.leaves[i]
+			i++
+			j++
+		}
+		if out.size == K {
+			return out, false
+		}
+		out.leaves[out.size] = v
+		out.size++
+	}
+	return out, true
+}
+
+// Map maps a netlist onto the LUT network.
+func Map(n *netlist.Netlist) (*LUTNetwork, error) {
+	m := &mapper{n: n}
+	return m.run()
+}
+
+type nodeInfo struct {
+	cuts    []cut
+	best    cut
+	depth   int32
+	area    float32
+	mapped  bool // leaf (PI/DFF/const) or chosen LUT root
+	visited bool
+}
+
+type mapper struct {
+	n    *netlist.Netlist
+	info []nodeInfo
+}
+
+func (m *mapper) isLeaf(id int32) bool {
+	op := m.n.Nodes[id].Op
+	return op == netlist.Input || op == netlist.DFF || op == netlist.Const0 || op == netlist.Const1
+}
+
+func (m *mapper) run() (*LUTNetwork, error) {
+	n := m.n
+	m.info = make([]nodeInfo, len(n.Nodes))
+
+	// Forward pass: enumerate priority cuts per combinational node.
+	for i := range n.Nodes {
+		id := int32(i)
+		nd := n.Nodes[i]
+		inf := &m.info[i]
+		if m.isLeaf(id) {
+			inf.cuts = []cut{{leaves: [K]int32{id}, size: 1}}
+			inf.depth = 0
+			continue
+		}
+		switch nd.Op {
+		case netlist.Not, netlist.And, netlist.Or, netlist.Xor, netlist.Mux:
+			m.enumerateCuts(id)
+		}
+	}
+
+	// Backward pass: choose cover from POs and DFF D-inputs.
+	required := make([]bool, len(n.Nodes))
+	var queue []int32
+	addRoot := func(id int32) {
+		if !m.isLeaf(id) && !required[id] {
+			required[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for _, po := range n.POs {
+		addRoot(po)
+	}
+	for _, d := range n.DFFs {
+		addRoot(n.Nodes[d].In[0])
+	}
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		best := m.info[id].best
+		for i := int8(0); i < best.size; i++ {
+			addRoot(best.leaves[i])
+		}
+	}
+
+	// Emit the LUT network in topological order.
+	out := &LUTNetwork{Name: n.Name}
+	emit := func(k LKind, mask uint16, ins []int32) int32 {
+		id := int32(len(out.Nodes))
+		out.Nodes = append(out.Nodes, LNode{Kind: k, Mask: mask, In: ins})
+		return id
+	}
+	nmap := make([]int32, len(n.Nodes))
+	for i := range nmap {
+		nmap[i] = -1
+	}
+	// Constants and PIs first.
+	c0 := emit(LConst0, 0, nil)
+	c1 := emit(LConst1, 0, nil)
+	nmap[0], nmap[1] = c0, c1
+	for i, pi := range n.PIs {
+		nmap[pi] = emit(LInput, 0, nil)
+		out.PIs = append(out.PIs, nmap[pi])
+		out.PINames = append(out.PINames, n.PINames[i])
+	}
+	// FFs next (their D set after LUT emission).
+	for _, d := range n.DFFs {
+		nmap[d] = emit(LFF, 0, []int32{-1})
+		out.FFs = append(out.FFs, nmap[d])
+	}
+	// LUTs in forward order.
+	for i := range n.Nodes {
+		id := int32(i)
+		if !required[id] || nmap[id] != -1 {
+			continue
+		}
+		best := m.info[id].best
+		var ins []int32
+		for k := int8(0); k < best.size; k++ {
+			leaf := best.leaves[k]
+			if nmap[leaf] == -1 {
+				return nil, fmt.Errorf("techmap: %s: leaf %d of node %d not yet mapped", n.Name, leaf, id)
+			}
+			ins = append(ins, nmap[leaf])
+		}
+		mask := m.truthTable(id, best)
+		nmap[id] = emit(LLUT, mask, ins)
+	}
+	// Connect FFs.
+	for _, d := range n.DFFs {
+		din := n.Nodes[d].In[0]
+		if nmap[din] == -1 {
+			return nil, fmt.Errorf("techmap: %s: DFF %d D-input unmapped", n.Name, d)
+		}
+		out.Nodes[nmap[d]].In[0] = nmap[din]
+	}
+	for i, po := range n.POs {
+		out.POs = append(out.POs, nmap[po])
+		out.PONames = append(out.PONames, n.PONames[i])
+	}
+	return out, out.Validate()
+}
+
+// enumerateCuts computes the priority cut set and the best cut of a
+// combinational node.
+func (m *mapper) enumerateCuts(id int32) {
+	nd := m.n.Nodes[id]
+	inf := &m.info[id]
+	var candidates []cut
+	switch nd.Op.Arity() {
+	case 1:
+		for _, c := range m.info[nd.In[0]].cuts {
+			candidates = append(candidates, c)
+		}
+	case 2:
+		for _, ca := range m.info[nd.In[0]].cuts {
+			for _, cb := range m.info[nd.In[1]].cuts {
+				if c, ok := mergeCuts(ca, cb); ok {
+					candidates = append(candidates, c)
+				}
+			}
+		}
+	case 3:
+		for _, ca := range m.info[nd.In[0]].cuts {
+			for _, cb := range m.info[nd.In[1]].cuts {
+				ab, ok := mergeCuts(ca, cb)
+				if !ok {
+					continue
+				}
+				for _, cc := range m.info[nd.In[2]].cuts {
+					if c, ok := mergeCuts(ab, cc); ok {
+						candidates = append(candidates, c)
+					}
+				}
+			}
+		}
+	}
+	// Deduplicate and drop dominated cuts.
+	var cuts []cut
+	for _, c := range candidates {
+		dominated := false
+		for _, d := range cuts {
+			if d.dominates(c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			// Remove cuts dominated by c.
+			kept := cuts[:0]
+			for _, d := range cuts {
+				if !c.dominates(d) {
+					kept = append(kept, d)
+				}
+			}
+			cuts = append(kept, c)
+		}
+	}
+	// Rank by (depth, area flow, size) and keep the best few.
+	type scored struct {
+		c     cut
+		depth int32
+		area  float32
+	}
+	var sc []scored
+	for _, c := range cuts {
+		var depth int32
+		var area float32 = 1
+		for i := int8(0); i < c.size; i++ {
+			li := &m.info[c.leaves[i]]
+			if li.depth+1 > depth {
+				depth = li.depth + 1
+			}
+			area += li.area / 2 // crude fanout-sharing estimate
+		}
+		sc = append(sc, scored{c, depth, area})
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].depth != sc[j].depth {
+			return sc[i].depth < sc[j].depth
+		}
+		if sc[i].area != sc[j].area {
+			return sc[i].area < sc[j].area
+		}
+		return sc[i].c.size < sc[j].c.size
+	})
+	if len(sc) > maxCutsPerNode {
+		sc = sc[:maxCutsPerNode]
+	}
+	inf.cuts = inf.cuts[:0]
+	for _, s := range sc {
+		inf.cuts = append(inf.cuts, s.c)
+	}
+	// Trivial cut keeps deeper nodes mergeable upward.
+	inf.cuts = append(inf.cuts, cut{leaves: [K]int32{id}, size: 1})
+	inf.best = sc[0].c
+	inf.depth = sc[0].depth
+	inf.area = sc[0].area
+}
+
+// truthTable evaluates the cone rooted at id over the cut leaves.
+func (m *mapper) truthTable(id int32, c cut) uint16 {
+	// Canonical leaf variable patterns for up to 4 inputs.
+	var leafPat = [K]uint16{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
+	memo := make(map[int32]uint16)
+	for i := int8(0); i < c.size; i++ {
+		memo[c.leaves[i]] = leafPat[i]
+	}
+	var eval func(x int32) uint16
+	eval = func(x int32) uint16 {
+		if v, ok := memo[x]; ok {
+			return v
+		}
+		nd := m.n.Nodes[x]
+		var v uint16
+		switch nd.Op {
+		case netlist.Const0:
+			v = 0x0000
+		case netlist.Const1:
+			v = 0xFFFF
+		case netlist.Not:
+			v = ^eval(nd.In[0])
+		case netlist.And:
+			v = eval(nd.In[0]) & eval(nd.In[1])
+		case netlist.Or:
+			v = eval(nd.In[0]) | eval(nd.In[1])
+		case netlist.Xor:
+			v = eval(nd.In[0]) ^ eval(nd.In[1])
+		case netlist.Mux:
+			s := eval(nd.In[0])
+			v = (^s & eval(nd.In[1])) | (s & eval(nd.In[2]))
+		default:
+			panic(fmt.Sprintf("techmap: leaf %d (%s) not in cut", x, nd.Op))
+		}
+		memo[x] = v
+		return v
+	}
+	full := eval(id)
+	// Truncate to the cut's actual arity.
+	bits := 1 << uint(c.size)
+	var mask uint16
+	for i := 0; i < bits; i++ {
+		if full&(1<<uint(i)) != 0 {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}

@@ -1,0 +1,146 @@
+package verilog
+
+import "fmt"
+
+// Env maps parameter names to constant values for expression evaluation.
+type Env map[string]int64
+
+// EvalConst evaluates a constant expression (ranges, parameter values,
+// replication counts, for-loop bounds) under the given environment.
+func EvalConst(e Expr, env Env) (int64, error) {
+	switch x := e.(type) {
+	case *Number:
+		if x.DontCare != 0 {
+			return 0, fmt.Errorf("wildcard literal used in constant expression")
+		}
+		return int64(x.Val), nil
+	case *Ident:
+		if v, ok := env[x.Name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("identifier %q is not a constant", x.Name)
+	case *Unary:
+		v, err := EvalConst(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case MINUS:
+			return -v, nil
+		case BANG:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case TILDE:
+			return ^v, nil
+		}
+		return 0, fmt.Errorf("operator %s not supported in constant expression", x.Op)
+	case *Binary:
+		a, err := EvalConst(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		b, err := EvalConst(x.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		bool2int := func(c bool) int64 {
+			if c {
+				return 1
+			}
+			return 0
+		}
+		switch x.Op {
+		case PLUS:
+			return a + b, nil
+		case MINUS:
+			return a - b, nil
+		case STAR:
+			return a * b, nil
+		case SLASH:
+			if b == 0 {
+				return 0, fmt.Errorf("division by zero in constant expression")
+			}
+			return a / b, nil
+		case PERCENT:
+			if b == 0 {
+				return 0, fmt.Errorf("modulo by zero in constant expression")
+			}
+			return a % b, nil
+		case SHL:
+			return a << uint(b), nil
+		case SHR:
+			return int64(uint64(a) >> uint(b)), nil
+		case LT:
+			return bool2int(a < b), nil
+		case LE:
+			return bool2int(a <= b), nil
+		case GT:
+			return bool2int(a > b), nil
+		case GE:
+			return bool2int(a >= b), nil
+		case EQEQ:
+			return bool2int(a == b), nil
+		case NEQ:
+			return bool2int(a != b), nil
+		case AMPAMP:
+			return bool2int(a != 0 && b != 0), nil
+		case PIPE2:
+			return bool2int(a != 0 || b != 0), nil
+		case AMP:
+			return a & b, nil
+		case PIPE:
+			return a | b, nil
+		case CARET:
+			return a ^ b, nil
+		case XNOR:
+			return ^(a ^ b), nil
+		}
+		return 0, fmt.Errorf("operator %s not supported in constant expression", x.Op)
+	case *Ternary:
+		c, err := EvalConst(x.Cond, env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return EvalConst(x.Then, env)
+		}
+		return EvalConst(x.Else, env)
+	}
+	return 0, fmt.Errorf("expression %T not supported in constant expression", e)
+}
+
+// RangeWidth evaluates a range to its bit width (|MSB-LSB|+1).
+// A nil range has width 1.
+func RangeWidth(r *Range, env Env) (int, error) {
+	if r == nil {
+		return 1, nil
+	}
+	msb, err := EvalConst(r.MSB, env)
+	if err != nil {
+		return 0, err
+	}
+	lsb, err := EvalConst(r.LSB, env)
+	if err != nil {
+		return 0, err
+	}
+	w := msb - lsb
+	if w < 0 {
+		w = -w
+	}
+	return int(w) + 1, nil
+}
+
+// RangeBounds evaluates a range to (msb, lsb).
+func RangeBounds(r *Range, env Env) (msb, lsb int64, err error) {
+	if r == nil {
+		return 0, 0, nil
+	}
+	msb, err = EvalConst(r.MSB, env)
+	if err != nil {
+		return 0, 0, err
+	}
+	lsb, err = EvalConst(r.LSB, env)
+	return msb, lsb, err
+}

@@ -1,0 +1,315 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer converts Verilog source text into a stream of tokens.
+// Comments (// and /* */), whitespace, and compiler directives
+// (lines starting with `) are skipped.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// LexError describes a lexical error with its position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{l.line, l.col} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNumCont(c byte) bool {
+	return isDigit(c) || c == '_' || (c >= 'a' && c <= 'f') ||
+		(c >= 'A' && c <= 'F') || c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?'
+}
+
+// skipSpace consumes whitespace, comments, and compiler directive lines.
+func (l *Lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &LexError{start, "unterminated block comment"}
+			}
+		case c == '`':
+			// Compiler directive (e.g. `timescale): skip to end of line.
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token, or an EOF token at end of input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: p}, nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: p}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: p}, nil
+	case isDigit(c), c == '\'':
+		return l.lexNumber(p)
+	case c == '"':
+		l.advance()
+		start := l.off
+		for l.off < len(l.src) && l.peek() != '"' {
+			if l.peek() == '\n' {
+				return Token{}, &LexError{p, "unterminated string"}
+			}
+			l.advance()
+		}
+		if l.off >= len(l.src) {
+			return Token{}, &LexError{p, "unterminated string"}
+		}
+		text := l.src[start:l.off]
+		l.advance() // closing quote
+		return Token{Kind: STRING, Text: text, Pos: p}, nil
+	}
+	return l.lexOperator(p)
+}
+
+// lexNumber scans decimal and based literals: 42, 8'hFF, 4'b10_10, '0 etc.
+// The raw text (with the base prefix but without a preceding size that was
+// lexed separately) is kept; parsing to a value happens in the parser.
+func (l *Lexer) lexNumber(p Pos) (Token, error) {
+	start := l.off
+	for l.off < len(l.src) && (isDigit(l.peek()) || l.peek() == '_') {
+		l.advance()
+	}
+	// Optional base part: 'b / 'h / 'd / 'o with optional s for signed.
+	if l.peek() == '\'' {
+		save := l.off
+		l.advance()
+		if l.peek() == 's' || l.peek() == 'S' {
+			l.advance()
+		}
+		b := l.peek()
+		switch b {
+		case 'b', 'B', 'o', 'O', 'd', 'D', 'h', 'H':
+			l.advance()
+			digStart := l.off
+			for l.off < len(l.src) && isNumCont(l.peek()) {
+				l.advance()
+			}
+			if l.off == digStart {
+				return Token{}, &LexError{p, "based literal has no digits"}
+			}
+		default:
+			// Not a base indicator; treat the tick as a stray error.
+			_ = save
+			return Token{}, &LexError{p, fmt.Sprintf("invalid based literal %q", l.src[start:l.off+1])}
+		}
+	}
+	text := l.src[start:l.off]
+	return Token{Kind: NUMBER, Text: text, Pos: p}, nil
+}
+
+func (l *Lexer) lexOperator(p Pos) (Token, error) {
+	c := l.advance()
+	two := func(next byte, k2, k1 Kind) Token {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: k2, Pos: p}
+		}
+		return Token{Kind: k1, Pos: p}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LPAREN, Pos: p}, nil
+	case ')':
+		return Token{Kind: RPAREN, Pos: p}, nil
+	case '[':
+		return Token{Kind: LBRACK, Pos: p}, nil
+	case ']':
+		return Token{Kind: RBRACK, Pos: p}, nil
+	case '{':
+		return Token{Kind: LBRACE, Pos: p}, nil
+	case '}':
+		return Token{Kind: RBRACE, Pos: p}, nil
+	case ';':
+		return Token{Kind: SEMI, Pos: p}, nil
+	case ':':
+		return Token{Kind: COLON, Pos: p}, nil
+	case ',':
+		return Token{Kind: COMMA, Pos: p}, nil
+	case '.':
+		return Token{Kind: DOT, Pos: p}, nil
+	case '#':
+		return Token{Kind: HASH, Pos: p}, nil
+	case '@':
+		return Token{Kind: AT, Pos: p}, nil
+	case '?':
+		return Token{Kind: QUEST, Pos: p}, nil
+	case '+':
+		return Token{Kind: PLUS, Pos: p}, nil
+	case '-':
+		return Token{Kind: MINUS, Pos: p}, nil
+	case '*':
+		return Token{Kind: STAR, Pos: p}, nil
+	case '/':
+		return Token{Kind: SLASH, Pos: p}, nil
+	case '%':
+		return Token{Kind: PERCENT, Pos: p}, nil
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				return Token{Kind: EQ3, Pos: p}, nil
+			}
+			return Token{Kind: EQEQ, Pos: p}, nil
+		}
+		return Token{Kind: ASSIGNOP, Pos: p}, nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			if l.peek() == '=' {
+				l.advance()
+				return Token{Kind: NEQ3, Pos: p}, nil
+			}
+			return Token{Kind: NEQ, Pos: p}, nil
+		}
+		return Token{Kind: BANG, Pos: p}, nil
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			if l.peek() == '<' {
+				l.advance() // <<< treated as <<
+			}
+			return Token{Kind: SHL, Pos: p}, nil
+		}
+		return two('=', LE, LT), nil
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			if l.peek() == '>' {
+				l.advance() // >>> treated as >>
+			}
+			return Token{Kind: SHR, Pos: p}, nil
+		}
+		return two('=', GE, GT), nil
+	case '&':
+		return two('&', AMPAMP, AMP), nil
+	case '|':
+		return two('|', PIPE2, PIPE), nil
+	case '^':
+		return two('~', XNOR, CARET), nil
+	case '~':
+		switch l.peek() {
+		case '^':
+			l.advance()
+			return Token{Kind: XNOR, Pos: p}, nil
+		case '&':
+			l.advance()
+			return Token{Kind: NAND, Pos: p}, nil
+		case '|':
+			l.advance()
+			return Token{Kind: NOR, Pos: p}, nil
+		}
+		return Token{Kind: TILDE, Pos: p}, nil
+	}
+	return Token{}, &LexError{p, fmt.Sprintf("unexpected character %q", string(c))}
+}
+
+// Tokenize lexes the whole input, returning all tokens up to and
+// including the final EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+// stripUnderscores removes the digit separators permitted in literals.
+func stripUnderscores(s string) string { return strings.ReplaceAll(s, "_", "") }

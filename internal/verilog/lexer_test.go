@@ -1,0 +1,125 @@
+package verilog
+
+import "testing"
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("module m; wire [3:0] a; assign a = 4'hF; endmodule")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []Kind{KWMODULE, IDENT, SEMI, KWWIRE, LBRACK, NUMBER, COLON,
+		NUMBER, RBRACK, IDENT, SEMI, KWASSIGN, IDENT, ASSIGNOP, NUMBER,
+		SEMI, KWENDMODULE, EOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	cases := map[string]Kind{
+		"&&": AMPAMP, "||": PIPE2, "==": EQEQ, "!=": NEQ, "<=": LE,
+		">=": GE, "<<": SHL, ">>": SHR, "~^": XNOR, "^~": XNOR,
+		"~&": NAND, "~|": NOR, "===": EQ3, "!==": NEQ3, "<<<": SHL,
+		">>>": SHR, "?": QUEST, "@": AT, "#": HASH,
+	}
+	for src, want := range cases {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatalf("Tokenize(%q): %v", src, err)
+		}
+		if toks[0].Kind != want {
+			t.Errorf("Tokenize(%q) = %s, want %s", src, toks[0].Kind, want)
+		}
+		if len(toks) != 2 {
+			t.Errorf("Tokenize(%q): expected single token + EOF, got %v", src, toks)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := `
+// line comment
+module /* block
+   comment */ m;
+` + "`timescale 1ns/1ps" + `
+endmodule`
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []Kind{KWMODULE, IDENT, SEMI, KWENDMODULE, EOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, src := range []string{"/* unterminated", `"unterminated`, "\\escape"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestNumberLiterals(t *testing.T) {
+	cases := []struct {
+		src      string
+		width    int
+		val      uint64
+		dontCare uint64
+		sized    bool
+	}{
+		{"42", 32, 42, 0, false},
+		{"8'hFF", 8, 255, 0, true},
+		{"8'hff", 8, 255, 0, true},
+		{"4'b1010", 4, 10, 0, true},
+		{"4'b10_10", 4, 10, 0, true},
+		{"12'o777", 12, 511, 0, true},
+		{"16'd1000", 16, 1000, 0, true},
+		{"'hA", 32, 10, 0, false},
+		{"4'b1?10", 4, 0b1010 &^ 0b0100, 0b0100, true},
+		{"8'hF?", 8, 0xF0, 0x0F, true},
+		{"3'b111", 3, 7, 0, true},
+		{"256'd0", 256, 0, 0, true},
+		{"2'b111", 2, 3, 0, true}, // truncated to width
+	}
+	for _, c := range cases {
+		n, err := parseNumberToken(c.src)
+		if err != nil {
+			t.Errorf("parseNumberToken(%q): %v", c.src, err)
+			continue
+		}
+		if n.Width != c.width || n.Val != c.val || n.DontCare != c.dontCare || n.Sized != c.sized {
+			t.Errorf("parseNumberToken(%q) = {w:%d v:%d dc:%#x sized:%v}, want {w:%d v:%d dc:%#x sized:%v}",
+				c.src, n.Width, n.Val, n.DontCare, n.Sized, c.width, c.val, c.dontCare, c.sized)
+		}
+	}
+	for _, bad := range []string{"8'q12", "4'b", "'b", "9999999999999999999999", "8'b12"} {
+		if _, err := parseNumberToken(bad); err == nil {
+			t.Errorf("parseNumberToken(%q): expected error", bad)
+		}
+	}
+}

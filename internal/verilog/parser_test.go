@@ -1,0 +1,322 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCounter = `
+// Simple counter with synchronous load.
+module counter #(parameter W = 8) (
+  input wire clk,
+  input wire rst,
+  input wire ld,
+  input wire [7:0] d,
+  output reg [7:0] q
+);
+  wire [7:0] next = ld ? d : (q + 8'd1);
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      q <= 8'd0;
+    else
+      q <= next;
+  end
+endmodule
+`
+
+func TestParseCounter(t *testing.T) {
+	d, err := Parse(sampleCounter)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(d.Modules) != 1 {
+		t.Fatalf("got %d modules", len(d.Modules))
+	}
+	m := d.Modules[0]
+	if m.Name != "counter" {
+		t.Errorf("name = %q", m.Name)
+	}
+	if len(m.Ports) != 5 {
+		t.Fatalf("got %d ports", len(m.Ports))
+	}
+	if m.Ports[4].Name != "q" || m.Ports[4].Dir != Output || !m.Ports[4].IsReg {
+		t.Errorf("port q parsed wrong: %+v", m.Ports[4])
+	}
+	if len(m.Params) != 1 || m.Params[0].Name != "W" {
+		t.Errorf("params parsed wrong: %+v", m.Params)
+	}
+	// Items: NetDecl(next), ContAssign(next=...), Always.
+	if len(m.Items) != 3 {
+		t.Fatalf("got %d items: %#v", len(m.Items), m.Items)
+	}
+	if _, ok := m.Items[0].(*NetDecl); !ok {
+		t.Errorf("item 0 is %T, want *NetDecl", m.Items[0])
+	}
+	if _, ok := m.Items[1].(*ContAssign); !ok {
+		t.Errorf("item 1 is %T, want *ContAssign", m.Items[1])
+	}
+	a, ok := m.Items[2].(*Always)
+	if !ok {
+		t.Fatalf("item 2 is %T, want *Always", m.Items[2])
+	}
+	if len(a.Events) != 2 || a.Events[0].Edge != EdgePos || a.Events[1].Edge != EdgePos {
+		t.Errorf("sensitivity parsed wrong: %+v", a.Events)
+	}
+}
+
+const sampleNonANSI = `
+module adder (a, b, cin, sum, cout);
+  input [3:0] a, b;
+  input cin;
+  output [3:0] sum;
+  output cout;
+  assign {cout, sum} = a + b + cin;
+endmodule
+`
+
+func TestParseNonANSI(t *testing.T) {
+	d, err := Parse(sampleNonANSI)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := d.Modules[0]
+	if len(m.Ports) != 5 {
+		t.Fatalf("got %d ports", len(m.Ports))
+	}
+	if m.Ports[0].Dir != Input || m.Ports[0].Range == nil {
+		t.Errorf("port a: %+v", m.Ports[0])
+	}
+	if m.Ports[3].Dir != Output {
+		t.Errorf("port sum direction: %v", m.Ports[3].Dir)
+	}
+	ca, ok := m.Items[0].(*ContAssign)
+	if !ok {
+		t.Fatalf("item 0 is %T", m.Items[0])
+	}
+	if _, ok := ca.LHS.(*Concat); !ok {
+		t.Errorf("LHS is %T, want *Concat", ca.LHS)
+	}
+}
+
+const sampleHier = `
+module top (input wire clk, input wire [3:0] x, output wire [3:0] y);
+  wire [3:0] t;
+  leaf u0 (.clk(clk), .in(x), .out(t));
+  leaf #(.INIT(3)) u1 (.clk(clk), .in(t), .out(y));
+endmodule
+
+module leaf #(parameter INIT = 0) (
+  input wire clk,
+  input wire [3:0] in,
+  output reg [3:0] out
+);
+  always @(posedge clk) out <= in ^ 4'(0);
+endmodule
+`
+
+func TestParseHierarchy(t *testing.T) {
+	// Note: 4'(0) is not in our subset; replace to keep the sample legal.
+	src := strings.Replace(sampleHier, "4'(0)", "4'h0", 1)
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(d.Modules) != 2 {
+		t.Fatalf("got %d modules", len(d.Modules))
+	}
+	top := d.FindModule("top")
+	if top == nil {
+		t.Fatal("top not found")
+	}
+	var insts []*Instance
+	for _, it := range top.Items {
+		if in, ok := it.(*Instance); ok {
+			insts = append(insts, in)
+		}
+	}
+	if len(insts) != 2 {
+		t.Fatalf("got %d instances", len(insts))
+	}
+	if insts[1].Module != "leaf" || insts[1].Name != "u1" || len(insts[1].Params) != 1 {
+		t.Errorf("instance u1: %+v", insts[1])
+	}
+	if insts[1].Params[0].Port != "INIT" {
+		t.Errorf("param override: %+v", insts[1].Params[0])
+	}
+}
+
+func TestParseCaseAndFor(t *testing.T) {
+	src := `
+module fsm (input wire clk, input wire [1:0] s, output reg [3:0] o);
+  integer i;
+  reg [3:0] mem [0:3];
+  always @(*) begin
+    casez (s)
+      2'b0?: o = 4'd1;
+      2'b10: o = 4'd2;
+      default: o = 4'd0;
+    endcase
+  end
+  always @(posedge clk) begin
+    for (i = 0; i < 4; i = i + 1)
+      mem[i] <= o;
+  end
+endmodule
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := d.Modules[0]
+	var alw []*Always
+	for _, it := range m.Items {
+		if a, ok := it.(*Always); ok {
+			alw = append(alw, a)
+		}
+	}
+	if len(alw) != 2 {
+		t.Fatalf("got %d always blocks", len(alw))
+	}
+	blk := alw[0].Body.(*Block)
+	cs, ok := blk.Stmts[0].(*Case)
+	if !ok {
+		t.Fatalf("stmt is %T", blk.Stmts[0])
+	}
+	if !cs.Z || len(cs.Items) != 3 {
+		t.Errorf("case parsed wrong: z=%v items=%d", cs.Z, len(cs.Items))
+	}
+	if cs.Items[2].Exprs != nil {
+		t.Errorf("default item has exprs")
+	}
+	pat := cs.Items[0].Exprs[0].(*Number)
+	if pat.DontCare != 1 {
+		t.Errorf("wildcard pattern DontCare = %#x", pat.DontCare)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	e, err := ParseExpr("a + b * c == d ? x | y & z : w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ExprString(e)
+	want := "(((a + (b * c)) == d) ? (x | (y & z)) : w)"
+	if got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseUnaryAndReduction(t *testing.T) {
+	e, err := ParseExpr("&a | ~|b ^ !c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ExprString(e)
+	want := "(&(a) | (~|(b) ^ !(c)))"
+	if got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseReplication(t *testing.T) {
+	e, err := ParseExpr("{4{x}, y}")
+	if err == nil {
+		t.Fatalf("expected error for malformed replication, got %s", ExprString(e))
+	}
+	e, err = ParseExpr("{2{a, b}}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := e.(*Repeat)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if _, ok := r.X.(*Concat); !ok {
+		t.Errorf("repeat body is %T", r.X)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"module m",                                 // unexpected EOF
+		"module m; wire w",                         // missing semicolon
+		"module m; assign = 1; endmodule",          // missing lvalue
+		"module m; generate endgenerate endmodule", // unsupported
+		"module m (input wire a; endmodule",
+		"module 42; endmodule",
+		"module m; always @(posedge) q <= 1; endmodule",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseWireInit(t *testing.T) {
+	d, err := Parse("module m (output wire o); wire a = 1'b1, b = 1'b0; assign o = a & b; endmodule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Modules[0]
+	// NetDecl + 2 ContAssign from initializers + 1 explicit assign.
+	var assigns int
+	for _, it := range m.Items {
+		if _, ok := it.(*ContAssign); ok {
+			assigns++
+		}
+	}
+	if assigns != 3 {
+		t.Errorf("got %d assigns, want 3", assigns)
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	env := Env{"W": 8, "D": 3}
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"W - 1", 7},
+		{"2 * W + D", 19},
+		{"1 << D", 8},
+		{"W > 4 ? 100 : 200", 100},
+		{"(W + D) % 5", 1},
+		{"W == 8 && D != 0", 1},
+		{"-D + 4", 1},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", c.src, err)
+		}
+		v, err := EvalConst(e, env)
+		if err != nil {
+			t.Fatalf("EvalConst(%q): %v", c.src, err)
+		}
+		if v != c.want {
+			t.Errorf("EvalConst(%q) = %d, want %d", c.src, v, c.want)
+		}
+	}
+	// Non-constant identifier must error.
+	e, _ := ParseExpr("unknown + 1")
+	if _, err := EvalConst(e, env); err == nil {
+		t.Error("expected error for unknown identifier")
+	}
+	e, _ = ParseExpr("1 / 0")
+	if _, err := EvalConst(e, env); err == nil {
+		t.Error("expected error for division by zero")
+	}
+}
+
+func TestRangeWidth(t *testing.T) {
+	r := &Range{MSB: Num(7), LSB: Num(0)}
+	w, err := RangeWidth(r, nil)
+	if err != nil || w != 8 {
+		t.Errorf("RangeWidth = %d, %v", w, err)
+	}
+	w, err = RangeWidth(nil, nil)
+	if err != nil || w != 1 {
+		t.Errorf("RangeWidth(nil) = %d, %v", w, err)
+	}
+}

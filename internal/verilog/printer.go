@@ -1,0 +1,268 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print regenerates Verilog source for a whole design.
+func Print(d *Design) string {
+	var b strings.Builder
+	for i, m := range d.Modules {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		PrintModule(&b, m)
+	}
+	return b.String()
+}
+
+// PrintModule writes the Verilog text of one module to b.
+func PrintModule(b *strings.Builder, m *Module) {
+	fmt.Fprintf(b, "module %s", m.Name)
+	if len(m.Ports) > 0 {
+		b.WriteString(" (\n")
+		for i, p := range m.Ports {
+			b.WriteString("  ")
+			b.WriteString(p.Dir.String())
+			if p.IsReg {
+				b.WriteString(" reg")
+			}
+			if p.Range != nil {
+				fmt.Fprintf(b, " [%s:%s]", ExprString(p.Range.MSB), ExprString(p.Range.LSB))
+			}
+			b.WriteByte(' ')
+			b.WriteString(p.Name)
+			if i < len(m.Ports)-1 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteString(")")
+	}
+	b.WriteString(";\n")
+	for _, p := range m.Params {
+		kw := "parameter"
+		if p.IsLocal {
+			kw = "localparam"
+		}
+		fmt.Fprintf(b, "  %s %s = %s;\n", kw, p.Name, ExprString(p.Value))
+	}
+	for _, it := range m.Items {
+		printItem(b, it, "  ")
+	}
+	b.WriteString("endmodule\n")
+}
+
+func printItem(b *strings.Builder, it Item, ind string) {
+	switch x := it.(type) {
+	case *NetDecl:
+		b.WriteString(ind)
+		b.WriteString(x.Kind.String())
+		if x.Range != nil {
+			fmt.Fprintf(b, " [%s:%s]", ExprString(x.Range.MSB), ExprString(x.Range.LSB))
+		}
+		b.WriteByte(' ')
+		for i, n := range x.Names {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(n.Name)
+			if n.Array != nil {
+				fmt.Fprintf(b, " [%s:%s]", ExprString(n.Array.MSB), ExprString(n.Array.LSB))
+			}
+		}
+		b.WriteString(";\n")
+	case *ContAssign:
+		fmt.Fprintf(b, "%sassign %s = %s;\n", ind, ExprString(x.LHS), ExprString(x.RHS))
+	case *Always:
+		b.WriteString(ind)
+		if x.Initial {
+			b.WriteString("initial")
+		} else if x.Star {
+			b.WriteString("always @(*)")
+		} else {
+			b.WriteString("always @(")
+			for i, ev := range x.Events {
+				if i > 0 {
+					b.WriteString(" or ")
+				}
+				switch ev.Edge {
+				case EdgePos:
+					b.WriteString("posedge ")
+				case EdgeNeg:
+					b.WriteString("negedge ")
+				}
+				b.WriteString(ExprString(ev.Sig))
+			}
+			b.WriteString(")")
+		}
+		b.WriteByte(' ')
+		printStmt(b, x.Body, ind)
+	case *Instance:
+		b.WriteString(ind)
+		b.WriteString(x.Module)
+		if len(x.Params) > 0 {
+			b.WriteString(" #(")
+			printConns(b, x.Params)
+			b.WriteString(")")
+		}
+		fmt.Fprintf(b, " %s (", x.Name)
+		printConns(b, x.Conns)
+		b.WriteString(");\n")
+	}
+}
+
+func printConns(b *strings.Builder, conns []Connection) {
+	for i, c := range conns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if c.Port != "" {
+			fmt.Fprintf(b, ".%s(", c.Port)
+			if c.Expr != nil {
+				b.WriteString(ExprString(c.Expr))
+			}
+			b.WriteString(")")
+		} else if c.Expr != nil {
+			b.WriteString(ExprString(c.Expr))
+		}
+	}
+}
+
+// printStmt writes stmt at the current position; ind is the indentation
+// of the enclosing construct.
+func printStmt(b *strings.Builder, s Stmt, ind string) {
+	switch x := s.(type) {
+	case *Null:
+		b.WriteString(";\n")
+	case *Block:
+		b.WriteString("begin")
+		if x.Label != "" {
+			fmt.Fprintf(b, " : %s", x.Label)
+		}
+		b.WriteByte('\n')
+		for _, st := range x.Stmts {
+			b.WriteString(ind + "  ")
+			printStmt(b, st, ind+"  ")
+		}
+		b.WriteString(ind + "end\n")
+	case *If:
+		fmt.Fprintf(b, "if (%s) ", ExprString(x.Cond))
+		printStmt(b, x.Then, ind)
+		if x.Else != nil {
+			b.WriteString(ind + "else ")
+			printStmt(b, x.Else, ind)
+		}
+	case *Case:
+		kw := "case"
+		if x.Z {
+			kw = "casez"
+		}
+		fmt.Fprintf(b, "%s (%s)\n", kw, ExprString(x.Subject))
+		for _, it := range x.Items {
+			b.WriteString(ind + "  ")
+			if it.Exprs == nil {
+				b.WriteString("default")
+			} else {
+				for i, e := range it.Exprs {
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					b.WriteString(ExprString(e))
+				}
+			}
+			b.WriteString(": ")
+			printStmt(b, it.Body, ind+"  ")
+		}
+		b.WriteString(ind + "endcase\n")
+	case *Assign:
+		op := "<="
+		if x.Blocking {
+			op = "="
+		}
+		fmt.Fprintf(b, "%s %s %s;\n", ExprString(x.LHS), op, ExprString(x.RHS))
+	case *For:
+		fmt.Fprintf(b, "for (%s = %s; %s; %s = %s) ",
+			ExprString(x.Init.LHS), ExprString(x.Init.RHS),
+			ExprString(x.Cond),
+			ExprString(x.Step.LHS), ExprString(x.Step.RHS))
+		printStmt(b, x.Body, ind)
+	}
+}
+
+// ExprString renders an expression as Verilog text. Nested operator
+// applications are fully parenthesized, which keeps the output
+// unambiguous and round-trippable.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *Number:
+		return numberString(x)
+	case *Unary:
+		return x.Op.String() + "(" + ExprString(x.X) + ")"
+	case *Binary:
+		return "(" + ExprString(x.X) + " " + x.Op.String() + " " + ExprString(x.Y) + ")"
+	case *Ternary:
+		return "(" + ExprString(x.Cond) + " ? " + ExprString(x.Then) + " : " + ExprString(x.Else) + ")"
+	case *Concat:
+		parts := make([]string, len(x.Parts))
+		for i, p := range x.Parts {
+			parts[i] = ExprString(p)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *Repeat:
+		return "{" + ExprString(x.Count) + "{" + ExprString(x.X) + "}}"
+	case *Index:
+		return ExprString(x.X) + "[" + ExprString(x.Idx) + "]"
+	case *Slice:
+		return ExprString(x.X) + "[" + ExprString(x.MSB) + ":" + ExprString(x.LSB) + "]"
+	}
+	return fmt.Sprintf("/*?%T*/", e)
+}
+
+func numberString(n *Number) string {
+	if !n.Sized && n.Base == 0 {
+		return fmt.Sprintf("%d", n.Val)
+	}
+	if n.DontCare != 0 {
+		// Render wildcard bits in binary.
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d'b", n.Width)
+		printed := false
+		for i := n.Width - 1; i >= 0; i-- {
+			var bit uint64
+			var dc uint64
+			if i < 64 {
+				bit = (n.Val >> uint(i)) & 1
+				dc = (n.DontCare >> uint(i)) & 1
+			}
+			if dc != 0 {
+				sb.WriteByte('?')
+				printed = true
+			} else if bit != 0 {
+				sb.WriteByte('1')
+				printed = true
+			} else {
+				if !printed && i > 0 {
+					sb.WriteByte('0') // keep full width for clarity
+					printed = true
+					continue
+				}
+				sb.WriteByte('0')
+			}
+		}
+		return sb.String()
+	}
+	switch n.Base {
+	case 'b':
+		return fmt.Sprintf("%d'b%b", n.Width, n.Val)
+	case 'o':
+		return fmt.Sprintf("%d'o%o", n.Width, n.Val)
+	case 'd':
+		return fmt.Sprintf("%d'd%d", n.Width, n.Val)
+	default:
+		return fmt.Sprintf("%d'h%x", n.Width, n.Val)
+	}
+}

@@ -1,0 +1,125 @@
+package verilog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRoundTripModules checks print → parse → print is a fixed point on
+// realistic modules.
+func TestRoundTripModules(t *testing.T) {
+	for _, src := range []string{sampleCounter, sampleNonANSI} {
+		d1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		out1 := Print(d1)
+		d2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\n%s", err, out1)
+		}
+		out2 := Print(d2)
+		if out1 != out2 {
+			t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+		}
+	}
+}
+
+// randExpr builds a random expression over a small identifier pool.
+func randExpr(r *rand.Rand, depth int) Expr {
+	idents := []string{"a", "b", "c", "sel", "data"}
+	if depth <= 0 {
+		if r.Intn(2) == 0 {
+			return ID(idents[r.Intn(len(idents))])
+		}
+		w := 1 + r.Intn(16)
+		var v uint64
+		if w < 64 {
+			v = r.Uint64() & ((1 << uint(w)) - 1)
+		} else {
+			v = r.Uint64()
+		}
+		return &Number{Width: w, Val: v, Sized: true, Base: 'h'}
+	}
+	switch r.Intn(8) {
+	case 0:
+		ops := []Kind{BANG, TILDE, AMP, PIPE, CARET, NAND, NOR, XNOR, MINUS}
+		return &Unary{Op: ops[r.Intn(len(ops))], X: randExpr(r, depth-1)}
+	case 1, 2, 3:
+		ops := []Kind{PLUS, MINUS, STAR, AMP, PIPE, CARET, XNOR, AMPAMP,
+			PIPE2, EQEQ, NEQ, LT, LE, GT, GE, SHL, SHR}
+		return &Binary{Op: ops[r.Intn(len(ops))], X: randExpr(r, depth-1), Y: randExpr(r, depth-1)}
+	case 4:
+		return &Ternary{Cond: randExpr(r, depth-1), Then: randExpr(r, depth-1), Else: randExpr(r, depth-1)}
+	case 5:
+		n := 1 + r.Intn(3)
+		c := &Concat{}
+		for i := 0; i < n; i++ {
+			c.Parts = append(c.Parts, randExpr(r, depth-1))
+		}
+		return c
+	case 6:
+		return &Repeat{Count: Num(uint64(1 + r.Intn(4))), X: randExpr(r, depth-1)}
+	default:
+		return &Index{X: ID("data"), Idx: randExpr(r, depth-1)}
+	}
+}
+
+// TestQuickExprRoundTrip: for random expression trees, printing and
+// reparsing yields the same printed form.
+func TestQuickExprRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 4)
+		s1 := ExprString(e)
+		e2, err := ParseExpr(s1)
+		if err != nil {
+			t.Logf("parse of %q failed: %v", s1, err)
+			return false
+		}
+		s2 := ExprString(e2)
+		if s1 != s2 {
+			t.Logf("mismatch:\n s1=%s\n s2=%s", s1, s2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumberStringWildcard(t *testing.T) {
+	n := &Number{Width: 4, Val: 0b1010, DontCare: 0b0100, Sized: true, Base: 'b'}
+	s := numberString(n)
+	e, err := ParseExpr(s)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s, err)
+	}
+	n2 := e.(*Number)
+	if n2.Val != 0b1010&^0b0100 || n2.DontCare != 0b0100 || n2.Width != 4 {
+		t.Errorf("wildcard round trip %q -> %+v", s, n2)
+	}
+}
+
+func TestPrintAlwaysVariants(t *testing.T) {
+	src := `
+module m (input wire clk, input wire a, input wire b, output reg q, output reg p);
+  always @(*) q = a & b;
+  always @(a or b) p = a | b;
+endmodule
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(d)
+	d2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if Print(d2) != out {
+		t.Error("always variants round trip unstable")
+	}
+}

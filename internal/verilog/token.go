@@ -1,0 +1,187 @@
+// Package verilog implements a lexer, parser, abstract syntax tree,
+// constant evaluator, and printer for the synthesizable Verilog-2001
+// subset used by the ALICE redaction flow.
+//
+// The subset covers: module declarations (ANSI and non-ANSI port styles),
+// parameters and localparams, wire/reg declarations (including 1-D memory
+// arrays), continuous assignments, always blocks (combinational and edge
+// triggered), if/else, case/casez, blocking and non-blocking assignments,
+// module instantiation with named or positional connections and parameter
+// overrides, and the usual expression operators (logical, bitwise,
+// reduction, arithmetic, shifts, comparisons, concatenation, replication,
+// bit- and part-selects, conditional).
+//
+// This replaces the PyVerilog dependency of the original ALICE prototype.
+package verilog
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds follow the punctuation block.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	STRING
+
+	LPAREN // (
+	RPAREN // )
+	LBRACK // [
+	RBRACK // ]
+	LBRACE // {
+	RBRACE // }
+	SEMI   // ;
+	COLON  // :
+	COMMA  // ,
+	DOT    // .
+	HASH   // #
+	AT     // @
+	QUEST  // ?
+
+	ASSIGNOP // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+
+	LT   // <
+	LE   // <= (also non-blocking assign, disambiguated by parser)
+	GT   // >
+	GE   // >=
+	EQEQ // ==
+	NEQ  // !=
+	EQ3  // === (treated as ==)
+	NEQ3 // !== (treated as !=)
+
+	AMP    // &
+	AMPAMP // &&
+	PIPE   // |
+	PIPE2  // ||
+	CARET  // ^
+	XNOR   // ~^ or ^~
+	BANG   // !
+	TILDE  // ~
+	NAND   // ~&
+	NOR    // ~|
+
+	SHL // <<
+	SHR // >>
+
+	// Keywords.
+	KWMODULE
+	KWENDMODULE
+	KWINPUT
+	KWOUTPUT
+	KWINOUT
+	KWWIRE
+	KWREG
+	KWASSIGN
+	KWALWAYS
+	KWINITIAL
+	KWBEGIN
+	KWEND
+	KWIF
+	KWELSE
+	KWCASE
+	KWCASEZ
+	KWCASEX
+	KWENDCASE
+	KWDEFAULT
+	KWPOSEDGE
+	KWNEGEDGE
+	KWOR // event "or"
+	KWPARAMETER
+	KWLOCALPARAM
+	KWINTEGER
+	KWFOR
+	KWGENVAR
+	KWGENERATE
+	KWENDGENERATE
+	KWFUNCTION
+	KWENDFUNCTION
+	KWSIGNED
+)
+
+var keywords = map[string]Kind{
+	"module":      KWMODULE,
+	"endmodule":   KWENDMODULE,
+	"input":       KWINPUT,
+	"output":      KWOUTPUT,
+	"inout":       KWINOUT,
+	"wire":        KWWIRE,
+	"reg":         KWREG,
+	"assign":      KWASSIGN,
+	"always":      KWALWAYS,
+	"initial":     KWINITIAL,
+	"begin":       KWBEGIN,
+	"end":         KWEND,
+	"if":          KWIF,
+	"else":        KWELSE,
+	"case":        KWCASE,
+	"casez":       KWCASEZ,
+	"casex":       KWCASEX,
+	"endcase":     KWENDCASE,
+	"default":     KWDEFAULT,
+	"posedge":     KWPOSEDGE,
+	"negedge":     KWNEGEDGE,
+	"or":          KWOR,
+	"parameter":   KWPARAMETER,
+	"localparam":  KWLOCALPARAM,
+	"integer":     KWINTEGER,
+	"for":         KWFOR,
+	"genvar":      KWGENVAR,
+	"generate":    KWGENERATE,
+	"endgenerate": KWENDGENERATE,
+	"function":    KWFUNCTION,
+	"endfunction": KWENDFUNCTION,
+	"signed":      KWSIGNED,
+}
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number", STRING: "string",
+	LPAREN: "(", RPAREN: ")", LBRACK: "[", RBRACK: "]", LBRACE: "{",
+	RBRACE: "}", SEMI: ";", COLON: ":", COMMA: ",", DOT: ".", HASH: "#",
+	AT: "@", QUEST: "?", ASSIGNOP: "=", PLUS: "+", MINUS: "-", STAR: "*",
+	SLASH: "/", PERCENT: "%", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	EQEQ: "==", NEQ: "!=", EQ3: "===", NEQ3: "!==", AMP: "&", AMPAMP: "&&",
+	PIPE: "|", PIPE2: "||", CARET: "^", XNOR: "~^", BANG: "!", TILDE: "~",
+	NAND: "~&", NOR: "~|", SHL: "<<", SHR: ">>",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	for s, kk := range keywords {
+		if kk == k {
+			return s
+		}
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == IDENT || t.Kind == NUMBER || t.Kind == STRING {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}

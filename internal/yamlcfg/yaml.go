@@ -1,0 +1,290 @@
+// Package yamlcfg implements the small YAML subset used by ALICE flow
+// configuration files: nested mappings by indentation, block sequences
+// ("- item"), inline scalars (strings, integers, floats, booleans), and
+// '#' comments. It exists because the flow's input format in the paper
+// is "a custom YAML configuration file" and the module must stay
+// dependency-free.
+package yamlcfg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is a parsed YAML value: map[string]any, []any, string, int64,
+// float64, bool, or nil.
+type Value any
+
+// Parse parses a YAML document.
+func Parse(src string) (Value, error) {
+	p := &parser{}
+	for _, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("yaml: tabs are not allowed for indentation")
+		}
+		p.lines = append(p.lines, yline{indent, strings.TrimSpace(line)})
+	}
+	if len(p.lines) == 0 {
+		return map[string]Value{}, nil
+	}
+	v, next, err := p.parseBlock(0, p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(p.lines) {
+		return nil, fmt.Errorf("yaml: unexpected content at line %d", next+1)
+	}
+	return v, nil
+}
+
+type yline struct {
+	indent int
+	text   string
+}
+
+type parser struct {
+	lines []yline
+}
+
+// parseBlock parses the block starting at line i with the given indent,
+// returning the value and the next unconsumed line.
+func (p *parser) parseBlock(i, indent int) (Value, int, error) {
+	if strings.HasPrefix(p.lines[i].text, "- ") || p.lines[i].text == "-" {
+		return p.parseSeq(i, indent)
+	}
+	return p.parseMap(i, indent)
+}
+
+func (p *parser) parseSeq(i, indent int) (Value, int, error) {
+	var out []Value
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, 0, fmt.Errorf("yaml: bad indentation in sequence near %q", ln.text)
+		}
+		if !strings.HasPrefix(ln.text, "-") {
+			break
+		}
+		item := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if item == "" {
+			// Nested block item.
+			if i+1 >= len(p.lines) || p.lines[i+1].indent <= indent {
+				out = append(out, nil)
+				i++
+				continue
+			}
+			v, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, v)
+			i = next
+			continue
+		}
+		if k, v, isMap := splitKV(item); isMap && v == "" {
+			// "- key:" starts an inline map item with nested content.
+			sub := map[string]Value{}
+			if i+1 < len(p.lines) && p.lines[i+1].indent > indent {
+				nested, next, err := p.parseMap(i+1, p.lines[i+1].indent)
+				if err != nil {
+					return nil, 0, err
+				}
+				sub[k] = nested
+				out = append(out, sub)
+				i = next
+				continue
+			}
+			sub[k] = nil
+			out = append(out, sub)
+			i++
+			continue
+		} else if isMap {
+			// "- key: value [more on following deeper lines]"
+			sub := map[string]Value{k: scalar(v)}
+			i++
+			for i < len(p.lines) && p.lines[i].indent > indent {
+				k2, v2, ok := splitKV(p.lines[i].text)
+				if !ok {
+					return nil, 0, fmt.Errorf("yaml: expected key: value in sequence map near %q", p.lines[i].text)
+				}
+				if v2 == "" {
+					nested, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+					if err != nil {
+						return nil, 0, err
+					}
+					sub[k2] = nested
+					i = next
+					continue
+				}
+				sub[k2] = scalar(v2)
+				i++
+			}
+			out = append(out, sub)
+			continue
+		}
+		out = append(out, scalar(item))
+		i++
+	}
+	return out, i, nil
+}
+
+func (p *parser) parseMap(i, indent int) (Value, int, error) {
+	out := map[string]Value{}
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, 0, fmt.Errorf("yaml: bad indentation near %q", ln.text)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			break
+		}
+		k, v, ok := splitKV(ln.text)
+		if !ok {
+			return nil, 0, fmt.Errorf("yaml: expected key: value, got %q", ln.text)
+		}
+		if _, dup := out[k]; dup {
+			return nil, 0, fmt.Errorf("yaml: duplicate key %q", k)
+		}
+		if v != "" {
+			out[k] = scalar(v)
+			i++
+			continue
+		}
+		// Nested block (or empty value).
+		if i+1 < len(p.lines) && p.lines[i+1].indent > indent {
+			nested, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			out[k] = nested
+			i = next
+			continue
+		}
+		out[k] = nil
+		i++
+	}
+	return out, i, nil
+}
+
+func stripComment(line string) string {
+	inStr := byte(0)
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inStr != 0:
+			if c == inStr {
+				inStr = 0
+			}
+		case c == '\'' || c == '"':
+			inStr = c
+		case c == '#':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+func splitKV(s string) (key, val string, ok bool) {
+	idx := strings.Index(s, ":")
+	if idx <= 0 {
+		return "", "", false
+	}
+	key = strings.TrimSpace(s[:idx])
+	val = strings.TrimSpace(s[idx+1:])
+	return key, val, true
+}
+
+// scalar converts a YAML scalar token to a typed Go value.
+func scalar(s string) Value {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	switch s {
+	case "true", "yes", "on":
+		return true
+	case "false", "no", "off":
+		return false
+	case "null", "~":
+		return nil
+	}
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return v
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v
+	}
+	return s
+}
+
+// GetMap asserts a mapping.
+func GetMap(v Value) (map[string]Value, bool) {
+	m, ok := v.(map[string]Value)
+	return m, ok
+}
+
+// GetString fetches a string field from a mapping.
+func GetString(m map[string]Value, key, def string) string {
+	if v, ok := m[key].(string); ok {
+		return v
+	}
+	return def
+}
+
+// GetInt fetches an integer field from a mapping.
+func GetInt(m map[string]Value, key string, def int) int {
+	if v, ok := m[key].(int64); ok {
+		return int(v)
+	}
+	return def
+}
+
+// GetFloat fetches a float field (int tolerated) from a mapping.
+func GetFloat(m map[string]Value, key string, def float64) float64 {
+	switch v := m[key].(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	}
+	return def
+}
+
+// GetBool fetches a boolean field from a mapping.
+func GetBool(m map[string]Value, key string, def bool) bool {
+	if v, ok := m[key].(bool); ok {
+		return v
+	}
+	return def
+}
+
+// GetStringList fetches a list of strings.
+func GetStringList(m map[string]Value, key string) []string {
+	l, ok := m[key].([]Value)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for _, it := range l {
+		if s, ok := it.(string); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

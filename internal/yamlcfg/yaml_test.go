@@ -1,0 +1,109 @@
+package yamlcfg
+
+import "testing"
+
+func TestParseScalarsAndNesting(t *testing.T) {
+	v, err := Parse(`
+# comment
+top: gcd
+count: 42
+ratio: 1.5
+flag: true
+off: false
+name: "quoted # not comment"
+efpga:
+  max_io_pins: 64
+  nested:
+    deep: yes
+outputs:
+  - result
+  - done
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := GetMap(v)
+	if !ok {
+		t.Fatal("root not a map")
+	}
+	if GetString(m, "top", "") != "gcd" {
+		t.Errorf("top = %v", m["top"])
+	}
+	if GetInt(m, "count", 0) != 42 {
+		t.Errorf("count = %v", m["count"])
+	}
+	if GetFloat(m, "ratio", 0) != 1.5 {
+		t.Errorf("ratio = %v", m["ratio"])
+	}
+	if !GetBool(m, "flag", false) || GetBool(m, "off", true) {
+		t.Error("bools parsed wrong")
+	}
+	if GetString(m, "name", "") != "quoted # not comment" {
+		t.Errorf("name = %v", m["name"])
+	}
+	e, ok := GetMap(m["efpga"])
+	if !ok || GetInt(e, "max_io_pins", 0) != 64 {
+		t.Errorf("efpga = %v", m["efpga"])
+	}
+	n, ok := GetMap(e["nested"])
+	if !ok || !GetBool(n, "deep", false) {
+		t.Errorf("nested = %v", e["nested"])
+	}
+	outs := GetStringList(m, "outputs")
+	if len(outs) != 2 || outs[0] != "result" || outs[1] != "done" {
+		t.Errorf("outputs = %v", outs)
+	}
+}
+
+func TestParseSequenceOfMaps(t *testing.T) {
+	v, err := Parse(`
+items:
+  - name: a
+    size: 1
+  - name: b
+    size: 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := GetMap(v)
+	l, ok := m["items"].([]Value)
+	if !ok || len(l) != 2 {
+		t.Fatalf("items = %#v", m["items"])
+	}
+	first, ok := GetMap(l[0])
+	if !ok || GetString(first, "name", "") != "a" || GetInt(first, "size", 0) != 1 {
+		t.Errorf("first = %#v", l[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"a: 1\n  b: 2\n  c: 3\n   d: 4", // inconsistent nesting
+		"key: 1\nkey: 2",                // duplicate key
+		"\tkey: 1",                      // tab indentation
+		"just a line without colon",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestEmptyAndDefaults(t *testing.T) {
+	v, err := Parse("\n# only comments\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := GetMap(v)
+	if !ok || len(m) != 0 {
+		t.Errorf("empty doc = %#v", v)
+	}
+	if GetString(m, "missing", "dflt") != "dflt" {
+		t.Error("default fallback broken")
+	}
+	if GetInt(m, "missing", 9) != 9 || GetFloat(m, "missing", 2.5) != 2.5 {
+		t.Error("numeric defaults broken")
+	}
+}
