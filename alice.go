@@ -7,19 +7,40 @@
 // solver for the threat-model evaluation, and an area model for the
 // physical comparison of Fig. 4.
 //
-// The typical entry point is Run (or RunSource) with a Config:
+// # The staged Engine API
+//
+// The flow is a pipeline of six typed stages —
+// Filter → Cluster → Characterize → Select → Implement → Redact —
+// driven by an Engine configured with functional options:
 //
 //	cfg := alice.Cfg1()                      // 64 I/O pins, <=2 eFPGAs
 //	cfg.SelectedOutputs = []string{"result"} // outputs to protect
-//	report, err := alice.RunSource(verilogText, cfg)
+//	eng := alice.NewEngine(alice.WithConfig(cfg), alice.WithParallelism(8))
+//	report, err := eng.RunSource(ctx, verilogText)
+//
+// Every stage is also callable on its own, with inspectable inputs and
+// outputs, so partial flows and intermediate reuse are first-class:
+// characterize a design's clusters once (the dominant cost; the Engine
+// fans it out over a worker pool and can memoize it in a
+// CharacterizationCache), then Select under several configurations.
+// Context cancellation and deadlines are honoured throughout the hot
+// loops — dataflow analysis, cluster enumeration, the place-and-route
+// annealer, and branch-and-bound selection. Flow diagnostics are typed
+// and stage-attributed: Report.Err wraps sentinels such as
+// ErrNoCandidates or ErrNoSolution in a *FlowError, for errors.Is /
+// errors.As dispatch. Engine.RunBatch drives many designs
+// concurrently.
 //
 // The report carries the Table-2 style metrics (candidate modules,
 // clusters, valid fabrics, admissible solutions), the chosen solution
 // with per-fabric utilizations and bitstream sizes, and the regenerated
-// redacted design.
+// redacted design. Run, RunSource, and GenerateRedactedDesign remain as
+// one-shot shims over the Engine.
 package alice
 
 import (
+	"context"
+
 	"alice/internal/bench"
 	"alice/internal/core"
 	"alice/internal/rtl"
@@ -41,6 +62,75 @@ type Redaction = core.Redaction
 // Benchmark is one reconstructed paper benchmark.
 type Benchmark = bench.Benchmark
 
+// ElaboratedDesign is a design after RTL elaboration — the working
+// representation the pipeline stages operate on.
+type ElaboratedDesign = rtl.Design
+
+// FilterResult carries the outcome of the module-filtering stage.
+type FilterResult = core.FilterResult
+
+// Cluster is a set of independent module instances meant to share one
+// eFPGA.
+type Cluster = core.Cluster
+
+// FabricCandidate couples a cluster with its characterization outcome.
+type FabricCandidate = core.FabricCandidate
+
+// SelectionResult is the output of the eFPGA-selection stage.
+type SelectionResult = core.SelectionResult
+
+// Stage identifies one pipeline stage in errors and observer events.
+type Stage = core.Stage
+
+// Pipeline stages, in execution order.
+const (
+	StageElaborate    = core.StageElaborate
+	StageFilter       = core.StageFilter
+	StageCluster      = core.StageCluster
+	StageCharacterize = core.StageCharacterize
+	StageSelect       = core.StageSelect
+	StageImplement    = core.StageImplement
+	StageRedact       = core.StageRedact
+)
+
+// Event is one observer notification from a pipeline run.
+type Event = core.Event
+
+// EventKind distinguishes observer notifications.
+type EventKind = core.EventKind
+
+// Observer event kinds.
+const (
+	EventStageStart = core.EventStageStart
+	EventStageEnd   = core.EventStageEnd
+	EventProgress   = core.EventProgress
+)
+
+// Observer receives pipeline events (delivery is serialized).
+type Observer = core.Observer
+
+// FlowError is a stage-attributed flow diagnostic; Report.Err is one.
+type FlowError = core.FlowError
+
+// Typed flow diagnostics, wrapped in *FlowError on Report.Err; test
+// with errors.Is.
+var (
+	ErrNoCandidates  = core.ErrNoCandidates
+	ErrNoCluster     = core.ErrNoCluster
+	ErrNoValidEFPGA  = core.ErrNoValidEFPGA
+	ErrNoSolution    = core.ErrNoSolution
+	ErrClusterBudget = core.ErrClusterBudget
+)
+
+// CharacterizationCache memoizes per-cluster characterizations across
+// runs and configurations; attach one with WithCache.
+type CharacterizationCache = core.CharacterizationCache
+
+// NewCharacterizationCache returns an empty characterization cache.
+func NewCharacterizationCache() *CharacterizationCache {
+	return core.NewCharacterizationCache()
+}
+
 // Score directions for eFPGA ranking (see DESIGN.md on Eq. 1).
 const (
 	ScoreMaximize = core.ScoreMaximize
@@ -61,14 +151,16 @@ func Cfg2() *Config { return core.Cfg2() }
 // LoadConfig parses a YAML flow configuration.
 func LoadConfig(src string) (*Config, error) { return core.LoadConfig(src) }
 
-// RunSource parses Verilog text and runs the complete redaction flow.
+// RunSource parses Verilog text and runs the complete redaction flow —
+// a one-shot shim over the Engine.
 func RunSource(src string, cfg *Config) (*Report, error) {
-	return core.RunSource(src, cfg)
+	return NewEngine(WithConfig(cfg)).RunSource(context.Background(), src)
 }
 
-// Run executes the flow on a parsed design.
+// Run executes the flow on a parsed design — a one-shot shim over the
+// Engine.
 func Run(ast *verilog.Design, cfg *Config) (*Report, error) {
-	return core.Run(ast, cfg)
+	return NewEngine(WithConfig(cfg)).Run(context.Background(), ast)
 }
 
 // Parse parses Verilog source text.
@@ -96,20 +188,23 @@ func Benchmarks() []Benchmark { return bench.All() }
 // BenchmarkByName returns one reconstructed benchmark.
 func BenchmarkByName(name string) (Benchmark, bool) { return bench.ByName(name) }
 
-// GenerateRedactedDesign regenerates the redacted design for a solution.
-// With functional=true the eFPGA modules carry a behavioural model of
-// the programmed fabric (for simulation); with false they model the
-// unprogrammed fabric the foundry sees (outputs stuck at 0).
+// GenerateRedactedDesign regenerates the redacted design for a solution
+// — a shim over Engine.Elaborate + Engine.Redact. With functional=true
+// the eFPGA modules carry a behavioural model of the programmed fabric
+// (for simulation); with false they model the unprogrammed fabric the
+// foundry sees (outputs stuck at 0).
 func GenerateRedactedDesign(src string, sol *Solution, functional bool) (*Redaction, error) {
 	ast, err := verilog.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	d, err := rtl.Elaborate(ast, "")
+	eng := NewEngine()
+	ctx := context.Background()
+	d, err := eng.Elaborate(ctx, ast)
 	if err != nil {
 		return nil, err
 	}
-	return core.GenerateRedactedDesign(d, sol, functional)
+	return eng.Redact(ctx, d, sol, functional)
 }
 
 // VerifyRedaction co-simulates the original design against a functional

@@ -5,6 +5,7 @@
 package alice_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -39,11 +40,13 @@ func BenchmarkTable1Characteristics(b *testing.B) {
 }
 
 func runTable2(b *testing.B, mkcfg func() *alice.Config, label string) {
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		for _, bm := range alice.Benchmarks() {
 			cfg := mkcfg()
 			cfg.SelectedOutputs = bm.SelectedOutputs
-			rep, err := alice.RunSource(bm.Source(), cfg)
+			eng := alice.NewEngine(alice.WithConfig(cfg))
+			rep, err := eng.RunSource(ctx, bm.Source())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -66,14 +69,17 @@ func BenchmarkTable2Cfg2(b *testing.B) { runTable2(b, alice.Cfg2, "cfg2") }
 // area of the two GCD solutions under the calibrated fabric model.
 func BenchmarkFigure4AreaComparison(b *testing.B) {
 	bm, _ := alice.BenchmarkByName("gcd")
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
 		var lines []string
+		cache := alice.NewCharacterizationCache()
 		for _, c := range []struct {
 			label string
 			cfg   *alice.Config
 		}{{"cfg1", alice.Cfg1()}, {"cfg2", alice.Cfg2()}} {
 			c.cfg.SelectedOutputs = bm.SelectedOutputs
-			rep, err := alice.RunSource(bm.Source(), c.cfg)
+			eng := alice.NewEngine(alice.WithConfig(c.cfg), alice.WithCache(cache))
+			rep, err := eng.RunSource(ctx, bm.Source())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -164,7 +170,7 @@ func BenchmarkAblationScoreDirection(b *testing.B) {
 			cfg := alice.Cfg1()
 			cfg.SelectedOutputs = bm.SelectedOutputs
 			cfg.Direction = dir.d
-			rep, err := alice.RunSource(bm.Source(), cfg)
+			rep, err := alice.NewEngine(alice.WithConfig(cfg)).RunSource(context.Background(), bm.Source())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -186,7 +192,7 @@ func BenchmarkAblationMaxIOSweep(b *testing.B) {
 			cfg := alice.Cfg1()
 			cfg.SelectedOutputs = bm.SelectedOutputs
 			cfg.MaxIOPins = maxIO
-			rep, err := alice.RunSource(bm.Source(), cfg)
+			rep, err := alice.NewEngine(alice.WithConfig(cfg)).RunSource(context.Background(), bm.Source())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -210,7 +216,7 @@ func BenchmarkAblationAlphaBeta(b *testing.B) {
 			cfg := alice.Cfg2()
 			cfg.SelectedOutputs = bm.SelectedOutputs
 			cfg.Alpha, cfg.Beta = w.a, w.bta
-			rep, err := alice.RunSource(bm.Source(), cfg)
+			rep, err := alice.NewEngine(alice.WithConfig(cfg)).RunSource(context.Background(), bm.Source())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -233,7 +239,7 @@ func BenchmarkAblationFastVsFullCharacterization(b *testing.B) {
 			cfg := alice.Cfg1()
 			cfg.SelectedOutputs = bm.SelectedOutputs
 			cfg.FullPnR = mode == 1
-			rep, err := alice.RunSource(bm.Source(), cfg)
+			rep, err := alice.NewEngine(alice.WithConfig(cfg)).RunSource(context.Background(), bm.Source())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -252,6 +258,32 @@ func BenchmarkAblationFastVsFullCharacterization(b *testing.B) {
 		if sizes[0] != sizes[1] {
 			b.Logf("note: fast and full characterization disagree: %s vs %s", sizes[0], sizes[1])
 		}
+	}
+}
+
+// BenchmarkCharacterizationParallelism measures the headline Engine
+// speedup: DES3's independent clusters characterized sequentially vs
+// across the worker pool (same solutions either way — see
+// TestParallelCharacterizationEquivalence).
+func BenchmarkCharacterizationParallelism(b *testing.B) {
+	bm, _ := alice.BenchmarkByName("des3")
+	ctx := context.Background()
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := alice.Cfg1()
+				cfg.SelectedOutputs = bm.SelectedOutputs
+				cfg.MaxIOPins = 36 // three-S-box clusters: 92 characterizations
+				eng := alice.NewEngine(alice.WithConfig(cfg), alice.WithParallelism(par))
+				rep, err := eng.RunSource(ctx, bm.Source())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Err != nil {
+					b.Fatal(rep.Err)
+				}
+			}
+		})
 	}
 }
 

@@ -4,17 +4,17 @@
 //
 // Usage:
 //
-//	alice -v design.v -c flow.yaml [-o redacted.v] [-summary]
+//	alice -v design.v -c flow.yaml [-o redacted.v] [-summary] [-json] [-timeout 30s]
 //	alice -bench gcd -cfg 1 [-o redacted.v]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"alice/internal/bench"
-	"alice/internal/core"
+	"alice"
 )
 
 func main() {
@@ -25,24 +25,28 @@ func main() {
 		cfgNum    = flag.Int("cfg", 1, "paper configuration for -bench: 1 (64 I/O, 2 eFPGAs) or 2 (96 I/O, 1 eFPGA)")
 		outFile   = flag.String("o", "", "write the redacted Verilog to this file")
 		summary   = flag.Bool("summary", true, "print the flow summary")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON on stdout (suppresses the summary)")
+		timeout   = flag.Duration("timeout", 0, "abort the flow after this duration (0 = no limit)")
+		parallel  = flag.Int("parallel", 0, "characterization worker-pool width (0 = all CPUs)")
+		progress  = flag.Bool("progress", false, "log per-stage progress to stderr")
 		model     = flag.Bool("functional-model", false, "emit functional (programmed) eFPGA models instead of unprogrammed stubs")
 	)
 	flag.Parse()
 
 	var src string
-	var cfg *core.Config
+	var cfg *alice.Config
 	switch {
 	case *benchName != "":
-		b, ok := bench.ByName(*benchName)
+		b, ok := alice.BenchmarkByName(*benchName)
 		if !ok {
 			fatalf("unknown benchmark %q", *benchName)
 		}
 		src = b.Source()
 		switch *cfgNum {
 		case 1:
-			cfg = core.Cfg1()
+			cfg = alice.Cfg1()
 		case 2:
-			cfg = core.Cfg2()
+			cfg = alice.Cfg2()
 		default:
 			fatalf("-cfg must be 1 or 2")
 		}
@@ -53,13 +57,13 @@ func main() {
 			fatalf("reading design: %v", err)
 		}
 		src = string(data)
-		cfg = core.DefaultConfig()
+		cfg = alice.DefaultConfig()
 		if *cFile != "" {
 			ydata, err := os.ReadFile(*cFile)
 			if err != nil {
 				fatalf("reading config: %v", err)
 			}
-			cfg, err = core.LoadConfig(string(ydata))
+			cfg, err = alice.LoadConfig(string(ydata))
 			if err != nil {
 				fatalf("parsing config: %v", err)
 			}
@@ -69,11 +73,43 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep, err := core.RunSource(src, cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []alice.Option{alice.WithConfig(cfg)}
+	if *parallel > 0 {
+		opts = append(opts, alice.WithParallelism(*parallel))
+	}
+	if *progress {
+		opts = append(opts, alice.WithObserver(func(ev alice.Event) {
+			switch ev.Kind {
+			case alice.EventStageEnd:
+				fmt.Fprintf(os.Stderr, "alice: stage %-12s %8.2fs (n=%d)\n",
+					ev.Stage, ev.Duration.Seconds(), ev.Count)
+			case alice.EventProgress:
+				fmt.Fprintf(os.Stderr, "alice: stage %-12s %d/%d clusters\n",
+					ev.Stage, ev.Done, ev.Total)
+			}
+		}))
+	}
+	eng := alice.NewEngine(opts...)
+
+	rep, err := eng.RunSource(ctx, src)
 	if err != nil {
 		fatalf("flow failed: %v", err)
 	}
-	if *summary {
+	switch {
+	case *jsonOut:
+		out, err := rep.JSON()
+		if err != nil {
+			fatalf("encoding report: %v", err)
+		}
+		os.Stdout.Write(append(out, '\n'))
+	case *summary:
 		fmt.Print(rep.Summary())
 	}
 	if rep.Err != nil {
@@ -83,12 +119,17 @@ func main() {
 	if *outFile != "" {
 		red := rep.Redaction
 		if *model {
-			// Re-generate with functional eFPGA models.
-			ast, err := core.RunSourceAST(src)
+			// Re-generate with functional eFPGA models, through the same
+			// engine so the configured top module is honoured.
+			ast, err := alice.Parse(src)
 			if err != nil {
 				fatalf("%v", err)
 			}
-			red, err = core.GenerateRedactedDesignFromAST(ast, cfg, rep.Solution, true)
+			d, err := eng.Elaborate(ctx, ast)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			red, err = eng.Redact(ctx, d, rep.Solution, true)
 			if err != nil {
 				fatalf("generating functional model: %v", err)
 			}

@@ -11,16 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
-	"alice/internal/bench"
+	"alice"
 	"alice/internal/celllib"
-	"alice/internal/core"
-	"alice/internal/rtl"
-	"alice/internal/verilog"
 )
 
 func main() {
@@ -50,12 +47,9 @@ func main() {
 func table1() {
 	fmt.Println("Table 1: Characteristics of the selected benchmarks")
 	fmt.Printf("%-8s %-10s %8s %10s %18s\n", "Suite", "Design", "Modules", "Instances", "I/O pins [min,max]")
-	for _, b := range bench.All() {
-		ast, err := verilog.Parse(b.Source())
+	for _, b := range alice.Benchmarks() {
+		c, err := alice.Characterize(b.Source())
 		check(err)
-		d, err := rtl.Elaborate(ast, "")
-		check(err)
-		c := rtl.Characterize(d)
 		fmt.Printf("%-8s %-10s %8d %10d        [%d, %d]\n",
 			b.Suite, b.Name, c.Modules, c.Instances, c.MinPins, c.MaxPins)
 	}
@@ -66,32 +60,37 @@ func table2(cfgNum int, only string) {
 	fmt.Printf("%-10s %4s | %9s %3s | %9s %4s | %9s %7s %6s | %-12s %s\n",
 		"Design", "Inst", "FiltTime", "|R|", "ClusTime", "|C|",
 		"SelTime", "#valid", "|S|", "eFPGAs", "#redacted")
-	for _, b := range bench.All() {
+	ctx := context.Background()
+	for _, b := range alice.Benchmarks() {
 		if only != "" && b.Name != only {
 			continue
 		}
-		var cfg *core.Config
+		var cfg *alice.Config
 		if cfgNum == 1 {
-			cfg = core.Cfg1()
+			cfg = alice.Cfg1()
 		} else {
-			cfg = core.Cfg2()
+			cfg = alice.Cfg2()
 		}
 		cfg.SelectedOutputs = b.SelectedOutputs
-		start := time.Now()
-		rep, err := core.RunSource(b.Source(), cfg)
+		eng := alice.NewEngine(alice.WithConfig(cfg))
+		rep, err := eng.RunSource(ctx, b.Source())
 		check(err)
 		fmt.Println(rep.Row())
-		_ = start
 	}
 }
 
 func figure4() {
 	fmt.Println("Figure 4: physical area of the two GCD solutions (model)")
-	b, _ := bench.ByName("gcd")
+	b, _ := alice.BenchmarkByName("gcd")
+	ctx := context.Background()
+	// One cache across both configurations: the GCD clusters are
+	// characterized once and selected twice.
+	cache := alice.NewCharacterizationCache()
 
-	run := func(cfg *core.Config, label string) {
+	run := func(cfg *alice.Config, label string) {
 		cfg.SelectedOutputs = b.SelectedOutputs
-		rep, err := core.RunSource(b.Source(), cfg)
+		eng := alice.NewEngine(alice.WithConfig(cfg), alice.WithCache(cache))
+		rep, err := eng.RunSource(ctx, b.Source())
 		check(err)
 		if rep.Err != nil {
 			check(rep.Err)
@@ -103,8 +102,8 @@ func figure4() {
 		area := celllib.SolutionArea(widths, celllib.GCDCoreArea)
 		fmt.Printf("  %-22s fabrics %-12s -> %8.0f um^2\n", label, rep.FabricSizes, area)
 	}
-	run(core.Cfg1(), "cfg1 (flow choice):")
-	run(core.Cfg2(), "cfg2 (flow choice):")
+	run(alice.Cfg1(), "cfg1 (flow choice):")
+	run(alice.Cfg2(), "cfg2 (flow choice):")
 
 	fmt.Println("  calibration points (paper layouts):")
 	two4 := celllib.SolutionArea([]int{4, 4}, celllib.GCDCoreArea)

@@ -1,0 +1,263 @@
+package alice
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"alice/internal/core"
+	"alice/internal/rtl"
+	"alice/internal/verilog"
+)
+
+// Engine is the staged entry point of the ALICE flow. It owns a
+// configuration plus run-wide resources (worker-pool width, observer,
+// characterization cache) and exposes both one-shot runs (Run,
+// RunSource, RunBatch) and the individual pipeline stages
+// (Filter → Cluster → Characterize → Select → Implement → Redact) with
+// inspectable inputs and outputs, so callers can run partial flows and
+// reuse intermediates across configurations.
+//
+//	eng := alice.NewEngine(
+//		alice.WithConfig(cfg),
+//		alice.WithParallelism(8),
+//		alice.WithCache(alice.NewCharacterizationCache()),
+//	)
+//	report, err := eng.RunSource(ctx, verilogText)
+//
+// An Engine is safe for concurrent use: each run only reads the
+// configuration and shares the (internally locked) cache.
+type Engine struct {
+	cfg         *Config
+	parallelism int
+	observer    Observer
+	cache       *CharacterizationCache
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithConfig sets the flow configuration (defaults to DefaultConfig).
+// The Engine keeps the pointer, so later field edits are visible to
+// subsequent runs.
+func WithConfig(cfg *Config) Option {
+	return func(e *Engine) {
+		if cfg != nil {
+			e.cfg = cfg
+		}
+	}
+}
+
+// WithParallelism bounds the characterization worker pool and the
+// number of designs RunBatch drives concurrently. Values below 1 mean
+// sequential. The default is runtime.GOMAXPROCS(0); parallel and
+// sequential runs select identical solutions.
+func WithParallelism(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.parallelism = n
+	}
+}
+
+// WithObserver registers a callback for per-stage progress events.
+// Event delivery is serialized, so the observer needs no locking even
+// under parallel characterization or RunBatch.
+func WithObserver(o Observer) Option {
+	return func(e *Engine) { e.observer = o }
+}
+
+// WithCache attaches a characterization cache, so repeated runs over
+// the same design (e.g. selection under cfg1 and cfg2, or a fabric-
+// parameter sweep) characterize each cluster once.
+func WithCache(c *CharacterizationCache) Option {
+	return func(e *Engine) { e.cache = c }
+}
+
+// NewEngine builds an Engine from options.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		cfg:         DefaultConfig(),
+		parallelism: runtime.GOMAXPROCS(0),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.observer != nil {
+		// Serialize here, at the engine level, so the no-locking
+		// guarantee also holds across the concurrent runs of RunBatch
+		// (each pipeline run only serializes its own events).
+		var mu sync.Mutex
+		inner := e.observer
+		e.observer = func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(ev)
+		}
+	}
+	return e
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() *Config { return e.cfg }
+
+func (e *Engine) runOptions() core.RunOptions {
+	return core.RunOptions{
+		Parallelism: e.parallelism,
+		Observer:    e.observer,
+		Cache:       e.cache,
+	}
+}
+
+// Run executes the complete flow on a parsed design. Flow diagnostics
+// (no candidates, no admissible solution, ...) land in Report.Err as
+// stage-attributed errors; hard failures — bad configuration,
+// elaboration errors, context cancellation — are returned as the error.
+func (e *Engine) Run(ctx context.Context, ast *verilog.Design) (*Report, error) {
+	return core.RunPipeline(ctx, ast, e.cfg, e.runOptions())
+}
+
+// RunSource parses Verilog text and executes the complete flow.
+func (e *Engine) RunSource(ctx context.Context, src string) (*Report, error) {
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, ast)
+}
+
+// Elaborate resolves a parsed design against the engine's configured
+// top module — the input to the stage methods below.
+func (e *Engine) Elaborate(ctx context.Context, ast *verilog.Design) (*ElaboratedDesign, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rtl.Elaborate(ast, e.cfg.Top)
+}
+
+// Filter runs module filtering (Algorithm 1), including the dataflow
+// analysis that scores modules by the selected outputs they affect.
+func (e *Engine) Filter(ctx context.Context, d *ElaboratedDesign) (*FilterResult, error) {
+	df, err := rtl.NewDataflow(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return core.FilterModules(ctx, d, df, e.cfg)
+}
+
+// Cluster runs cluster identification (Algorithm 2) on the filtered
+// candidates.
+func (e *Engine) Cluster(ctx context.Context, fr *FilterResult) ([]Cluster, error) {
+	return core.IdentifyClusters(ctx, fr.Candidates, e.cfg)
+}
+
+// Characterize runs the eFPGA oracle on every cluster, in parallel up
+// to the engine's parallelism and through its cache when one is
+// attached. The result order matches the cluster order.
+func (e *Engine) Characterize(ctx context.Context, d *ElaboratedDesign, clusters []Cluster) ([]FabricCandidate, error) {
+	return core.CharacterizeClusters(ctx, d, clusters, e.cfg, core.CharacterizeOptions{
+		Parallelism: e.parallelism,
+		Cache:       e.cache,
+	})
+}
+
+// Select ranks the characterized fabrics with Eq. 1 and enumerates
+// admissible solutions (Algorithm 3). Characterize once, then Select
+// under several configurations to explore budgets cheaply.
+func (e *Engine) Select(ctx context.Context, cands []FabricCandidate) (*SelectionResult, error) {
+	return core.SelectEFPGAs(ctx, cands, e.cfg)
+}
+
+// Implement upgrades every fast-mode fabric of a solution to a fully
+// placed, routed, and programmed implementation.
+func (e *Engine) Implement(ctx context.Context, sol *Solution) error {
+	return core.ImplementSolution(ctx, sol, e.cfg)
+}
+
+// Redact regenerates the design with the solution's clusters replaced
+// by eFPGA instances. With functional=true the eFPGA modules carry a
+// behavioural model of the programmed fabric (for simulation); with
+// false they model the unprogrammed fabric the foundry sees.
+func (e *Engine) Redact(ctx context.Context, d *ElaboratedDesign, sol *Solution, functional bool) (*Redaction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.GenerateRedactedDesign(d, sol, functional)
+}
+
+// BatchJob is one design of a batch run. Source is parsed unless AST is
+// set; a nil Config inherits the engine's configuration.
+type BatchJob struct {
+	Name   string
+	Source string
+	AST    *verilog.Design
+	Config *Config
+}
+
+// BatchResult pairs a job with its outcome. Err carries hard failures
+// (parse/elaboration errors, cancellation); flow diagnostics stay in
+// Report.Err as usual.
+type BatchResult struct {
+	Name   string
+	Report *Report
+	Err    error
+}
+
+// RunBatch drives many designs through the flow concurrently — up to
+// the engine's parallelism — and returns one result per job, in job
+// order. Jobs share the engine's observer and cache. A cancelled
+// context stops unstarted jobs; their results carry ctx.Err().
+func (e *Engine) RunBatch(ctx context.Context, jobs []BatchJob) []BatchResult {
+	results := make([]BatchResult, len(jobs))
+	workers := e.parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				job := jobs[i]
+				results[i].Name = job.Name
+				if err := ctx.Err(); err != nil {
+					results[i].Err = err
+					continue
+				}
+				cfg := job.Config
+				if cfg == nil {
+					cfg = e.cfg
+				}
+				ast := job.AST
+				if ast == nil {
+					var err error
+					ast, err = verilog.Parse(job.Source)
+					if err != nil {
+						results[i].Err = err
+						continue
+					}
+				}
+				opts := e.runOptions()
+				// The batch already fans out across designs; keep each
+				// design's characterization sequential to avoid
+				// oversubscribing the pool.
+				opts.Parallelism = 1
+				rep, err := core.RunPipeline(ctx, ast, cfg, opts)
+				results[i].Report = rep
+				results[i].Err = err
+			}
+		}()
+	}
+	for i := range jobs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,40 @@
+// batch_sweep drives the whole paper benchmark suite through the flow
+// concurrently with Engine.RunBatch — the shape of the future ALICE
+// service: many designs in, one Table-2-style row out per design.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"alice"
+)
+
+func main() {
+	cfg := alice.Cfg1()
+	eng := alice.NewEngine(alice.WithConfig(cfg), alice.WithParallelism(4))
+
+	var jobs []alice.BatchJob
+	for _, b := range alice.Benchmarks() {
+		jobCfg := alice.Cfg1()
+		jobCfg.SelectedOutputs = b.SelectedOutputs
+		jobs = append(jobs, alice.BatchJob{
+			Name:   b.Name,
+			Source: b.Source(),
+			Config: jobCfg,
+		})
+	}
+
+	start := time.Now()
+	results := eng.RunBatch(context.Background(), jobs)
+	fmt.Printf("ran %d designs in %v\n\n", len(jobs), time.Since(start).Round(time.Millisecond))
+
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		fmt.Println(r.Report.Row())
+	}
+}

@@ -2,9 +2,14 @@
 // the paper on the GCD benchmark: cfg1 (more but smaller eFPGAs) versus
 // cfg2 (one larger eFPGA), including the Fig. 4 area comparison and the
 // security trade-off (number of bitstreams an attacker must recover).
+//
+// It drives the staged Engine API the way the paper's design-space
+// exploration wants it driven: characterize the design's clusters once
+// (the dominant cost), then Select under both configurations.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +19,11 @@ import (
 
 func main() {
 	b, _ := alice.BenchmarkByName("gcd")
+	ctx := context.Background()
+
+	// A shared cache lets the cfg2 run reuse every characterization the
+	// cfg1 run produced for clusters both configurations admit.
+	cache := alice.NewCharacterizationCache()
 
 	type outcome struct {
 		label  string
@@ -28,7 +38,8 @@ func main() {
 		{"cfg2: 96 I/O pins, 1 eFPGA", alice.Cfg2()},
 	} {
 		c.cfg.SelectedOutputs = b.SelectedOutputs
-		rep, err := alice.RunSource(b.Source(), c.cfg)
+		eng := alice.NewEngine(alice.WithConfig(c.cfg), alice.WithCache(cache))
+		rep, err := eng.RunSource(ctx, b.Source())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,6 +48,9 @@ func main() {
 		}
 		results = append(results, outcome{c.label, rep})
 	}
+	hits, misses, entries := cache.Stats()
+	fmt.Printf("characterization cache: %d hits, %d misses, %d fabrics stored\n\n",
+		hits, misses, entries)
 
 	fmt.Println("GCD redaction alternatives (the designer's view):")
 	for _, r := range results {

@@ -4,11 +4,17 @@
 // the eFPGA is inserted at the dominator of the redacted instances
 // (inside the round function), and the configuration ports are
 // propagated up to the chip top.
+//
+// It runs the pipeline stage by stage — Filter → Cluster →
+// Characterize → Select → Redact — with parallel characterization, the
+// phase that dominates the flow's runtime.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"alice"
@@ -23,22 +29,42 @@ func main() {
 	// three S-boxes (36 aggregated pins).
 	cfg.MaxIOPins = 36
 
-	report, err := alice.RunSource(b.Source(), cfg)
+	ctx := context.Background()
+	eng := alice.NewEngine(alice.WithConfig(cfg), alice.WithParallelism(runtime.GOMAXPROCS(0)))
+
+	ast, err := alice.Parse(b.Source())
 	if err != nil {
 		log.Fatal(err)
 	}
-	if report.Err != nil {
-		log.Fatal(report.Err)
+	d, err := eng.Elaborate(ctx, ast)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fr, err := eng.Filter(ctx, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusters, err := eng.Cluster(ctx, fr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cands, err := eng.Characterize(ctx, d, clusters) // parallel across clusters
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := eng.Select(ctx, cands)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("DES3: %d candidate S-boxes, %d clusters, %d valid fabrics, %d solutions\n",
-		report.R, report.C, report.ValidEFPGAs, report.S)
-	for _, f := range report.Solution.Fabrics {
+		len(fr.Candidates), len(clusters), sel.ValidCount, sel.SolutionCount)
+	for _, f := range sel.Best.Fabrics {
 		fmt.Printf("  eFPGA %s hosts %s (IO util %.0f%%, CLB util %.0f%%, key %d bits)\n",
 			f.Fabric.Arch.Name(), f.Cluster.String(),
 			f.Fabric.IOUtil*100, f.Fabric.CLBUtil*100, f.Fabric.ConfigBits())
 	}
 
-	red, err := alice.GenerateRedactedDesign(b.Source(), report.Solution, true)
+	red, err := eng.Redact(ctx, d, sel.Best, true)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,14 @@
 // Quickstart: run the ALICE redaction flow on the GCD benchmark with
-// the paper's cfg1 parameters and print what the designer gets back:
-// candidate modules, clusters, the chosen eFPGA solution, and the
-// regenerated redacted Verilog.
+// the paper's cfg1 parameters through the staged Engine API and print
+// what the designer gets back: candidate modules, clusters, the chosen
+// eFPGA solution, and the regenerated redacted Verilog.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"alice"
@@ -18,7 +20,19 @@ func main() {
 	cfg := alice.Cfg1() // 64 I/O pins per eFPGA, up to 2 eFPGAs
 	cfg.SelectedOutputs = b.SelectedOutputs
 
-	report, err := alice.RunSource(b.Source(), cfg)
+	// The Engine is the staged entry point: configure it once, then run
+	// complete flows (or individual stages) under a context.
+	eng := alice.NewEngine(
+		alice.WithConfig(cfg),
+		alice.WithObserver(func(ev alice.Event) {
+			if ev.Kind == alice.EventStageEnd {
+				fmt.Fprintf(os.Stderr, "stage %-12s done in %v (n=%d)\n",
+					ev.Stage, ev.Duration, ev.Count)
+			}
+		}),
+	)
+
+	report, err := eng.RunSource(context.Background(), b.Source())
 	if err != nil {
 		log.Fatal(err)
 	}

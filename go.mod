@@ -1,0 +1,3 @@
+module alice
+
+go 1.24

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"alice/internal/opt"
@@ -82,7 +83,7 @@ func TestSelectedOutputsExist(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: elaborate: %v", b.Name, err)
 		}
-		df, err := rtl.NewDataflow(d)
+		df, err := rtl.NewDataflow(context.Background(), d)
 		if err != nil {
 			t.Fatalf("%s: dataflow: %v", b.Name, err)
 		}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sync"
+
+	"alice/internal/openfpga"
+)
+
+// CharacterizationCache memoizes per-cluster eFPGA characterization
+// results. The key covers the design, the cluster's instance set, and
+// the configuration fields that influence characterization (fabric
+// range, full-P&R mode, seed) — so a cache populated under cfg1 is hit
+// again when the same design is selected under cfg2, which differs only
+// in selection-side budgets. It is safe for concurrent use, including
+// across the goroutines of Engine.RunBatch.
+type CharacterizationCache struct {
+	mu     sync.Mutex
+	m      map[string]cacheEntry
+	hits   int
+	misses int
+}
+
+type cacheEntry struct {
+	fab *openfpga.Fabric
+	err error
+}
+
+// NewCharacterizationCache returns an empty cache.
+func NewCharacterizationCache() *CharacterizationCache {
+	return &CharacterizationCache{m: make(map[string]cacheEntry)}
+}
+
+func (c *CharacterizationCache) lookup(key string) (*openfpga.Fabric, error, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e.fab, e.err, ok
+}
+
+func (c *CharacterizationCache) store(key string, fab *openfpga.Fabric, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = cacheEntry{fab: fab, err: err}
+}
+
+// Stats reports cache effectiveness: lookup hits, misses, and the
+// number of stored characterizations.
+func (c *CharacterizationCache) Stats() (hits, misses, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.m)
+}

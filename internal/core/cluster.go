@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -96,8 +97,9 @@ func unionClusters(a, b *Cluster) []*rtl.InstanceNode {
 // IdentifyClusters implements Algorithm 2: start from singleton
 // clusters of every candidate instance and recombine pairs to a fixed
 // point, keeping clusters whose aggregated pin count respects the
-// designer limit.
-func IdentifyClusters(cands []Candidate, cfg *Config) ([]Cluster, error) {
+// designer limit. The pairwise recombination (the combinatorial hot
+// loop) checks ctx once per outer row.
+func IdentifyClusters(ctx context.Context, cands []Candidate, cfg *Config) ([]Cluster, error) {
 	var clusters []Cluster
 	index := make(map[string]bool)
 	add := func(c Cluster) {
@@ -119,6 +121,9 @@ func IdentifyClusters(cands []Candidate, cfg *Config) ([]Cluster, error) {
 		var fresh []Cluster
 		n := len(clusters)
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for j := i + 1; j < n; j++ {
 				u := unionClusters(&clusters[i], &clusters[j])
 				if len(u) == len(clusters[i].Instances) || len(u) == len(clusters[j].Instances) {
@@ -138,7 +143,7 @@ func IdentifyClusters(cands []Candidate, cfg *Config) ([]Cluster, error) {
 				index[k] = true
 				fresh = append(fresh, c)
 				if cfg.MaxClusters > 0 && len(clusters)+len(fresh) > cfg.MaxClusters {
-					return nil, fmt.Errorf("core: cluster identification exceeded %d clusters; tighten constraints", cfg.MaxClusters)
+					return nil, fmt.Errorf("%w: over %d clusters; tighten constraints", ErrClusterBudget, cfg.MaxClusters)
 				}
 			}
 		}

@@ -135,7 +135,9 @@ func LoadConfig(src string) (*Config, error) {
 	if s, ok := yamlcfg.GetMap(m["score"]); ok {
 		cfg.Alpha = yamlcfg.GetFloat(s, "alpha", cfg.Alpha)
 		cfg.Beta = yamlcfg.GetFloat(s, "beta", cfg.Beta)
-		switch yamlcfg.GetString(s, "direction", "minimize") {
+		// The absent-key default must match DefaultConfig (maximize): a
+		// score: section with only alpha/beta must not flip the ranking.
+		switch yamlcfg.GetString(s, "direction", "maximize") {
 		case "minimize":
 			cfg.Direction = ScoreMinimize
 		case "maximize":
@@ -154,6 +156,13 @@ func LoadConfig(src string) (*Config, error) {
 		return nil, err
 	}
 	return cfg, nil
+}
+
+// characterizationFingerprint keys the configuration fields that affect
+// per-cluster characterization (and nothing else), so cached fabrics
+// are shared across configs that differ only in selection budgets.
+func (c *Config) characterizationFingerprint() string {
+	return fmt.Sprintf("w[%d,%d]|pnr=%t|seed=%d", c.MinFabric, c.MaxFabric, c.FullPnR, c.Seed)
 }
 
 // Validate sanity-checks a configuration.

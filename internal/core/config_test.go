@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestLoadConfigTable exercises LoadConfig key by key, including the
+// direction default: an absent score.direction must keep the
+// DefaultConfig ranking (maximize), even when a score: section is
+// present for alpha/beta.
+func TestLoadConfigTable(t *testing.T) {
+	tests := []struct {
+		name    string
+		yaml    string
+		wantErr string
+		check   func(t *testing.T, cfg *Config)
+	}{
+		{
+			name: "minimal config keeps defaults",
+			yaml: "top: gcd\n",
+			check: func(t *testing.T, cfg *Config) {
+				def := DefaultConfig()
+				if cfg.MaxIOPins != def.MaxIOPins || cfg.MaxEFPGAs != def.MaxEFPGAs ||
+					cfg.Direction != def.Direction || cfg.TopScoreOnly != def.TopScoreOnly ||
+					cfg.MinFabric != def.MinFabric || cfg.MaxFabric != def.MaxFabric {
+					t.Errorf("defaults not preserved: %+v", cfg)
+				}
+			},
+		},
+		{
+			name: "score section without direction keeps maximize",
+			yaml: "score:\n  alpha: 2.0\n  beta: 0.5\n",
+			check: func(t *testing.T, cfg *Config) {
+				if cfg.Direction != ScoreMaximize {
+					t.Errorf("direction = %v, want ScoreMaximize (the DefaultConfig value)", cfg.Direction)
+				}
+				if cfg.Alpha != 2.0 || cfg.Beta != 0.5 {
+					t.Errorf("alpha/beta = %v/%v", cfg.Alpha, cfg.Beta)
+				}
+			},
+		},
+		{
+			name: "direction minimize",
+			yaml: "score:\n  direction: minimize\n",
+			check: func(t *testing.T, cfg *Config) {
+				if cfg.Direction != ScoreMinimize {
+					t.Errorf("direction = %v, want ScoreMinimize", cfg.Direction)
+				}
+			},
+		},
+		{
+			name: "direction maximize",
+			yaml: "score:\n  direction: maximize\n",
+			check: func(t *testing.T, cfg *Config) {
+				if cfg.Direction != ScoreMaximize {
+					t.Errorf("direction = %v, want ScoreMaximize", cfg.Direction)
+				}
+			},
+		},
+		{
+			name:    "direction rejects unknown value",
+			yaml:    "score:\n  direction: sideways\n",
+			wantErr: "must be minimize or maximize",
+		},
+		{
+			name: "efpga budgets",
+			yaml: "efpga:\n  max_io_pins: 96\n  max_instances: 1\n  min_fabric: 3\n  max_fabric: 18\n",
+			check: func(t *testing.T, cfg *Config) {
+				if cfg.MaxIOPins != 96 || cfg.MaxEFPGAs != 1 || cfg.MinFabric != 3 || cfg.MaxFabric != 18 {
+					t.Errorf("efpga budgets wrong: %+v", cfg)
+				}
+			},
+		},
+		{
+			name: "flow toggles and seed",
+			yaml: "flow:\n  top_score_only: false\n  full_pnr: true\n  implement_winner: true\n  seed: 7\n",
+			check: func(t *testing.T, cfg *Config) {
+				if cfg.TopScoreOnly || !cfg.FullPnR || !cfg.ImplementWinner || cfg.Seed != 7 {
+					t.Errorf("flow section wrong: %+v", cfg)
+				}
+			},
+		},
+		{
+			name: "top and selected outputs",
+			yaml: "top: gcd\nselected_outputs:\n  - result\n  - done\n",
+			check: func(t *testing.T, cfg *Config) {
+				if cfg.Top != "gcd" || len(cfg.SelectedOutputs) != 2 {
+					t.Errorf("top/outputs wrong: %+v", cfg)
+				}
+			},
+		},
+		{
+			name:    "validation rejects zero pins",
+			yaml:    "efpga:\n  max_io_pins: 0\n",
+			wantErr: "max_io_pins must be positive",
+		},
+		{
+			name:    "validation rejects inverted fabric range",
+			yaml:    "efpga:\n  min_fabric: 9\n  max_fabric: 3\n",
+			wantErr: "invalid fabric range",
+		},
+		{
+			name:    "root must be a mapping",
+			yaml:    "- just\n- a\n- list\n",
+			wantErr: "root must be a mapping",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := LoadConfig(tc.yaml)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, cfg)
+		})
+	}
+}
+
+// TestFlowErrorWrapping checks the stage-attribution helper: sentinels
+// survive errors.Is through the wrapper, and double-wrapping is
+// avoided.
+func TestFlowErrorWrapping(t *testing.T) {
+	err := stageErr(StageSelect, "gcd", ErrNoSolution)
+	if !errors.Is(err, ErrNoSolution) {
+		t.Errorf("errors.Is lost the sentinel: %v", err)
+	}
+	var fe *FlowError
+	if !errors.As(err, &fe) || fe.Stage != StageSelect || fe.Design != "gcd" {
+		t.Errorf("attribution wrong: %+v", fe)
+	}
+	if want := "core: stage select on gcd: no admissible solution"; err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+
+	rewrapped := stageErr(StageRedact, "other", err)
+	var fe2 *FlowError
+	if !errors.As(rewrapped, &fe2) || fe2.Stage != StageSelect {
+		t.Errorf("stageErr double-wrapped an already attributed error: %v", rewrapped)
+	}
+	if stageErr(StageFilter, "x", nil) != nil {
+		t.Error("stageErr(nil) != nil")
+	}
+}

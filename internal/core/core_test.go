@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func elab(t *testing.T, src string) (*rtl.Design, *rtl.Dataflow) {
 	if err != nil {
 		t.Fatalf("elaborate: %v", err)
 	}
-	df, err := rtl.NewDataflow(d)
+	df, err := rtl.NewDataflow(context.Background(), d)
 	if err != nil {
 		t.Fatalf("dataflow: %v", err)
 	}
@@ -65,7 +66,7 @@ func TestFilterModulesDES3(t *testing.T) {
 	d, df := elab(t, b.Source())
 	for _, cfg := range []*Config{Cfg1(), Cfg2()} {
 		cfg.SelectedOutputs = b.SelectedOutputs
-		fr, err := FilterModules(d, df, cfg)
+		fr, err := FilterModules(context.Background(), d, df, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func TestFilterIIRCfg1Empty(t *testing.T) {
 	d, df := elab(t, b.Source())
 	cfg := Cfg1()
 	cfg.SelectedOutputs = b.SelectedOutputs
-	fr, err := FilterModules(d, df, cfg)
+	fr, err := FilterModules(context.Background(), d, df, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +105,11 @@ func TestClusterCountsDES3(t *testing.T) {
 	// cfg1: clusters of up to five 12-pin S-boxes: sum C(8,k), k=1..5.
 	cfg := Cfg1()
 	cfg.SelectedOutputs = b.SelectedOutputs
-	fr, err := FilterModules(d, df, cfg)
+	fr, err := FilterModules(context.Background(), d, df, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	clusters, err := IdentifyClusters(fr.Candidates, cfg)
+	clusters, err := IdentifyClusters(context.Background(), fr.Candidates, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +119,11 @@ func TestClusterCountsDES3(t *testing.T) {
 	// cfg2: all 255 non-empty subsets.
 	cfg2 := Cfg2()
 	cfg2.SelectedOutputs = b.SelectedOutputs
-	fr2, err := FilterModules(d, df, cfg2)
+	fr2, err := FilterModules(context.Background(), d, df, cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	clusters2, err := IdentifyClusters(fr2.Candidates, cfg2)
+	clusters2, err := IdentifyClusters(context.Background(), fr2.Candidates, cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,11 +148,11 @@ endmodule`
 	d, df := elab(t, src)
 	cfg := Cfg1()
 	cfg.TopScoreOnly = false
-	fr, err := FilterModules(d, df, cfg)
+	fr, err := FilterModules(context.Background(), d, df, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	clusters, err := IdentifyClusters(fr.Candidates, cfg)
+	clusters, err := IdentifyClusters(context.Background(), fr.Candidates, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,13 +1,27 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"strings"
+	"sync"
 
 	"alice/internal/openfpga"
 	"alice/internal/rtl"
 	"alice/internal/verilog"
 )
+
+// designHash fingerprints the design's top name and full source (as
+// printed from the elaborated AST), so characterization-cache entries
+// never survive a logic change.
+func designHash(d *rtl.Design) string {
+	h := fnv.New64a()
+	h.Write([]byte(d.Top.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(verilog.Print(d.AST)))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
 
 // sanitizePath turns a hierarchical instance path into an identifier
 // fragment ("top.u_crp.sbox1" -> "u_crp_sbox1", dropping the root).
@@ -78,9 +92,28 @@ type FabricCandidate struct {
 // Valid reports whether the eFPGA implementation is admissible.
 func (fc *FabricCandidate) Valid() bool { return fc.Fabric != nil }
 
+// CharacterizeOptions tunes the characterization stage.
+type CharacterizeOptions struct {
+	// Parallelism is the worker-pool width; values below 1 mean
+	// sequential. Clusters are independent, so any width produces the
+	// same candidates in the same order.
+	Parallelism int
+	// Cache, when non-nil, memoizes per-cluster characterization across
+	// runs and configurations (e.g. characterize once, select under
+	// cfg1 and cfg2).
+	Cache *CharacterizationCache
+	// Progress, when non-nil, is called after each cluster completes.
+	// It may be called from multiple goroutines; the pipeline runner
+	// passes a serialized callback.
+	Progress func(done, total int)
+}
+
 // CharacterizeClusters runs the eFPGA oracle (CreateEFPGA of Algorithm
-// 3) on every candidate cluster.
-func CharacterizeClusters(d *rtl.Design, clusters []Cluster, cfg *Config) []FabricCandidate {
+// 3) on every candidate cluster, fanning the independent clusters out
+// over a worker pool. The result order matches the cluster order
+// regardless of parallelism. It returns the context's error if the run
+// is cancelled.
+func CharacterizeClusters(ctx context.Context, d *rtl.Design, clusters []Cluster, cfg *Config, co CharacterizeOptions) ([]FabricCandidate, error) {
 	out := make([]FabricCandidate, len(clusters))
 	opts := openfpga.Options{
 		MinW:        cfg.MinFabric,
@@ -90,13 +123,89 @@ func CharacterizeClusters(d *rtl.Design, clusters []Cluster, cfg *Config) []Fabr
 		RouteIters:  24,
 		UnifyClocks: true,
 	}
-	for i := range clusters {
+	fp := ""
+	if co.Cache != nil {
+		// The key must identify the design by content, not just by top
+		// name: a cache outliving one run (sweeps, RunBatch) would
+		// otherwise serve stale fabrics for an edited design whose
+		// hierarchy paths happen to match.
+		fp = designHash(d) + "\x00" + cfg.characterizationFingerprint()
+	}
+	workers := co.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(clusters) {
+		workers = len(clusters)
+	}
+
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	one := func(i int) {
 		c := clusters[i]
 		wrapperName := fmt.Sprintf("alice_cluster_%d", i)
+		key := ""
+		if co.Cache != nil {
+			key = c.Key() + "\x00" + fp
+			if fab, err, ok := co.Cache.lookup(key); ok {
+				out[i] = FabricCandidate{Cluster: c, Fabric: fab, Err: err}
+				return
+			}
+		}
 		wrapper := BuildClusterWrapper(&c, wrapperName)
 		ast := &verilog.Design{Modules: append(append([]*verilog.Module(nil), d.AST.Modules...), wrapper)}
-		fab, err := openfpga.Characterize(ast, wrapperName, c.Pins, opts)
+		fab, err := openfpga.Characterize(ctx, ast, wrapperName, c.Pins, opts)
+		if ctx.Err() != nil {
+			return // do not cache or report a cancellation artifact
+		}
+		if co.Cache != nil {
+			co.Cache.store(key, fab, err)
+		}
 		out[i] = FabricCandidate{Cluster: c, Fabric: fab, Err: err}
 	}
-	return out
+
+	if workers <= 1 {
+		for i := range clusters {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			one(i)
+			if co.Progress != nil {
+				done++
+				co.Progress(done, len(clusters))
+			}
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					if ctx.Err() != nil {
+						continue // drain
+					}
+					one(i)
+					if co.Progress != nil {
+						mu.Lock()
+						done++
+						co.Progress(done, len(clusters))
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for i := range clusters {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

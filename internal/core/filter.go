@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -29,7 +30,10 @@ type FilterResult struct {
 // FilterModules implements Algorithm 1: score modules by the selected
 // outputs they affect, keep the top scorers, then apply the structural
 // I/O constraint.
-func FilterModules(d *rtl.Design, df *rtl.Dataflow, cfg *Config) (*FilterResult, error) {
+func FilterModules(ctx context.Context, d *rtl.Design, df *rtl.Dataflow, cfg *Config) (*FilterResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &FilterResult{Rejected: make(map[string]string)}
 	mods := d.NonTopModules()
 
@@ -54,7 +58,7 @@ func FilterModules(d *rtl.Design, df *rtl.Dataflow, cfg *Config) (*FilterResult,
 		}
 	}
 	if maxScore == 0 {
-		return nil, fmt.Errorf("core: no module affects the selected outputs %v", cfg.SelectedOutputs)
+		return nil, fmt.Errorf("%w: no module affects the selected outputs %v", ErrNoCandidates, cfg.SelectedOutputs)
 	}
 
 	// RankAndSelect + structural criteria (lines 10-15).

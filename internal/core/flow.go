@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"alice/internal/openfpga"
@@ -16,16 +19,20 @@ type Report struct {
 	Design    string
 	Instances int // redactable instances in the design
 
-	// Phase metrics (Table 2 columns).
-	FilterTime  time.Duration
-	R           int // candidate redaction modules
-	ClusterTime time.Duration
-	C           int // candidate module clusters
-	SelectTime  time.Duration
-	ValidEFPGAs int
-	S           int // admissible solutions
-	FabricSizes string
-	Redacted    int // redacted module instances
+	// Phase metrics (Table 2 columns). SelectTime covers phase 3 of the
+	// paper's accounting — characterization plus selection — so Row()
+	// matches the legacy output; CharacterizeTime is the
+	// characterization share of it.
+	FilterTime       time.Duration
+	R                int // candidate redaction modules
+	ClusterTime      time.Duration
+	C                int // candidate module clusters
+	CharacterizeTime time.Duration
+	SelectTime       time.Duration
+	ValidEFPGAs      int
+	S                int // admissible solutions
+	FabricSizes      string
+	Redacted         int // redacted module instances
 
 	// Artifacts.
 	Filter    *FilterResult
@@ -35,7 +42,10 @@ type Report struct {
 	Redaction *Redaction
 
 	// Err is the flow's terminal diagnostic when no solution exists
-	// (e.g. IIR under cfg1 in the paper).
+	// (e.g. IIR under cfg1 in the paper). It is a *FlowError wrapping
+	// one of the stage sentinels (ErrNoCandidates, ErrNoCluster,
+	// ErrNoValidEFPGA, ErrNoSolution, ...), so callers can dispatch with
+	// errors.Is / errors.As.
 	Err error
 }
 
@@ -61,6 +71,49 @@ func dash(ok bool, v int) string {
 	return "-"
 }
 
+// EventKind distinguishes observer notifications.
+type EventKind int
+
+const (
+	// EventStageStart fires when a pipeline stage begins.
+	EventStageStart EventKind = iota
+	// EventStageEnd fires when a stage completes (Duration and Count
+	// are set; Err carries the stage diagnostic, if any).
+	EventStageEnd
+	// EventProgress fires during characterization after each cluster
+	// (Done/Total are set).
+	EventProgress
+)
+
+// Event is one observer notification from a pipeline run.
+type Event struct {
+	Kind     EventKind
+	Stage    Stage
+	Design   string
+	Duration time.Duration // stage end
+	Count    int           // stage result cardinality (|R|, |C|, valid, ...)
+	Done     int           // progress
+	Total    int           // progress
+	Err      error         // stage diagnostic
+}
+
+// Observer receives pipeline events. The runner serializes calls, so an
+// observer needs no locking of its own even under parallel
+// characterization or RunBatch.
+type Observer func(Event)
+
+// RunOptions tunes a pipeline run beyond the flow Config.
+type RunOptions struct {
+	// Parallelism bounds the characterization worker pool (and the
+	// concurrent designs of a batch run). Values below 1 mean
+	// sequential.
+	Parallelism int
+	// Observer receives per-stage progress events.
+	Observer Observer
+	// Cache memoizes cluster characterizations across runs.
+	Cache *CharacterizationCache
+}
+
 // RunSource parses Verilog text and runs the flow.
 func RunSource(src string, cfg *Config) (*Report, error) {
 	ast, err := verilog.Parse(src)
@@ -70,30 +123,26 @@ func RunSource(src string, cfg *Config) (*Report, error) {
 	return Run(ast, cfg)
 }
 
-// RunSourceAST parses Verilog text (a convenience for tools that need
-// the AST alongside the flow result).
-func RunSourceAST(src string) (*verilog.Design, error) { return verilog.Parse(src) }
-
-// GenerateRedactedDesignFromAST re-elaborates a design and regenerates
-// the redacted output for an existing solution (e.g. to switch between
-// stub and functional eFPGA models after a flow run).
-func GenerateRedactedDesignFromAST(ast *verilog.Design, cfg *Config, sol *Solution, functional bool) (*Redaction, error) {
-	d, err := rtl.Elaborate(ast, cfg.Top)
-	if err != nil {
-		return nil, err
-	}
-	return GenerateRedactedDesign(d, sol, functional)
+// Run executes the complete ALICE flow (Fig. 3) sequentially without
+// cancellation — the legacy one-shot entry point, now a thin shim over
+// RunPipeline. A design where no admissible solution exists returns a
+// Report with Err set (and no error), mirroring the paper's "(n.a.)"
+// rows — the flow result is the diagnostic.
+func Run(ast *verilog.Design, cfg *Config) (*Report, error) {
+	return RunPipeline(context.Background(), ast, cfg, RunOptions{Parallelism: 1})
 }
 
-// Run executes the complete ALICE flow (Fig. 3): module filtering,
-// cluster identification, eFPGA characterization and selection, and
-// redacted-design generation. A design where no admissible solution
-// exists returns a Report with Err set (and no error), mirroring the
-// paper's "(n.a.)" rows — the flow result is the diagnostic.
-func Run(ast *verilog.Design, cfg *Config) (*Report, error) {
+// RunPipeline executes the staged flow: Elaborate → Filter → Cluster →
+// Characterize → Select → Implement → Redact. Flow diagnostics (no
+// candidates, no cluster, no solution) land in Report.Err as stage-
+// attributed errors; hard failures (bad config, elaboration errors,
+// context cancellation) are returned as the error.
+func RunPipeline(ctx context.Context, ast *verilog.Design, cfg *Config, opts RunOptions) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	obs := serializeObserver(opts.Observer)
+
 	d, err := rtl.Elaborate(ast, cfg.Top)
 	if err != nil {
 		return nil, err
@@ -102,46 +151,83 @@ func Run(ast *verilog.Design, cfg *Config) (*Report, error) {
 		Design:    d.Top.Name,
 		Instances: len(d.NonRootInstances()),
 	}
+	design := rep.Design
+	stageStart := func(s Stage) { obs(Event{Kind: EventStageStart, Stage: s, Design: design}) }
+	stageEnd := func(s Stage, t0 time.Time, count int, err error) {
+		obs(Event{Kind: EventStageEnd, Stage: s, Design: design,
+			Duration: time.Since(t0), Count: count, Err: err})
+	}
 
 	// Phase 1: module filtering (includes dataflow analysis, as in the
 	// paper's time accounting).
+	stageStart(StageFilter)
 	t0 := time.Now()
-	df, err := rtl.NewDataflow(d)
+	df, err := rtl.NewDataflow(ctx, d)
 	if err != nil {
 		return nil, err
 	}
-	fr, err := FilterModules(d, df, cfg)
+	fr, err := FilterModules(ctx, d, df, cfg)
 	rep.FilterTime = time.Since(t0)
 	if err != nil {
-		rep.Err = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		rep.Err = stageErr(StageFilter, design, err)
+		stageEnd(StageFilter, t0, 0, rep.Err)
 		return rep, nil
 	}
 	rep.Filter = fr
 	rep.R = len(fr.Candidates)
+	stageEnd(StageFilter, t0, rep.R, nil)
 	if rep.R == 0 {
-		rep.Err = fmt.Errorf("core: no candidate redaction module satisfies the constraints")
+		rep.Err = stageErr(StageFilter, design, ErrNoCandidates)
 		return rep, nil
 	}
 
 	// Phase 2: cluster identification.
+	stageStart(StageCluster)
 	t1 := time.Now()
-	clusters, err := IdentifyClusters(fr.Candidates, cfg)
+	clusters, err := IdentifyClusters(ctx, fr.Candidates, cfg)
 	rep.ClusterTime = time.Since(t1)
 	if err != nil {
-		rep.Err = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		rep.Err = stageErr(StageCluster, design, err)
+		stageEnd(StageCluster, t1, 0, rep.Err)
 		return rep, nil
 	}
 	rep.Clusters = clusters
 	rep.C = len(clusters)
+	stageEnd(StageCluster, t1, rep.C, nil)
 	if rep.C == 0 {
-		rep.Err = fmt.Errorf("core: no admissible cluster")
+		rep.Err = stageErr(StageCluster, design, ErrNoCluster)
 		return rep, nil
 	}
 
-	// Phase 3: eFPGA characterization + selection.
+	// Phase 3: eFPGA characterization + selection (one phase in the
+	// paper's time accounting, hence the shared SelectTime).
+	stageStart(StageCharacterize)
 	t2 := time.Now()
-	cands := CharacterizeClusters(d, clusters, cfg)
-	sel, err := SelectEFPGAs(cands, cfg)
+	cands, err := CharacterizeClusters(ctx, d, clusters, cfg, CharacterizeOptions{
+		Parallelism: opts.Parallelism,
+		Cache:       opts.Cache,
+		Progress: func(done, total int) {
+			obs(Event{Kind: EventProgress, Stage: StageCharacterize, Design: design,
+				Done: done, Total: total})
+		},
+	})
+	rep.CharacterizeTime = time.Since(t2)
+	if err != nil {
+		return nil, err // characterization only fails on cancellation
+	}
+	stageEnd(StageCharacterize, t2, len(cands), nil)
+
+	stageStart(StageSelect)
+	tSel := time.Now()
+	sel, err := SelectEFPGAs(ctx, cands, cfg)
+	// SelectTime spans characterization + selection (the paper's phase-3
+	// accounting); the stage event reports selection alone.
 	rep.SelectTime = time.Since(t2)
 	rep.Selection = sel
 	if sel != nil {
@@ -149,36 +235,79 @@ func Run(ast *verilog.Design, cfg *Config) (*Report, error) {
 		rep.S = sel.SolutionCount
 	}
 	if err != nil {
-		rep.Err = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		rep.Err = stageErr(StageSelect, design, err)
+		stageEnd(StageSelect, tSel, 0, rep.Err)
 		return rep, nil
 	}
 	rep.Solution = sel.Best
 	rep.FabricSizes = sel.Best.FabricSizes()
 	rep.Redacted = len(sel.Best.RedactedInstances())
+	stageEnd(StageSelect, tSel, rep.S, nil)
 
 	if cfg.ImplementWinner {
-		for _, fc := range sel.Best.Fabrics {
-			if fc.Fabric.Bits == nil {
-				if err := implementFabric(fc, cfg); err != nil {
-					rep.Err = fmt.Errorf("core: implementing winning fabric: %w", err)
-					return rep, nil
-				}
+		stageStart(StageImplement)
+		t3 := time.Now()
+		if err := ImplementSolution(ctx, sel.Best, cfg); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
 			}
+			rep.Err = stageErr(StageImplement, design, err)
+			stageEnd(StageImplement, t3, 0, rep.Err)
+			return rep, nil
 		}
+		stageEnd(StageImplement, t3, len(sel.Best.Fabrics), nil)
 	}
 
+	stageStart(StageRedact)
+	t4 := time.Now()
 	red, err := GenerateRedactedDesign(d, sel.Best, false)
 	if err != nil {
-		rep.Err = err
+		rep.Err = stageErr(StageRedact, design, err)
+		stageEnd(StageRedact, t4, 0, rep.Err)
 		return rep, nil
 	}
 	rep.Redaction = red
+	stageEnd(StageRedact, t4, rep.Redacted, nil)
 	return rep, nil
+}
+
+// serializeObserver wraps an observer so events arriving from parallel
+// workers are delivered one at a time; a nil observer becomes a no-op.
+func serializeObserver(o Observer) Observer {
+	if o == nil {
+		return func(Event) {}
+	}
+	var mu sync.Mutex
+	return func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		o(ev)
+	}
+}
+
+// ImplementSolution upgrades every fast-mode fabric of a solution to a
+// fully placed, routed, and programmed one, growing fabrics if routing
+// requires.
+func ImplementSolution(ctx context.Context, sol *Solution, cfg *Config) error {
+	for _, fc := range sol.Fabrics {
+		if fc.Fabric.Bits == nil {
+			if err := implementFabric(ctx, fc, cfg); err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return err
+				}
+				return fmt.Errorf("implementing winning fabric: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // implementFabric upgrades a fast-mode fabric to a fully placed,
 // routed, and programmed one, growing the fabric if routing requires.
-func implementFabric(fc *FabricCandidate, cfg *Config) error {
+func implementFabric(ctx context.Context, fc *FabricCandidate, cfg *Config) error {
 	opts := openfpga.Options{
 		MinW:        fc.Fabric.Arch.W,
 		MaxW:        cfg.MaxFabric,
@@ -187,7 +316,7 @@ func implementFabric(fc *FabricCandidate, cfg *Config) error {
 		RouteIters:  32,
 		UnifyClocks: true,
 	}
-	nf, err := openfpga.Recharacterize(fc.Fabric, opts)
+	nf, err := openfpga.Recharacterize(ctx, fc.Fabric, opts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+)
+
+// reportJSON is the machine-readable projection of a Report — the
+// Table-2 row plus the solution details, with durations in seconds and
+// the flow diagnostic flattened to stage + message.
+type reportJSON struct {
+	Design    string `json:"design"`
+	Instances int    `json:"instances"`
+
+	FilterSeconds       float64 `json:"filter_seconds"`
+	Candidates          int     `json:"candidates"`
+	ClusterSeconds      float64 `json:"cluster_seconds"`
+	Clusters            int     `json:"clusters"`
+	CharacterizeSeconds float64 `json:"characterize_seconds"`
+	SelectSeconds       float64 `json:"select_seconds"`
+	ValidEFPGAs         int     `json:"valid_efpgas"`
+	Solutions           int     `json:"solutions"`
+	Redacted            int     `json:"redacted_instances"`
+
+	Solution *solutionJSON `json:"solution,omitempty"`
+
+	ErrorStage   string `json:"error_stage,omitempty"`
+	ErrorMessage string `json:"error,omitempty"`
+}
+
+type solutionJSON struct {
+	Score   float64      `json:"score"`
+	Fabrics []fabricJSON `json:"fabrics"`
+}
+
+type fabricJSON struct {
+	Arch       string   `json:"arch"`
+	Instances  []string `json:"instances"`
+	Pins       int      `json:"pins"`
+	IOUtil     float64  `json:"io_util"`
+	CLBUtil    float64  `json:"clb_util"`
+	ConfigBits int      `json:"config_bits"`
+}
+
+// JSON renders the report as indented JSON for machine consumers (the
+// CLI's -json flag and, eventually, the service API).
+func (r *Report) JSON() ([]byte, error) {
+	out := reportJSON{
+		Design:              r.Design,
+		Instances:           r.Instances,
+		FilterSeconds:       seconds(r.FilterTime),
+		Candidates:          r.R,
+		ClusterSeconds:      seconds(r.ClusterTime),
+		Clusters:            r.C,
+		CharacterizeSeconds: seconds(r.CharacterizeTime),
+		SelectSeconds:       seconds(r.SelectTime),
+		ValidEFPGAs:         r.ValidEFPGAs,
+		Solutions:           r.S,
+		Redacted:            r.Redacted,
+	}
+	if r.Solution != nil {
+		s := &solutionJSON{Score: r.Solution.Score}
+		for _, f := range r.Solution.Fabrics {
+			var paths []string
+			for _, in := range f.Cluster.Instances {
+				paths = append(paths, in.Path)
+			}
+			s.Fabrics = append(s.Fabrics, fabricJSON{
+				Arch:       f.Fabric.Arch.Name(),
+				Instances:  paths,
+				Pins:       f.Cluster.Pins,
+				IOUtil:     f.Fabric.IOUtil,
+				CLBUtil:    f.Fabric.CLBUtil,
+				ConfigBits: f.Fabric.ConfigBits(),
+			})
+		}
+		out.Solution = s
+	}
+	if r.Err != nil {
+		out.ErrorMessage = r.Err.Error()
+		var fe *FlowError
+		if errors.As(r.Err, &fe) {
+			out.ErrorStage = string(fe.Stage)
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -53,8 +54,10 @@ type SelectionResult struct {
 // SelectEFPGAs implements Algorithm 3 after characterization: score
 // every valid fabric with Eq. 1, enumerate all non-overlapping
 // combinations bounded by the eFPGA budget (branch & bound over an
-// index-ordered search tree), and rank the solutions.
-func SelectEFPGAs(cands []FabricCandidate, cfg *Config) (*SelectionResult, error) {
+// index-ordered search tree), and rank the solutions. The enumeration
+// checks ctx every few thousand visited nodes, so very large solution
+// spaces remain cancellable.
+func SelectEFPGAs(ctx context.Context, cands []FabricCandidate, cfg *Config) (*SelectionResult, error) {
 	res := &SelectionResult{Candidates: cands}
 	var valid []*FabricCandidate
 	for i := range cands {
@@ -64,7 +67,7 @@ func SelectEFPGAs(cands []FabricCandidate, cfg *Config) (*SelectionResult, error
 	}
 	res.ValidCount = len(valid)
 	if len(valid) == 0 {
-		return res, fmt.Errorf("core: no valid eFPGA implementation")
+		return res, ErrNoValidEFPGA
 	}
 
 	// Eq. 1 normalization terms.
@@ -124,9 +127,20 @@ func SelectEFPGAs(cands []FabricCandidate, cfg *Config) (*SelectionResult, error
 	var bestSize int
 	var bestKey string
 	count := 0
+	visited := 0
+	var ctxErr error
 	chosen := make([]int, 0, cfg.MaxEFPGAs)
 	var rec func(start int, score float64, size int)
 	rec = func(start int, score float64, size int) {
+		if ctxErr != nil {
+			return
+		}
+		if visited++; visited&0x0fff == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return
+			}
+		}
 		for j := start; j < n; j++ {
 			ok := true
 			for _, c := range chosen {
@@ -154,9 +168,12 @@ func SelectEFPGAs(cands []FabricCandidate, cfg *Config) (*SelectionResult, error
 		}
 	}
 	rec(0, 0, 0)
+	if ctxErr != nil {
+		return res, ctxErr
+	}
 	res.SolutionCount = count
 	if bestSet == nil {
-		return res, fmt.Errorf("core: no admissible solution")
+		return res, ErrNoSolution
 	}
 	best := &Solution{Score: bestScore}
 	for _, j := range bestSet {

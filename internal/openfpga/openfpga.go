@@ -7,6 +7,7 @@
 package openfpga
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -79,8 +80,13 @@ func (f *Fabric) ConfigBits() int {
 
 // Characterize implements CreateEFPGA of Algorithm 3: synthesize the
 // cluster wrapper named top, map it to LUTs, and search the smallest
-// admissible fabric in [MinW, MaxW].
-func Characterize(ast *verilog.Design, top string, pins int, o Options) (*Fabric, error) {
+// admissible fabric in [MinW, MaxW]. The fabric-range search checks ctx
+// between candidate widths (and the place/route machinery underneath
+// checks it in its own hot loops).
+func Characterize(ctx context.Context, ast *verilog.Design, top string, pins int, o Options) (*Fabric, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d, err := rtl.Elaborate(ast, top)
 	if err != nil {
 		return nil, err
@@ -95,17 +101,20 @@ func Characterize(ast *verilog.Design, top string, pins int, o Options) (*Fabric
 		return nil, err
 	}
 	rewriteConstPOs(ln)
-	return characterizeLUTs(n, ln, pins, o)
+	return characterizeLUTs(ctx, n, ln, pins, o)
 }
 
 // characterizeLUTs searches the permitted fabric range for the smallest
 // implementation of an already-mapped network.
-func characterizeLUTs(n *netlist.Netlist, ln *techmap.LUTNetwork, pins int, o Options) (*Fabric, error) {
+func characterizeLUTs(ctx context.Context, n *netlist.Netlist, ln *techmap.LUTNetwork, pins int, o Options) (*Fabric, error) {
 	if o.MinW < 1 {
 		o.MinW = 1
 	}
 	var lastErr error
 	for w := o.MinW; w <= o.MaxW; w++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		arch := fabric.NewArch(w)
 		if !arch.FitsIO(pins) {
 			lastErr = fmt.Errorf("openfpga: %d pins exceed %s capacity %d", pins, arch.Name(), arch.IOCapacity())
@@ -138,7 +147,10 @@ func characterizeLUTs(n *netlist.Netlist, ln *techmap.LUTNetwork, pins int, o Op
 		if !o.FullPnR {
 			return f, nil
 		}
-		if err := Implement(f, o); err != nil {
+		if err := Implement(ctx, f, o); err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			lastErr = err
 			continue // try a larger fabric: more routing resources
 		}
@@ -154,22 +166,22 @@ func characterizeLUTs(n *netlist.Netlist, ln *techmap.LUTNetwork, pins int, o Op
 // Recharacterize reruns the fabric-size search for an already
 // synthesized fabric, typically to upgrade a fast-mode result to a full
 // implementation (possibly on a larger fabric if routing demands it).
-func Recharacterize(f *Fabric, o Options) (*Fabric, error) {
+func Recharacterize(ctx context.Context, f *Fabric, o Options) (*Fabric, error) {
 	if o.MinW < f.Arch.W {
 		o.MinW = f.Arch.W
 	}
-	return characterizeLUTs(f.Netlist, f.LUTs, f.Pins, o)
+	return characterizeLUTs(ctx, f.Netlist, f.LUTs, f.Pins, o)
 }
 
 // Implement runs placement, routing, and bitstream generation on a
 // fast-characterized fabric, upgrading it in place.
-func Implement(f *Fabric, o Options) error {
+func Implement(ctx context.Context, f *Fabric, o Options) error {
 	g := fabric.BuildRRGraph(f.Arch)
-	pl, err := place.Place(f.Packing, o.Seed)
+	pl, err := place.Place(ctx, f.Packing, o.Seed)
 	if err != nil {
 		return err
 	}
-	rt, err := route.Route(pl, g, o.RouteIters)
+	rt, err := route.Route(ctx, pl, g, o.RouteIters)
 	if err != nil {
 		return err
 	}

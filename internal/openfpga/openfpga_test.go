@@ -1,6 +1,7 @@
 package openfpga
 
 import (
+	"context"
 	"testing"
 
 	"alice/internal/verilog"
@@ -36,7 +37,7 @@ endmodule
 
 func TestCharacterizeFast(t *testing.T) {
 	ast := parse(t, combSrc)
-	f, err := Characterize(ast, "combo", 13, DefaultOptions())
+	f, err := Characterize(context.Background(), ast, "combo", 13, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestCharacterizeRespectsRange(t *testing.T) {
 	ast := parse(t, combSrc)
 	o := DefaultOptions()
 	o.MinW = 5
-	f, err := Characterize(ast, "combo", 13, o)
+	f, err := Characterize(context.Background(), ast, "combo", 13, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestCharacterizeRespectsRange(t *testing.T) {
 	}
 	o = DefaultOptions()
 	o.MaxW = 0
-	if _, err := Characterize(ast, "combo", 13, o); err == nil {
+	if _, err := Characterize(context.Background(), ast, "combo", 13, o); err == nil {
 		t.Error("expected failure with empty fabric range")
 	}
 }
@@ -72,7 +73,7 @@ func TestCharacterizeRespectsRange(t *testing.T) {
 func TestCharacterizeIOBound(t *testing.T) {
 	// 200 pins need W >= 13 (16W >= 200) regardless of tiny logic.
 	ast := parse(t, combSrc)
-	f, err := Characterize(ast, "combo", 200, DefaultOptions())
+	f, err := Characterize(context.Background(), ast, "combo", 200, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFullPnRAndBitstreamComb(t *testing.T) {
 	ast := parse(t, combSrc)
 	o := DefaultOptions()
 	o.FullPnR = true
-	f, err := Characterize(ast, "combo", 13, o)
+	f, err := Characterize(context.Background(), ast, "combo", 13, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestFullPnRAndBitstreamSeq(t *testing.T) {
 	ast := parse(t, seqSrc)
 	o := DefaultOptions()
 	o.FullPnR = true
-	f, err := Characterize(ast, "seqm", 12, o)
+	f, err := Characterize(context.Background(), ast, "seqm", 12, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ module c (input wire a, output wire z, output wire o, output wire t);
 endmodule`)
 	o := DefaultOptions()
 	o.FullPnR = true
-	f, err := Characterize(ast, "c", 4, o)
+	f, err := Characterize(context.Background(), ast, "c", 4, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,13 +140,13 @@ endmodule`)
 
 func TestConfigBitsGrowWithFabric(t *testing.T) {
 	ast := parse(t, combSrc)
-	small, err := Characterize(ast, "combo", 13, DefaultOptions())
+	small, err := Characterize(context.Background(), ast, "combo", 13, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := DefaultOptions()
 	o.MinW = small.Arch.W + 4
-	big, err := Characterize(ast, "combo", 13, o)
+	big, err := Characterize(context.Background(), ast, "combo", 13, o)
 	if err != nil {
 		t.Fatal(err)
 	}

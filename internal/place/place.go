@@ -4,6 +4,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,8 +34,10 @@ type block struct {
 	idx  int32
 }
 
-// Place runs simulated annealing and returns a legal placement.
-func Place(p *pack.Packing, seed int64) (*Placement, error) {
+// Place runs simulated annealing and returns a legal placement. The
+// annealer checks ctx between temperature steps and aborts with the
+// context's error when it is cancelled or past its deadline.
+func Place(ctx context.Context, p *pack.Packing, seed int64) (*Placement, error) {
 	arch := p.Arch
 	W := arch.W
 	r := rand.New(rand.NewSource(seed))
@@ -150,6 +153,9 @@ func Place(p *pack.Packing, seed int64) (*Placement, error) {
 	movesPerT := 12 * nBlocks
 	temp := math.Max(1.0, total/float64(len(nets)+1)*2)
 	for ; temp > 0.005; temp *= 0.85 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for m := 0; m < movesPerT; m++ {
 			if len(p.CLBs) > 0 && (nIO == 0 || r.Intn(10) < 7) {
 				// CLB move: random CLB to random slot.

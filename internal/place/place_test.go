@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"testing"
 
 	"alice/internal/fabric"
@@ -57,11 +58,11 @@ func buildPacked(t *testing.T, w int) *pack.Packing {
 
 func TestPlaceLegalAndDeterministic(t *testing.T) {
 	p := buildPacked(t, 6)
-	pl1, err := Place(p, 42)
+	pl1, err := Place(context.Background(), p, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl2, err := Place(p, 42)
+	pl2, err := Place(context.Background(), p, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestPlaceRejectsOverflow(t *testing.T) {
 	if len(p.CLBs) <= small.Arch.CLBCount() && needIO <= small.Arch.IOCapacity() {
 		t.Skipf("design too small to overflow a 1x1 fabric (%d CLBs, %d I/Os)", len(p.CLBs), needIO)
 	}
-	if _, err := Place(&small, 1); err == nil {
+	if _, err := Place(context.Background(), &small, 1); err == nil {
 		t.Error("expected failure on too-small fabric")
 	}
 }

@@ -6,6 +6,7 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,8 +35,10 @@ type Result struct {
 }
 
 // Route connects all placement-derived nets. It fails after maxIter
-// negotiation rounds with congestion remaining.
-func Route(pl *place.Placement, g *fabric.RRGraph, maxIter int) (*Result, error) {
+// negotiation rounds with congestion remaining. The negotiation loop
+// checks ctx between nets and aborts with the context's error when it
+// is cancelled or past its deadline.
+func Route(ctx context.Context, pl *place.Placement, g *fabric.RRGraph, maxIter int) (*Result, error) {
 	nets := buildNets(pl, g)
 	n := len(g.Nodes)
 	prev := make([]int32, n)
@@ -58,6 +61,9 @@ func Route(pl *place.Placement, g *fabric.RRGraph, maxIter int) (*Result, error)
 	for iter := 1; iter <= maxIter; iter++ {
 		congested := false
 		for _, ni := range order {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			nt := &nets[ni]
 			// Rip up.
 			for _, nd := range routed[ni] {

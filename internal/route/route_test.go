@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -57,7 +58,7 @@ func buildPlaced(t *testing.T, seed int64, w int) (*place.Placement, *fabric.RRG
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl, err := place.Place(p, seed)
+	pl, err := place.Place(context.Background(), p, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func buildPlaced(t *testing.T, seed int64, w int) (*place.Placement, *fabric.RRG
 func TestRouteSmallDesigns(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		pl, g := buildPlaced(t, seed, 5)
-		rt, err := Route(pl, g, 24)
+		rt, err := Route(context.Background(), pl, g, 24)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -85,7 +86,7 @@ func TestQuickRouteLegality(t *testing.T) {
 			seed = -seed
 		}
 		pl, g := buildPlaced(t, seed%1000, 6)
-		rt, err := Route(pl, g, 24)
+		rt, err := Route(context.Background(), pl, g, 24)
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false

@@ -1,6 +1,7 @@
 package rtl
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,8 +19,9 @@ type Dataflow struct {
 	deps   [][]int32 // deps[n] = nodes n directly depends on
 }
 
-// NewDataflow builds the dependency graph for an elaborated design.
-func NewDataflow(d *Design) (*Dataflow, error) {
+// NewDataflow builds the dependency graph for an elaborated design,
+// checking ctx between instances so huge hierarchies stay cancellable.
+func NewDataflow(ctx context.Context, d *Design) (*Dataflow, error) {
 	df := &Dataflow{design: d, ids: make(map[string]int)}
 	for _, inst := range d.AllInstances {
 		for name := range inst.Module.Nets {
@@ -27,6 +29,9 @@ func NewDataflow(d *Design) (*Dataflow, error) {
 		}
 	}
 	for _, inst := range d.AllInstances {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := df.addModuleEdges(inst); err != nil {
 			return nil, err
 		}

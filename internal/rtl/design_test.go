@@ -1,6 +1,7 @@
 package rtl
 
 import (
+	"context"
 	"testing"
 
 	"alice/internal/verilog"
@@ -91,7 +92,7 @@ func TestCharacterize(t *testing.T) {
 
 func TestDataflowAffecting(t *testing.T) {
 	d := elab(t, hierSrc, "")
-	df, err := NewDataflow(d)
+	df, err := NewDataflow(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestDataflowAffecting(t *testing.T) {
 
 func TestModuleScores(t *testing.T) {
 	d := elab(t, hierSrc, "")
-	df, err := NewDataflow(d)
+	df, err := NewDataflow(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ module stage (input wire [3:0] in, output wire [3:0] out);
 endmodule
 `
 	d := elab(t, src, "")
-	df, err := NewDataflow(d)
+	df, err := NewDataflow(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
