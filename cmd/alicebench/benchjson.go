@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"alice"
+	"alice/internal/attack"
+	"alice/internal/opt"
+	"alice/internal/rtl"
+	"alice/internal/synth"
+	"alice/internal/techmap"
+	"alice/internal/verilog"
+)
+
+// benchReport is the machine-readable performance trajectory written by
+// `alicebench -json`: per-benchmark wall times for the flow under both
+// paper configurations, full place&route metrics (routed PathFinder
+// iterations, placement cost, bitstream bits) for the small designs,
+// SAT-attack statistics (conflicts, propagations), and allocator
+// totals. Future PRs compare their BENCH.json against the committed
+// history to keep the perf story honest.
+type benchReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+
+	Designs   []designBench `json:"designs"`
+	Implement []implBench   `json:"implement"`
+	Attacks   []attackBench `json:"attacks"`
+
+	TotalSeconds float64 `json:"total_seconds"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	Mallocs      uint64  `json:"mallocs"`
+}
+
+// designBench is one fast-mode flow run (a Table-2 row with timing).
+type designBench struct {
+	Design      string  `json:"design"`
+	Cfg         string  `json:"cfg"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Candidates  int     `json:"candidates"`
+	Clusters    int     `json:"clusters"`
+	ValidEFPGAs int     `json:"valid_efpgas"`
+	Solutions   int     `json:"solutions"`
+	Redacted    int     `json:"redacted_instances"`
+	Fabrics     string  `json:"fabrics,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// implBench is one full place&route implementation of a winning fabric.
+type implBench struct {
+	Design          string  `json:"design"`
+	Cfg             string  `json:"cfg"`
+	Fabric          string  `json:"fabric"`
+	RouteIterations int     `json:"route_iterations"`
+	PlaceCost       float64 `json:"place_cost"`
+	ConfigBits      int     `json:"config_bits"`
+	WallSeconds     float64 `json:"wall_seconds"`
+}
+
+// attackBench is one oracle-guided SAT-attack run.
+type attackBench struct {
+	Target       string  `json:"target"`
+	KeyBits      int     `json:"key_bits"`
+	DIPs         int     `json:"dips"`
+	Conflicts    int     `json:"conflicts"`
+	Propagations int     `json:"propagations"`
+	WallSeconds  float64 `json:"wall_seconds"`
+}
+
+// implDesigns are the designs whose winning solutions are fully placed
+// and routed for the JSON report; kept to the small fabrics so the
+// sweep stays fast enough for CI.
+var implDesigns = []string{"gcd", "usb_phy", "sasc"}
+
+func benchJSON(outPath string) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	rep := &benchReport{
+		SchemaVersion: 1,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+	}
+	ctx := context.Background()
+
+	// Fast-mode flow across both paper configurations.
+	for _, cfgCase := range []struct {
+		name string
+		mk   func() *alice.Config
+	}{{"cfg1", alice.Cfg1}, {"cfg2", alice.Cfg2}} {
+		for _, b := range alice.Benchmarks() {
+			cfg := cfgCase.mk()
+			cfg.SelectedOutputs = b.SelectedOutputs
+			eng := alice.NewEngine(alice.WithConfig(cfg))
+			start := time.Now()
+			r, err := eng.RunSource(ctx, b.Source())
+			check(err)
+			db := designBench{
+				Design:      b.Name,
+				Cfg:         cfgCase.name,
+				WallSeconds: time.Since(start).Seconds(),
+				Candidates:  r.R,
+				Clusters:    r.C,
+				ValidEFPGAs: r.ValidEFPGAs,
+				Solutions:   r.S,
+				Redacted:    r.Redacted,
+				Fabrics:     r.FabricSizes,
+			}
+			if r.Err != nil {
+				db.Error = r.Err.Error()
+			}
+			rep.Designs = append(rep.Designs, db)
+		}
+	}
+
+	// Full place&route of the winning solutions for the small designs:
+	// this exercises the annealer and PathFinder hot paths and records
+	// the routed iteration counts.
+	for _, name := range implDesigns {
+		b, ok := alice.BenchmarkByName(name)
+		if !ok {
+			continue
+		}
+		cfg := alice.Cfg1()
+		cfg.SelectedOutputs = b.SelectedOutputs
+		eng := alice.NewEngine(alice.WithConfig(cfg))
+		r, err := eng.RunSource(ctx, b.Source())
+		check(err)
+		if r.Err != nil || r.Solution == nil {
+			continue
+		}
+		start := time.Now()
+		check(eng.Implement(ctx, r.Solution))
+		wall := time.Since(start).Seconds()
+		for _, f := range r.Solution.Fabrics {
+			ib := implBench{
+				Design:      b.Name,
+				Cfg:         "cfg1",
+				Fabric:      f.Fabric.Arch.Name(),
+				ConfigBits:  f.Fabric.ConfigBits(),
+				WallSeconds: wall,
+			}
+			if f.Fabric.Routing != nil {
+				ib.RouteIterations = f.Fabric.Routing.Iterations
+			}
+			if f.Fabric.Placement != nil {
+				ib.PlaceCost = f.Fabric.Placement.Cost
+			}
+			rep.Implement = append(rep.Implement, ib)
+		}
+	}
+
+	// Oracle-guided SAT attacks (the security-evaluation hot path).
+	for _, tgt := range attackTargets {
+		ast, err := verilog.Parse(tgt.src)
+		check(err)
+		d, err := rtl.Elaborate(ast, "")
+		check(err)
+		res, err := synth.Synthesize(d)
+		check(err)
+		ln, err := techmap.Map(opt.Optimize(res.Netlist))
+		check(err)
+		start := time.Now()
+		ar, err := attack.RecoverBitstream(ln, 5000, 1)
+		check(err)
+		rep.Attacks = append(rep.Attacks, attackBench{
+			Target:       tgt.name,
+			KeyBits:      ar.KeyBits,
+			DIPs:         ar.Iterations,
+			Conflicts:    ar.Conflicts,
+			Propagations: ar.Propagations,
+			WallSeconds:  time.Since(start).Seconds(),
+		})
+	}
+
+	rep.TotalSeconds = time.Since(t0).Seconds()
+	runtime.ReadMemStats(&m1)
+	rep.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+	rep.Mallocs = m1.Mallocs - m0.Mallocs
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	check(err)
+	data = append(data, '\n')
+	check(os.WriteFile(outPath, data, 0o644))
+	fmt.Printf("wrote %s: %d flow runs, %d implementations, %d attacks in %.1fs\n",
+		outPath, len(rep.Designs), len(rep.Implement), len(rep.Attacks), rep.TotalSeconds)
+}

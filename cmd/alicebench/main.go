@@ -8,6 +8,7 @@
 //	alicebench -table 2 -cfg 2     # Table 2 under cfg2 (96 I/O, 1 eFPGA)
 //	alicebench -figure 4           # Fig. 4: GCD area comparison
 //	alicebench -attack             # SAT-attack cost vs key size (Sec. 2)
+//	alicebench -json               # benchmark sweep -> BENCH.json (perf trajectory)
 package main
 
 import (
@@ -22,14 +23,18 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate a paper table (1 or 2)")
-		figure = flag.Int("figure", 0, "regenerate a paper figure (4)")
-		cfgNum = flag.Int("cfg", 1, "configuration for table 2")
-		attack = flag.Bool("attack", false, "run the SAT-attack scaling experiment")
-		only   = flag.String("design", "", "restrict table 2 to one design")
+		table   = flag.Int("table", 0, "regenerate a paper table (1 or 2)")
+		figure  = flag.Int("figure", 0, "regenerate a paper figure (4)")
+		cfgNum  = flag.Int("cfg", 1, "configuration for table 2")
+		attack  = flag.Bool("attack", false, "run the SAT-attack scaling experiment")
+		only    = flag.String("design", "", "restrict table 2 to one design")
+		jsonOut = flag.Bool("json", false, "run the benchmark sweep and write a machine-readable report")
+		outPath = flag.String("out", "BENCH.json", "output path for -json")
 	)
 	flag.Parse()
 	switch {
+	case *jsonOut:
+		benchJSON(*outPath)
 	case *table == 1:
 		table1()
 	case *table == 2:

@@ -29,8 +29,9 @@ type Result struct {
 	// Masks is the recovered configuration (per LUT node id).
 	Masks map[int32]uint16
 	// Solver statistics.
-	Conflicts int
-	Decisions int
+	Conflicts    int
+	Decisions    int
+	Propagations int
 }
 
 // combView is the scan-model combinational view of a LUT network:
@@ -232,6 +233,7 @@ func RecoverBitstream(ln *techmap.LUTNetwork, maxIters int, seed int64) (*Result
 			res.Iterations = iter
 			res.Conflicts = s.Conflicts
 			res.Decisions = s.Decisions
+			res.Propagations = s.Propagations
 			if !sc.Solve() {
 				return nil, fmt.Errorf("attack: constraint set unsatisfiable (internal error)")
 			}

@@ -34,6 +34,11 @@ type decoder struct {
 	ffNode  map[bleKey]int32
 	lutNode map[bleKey]int32
 	onStack map[bleKey]bool
+	// pendingFF queues registered BLEs whose D cone is resolved after
+	// the main traversal: a register legally breaks combinational
+	// cycles, so its input cone must not be expanded while the cycle's
+	// readers are still on the recursion stack.
+	pendingFF []bleKey
 }
 
 // Decode reconstructs the programmed circuit from a bitstream as a LUT
@@ -157,6 +162,9 @@ func Decode(g *fabric.RRGraph, bits *Bits) (*techmap.LUTNetwork, error) {
 		d.out.POs = append(d.out.POs, src)
 		d.out.PONames = append(d.out.PONames, PadName(pp.key/a.GPIOPerTile, pp.key%a.GPIOPerTile))
 	}
+	if err := d.resolvePendingFFs(); err != nil {
+		return nil, err
+	}
 	return d.out, d.out.Validate()
 }
 
@@ -237,20 +245,36 @@ func (d *decoder) bleOut(siteIdx, slot int) (int32, error) {
 		id := d.emit(techmap.LNode{Kind: techmap.LFF, In: []int32{-1}})
 		d.out.FFs = append(d.out.FFs, id)
 		d.ffNode[key] = id
+		d.pendingFF = append(d.pendingFF, key)
+		return id, nil
+	}
+	return d.decodeLUT(key, bc)
+}
+
+// resolvePendingFFs decodes the D-input cones of all registered BLEs
+// discovered during traversal (including ones discovered while
+// draining). The cones emit in post-order, so combinational nodes stay
+// topologically ordered; only FF D pointers may reference later ids,
+// which the network representation permits.
+func (d *decoder) resolvePendingFFs() error {
+	for i := 0; i < len(d.pendingFF); i++ {
+		key := d.pendingFF[i]
+		bc := d.cfg[key.site][key.slot]
+		id := d.ffNode[key]
 		var din int32
 		var err error
 		if bc.byp {
-			din, err = d.resolveSel(siteIdx, bc.sels[0])
+			din, err = d.resolveSel(key.site, bc.sels[0])
 		} else {
 			din, err = d.decodeLUT(key, bc)
 		}
 		if err != nil {
-			return -1, err
+			return err
 		}
 		d.out.Nodes[id].In[0] = din
-		return id, nil
 	}
-	return d.decodeLUT(key, bc)
+	d.pendingFF = nil
+	return nil
 }
 
 // decodeLUT materializes the LUT of a BLE.

@@ -123,20 +123,117 @@ func bleInputs(ln *techmap.LUTNetwork, b BLE) []int32 {
 
 // clusterBLEs groups BLEs into CLBs greedily by attraction (number of
 // shared nets), respecting the cluster size and external-input bounds.
+//
+// This is the profiled hot loop of fast-mode characterization, so the
+// per-candidate work is O(candidate fan-in) over generation-stamped
+// flat arrays: the growing cluster's input/output sets and its external
+// -input count are maintained incrementally instead of being rebuilt
+// (with map allocations) for every candidate trial. The greedy choices
+// and the resulting CLBs are identical to the straightforward
+// formulation.
 func clusterBLEs(ln *techmap.LUTNetwork, bles []BLE, arch fabric.Arch) ([]CLB, error) {
 	n := len(bles)
 	placed := make([]bool, n)
+	// Precompute each BLE's raw input list (with repeats, for gain
+	// scoring) and its deduplicated non-constant list (for external-
+	// input accounting).
+	rawIns := make([][]int32, n)
+	dedupIns := make([][]int32, n)
+	isConst := func(nd int32) bool {
+		k := ln.Nodes[nd].Kind
+		return k == techmap.LConst0 || k == techmap.LConst1
+	}
+	for i := range bles {
+		raw := bleInputs(ln, bles[i])
+		rawIns[i] = raw
+		var ded []int32
+		for _, in := range raw {
+			if isConst(in) {
+				continue
+			}
+			dup := false
+			for _, o := range ded {
+				if o == in {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ded = append(ded, in)
+			}
+		}
+		dedupIns[i] = ded
+	}
 	// Sort seeds by descending input count for better fills.
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return len(bleInputs(ln, bles[order[a]])) > len(bleInputs(ln, bles[order[b]]))
+		return len(rawIns[order[a]]) > len(rawIns[order[b]])
 	})
 
-	// clbExternalInputs computes the distinct external inputs if members
-	// joined one CLB.
+	// Generation-stamped member sets: inMark marks nodes read by some
+	// member (including constants, matching the gain score), outMark
+	// marks member outputs. extNow counts the distinct non-constant
+	// member inputs not produced inside the cluster.
+	inMark := make([]uint32, len(ln.Nodes))
+	outMark := make([]uint32, len(ln.Nodes))
+	var gen uint32
+	extNow := 0
+
+	// join adds a BLE to the current cluster, updating the sets and the
+	// external-input count.
+	join := func(b int) {
+		out := bles[b].Out()
+		if inMark[out] == gen && outMark[out] != gen {
+			extNow-- // an input some member read is now produced inside
+		}
+		outMark[out] = gen
+		for _, in := range dedupIns[b] {
+			if inMark[in] != gen && outMark[in] != gen {
+				extNow++
+			}
+		}
+		for _, in := range rawIns[b] {
+			inMark[in] = gen
+		}
+	}
+	// trialExt returns the cluster's external-input count if cand joined.
+	trialExt := func(cand int) int {
+		out := bles[cand].Out()
+		delta := 0
+		if inMark[out] == gen && outMark[out] != gen {
+			delta--
+		}
+		for _, in := range dedupIns[cand] {
+			if inMark[in] != gen && outMark[in] != gen && in != out {
+				delta++
+			}
+		}
+		return extNow + delta
+	}
+	// gainOf scores candidate-to-member attraction: shared inputs plus
+	// direct producer-consumer adjacency.
+	gainOf := func(cand int) int {
+		gain := 0
+		for _, in := range rawIns[cand] {
+			if inMark[in] == gen {
+				gain++
+			}
+			if outMark[in] == gen {
+				gain += 2 // direct producer-consumer adjacency is best
+			}
+		}
+		if inMark[bles[cand].Out()] == gen {
+			gain += 2
+		}
+		return gain
+	}
+
+	// external recomputes a final cluster's distinct external inputs in
+	// deterministic member order (this order defines the CLB pin
+	// assignment downstream).
 	external := func(members []int) []int32 {
 		inside := make(map[int32]bool)
 		for _, m := range members {
@@ -145,12 +242,8 @@ func clusterBLEs(ln *techmap.LUTNetwork, bles []BLE, arch fabric.Arch) ([]CLB, e
 		seen := make(map[int32]bool)
 		var ext []int32
 		for _, m := range members {
-			for _, in := range bleInputs(ln, bles[m]) {
-				k := ln.Nodes[in].Kind
-				if k == techmap.LConst0 || k == techmap.LConst1 {
-					continue
-				}
-				if inside[in] || seen[in] {
+			for _, in := range rawIns[m] {
+				if isConst(in) || inside[in] || seen[in] {
 					continue
 				}
 				seen[in] = true
@@ -161,15 +254,19 @@ func clusterBLEs(ln *techmap.LUTNetwork, bles []BLE, arch fabric.Arch) ([]CLB, e
 	}
 
 	var clbs []CLB
+	members := make([]int, 0, arch.BLEsPerCLB)
 	for _, seed := range order {
 		if placed[seed] {
 			continue
 		}
-		members := []int{seed}
+		gen++
+		extNow = 0
+		members = append(members[:0], seed)
 		placed[seed] = true
-		if len(external(members)) > arch.CLBInputs {
+		join(seed)
+		if extNow > arch.CLBInputs {
 			return nil, fmt.Errorf("pack: %s: a single BLE needs %d inputs, CLB offers %d",
-				ln.Name, len(external(members)), arch.CLBInputs)
+				ln.Name, extNow, arch.CLBInputs)
 		}
 		for len(members) < arch.BLEsPerCLB {
 			best, bestGain := -1, -1
@@ -177,13 +274,10 @@ func clusterBLEs(ln *techmap.LUTNetwork, bles []BLE, arch fabric.Arch) ([]CLB, e
 				if placed[cand] {
 					continue
 				}
-				trial := append(append([]int(nil), members...), cand)
-				ext := external(trial)
-				if len(ext) > arch.CLBInputs {
+				if trialExt(cand) > arch.CLBInputs {
 					continue
 				}
-				gain := sharedNets(ln, bles, members, cand)
-				if gain > bestGain {
+				if gain := gainOf(cand); gain > bestGain {
 					bestGain, best = gain, cand
 				}
 			}
@@ -192,6 +286,7 @@ func clusterBLEs(ln *techmap.LUTNetwork, bles []BLE, arch fabric.Arch) ([]CLB, e
 			}
 			members = append(members, best)
 			placed[best] = true
+			join(best)
 		}
 		clb := CLB{}
 		for _, m := range members {
@@ -201,32 +296,6 @@ func clusterBLEs(ln *techmap.LUTNetwork, bles []BLE, arch fabric.Arch) ([]CLB, e
 		clbs = append(clbs, clb)
 	}
 	return clbs, nil
-}
-
-// sharedNets counts connectivity between a candidate BLE and the current
-// members (shared inputs plus direct feeding).
-func sharedNets(ln *techmap.LUTNetwork, bles []BLE, members []int, cand int) int {
-	memberIn := make(map[int32]bool)
-	memberOut := make(map[int32]bool)
-	for _, m := range members {
-		memberOut[bles[m].Out()] = true
-		for _, in := range bleInputs(ln, bles[m]) {
-			memberIn[in] = true
-		}
-	}
-	gain := 0
-	for _, in := range bleInputs(ln, bles[cand]) {
-		if memberIn[in] {
-			gain++
-		}
-		if memberOut[in] {
-			gain += 2 // direct producer-consumer adjacency is best
-		}
-	}
-	if memberIn[bles[cand].Out()] {
-		gain += 2
-	}
-	return gain
 }
 
 // Validate checks packing invariants: every LUT/FF appears exactly once,

@@ -1,0 +1,73 @@
+package place
+
+import (
+	"context"
+	"testing"
+
+	"alice/internal/fabric"
+	"alice/internal/netlist"
+	"alice/internal/opt"
+	"alice/internal/pack"
+	"alice/internal/techmap"
+)
+
+// benchPacked builds a deterministic mid-size packed design for the
+// placer benchmark.
+func benchPacked(tb testing.TB, w, gates int) *pack.Packing {
+	tb.Helper()
+	bd := netlist.NewBuilder("pbench")
+	var pool []int32
+	for i := 0; i < 10; i++ {
+		pool = append(pool, bd.Input(string(rune('a'+i))))
+	}
+	var dffs []int32
+	for i := 0; i < 6; i++ {
+		d := bd.DFF()
+		dffs = append(dffs, d)
+		pool = append(pool, d)
+	}
+	idx := 0
+	pick := func() int32 { idx = (idx*13 + 7) % len(pool); return pool[idx] }
+	for i := 0; i < gates; i++ {
+		var id int32
+		switch i % 4 {
+		case 0:
+			id = bd.And(pick(), pick())
+		case 1:
+			id = bd.Or(pick(), pick())
+		case 2:
+			id = bd.Xor(pick(), pick())
+		default:
+			id = bd.Mux(pick(), pick(), pick())
+		}
+		pool = append(pool, id)
+	}
+	for _, d := range dffs {
+		bd.SetD(d, pick())
+	}
+	for i := 0; i < 6; i++ {
+		bd.Output("o", pick())
+	}
+	ln, err := techmap.Map(opt.Optimize(bd.N))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p, err := pack.Pack(ln, fabric.NewArch(w))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkPlace measures one full simulated-annealing placement on a
+// mid-size LUT network (the inner loop of full-P&R characterization).
+func BenchmarkPlace(b *testing.B) {
+	p := benchPacked(b, 8, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(context.Background(), p, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

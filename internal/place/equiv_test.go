@@ -1,0 +1,122 @@
+package place
+
+import (
+	"context"
+	"testing"
+)
+
+// refCost recomputes the placement's total HPWL from scratch, using
+// the same net derivation the annealer uses. All coordinates are small
+// integers, so float64 sums are exact and must equal the incrementally
+// maintained Cost bit-for-bit.
+func refCost(pl *Placement) float64 {
+	p := pl.Pack
+	nCLB := len(p.CLBs)
+	nPI := len(p.Net.PIs)
+	W := p.Arch.W
+	padXY := func(pd Pad) XY {
+		if pd.Tile < W {
+			return XY{-1, pd.Tile}
+		}
+		return XY{W, pd.Tile - W}
+	}
+	blockXY := func(b int32) XY {
+		switch {
+		case int(b) < nCLB:
+			return pl.CLBPos[b]
+		case int(b) < nCLB+nPI:
+			return padXY(pl.PIPad[p.Net.PIs[int(b)-nCLB]])
+		default:
+			return padXY(pl.POPad[int(b)-nCLB-nPI])
+		}
+	}
+	total := 0.0
+	for _, n := range buildNets(p) {
+		first := blockXY(n.blocks[0])
+		minX, maxX, minY, maxY := first.X, first.X, first.Y, first.Y
+		for _, b := range n.blocks[1:] {
+			xy := blockXY(b)
+			if xy.X < minX {
+				minX = xy.X
+			}
+			if xy.X > maxX {
+				maxX = xy.X
+			}
+			if xy.Y < minY {
+				minY = xy.Y
+			}
+			if xy.Y > maxY {
+				maxY = xy.Y
+			}
+		}
+		total += float64(maxX-minX) + float64(maxY-minY)
+	}
+	return total
+}
+
+// TestPlaceIncrementalCostConsistent cross-checks the delta-evaluated
+// running cost against a from-scratch recomputation: any drift in the
+// incremental bounding-box bookkeeping (boundary counts, revert
+// snapshots) shows up as a mismatch here.
+func TestPlaceIncrementalCostConsistent(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1001} {
+		p := buildPacked(t, 6)
+		pl, err := Place(context.Background(), p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := refCost(pl); got != pl.Cost {
+			t.Errorf("seed %d: incremental cost %v != recomputed %v", seed, pl.Cost, got)
+		}
+	}
+}
+
+// TestPlaceSameSeedSameCost verifies the determinism contract the
+// selection stage relies on: one seed, one placement, one cost.
+func TestPlaceSameSeedSameCost(t *testing.T) {
+	p := buildPacked(t, 6)
+	pl1, err := Place(context.Background(), p, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := Place(context.Background(), p, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1.Cost != pl2.Cost {
+		t.Errorf("costs differ: %v vs %v", pl1.Cost, pl2.Cost)
+	}
+	for i := range pl1.CLBPos {
+		if pl1.CLBPos[i] != pl2.CLBPos[i] {
+			t.Fatalf("CLB %d placed at %v then %v", i, pl1.CLBPos[i], pl2.CLBPos[i])
+		}
+	}
+	for pi, pd := range pl1.PIPad {
+		if pl2.PIPad[pi] != pd {
+			t.Fatalf("PI %d at %v then %v", pi, pd, pl2.PIPad[pi])
+		}
+	}
+	for i := range pl1.POPad {
+		if pl1.POPad[i] != pl2.POPad[i] {
+			t.Fatalf("PO %d at %v then %v", i, pl1.POPad[i], pl2.POPad[i])
+		}
+	}
+}
+
+// TestPlaceAllocs pins the annealer's allocation behavior: the move
+// loop runs on flat pooled state, so a whole placement allocates a
+// bounded number of objects. The seed implementation spent >65k
+// allocations on this design; the bound fails loudly if per-move maps
+// creep back in.
+func TestPlaceAllocs(t *testing.T) {
+	p := benchPacked(t, 8, 200)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Place(ctx, p, 42); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1000 {
+		t.Errorf("Place allocated %.0f objects/run, want <= 1000 (per-move state must stay pooled)", allocs)
+	}
+}

@@ -1,6 +1,14 @@
 // Package place assigns packed CLBs to grid locations and primary I/Os
 // to GPIO pads using simulated annealing over half-perimeter wirelength,
 // in the style of VPR's placer.
+//
+// The annealer is written for speed: movable blocks are dense integer
+// ids with positions in a flat slice, per-block net membership is
+// precomputed into slices, occupancy lives in flat grids instead of
+// maps, and wirelength is delta-evaluated per move with incrementally
+// maintained net bounding boxes (boundary-population counts; a full
+// net rescan happens only when a boundary block moves away). Rejected
+// moves restore the cached pre-move costs instead of recomputing.
 package place
 
 import (
@@ -28,10 +36,93 @@ type Placement struct {
 	Cost   float64       // final HPWL cost
 }
 
-// block identifies a movable object for annealing.
-type block struct {
-	kind int // 0 = CLB, 1 = PI pad, 2 = PO pad
-	idx  int32
+// Movable blocks are dense ids: CLBs first, then PIs (by index in
+// p.Net.PIs), then POs (by index in p.Net.POs).
+
+// bbox is a net's bounding box with boundary-population counts: how
+// many member blocks sit exactly on each edge. A move updates the box
+// in O(1) unless the last block on an edge leaves it, which triggers a
+// rescan of the net's members.
+type bbox struct {
+	minX, maxX, minY, maxY     int32
+	cMinX, cMaxX, cMinY, cMaxY int32
+}
+
+func (b *bbox) cost() float64 {
+	return float64(b.maxX-b.minX) + float64(b.maxY-b.minY)
+}
+
+func (b *bbox) add(x, y int32) {
+	if x < b.minX {
+		b.minX, b.cMinX = x, 1
+	} else if x == b.minX {
+		b.cMinX++
+	}
+	if x > b.maxX {
+		b.maxX, b.cMaxX = x, 1
+	} else if x == b.maxX {
+		b.cMaxX++
+	}
+	if y < b.minY {
+		b.minY, b.cMinY = y, 1
+	} else if y == b.minY {
+		b.cMinY++
+	}
+	if y > b.maxY {
+		b.maxY, b.cMaxY = y, 1
+	} else if y == b.maxY {
+		b.cMaxY++
+	}
+}
+
+// remove takes a member off the box; it reports whether a boundary lost
+// its last block, in which case the box is stale and must be rescanned.
+func (b *bbox) remove(x, y int32) bool {
+	under := false
+	if x == b.minX {
+		if b.cMinX--; b.cMinX == 0 {
+			under = true
+		}
+	}
+	if x == b.maxX {
+		if b.cMaxX--; b.cMaxX == 0 {
+			under = true
+		}
+	}
+	if y == b.minY {
+		if b.cMinY--; b.cMinY == 0 {
+			under = true
+		}
+	}
+	if y == b.maxY {
+		if b.cMaxY--; b.cMaxY == 0 {
+			under = true
+		}
+	}
+	return under
+}
+
+// pnet is one placement net: the blocks it spans plus cached cost and
+// bounding box, with a revert snapshot for rejected moves.
+type pnet struct {
+	blocks []int32
+	cost   float64
+	box    bbox
+
+	stamp     uint32 // move epoch this net was last touched in
+	rescanned bool   // box fully recomputed this epoch; skip further deltas
+	savedCost float64
+	savedBox  bbox
+}
+
+func (n *pnet) rescan(pos []XY) {
+	first := pos[n.blocks[0]]
+	b := bbox{minX: int32(first.X), maxX: int32(first.X), minY: int32(first.Y), maxY: int32(first.Y),
+		cMinX: 1, cMaxX: 1, cMinY: 1, cMaxY: 1}
+	for _, bl := range n.blocks[1:] {
+		b.add(int32(pos[bl].X), int32(pos[bl].Y))
+	}
+	n.box = b
 }
 
 // Place runs simulated annealing and returns a legal placement. The
@@ -41,113 +132,156 @@ func Place(ctx context.Context, p *pack.Packing, seed int64) (*Placement, error)
 	arch := p.Arch
 	W := arch.W
 	r := rand.New(rand.NewSource(seed))
-	nIO := len(p.Net.PIs) + len(p.Net.POs)
+	nCLB := len(p.CLBs)
+	nPI := len(p.Net.PIs)
+	nPO := len(p.Net.POs)
+	nIO := nPI + nPO
 	if nIO > arch.IOCapacity() {
 		return nil, fmt.Errorf("place: %d I/Os exceed capacity %d of %s", nIO, arch.IOCapacity(), arch.Name())
 	}
-	if len(p.CLBs) > arch.CLBCount() {
-		return nil, fmt.Errorf("place: %d CLBs exceed %s", len(p.CLBs), arch.Name())
+	if nCLB > arch.CLBCount() {
+		return nil, fmt.Errorf("place: %d CLBs exceed %s", nCLB, arch.Name())
 	}
-	pl := &Placement{Pack: p, PIPad: make(map[int32]Pad)}
+	pl := &Placement{Pack: p, PIPad: make(map[int32]Pad, nPI)}
 
-	// Initial CLB placement: row major.
-	slotOf := make(map[XY]int) // occupied slots -> CLB index
-	pl.CLBPos = make([]XY, len(p.CLBs))
-	for i := range p.CLBs {
-		pos := XY{i % W, i / W}
-		pl.CLBPos[i] = pos
-		slotOf[pos] = i
-	}
-	// Initial pad assignment: sequential.
-	padUsed := make(map[Pad]block)
-	nextPad := 0
-	takePad := func() Pad {
-		pd := Pad{nextPad / arch.GPIOPerTile, nextPad % arch.GPIOPerTile}
-		nextPad++
-		return pd
-	}
-	for _, pi := range p.Net.PIs {
-		pd := takePad()
-		pl.PIPad[pi] = pd
-		padUsed[pd] = block{1, pi}
-	}
-	pl.POPad = make([]Pad, len(p.Net.POs))
-	for i := range p.Net.POs {
-		pd := takePad()
-		pl.POPad[i] = pd
-		padUsed[pd] = block{2, int32(i)}
-	}
-
-	nets := buildNets(p)
+	nBlocks := nCLB + nIO
+	pos := make([]XY, nBlocks)
 	padXY := func(pd Pad) XY {
 		if pd.Tile < W {
 			return XY{-1, pd.Tile}
 		}
 		return XY{W, pd.Tile - W}
 	}
-	blockXY := func(b block) XY {
-		switch b.kind {
-		case 0:
-			return pl.CLBPos[b.idx]
-		case 1:
-			return padXY(pl.PIPad[b.idx])
-		default:
-			return padXY(pl.POPad[b.idx])
-		}
+
+	// Initial CLB placement: row major.
+	slotOwner := make([]int32, W*W) // slot y*W+x -> CLB block id or -1
+	for i := range slotOwner {
+		slotOwner[i] = -1
 	}
-	netCost := func(n *net) float64 {
-		minX, maxX := math.MaxInt32, math.MinInt32
-		minY, maxY := math.MaxInt32, math.MinInt32
-		for _, b := range n.blocks {
-			xy := blockXY(b)
-			if xy.X < minX {
-				minX = xy.X
-			}
-			if xy.X > maxX {
-				maxX = xy.X
-			}
-			if xy.Y < minY {
-				minY = xy.Y
-			}
-			if xy.Y > maxY {
-				maxY = xy.Y
-			}
-		}
-		return float64(maxX-minX) + float64(maxY-minY)
+	for i := 0; i < nCLB; i++ {
+		xy := XY{i % W, i / W}
+		pos[i] = xy
+		slotOwner[xy.Y*W+xy.X] = int32(i)
 	}
+	// Initial pad assignment: sequential. Pad blocks track their pad in
+	// padOf; padOwner is the inverse occupancy grid.
+	padOf := make([]Pad, nBlocks) // valid for IO block ids only
+	padOwner := make([]int32, arch.IOTiles()*arch.GPIOPerTile)
+	for i := range padOwner {
+		padOwner[i] = -1
+	}
+	padIdx := func(pd Pad) int { return pd.Tile*arch.GPIOPerTile + pd.Pin }
+	nextPad := 0
+	takePad := func(b int32) {
+		pd := Pad{nextPad / arch.GPIOPerTile, nextPad % arch.GPIOPerTile}
+		nextPad++
+		padOf[b] = pd
+		padOwner[padIdx(pd)] = b
+		pos[b] = padXY(pd)
+	}
+	for j := 0; j < nPI; j++ {
+		takePad(int32(nCLB + j))
+	}
+	for k := 0; k < nPO; k++ {
+		takePad(int32(nCLB + nPI + k))
+	}
+
+	sync := func(total float64) {
+		pl.CLBPos = make([]XY, nCLB)
+		for i := 0; i < nCLB; i++ {
+			pl.CLBPos[i] = pos[i]
+		}
+		for j, pi := range p.Net.PIs {
+			pl.PIPad[pi] = padOf[nCLB+j]
+		}
+		pl.POPad = make([]Pad, nPO)
+		for k := 0; k < nPO; k++ {
+			pl.POPad[k] = padOf[nCLB+nPI+k]
+		}
+		pl.Cost = total
+	}
+
+	nets := buildNets(p)
 	total := 0.0
 	for i := range nets {
-		nets[i].cost = netCost(&nets[i])
+		nets[i].rescan(pos)
+		nets[i].cost = nets[i].box.cost()
 		total += nets[i].cost
 	}
 
-	// Index: block -> nets it belongs to.
-	netsOf := make(map[block][]int)
+	// Index: block id -> nets it belongs to, as flat slices.
+	counts := make([]int32, nBlocks)
 	for ni := range nets {
 		for _, b := range nets[ni].blocks {
-			netsOf[b] = append(netsOf[b], ni)
+			counts[b]++
 		}
 	}
-	recost := func(bs ...block) float64 {
-		seen := make(map[int]bool)
-		delta := 0.0
-		for _, b := range bs {
+	netsOf := make([][]int32, nBlocks)
+	flat := make([]int32, 0, sum(counts))
+	for b := range netsOf {
+		netsOf[b] = flat[len(flat) : len(flat) : len(flat)+int(counts[b])]
+		flat = flat[:len(flat)+int(counts[b])]
+	}
+	for ni := range nets {
+		for _, b := range nets[ni].blocks {
+			netsOf[b] = append(netsOf[b], int32(ni))
+		}
+	}
+
+	// Per-move scratch: touched nets of the current epoch.
+	var epoch uint32
+	touched := make([]int32, 0, 64)
+	moved := make([]int32, 0, 2)
+	oldXYs := make([]XY, 0, 2)
+
+	// deltaFor applies the bounding-box updates for the already-moved
+	// blocks (pos must hold post-move positions; oldXYs the pre-move
+	// ones) and returns the total cost delta, caching pre-move state for
+	// revert.
+	deltaFor := func() float64 {
+		epoch++
+		touched = touched[:0]
+		for mi, b := range moved {
+			oldXY := oldXYs[mi]
+			newXY := pos[b]
 			for _, ni := range netsOf[b] {
-				if seen[ni] {
+				nt := &nets[ni]
+				if nt.stamp != epoch {
+					nt.stamp = epoch
+					nt.rescanned = false
+					nt.savedCost = nt.cost
+					nt.savedBox = nt.box
+					touched = append(touched, ni)
+				}
+				if nt.rescanned || oldXY == newXY {
 					continue
 				}
-				seen[ni] = true
-				nc := netCost(&nets[ni])
-				delta += nc - nets[ni].cost
-				nets[ni].cost = nc
+				if nt.box.remove(int32(oldXY.X), int32(oldXY.Y)) {
+					nt.rescan(pos)
+					nt.rescanned = true
+					continue
+				}
+				nt.box.add(int32(newXY.X), int32(newXY.Y))
 			}
+		}
+		delta := 0.0
+		for _, ni := range touched {
+			nc := nets[ni].box.cost()
+			delta += nc - nets[ni].cost
+			nets[ni].cost = nc
 		}
 		return delta
 	}
+	revertNets := func() {
+		for _, ni := range touched {
+			nets[ni].cost = nets[ni].savedCost
+			nets[ni].box = nets[ni].savedBox
+		}
+	}
 
 	// Annealing.
-	nBlocks := len(p.CLBs) + nIO
 	if nBlocks == 0 {
+		sync(total)
 		return pl, nil
 	}
 	movesPerT := 12 * nBlocks
@@ -157,101 +291,83 @@ func Place(ctx context.Context, p *pack.Packing, seed int64) (*Placement, error)
 			return nil, err
 		}
 		for m := 0; m < movesPerT; m++ {
-			if len(p.CLBs) > 0 && (nIO == 0 || r.Intn(10) < 7) {
+			if nCLB > 0 && (nIO == 0 || r.Intn(10) < 7) {
 				// CLB move: random CLB to random slot.
-				ci := r.Intn(len(p.CLBs))
+				ci := int32(r.Intn(nCLB))
 				dst := XY{r.Intn(W), r.Intn(W)}
-				src := pl.CLBPos[ci]
+				src := pos[ci]
 				if dst == src {
 					continue
 				}
-				other, occupied := slotOf[dst]
-				apply := func() {
-					pl.CLBPos[ci] = dst
-					slotOf[dst] = ci
-					if occupied {
-						pl.CLBPos[other] = src
-						slotOf[src] = other
-					} else {
-						delete(slotOf, src)
-					}
-				}
-				revert := func() {
-					pl.CLBPos[ci] = src
-					slotOf[src] = ci
-					if occupied {
-						pl.CLBPos[other] = dst
-						slotOf[dst] = other
-					} else {
-						delete(slotOf, dst)
-					}
-				}
-				apply()
-				var delta float64
-				if occupied {
-					delta = recost(block{0, int32(ci)}, block{0, int32(other)})
+				other := slotOwner[dst.Y*W+dst.X]
+				pos[ci] = dst
+				slotOwner[dst.Y*W+dst.X] = ci
+				moved, oldXYs = moved[:0], oldXYs[:0]
+				moved, oldXYs = append(moved, ci), append(oldXYs, src)
+				if other >= 0 {
+					pos[other] = src
+					slotOwner[src.Y*W+src.X] = other
+					moved, oldXYs = append(moved, other), append(oldXYs, dst)
 				} else {
-					delta = recost(block{0, int32(ci)})
+					slotOwner[src.Y*W+src.X] = -1
 				}
+				delta := deltaFor()
 				if delta > 0 && r.Float64() >= math.Exp(-delta/temp) {
-					revert()
-					if occupied {
-						recost(block{0, int32(ci)}, block{0, int32(other)})
+					// Reject: restore cached costs and occupancy.
+					revertNets()
+					pos[ci] = src
+					slotOwner[src.Y*W+src.X] = ci
+					if other >= 0 {
+						pos[other] = dst
+						slotOwner[dst.Y*W+dst.X] = other
 					} else {
-						recost(block{0, int32(ci)})
+						slotOwner[dst.Y*W+dst.X] = -1
 					}
 				} else {
 					total += delta
 				}
 			} else if nIO > 0 {
 				// Pad move.
-				var b block
-				if len(pl.PIPad) > 0 && (len(pl.POPad) == 0 || r.Intn(2) == 0) {
-					b = block{1, p.Net.PIs[r.Intn(len(p.Net.PIs))]}
-				} else if len(pl.POPad) > 0 {
-					b = block{2, int32(r.Intn(len(pl.POPad)))}
+				var b int32
+				if nPI > 0 && (nPO == 0 || r.Intn(2) == 0) {
+					b = int32(nCLB + r.Intn(nPI))
+				} else if nPO > 0 {
+					b = int32(nCLB + nPI + r.Intn(nPO))
 				} else {
 					continue
 				}
 				dst := Pad{r.Intn(arch.IOTiles()), r.Intn(arch.GPIOPerTile)}
-				src := getPad(pl, b)
+				src := padOf[b]
 				if dst == src {
 					continue
 				}
-				other, occupied := padUsed[dst]
-				apply := func() {
-					setPad(pl, b, dst)
-					padUsed[dst] = b
-					if occupied {
-						setPad(pl, other, src)
-						padUsed[src] = other
-					} else {
-						delete(padUsed, src)
-					}
-				}
-				revert := func() {
-					setPad(pl, b, src)
-					padUsed[src] = b
-					if occupied {
-						setPad(pl, other, dst)
-						padUsed[dst] = other
-					} else {
-						delete(padUsed, dst)
-					}
-				}
-				apply()
-				var delta float64
-				if occupied {
-					delta = recost(b, other)
+				other := padOwner[padIdx(dst)]
+				srcXY, dstXY := pos[b], padXY(dst)
+				padOf[b] = dst
+				padOwner[padIdx(dst)] = b
+				pos[b] = dstXY
+				moved, oldXYs = moved[:0], oldXYs[:0]
+				moved, oldXYs = append(moved, b), append(oldXYs, srcXY)
+				if other >= 0 {
+					padOf[other] = src
+					padOwner[padIdx(src)] = other
+					pos[other] = srcXY
+					moved, oldXYs = append(moved, other), append(oldXYs, dstXY)
 				} else {
-					delta = recost(b)
+					padOwner[padIdx(src)] = -1
 				}
+				delta := deltaFor()
 				if delta > 0 && r.Float64() >= math.Exp(-delta/temp) {
-					revert()
-					if occupied {
-						recost(b, other)
+					revertNets()
+					padOf[b] = src
+					padOwner[padIdx(src)] = b
+					pos[b] = srcXY
+					if other >= 0 {
+						padOf[other] = dst
+						padOwner[padIdx(dst)] = other
+						pos[other] = dstXY
 					} else {
-						recost(b)
+						padOwner[padIdx(dst)] = -1
 					}
 				} else {
 					total += delta
@@ -259,70 +375,70 @@ func Place(ctx context.Context, p *pack.Packing, seed int64) (*Placement, error)
 			}
 		}
 	}
-	pl.Cost = total
+	sync(total)
 	return pl, nil
 }
 
-func getPad(pl *Placement, b block) Pad {
-	if b.kind == 1 {
-		return pl.PIPad[b.idx]
+func sum(xs []int32) int {
+	s := 0
+	for _, x := range xs {
+		s += int(x)
 	}
-	return pl.POPad[b.idx]
-}
-
-func setPad(pl *Placement, b block, pd Pad) {
-	if b.kind == 1 {
-		pl.PIPad[b.idx] = pd
-	} else {
-		pl.POPad[b.idx] = pd
-	}
-}
-
-// net groups the blocks connected by one driver for wirelength.
-type net struct {
-	blocks []block
-	cost   float64
+	return s
 }
 
 // buildNets derives placement nets: every driver (PI or BLE output) and
-// the CLBs/pads it reaches.
-func buildNets(p *pack.Packing) []net {
+// the CLBs/pads it reaches, in deterministic (discovery) order.
+func buildNets(p *pack.Packing) []pnet {
 	ln := p.Net
-	byDriver := make(map[int32]map[block]bool)
-	addConn := func(driver int32, sink block) {
+	nCLB := len(p.CLBs)
+	nPI := len(ln.PIs)
+	piIdx := make(map[int32]int32, nPI)
+	for j, pi := range ln.PIs {
+		piIdx[pi] = int32(j)
+	}
+	// Gather sinks per driver in deterministic scan order.
+	sinks := make(map[int32][]int32) // driver node id -> sink block ids
+	var drivers []int32              // in discovery order
+	addConn := func(driver int32, sink int32) {
 		k := ln.Nodes[driver].Kind
 		if k == techmap.LConst0 || k == techmap.LConst1 {
 			return
 		}
-		m, ok := byDriver[driver]
-		if !ok {
-			m = make(map[block]bool)
-			byDriver[driver] = m
+		if _, ok := sinks[driver]; !ok {
+			drivers = append(drivers, driver)
 		}
-		m[sink] = true
+		sinks[driver] = append(sinks[driver], sink)
 	}
 	for ci := range p.CLBs {
 		for _, in := range p.CLBs[ci].Inputs {
-			addConn(in, block{0, int32(ci)})
+			addConn(in, int32(ci))
 		}
 	}
 	for i, po := range ln.POs {
-		addConn(po, block{2, int32(i)})
+		addConn(po, int32(nCLB+nPI+i))
 	}
-	var nets []net
-	for driver, sinks := range byDriver {
-		var n net
+	var nets []pnet
+	seen := make(map[int32]bool)
+	for _, driver := range drivers {
+		var blocks []int32
 		// Driver block.
 		if loc, ok := p.Loc[driver]; ok {
-			n.blocks = append(n.blocks, block{0, int32(loc[0])})
+			blocks = append(blocks, int32(loc[0]))
 		} else if ln.Nodes[driver].Kind == techmap.LInput {
-			n.blocks = append(n.blocks, block{1, driver})
+			blocks = append(blocks, int32(nCLB)+piIdx[driver])
 		}
-		for s := range sinks {
-			n.blocks = append(n.blocks, s)
+		for _, s := range sinks[driver] {
+			if !seen[s] {
+				seen[s] = true
+				blocks = append(blocks, s)
+			}
 		}
-		if len(n.blocks) >= 2 {
-			nets = append(nets, n)
+		for _, b := range blocks {
+			delete(seen, b)
+		}
+		if len(blocks) >= 2 {
+			nets = append(nets, pnet{blocks: blocks})
 		}
 	}
 	return nets

@@ -1,0 +1,61 @@
+package route
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRouteDeterministic verifies that routing is a pure function of
+// the placement: two runs yield identical trees, mux selections, and
+// iteration counts.
+func TestRouteDeterministic(t *testing.T) {
+	pl, g := buildPlaced(t, 7, 6)
+	rt1, err := Route(context.Background(), pl, g, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := Route(context.Background(), pl, g, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt1.Iterations != rt2.Iterations {
+		t.Fatalf("iterations differ: %d vs %d", rt1.Iterations, rt2.Iterations)
+	}
+	if len(rt1.Nets) != len(rt2.Nets) {
+		t.Fatalf("net counts differ: %d vs %d", len(rt1.Nets), len(rt2.Nets))
+	}
+	for ni := range rt1.Nets {
+		a, b := rt1.Nets[ni].Tree, rt2.Nets[ni].Tree
+		if len(a) != len(b) {
+			t.Fatalf("net %d tree sizes differ: %d vs %d", ni, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("net %d tree differs at %d: %d vs %d", ni, i, a[i], b[i])
+			}
+		}
+	}
+	for nd := range rt1.Prev {
+		if rt1.Prev[nd] != rt2.Prev[nd] {
+			t.Fatalf("Prev differs at node %d: %d vs %d", nd, rt1.Prev[nd], rt2.Prev[nd])
+		}
+	}
+}
+
+// TestRouteAllocs pins the router's allocation behavior: all search
+// state is hoisted out of the per-net/per-iteration loops, so a full
+// negotiation allocates O(nets) slices, not O(nodes-expanded) map
+// entries. The seed implementation spent >150k allocations on this
+// design; the bound fails loudly if per-net maps creep back in.
+func TestRouteAllocs(t *testing.T) {
+	pl, g := benchPlaced(t, 8, 200, 7)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Route(ctx, pl, g, 30); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2000 {
+		t.Errorf("Route allocated %.0f objects/run, want <= 2000 (per-net state must stay pooled)", allocs)
+	}
+}

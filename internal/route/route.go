@@ -2,10 +2,17 @@
 // the fabric's routing-resource graph, connecting placed CLB pins and
 // GPIO pads. Each routed connection determines the selection of one or
 // more programmable muxes, which later becomes part of the bitstream.
+//
+// The router is written for speed: all per-node search state lives in
+// flat arrays indexed by RR-node id and is invalidated by generation
+// counters instead of clearing, the priority queue is a pooled typed
+// binary heap, Dijkstra expansion is pruned by a per-net bounding box
+// (with escape-hatch widening when a net cannot route inside it), and
+// after the first PathFinder iteration only nets touching congested
+// nodes are ripped up and rerouted.
 package route
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"sort"
@@ -34,19 +41,65 @@ type Result struct {
 	Iterations int
 }
 
+// bbMargin is the slack added around a net's terminal bounding box
+// before Dijkstra expansion is pruned to it. Congestion negotiation
+// needs room for detours, so the box is generous; a net that still
+// fails inside its box is retried unpruned.
+const bbMargin = 3
+
+// router holds all search state, allocated once per Route call and
+// reused across every net and negotiation iteration.
+type router struct {
+	g       *fabric.RRGraph
+	occ     []int16   // per node: nets currently using it
+	hist    []float32 // per node: historical congestion cost
+	prev    []int32   // per node: driving node in the final routing
+	dist    []float32 // per node: tentative cost (valid if gen matches)
+	from    []int32   // per node: Dijkstra predecessor (valid if gen matches)
+	gen     []uint32  // per node: generation stamp for dist/from
+	curGen  uint32    // current Dijkstra generation
+	inTree  []uint32  // per node: stamp marking current net's tree
+	treeGen uint32    // current net-tree generation
+	heap    rtHeap
+	xs, ys  []int16 // per node: grid coordinates for bounding-box pruning
+	path    []int32 // scratch for path reconstruction
+}
+
+func newRouter(g *fabric.RRGraph) *router {
+	n := len(g.Nodes)
+	r := &router{
+		g:      g,
+		occ:    make([]int16, n),
+		hist:   make([]float32, n),
+		prev:   make([]int32, n),
+		dist:   make([]float32, n),
+		from:   make([]int32, n),
+		gen:    make([]uint32, n),
+		inTree: make([]uint32, n),
+		xs:     make([]int16, n),
+		ys:     make([]int16, n),
+	}
+	for i := range r.prev {
+		r.prev[i] = -1
+	}
+	for i, nd := range g.Nodes {
+		x, y := nd.X, nd.Y
+		if nd.Kind == fabric.RRIOIn || nd.Kind == fabric.RRIOOut {
+			x, y = g.PadXY(nd.X)
+		}
+		r.xs[i], r.ys[i] = int16(x), int16(y)
+	}
+	return r
+}
+
 // Route connects all placement-derived nets. It fails after maxIter
 // negotiation rounds with congestion remaining. The negotiation loop
 // checks ctx between nets and aborts with the context's error when it
 // is cancelled or past its deadline.
 func Route(ctx context.Context, pl *place.Placement, g *fabric.RRGraph, maxIter int) (*Result, error) {
 	nets := buildNets(pl, g)
-	n := len(g.Nodes)
-	prev := make([]int32, n)
-	occ := make([]int16, n)
-	hist := make([]float32, n)
-	for i := range prev {
-		prev[i] = -1
-	}
+	rt := newRouter(g)
+
 	// Route larger-fanout nets first.
 	order := make([]int, len(nets))
 	for i := range order {
@@ -58,39 +111,63 @@ func Route(ctx context.Context, pl *place.Placement, g *fabric.RRGraph, maxIter 
 
 	presFac := float32(0.6)
 	routed := make([][]int32, len(nets)) // per net: used nodes
+	dirty := make([]bool, len(nets))     // per net: must be (re)routed
+	for i := range dirty {
+		dirty[i] = true
+	}
 	for iter := 1; iter <= maxIter; iter++ {
-		congested := false
+		// Rip up every dirty net before rerouting any, so a stale tree's
+		// teardown can never clear the Prev entry of a node another net
+		// (re)claimed earlier in the same pass.
 		for _, ni := range order {
+			if !dirty[ni] {
+				continue
+			}
+			for _, nd := range routed[ni] {
+				rt.occ[nd]--
+				rt.prev[nd] = -1
+			}
+			routed[ni] = routed[ni][:0]
+		}
+		for _, ni := range order {
+			if !dirty[ni] {
+				continue
+			}
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			nt := &nets[ni]
-			// Rip up.
-			for _, nd := range routed[ni] {
-				occ[nd]--
-				prev[nd] = -1
-			}
-			routed[ni] = nil
-			tree, pr, err := routeNet(g, nt, occ, hist, presFac)
+			tree, err := rt.routeNet(nt, routed[ni], presFac)
 			if err != nil {
 				return nil, err
 			}
 			for _, nd := range tree {
-				occ[nd]++
-				prev[nd] = pr[nd]
+				rt.occ[nd]++
 			}
 			routed[ni] = tree
 			nt.Tree = tree
+			dirty[ni] = false
 		}
-		// Check congestion.
-		for i := range occ {
-			if occ[i] > 1 {
+		// Check congestion; accumulate history on congested nodes.
+		congested := false
+		for i := range rt.occ {
+			if rt.occ[i] > 1 {
 				congested = true
-				hist[i] += float32(occ[i] - 1)
+				rt.hist[i] += float32(rt.occ[i] - 1)
 			}
 		}
 		if !congested {
-			return &Result{G: g, Nets: nets, Prev: prev, Iterations: iter}, nil
+			return &Result{G: g, Nets: nets, Prev: rt.prev, Iterations: iter}, nil
+		}
+		// Incremental PathFinder: only nets whose tree touches a
+		// congested node are ripped up and rerouted next round.
+		for ni := range nets {
+			for _, nd := range routed[ni] {
+				if rt.occ[nd] > 1 {
+					dirty[ni] = true
+					break
+				}
+			}
 		}
 		presFac *= 1.6
 	}
@@ -98,108 +175,187 @@ func Route(ctx context.Context, pl *place.Placement, g *fabric.RRGraph, maxIter 
 }
 
 // routeNet grows a routing tree from the net source to every sink using
-// Dijkstra over congestion-weighted costs.
-func routeNet(g *fabric.RRGraph, nt *Net, occ []int16, hist []float32, presFac float32) ([]int32, map[int32]int32, error) {
-	inTree := map[int32]bool{nt.Source: true}
-	prevOf := map[int32]int32{nt.Source: -1}
-	var used []int32
+// Dijkstra over congestion-weighted costs. The returned tree (excluding
+// the source) reuses the capacity of buf; rt.prev is updated for every
+// tree node.
+func (rt *router) routeNet(nt *Net, buf []int32, presFac float32) ([]int32, error) {
+	rt.treeGen++
+	rt.inTree[nt.Source] = rt.treeGen
+	rt.prev[nt.Source] = -1
+	used := buf
+
+	// Terminal bounding box, widened by bbMargin.
+	minX, maxX := rt.xs[nt.Source], rt.xs[nt.Source]
+	minY, maxY := rt.ys[nt.Source], rt.ys[nt.Source]
 	for _, sink := range nt.Sinks {
-		if inTree[sink] {
+		if x := rt.xs[sink]; x < minX {
+			minX = x
+		} else if x > maxX {
+			maxX = x
+		}
+		if y := rt.ys[sink]; y < minY {
+			minY = y
+		} else if y > maxY {
+			maxY = y
+		}
+	}
+	minX, maxX = minX-bbMargin, maxX+bbMargin
+	minY, maxY = minY-bbMargin, maxY+bbMargin
+
+	for _, sink := range nt.Sinks {
+		if rt.inTree[sink] == rt.treeGen {
 			continue
 		}
-		path, err := dijkstra(g, inTree, sink, occ, hist, presFac)
+		path, err := rt.dijkstra(used, nt.Source, sink, presFac, minX, maxX, minY, maxY)
 		if err != nil {
-			return nil, nil, fmt.Errorf("route: net from %s unroutable to %s: %w",
-				g.Nodes[nt.Source], g.Nodes[sink], err)
+			// Escape hatch: retry without the bounding box; congestion
+			// detours may legitimately leave it.
+			const wide = int16(0x3fff)
+			path, err = rt.dijkstra(used, nt.Source, sink, presFac, -wide, wide, -wide, wide)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("route: net from %s unroutable to %s: %w",
+				rt.g.Nodes[nt.Source], rt.g.Nodes[sink], err)
 		}
 		// path runs from a tree node to the sink.
 		for i := 1; i < len(path); i++ {
 			nd := path[i]
-			if !inTree[nd] {
-				inTree[nd] = true
-				prevOf[nd] = path[i-1]
+			if rt.inTree[nd] != rt.treeGen {
+				rt.inTree[nd] = rt.treeGen
+				rt.prev[nd] = path[i-1]
 				used = append(used, nd)
 			}
 		}
 	}
-	return used, prevOf, nil
+	return used, nil
 }
 
-type pqItem struct {
-	node int32
-	cost float32
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].cost < q[j].cost }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
-func nodeCost(g *fabric.RRGraph, nd int32, occ []int16, hist []float32, presFac float32) float32 {
-	base := float32(1)
-	c := base * (1 + hist[nd])
-	if occ[nd] >= 1 {
-		c += presFac * float32(occ[nd])
+func (rt *router) nodeCost(nd int32, presFac float32) float32 {
+	c := 1 + rt.hist[nd]
+	if rt.occ[nd] >= 1 {
+		c += presFac * float32(rt.occ[nd])
 	}
 	return c
 }
 
-// dijkstra finds the cheapest path from any tree node to the target.
-func dijkstra(g *fabric.RRGraph, tree map[int32]bool, target int32, occ []int16, hist []float32, presFac float32) ([]int32, error) {
-	dist := make(map[int32]float32, 256)
-	from := make(map[int32]int32, 256)
-	var q pq
-	for nd := range tree {
-		dist[nd] = 0
-		from[nd] = -1
-		heap.Push(&q, pqItem{nd, 0})
+// dijkstra finds the cheapest path from any current-tree node to the
+// target, expanding only nodes inside the given bounding box (the
+// target itself is always admitted).
+func (rt *router) dijkstra(used []int32, source, target int32, presFac float32, minX, maxX, minY, maxY int16) ([]int32, error) {
+	rt.curGen++
+	gen := rt.curGen
+	q := rt.heap[:0]
+	seed := func(nd int32) {
+		rt.dist[nd] = 0
+		rt.from[nd] = -1
+		rt.gen[nd] = gen
+		q = q.push(heapItem{node: nd})
 	}
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		if it.cost > dist[it.node] {
+	seed(source)
+	for _, nd := range used {
+		seed(nd)
+	}
+	g := rt.g
+	nodes := g.Nodes
+	for len(q) > 0 {
+		var it heapItem
+		q, it = q.pop()
+		if it.cost > rt.dist[it.node] {
 			continue
 		}
 		if it.node == target {
-			// Reconstruct.
-			var rev []int32
-			for nd := target; nd != -1; nd = from[nd] {
+			rt.heap = q
+			// Reconstruct into the shared scratch path buffer.
+			rev := rt.path[:0]
+			for nd := target; nd != -1; nd = rt.from[nd] {
 				rev = append(rev, nd)
-				if tree[nd] {
+				if rt.inTree[nd] == rt.treeGen {
 					break
 				}
 			}
 			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 				rev[i], rev[j] = rev[j], rev[i]
 			}
+			rt.path = rev
 			return rev, nil
 		}
 		for _, nx := range g.Out[it.node] {
 			// Only wires may fan out further; pins and pads terminate.
-			k := g.Nodes[nx].Kind
+			k := nodes[nx].Kind
 			if k == fabric.RROPin || k == fabric.RRIOIn {
 				continue
 			}
 			if (k == fabric.RRIPin || k == fabric.RRIOOut) && nx != target {
 				continue
 			}
-			nc := it.cost + nodeCost(g, nx, occ, hist, presFac)
-			if d, ok := dist[nx]; !ok || nc < d {
-				dist[nx] = nc
-				from[nx] = it.node
-				heap.Push(&q, pqItem{nx, nc})
+			if nx != target {
+				if x := rt.xs[nx]; x < minX || x > maxX {
+					continue
+				}
+				if y := rt.ys[nx]; y < minY || y > maxY {
+					continue
+				}
 			}
+			nc := it.cost + rt.nodeCost(nx, presFac)
+			if rt.gen[nx] == gen && nc >= rt.dist[nx] {
+				continue
+			}
+			rt.dist[nx] = nc
+			rt.from[nx] = it.node
+			rt.gen[nx] = gen
+			q = q.push(heapItem{node: nx, cost: nc})
 		}
 	}
+	rt.heap = q
 	return nil, fmt.Errorf("no path")
+}
+
+// heapItem is one priority-queue entry.
+type heapItem struct {
+	cost float32
+	node int32
+}
+
+// rtHeap is a typed binary min-heap ordered by cost. It is pooled in
+// the router and manipulated without interface boxing.
+type rtHeap []heapItem
+
+func (h rtHeap) push(it heapItem) rtHeap {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].cost <= h[i].cost {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func (h rtHeap) pop() (rtHeap, heapItem) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].cost < h[small].cost {
+			small = l
+		}
+		if r < n && h[r].cost < h[small].cost {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return h, top
 }
 
 // buildNets derives RR-level nets from the placement.

@@ -1,0 +1,61 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// hardFormula builds a deterministic random 3-SAT instance near the
+// satisfiability threshold (~4.2 clauses/var), which exercises
+// propagation, conflict analysis, and restarts heavily.
+func hardFormula(s *Solver, nv, nc int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < nv; i++ {
+		s.NewVar()
+	}
+	for i := 0; i < nc; i++ {
+		var lits [3]Lit
+		for k := range lits {
+			lits[k] = MkLit(1+r.Intn(nv), r.Intn(2) == 1)
+		}
+		s.AddClause(lits[0], lits[1], lits[2])
+	}
+}
+
+// BenchmarkSATPropagate measures the propagation-dominated hot path:
+// solving threshold random 3-SAT plus a pigeonhole core (UNSAT, heavy
+// clause learning).
+func BenchmarkSATPropagate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		hardFormula(s, 120, 500, 12345)
+		s.Solve()
+		// Pigeonhole 7 into 6: UNSAT with many conflicts.
+		ph := NewSolver()
+		const holes, pigeons = 6, 7
+		var v [pigeons][holes]int
+		for p := 0; p < pigeons; p++ {
+			for h := 0; h < holes; h++ {
+				v[p][h] = ph.NewVar()
+			}
+		}
+		for p := 0; p < pigeons; p++ {
+			lits := make([]Lit, holes)
+			for h := 0; h < holes; h++ {
+				lits[h] = MkLit(v[p][h], false)
+			}
+			ph.AddClause(lits...)
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 < pigeons; p1++ {
+				for p2 := p1 + 1; p2 < pigeons; p2++ {
+					ph.AddClause(MkLit(v[p1][h], true), MkLit(v[p2][h], true))
+				}
+			}
+		}
+		if ph.Solve() {
+			b.Fatal("pigeonhole must be UNSAT")
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refDPLL is an independent reference solver (plain DPLL with unit
+// propagation, no learning, no heuristics) used to cross-check the
+// CDCL solver's verdicts on formulas too large for brute-force
+// enumeration. Clauses are slices of signed 1-based literals.
+type refDPLL struct {
+	clauses [][]int
+	assign  []int8 // 0 unknown, 1 true, -1 false; per var (1-based)
+}
+
+func (d *refDPLL) litVal(l int) int8 {
+	v := l
+	if v < 0 {
+		v = -v
+	}
+	a := d.assign[v]
+	if a == 0 {
+		return 0
+	}
+	if l < 0 {
+		return -a
+	}
+	return a
+}
+
+func (d *refDPLL) solve() bool {
+	// Unit propagation to fixpoint.
+	type trailMark struct{ v int }
+	var trail []trailMark
+	set := func(l int) {
+		v := l
+		val := int8(1)
+		if v < 0 {
+			v, val = -v, -1
+		}
+		d.assign[v] = val
+		trail = append(trail, trailMark{v})
+	}
+	undo := func(n int) {
+		for len(trail) > n {
+			d.assign[trail[len(trail)-1].v] = 0
+			trail = trail[:len(trail)-1]
+		}
+	}
+	for {
+		unitFound := false
+		for _, c := range d.clauses {
+			sat := false
+			unassigned := 0
+			last := 0
+			for _, l := range c {
+				switch d.litVal(l) {
+				case 1:
+					sat = true
+				case 0:
+					unassigned++
+					last = l
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			if unassigned == 0 {
+				undo(0)
+				return false
+			}
+			if unassigned == 1 {
+				set(last)
+				unitFound = true
+			}
+		}
+		if !unitFound {
+			break
+		}
+	}
+	// Pick the first unassigned variable and branch.
+	branch := 0
+	for v := 1; v < len(d.assign); v++ {
+		if d.assign[v] == 0 {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		return true // complete assignment, all clauses satisfied
+	}
+	mark := len(trail)
+	for _, phase := range []int{branch, -branch} {
+		set(phase)
+		if d.solve() {
+			return true
+		}
+		undo(mark)
+	}
+	undo(0)
+	return false
+}
+
+// TestAgainstReferenceDPLL cross-checks the slice-based CDCL solver
+// against the independent DPLL reference on random 3-SAT formulas
+// around the satisfiability threshold — large enough that watch-list
+// bookkeeping, learning, and restarts are all exercised.
+func TestAgainstReferenceDPLL(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		nv := 8 + r.Intn(18)
+		nc := int(float64(nv)*3.5) + r.Intn(nv)
+		ref := &refDPLL{assign: make([]int8, nv+1)}
+		s := NewSolver()
+		for i := 0; i < nv; i++ {
+			s.NewVar()
+		}
+		ok := true
+		for i := 0; i < nc; i++ {
+			var lits []Lit
+			var refLits []int
+			for k := 0; k < 3; k++ {
+				v := 1 + r.Intn(nv)
+				neg := r.Intn(2) == 1
+				lits = append(lits, MkLit(v, neg))
+				if neg {
+					refLits = append(refLits, -v)
+				} else {
+					refLits = append(refLits, v)
+				}
+			}
+			ref.clauses = append(ref.clauses, refLits)
+			if !s.AddClause(lits...) {
+				ok = false
+			}
+		}
+		got := ok && s.Solve()
+		want := ref.solve()
+		if got != want {
+			t.Fatalf("seed %d (%d vars, %d clauses): cdcl=%v reference=%v", seed, nv, nc, got, want)
+		}
+		if got {
+			// The model must satisfy every clause.
+			for ci, c := range ref.clauses {
+				sat := false
+				for _, l := range c {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if val := s.ValueOf(v); (l > 0 && val) || (l < 0 && !val) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("seed %d: model violates clause %d", seed, ci)
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,12 @@
 // literals, first-UIP clause learning, VSIDS-style activities, Luby
 // restarts) used by the security evaluation: the oracle-guided attack
 // on eFPGA bitstreams and the equivalence checks of the redaction flow.
+//
+// The hot paths are slice-based: clauses live in an arena addressed by
+// integer references (no pointer chasing), watch lists are slices
+// indexed directly by literal value, and every watch entry carries a
+// blocker literal so satisfied clauses are skipped without touching the
+// clause memory at all.
 package sat
 
 // Lit is a literal: variable index v (1-based) encoded as 2v for the
@@ -34,28 +40,44 @@ const (
 	lFalse
 )
 
+// cref references a clause in the solver's arena; crefUndef means none.
+type cref int32
+
+const crefUndef cref = -1
+
 type clause struct {
 	lits    []Lit
 	learned bool
+}
+
+// watcher is one two-watched-literal entry: the clause to visit and a
+// blocker literal (some other literal of the clause); when the blocker
+// is already true the clause is satisfied and the entry is skipped
+// without loading the clause.
+type watcher struct {
+	c       cref
+	blocker Lit
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; create
 // with NewSolver.
 type Solver struct {
 	nVars    int
-	clauses  []*clause
-	learnts  []*clause
-	watches  map[Lit][]*clause
-	assign   []lbool // per var (1-based)
+	arena    []clause    // all clauses, problem and learned
+	nProblem int         // count of non-learned clauses
+	watches  [][]watcher // indexed by int(Lit)
+	assign   []lbool     // per var (1-based)
 	level    []int
-	reason   []*clause
+	reason   []cref
 	trail    []Lit
 	trailLim []int
 	activity []float64
 	varInc   float64
-	order    []int // lazily sorted decision candidates
 	qhead    int
 	unsat    bool // sticky root-level UNSAT
+
+	seen   []bool // analyze scratch, per var
+	addTmp []Lit  // AddClause scratch
 	// Stats.
 	Conflicts    int
 	Decisions    int
@@ -65,7 +87,7 @@ type Solver struct {
 // NewSolver returns an empty solver.
 func NewSolver() *Solver {
 	return &Solver{
-		watches: make(map[Lit][]*clause),
+		watches: make([][]watcher, 2),
 		varInc:  1.0,
 	}
 }
@@ -75,14 +97,17 @@ func (s *Solver) NewVar() int {
 	s.nVars++
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, crefUndef)
 	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
 	if s.nVars == 1 {
 		// index 0 pads the 1-based arrays
 		s.assign = append(s.assign, lUndef)
 		s.level = append(s.level, 0)
-		s.reason = append(s.reason, nil)
+		s.reason = append(s.reason, crefUndef)
 		s.activity = append(s.activity, 0)
+		s.seen = append(s.seen, false)
 	}
 	return s.nVars
 }
@@ -109,19 +134,29 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		return false
 	}
 	s.cancelUntil(0)
-	// Simplify: drop duplicate/false literals, detect tautology.
-	seen := make(map[Lit]bool, len(lits))
-	var out []Lit
+	// Simplify: drop duplicate/false literals, detect tautology. The
+	// scratch is quadratic in the clause length, but clauses are short
+	// and this avoids a map allocation per call.
+	out := s.addTmp[:0]
 	for _, l := range lits {
-		if seen[l.Neg()] {
-			return true // tautology
+		dup := false
+		for _, o := range out {
+			if o == l.Neg() {
+				s.addTmp = out
+				return true // tautology
+			}
+			if o == l {
+				dup = true
+				break
+			}
 		}
-		if seen[l] {
+		if dup {
 			continue
 		}
 		switch s.value(l) {
 		case lTrue:
 			if s.level[l.Var()] == 0 {
+				s.addTmp = out
 				return true // already satisfied at root
 			}
 		case lFalse:
@@ -129,9 +164,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 				continue // permanently false
 			}
 		}
-		seen[l] = true
 		out = append(out, l)
 	}
+	s.addTmp = out
 	switch len(out) {
 	case 0:
 		s.unsat = true
@@ -142,29 +177,42 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 			return false
 		}
 		if s.value(out[0]) == lUndef {
-			s.uncheckedEnqueue(out[0], nil)
-			if s.propagate() != nil {
+			s.uncheckedEnqueue(out[0], crefUndef)
+			if s.propagate() != crefUndef {
 				s.unsat = true
 				return false
 			}
 		}
 		return true
 	}
-	c := &clause{lits: out}
-	s.clauses = append(s.clauses, c)
-	s.watch(c)
+	s.addClauseLits(out, false)
 	return true
 }
 
-func (s *Solver) watch(c *clause) {
-	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], c)
-	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+// addClauseLits copies lits into the arena and installs the watches.
+func (s *Solver) addClauseLits(lits []Lit, learned bool) cref {
+	c := cref(len(s.arena))
+	s.arena = append(s.arena, clause{lits: append([]Lit(nil), lits...), learned: learned})
+	if !learned {
+		s.nProblem++
+	}
+	s.watch(c)
+	return c
 }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
-	s.assign[l.Var()] = lTrue
+func (s *Solver) watch(c cref) {
+	lits := s.arena[c].lits
+	w0 := int(lits[0].Neg())
+	w1 := int(lits[1].Neg())
+	s.watches[w0] = append(s.watches[w0], watcher{c: c, blocker: lits[1]})
+	s.watches[w1] = append(s.watches[w1], watcher{c: c, blocker: lits[0]})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from cref) {
 	if l.Sign() {
 		s.assign[l.Var()] = lFalse
+	} else {
+		s.assign[l.Var()] = lTrue
 	}
 	s.level[l.Var()] = len(s.trailLim)
 	s.reason[l.Var()] = from
@@ -172,30 +220,40 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 }
 
 // propagate performs unit propagation; it returns a conflicting clause
-// or nil.
-func (s *Solver) propagate() *clause {
+// reference or crefUndef.
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.Propagations++
 		ws := s.watches[p]
-		var kept []*clause
+		j := 0
 		for i := 0; i < len(ws); i++ {
-			c := ws[i]
-			// Ensure the false literal is lits[1].
-			if c.lits[0] == p.Neg() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			w := ws[i]
+			// Blocker check: clause satisfied without loading it.
+			if s.value(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
 			}
-			if s.value(c.lits[0]) == lTrue {
-				kept = append(kept, c)
+			lits := s.arena[w.c].lits
+			// Ensure the false literal is lits[1].
+			if lits[0] == p.Neg() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[j] = watcher{c: w.c, blocker: first}
+				j++
 				continue
 			}
 			// Find a new literal to watch.
 			moved := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], c)
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					nw := int(lits[1].Neg())
+					s.watches[nw] = append(s.watches[nw], watcher{c: w.c, blocker: first})
 					moved = true
 					break
 				}
@@ -203,19 +261,20 @@ func (s *Solver) propagate() *clause {
 			if moved {
 				continue
 			}
-			kept = append(kept, c)
-			if s.value(c.lits[0]) == lFalse {
-				// Conflict.
-				kept = append(kept, ws[i+1:]...)
-				s.watches[p] = kept
+			ws[j] = watcher{c: w.c, blocker: first}
+			j++
+			if s.value(first) == lFalse {
+				// Conflict: keep the remaining watchers and bail.
+				j += copy(ws[j:], ws[i+1:])
+				s.watches[p] = ws[:j]
 				s.qhead = len(s.trail)
-				return c
+				return w.c
 			}
-			s.uncheckedEnqueue(c.lits[0], c)
+			s.uncheckedEnqueue(first, w.c)
 		}
-		s.watches[p] = kept
+		s.watches[p] = ws[:j]
 	}
-	return nil
+	return crefUndef
 }
 
 func (s *Solver) bumpVar(v int) {
@@ -229,15 +288,15 @@ func (s *Solver) bumpVar(v int) {
 }
 
 // analyze produces a first-UIP learned clause and a backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
-	seen := make([]bool, s.nVars+1)
+func (s *Solver) analyze(confl cref) ([]Lit, int) {
+	seen := s.seen
 	var learnt []Lit
 	counter := 0
 	var p Lit = -1
 	idx := len(s.trail) - 1
 	cur := confl
 	for {
-		for _, q := range cur.lits {
+		for _, q := range s.arena[cur].lits {
 			if p != -1 && q == p {
 				continue
 			}
@@ -266,6 +325,10 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		cur = s.reason[p.Var()]
 	}
 	learnt = append([]Lit{p.Neg()}, learnt...)
+	// Clear the remaining marks so the scratch is clean for next time.
+	for _, l := range learnt[1:] {
+		seen[l.Var()] = false
+	}
 	// Backtrack level: second-highest level in the clause.
 	back := 0
 	for _, l := range learnt[1:] {
@@ -283,7 +346,7 @@ func (s *Solver) cancelUntil(level int) {
 	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
 		v := s.trail[i].Var()
 		s.assign[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = crefUndef
 	}
 	s.trail = s.trail[:s.trailLim[level]]
 	s.trailLim = s.trailLim[:level]
@@ -323,7 +386,7 @@ func (s *Solver) Solve() bool {
 		return false
 	}
 	s.cancelUntil(0)
-	if s.propagate() != nil {
+	if s.propagate() != crefUndef {
 		return false
 	}
 	restart := 1
@@ -331,7 +394,7 @@ func (s *Solver) Solve() bool {
 	conflicts := 0
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.Conflicts++
 			conflicts++
 			if len(s.trailLim) == 0 {
@@ -345,16 +408,14 @@ func (s *Solver) Solve() bool {
 					return false
 				}
 				if s.value(learnt[0]) == lUndef {
-					s.uncheckedEnqueue(learnt[0], nil)
-					if s.propagate() != nil {
+					s.uncheckedEnqueue(learnt[0], crefUndef)
+					if s.propagate() != crefUndef {
 						return false
 					}
 				}
 				continue
 			}
-			c := &clause{lits: learnt, learned: true}
-			s.learnts = append(s.learnts, c)
-			s.watch(c)
+			c := s.addClauseLits(learnt, true)
 			if s.value(learnt[0]) == lUndef {
 				s.uncheckedEnqueue(learnt[0], c)
 			}
@@ -373,7 +434,7 @@ func (s *Solver) Solve() bool {
 		}
 		s.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(l, nil)
+		s.uncheckedEnqueue(l, crefUndef)
 	}
 }
 
@@ -385,4 +446,4 @@ func (s *Solver) ValueOf(v int) bool { return s.assign[v] == lTrue }
 func (s *Solver) NumVars() int { return s.nVars }
 
 // NumClauses returns the number of problem clauses.
-func (s *Solver) NumClauses() int { return len(s.clauses) }
+func (s *Solver) NumClauses() int { return s.nProblem }
