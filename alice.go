@@ -43,6 +43,7 @@ import (
 
 	"alice/internal/bench"
 	"alice/internal/core"
+	"alice/internal/fabric"
 	"alice/internal/rtl"
 	"alice/internal/verilog"
 )
@@ -73,8 +74,24 @@ type FilterResult = core.FilterResult
 // eFPGA.
 type Cluster = core.Cluster
 
-// FabricCandidate couples a cluster with its characterization outcome.
+// FabricCandidate couples a (cluster, fabric family) pair with its
+// characterization outcome.
 type FabricCandidate = core.FabricCandidate
+
+// ArchParams is the width-independent description of a fabric family
+// (LUT size, BLEs per CLB, CLB inputs, channel-width policy). The zero
+// value is the paper's 4-LUT, 4-BLE family; sweep it with
+// WithArchSpace or Config.ArchSpace to trade SAT-attack resilience
+// against area, as in "Not All Fabrics Are Created Equal".
+type ArchParams = fabric.Params
+
+// Arch is one concrete fabric configuration (a family instantiated at
+// a grid width).
+type Arch = fabric.Arch
+
+// DefaultArchParams returns the paper's fabric family (4-LUT, 4-BLE
+// CLBs, 8-GPIO tiles, width-derived channel width).
+func DefaultArchParams() ArchParams { return fabric.DefaultParams() }
 
 // SelectionResult is the output of the eFPGA-selection stage.
 type SelectionResult = core.SelectionResult

@@ -6,6 +6,12 @@
 //
 //	alice -v design.v -c flow.yaml [-o redacted.v] [-summary] [-json] [-timeout 30s]
 //	alice -bench gcd -cfg 1 [-o redacted.v]
+//	alice -bench gcd -arch-luts 3,4,5 -arch-bles 4,8 -json
+//
+// The -arch-* flags open the fabric architecture space: every cluster
+// is characterized against the cartesian product of the listed LUT
+// sizes and cluster sizes (on top of the width sweep), and -json
+// reports one row per family.
 package main
 
 import (
@@ -13,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"alice"
 )
@@ -30,6 +38,9 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "characterization worker-pool width (0 = all CPUs)")
 		progress  = flag.Bool("progress", false, "log per-stage progress to stderr")
 		model     = flag.Bool("functional-model", false, "emit functional (programmed) eFPGA models instead of unprogrammed stubs")
+		archLuts  = flag.String("arch-luts", "", "comma-separated LUT sizes to explore (e.g. 3,4,5); empty = the paper's 4")
+		archBles  = flag.String("arch-bles", "", "comma-separated BLEs-per-CLB values to explore (e.g. 4,8); empty = the paper's 4")
+		archCW    = flag.String("arch-cw", "auto", "routing channel width: auto (width-derived) or a fixed track count")
 	)
 	flag.Parse()
 
@@ -71,6 +82,17 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if space, err := parseArchFlags(*archLuts, *archBles, *archCW); err != nil {
+		fatalf("%v", err)
+	} else if space != nil {
+		cfg.ArchSpace = space
+		// Fail fast on bad family parameters (e.g. -arch-luts 9) instead
+		// of surfacing them deep inside characterization.
+		if err := cfg.Validate(); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	ctx := context.Background()
@@ -139,6 +161,50 @@ func main() {
 		}
 		fmt.Printf("redacted design written to %s\n", *outFile)
 	}
+}
+
+// parseArchFlags expands the -arch-* flags into an architecture space
+// (nil when the flags are unset, keeping the configuration's own space).
+func parseArchFlags(luts, bles, cw string) ([]alice.ArchParams, error) {
+	if luts == "" && bles == "" && (cw == "" || cw == "auto") {
+		return nil, nil
+	}
+	ints := func(flag, s string, def int) ([]int, error) {
+		if s == "" {
+			return []int{def}, nil
+		}
+		var out []int
+		for _, part := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("-%s: %q is not a positive integer", flag, part)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	ks, err := ints("arch-luts", luts, 4)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := ints("arch-bles", bles, 4)
+	if err != nil {
+		return nil, err
+	}
+	width := 0
+	if cw != "" && cw != "auto" {
+		width, err = strconv.Atoi(cw)
+		if err != nil {
+			return nil, fmt.Errorf("-arch-cw: %q is neither auto nor an integer", cw)
+		}
+	}
+	var space []alice.ArchParams
+	for _, k := range ks {
+		for _, n := range ns {
+			space = append(space, alice.ArchParams{LUTSize: k, BLEsPerCLB: n, ChannelWidth: width})
+		}
+	}
+	return space, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"alice"
+	"alice/internal/attack"
+)
+
+// archSweepFamilies is the fabric-family grid of the architecture
+// sweep: the paper's K4N4 plus the LUT-size and cluster-size neighbours
+// highlighted by "Not All Fabrics Are Created Equal".
+var archSweepFamilies = []alice.ArchParams{
+	{LUTSize: 3, BLEsPerCLB: 4},
+	{LUTSize: 4, BLEsPerCLB: 4}, // the paper's fabric
+	{LUTSize: 5, BLEsPerCLB: 4},
+	{LUTSize: 6, BLEsPerCLB: 4},
+	{LUTSize: 4, BLEsPerCLB: 8},
+}
+
+// runArchSweep redacts one benchmark once per fabric family and reports
+// the security/overhead trade-off per family: the fabrics the flow
+// picks, the bitstream length (the attacker's key), the utilizations,
+// and the measured oracle-guided SAT-attack cost against the winning
+// fabrics' functional configuration.
+func runArchSweep(w io.Writer, designName string) {
+	b, ok := alice.BenchmarkByName(designName)
+	if !ok {
+		check(fmt.Errorf("unknown benchmark %q", designName))
+	}
+	ctx := context.Background()
+	fmt.Fprintf(w, "Architecture sweep on %s (cfg1 budgets)\n", b.Name)
+	fmt.Fprintf(w, "%-6s %-16s %9s %7s %8s %6s %10s %9s\n",
+		"family", "fabrics", "key bits", "IOutil", "CLButil", "DIPs", "conflicts", "atk time")
+	for _, fam := range archSweepFamilies {
+		cfg := alice.Cfg1()
+		cfg.SelectedOutputs = b.SelectedOutputs
+		eng := alice.NewEngine(alice.WithConfig(cfg), alice.WithArchSpace(fam))
+		rep, err := eng.RunSource(ctx, b.Source())
+		check(err)
+		if rep.Err != nil || rep.Solution == nil {
+			fmt.Fprintf(w, "%-6s no admissible solution: %v\n", fam.Name(), rep.Err)
+			continue
+		}
+		keyBits, dips, conflicts := 0, 0, 0
+		var io, clb float64
+		start := time.Now()
+		for _, fc := range rep.Solution.Fabrics {
+			keyBits += fc.Fabric.ConfigBits()
+			io += fc.Fabric.IOUtil / float64(len(rep.Solution.Fabrics))
+			clb += fc.Fabric.CLBUtil / float64(len(rep.Solution.Fabrics))
+			// Attack the functional configuration of each winning fabric:
+			// the LUT masks are the key the foundry attacker must recover.
+			ar, err := attack.RecoverBitstream(fc.Fabric.LUTs, 5000, 1)
+			check(err)
+			dips += ar.Iterations
+			conflicts += ar.Conflicts
+		}
+		fmt.Fprintf(w, "%-6s %-16s %9d %6.0f%% %7.0f%% %6d %10d %9s\n",
+			fam.Name(), rep.FabricSizes, keyBits, io*100, clb*100,
+			dips, conflicts, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// minRegressionSeconds filters measurement noise: an entry only counts
+// as a regression when it is both >2x slower than the (speed-adjusted)
+// baseline and slower by at least this much wall time.
+const minRegressionSeconds = 0.25
+
+// compareBench reruns the benchmark sweep and fails (exit 1) when any
+// tracked kernel regressed by more than 2x wall time against the
+// committed baseline, or disappeared from the sweep entirely. This is
+// the CI guard that keeps PR 2's hot-path wins from silently eroding.
+//
+// The baseline may have been recorded on a different machine, so the
+// per-kernel ratio is normalized by the suite's median now/base ratio
+// (the machine-speed factor): a uniformly slower CI runner shifts every
+// kernel equally and cancels out, while a single kernel regressing >2x
+// beyond the rest still trips the gate.
+func compareBench(baselinePath, outPath string) {
+	data, err := os.ReadFile(baselinePath)
+	check(err)
+	var base benchReport
+	check(json.Unmarshal(data, &base))
+	if abs(outPath) == abs(baselinePath) {
+		// -out defaults to BENCH.json; never clobber the baseline being
+		// compared against (a silent re-baseline would defeat the gate).
+		outPath = "BENCH.current.json"
+		fmt.Printf("note: writing current sweep to %s to preserve the baseline\n", outPath)
+	}
+
+	benchJSON(outPath)
+	cur, err := os.ReadFile(outPath)
+	check(err)
+	var now benchReport
+	check(json.Unmarshal(cur, &now))
+
+	type entry struct {
+		base, now float64
+		seen      bool
+	}
+	tracked := make(map[string]*entry)
+	key := func(kind, name, cfg string) string { return kind + ":" + name + ":" + cfg }
+	add := func(k string, v float64) {
+		// Duplicate rows (e.g. the two fabrics of one solution sharing a
+		// name) accumulate, mirroring fill() below, so both sides of the
+		// comparison count them the same way.
+		if e, ok := tracked[k]; ok {
+			e.base += v
+		} else {
+			tracked[k] = &entry{base: v}
+		}
+	}
+	for _, d := range base.Designs {
+		add(key("flow", d.Design, d.Cfg), d.WallSeconds)
+	}
+	for _, d := range base.Implement {
+		add(key("pnr", d.Design, d.Fabric), d.WallSeconds)
+	}
+	for _, d := range base.Attacks {
+		add(key("attack", d.Target, ""), d.WallSeconds)
+	}
+	fill := func(k string, v float64) {
+		if e, ok := tracked[k]; ok {
+			e.now += v
+			e.seen = true
+		}
+	}
+	for _, d := range now.Designs {
+		fill(key("flow", d.Design, d.Cfg), d.WallSeconds)
+	}
+	for _, d := range now.Implement {
+		fill(key("pnr", d.Design, d.Fabric), d.WallSeconds)
+	}
+	for _, d := range now.Attacks {
+		fill(key("attack", d.Target, ""), d.WallSeconds)
+	}
+
+	// Machine-speed factor: the lower median per-kernel ratio. The lower
+	// median biases against masking (a regressed kernel's own large
+	// ratio cannot drag the factor up past the suite's midpoint), and
+	// tiny tracked sets — where any median IS the regressed kernel —
+	// fall back to the same-machine assumption of factor 1.
+	var ratios []float64
+	for _, e := range tracked {
+		if e.seen && e.base > 0 {
+			ratios = append(ratios, e.now/e.base)
+		}
+	}
+	factor := 1.0
+	if len(ratios) >= 5 {
+		sort.Float64s(ratios)
+		factor = ratios[(len(ratios)-1)/2]
+	}
+
+	bad := 0
+	fmt.Printf("machine-speed factor (median ratio): %.2fx\n", factor)
+	fmt.Printf("%-28s %10s %10s %7s\n", "kernel", "baseline", "current", "ratio")
+	for _, k := range sortedEntryKeys(tracked) {
+		e := tracked[k]
+		ratio := 0.0
+		if e.base > 0 {
+			ratio = e.now / e.base
+		}
+		mark := ""
+		switch {
+		case !e.seen:
+			mark = "  << MISSING from current sweep"
+			bad++
+		case e.now > 2*factor*e.base && e.now-factor*e.base > minRegressionSeconds:
+			mark = "  << REGRESSION"
+			bad++
+		}
+		fmt.Printf("%-28s %9.3fs %9.3fs %6.2fx%s\n", k, e.base, e.now, ratio, mark)
+	}
+	if bad > 0 {
+		check(fmt.Errorf("%d tracked kernels regressed by more than 2x or went missing", bad))
+	}
+	fmt.Println("no >2x wall-time regressions against", baselinePath)
+}
+
+// abs best-effort-normalizes a path for the baseline-clobber check.
+func abs(p string) string {
+	a, err := filepath.Abs(p)
+	if err != nil {
+		return p
+	}
+	return a
+}
+
+func sortedEntryKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

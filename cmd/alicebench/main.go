@@ -8,7 +8,9 @@
 //	alicebench -table 2 -cfg 2     # Table 2 under cfg2 (96 I/O, 1 eFPGA)
 //	alicebench -figure 4           # Fig. 4: GCD area comparison
 //	alicebench -attack             # SAT-attack cost vs key size (Sec. 2)
+//	alicebench -arch [-design gcd] # fabric-family sweep: security vs overhead
 //	alicebench -json               # benchmark sweep -> BENCH.json (perf trajectory)
+//	alicebench -compare BENCH.json # fail on >2x kernel wall-time regression
 package main
 
 import (
@@ -27,12 +29,22 @@ func main() {
 		figure  = flag.Int("figure", 0, "regenerate a paper figure (4)")
 		cfgNum  = flag.Int("cfg", 1, "configuration for table 2")
 		attack  = flag.Bool("attack", false, "run the SAT-attack scaling experiment")
-		only    = flag.String("design", "", "restrict table 2 to one design")
+		only    = flag.String("design", "", "restrict table 2 (or -arch, default gcd) to one design")
+		archSw  = flag.Bool("arch", false, "sweep fabric families and report security vs overhead per family")
 		jsonOut = flag.Bool("json", false, "run the benchmark sweep and write a machine-readable report")
 		outPath = flag.String("out", "BENCH.json", "output path for -json")
+		compare = flag.String("compare", "", "baseline BENCH.json: rerun the sweep and fail on >2x wall-time regression")
 	)
 	flag.Parse()
 	switch {
+	case *compare != "":
+		compareBench(*compare, *outPath)
+	case *archSw:
+		d := *only
+		if d == "" {
+			d = "gcd"
+		}
+		runArchSweep(os.Stdout, d)
 	case *jsonOut:
 		benchJSON(*outPath)
 	case *table == 1:

@@ -28,10 +28,24 @@ import (
 // An Engine is safe for concurrent use: each run only reads the
 // configuration and shares the (internally locked) cache.
 type Engine struct {
-	cfg         *Config
-	parallelism int
-	observer    Observer
-	cache       *CharacterizationCache
+	cfg          *Config
+	parallelism  int
+	observer     Observer
+	cache        *CharacterizationCache
+	archSpace    []ArchParams
+	archSpaceSet bool
+}
+
+// effectiveConfig returns the configuration runs actually use: the
+// engine's config, with WithArchSpace (when given) overlaid on a copy
+// so the caller's Config is never mutated.
+func (e *Engine) effectiveConfig() *Config {
+	if !e.archSpaceSet {
+		return e.cfg
+	}
+	c := *e.cfg
+	c.ArchSpace = e.archSpace
+	return &c
 }
 
 // Option configures an Engine.
@@ -75,6 +89,23 @@ func WithCache(c *CharacterizationCache) Option {
 	return func(e *Engine) { e.cache = c }
 }
 
+// WithArchSpace sets the engine's architecture space: every cluster is
+// characterized against each family (on top of the width sweep) and
+// selection picks across the whole (arch, W) grid. The families are
+// stored on the engine and overlaid on the configuration at run time,
+// so the option composes in any order with WithConfig and never
+// mutates the caller's Config. No families means the configuration's
+// own ArchSpace (or the paper's single default family).
+func WithArchSpace(families ...ArchParams) Option {
+	return func(e *Engine) {
+		if len(families) == 0 {
+			return // keep the configuration's own ArchSpace, as documented
+		}
+		e.archSpace = append([]ArchParams(nil), families...)
+		e.archSpaceSet = true
+	}
+}
+
 // NewEngine builds an Engine from options.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
@@ -115,7 +146,7 @@ func (e *Engine) runOptions() core.RunOptions {
 // stage-attributed errors; hard failures — bad configuration,
 // elaboration errors, context cancellation — are returned as the error.
 func (e *Engine) Run(ctx context.Context, ast *verilog.Design) (*Report, error) {
-	return core.RunPipeline(ctx, ast, e.cfg, e.runOptions())
+	return core.RunPipeline(ctx, ast, e.effectiveConfig(), e.runOptions())
 }
 
 // RunSource parses Verilog text and executes the complete flow.
@@ -156,7 +187,7 @@ func (e *Engine) Cluster(ctx context.Context, fr *FilterResult) ([]Cluster, erro
 // to the engine's parallelism and through its cache when one is
 // attached. The result order matches the cluster order.
 func (e *Engine) Characterize(ctx context.Context, d *ElaboratedDesign, clusters []Cluster) ([]FabricCandidate, error) {
-	return core.CharacterizeClusters(ctx, d, clusters, e.cfg, core.CharacterizeOptions{
+	return core.CharacterizeClusters(ctx, d, clusters, e.effectiveConfig(), core.CharacterizeOptions{
 		Parallelism: e.parallelism,
 		Cache:       e.cache,
 	})
@@ -232,7 +263,7 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []BatchJob) []BatchResult {
 				}
 				cfg := job.Config
 				if cfg == nil {
-					cfg = e.cfg
+					cfg = e.effectiveConfig()
 				}
 				ast := job.AST
 				if ast == nil {

@@ -411,3 +411,75 @@ func TestReportJSON(t *testing.T) {
 		t.Errorf("diagnostic JSON missing stage attribution:\n%s", iout)
 	}
 }
+
+// TestArchSpaceEngine drives the engine across an architecture space:
+// the candidate grid is cluster-major/family-minor, families select
+// different winning fabrics than the default space, and a cache shared
+// across two different sweeps serves each (cluster, family) pair its
+// own entry (no aliasing).
+func TestArchSpaceEngine(t *testing.T) {
+	ctx := context.Background()
+	bm, _ := alice.BenchmarkByName("gcd")
+
+	run := func(space []alice.ArchParams, cache *alice.CharacterizationCache) *alice.Report {
+		cfg := alice.Cfg1()
+		cfg.SelectedOutputs = bm.SelectedOutputs
+		opts := []alice.Option{alice.WithConfig(cfg), alice.WithArchSpace(space...)}
+		if cache != nil {
+			opts = append(opts, alice.WithCache(cache))
+		}
+		eng := alice.NewEngine(opts...)
+		rep, err := eng.RunSource(ctx, bm.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Err != nil {
+			t.Fatalf("flow: %v", rep.Err)
+		}
+		return rep
+	}
+
+	repDefault := run(nil, nil)
+	spaceK35 := []alice.ArchParams{{LUTSize: 3}, {LUTSize: 5}}
+	repK35 := run(spaceK35, nil)
+
+	// Grid shape: clusters x families, cluster-major.
+	if got, want := len(repK35.Selection.Candidates), repK35.C*2; got != want {
+		t.Fatalf("candidate grid has %d entries, want %d", got, want)
+	}
+	for i, c := range repK35.Selection.Candidates {
+		wantK := spaceK35[i%2].LUTSize
+		if c.Family.LUTSize != wantK {
+			t.Fatalf("candidate %d characterized at K=%d, want %d", i, c.Family.LUTSize, wantK)
+		}
+	}
+
+	// Different spaces must be able to pick different winners.
+	if repDefault.FabricSizes == repK35.FabricSizes {
+		t.Errorf("default and K{3,5} spaces picked the same fabrics %q", repDefault.FabricSizes)
+	}
+
+	// A shared cache across two different sweeps: the second sweep of a
+	// superset space hits the overlapping families and still matches the
+	// uncached result exactly.
+	cache := alice.NewCharacterizationCache()
+	first := run(spaceK35, cache)
+	_, misses0, _ := cache.Stats()
+	superset := []alice.ArchParams{{LUTSize: 3}, {LUTSize: 5}, {LUTSize: 6}}
+	second := run(superset, cache)
+	hits, misses, _ := cache.Stats()
+	if hits == 0 {
+		t.Error("superset sweep never hit the cache for overlapping families")
+	}
+	if newMisses := misses - misses0; newMisses != second.C {
+		t.Errorf("superset sweep missed %d times, want %d (one per cluster for the new family)", newMisses, second.C)
+	}
+	uncached := run(superset, nil)
+	if uncached.FabricSizes != second.FabricSizes || uncached.S != second.S {
+		t.Errorf("cached sweep selected %q (|S|=%d), uncached %q (|S|=%d)",
+			second.FabricSizes, second.S, uncached.FabricSizes, uncached.S)
+	}
+	if first.FabricSizes != repK35.FabricSizes {
+		t.Errorf("cached K{3,5} sweep selected %q, uncached %q", first.FabricSizes, repK35.FabricSizes)
+	}
+}

@@ -27,7 +27,7 @@ type Result struct {
 	// Iterations is the number of distinguishing input patterns needed.
 	Iterations int
 	// Masks is the recovered configuration (per LUT node id).
-	Masks map[int32]uint16
+	Masks map[int32]uint64
 	// Solver statistics.
 	Conflicts    int
 	Decisions    int
@@ -69,7 +69,7 @@ func newCombView(ln *techmap.LUTNetwork) *combView {
 }
 
 // eval computes the combinational outputs for given inputs and masks.
-func (v *combView) eval(inputs []bool, masks map[int32]uint16) []bool {
+func (v *combView) eval(inputs []bool, masks map[int32]uint64) []bool {
 	val := make([]bool, len(v.ln.Nodes))
 	for i, id := range v.ins {
 		val[id] = inputs[i]
@@ -280,12 +280,12 @@ func RecoverBitstream(ln *techmap.LUTNetwork, maxIters int, seed int64) (*Result
 }
 
 // readMasks converts a key model into per-LUT masks.
-func readMasks(v *combView, s *sat.Solver, key []sat.Lit) map[int32]uint16 {
-	masks := make(map[int32]uint16, len(v.luts))
+func readMasks(v *combView, s *sat.Solver, key []sat.Lit) map[int32]uint64 {
+	masks := make(map[int32]uint64, len(v.luts))
 	kpos := 0
 	for _, id := range v.luts {
 		rows := 1 << uint(len(v.ln.Nodes[id].In))
-		var m uint16
+		var m uint64
 		for idx := 0; idx < rows; idx++ {
 			if s.ValueOf(key[kpos+idx].Var()) {
 				m |= 1 << uint(idx)
@@ -299,7 +299,7 @@ func readMasks(v *combView, s *sat.Solver, key []sat.Lit) map[int32]uint16 {
 
 // VerifyKey checks a recovered configuration against the oracle over
 // random scan patterns; it returns the number of mismatching patterns.
-func VerifyKey(ln *techmap.LUTNetwork, masks map[int32]uint16, patterns int, seed int64) int {
+func VerifyKey(ln *techmap.LUTNetwork, masks map[int32]uint64, patterns int, seed int64) int {
 	v := newCombView(ln)
 	r := rand.New(rand.NewSource(seed))
 	bad := 0

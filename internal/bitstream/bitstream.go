@@ -127,6 +127,7 @@ func Generate(pl *place.Placement, rt *route.Result) (*Bits, error) {
 	p := pl.Pack
 	ln := p.Net
 	selBits := bleSelBits(a)
+	sels := make([]uint64, a.LUTSize) // reused per slot: this loop is a tracked hot path
 	for y := 0; y < a.W; y++ {
 		for x := 0; x < a.W; x++ {
 			ci, used := siteCLB[place.XY{X: x, Y: y}]
@@ -137,8 +138,10 @@ func Generate(pl *place.Placement, rt *route.Result) (*Bits, error) {
 				}
 				ble := p.CLBs[ci].BLEs[slot]
 				clb := &p.CLBs[ci]
-				var mask uint16
-				var sels [4]uint64
+				var mask uint64
+				for i := range sels {
+					sels[i] = 0
+				}
 				reg := uint64(0)
 				byp := uint64(0)
 				if ble.LUT >= 0 {
@@ -166,7 +169,7 @@ func Generate(pl *place.Placement, rt *route.Result) (*Bits, error) {
 						sels[0] = sel
 					}
 				}
-				c.writeUint(uint64(mask), 1<<uint(a.LUTSize))
+				c.writeUint(mask, 1<<uint(a.LUTSize))
 				c.writeUint(reg, 1)
 				c.writeUint(byp, 1)
 				for i := 0; i < a.LUTSize; i++ {

@@ -13,7 +13,7 @@ func PadName(tile, pin int) string { return fmt.Sprintf("pad%d_%d", tile, pin) }
 
 // bleConfig is the decoded configuration of one BLE.
 type bleConfig struct {
-	mask uint16
+	mask uint64
 	reg  bool
 	byp  bool
 	sels []uint64
@@ -58,7 +58,7 @@ func Decode(g *fabric.RRGraph, bits *Bits) (*techmap.LUTNetwork, error) {
 	c := &cursor{bits: bits}
 	d := &decoder{
 		g: g, a: a,
-		out:     &techmap.LUTNetwork{Name: "decoded"},
+		out:     &techmap.LUTNetwork{Name: "decoded", K: a.LUTSize},
 		piOf:    make(map[int]int32),
 		ffNode:  make(map[bleKey]int32),
 		lutNode: make(map[bleKey]int32),
@@ -73,7 +73,7 @@ func Decode(g *fabric.RRGraph, bits *Bits) (*techmap.LUTNetwork, error) {
 			arr := make([]bleConfig, a.BLEsPerCLB)
 			for slot := 0; slot < a.BLEsPerCLB; slot++ {
 				var bc bleConfig
-				bc.mask = uint16(c.readUint(1 << uint(a.LUTSize)))
+				bc.mask = c.readUint(1 << uint(a.LUTSize))
 				bc.reg = c.readUint(1) == 1
 				bc.byp = c.readUint(1) == 1
 				for i := 0; i < a.LUTSize; i++ {

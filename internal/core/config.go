@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"alice/internal/fabric"
 	"alice/internal/yamlcfg"
 )
 
@@ -66,6 +67,25 @@ type Config struct {
 	// MaxClusters aborts cluster identification beyond this many
 	// candidate clusters (safety valve; 0 = unlimited).
 	MaxClusters int
+	// ArchSpace lists the fabric families characterization explores:
+	// every cluster is characterized against each family (and the
+	// [MinFabric, MaxFabric] width range within it), and selection picks
+	// across the whole (arch, W) grid. Empty means the paper's single
+	// 4-LUT, 4-BLE family.
+	ArchSpace []fabric.Params
+}
+
+// archSpace returns the normalized architecture space (defaulting to
+// the paper's single family).
+func (c *Config) archSpace() []fabric.Params {
+	if len(c.ArchSpace) == 0 {
+		return []fabric.Params{fabric.DefaultParams()}
+	}
+	out := make([]fabric.Params, len(c.ArchSpace))
+	for i, p := range c.ArchSpace {
+		out[i] = p.Normalized()
+	}
+	return out
 }
 
 // DefaultConfig mirrors the paper's experimental setup (cfg1).
@@ -114,6 +134,11 @@ func Cfg2() *Config {
 //	  full_pnr: false
 //	  implement_winner: true
 //	  seed: 1
+//	arch_space:
+//	  lut_sizes: [4, 5]        # K values to explore
+//	  bles_per_clb: [4, 8]     # N values to explore (cartesian with K)
+//	  clb_inputs: auto         # auto = ceil(K*(N+1)/2), or a fixed integer
+//	  channel_width: auto      # auto = width-derived, or a fixed integer
 func LoadConfig(src string) (*Config, error) {
 	v, err := yamlcfg.Parse(src)
 	if err != nil {
@@ -152,15 +177,102 @@ func LoadConfig(src string) (*Config, error) {
 		cfg.ImplementWinner = yamlcfg.GetBool(f, "implement_winner", cfg.ImplementWinner)
 		cfg.Seed = int64(yamlcfg.GetInt(f, "seed", int(cfg.Seed)))
 	}
+	if a, ok := yamlcfg.GetMap(m["arch_space"]); ok {
+		space, err := parseArchSpace(a)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ArchSpace = space
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return cfg, nil
 }
 
+// parseArchSpace expands an arch_space block into the cartesian product
+// of its lut_sizes and bles_per_clb lists.
+func parseArchSpace(a map[string]yamlcfg.Value) ([]fabric.Params, error) {
+	luts, err := strictIntList(a, "lut_sizes", 4)
+	if err != nil {
+		return nil, err
+	}
+	bles, err := strictIntList(a, "bles_per_clb", 4)
+	if err != nil {
+		return nil, err
+	}
+	intPolicy := func(key string) (int, error) {
+		switch v := a[key].(type) {
+		case nil:
+			return 0, nil
+		case int64:
+			return int(v), nil
+		case string:
+			if v == "auto" {
+				return 0, nil
+			}
+		}
+		return 0, fmt.Errorf("core: arch_space.%s must be auto or an integer", key)
+	}
+	clbIn, err := intPolicy("clb_inputs")
+	if err != nil {
+		return nil, err
+	}
+	cw, err := intPolicy("channel_width")
+	if err != nil {
+		return nil, err
+	}
+	var space []fabric.Params
+	for _, k := range luts {
+		for _, n := range bles {
+			p := fabric.Params{LUTSize: k, BLEsPerCLB: n, CLBInputs: clbIn, ChannelWidth: cw}
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			space = append(space, p.Normalized())
+		}
+	}
+	return space, nil
+}
+
+// strictIntList reads an integer list, rejecting malformed entries
+// instead of silently falling back to the default: a user who wrote
+// lut_sizes: ["5"] asked for a K=5 sweep and must not quietly get the
+// K=4 family.
+func strictIntList(m map[string]yamlcfg.Value, key string, def int) ([]int, error) {
+	raw, present := m[key]
+	if !present || raw == nil {
+		return []int{def}, nil
+	}
+	out := yamlcfg.GetIntList(m, key)
+	want := 1
+	if l, ok := raw.([]yamlcfg.Value); ok {
+		want = len(l)
+	}
+	if len(out) != want || want == 0 {
+		return nil, fmt.Errorf("core: arch_space.%s must be a non-empty list of integers", key)
+	}
+	for _, v := range out {
+		// An explicit 0 must not silently normalize to the default
+		// family: the user typed a value, so it must be a real one.
+		if v <= 0 {
+			return nil, fmt.Errorf("core: arch_space.%s values must be positive, got %d", key, v)
+		}
+	}
+	return out, nil
+}
+
+// Key returns a canonical fingerprint of the whole configuration. It is
+// rendered by reflection over every field (%+v), so a newly added field
+// is covered automatically and two configs differing only in it can
+// never alias — the bug class TestConfigKeyCoversAllFields guards.
+func (c *Config) Key() string { return fmt.Sprintf("%+v", *c) }
+
 // characterizationFingerprint keys the configuration fields that affect
 // per-cluster characterization (and nothing else), so cached fabrics
 // are shared across configs that differ only in selection budgets.
+// Fields are appended per family by CharacterizeClusters, so two
+// different arch-space sweeps never alias in the cache.
 func (c *Config) characterizationFingerprint() string {
 	return fmt.Sprintf("w[%d,%d]|pnr=%t|seed=%d", c.MinFabric, c.MaxFabric, c.FullPnR, c.Seed)
 }
@@ -178,6 +290,11 @@ func (c *Config) Validate() error {
 	}
 	if c.Alpha < 0 || c.Beta < 0 || c.Alpha+c.Beta == 0 {
 		return fmt.Errorf("core: alpha/beta must be non-negative and not both zero")
+	}
+	for _, p := range c.ArchSpace {
+		if err := p.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

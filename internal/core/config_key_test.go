@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"alice/internal/fabric"
+)
+
+// perturbField returns a value different from v, for any field type a
+// Config is likely to grow. Failing loudly on an unsupported kind is
+// the point: a future field of a new kind must be made perturbable here
+// rather than silently escaping the aliasing guard.
+func perturbField(t *testing.T, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 1)
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	case reflect.Slice:
+		elem := reflect.New(v.Type().Elem()).Elem()
+		if elem.Kind() == reflect.Struct || elem.Kind() == reflect.String ||
+			elem.Kind() >= reflect.Int && elem.Kind() <= reflect.Float64 {
+			perturbField(t, elem)
+		}
+		v.Set(reflect.Append(v, elem))
+	case reflect.Struct:
+		// Perturb the first perturbable field of the struct.
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).CanSet() {
+				perturbField(t, v.Field(i))
+				return
+			}
+		}
+		t.Fatalf("struct %s has no settable field to perturb", v.Type())
+	default:
+		t.Fatalf("config field kind %s is not covered by perturbField; "+
+			"teach it how so Config.Key() stays alias-free", v.Kind())
+	}
+}
+
+// TestConfigKeyCoversAllFields guards the cache-aliasing bug class
+// around Config.Key(): for EVERY field of Config — including any field
+// added after this test was written — two configs differing only in
+// that field must produce distinct keys.
+func TestConfigKeyCoversAllFields(t *testing.T) {
+	base := DefaultConfig()
+	baseKey := base.Key()
+	rt := reflect.TypeOf(*base)
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		c := *base
+		// Deep-copy slices so the perturbation cannot alias base.
+		rv := reflect.ValueOf(&c).Elem()
+		f := rv.Field(i)
+		if f.Kind() == reflect.Slice && !f.IsNil() {
+			cp := reflect.MakeSlice(f.Type(), f.Len(), f.Len())
+			reflect.Copy(cp, f)
+			f.Set(cp)
+		}
+		perturbField(t, f)
+		if got := c.Key(); got == baseKey {
+			t.Errorf("Config.Key() does not cover field %s: %q", name, got)
+		}
+	}
+}
+
+// TestConfigKeyArchSpaceDistinct pins the concrete aliasing bug the
+// refactor fixed: two configs differing only in their architecture
+// spaces must not share characterization-cache keys.
+func TestConfigKeyArchSpaceDistinct(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.ArchSpace = []fabric.Params{{LUTSize: 5}}
+	if a.Key() == b.Key() {
+		t.Fatal("configs differing only in ArchSpace share a key")
+	}
+}
+
+// TestCacheKeysPerFamily checks that the characterization cache stores
+// one entry per (cluster, family) — family sweeps never alias.
+func TestCacheKeysPerFamily(t *testing.T) {
+	cache := NewCharacterizationCache()
+	key := func(fam fabric.Params) string {
+		return "cluster\x00design\x00" + fmt.Sprintf("%+v", fam.Normalized())
+	}
+	k4 := key(fabric.Params{LUTSize: 4})
+	k5 := key(fabric.Params{LUTSize: 5})
+	if k4 == k5 {
+		t.Fatal("family cache keys alias")
+	}
+	cache.store(k4, nil, nil)
+	if _, _, ok := cache.lookup(k5); ok {
+		t.Fatal("lookup under a different family hit the K=4 entry")
+	}
+	if _, _, ok := cache.lookup(k4); !ok {
+		t.Fatal("lookup under the same family missed")
+	}
+}

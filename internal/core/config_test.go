@@ -149,3 +149,66 @@ func TestFlowErrorWrapping(t *testing.T) {
 		t.Error("stageErr(nil) != nil")
 	}
 }
+
+// TestLoadConfigArchSpace parses an arch_space block and checks the
+// cartesian expansion, the policy fields, and the rejection of bad
+// values.
+func TestLoadConfigArchSpace(t *testing.T) {
+	cfg, err := LoadConfig(`
+efpga:
+  max_io_pins: 48
+arch_space:
+  lut_sizes: [3, 5]
+  bles_per_clb: [4, 8]
+  clb_inputs: auto
+  channel_width: 20
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.ArchSpace) != 4 {
+		t.Fatalf("|arch space| = %d, want 4", len(cfg.ArchSpace))
+	}
+	want := []struct{ k, n int }{{3, 4}, {3, 8}, {5, 4}, {5, 8}}
+	for i, w := range want {
+		p := cfg.ArchSpace[i]
+		if p.LUTSize != w.k || p.BLEsPerCLB != w.n {
+			t.Errorf("family %d = K%dN%d, want K%dN%d", i, p.LUTSize, p.BLEsPerCLB, w.k, w.n)
+		}
+		if p.ChannelWidth != 20 {
+			t.Errorf("family %d channel width = %d, want 20", i, p.ChannelWidth)
+		}
+		// auto clb_inputs follows the VPR rule.
+		if wantIn := (w.k*(w.n+1) + 1) / 2; p.CLBInputs != wantIn {
+			t.Errorf("family %d CLB inputs = %d, want %d", i, p.CLBInputs, wantIn)
+		}
+	}
+
+	// A single scalar is a one-element list; omitted keys default to 4.
+	cfg, err = LoadConfig("arch_space:\n  lut_sizes: 5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.ArchSpace) != 1 || cfg.ArchSpace[0].LUTSize != 5 || cfg.ArchSpace[0].BLEsPerCLB != 4 {
+		t.Fatalf("scalar arch space = %+v", cfg.ArchSpace)
+	}
+
+	// Out-of-range LUT sizes and bad policies are rejected.
+	if _, err := LoadConfig("arch_space:\n  lut_sizes: [9]\n"); err == nil {
+		t.Error("lut_sizes: [9] accepted")
+	}
+	if _, err := LoadConfig("arch_space:\n  clb_inputs: sometimes\n"); err == nil {
+		t.Error("clb_inputs: sometimes accepted")
+	}
+}
+
+// TestLoadConfigArchSpaceRejectsZero: an explicit 0 must not silently
+// normalize to the default family.
+func TestLoadConfigArchSpaceRejectsZero(t *testing.T) {
+	if _, err := LoadConfig("arch_space:\n  lut_sizes: [0, 5]\n"); err == nil {
+		t.Error("lut_sizes: [0, 5] accepted")
+	}
+	if _, err := LoadConfig("arch_space:\n  bles_per_clb: [-1]\n"); err == nil {
+		t.Error("bles_per_clb: [-1] accepted")
+	}
+}

@@ -7,8 +7,11 @@ import (
 	"strings"
 	"sync"
 
+	"alice/internal/fabric"
+	"alice/internal/netlist"
 	"alice/internal/openfpga"
 	"alice/internal/rtl"
+	"alice/internal/techmap"
 	"alice/internal/verilog"
 )
 
@@ -78,11 +81,18 @@ func BuildClusterWrapper(c *Cluster, name string) *verilog.Module {
 	return m
 }
 
-// FabricCandidate couples a cluster with its characterization outcome.
+// FabricCandidate couples a (cluster, fabric family) pair with its
+// characterization outcome. With a single-family architecture space
+// there is one candidate per cluster, as in the paper; a multi-family
+// space yields one candidate per cluster per family, and selection
+// picks across the whole grid.
 type FabricCandidate struct {
 	Cluster Cluster
-	Fabric  *openfpga.Fabric // nil when invalid
-	Err     error            // why characterization failed
+	// Family is the fabric family the cluster was characterized
+	// against (normalized).
+	Family fabric.Params
+	Fabric *openfpga.Fabric // nil when invalid
+	Err    error            // why characterization failed
 	// Score is the utilization reward used by the default ranking;
 	// Slack is Eq. 1 exactly as printed in the paper (see select.go).
 	Score float64
@@ -95,8 +105,9 @@ func (fc *FabricCandidate) Valid() bool { return fc.Fabric != nil }
 // CharacterizeOptions tunes the characterization stage.
 type CharacterizeOptions struct {
 	// Parallelism is the worker-pool width; values below 1 mean
-	// sequential. Clusters are independent, so any width produces the
-	// same candidates in the same order.
+	// sequential. The (cluster, family) characterizations are
+	// independent, so any width produces the same candidates in the
+	// same order.
 	Parallelism int
 	// Cache, when non-nil, memoizes per-cluster characterization across
 	// runs and configurations (e.g. characterize once, select under
@@ -109,12 +120,17 @@ type CharacterizeOptions struct {
 }
 
 // CharacterizeClusters runs the eFPGA oracle (CreateEFPGA of Algorithm
-// 3) on every candidate cluster, fanning the independent clusters out
-// over a worker pool. The result order matches the cluster order
-// regardless of parallelism. It returns the context's error if the run
-// is cancelled.
+// 3) on every candidate cluster, against every fabric family of the
+// configuration's architecture space, fanning the independent
+// (cluster, family) pairs out over a worker pool. The result is
+// cluster-major, family-minor (candidate i*len(space)+f is cluster i
+// under family f) regardless of parallelism. Each cluster wrapper is
+// synthesized once and re-mapped per family, since only the LUT size
+// changes the mapping. It returns the context's error if the run is
+// cancelled.
 func CharacterizeClusters(ctx context.Context, d *rtl.Design, clusters []Cluster, cfg *Config, co CharacterizeOptions) ([]FabricCandidate, error) {
-	out := make([]FabricCandidate, len(clusters))
+	space := cfg.archSpace()
+	out := make([]FabricCandidate, len(clusters)*len(space))
 	opts := openfpga.Options{
 		MinW:        cfg.MinFabric,
 		MaxW:        cfg.MaxFabric,
@@ -135,46 +151,104 @@ func CharacterizeClusters(ctx context.Context, d *rtl.Design, clusters []Cluster
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(clusters) {
-		workers = len(clusters)
+	if workers > len(out) {
+		workers = len(out)
+	}
+
+	// The work unit is one (cluster, family) slot, so family-heavy
+	// sweeps over few clusters still fill the pool. The family-
+	// independent synthesis of each cluster wrapper runs once, guarded
+	// per cluster, and its result is shared by every family slot.
+	synths := make([]struct {
+		once sync.Once
+		n    *netlist.Netlist
+		err  error
+	}, len(clusters))
+	synthesize := func(i int) (*netlist.Netlist, error) {
+		s := &synths[i]
+		s.once.Do(func() {
+			c := clusters[i]
+			wrapperName := fmt.Sprintf("alice_cluster_%d", i)
+			wrapper := BuildClusterWrapper(&c, wrapperName)
+			ast := &verilog.Design{Modules: append(append([]*verilog.Module(nil), d.AST.Modules...), wrapper)}
+			s.n, s.err = openfpga.Synthesize(ctx, ast, wrapperName, opts)
+		})
+		return s.n, s.err
+	}
+	// Technology mapping depends only on the family's LUT size, so
+	// families sharing a K reuse one mapped network per cluster (the
+	// downstream width search never mutates it).
+	distinctK := make(map[int]int) // K -> dense index
+	for _, fam := range space {
+		k := fam.Normalized().LUTSize
+		if _, ok := distinctK[k]; !ok {
+			distinctK[k] = len(distinctK)
+		}
+	}
+	mapped := make([]struct {
+		once sync.Once
+		ln   *techmap.LUTNetwork
+		err  error
+	}, len(clusters)*len(distinctK))
+	mapNetlist := func(i, k int) (*techmap.LUTNetwork, error) {
+		m := &mapped[i*len(distinctK)+distinctK[k]]
+		m.once.Do(func() {
+			n, err := synthesize(i)
+			if err != nil {
+				m.err = err
+				return
+			}
+			m.ln, m.err = openfpga.MapNetlist(n, fabric.Params{LUTSize: k})
+		})
+		return m.ln, m.err
 	}
 
 	var (
 		mu   sync.Mutex
 		done int
 	)
-	one := func(i int) {
+	one := func(slot int) {
+		i, fam := slot/len(space), space[slot%len(space)]
 		c := clusters[i]
-		wrapperName := fmt.Sprintf("alice_cluster_%d", i)
 		key := ""
 		if co.Cache != nil {
-			key = c.Key() + "\x00" + fp
+			// The family parameters are part of the key: two arch-space
+			// sweeps over the same design must not alias.
+			key = c.Key() + "\x00" + fp + "\x00" + fmt.Sprintf("%+v", fam)
 			if fab, err, ok := co.Cache.lookup(key); ok {
-				out[i] = FabricCandidate{Cluster: c, Fabric: fab, Err: err}
+				out[slot] = FabricCandidate{Cluster: c, Family: fam, Fabric: fab, Err: err}
 				return
 			}
 		}
-		wrapper := BuildClusterWrapper(&c, wrapperName)
-		ast := &verilog.Design{Modules: append(append([]*verilog.Module(nil), d.AST.Modules...), wrapper)}
-		fab, err := openfpga.Characterize(ctx, ast, wrapperName, c.Pins, opts)
+		n, err := synthesize(i)
+		var fab *openfpga.Fabric
+		if err == nil {
+			var ln *techmap.LUTNetwork
+			ln, err = mapNetlist(i, fam.Normalized().LUTSize)
+			if err == nil {
+				famOpts := opts
+				famOpts.Params = fam
+				fab, err = openfpga.CharacterizeLUTs(ctx, n, ln, c.Pins, famOpts)
+			}
+		}
 		if ctx.Err() != nil {
 			return // do not cache or report a cancellation artifact
 		}
 		if co.Cache != nil {
 			co.Cache.store(key, fab, err)
 		}
-		out[i] = FabricCandidate{Cluster: c, Fabric: fab, Err: err}
+		out[slot] = FabricCandidate{Cluster: c, Family: fam, Fabric: fab, Err: err}
 	}
 
 	if workers <= 1 {
-		for i := range clusters {
+		for slot := range out {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			one(i)
+			one(slot)
 			if co.Progress != nil {
 				done++
-				co.Progress(done, len(clusters))
+				co.Progress(done, len(out))
 			}
 		}
 	} else {
@@ -184,22 +258,22 @@ func CharacterizeClusters(ctx context.Context, d *rtl.Design, clusters []Cluster
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range jobs {
+				for slot := range jobs {
 					if ctx.Err() != nil {
 						continue // drain
 					}
-					one(i)
+					one(slot)
 					if co.Progress != nil {
 						mu.Lock()
 						done++
-						co.Progress(done, len(clusters))
+						co.Progress(done, len(out))
 						mu.Unlock()
 					}
 				}
 			}()
 		}
-		for i := range clusters {
-			jobs <- i
+		for slot := range out {
+			jobs <- slot
 		}
 		close(jobs)
 		wg.Wait()

@@ -342,7 +342,7 @@ func (r *Report) Summary() string {
 			r.FabricSizes, r.Solution.Score, r.Redacted)
 		for _, f := range r.Solution.Fabrics {
 			fmt.Fprintf(&b, "    %s: %s pins=%d IOUtil=%.2f CLBUtil=%.2f key=%d bits\n",
-				f.Fabric.Arch.Name(), f.Cluster.String(), f.Cluster.Pins,
+				f.Fabric.Arch.FullName(), f.Cluster.String(), f.Cluster.Pins,
 				f.Fabric.IOUtil, f.Fabric.CLBUtil, f.Fabric.ConfigBits())
 		}
 	}

@@ -25,6 +25,11 @@ type reportJSON struct {
 
 	Solution *solutionJSON `json:"solution,omitempty"`
 
+	// Archs summarizes the explored architecture space, one row per
+	// fabric family (omitted for the default single-family space when
+	// no selection artifact is available).
+	Archs []archJSON `json:"arch_space,omitempty"`
+
 	ErrorStage   string `json:"error_stage,omitempty"`
 	ErrorMessage string `json:"error,omitempty"`
 }
@@ -35,12 +40,31 @@ type solutionJSON struct {
 }
 
 type fabricJSON struct {
-	Arch       string   `json:"arch"`
-	Instances  []string `json:"instances"`
-	Pins       int      `json:"pins"`
-	IOUtil     float64  `json:"io_util"`
-	CLBUtil    float64  `json:"clb_util"`
-	ConfigBits int      `json:"config_bits"`
+	Arch         string   `json:"arch"`
+	Family       string   `json:"family"`
+	LUTSize      int      `json:"lut_size"`
+	BLEsPerCLB   int      `json:"bles_per_clb"`
+	CLBInputs    int      `json:"clb_inputs"`
+	ChannelWidth int      `json:"channel_width"`
+	Instances    []string `json:"instances"`
+	Pins         int      `json:"pins"`
+	IOUtil       float64  `json:"io_util"`
+	CLBUtil      float64  `json:"clb_util"`
+	ConfigBits   int      `json:"config_bits"`
+}
+
+// archJSON is the per-family row of an architecture-space run.
+type archJSON struct {
+	Family      string `json:"family"`
+	LUTSize     int    `json:"lut_size"`
+	BLEsPerCLB  int    `json:"bles_per_clb"`
+	Candidates  int    `json:"candidates"`
+	ValidEFPGAs int    `json:"valid_efpgas"`
+	// BestScore is kept even at 0 (a perfect Eq.-1 slack under the
+	// minimize direction); BestFabric's presence marks a valid row.
+	BestScore  float64 `json:"best_score"`
+	BestFabric string  `json:"best_fabric,omitempty"`
+	Chosen     int     `json:"chosen_fabrics"`
 }
 
 // JSON renders the report as indented JSON for machine consumers (the
@@ -66,17 +90,24 @@ func (r *Report) JSON() ([]byte, error) {
 			for _, in := range f.Cluster.Instances {
 				paths = append(paths, in.Path)
 			}
+			a := f.Fabric.Arch
 			s.Fabrics = append(s.Fabrics, fabricJSON{
-				Arch:       f.Fabric.Arch.Name(),
-				Instances:  paths,
-				Pins:       f.Cluster.Pins,
-				IOUtil:     f.Fabric.IOUtil,
-				CLBUtil:    f.Fabric.CLBUtil,
-				ConfigBits: f.Fabric.ConfigBits(),
+				Arch:         a.FullName(),
+				Family:       a.Params().Name(),
+				LUTSize:      a.LUTSize,
+				BLEsPerCLB:   a.BLEsPerCLB,
+				CLBInputs:    a.CLBInputs,
+				ChannelWidth: a.ChannelWidth,
+				Instances:    paths,
+				Pins:         f.Cluster.Pins,
+				IOUtil:       f.Fabric.IOUtil,
+				CLBUtil:      f.Fabric.CLBUtil,
+				ConfigBits:   f.Fabric.ConfigBits(),
 			})
 		}
 		out.Solution = s
 	}
+	out.Archs = archRows(r)
 	if r.Err != nil {
 		out.ErrorMessage = r.Err.Error()
 		var fe *FlowError
@@ -88,3 +119,46 @@ func (r *Report) JSON() ([]byte, error) {
 }
 
 func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// archRows folds the selection candidates into one row per fabric
+// family, in first-seen (characterization) order.
+func archRows(r *Report) []archJSON {
+	if r.Selection == nil {
+		return nil
+	}
+	idx := make(map[string]int)
+	var rows []archJSON
+	for i := range r.Selection.Candidates {
+		c := &r.Selection.Candidates[i]
+		fam := c.Family.Name()
+		j, ok := idx[fam]
+		if !ok {
+			j = len(rows)
+			idx[fam] = j
+			n := c.Family.Normalized()
+			rows = append(rows, archJSON{Family: fam, LUTSize: n.LUTSize, BLEsPerCLB: n.BLEsPerCLB})
+		}
+		rows[j].Candidates++
+		if c.Valid() {
+			rows[j].ValidEFPGAs++
+			// Rank with the same metric selection used: utilization
+			// reward when maximizing, Eq.-1 slack when minimizing.
+			metric, better := c.Score, c.Score > rows[j].BestScore
+			if r.Selection.Direction == ScoreMinimize {
+				metric, better = c.Slack, rows[j].BestFabric == "" || c.Slack < rows[j].BestScore
+			}
+			if rows[j].BestFabric == "" || better {
+				rows[j].BestScore = metric
+				rows[j].BestFabric = c.Fabric.Arch.FullName()
+			}
+		}
+	}
+	if r.Solution != nil {
+		for _, f := range r.Solution.Fabrics {
+			if j, ok := idx[f.Family.Name()]; ok {
+				rows[j].Chosen++
+			}
+		}
+	}
+	return rows
+}

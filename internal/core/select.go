@@ -26,11 +26,12 @@ func (s *Solution) RedactedInstances() []*rtl.InstanceNode {
 	return out
 }
 
-// FabricSizes renders the solution's fabric names ("4x4, 4x4").
+// FabricSizes renders the solution's fabric names ("4x4, 4x4"; fabrics
+// from a non-default family carry the family suffix, e.g. "3x3-K5N8").
 func (s *Solution) FabricSizes() string {
 	var names []string
 	for _, f := range s.Fabrics {
-		names = append(names, f.Fabric.Arch.Name())
+		names = append(names, f.Fabric.Arch.FullName())
 	}
 	return strings.Join(names, ", ")
 }
@@ -49,6 +50,9 @@ type SelectionResult struct {
 	// MaxIOUtil / MaxCLBUtil are the normalization terms of Eq. 1.
 	MaxIOUtil  float64
 	MaxCLBUtil float64
+	// Direction records the Eq.-1 ranking used, so per-family reporting
+	// compares candidates with the same metric selection did.
+	Direction ScoreDirection
 }
 
 // SelectEFPGAs implements Algorithm 3 after characterization: score
@@ -58,7 +62,7 @@ type SelectionResult struct {
 // checks ctx every few thousand visited nodes, so very large solution
 // spaces remain cancellable.
 func SelectEFPGAs(ctx context.Context, cands []FabricCandidate, cfg *Config) (*SelectionResult, error) {
-	res := &SelectionResult{Candidates: cands}
+	res := &SelectionResult{Candidates: cands, Direction: cfg.Direction}
 	var valid []*FabricCandidate
 	for i := range cands {
 		if cands[i].Valid() {

@@ -27,6 +27,11 @@ type Arch struct {
 	GPIOPerTile int
 	// ChannelWidth is the number of routing tracks per channel.
 	ChannelWidth int
+	// CWDerived records that ChannelWidth came from the width-derived
+	// policy (DefaultChannelWidth) rather than a fixed family setting,
+	// so Params() can round-trip the policy even when the two values
+	// coincide at this W.
+	CWDerived bool
 }
 
 // DefaultChannelWidth returns the channel width used for a fabric of
@@ -41,18 +46,137 @@ func DefaultChannelWidth(w int) int {
 	return cw
 }
 
-// NewArch returns the paper's fabric configuration at grid width w:
-// CLBs of four 4-input LUTs and 8-GPIO I/O tiles.
-func NewArch(w int) Arch {
+// Params is the width-independent part of a fabric family: everything
+// of an Arch except the grid width W. Sweeping Params (LUT size,
+// cluster shape, channel-width policy) opens the architecture space of
+// "Not All Fabrics Are Created Equal", where these knobs trade SAT-
+// attack resilience against area; the original ALICE flow fixes them to
+// the paper's single family and only sweeps W.
+//
+// Zero fields take the family defaults, so Params{} is the paper's
+// 4-LUT, 4-BLE fabric.
+type Params struct {
+	// LUTSize is the LUT input count K (default 4, supported 2..6).
+	LUTSize int
+	// BLEsPerCLB is the cluster size N (default 4).
+	BLEsPerCLB int
+	// CLBInputs is the number of external CLB input pins I (default the
+	// classic VPR rule I = ceil(K*(N+1)/2), which yields the paper's 10
+	// at K=4, N=4).
+	CLBInputs int
+	// GPIOPerTile is the number of user I/O pins per I/O tile
+	// (default 8).
+	GPIOPerTile int
+	// ChannelWidth fixes the routing-channel track count; 0 derives it
+	// from the grid width with DefaultChannelWidth.
+	ChannelWidth int
+}
+
+// DefaultParams returns the paper's fabric family (4-LUT, 4-BLE CLBs,
+// 8-GPIO tiles, width-derived channels).
+func DefaultParams() Params { return Params{}.Normalized() }
+
+// Normalized fills zero fields with the family defaults (the
+// ChannelWidth policy field stays 0 = width-derived).
+func (p Params) Normalized() Params {
+	if p.LUTSize == 0 {
+		p.LUTSize = 4
+	}
+	if p.BLEsPerCLB == 0 {
+		p.BLEsPerCLB = 4
+	}
+	if p.CLBInputs == 0 {
+		p.CLBInputs = derivedCLBInputs(p.LUTSize, p.BLEsPerCLB)
+	}
+	if p.GPIOPerTile == 0 {
+		p.GPIOPerTile = 8
+	}
+	return p
+}
+
+// Validate sanity-checks a (possibly non-normalized) family.
+func (p Params) Validate() error {
+	n := p.Normalized()
+	if n.LUTSize < 2 || n.LUTSize > 6 {
+		return fmt.Errorf("fabric: LUT size %d out of range [2,6]", n.LUTSize)
+	}
+	if n.BLEsPerCLB < 1 || n.BLEsPerCLB > 16 {
+		return fmt.Errorf("fabric: %d BLEs per CLB out of range [1,16]", n.BLEsPerCLB)
+	}
+	if n.CLBInputs < n.LUTSize {
+		return fmt.Errorf("fabric: %d CLB inputs cannot feed a single %d-LUT", n.CLBInputs, n.LUTSize)
+	}
+	if n.GPIOPerTile < 1 {
+		return fmt.Errorf("fabric: GPIO per tile must be positive")
+	}
+	if n.ChannelWidth < 0 {
+		return fmt.Errorf("fabric: negative channel width")
+	}
+	return nil
+}
+
+// derivedCLBInputs is the classic VPR rule I = ceil(K*(N+1)/2): enough
+// external pins to feed roughly half of every LUT's inputs, the rest
+// arriving via intra-cluster feedback. It yields the paper's 10 at
+// K=4, N=4 and does not truncate for odd K.
+func derivedCLBInputs(k, n int) int { return (k*(n+1) + 1) / 2 }
+
+// Name returns the conventional family name, e.g. "K4N4" for the
+// paper's fabric, with suffixes for non-derived CLB inputs ("I12") and
+// fixed channel widths ("W32").
+func (p Params) Name() string {
+	n := p.Normalized()
+	s := fmt.Sprintf("K%dN%d", n.LUTSize, n.BLEsPerCLB)
+	if n.CLBInputs != derivedCLBInputs(n.LUTSize, n.BLEsPerCLB) {
+		s += fmt.Sprintf("I%d", n.CLBInputs)
+	}
+	if n.ChannelWidth > 0 {
+		s += fmt.Sprintf("W%d", n.ChannelWidth)
+	}
+	return s
+}
+
+// At instantiates the family at grid width w.
+func (p Params) At(w int) Arch {
+	n := p.Normalized()
+	cw := n.ChannelWidth
+	derived := cw == 0
+	if derived {
+		cw = DefaultChannelWidth(w)
+	}
 	return Arch{
 		W:            w,
-		BLEsPerCLB:   4,
-		LUTSize:      4,
-		CLBInputs:    10,
-		GPIOPerTile:  8,
-		ChannelWidth: DefaultChannelWidth(w),
+		BLEsPerCLB:   n.BLEsPerCLB,
+		LUTSize:      n.LUTSize,
+		CLBInputs:    n.CLBInputs,
+		GPIOPerTile:  n.GPIOPerTile,
+		ChannelWidth: cw,
+		CWDerived:    derived,
 	}
 }
+
+// Params projects the width-independent family parameters back out of
+// an Arch, so the round trip Params -> At -> Params is exact. The
+// CWDerived flag (not a value comparison) distinguishes the derived
+// channel-width policy from a fixed width that happens to coincide
+// with the derived value at this W.
+func (a Arch) Params() Params {
+	p := Params{
+		LUTSize:      a.LUTSize,
+		BLEsPerCLB:   a.BLEsPerCLB,
+		CLBInputs:    a.CLBInputs,
+		GPIOPerTile:  a.GPIOPerTile,
+		ChannelWidth: a.ChannelWidth,
+	}
+	if a.CWDerived {
+		p.ChannelWidth = 0
+	}
+	return p
+}
+
+// NewArch returns the paper's fabric configuration at grid width w:
+// CLBs of four 4-input LUTs and 8-GPIO I/O tiles.
+func NewArch(w int) Arch { return DefaultParams().At(w) }
 
 // IOTiles returns the number of I/O tiles: one ring position per
 // perimeter CLB on the two vertical sides (2W tiles), matching the
@@ -76,6 +200,16 @@ func (a Arch) CLBCount() int { return a.W * a.W }
 // Name returns the conventional "WxW" fabric name used in the paper's
 // tables.
 func (a Arch) Name() string { return fmt.Sprintf("%dx%d", a.W, a.W) }
+
+// FullName returns the fabric name qualified with its family when the
+// family differs from the paper's default ("6x6-K5N8"); the default
+// family keeps the plain "WxW" form so legacy output is unchanged.
+func (a Arch) FullName() string {
+	if a.Params() == DefaultParams() {
+		return a.Name()
+	}
+	return a.Name() + "-" + a.Params().Name()
+}
 
 // ConfigBits returns the total length of the configuration bitstream.
 // This is the "key" an attacker must recover in the eFPGA-redaction

@@ -143,3 +143,29 @@ func TestPadReachability(t *testing.T) {
 		t.Errorf("right pad x = %d", x)
 	}
 }
+
+// TestParamsRoundTripFixedCW guards the channel-width policy round
+// trip: a fixed family width that coincides with the derived value at
+// some W must stay fixed through Arch.Params() (and keep its family
+// name), while the derived policy maps back to 0.
+func TestParamsRoundTripFixedCW(t *testing.T) {
+	w := 2
+	fixed := Params{ChannelWidth: DefaultChannelWidth(w)}.Normalized()
+	a := fixed.At(w)
+	if a.CWDerived {
+		t.Fatal("fixed channel width marked derived")
+	}
+	if got := a.Params(); got != fixed {
+		t.Errorf("fixed-CW round trip = %+v, want %+v", got, fixed)
+	}
+	if a.Params().Name() == DefaultParams().Name() {
+		t.Errorf("fixed-CW family lost its W suffix: %s", a.Params().Name())
+	}
+	d := DefaultParams().At(w)
+	if !d.CWDerived || d.Params() != DefaultParams() {
+		t.Errorf("derived round trip = %+v", d.Params())
+	}
+	if d.FullName() != d.Name() {
+		t.Errorf("default family FullName %q should stay plain", d.FullName())
+	}
+}

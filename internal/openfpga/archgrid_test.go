@@ -1,0 +1,128 @@
+package openfpga
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"alice/internal/bench"
+	"alice/internal/fabric"
+)
+
+// archGrid is the (K, N) fabric-family grid of the corpus property
+// test. It spans the LUT sizes of the acceptance gate (3, 5, 6), a
+// non-default cluster size, and a fixed channel-width policy.
+var archGrid = []fabric.Params{
+	{LUTSize: 3, BLEsPerCLB: 4},
+	{LUTSize: 4, BLEsPerCLB: 2},
+	{LUTSize: 5, BLEsPerCLB: 4},
+	{LUTSize: 6, BLEsPerCLB: 8},
+	{LUTSize: 4, BLEsPerCLB: 4, ChannelWidth: 20},
+}
+
+// archGridCorpus lists the designs each family must implement: the
+// small combinational and sequential cores of openfpga_test.go plus
+// the sequential gcd and usb_phy benchmarks.
+func archGridCorpus(t *testing.T) map[string]string {
+	corpus := map[string]string{
+		"combo": combSrc,
+		"seqm":  seqSrc,
+	}
+	for _, name := range []string{"gcd", "usb_phy"} {
+		b, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		corpus[b.Name] = b.Source()
+	}
+	return corpus
+}
+
+// TestArchGridEndToEnd is the corpus property test of the architecture
+// space: for each family of the (K, BLEs/CLB, W-policy) grid, the full
+// pack -> place -> route -> bitstream flow must produce a programmed
+// fabric whose decoded circuit co-simulates identically with the
+// mapped design.
+func TestArchGridEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	for _, fam := range archGrid {
+		fam := fam
+		t.Run(fam.Name(), func(t *testing.T) {
+			for name, src := range archGridCorpus(t) {
+				ast := parse(t, src)
+				o := DefaultOptions()
+				o.Params = fam
+				o.FullPnR = true
+				o.UnifyClocks = true
+				pins := 16
+				f, err := Characterize(ctx, ast, firstTop(name), pins, o)
+				if err != nil {
+					t.Fatalf("%s: characterize: %v", name, err)
+				}
+				if f.Bits == nil {
+					t.Fatalf("%s: no bitstream from full P&R", name)
+				}
+				if got := f.Arch.Params(); got != fam.Normalized() {
+					t.Fatalf("%s: fabric family %+v, want %+v", name, got, fam.Normalized())
+				}
+				if f.LUTs.K != fam.Normalized().LUTSize {
+					t.Fatalf("%s: mapped at K=%d, want %d", name, f.LUTs.K, fam.Normalized().LUTSize)
+				}
+				if err := f.Routing.Validate(); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if err := VerifyBitstream(f, 64, 7); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+// firstTop maps a corpus key to its top module name (the corpus uses
+// the design name as top).
+func firstTop(name string) string { return name }
+
+// TestArchGridConfigBitsRoundTrip checks, for each family, that the
+// modeled key size reacts to the family parameters and that a fully
+// implemented fabric's exact bitstream length is self-consistent.
+func TestArchGridConfigBitsRoundTrip(t *testing.T) {
+	for _, fam := range archGrid {
+		a := fam.At(3)
+		if a.ConfigBits() <= 0 {
+			t.Errorf("%s: non-positive modeled key size", fam.Name())
+		}
+		if err := fam.Validate(); err != nil {
+			t.Errorf("%s: %v", fam.Name(), err)
+		}
+	}
+	// Modeled bits must grow with LUT size at fixed W and N.
+	k4 := fabric.Params{LUTSize: 4}.At(4).ConfigBits()
+	k6 := fabric.Params{LUTSize: 6}.At(4).ConfigBits()
+	if k6 <= k4 {
+		t.Errorf("ConfigBits: K=6 (%d) should exceed K=4 (%d) at fixed W", k6, k4)
+	}
+}
+
+// TestCharacterizeFamilySelectsDifferently pins the headline behaviour:
+// under an open architecture space the smallest admissible fabric
+// differs across families for the same design.
+func TestCharacterizeFamilySelectsDifferently(t *testing.T) {
+	ctx := context.Background()
+	b, _ := bench.ByName("gcd")
+	ast := parse(t, b.Source())
+	names := map[string]bool{}
+	for _, fam := range []fabric.Params{{LUTSize: 3}, {LUTSize: 6}} {
+		o := DefaultOptions()
+		o.Params = fam
+		o.UnifyClocks = true
+		f, err := Characterize(ctx, ast, "gcd", 40, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names[fmt.Sprintf("%dx%d", f.Arch.W, f.Arch.W)] = true
+	}
+	if len(names) < 2 {
+		t.Errorf("K=3 and K=6 picked the same fabric width %v; expected the family to matter", names)
+	}
+}

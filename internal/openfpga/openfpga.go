@@ -30,6 +30,10 @@ type Options struct {
 	// permitted fabric sizes" of Sec. 6).
 	MinW int
 	MaxW int
+	// Params selects the fabric family (LUT size, cluster shape,
+	// channel-width policy) the size search instantiates. The zero value
+	// is the paper's 4-LUT, 4-BLE family.
+	Params fabric.Params
 	// FullPnR enables placement, routing, and bitstream generation. The
 	// fast mode (default) sizes fabrics from capacity and packing only,
 	// which is what the big Table-2 sweeps use.
@@ -79,11 +83,23 @@ func (f *Fabric) ConfigBits() int {
 }
 
 // Characterize implements CreateEFPGA of Algorithm 3: synthesize the
-// cluster wrapper named top, map it to LUTs, and search the smallest
-// admissible fabric in [MinW, MaxW]. The fabric-range search checks ctx
-// between candidate widths (and the place/route machinery underneath
-// checks it in its own hot loops).
+// cluster wrapper named top, map it to the family's K-input LUTs, and
+// search the smallest admissible fabric in [MinW, MaxW]. The
+// fabric-range search checks ctx between candidate widths (and the
+// place/route machinery underneath checks it in its own hot loops).
 func Characterize(ctx context.Context, ast *verilog.Design, top string, pins int, o Options) (*Fabric, error) {
+	n, err := Synthesize(ctx, ast, top, o)
+	if err != nil {
+		return nil, err
+	}
+	return CharacterizeNetlist(ctx, n, pins, o)
+}
+
+// Synthesize elaborates and synthesizes the module named top down to an
+// optimized gate netlist — the family-independent front half of
+// Characterize. Callers exploring an architecture space synthesize once
+// and call CharacterizeNetlist per fabric family.
+func Synthesize(ctx context.Context, ast *verilog.Design, top string, o Options) (*netlist.Netlist, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -95,12 +111,51 @@ func Characterize(ctx context.Context, ast *verilog.Design, top string, pins int
 	if err != nil {
 		return nil, err
 	}
-	n := opt.Optimize(res.Netlist)
-	ln, err := techmap.Map(n)
+	return opt.Optimize(res.Netlist), nil
+}
+
+// CharacterizeNetlist maps an optimized gate netlist onto the family's
+// LUT size and searches the smallest admissible fabric — the
+// family-dependent back half of Characterize.
+func CharacterizeNetlist(ctx context.Context, n *netlist.Netlist, pins int, o Options) (*Fabric, error) {
+	ln, err := MapNetlist(n, o.Params)
+	if err != nil {
+		return nil, err
+	}
+	return CharacterizeLUTs(ctx, n, ln, pins, o)
+}
+
+// MapNetlist technology-maps a gate netlist at the family's LUT size
+// and prepares it for fabric implementation (constant outputs rewired
+// to constant-generator LUTs). The mapping depends only on the LUT
+// size, so callers sweeping several families that share a K can map
+// once and call CharacterizeLUTs per family.
+func MapNetlist(n *netlist.Netlist, p fabric.Params) (*techmap.LUTNetwork, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := techmap.MapK(n, p.Normalized().LUTSize)
 	if err != nil {
 		return nil, err
 	}
 	rewriteConstPOs(ln)
+	return ln, nil
+}
+
+// CharacterizeLUTs searches the family's width range for the smallest
+// admissible fabric of an already-mapped network. The network must
+// have been mapped at the family's LUT size (MapNetlist).
+func CharacterizeLUTs(ctx context.Context, n *netlist.Netlist, ln *techmap.LUTNetwork, pins int, o Options) (*Fabric, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := o.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if k := o.Params.Normalized().LUTSize; ln.K != k {
+		return nil, fmt.Errorf("openfpga: network mapped at K=%d but family %s has K=%d",
+			ln.K, o.Params.Name(), k)
+	}
 	return characterizeLUTs(ctx, n, ln, pins, o)
 }
 
@@ -110,12 +165,13 @@ func characterizeLUTs(ctx context.Context, n *netlist.Netlist, ln *techmap.LUTNe
 	if o.MinW < 1 {
 		o.MinW = 1
 	}
+	params := o.Params.Normalized()
 	var lastErr error
 	for w := o.MinW; w <= o.MaxW; w++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		arch := fabric.NewArch(w)
+		arch := params.At(w)
 		if !arch.FitsIO(pins) {
 			lastErr = fmt.Errorf("openfpga: %d pins exceed %s capacity %d", pins, arch.Name(), arch.IOCapacity())
 			continue
@@ -166,10 +222,13 @@ func characterizeLUTs(ctx context.Context, n *netlist.Netlist, ln *techmap.LUTNe
 // Recharacterize reruns the fabric-size search for an already
 // synthesized fabric, typically to upgrade a fast-mode result to a full
 // implementation (possibly on a larger fabric if routing demands it).
+// The fabric's own family overrides o.Params: the LUT network was
+// mapped for that family's LUT size.
 func Recharacterize(ctx context.Context, f *Fabric, o Options) (*Fabric, error) {
 	if o.MinW < f.Arch.W {
 		o.MinW = f.Arch.W
 	}
+	o.Params = f.Arch.Params()
 	return characterizeLUTs(ctx, f.Netlist, f.LUTs, f.Pins, o)
 }
 
@@ -271,7 +330,7 @@ func VerifyBitstream(f *Fabric, steps int, seed int64) error {
 // crossbar source), so every output pad has a routable driver.
 func rewriteConstPOs(ln *techmap.LUTNetwork) {
 	var c0LUT, c1LUT int32 = -1, -1
-	mk := func(mask uint16) int32 {
+	mk := func(mask uint64) int32 {
 		id := int32(len(ln.Nodes))
 		ln.Nodes = append(ln.Nodes, techmap.LNode{
 			Kind: techmap.LLUT, Mask: mask, In: []int32{constZeroNode(ln)},

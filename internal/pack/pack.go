@@ -54,6 +54,12 @@ func (p *Packing) NumCLBs() int { return len(p.CLBs) }
 // the network does not fit the fabric's CLB count or if a single BLE's
 // connectivity cannot satisfy the CLB input bound.
 func Pack(ln *techmap.LUTNetwork, arch fabric.Arch) (*Packing, error) {
+	for i, nd := range ln.Nodes {
+		if nd.Kind == techmap.LLUT && len(nd.In) > arch.LUTSize {
+			return nil, fmt.Errorf("pack: %s: LUT %d has %d inputs but fabric %s LUTs have %d",
+				ln.Name, i, len(nd.In), arch.Name(), arch.LUTSize)
+		}
+	}
 	bles, err := buildBLEs(ln)
 	if err != nil {
 		return nil, err

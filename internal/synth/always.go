@@ -233,7 +233,12 @@ func (s *synthesizer) execSeq(f *frame, si *seqInfo) error {
 		return err
 	}
 	env := newExecEnv(true)
-	for name, rbs := range si.regs {
+	// Sorted register order throughout: SetD is order-insensitive, but
+	// the Not nodes of inverted-reset bits are created here, and node
+	// ids must not depend on map iteration order.
+	regNames := sortedUnionKeys(si.regs, nil)
+	for _, name := range regNames {
+		rbs := si.regs[name]
 		q := make([]int32, len(rbs))
 		for i, rb := range rbs {
 			q[i] = rb.q
@@ -244,7 +249,8 @@ func (s *synthesizer) execSeq(f *frame, si *seqInfo) error {
 	if err := s.execStmt(f, env, si.mainBody); err != nil {
 		return err
 	}
-	for name, rbs := range si.regs {
+	for _, name := range regNames {
+		rbs := si.regs[name]
 		next := env.next[name]
 		for i, rb := range rbs {
 			d := next[i]
@@ -314,7 +320,8 @@ func (s *synthesizer) execComb(f *frame, a *verilog.Always) error {
 	if err := s.execStmt(f, env, a.Body); err != nil {
 		return err
 	}
-	for name, bits := range env.cur {
+	for _, name := range sortedUnionKeys(env.cur, nil) {
+		bits := env.cur[name]
 		ni, ok := f.netInfo[name]
 		if !ok {
 			continue
@@ -756,14 +763,10 @@ func (s *synthesizer) execMemWrite(f *frame, env *execEnv, name string, ni *rtl.
 func (s *synthesizer) mergeEnv(f *frame, env *execEnv, c int32, envT, envE *execEnv) error {
 	bd := s.bd
 	mergeRegs := func(dst, t, e map[string][]int32) error {
-		names := make(map[string]bool)
-		for k := range t {
-			names[k] = true
-		}
-		for k := range e {
-			names[k] = true
-		}
-		for name := range names {
+		// Sorted traversal: Mux nodes are hash-consed but created on
+		// first use, so the merge order defines node ids. Iterating the
+		// map directly would make the netlist differ across runs.
+		for _, name := range sortedUnionKeys(t, e) {
 			tb, tok := t[name]
 			eb, eok := e[name]
 			switch {
@@ -811,15 +814,9 @@ func (s *synthesizer) mergeEnv(f *frame, env *execEnv, c int32, envT, envE *exec
 		}
 	}
 	// Memories: a branch that did not touch a memory implicitly keeps
-	// the pre-branch (or q) value.
-	memNames := make(map[string]bool)
-	for k := range envT.nextMem {
-		memNames[k] = true
-	}
-	for k := range envE.nextMem {
-		memNames[k] = true
-	}
-	for name := range memNames {
+	// the pre-branch (or q) value. Sorted for the same node-id
+	// determinism reason as the register merge above.
+	for _, name := range sortedUnionKeys(envT.nextMem, envE.nextMem) {
 		tg, tok := envT.nextMem[name]
 		eg, eok := envE.nextMem[name]
 		var baseGrid [][]int32
@@ -850,6 +847,23 @@ func (s *synthesizer) mergeEnv(f *frame, env *execEnv, c int32, envT, envE *exec
 		env.nextMem[name] = out
 	}
 	return nil
+}
+
+// sortedUnionKeys returns the union of two maps' keys in sorted order,
+// so symbolic-execution merges create netlist nodes in a run-independent
+// order (bit-determinism of the synthesis frontend).
+func sortedUnionKeys[V any](a, b map[string]V) []string {
+	out := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		out = append(out, k)
+	}
+	for k := range b {
+		if _, dup := a[k]; !dup {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // memNextBase returns the pending next-state grid of a memory (falling

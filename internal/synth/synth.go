@@ -703,8 +703,18 @@ func (s *synthesizer) stripClockResets(root *frame, res *Result) {
 		fanout[po]++
 	}
 	drop := make(map[int32]bool)
-	for pi, name := range s.clockPIs {
-		res.Clock = name
+	// Iterate clocks in PI order so the recorded Clock name (the first
+	// clock input under UnifyClocks) does not depend on map iteration
+	// order.
+	clockIDs := make([]int32, 0, len(s.clockPIs))
+	for pi := range s.clockPIs {
+		clockIDs = append(clockIDs, pi)
+	}
+	sort.Slice(clockIDs, func(i, j int) bool { return clockIDs[i] < clockIDs[j] })
+	for _, pi := range clockIDs {
+		if res.Clock == "" {
+			res.Clock = s.clockPIs[pi]
+		}
 		if fanout[pi] == 0 {
 			drop[pi] = true
 		}

@@ -1,9 +1,13 @@
 // Package techmap maps an optimized gate netlist onto K-input lookup
-// tables (K=4, matching the fabric of Sec. 7 of the ALICE paper) using
-// exhaustive K-feasible cut enumeration with priority pruning and a
-// depth-first, area-flow-second cost, in the style of classic FPGA
-// mappers. The result is a LUT network whose truth tables are computed
-// exactly from the covered cones, ready for packing onto an eFPGA.
+// tables using exhaustive K-feasible cut enumeration with priority
+// pruning and a depth-first, area-flow-second cost, in the style of
+// classic FPGA mappers. K is a runtime parameter in [MinK, MaxK]; the
+// default Map targets the 4-LUT fabric of Sec. 7 of the ALICE paper,
+// while MapK opens the architecture space of the follow-on work ("Not
+// All Fabrics Are Created Equal"), where LUT size is a security/
+// overhead lever. The result is a LUT network whose truth tables are
+// computed exactly from the covered cones, ready for packing onto an
+// eFPGA.
 package techmap
 
 import (
@@ -13,8 +17,15 @@ import (
 	"alice/internal/netlist"
 )
 
-// K is the LUT input count of the target fabric.
-const K = 4
+// MinK and MaxK bound the supported LUT input counts. MaxK = 6 keeps a
+// full truth table in one uint64 word.
+const (
+	MinK = 2
+	MaxK = 6
+)
+
+// DefaultK is the LUT input count of the paper's fabric.
+const DefaultK = 4
 
 // maxCutsPerNode bounds the priority cut list kept per node.
 const maxCutsPerNode = 10
@@ -49,22 +60,34 @@ func (k LKind) String() string {
 
 // LNode is a node of the mapped network. LUT nodes have up to K inputs
 // and a truth-table mask (bit i of an input assignment selects mask bit
-// at that index). FF nodes have exactly one input (D).
+// at that index; up to 2^MaxK = 64 bits). FF nodes have exactly one
+// input (D).
 type LNode struct {
 	Kind LKind
-	Mask uint16
+	Mask uint64
 	In   []int32
 }
 
 // LUTNetwork is a mapped design.
 type LUTNetwork struct {
-	Name    string
+	Name string
+	// K is the LUT input bound the network was mapped for (0 is treated
+	// as MaxK by Validate, for networks assembled by hand).
+	K       int
 	Nodes   []LNode
 	PIs     []int32
 	PINames []string
 	POs     []int32
 	PONames []string
 	FFs     []int32
+}
+
+// LUTSize returns the network's LUT input bound.
+func (ln *LUTNetwork) LUTSize() int {
+	if ln.K == 0 {
+		return MaxK
+	}
+	return ln.K
 }
 
 // NumLUTs returns the number of LUT nodes.
@@ -109,11 +132,12 @@ func (ln *LUTNetwork) Depth() int {
 
 // Validate checks structural invariants of the LUT network.
 func (ln *LUTNetwork) Validate() error {
+	k := ln.LUTSize()
 	for i, n := range ln.Nodes {
 		switch n.Kind {
 		case LLUT:
-			if len(n.In) == 0 || len(n.In) > K {
-				return fmt.Errorf("techmap: %s: LUT %d has %d inputs", ln.Name, i, len(n.In))
+			if len(n.In) == 0 || len(n.In) > k {
+				return fmt.Errorf("techmap: %s: LUT %d has %d inputs (K=%d)", ln.Name, i, len(n.In), k)
 			}
 			for _, in := range n.In {
 				if in < 0 || int(in) >= len(ln.Nodes) {
@@ -140,9 +164,11 @@ func (ln *LUTNetwork) Validate() error {
 	return nil
 }
 
-// cut is a set of at most K leaves, sorted ascending.
+// cut is a set of at most K leaves, sorted ascending. The array is
+// sized for MaxK; size and the mapper's runtime k bound the live
+// prefix.
 type cut struct {
-	leaves [K]int32
+	leaves [MaxK]int32
 	size   int8
 }
 
@@ -168,8 +194,8 @@ func (c cut) dominates(d cut) bool {
 	return true
 }
 
-// mergeCuts unions two cuts; ok is false if the union exceeds K leaves.
-func mergeCuts(a, b cut) (cut, bool) {
+// mergeCuts unions two cuts; ok is false if the union exceeds k leaves.
+func mergeCuts(a, b cut, k int8) (cut, bool) {
 	var out cut
 	i, j := int8(0), int8(0)
 	for i < a.size || j < b.size {
@@ -192,7 +218,7 @@ func mergeCuts(a, b cut) (cut, bool) {
 			i++
 			j++
 		}
-		if out.size == K {
+		if out.size == k {
 			return out, false
 		}
 		out.leaves[out.size] = v
@@ -201,10 +227,81 @@ func mergeCuts(a, b cut) (cut, bool) {
 	return out, true
 }
 
-// Map maps a netlist onto the LUT network.
-func Map(n *netlist.Netlist) (*LUTNetwork, error) {
-	m := &mapper{n: n}
+// Map maps a netlist onto the default 4-LUT network of the paper's
+// fabric.
+func Map(n *netlist.Netlist) (*LUTNetwork, error) { return MapK(n, DefaultK) }
+
+// MapK maps a netlist onto K-input LUTs for a runtime K in [MinK,
+// MaxK]. At K = 4 the output is identical to Map. At K = 2, 3-ary Mux
+// gates have no 2-feasible cut of their own, so they are lowered to
+// And/Or/Not first.
+func MapK(n *netlist.Netlist, k int) (*LUTNetwork, error) {
+	if k < MinK || k > MaxK {
+		return nil, fmt.Errorf("techmap: LUT size %d out of range [%d,%d]", k, MinK, MaxK)
+	}
+	if k == 2 {
+		n = lowerMux(n)
+	}
+	m := &mapper{n: n, k: int8(k)}
 	return m.run()
+}
+
+// lowerMux rewrites every Mux gate as (~s & d0) | (s & d1), preserving
+// everything else (the builder re-folds and hash-conses, which only
+// shrinks the network). Netlists without Mux gates pass through
+// untouched.
+func lowerMux(n *netlist.Netlist) *netlist.Netlist {
+	hasMux := false
+	for _, nd := range n.Nodes {
+		if nd.Op == netlist.Mux {
+			hasMux = true
+			break
+		}
+	}
+	if !hasMux {
+		return n
+	}
+	bd := netlist.NewBuilder(n.Name)
+	piName := make(map[int32]string, len(n.PIs))
+	for i, pi := range n.PIs {
+		piName[pi] = n.PINames[i]
+	}
+	nmap := make([]int32, len(n.Nodes))
+	for i, nd := range n.Nodes {
+		id := int32(i)
+		switch nd.Op {
+		case netlist.Const0:
+			nmap[i] = 0
+		case netlist.Const1:
+			nmap[i] = 1
+		case netlist.Input:
+			nmap[i] = bd.Input(piName[id])
+		case netlist.DFF:
+			nmap[i] = bd.DFF()
+		case netlist.Not:
+			nmap[i] = bd.Not(nmap[nd.In[0]])
+		case netlist.And:
+			nmap[i] = bd.And(nmap[nd.In[0]], nmap[nd.In[1]])
+		case netlist.Or:
+			nmap[i] = bd.Or(nmap[nd.In[0]], nmap[nd.In[1]])
+		case netlist.Xor:
+			nmap[i] = bd.Xor(nmap[nd.In[0]], nmap[nd.In[1]])
+		case netlist.Mux:
+			s, d0, d1 := nmap[nd.In[0]], nmap[nd.In[1]], nmap[nd.In[2]]
+			nmap[i] = bd.Or(bd.And(bd.Not(s), d0), bd.And(s, d1))
+		default:
+			// A silently-unhandled op would map to node 0 (const0) and
+			// miscompile every K=2 cone containing it.
+			panic(fmt.Sprintf("techmap: lowerMux: unhandled op %s", nd.Op))
+		}
+	}
+	for _, d := range n.DFFs {
+		bd.SetD(nmap[d], nmap[n.Nodes[d].In[0]])
+	}
+	for i, po := range n.POs {
+		bd.Output(n.PONames[i], nmap[po])
+	}
+	return bd.N
 }
 
 type nodeInfo struct {
@@ -218,6 +315,7 @@ type nodeInfo struct {
 
 type mapper struct {
 	n    *netlist.Netlist
+	k    int8
 	info []nodeInfo
 }
 
@@ -236,7 +334,7 @@ func (m *mapper) run() (*LUTNetwork, error) {
 		nd := n.Nodes[i]
 		inf := &m.info[i]
 		if m.isLeaf(id) {
-			inf.cuts = []cut{{leaves: [K]int32{id}, size: 1}}
+			inf.cuts = []cut{{leaves: [MaxK]int32{id}, size: 1}}
 			inf.depth = 0
 			continue
 		}
@@ -271,8 +369,8 @@ func (m *mapper) run() (*LUTNetwork, error) {
 	}
 
 	// Emit the LUT network in topological order.
-	out := &LUTNetwork{Name: n.Name}
-	emit := func(k LKind, mask uint16, ins []int32) int32 {
+	out := &LUTNetwork{Name: n.Name, K: int(m.k)}
+	emit := func(k LKind, mask uint64, ins []int32) int32 {
 		id := int32(len(out.Nodes))
 		out.Nodes = append(out.Nodes, LNode{Kind: k, Mask: mask, In: ins})
 		return id
@@ -342,7 +440,7 @@ func (m *mapper) enumerateCuts(id int32) {
 	case 2:
 		for _, ca := range m.info[nd.In[0]].cuts {
 			for _, cb := range m.info[nd.In[1]].cuts {
-				if c, ok := mergeCuts(ca, cb); ok {
+				if c, ok := mergeCuts(ca, cb, m.k); ok {
 					candidates = append(candidates, c)
 				}
 			}
@@ -350,12 +448,12 @@ func (m *mapper) enumerateCuts(id int32) {
 	case 3:
 		for _, ca := range m.info[nd.In[0]].cuts {
 			for _, cb := range m.info[nd.In[1]].cuts {
-				ab, ok := mergeCuts(ca, cb)
+				ab, ok := mergeCuts(ca, cb, m.k)
 				if !ok {
 					continue
 				}
 				for _, cc := range m.info[nd.In[2]].cuts {
-					if c, ok := mergeCuts(ab, cc); ok {
+					if c, ok := mergeCuts(ab, cc, m.k); ok {
 						candidates = append(candidates, c)
 					}
 				}
@@ -419,32 +517,42 @@ func (m *mapper) enumerateCuts(id int32) {
 		inf.cuts = append(inf.cuts, s.c)
 	}
 	// Trivial cut keeps deeper nodes mergeable upward.
-	inf.cuts = append(inf.cuts, cut{leaves: [K]int32{id}, size: 1})
+	inf.cuts = append(inf.cuts, cut{leaves: [MaxK]int32{id}, size: 1})
 	inf.best = sc[0].c
 	inf.depth = sc[0].depth
 	inf.area = sc[0].area
 }
 
+// leafPats are the canonical truth-table patterns of up to MaxK = 6
+// leaf variables over 64 rows: bit r of leafPats[i] is bit i of row
+// index r.
+var leafPats = [MaxK]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
 // truthTable evaluates the cone rooted at id over the cut leaves.
-func (m *mapper) truthTable(id int32, c cut) uint16 {
-	// Canonical leaf variable patterns for up to 4 inputs.
-	var leafPat = [K]uint16{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
-	memo := make(map[int32]uint16)
+func (m *mapper) truthTable(id int32, c cut) uint64 {
+	memo := make(map[int32]uint64)
 	for i := int8(0); i < c.size; i++ {
-		memo[c.leaves[i]] = leafPat[i]
+		memo[c.leaves[i]] = leafPats[i]
 	}
-	var eval func(x int32) uint16
-	eval = func(x int32) uint16 {
+	var eval func(x int32) uint64
+	eval = func(x int32) uint64 {
 		if v, ok := memo[x]; ok {
 			return v
 		}
 		nd := m.n.Nodes[x]
-		var v uint16
+		var v uint64
 		switch nd.Op {
 		case netlist.Const0:
-			v = 0x0000
+			v = 0
 		case netlist.Const1:
-			v = 0xFFFF
+			v = ^uint64(0)
 		case netlist.Not:
 			v = ^eval(nd.In[0])
 		case netlist.And:
@@ -465,11 +573,8 @@ func (m *mapper) truthTable(id int32, c cut) uint16 {
 	full := eval(id)
 	// Truncate to the cut's actual arity.
 	bits := 1 << uint(c.size)
-	var mask uint16
-	for i := 0; i < bits; i++ {
-		if full&(1<<uint(i)) != 0 {
-			mask |= 1 << uint(i)
-		}
+	if bits >= 64 {
+		return full
 	}
-	return mask
+	return full & ((uint64(1) << uint(bits)) - 1)
 }

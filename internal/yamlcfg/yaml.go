@@ -209,11 +209,24 @@ func splitKV(s string) (key, val string, ok bool) {
 	return key, val, true
 }
 
-// scalar converts a YAML scalar token to a typed Go value.
+// scalar converts a YAML scalar token to a typed Go value. Flow
+// sequences ("[3, 4, 5]") become []Value, so compact lists work for
+// keys like arch_space.lut_sizes.
 func scalar(s string) Value {
 	if len(s) >= 2 {
 		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
 			return s[1 : len(s)-1]
+		}
+		if s[0] == '[' && s[len(s)-1] == ']' {
+			inner := strings.TrimSpace(s[1 : len(s)-1])
+			out := []Value{}
+			if inner == "" {
+				return out
+			}
+			for _, part := range splitFlow(inner) {
+				out = append(out, scalar(strings.TrimSpace(part)))
+			}
+			return out
 		}
 	}
 	switch s {
@@ -231,6 +244,34 @@ func scalar(s string) Value {
 		return v
 	}
 	return s
+}
+
+// splitFlow splits the inside of a flow sequence on top-level commas,
+// honouring quotes and nested brackets.
+func splitFlow(s string) []string {
+	var out []string
+	depth := 0
+	inStr := byte(0)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr != 0:
+			if c == inStr {
+				inStr = 0
+			}
+		case c == '\'' || c == '"':
+			inStr = c
+		case c == '[':
+			depth++
+		case c == ']':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
 }
 
 // GetMap asserts a mapping.
@@ -287,4 +328,22 @@ func GetStringList(m map[string]Value, key string) []string {
 		}
 	}
 	return out
+}
+
+// GetIntList fetches a list of integers; a single integer scalar is
+// tolerated as a one-element list.
+func GetIntList(m map[string]Value, key string) []int {
+	switch v := m[key].(type) {
+	case []Value:
+		var out []int
+		for _, it := range v {
+			if n, ok := it.(int64); ok {
+				out = append(out, int(n))
+			}
+		}
+		return out
+	case int64:
+		return []int{int(v)}
+	}
+	return nil
 }
