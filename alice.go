@@ -45,6 +45,7 @@ import (
 	"alice/internal/core"
 	"alice/internal/fabric"
 	"alice/internal/rtl"
+	"alice/internal/timing"
 	"alice/internal/verilog"
 )
 
@@ -89,6 +90,17 @@ type ArchParams = fabric.Params
 // a grid width).
 type Arch = fabric.Arch
 
+// TimingReport is the static timing analysis of one fabric
+// implementation: critical-path delay, Fmax, and the critical path
+// itself. Every characterized fabric carries one (estimated in fast
+// mode, exact after Implement).
+type TimingReport = timing.Report
+
+// DelayModel holds the nanosecond-scale intrinsic delays of a fabric
+// configuration (LUT reads, FF timing, mux and wire delays), scaled by
+// the family's LUT size and channel width.
+type DelayModel = fabric.DelayModel
+
 // DefaultArchParams returns the paper's fabric family (4-LUT, 4-BLE
 // CLBs, 8-GPIO tiles, width-derived channel width).
 func DefaultArchParams() ArchParams { return fabric.DefaultParams() }
@@ -108,6 +120,7 @@ const (
 	StageSelect       = core.StageSelect
 	StageImplement    = core.StageImplement
 	StageRedact       = core.StageRedact
+	StageVerify       = core.StageVerify
 )
 
 // Event is one observer notification from a pipeline run.
@@ -132,11 +145,12 @@ type FlowError = core.FlowError
 // Typed flow diagnostics, wrapped in *FlowError on Report.Err; test
 // with errors.Is.
 var (
-	ErrNoCandidates  = core.ErrNoCandidates
-	ErrNoCluster     = core.ErrNoCluster
-	ErrNoValidEFPGA  = core.ErrNoValidEFPGA
-	ErrNoSolution    = core.ErrNoSolution
-	ErrClusterBudget = core.ErrClusterBudget
+	ErrNoCandidates   = core.ErrNoCandidates
+	ErrNoCluster      = core.ErrNoCluster
+	ErrNoValidEFPGA   = core.ErrNoValidEFPGA
+	ErrNoSolution     = core.ErrNoSolution
+	ErrClusterBudget  = core.ErrClusterBudget
+	ErrBelowFmaxFloor = core.ErrBelowFmaxFloor
 )
 
 // CharacterizationCache memoizes per-cluster characterizations across

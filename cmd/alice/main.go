@@ -7,11 +7,18 @@
 //	alice -v design.v -c flow.yaml [-o redacted.v] [-summary] [-json] [-timeout 30s]
 //	alice -bench gcd -cfg 1 [-o redacted.v]
 //	alice -bench gcd -arch-luts 3,4,5 -arch-bles 4,8 -json
+//	alice -bench gcd -timing -delay-weight 0.5 -fmax-floor 250 -json
 //
 // The -arch-* flags open the fabric architecture space: every cluster
 // is characterized against the cartesian product of the listed LUT
 // sizes and cluster sizes (on top of the width sweep), and -json
 // reports one row per family.
+//
+// The timing flags drive the frequency-aware flow: -timing steers
+// placement and routing by connection criticality, -delay-weight adds
+// an Fmax term to the selection score, and -fmax-floor rejects fabrics
+// that miss the frequency constraint. Reports always carry each
+// fabric's critical-path delay and Fmax.
 package main
 
 import (
@@ -41,6 +48,9 @@ func main() {
 		archLuts  = flag.String("arch-luts", "", "comma-separated LUT sizes to explore (e.g. 3,4,5); empty = the paper's 4")
 		archBles  = flag.String("arch-bles", "", "comma-separated BLEs-per-CLB values to explore (e.g. 4,8); empty = the paper's 4")
 		archCW    = flag.String("arch-cw", "auto", "routing channel width: auto (width-derived) or a fixed track count")
+		timingOn  = flag.Bool("timing", false, "timing-driven mode: criticality steers placement and routing")
+		delayW    = flag.Float64("delay-weight", -1, "selection weight of the Fmax term (gamma; <0 keeps the config's value)")
+		fmaxFloor = flag.Float64("fmax-floor", -1, "reject fabrics below this Fmax in MHz (<0 keeps the config's value)")
 	)
 	flag.Parse()
 
@@ -93,6 +103,25 @@ func main() {
 		if err := cfg.Validate(); err != nil {
 			fatalf("%v", err)
 		}
+	}
+
+	// -timing overrides the config only when given explicitly, so
+	// -timing=false can force a control run against a YAML that sets
+	// timing.driven: true (mirroring the -1 sentinels of the float
+	// flags below).
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "timing" {
+			cfg.TimingDriven = *timingOn
+		}
+	})
+	if *delayW >= 0 {
+		cfg.DelayWeight = *delayW
+	}
+	if *fmaxFloor >= 0 {
+		cfg.FmaxFloorMHz = *fmaxFloor
+	}
+	if err := cfg.Validate(); err != nil {
+		fatalf("%v", err)
 	}
 
 	ctx := context.Background()

@@ -33,8 +33,8 @@ func runArchSweep(w io.Writer, designName string) {
 	}
 	ctx := context.Background()
 	fmt.Fprintf(w, "Architecture sweep on %s (cfg1 budgets)\n", b.Name)
-	fmt.Fprintf(w, "%-6s %-16s %9s %7s %8s %6s %10s %9s\n",
-		"family", "fabrics", "key bits", "IOutil", "CLButil", "DIPs", "conflicts", "atk time")
+	fmt.Fprintf(w, "%-6s %-16s %9s %7s %8s %9s %6s %10s %9s\n",
+		"family", "fabrics", "key bits", "IOutil", "CLButil", "Fmax", "DIPs", "conflicts", "atk time")
 	for _, fam := range archSweepFamilies {
 		cfg := alice.Cfg1()
 		cfg.SelectedOutputs = b.SelectedOutputs
@@ -46,12 +46,15 @@ func runArchSweep(w io.Writer, designName string) {
 			continue
 		}
 		keyBits, dips, conflicts := 0, 0, 0
-		var io, clb float64
+		var io, clb, worstNs float64
 		start := time.Now()
 		for _, fc := range rep.Solution.Fabrics {
 			keyBits += fc.Fabric.ConfigBits()
 			io += fc.Fabric.IOUtil / float64(len(rep.Solution.Fabrics))
 			clb += fc.Fabric.CLBUtil / float64(len(rep.Solution.Fabrics))
+			if t := fc.Fabric.Timing; t != nil && t.CritPathNs > worstNs {
+				worstNs = t.CritPathNs
+			}
 			// Attack the functional configuration of each winning fabric:
 			// the LUT masks are the key the foundry attacker must recover.
 			ar, err := attack.RecoverBitstream(fc.Fabric.LUTs, 5000, 1)
@@ -59,8 +62,12 @@ func runArchSweep(w io.Writer, designName string) {
 			dips += ar.Iterations
 			conflicts += ar.Conflicts
 		}
-		fmt.Fprintf(w, "%-6s %-16s %9d %6.0f%% %7.0f%% %6d %10d %9s\n",
-			fam.Name(), rep.FabricSizes, keyBits, io*100, clb*100,
+		fmax := "-"
+		if worstNs > 0 {
+			fmax = fmt.Sprintf("%.0f MHz", 1000/worstNs)
+		}
+		fmt.Fprintf(w, "%-6s %-16s %9d %6.0f%% %7.0f%% %9s %6d %10d %9s\n",
+			fam.Name(), rep.FabricSizes, keyBits, io*100, clb*100, fmax,
 			dips, conflicts, time.Since(start).Round(time.Millisecond))
 	}
 }

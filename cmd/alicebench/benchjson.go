@@ -40,6 +40,9 @@ type benchReport struct {
 }
 
 // designBench is one fast-mode flow run (a Table-2 row with timing).
+// CritPathNs is the slowest fabric's estimated critical path — a
+// deterministic model value (not wall time), tracked by -compare so a
+// delay-model or mapper regression shows up in CI.
 type designBench struct {
 	Design      string  `json:"design"`
 	Cfg         string  `json:"cfg"`
@@ -50,10 +53,14 @@ type designBench struct {
 	Solutions   int     `json:"solutions"`
 	Redacted    int     `json:"redacted_instances"`
 	Fabrics     string  `json:"fabrics,omitempty"`
+	CritPathNs  float64 `json:"crit_path_ns,omitempty"`
+	FmaxMHz     float64 `json:"fmax_mhz,omitempty"`
 	Error       string  `json:"error,omitempty"`
 }
 
 // implBench is one full place&route implementation of a winning fabric.
+// CritPathNs/FmaxMHz are the exact routed STA results (deterministic
+// model values, tracked by -compare alongside the wall times).
 type implBench struct {
 	Design          string  `json:"design"`
 	Cfg             string  `json:"cfg"`
@@ -61,6 +68,8 @@ type implBench struct {
 	RouteIterations int     `json:"route_iterations"`
 	PlaceCost       float64 `json:"place_cost"`
 	ConfigBits      int     `json:"config_bits"`
+	CritPathNs      float64 `json:"crit_path_ns,omitempty"`
+	FmaxMHz         float64 `json:"fmax_mhz,omitempty"`
 	WallSeconds     float64 `json:"wall_seconds"`
 }
 
@@ -84,7 +93,7 @@ func benchJSON(outPath string) {
 	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
 	rep := &benchReport{
-		SchemaVersion: 1,
+		SchemaVersion: 2,
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
@@ -113,6 +122,17 @@ func benchJSON(outPath string) {
 				Solutions:   r.S,
 				Redacted:    r.Redacted,
 				Fabrics:     r.FabricSizes,
+			}
+			if r.Solution != nil {
+				// The design's clock is bounded by its slowest fabric.
+				for _, f := range r.Solution.Fabrics {
+					if t := f.Fabric.Timing; t != nil && t.CritPathNs > db.CritPathNs {
+						db.CritPathNs = t.CritPathNs
+					}
+				}
+				if db.CritPathNs > 0 {
+					db.FmaxMHz = 1000 / db.CritPathNs
+				}
 			}
 			if r.Err != nil {
 				db.Error = r.Err.Error()
@@ -153,6 +173,10 @@ func benchJSON(outPath string) {
 			}
 			if f.Fabric.Placement != nil {
 				ib.PlaceCost = f.Fabric.Placement.Cost
+			}
+			if t := f.Fabric.Timing; t != nil && !t.Estimated {
+				ib.CritPathNs = t.CritPathNs
+				ib.FmaxMHz = t.FmaxMHz
 			}
 			rep.Implement = append(rep.Implement, ib)
 		}

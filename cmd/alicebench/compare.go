@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // minRegressionSeconds filters measurement noise: an entry only counts
@@ -13,16 +14,19 @@ import (
 // baseline and slower by at least this much wall time.
 const minRegressionSeconds = 0.25
 
+// delayTolerance is the allowed relative growth of a modeled
+// critical-path delay before it counts as a timing regression. Delay
+// entries are deterministic model outputs, not wall times, so no
+// machine-speed normalization applies and the tolerance is tight; an
+// intentional delay-model change re-baselines instead.
+const delayTolerance = 1.05
+
 // compareBench reruns the benchmark sweep and fails (exit 1) when any
 // tracked kernel regressed by more than 2x wall time against the
-// committed baseline, or disappeared from the sweep entirely. This is
-// the CI guard that keeps PR 2's hot-path wins from silently eroding.
-//
-// The baseline may have been recorded on a different machine, so the
-// per-kernel ratio is normalized by the suite's median now/base ratio
-// (the machine-speed factor): a uniformly slower CI runner shifts every
-// kernel equally and cancels out, while a single kernel regressing >2x
-// beyond the rest still trips the gate.
+// committed baseline, disappeared from the sweep entirely, or grew its
+// modeled critical-path delay beyond the tolerance. This is the CI
+// guard that keeps PR 2's hot-path wins (and now the timing story) from
+// silently eroding.
 func compareBench(baselinePath, outPath string) {
 	data, err := os.ReadFile(baselinePath)
 	check(err)
@@ -41,55 +45,130 @@ func compareBench(baselinePath, outPath string) {
 	var now benchReport
 	check(json.Unmarshal(cur, &now))
 
-	type entry struct {
-		base, now float64
-		seen      bool
+	res := compareReports(&base, &now)
+	fmt.Print(res.text)
+	if res.bad > 0 {
+		check(fmt.Errorf("%d tracked kernels regressed, went missing, or blew their delay budget", res.bad))
 	}
+	fmt.Println("no regressions against", baselinePath)
+}
+
+// compareResult is the rendered outcome of one baseline comparison.
+type compareResult struct {
+	text string
+	bad  int // regressed or missing tracked kernels (gate failures)
+	new  int // kernels present now but absent from the baseline
+}
+
+// entry accumulates one tracked kernel on both sides of the comparison.
+type entry struct {
+	base, now float64
+	seen      bool
+	delay     bool // modeled delay (ns): exact compare, no speed factor
+}
+
+// compareReports diffs two benchmark reports. It is pure (no I/O, no
+// exit), so the comparison rules are unit-testable.
+//
+// Wall-time entries: the baseline may have been recorded on a different
+// machine, so the per-kernel ratio is normalized by the suite's median
+// now/base ratio (the machine-speed factor): a uniformly slower CI
+// runner shifts every kernel equally and cancels out, while a single
+// kernel regressing >2x beyond the rest still trips the gate.
+//
+// Delay entries (crit-path ns) are deterministic model outputs and are
+// compared exactly, within delayTolerance.
+//
+// Kernels present in the current sweep but absent from the baseline —
+// new benchmarks, or a renamed kernel whose old name simultaneously
+// shows as MISSING — are reported explicitly but do not fail the gate;
+// re-baseline to start tracking them.
+func compareReports(base, now *benchReport) compareResult {
 	tracked := make(map[string]*entry)
 	key := func(kind, name, cfg string) string { return kind + ":" + name + ":" + cfg }
-	add := func(k string, v float64) {
+	add := func(k string, v float64, delay bool) {
 		// Duplicate rows (e.g. the two fabrics of one solution sharing a
 		// name) accumulate, mirroring fill() below, so both sides of the
-		// comparison count them the same way.
+		// comparison count them the same way. For delay entries the
+		// design's clock is its slowest kernel, so duplicates keep the
+		// max instead.
 		if e, ok := tracked[k]; ok {
-			e.base += v
+			if delay {
+				if v > e.base {
+					e.base = v
+				}
+			} else {
+				e.base += v
+			}
 		} else {
-			tracked[k] = &entry{base: v}
+			tracked[k] = &entry{base: v, delay: delay}
 		}
 	}
-	for _, d := range base.Designs {
-		add(key("flow", d.Design, d.Cfg), d.WallSeconds)
+	collectBase := func(r *benchReport) {
+		for _, d := range r.Designs {
+			add(key("flow", d.Design, d.Cfg), d.WallSeconds, false)
+			if d.CritPathNs > 0 {
+				add(key("delay", d.Design, d.Cfg), d.CritPathNs, true)
+			}
+		}
+		for _, d := range r.Implement {
+			add(key("pnr", d.Design, d.Fabric), d.WallSeconds, false)
+			if d.CritPathNs > 0 {
+				add(key("delay-pnr", d.Design, d.Fabric), d.CritPathNs, true)
+			}
+		}
+		for _, d := range r.Attacks {
+			add(key("attack", d.Target, ""), d.WallSeconds, false)
+		}
 	}
-	for _, d := range base.Implement {
-		add(key("pnr", d.Design, d.Fabric), d.WallSeconds)
-	}
-	for _, d := range base.Attacks {
-		add(key("attack", d.Target, ""), d.WallSeconds)
-	}
-	fill := func(k string, v float64) {
-		if e, ok := tracked[k]; ok {
+	collectBase(base)
+
+	unmatched := make(map[string]float64) // in current sweep, not in baseline
+	fill := func(k string, v float64, delay bool) {
+		e, ok := tracked[k]
+		if !ok {
+			if delay {
+				if v > unmatched[k] {
+					unmatched[k] = v
+				}
+			} else {
+				unmatched[k] += v
+			}
+			return
+		}
+		if delay {
+			if v > e.now {
+				e.now = v
+			}
+		} else {
 			e.now += v
-			e.seen = true
 		}
+		e.seen = true
 	}
 	for _, d := range now.Designs {
-		fill(key("flow", d.Design, d.Cfg), d.WallSeconds)
+		fill(key("flow", d.Design, d.Cfg), d.WallSeconds, false)
+		if d.CritPathNs > 0 {
+			fill(key("delay", d.Design, d.Cfg), d.CritPathNs, true)
+		}
 	}
 	for _, d := range now.Implement {
-		fill(key("pnr", d.Design, d.Fabric), d.WallSeconds)
+		fill(key("pnr", d.Design, d.Fabric), d.WallSeconds, false)
+		if d.CritPathNs > 0 {
+			fill(key("delay-pnr", d.Design, d.Fabric), d.CritPathNs, true)
+		}
 	}
 	for _, d := range now.Attacks {
-		fill(key("attack", d.Target, ""), d.WallSeconds)
+		fill(key("attack", d.Target, ""), d.WallSeconds, false)
 	}
 
-	// Machine-speed factor: the lower median per-kernel ratio. The lower
-	// median biases against masking (a regressed kernel's own large
-	// ratio cannot drag the factor up past the suite's midpoint), and
-	// tiny tracked sets — where any median IS the regressed kernel —
+	// Machine-speed factor: the lower median per-kernel wall-time ratio.
+	// The lower median biases against masking (a regressed kernel's own
+	// large ratio cannot drag the factor up past the suite's midpoint),
+	// and tiny tracked sets — where any median IS the regressed kernel —
 	// fall back to the same-machine assumption of factor 1.
 	var ratios []float64
 	for _, e := range tracked {
-		if e.seen && e.base > 0 {
+		if !e.delay && e.seen && e.base > 0 {
 			ratios = append(ratios, e.now/e.base)
 		}
 	}
@@ -99,9 +178,16 @@ func compareBench(baselinePath, outPath string) {
 		factor = ratios[(len(ratios)-1)/2]
 	}
 
-	bad := 0
-	fmt.Printf("machine-speed factor (median ratio): %.2fx\n", factor)
-	fmt.Printf("%-28s %10s %10s %7s\n", "kernel", "baseline", "current", "ratio")
+	var b strings.Builder
+	res := compareResult{}
+	fmt.Fprintf(&b, "machine-speed factor (median ratio): %.2fx\n", factor)
+	fmt.Fprintf(&b, "%-28s %10s %10s %7s\n", "kernel", "baseline", "current", "ratio")
+	unit := func(e *entry) string {
+		if e.delay {
+			return "ns"
+		}
+		return "s"
+	}
 	for _, k := range sortedEntryKeys(tracked) {
 		e := tracked[k]
 		ratio := 0.0
@@ -112,17 +198,29 @@ func compareBench(baselinePath, outPath string) {
 		switch {
 		case !e.seen:
 			mark = "  << MISSING from current sweep"
-			bad++
-		case e.now > 2*factor*e.base && e.now-factor*e.base > minRegressionSeconds:
+			res.bad++
+		case e.delay && e.now > delayTolerance*e.base:
+			mark = "  << DELAY REGRESSION"
+			res.bad++
+		case !e.delay && e.now > 2*factor*e.base && e.now-factor*e.base > minRegressionSeconds:
 			mark = "  << REGRESSION"
-			bad++
+			res.bad++
 		}
-		fmt.Printf("%-28s %9.3fs %9.3fs %6.2fx%s\n", k, e.base, e.now, ratio, mark)
+		fmt.Fprintf(&b, "%-28s %9.3f%-2s %8.3f%-2s %6.2fx%s\n", k, e.base, unit(e), e.now, unit(e), ratio, mark)
 	}
-	if bad > 0 {
-		check(fmt.Errorf("%d tracked kernels regressed by more than 2x or went missing", bad))
+	for _, k := range sortedEntryKeys(unmatched) {
+		fmt.Fprintf(&b, "%-28s %10s %9.3f   << NEW (not in baseline, untracked)\n", k, "-", unmatched[k])
+		res.new++
 	}
-	fmt.Println("no >2x wall-time regressions against", baselinePath)
+	if res.new > 0 || res.bad > 0 {
+		b.WriteString("\nre-baseline procedure: verify the change is intentional, run\n" +
+			"`go run ./cmd/alicebench -json -out BENCH.json` on the reference\n" +
+			"machine, review the diff, and commit the new BENCH.json. A MISSING\n" +
+			"kernel paired with a NEW one usually means a rename — re-baseline\n" +
+			"rather than losing its history silently.\n")
+	}
+	res.text = b.String()
+	return res
 }
 
 // abs best-effort-normalizes a path for the baseline-clobber check.

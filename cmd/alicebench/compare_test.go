@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(designs []designBench, impl []implBench, attacks []attackBench) *benchReport {
+	return &benchReport{Designs: designs, Implement: impl, Attacks: attacks}
+}
+
+func TestCompareReportsCatchesRegression(t *testing.T) {
+	base := rep([]designBench{{Design: "gcd", Cfg: "cfg1", WallSeconds: 1}}, nil,
+		[]attackBench{{Target: "a1", WallSeconds: 1}, {Target: "a2", WallSeconds: 1}})
+	now := rep([]designBench{{Design: "gcd", Cfg: "cfg1", WallSeconds: 3}}, nil,
+		[]attackBench{{Target: "a1", WallSeconds: 1}, {Target: "a2", WallSeconds: 1}})
+	res := compareReports(base, now)
+	if res.bad != 1 {
+		t.Fatalf("bad = %d, want 1\n%s", res.bad, res.text)
+	}
+	if !strings.Contains(res.text, "<< REGRESSION") {
+		t.Fatalf("missing regression mark:\n%s", res.text)
+	}
+}
+
+func TestCompareReportsMissingKernel(t *testing.T) {
+	base := rep([]designBench{
+		{Design: "gcd", Cfg: "cfg1", WallSeconds: 1},
+		{Design: "iir", Cfg: "cfg1", WallSeconds: 1},
+	}, nil, nil)
+	now := rep([]designBench{{Design: "gcd", Cfg: "cfg1", WallSeconds: 1}}, nil, nil)
+	res := compareReports(base, now)
+	if res.bad != 1 || !strings.Contains(res.text, "MISSING") {
+		t.Fatalf("bad = %d, want 1 MISSING\n%s", res.bad, res.text)
+	}
+}
+
+// A kernel added (or renamed) in the current sweep must be reported
+// explicitly instead of being silently untracked — the bug this test
+// regression-guards. The rename case shows both a MISSING and a NEW
+// row, plus the re-baseline instructions.
+func TestCompareReportsNewAndRenamedKernels(t *testing.T) {
+	base := rep([]designBench{{Design: "oldname", Cfg: "cfg1", WallSeconds: 1}}, nil, nil)
+	now := rep([]designBench{
+		{Design: "newname", Cfg: "cfg1", WallSeconds: 1},
+		{Design: "extra", Cfg: "cfg1", WallSeconds: 9},
+	}, nil, nil)
+	res := compareReports(base, now)
+	if res.new != 2 {
+		t.Fatalf("new = %d, want 2\n%s", res.new, res.text)
+	}
+	if res.bad != 1 { // oldname missing
+		t.Fatalf("bad = %d, want 1\n%s", res.bad, res.text)
+	}
+	for _, want := range []string{"flow:newname:cfg1", "flow:extra:cfg1", "NEW (not in baseline", "re-baseline procedure"} {
+		if !strings.Contains(res.text, want) {
+			t.Fatalf("output missing %q:\n%s", want, res.text)
+		}
+	}
+}
+
+// Modeled critical-path delays are deterministic, so they are compared
+// exactly (within the tolerance) and are immune to the machine-speed
+// factor that normalizes wall times.
+func TestCompareReportsDelayRegression(t *testing.T) {
+	mk := func(ns float64, wall float64) *benchReport {
+		return rep([]designBench{
+			{Design: "gcd", Cfg: "cfg1", WallSeconds: wall, CritPathNs: ns},
+			{Design: "fir", Cfg: "cfg1", WallSeconds: wall},
+			{Design: "iir", Cfg: "cfg1", WallSeconds: wall},
+			{Design: "des3", Cfg: "cfg1", WallSeconds: wall},
+			{Design: "sasc", Cfg: "cfg1", WallSeconds: wall},
+		}, nil, nil)
+	}
+	// Machine 3x slower across the board: wall times forgiven by the
+	// speed factor, but a 1.5x delay growth still trips the gate.
+	res := compareReports(mk(10, 1), mk(15, 3))
+	if res.bad != 1 || !strings.Contains(res.text, "DELAY REGRESSION") {
+		t.Fatalf("bad = %d, want 1 DELAY REGRESSION\n%s", res.bad, res.text)
+	}
+	// Within tolerance: clean.
+	res = compareReports(mk(10, 1), mk(10.2, 3))
+	if res.bad != 0 {
+		t.Fatalf("bad = %d, want 0\n%s", res.bad, res.text)
+	}
+}
+
+func TestCompareReportsDuplicateRowsAccumulate(t *testing.T) {
+	// Two fabrics of one solution sharing a name must accumulate the
+	// same way on both sides.
+	base := rep(nil, []implBench{
+		{Design: "usb_phy", Fabric: "5x5", WallSeconds: 1, CritPathNs: 4},
+		{Design: "usb_phy", Fabric: "5x5", WallSeconds: 1, CritPathNs: 6},
+	}, nil)
+	now := rep(nil, []implBench{
+		{Design: "usb_phy", Fabric: "5x5", WallSeconds: 1, CritPathNs: 6},
+		{Design: "usb_phy", Fabric: "5x5", WallSeconds: 1, CritPathNs: 4},
+	}, nil)
+	res := compareReports(base, now)
+	if res.bad != 0 || res.new != 0 {
+		t.Fatalf("bad = %d new = %d, want 0/0\n%s", res.bad, res.new, res.text)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"alice/internal/fabric"
+	"alice/internal/techmap"
 	"alice/internal/yamlcfg"
 )
 
@@ -73,6 +74,23 @@ type Config struct {
 	// across the whole (arch, W) grid. Empty means the paper's single
 	// 4-LUT, 4-BLE family.
 	ArchSpace []fabric.Params
+	// TimingDriven steers placement and routing by connection
+	// criticality from static timing analysis. Off (the default), the
+	// implementation is bit-identical to the classic flow; timing is
+	// still analyzed and reported.
+	TimingDriven bool
+	// DelayWeight (gamma) weights the delay term of selection: each
+	// candidate's score gains gamma * Fmax/MaxFmax alongside the Eq. 1
+	// utilization terms, so faster fabrics win ties (and more, as gamma
+	// grows). 0 disables the term, reproducing the paper's ranking.
+	DelayWeight float64
+	// FmaxFloorMHz rejects candidate fabrics whose analyzed Fmax falls
+	// below this floor (0 = no floor). This is the frequency-constrained
+	// redaction workload: only fabrics meeting timing are admissible.
+	// Selection applies the floor to whatever timing the candidates
+	// carry (fast-mode estimates unless FullPnR is on), and
+	// ImplementSolution re-checks it against the exact routed timing.
+	FmaxFloorMHz float64
 }
 
 // archSpace returns the normalized architecture space (defaulting to
@@ -134,6 +152,10 @@ func Cfg2() *Config {
 //	  full_pnr: false
 //	  implement_winner: true
 //	  seed: 1
+//	timing:
+//	  driven: true             # criticality-driven place & route
+//	  delay_weight: 0.5        # gamma: Fmax term weight in selection
+//	  fmax_floor_mhz: 250      # reject fabrics slower than this
 //	arch_space:
 //	  lut_sizes: [4, 5]        # K values to explore
 //	  bles_per_clb: [4, 8]     # N values to explore (cartesian with K)
@@ -177,6 +199,11 @@ func LoadConfig(src string) (*Config, error) {
 		cfg.ImplementWinner = yamlcfg.GetBool(f, "implement_winner", cfg.ImplementWinner)
 		cfg.Seed = int64(yamlcfg.GetInt(f, "seed", int(cfg.Seed)))
 	}
+	if t, ok := yamlcfg.GetMap(m["timing"]); ok {
+		cfg.TimingDriven = yamlcfg.GetBool(t, "driven", cfg.TimingDriven)
+		cfg.DelayWeight = yamlcfg.GetFloat(t, "delay_weight", cfg.DelayWeight)
+		cfg.FmaxFloorMHz = yamlcfg.GetFloat(t, "fmax_floor_mhz", cfg.FmaxFloorMHz)
+	}
 	if a, ok := yamlcfg.GetMap(m["arch_space"]); ok {
 		space, err := parseArchSpace(a)
 		if err != nil {
@@ -201,18 +228,38 @@ func parseArchSpace(a map[string]yamlcfg.Value) ([]fabric.Params, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Field-level range checks up front, so a bad value is rejected at
+	// config-load time with the offending YAML field named — not hours
+	// later from deep inside characterization.
+	for _, k := range luts {
+		if k < techmap.MinK || k > techmap.MaxK {
+			return nil, fmt.Errorf("core: arch_space.lut_sizes: %d out of supported range [%d,%d]",
+				k, techmap.MinK, techmap.MaxK)
+		}
+	}
+	for _, n := range bles {
+		if n < 1 || n > 16 {
+			return nil, fmt.Errorf("core: arch_space.bles_per_clb: %d out of supported range [1,16]", n)
+		}
+	}
+	// clb_inputs / channel_width are policies: "auto" (or absent) means
+	// derived, otherwise a positive integer. An explicit 0 or a negative
+	// value is rejected rather than silently treated as auto.
 	intPolicy := func(key string) (int, error) {
 		switch v := a[key].(type) {
 		case nil:
 			return 0, nil
 		case int64:
+			if v <= 0 {
+				return 0, fmt.Errorf("core: arch_space.%s must be positive (got %d); use auto for the derived policy", key, v)
+			}
 			return int(v), nil
 		case string:
 			if v == "auto" {
 				return 0, nil
 			}
 		}
-		return 0, fmt.Errorf("core: arch_space.%s must be auto or an integer", key)
+		return 0, fmt.Errorf("core: arch_space.%s must be auto or a positive integer", key)
 	}
 	clbIn, err := intPolicy("clb_inputs")
 	if err != nil {
@@ -227,7 +274,9 @@ func parseArchSpace(a map[string]yamlcfg.Value) ([]fabric.Params, error) {
 		for _, n := range bles {
 			p := fabric.Params{LUTSize: k, BLEsPerCLB: n, CLBInputs: clbIn, ChannelWidth: cw}
 			if err := p.Validate(); err != nil {
-				return nil, err
+				// Cross-field constraints (e.g. clb_inputs too small for
+				// the LUT size) still carry the block name.
+				return nil, fmt.Errorf("core: arch_space: %w", err)
 			}
 			space = append(space, p.Normalized())
 		}
@@ -274,7 +323,13 @@ func (c *Config) Key() string { return fmt.Sprintf("%+v", *c) }
 // Fields are appended per family by CharacterizeClusters, so two
 // different arch-space sweeps never alias in the cache.
 func (c *Config) characterizationFingerprint() string {
-	return fmt.Sprintf("w[%d,%d]|pnr=%t|seed=%d", c.MinFabric, c.MaxFabric, c.FullPnR, c.Seed)
+	// TimingDriven changes the characterized fabric only when place &
+	// route actually runs during characterization (FullPnR); in fast
+	// mode the flag is keyed out so timing-on and timing-off sweeps
+	// share cached fabrics. DelayWeight and FmaxFloorMHz only affect
+	// selection and deliberately stay out of the key.
+	return fmt.Sprintf("w[%d,%d]|pnr=%t|seed=%d|timing=%t",
+		c.MinFabric, c.MaxFabric, c.FullPnR, c.Seed, c.FullPnR && c.TimingDriven)
 }
 
 // Validate sanity-checks a configuration.
@@ -290,6 +345,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Alpha < 0 || c.Beta < 0 || c.Alpha+c.Beta == 0 {
 		return fmt.Errorf("core: alpha/beta must be non-negative and not both zero")
+	}
+	if c.DelayWeight < 0 {
+		return fmt.Errorf("core: timing.delay_weight must be non-negative (got %g)", c.DelayWeight)
+	}
+	if c.FmaxFloorMHz < 0 {
+		return fmt.Errorf("core: timing.fmax_floor_mhz must be non-negative (got %g)", c.FmaxFloorMHz)
 	}
 	for _, p := range c.ArchSpace {
 		if err := p.Validate(); err != nil {

@@ -99,8 +99,10 @@ type FabricCandidate struct {
 	Slack float64
 }
 
-// Valid reports whether the eFPGA implementation is admissible.
-func (fc *FabricCandidate) Valid() bool { return fc.Fabric != nil }
+// Valid reports whether the eFPGA implementation is admissible: it
+// exists and was not rejected by a selection-time constraint (e.g. the
+// Fmax floor).
+func (fc *FabricCandidate) Valid() bool { return fc.Fabric != nil && fc.Err == nil }
 
 // CharacterizeOptions tunes the characterization stage.
 type CharacterizeOptions struct {
@@ -132,12 +134,13 @@ func CharacterizeClusters(ctx context.Context, d *rtl.Design, clusters []Cluster
 	space := cfg.archSpace()
 	out := make([]FabricCandidate, len(clusters)*len(space))
 	opts := openfpga.Options{
-		MinW:        cfg.MinFabric,
-		MaxW:        cfg.MaxFabric,
-		FullPnR:     cfg.FullPnR,
-		Seed:        cfg.Seed,
-		RouteIters:  24,
-		UnifyClocks: true,
+		MinW:         cfg.MinFabric,
+		MaxW:         cfg.MaxFabric,
+		FullPnR:      cfg.FullPnR,
+		Seed:         cfg.Seed,
+		RouteIters:   24,
+		UnifyClocks:  true,
+		TimingDriven: cfg.TimingDriven,
 	}
 	fp := ""
 	if co.Cache != nil {

@@ -19,6 +19,9 @@ const (
 	StageSelect       Stage = "select"
 	StageImplement    Stage = "implement"
 	StageRedact       Stage = "redact"
+	// StageVerify attributes diagnostics from the post-redaction
+	// co-simulation check (VerifyRedaction).
+	StageVerify Stage = "verify"
 )
 
 // Sentinel diagnostics of the flow. They are always returned wrapped in
@@ -38,6 +41,9 @@ var (
 	ErrNoSolution = errors.New("no admissible solution")
 	// ErrClusterBudget: cluster enumeration exceeded Config.MaxClusters.
 	ErrClusterBudget = errors.New("cluster identification exceeded the cluster budget")
+	// ErrBelowFmaxFloor: a characterized fabric was rejected by the
+	// configuration's Fmax floor (Config.FmaxFloorMHz).
+	ErrBelowFmaxFloor = errors.New("fabric Fmax below the configured floor")
 )
 
 // FlowError is a stage-attributed flow diagnostic. It wraps one of the

@@ -290,7 +290,10 @@ func serializeObserver(o Observer) Observer {
 
 // ImplementSolution upgrades every fast-mode fabric of a solution to a
 // fully placed, routed, and programmed one, growing fabrics if routing
-// requires.
+// requires. A configured Fmax floor is re-checked against the exact
+// routed timing: selection admitted the fabric on an estimate, and an
+// implementation that misses the floor anyway is a typed failure, not
+// a silent constraint violation.
 func ImplementSolution(ctx context.Context, sol *Solution, cfg *Config) error {
 	for _, fc := range sol.Fabrics {
 		if fc.Fabric.Bits == nil {
@@ -301,6 +304,12 @@ func ImplementSolution(ctx context.Context, sol *Solution, cfg *Config) error {
 				return fmt.Errorf("implementing winning fabric: %w", err)
 			}
 		}
+		if cfg.FmaxFloorMHz > 0 {
+			if t := fc.Fabric.Timing; t != nil && !t.Estimated && t.FmaxMHz < cfg.FmaxFloorMHz {
+				return fmt.Errorf("implemented fabric %s: routed %.1f MHz < floor %.1f MHz: %w",
+					fc.Fabric.Arch.FullName(), t.FmaxMHz, cfg.FmaxFloorMHz, ErrBelowFmaxFloor)
+			}
+		}
 	}
 	return nil
 }
@@ -309,12 +318,13 @@ func ImplementSolution(ctx context.Context, sol *Solution, cfg *Config) error {
 // routed, and programmed one, growing the fabric if routing requires.
 func implementFabric(ctx context.Context, fc *FabricCandidate, cfg *Config) error {
 	opts := openfpga.Options{
-		MinW:        fc.Fabric.Arch.W,
-		MaxW:        cfg.MaxFabric,
-		FullPnR:     true,
-		Seed:        cfg.Seed,
-		RouteIters:  32,
-		UnifyClocks: true,
+		MinW:         fc.Fabric.Arch.W,
+		MaxW:         cfg.MaxFabric,
+		FullPnR:      true,
+		Seed:         cfg.Seed,
+		RouteIters:   32,
+		UnifyClocks:  true,
+		TimingDriven: cfg.TimingDriven,
 	}
 	nf, err := openfpga.Recharacterize(ctx, fc.Fabric, opts)
 	if err != nil {
@@ -341,9 +351,17 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  solution: fabrics [%s], score %.4f, %d redacted instances\n",
 			r.FabricSizes, r.Solution.Score, r.Redacted)
 		for _, f := range r.Solution.Fabrics {
-			fmt.Fprintf(&b, "    %s: %s pins=%d IOUtil=%.2f CLBUtil=%.2f key=%d bits\n",
+			fmt.Fprintf(&b, "    %s: %s pins=%d IOUtil=%.2f CLBUtil=%.2f key=%d bits",
 				f.Fabric.Arch.FullName(), f.Cluster.String(), f.Cluster.Pins,
 				f.Fabric.IOUtil, f.Fabric.CLBUtil, f.Fabric.ConfigBits())
+			if t := f.Fabric.Timing; t != nil {
+				est := ""
+				if t.Estimated {
+					est = " (est)"
+				}
+				fmt.Fprintf(&b, " critpath=%.2fns fmax=%.0fMHz%s", t.CritPathNs, t.FmaxMHz, est)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	if r.Err != nil {

@@ -51,6 +51,11 @@ type fabricJSON struct {
 	IOUtil       float64  `json:"io_util"`
 	CLBUtil      float64  `json:"clb_util"`
 	ConfigBits   int      `json:"config_bits"`
+	// Static timing analysis of the fabric: the critical-path delay and
+	// Fmax, with TimingEstimated marking fast-mode (unrouted) estimates.
+	CritPathNs      float64 `json:"crit_path_ns,omitempty"`
+	FmaxMHz         float64 `json:"fmax_mhz,omitempty"`
+	TimingEstimated bool    `json:"timing_estimated,omitempty"`
 }
 
 // archJSON is the per-family row of an architecture-space run.
@@ -65,6 +70,9 @@ type archJSON struct {
 	BestScore  float64 `json:"best_score"`
 	BestFabric string  `json:"best_fabric,omitempty"`
 	Chosen     int     `json:"chosen_fabrics"`
+	// BestFmaxMHz is the fastest analyzed Fmax among the family's valid
+	// candidates (0 when none carries timing).
+	BestFmaxMHz float64 `json:"best_fmax_mhz,omitempty"`
 }
 
 // JSON renders the report as indented JSON for machine consumers (the
@@ -91,7 +99,7 @@ func (r *Report) JSON() ([]byte, error) {
 				paths = append(paths, in.Path)
 			}
 			a := f.Fabric.Arch
-			s.Fabrics = append(s.Fabrics, fabricJSON{
+			fj := fabricJSON{
 				Arch:         a.FullName(),
 				Family:       a.Params().Name(),
 				LUTSize:      a.LUTSize,
@@ -103,7 +111,13 @@ func (r *Report) JSON() ([]byte, error) {
 				IOUtil:       f.Fabric.IOUtil,
 				CLBUtil:      f.Fabric.CLBUtil,
 				ConfigBits:   f.Fabric.ConfigBits(),
-			})
+			}
+			if t := f.Fabric.Timing; t != nil {
+				fj.CritPathNs = t.CritPathNs
+				fj.FmaxMHz = t.FmaxMHz
+				fj.TimingEstimated = t.Estimated
+			}
+			s.Fabrics = append(s.Fabrics, fj)
 		}
 		out.Solution = s
 	}
@@ -141,6 +155,9 @@ func archRows(r *Report) []archJSON {
 		rows[j].Candidates++
 		if c.Valid() {
 			rows[j].ValidEFPGAs++
+			if t := c.Fabric.Timing; t != nil && t.FmaxMHz > rows[j].BestFmaxMHz {
+				rows[j].BestFmaxMHz = t.FmaxMHz
+			}
 			// Rank with the same metric selection used: utilization
 			// reward when maximizing, Eq.-1 slack when minimizing.
 			metric, better := c.Score, c.Score > rows[j].BestScore

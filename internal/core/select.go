@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -47,9 +48,11 @@ type SelectionResult struct {
 	SolutionCount int
 	// Best is the chosen solution (nil when none exists).
 	Best *Solution
-	// MaxIOUtil / MaxCLBUtil are the normalization terms of Eq. 1.
+	// MaxIOUtil / MaxCLBUtil are the normalization terms of Eq. 1;
+	// MaxFmaxMHz normalizes the delay term the same way.
 	MaxIOUtil  float64
 	MaxCLBUtil float64
+	MaxFmaxMHz float64
 	// Direction records the Eq.-1 ranking used, so per-family reporting
 	// compares candidates with the same metric selection did.
 	Direction ScoreDirection
@@ -62,7 +65,31 @@ type SelectionResult struct {
 // checks ctx every few thousand visited nodes, so very large solution
 // spaces remain cancellable.
 func SelectEFPGAs(ctx context.Context, cands []FabricCandidate, cfg *Config) (*SelectionResult, error) {
+	// Work on a copy of the candidate slice: selection is documented to
+	// be re-runnable over one characterization under many
+	// configurations, so per-config verdicts (the Fmax floor, scores)
+	// must never leak into the caller's slice. Stale floor rejections
+	// from a previous Select over the same copy are re-evaluated here.
+	cands = append([]FabricCandidate(nil), cands...)
 	res := &SelectionResult{Candidates: cands, Direction: cfg.Direction}
+	floorRejected := 0
+	for i := range cands {
+		c := &cands[i]
+		if c.Err != nil && errors.Is(c.Err, ErrBelowFmaxFloor) {
+			c.Err = nil // this config's floor decides below
+		}
+		if cfg.FmaxFloorMHz <= 0 || !c.Valid() {
+			continue
+		}
+		fm := 0.0
+		if c.Fabric.Timing != nil {
+			fm = c.Fabric.Timing.FmaxMHz
+		}
+		if fm < cfg.FmaxFloorMHz {
+			c.Err = fmt.Errorf("%.1f MHz < floor %.1f MHz: %w", fm, cfg.FmaxFloorMHz, ErrBelowFmaxFloor)
+			floorRejected++
+		}
+	}
 	var valid []*FabricCandidate
 	for i := range cands {
 		if cands[i].Valid() {
@@ -71,6 +98,10 @@ func SelectEFPGAs(ctx context.Context, cands []FabricCandidate, cfg *Config) (*S
 	}
 	res.ValidCount = len(valid)
 	if len(valid) == 0 {
+		if floorRejected > 0 {
+			return res, fmt.Errorf("%w (%d fabrics rejected: %w at %.1f MHz)",
+				ErrNoValidEFPGA, floorRejected, ErrBelowFmaxFloor, cfg.FmaxFloorMHz)
+		}
 		return res, ErrNoValidEFPGA
 	}
 
@@ -82,10 +113,13 @@ func SelectEFPGAs(ctx context.Context, cands []FabricCandidate, cfg *Config) (*S
 		if f.Fabric.CLBUtil > res.MaxCLBUtil {
 			res.MaxCLBUtil = f.Fabric.CLBUtil
 		}
+		if t := f.Fabric.Timing; t != nil && t.FmaxMHz > res.MaxFmaxMHz {
+			res.MaxFmaxMHz = t.FmaxMHz
+		}
 	}
 	for _, f := range valid {
-		f.Slack = eq1(f, res.MaxIOUtil, res.MaxCLBUtil, cfg)
-		f.Score = utilReward(f, res.MaxIOUtil, res.MaxCLBUtil, cfg)
+		f.Slack = eq1(f, res.MaxIOUtil, res.MaxCLBUtil, res.MaxFmaxMHz, cfg)
+		f.Score = utilReward(f, res.MaxIOUtil, res.MaxCLBUtil, res.MaxFmaxMHz, cfg)
 	}
 
 	// Pairwise conflicts: shared instances or hierarchy containment.
@@ -192,8 +226,10 @@ func SelectEFPGAs(ctx context.Context, cands []FabricCandidate, cfg *Config) (*S
 //	T_f = alpha * (MaxIOUtil - IOUtil_f) / MaxIOUtil
 //	    + beta  * (MaxCLBUtil - CLBUtil_f) / MaxCLBUtil
 //
-// This is a slack: 0 for the best-utilized fabric.
-func eq1(f *FabricCandidate, maxIO, maxCLB float64, cfg *Config) float64 {
+// extended by the delay-overhead term of the timing-driven flow,
+// gamma * (MaxFmax - Fmax_f) / MaxFmax (0 when DelayWeight is 0).
+// This is a slack: 0 for the best fabric on every axis.
+func eq1(f *FabricCandidate, maxIO, maxCLB, maxFmax float64, cfg *Config) float64 {
 	t := 0.0
 	if maxIO > 0 {
 		t += cfg.Alpha * (maxIO - f.Fabric.IOUtil) / maxIO
@@ -201,14 +237,19 @@ func eq1(f *FabricCandidate, maxIO, maxCLB float64, cfg *Config) float64 {
 	if maxCLB > 0 {
 		t += cfg.Beta * (maxCLB - f.Fabric.CLBUtil) / maxCLB
 	}
+	if cfg.DelayWeight > 0 && maxFmax > 0 {
+		t += cfg.DelayWeight * (maxFmax - fmaxOf(f)) / maxFmax
+	}
 	return t
 }
 
 // utilReward is the complementary reading of Eq. 1 used by the default
 // ranking: alpha*IOUtil/MaxIOUtil + beta*CLBUtil/MaxCLBUtil, so fabrics
 // with high I/O and CLB utilization (harder to attack per Sec. 6) score
-// higher, and solutions with more well-utilized fabrics win.
-func utilReward(f *FabricCandidate, maxIO, maxCLB float64, cfg *Config) float64 {
+// higher, and solutions with more well-utilized fabrics win. The
+// timing-driven flow adds gamma*Fmax/MaxFmax, rewarding faster fabrics
+// the same normalized way.
+func utilReward(f *FabricCandidate, maxIO, maxCLB, maxFmax float64, cfg *Config) float64 {
 	t := 0.0
 	if maxIO > 0 {
 		t += cfg.Alpha * f.Fabric.IOUtil / maxIO
@@ -216,7 +257,18 @@ func utilReward(f *FabricCandidate, maxIO, maxCLB float64, cfg *Config) float64 
 	if maxCLB > 0 {
 		t += cfg.Beta * f.Fabric.CLBUtil / maxCLB
 	}
+	if cfg.DelayWeight > 0 && maxFmax > 0 {
+		t += cfg.DelayWeight * fmaxOf(f) / maxFmax
+	}
 	return t
+}
+
+// fmaxOf returns a candidate's analyzed Fmax (0 when timing is absent).
+func fmaxOf(f *FabricCandidate) float64 {
+	if t := f.Fabric.Timing; t != nil {
+		return t.FmaxMHz
+	}
+	return 0
 }
 
 // clustersOverlap reports whether two clusters share an instance or one

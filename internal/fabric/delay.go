@@ -1,0 +1,103 @@
+package fabric
+
+// DelayModel holds the intrinsic delays (in nanoseconds) of one
+// concrete fabric configuration. The values follow a simple but
+// physically shaped model in the spirit of VPR's architecture files:
+// LUT delay grows with the input count K (a K-deep read-mux tree),
+// programmable-mux delays grow with the log of their fan-in (mux-tree
+// depth), and wire-segment delay grows as tracks get scarcer — fewer
+// tracks per channel mean each track is more heavily loaded, so narrow
+// channels are slower per segment. Absolute numbers are calibrated to a
+// generic 45 nm eFPGA tile (hundreds of MHz for small designs), which
+// is enough for the relative comparisons the flow makes: ranking
+// (cluster × family) candidates by delay overhead and steering the
+// timing-driven placer and router.
+type DelayModel struct {
+	// LUTDelay is the input-to-output delay of one K-input LUT read.
+	LUTDelay float64
+	// FFClkQ and FFSetup are the flip-flop clock-to-Q and setup times;
+	// together they bound Fmax for register-to-register paths.
+	FFClkQ  float64
+	FFSetup float64
+	// CrossbarDelay is the intra-CLB input-crossbar mux (selecting among
+	// CLBInputs external pins plus BLEsPerCLB feedback outputs).
+	CrossbarDelay float64
+	// FeedbackDelay is a full intra-CLB BLE-to-BLE hop (crossbar only;
+	// no general routing is crossed).
+	FeedbackDelay float64
+	// OPinDelay is the CLB output-pin buffer driving the adjacent
+	// channels.
+	OPinDelay float64
+	// IPinDelay is the connection-block mux into one CLB input pin.
+	IPinDelay float64
+	// WireDelay is one unit-length routing segment including its
+	// switch-box mux.
+	WireDelay float64
+	// PadDelay is an I/O pad (either direction).
+	PadDelay float64
+}
+
+// Delay-model base constants (ns). See DelayModel for the scaling
+// rules applied on top.
+const (
+	dmLUTBase   = 0.080 // LUT fixed overhead
+	dmLUTPerK   = 0.035 // per mux-tree level (per LUT input)
+	dmFFClkQ    = 0.100
+	dmFFSetup   = 0.060
+	dmMuxPerBit = 0.012 // per mux-tree level (clog2 of fan-in)
+	dmOPin      = 0.050
+	dmWireBase  = 0.120 // unit segment at infinite channel width
+	dmWireLoad  = 24.0  // track-load numerator: segment delay scales by (1 + load/CW)
+	dmPad       = 0.100
+)
+
+// DelayModel derives the delay model of this architecture. The model is
+// deterministic in the Arch alone, so two identical fabrics always
+// report identical timing.
+func (a Arch) DelayModel() DelayModel {
+	cw := a.ChannelWidth
+	if cw < 1 {
+		cw = 1
+	}
+	// Wider channels shrink per-track load; narrower channels
+	// concentrate it. This term makes Fmax monotone non-increasing as
+	// the channel narrows, on top of the congestion detours the router
+	// takes when tracks run out.
+	wire := dmWireBase * (1 + dmWireLoad/float64(cw))
+	return DelayModel{
+		LUTDelay:      dmLUTBase + dmLUTPerK*float64(a.LUTSize),
+		FFClkQ:        dmFFClkQ,
+		FFSetup:       dmFFSetup,
+		CrossbarDelay: dmMuxPerBit * float64(clog2(a.CLBInputs+a.BLEsPerCLB+1)),
+		FeedbackDelay: dmMuxPerBit * float64(clog2(a.CLBInputs+a.BLEsPerCLB+1)),
+		OPinDelay:     dmOPin,
+		IPinDelay:     dmMuxPerBit * float64(clog2(2*a.ChannelWidth+1)),
+		WireDelay:     wire,
+		PadDelay:      dmPad,
+	}
+}
+
+// NodeDelays returns the per-RR-node routing delay (ns) incurred by a
+// signal passing through each node of the graph: wire segments carry
+// the channel-scaled segment delay, pins carry their mux/buffer delay,
+// pads carry the pad delay. The intra-CLB crossbar behind an input pin
+// is NOT included (it belongs to the logic side of the timing graph).
+func (g *RRGraph) NodeDelays(dm DelayModel) []float32 {
+	out := make([]float32, len(g.Nodes))
+	for i, nd := range g.Nodes {
+		switch nd.Kind {
+		case RRHWire, RRVWire:
+			out[i] = float32(dm.WireDelay)
+		case RROPin:
+			out[i] = float32(dm.OPinDelay)
+		case RRIPin:
+			out[i] = float32(dm.IPinDelay)
+		case RRIOIn:
+			out[i] = float32(dm.PadDelay)
+		case RRIOOut:
+			// Pad plus its track-select mux.
+			out[i] = float32(dm.PadDelay + dmMuxPerBit*float64(clog2(g.Arch.ChannelWidth+1)))
+		}
+	}
+	return out
+}

@@ -29,10 +29,23 @@ func (s *Simulator) Reset() {
 }
 
 // Eval applies the primary input values (ordered like PIs) and settles
-// combinational logic, returning the primary output values.
+// combinational logic, returning the primary output values. It panics
+// on an input-count mismatch — a proven internal invariant (every
+// caller sizes the slice from the same netlist's PIs); callers feeding
+// externally derived data should use EvalChecked.
 func (s *Simulator) Eval(inputs []bool) []bool {
+	out, err := s.EvalChecked(inputs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// EvalChecked is Eval returning an error instead of panicking when the
+// input count does not match the netlist's primary inputs.
+func (s *Simulator) EvalChecked(inputs []bool) ([]bool, error) {
 	if len(inputs) != len(s.n.PIs) {
-		panic(fmt.Sprintf("netlist sim: got %d inputs, want %d", len(inputs), len(s.n.PIs)))
+		return nil, fmt.Errorf("netlist sim: got %d inputs, want %d", len(inputs), len(s.n.PIs))
 	}
 	for i, pi := range s.n.PIs {
 		s.val[pi] = inputs[i]
@@ -67,7 +80,7 @@ func (s *Simulator) Eval(inputs []bool) []bool {
 	for i, po := range s.n.POs {
 		out[i] = s.val[po]
 	}
-	return out
+	return out, nil
 }
 
 // Step evaluates combinational logic for the given inputs and then

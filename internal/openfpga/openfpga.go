@@ -21,6 +21,7 @@ import (
 	"alice/internal/rtl"
 	"alice/internal/synth"
 	"alice/internal/techmap"
+	"alice/internal/timing"
 	"alice/internal/verilog"
 )
 
@@ -45,7 +46,16 @@ type Options struct {
 	// UnifyClocks treats all clock pins as one clock domain (used for
 	// multi-module cluster wrappers).
 	UnifyClocks bool
+	// TimingDriven steers placement and routing by connection
+	// criticality (from static timing analysis) instead of pure
+	// wirelength/congestion. Off, the implementation is bit-identical
+	// to the classic flow; timing is still analyzed and reported.
+	TimingDriven bool
 }
+
+// timingTradeoff is the fraction of the annealer's cost carried by the
+// criticality term in timing-driven mode (VPR's classic 0.5 blend).
+const timingTradeoff = 0.5
 
 // DefaultOptions returns the options used throughout the paper's
 // evaluation: fabrics from 2x2 to 20x20, fast characterization.
@@ -68,6 +78,10 @@ type Fabric struct {
 	Placement *place.Placement
 	Routing   *route.Result
 	Bits      *bitstream.Bits
+	// Timing is the static timing analysis of the implementation:
+	// exact (routed wire delays) after Implement, a placement-free
+	// estimate in fast mode. Never nil for a characterized fabric.
+	Timing *timing.Report
 	// Utilizations for the Eq. 1 score.
 	IOUtil  float64
 	CLBUtil float64
@@ -201,6 +215,11 @@ func characterizeLUTs(ctx context.Context, n *netlist.Netlist, ln *techmap.LUTNe
 			CLBUtil: float64(p.NumCLBs()) / float64(arch.CLBCount()),
 		}
 		if !o.FullPnR {
+			// Copy the report out of the Analysis so the fabric (often
+			// cached across runs) does not pin the STA's edge/criticality
+			// scratch in memory.
+			rep := timing.EstimatePacked(p).Report
+			f.Timing = &rep
 			return f, nil
 		}
 		if err := Implement(ctx, f, o); err != nil {
@@ -233,14 +252,35 @@ func Recharacterize(ctx context.Context, f *Fabric, o Options) (*Fabric, error) 
 }
 
 // Implement runs placement, routing, and bitstream generation on a
-// fast-characterized fabric, upgrading it in place.
+// fast-characterized fabric, upgrading it in place. In timing-driven
+// mode the placer minimizes criticality-weighted wirelength (seeded by
+// a packing-level STA), the router blends congestion against delay per
+// connection (seeded by a placement-level STA), and the final report
+// carries the exact routed timing; the default mode produces the
+// classic implementation bit for bit and still reports its timing.
 func Implement(ctx context.Context, f *Fabric, o Options) error {
 	g := fabric.BuildRRGraph(f.Arch)
-	pl, err := place.Place(ctx, f.Packing, o.Seed)
+	var popts place.Options
+	if o.TimingDriven {
+		popts.Timing = &place.TimingCost{
+			Crit:     timing.EstimatePacked(f.Packing).PlaceCrit(),
+			Tradeoff: timingTradeoff,
+		}
+	}
+	pl, err := place.PlaceOpts(ctx, f.Packing, o.Seed, popts)
 	if err != nil {
 		return err
 	}
-	rt, err := route.Route(ctx, pl, g, o.RouteIters)
+	var ropts route.Options
+	if o.TimingDriven {
+		dm := f.Arch.DelayModel()
+		ropts.Timing = &route.TimingCost{
+			Crit:       timing.AnalyzePlaced(pl, g).RouteCrit(),
+			NodeDelay:  g.NodeDelays(dm),
+			DelayScale: float32(1 / dm.WireDelay),
+		}
+	}
+	rt, err := route.RouteOpts(ctx, pl, g, o.RouteIters, ropts)
 	if err != nil {
 		return err
 	}
@@ -252,6 +292,8 @@ func Implement(ctx context.Context, f *Fabric, o Options) error {
 		return err
 	}
 	f.RR, f.Placement, f.Routing, f.Bits = g, pl, rt, bits
+	rep := timing.AnalyzeRouted(pl, rt).Report
+	f.Timing = &rep
 	return nil
 }
 
@@ -314,7 +356,15 @@ func VerifyBitstream(f *Fabric, steps int, seed int64) error {
 			}
 		}
 		o1 := s1.Step(in1)
-		o2 := s2.Step(in2)
+		// The decoded network is derived from the bitstream, not from
+		// the mapped network, so drive it through the checked entry
+		// point: a PI-count mismatch is a decode diagnostic, not an
+		// internal invariant.
+		o2, err := s2.EvalChecked(in2)
+		if err != nil {
+			return fmt.Errorf("openfpga: decoded fabric rejects stimulus: %w", err)
+		}
+		s2.Advance()
 		for i := range o1 {
 			if o1[i] != o2[poPerm[i]] {
 				return fmt.Errorf("openfpga: bitstream mismatch at step %d output %s",

@@ -1,0 +1,59 @@
+package openfpga
+
+import (
+	"context"
+	"testing"
+
+	"alice/internal/fabric"
+)
+
+const chainSrc = `
+module chain (input wire clk, input wire [7:0] a, input wire [7:0] b,
+              output reg [7:0] acc, output wire [7:0] mix);
+  wire [7:0] s = a + b;
+  wire [7:0] x = s ^ {s[3:0], s[7:4]};
+  assign mix = x + a;
+  always @(posedge clk) acc <= acc + x;
+endmodule
+`
+
+// TestFmaxMonotoneInChannelWidth: across a small corpus, the reported
+// (routed, exact) Fmax must be monotone non-increasing as the routing
+// channel narrows. Two model effects point the same way: per-track load
+// grows as tracks get scarcer, and congestion detours lengthen routes.
+func TestFmaxMonotoneInChannelWidth(t *testing.T) {
+	corpus := []struct {
+		name, src, top string
+		pins           int
+	}{
+		{"combo", combSrc, "combo", 13},
+		{"seqm", seqSrc, "seqm", 12},
+		{"chain", chainSrc, "chain", 33},
+	}
+	widths := []int{24, 16, 12, 8} // widest first
+	for _, c := range corpus {
+		ast := parse(t, c.src)
+		prev := -1.0 // Fmax at the previous (wider) channel
+		for i, cw := range widths {
+			o := DefaultOptions()
+			o.FullPnR = true
+			o.Params = fabric.Params{ChannelWidth: cw}
+			f, err := Characterize(context.Background(), ast, c.top, c.pins, o)
+			if err != nil {
+				t.Fatalf("%s cw=%d: %v", c.name, cw, err)
+			}
+			if f.Timing == nil || f.Timing.Estimated {
+				t.Fatalf("%s cw=%d: missing exact timing", c.name, cw)
+			}
+			fm := f.Timing.FmaxMHz
+			if fm <= 0 {
+				t.Fatalf("%s cw=%d: non-positive Fmax %.2f", c.name, cw, fm)
+			}
+			if i > 0 && fm > prev {
+				t.Fatalf("%s: Fmax rose from %.2f MHz (cw=%d) to %.2f MHz (cw=%d) as the channel narrowed",
+					c.name, prev, widths[i-1], fm, cw)
+			}
+			prev = fm
+		}
+	}
+}

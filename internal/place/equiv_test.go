@@ -31,7 +31,7 @@ func refCost(pl *Placement) float64 {
 		}
 	}
 	total := 0.0
-	for _, n := range buildNets(p) {
+	for _, n := range buildNets(p, nil) {
 		first := blockXY(n.blocks[0])
 		minX, maxX, minY, maxY := first.X, first.X, first.Y, first.Y
 		for _, b := range n.blocks[1:] {

@@ -27,13 +27,50 @@ type XY struct{ X, Y int }
 // Pad identifies a GPIO position: tile index (0..2W-1) and pin.
 type Pad struct{ Tile, Pin int }
 
+// PadGridXY returns the grid coordinates of a GPIO pad on a fabric of
+// width w for wirelength and timing estimates: left tiles sit at x=-1,
+// right tiles at x=w (mirroring fabric.RRGraph.PadXY). Shared by the
+// annealer's cost model and the timing estimator, so the two can never
+// disagree on pad geometry.
+func PadGridXY(w int, pd Pad) XY {
+	if pd.Tile < w {
+		return XY{-1, pd.Tile}
+	}
+	return XY{w, pd.Tile - w}
+}
+
 // Placement maps packing results onto the fabric.
 type Placement struct {
 	Pack   *pack.Packing
 	CLBPos []XY          // per CLB index
 	PIPad  map[int32]Pad // LUT-network PI node -> pad
 	POPad  []Pad         // per PO index
-	Cost   float64       // final HPWL cost
+	// Cost is the final annealing cost: pure HPWL in the default mode,
+	// HPWL plus the scaled timing term in timing-driven mode.
+	Cost float64
+}
+
+// TimingCost enables the timing-driven cost term: on top of HPWL, the
+// annealer minimizes the criticality-weighted Manhattan length of every
+// external connection, so timing-critical connections are drawn short
+// at the expense of slack-rich ones.
+type TimingCost struct {
+	// Crit maps (driver LUT-network node, dense sink block id) to the
+	// connection's criticality in [0,1], as produced by
+	// timing.Analysis.PlaceCrit. The dense block ids are the placer's
+	// own convention: CLB indices, then PIs (by index in Net.PIs), then
+	// POs (by index in Net.POs).
+	Crit map[[2]int32]float32
+	// Tradeoff is the fraction of the initial total cost carried by the
+	// timing term (VPR-style normalization); 0.5 balances the two.
+	// Values are clamped to [0, 0.95].
+	Tradeoff float64
+}
+
+// Options tunes a placement run beyond the packing itself. The zero
+// value reproduces the default wirelength-driven annealer bit for bit.
+type Options struct {
+	Timing *TimingCost
 }
 
 // Movable blocks are dense ids: CLBs first, then PIs (by index in
@@ -103,16 +140,44 @@ func (b *bbox) remove(x, y int32) bool {
 }
 
 // pnet is one placement net: the blocks it spans plus cached cost and
-// bounding box, with a revert snapshot for rejected moves.
+// bounding box, with a revert snapshot for rejected moves. blocks[0] is
+// the driver. In timing mode crits (aligned with blocks) carries the
+// per-connection criticalities and tcost the cached timing term.
 type pnet struct {
 	blocks []int32
 	cost   float64
 	box    bbox
+	crits  []float32
+	tcost  float64
 
 	stamp     uint32 // move epoch this net was last touched in
 	rescanned bool   // box fully recomputed this epoch; skip further deltas
 	savedCost float64
 	savedBox  bbox
+	savedT    float64
+	tFull     bool    // this epoch moved the driver: recompute tcost fully
+	tDelta    float64 // accumulated O(1) sink-move timing deltas this epoch
+}
+
+// timingCost is the net's criticality-weighted total Manhattan length
+// from the driver to every sink.
+func (n *pnet) timingCost(pos []XY) float64 {
+	d := pos[n.blocks[0]]
+	t := 0.0
+	for i, b := range n.blocks {
+		if c := n.crits[i]; c > 0 {
+			xy := pos[b]
+			t += float64(c) * float64(iabs(xy.X-d.X)+iabs(xy.Y-d.Y))
+		}
+	}
+	return t
+}
+
+func iabs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 func (n *pnet) rescan(pos []XY) {
@@ -129,6 +194,12 @@ func (n *pnet) rescan(pos []XY) {
 // annealer checks ctx between temperature steps and aborts with the
 // context's error when it is cancelled or past its deadline.
 func Place(ctx context.Context, p *pack.Packing, seed int64) (*Placement, error) {
+	return PlaceOpts(ctx, p, seed, Options{})
+}
+
+// PlaceOpts is Place with options; the zero Options value is exactly
+// Place (same moves, same acceptances, same result).
+func PlaceOpts(ctx context.Context, p *pack.Packing, seed int64, o Options) (*Placement, error) {
 	arch := p.Arch
 	W := arch.W
 	r := rand.New(rand.NewSource(seed))
@@ -146,12 +217,7 @@ func Place(ctx context.Context, p *pack.Packing, seed int64) (*Placement, error)
 
 	nBlocks := nCLB + nIO
 	pos := make([]XY, nBlocks)
-	padXY := func(pd Pad) XY {
-		if pd.Tile < W {
-			return XY{-1, pd.Tile}
-		}
-		return XY{W, pd.Tile - W}
-	}
+	padXY := func(pd Pad) XY { return PadGridXY(W, pd) }
 
 	// Initial CLB placement: row major.
 	slotOwner := make([]int32, W*W) // slot y*W+x -> CLB block id or -1
@@ -201,12 +267,31 @@ func Place(ctx context.Context, p *pack.Packing, seed int64) (*Placement, error)
 		pl.Cost = total
 	}
 
-	nets := buildNets(p)
+	nets := buildNets(p, o.Timing)
 	total := 0.0
 	for i := range nets {
 		nets[i].rescan(pos)
 		nets[i].cost = nets[i].box.cost()
 		total += nets[i].cost
+	}
+
+	// Timing term: normalized so it initially carries the Tradeoff
+	// fraction of the total cost, then annealed jointly with HPWL.
+	tscale := 0.0
+	if o.Timing != nil {
+		t0 := 0.0
+		for i := range nets {
+			nets[i].tcost = nets[i].timingCost(pos)
+			t0 += nets[i].tcost
+		}
+		lam := o.Timing.Tradeoff
+		if lam > 0.95 {
+			lam = 0.95
+		}
+		if t0 > 0 && lam > 0 {
+			tscale = lam / (1 - lam) * total / t0
+			total += tscale * t0
+		}
 	}
 
 	// Index: block id -> nets it belongs to, as flat slices.
@@ -227,6 +312,21 @@ func Place(ctx context.Context, p *pack.Packing, seed int64) (*Placement, error)
 			netsOf[b] = append(netsOf[b], int32(ni))
 		}
 	}
+	// critOf mirrors netsOf entry for entry with the block's criticality
+	// in that net, so a sink move prices its timing delta in O(1)
+	// without searching the net's member list.
+	var critOf [][]float32
+	if o.Timing != nil {
+		critOf = make([][]float32, nBlocks)
+		for b := range critOf {
+			critOf[b] = make([]float32, 0, len(netsOf[b]))
+		}
+		for ni := range nets {
+			for idx, b := range nets[ni].blocks {
+				critOf[b] = append(critOf[b], nets[ni].crits[idx])
+			}
+		}
+	}
 
 	// Per-move scratch: touched nets of the current epoch.
 	var epoch uint32
@@ -244,14 +344,34 @@ func Place(ctx context.Context, p *pack.Packing, seed int64) (*Placement, error)
 		for mi, b := range moved {
 			oldXY := oldXYs[mi]
 			newXY := pos[b]
-			for _, ni := range netsOf[b] {
+			for j, ni := range netsOf[b] {
 				nt := &nets[ni]
 				if nt.stamp != epoch {
 					nt.stamp = epoch
 					nt.rescanned = false
 					nt.savedCost = nt.cost
 					nt.savedBox = nt.box
+					nt.savedT = nt.tcost
+					nt.tFull = false
+					nt.tDelta = 0
 					touched = append(touched, ni)
+				}
+				// Timing term, incremental like the bounding box: a moved
+				// sink contributes an O(1) distance delta against the
+				// (unmoved) driver; a moved driver forces a full net
+				// recompute (which also subsumes any stale sink deltas
+				// from earlier in this epoch).
+				if tscale > 0 && oldXY != newXY {
+					if nt.blocks[0] == b {
+						nt.tFull = true
+					} else if !nt.tFull {
+						if c := critOf[b][j]; c > 0 {
+							d := pos[nt.blocks[0]]
+							nt.tDelta += float64(c) * float64(
+								iabs(newXY.X-d.X)+iabs(newXY.Y-d.Y)-
+									iabs(oldXY.X-d.X)-iabs(oldXY.Y-d.Y))
+						}
+					}
 				}
 				if nt.rescanned || oldXY == newXY {
 					continue
@@ -266,9 +386,20 @@ func Place(ctx context.Context, p *pack.Packing, seed int64) (*Placement, error)
 		}
 		delta := 0.0
 		for _, ni := range touched {
-			nc := nets[ni].box.cost()
-			delta += nc - nets[ni].cost
-			nets[ni].cost = nc
+			nt := &nets[ni]
+			nc := nt.box.cost()
+			delta += nc - nt.cost
+			nt.cost = nc
+			if tscale > 0 {
+				if nt.tFull {
+					tc := nt.timingCost(pos)
+					delta += tscale * (tc - nt.tcost)
+					nt.tcost = tc
+				} else if nt.tDelta != 0 {
+					delta += tscale * nt.tDelta
+					nt.tcost += nt.tDelta
+				}
+			}
 		}
 		return delta
 	}
@@ -276,6 +407,7 @@ func Place(ctx context.Context, p *pack.Packing, seed int64) (*Placement, error)
 		for _, ni := range touched {
 			nets[ni].cost = nets[ni].savedCost
 			nets[ni].box = nets[ni].savedBox
+			nets[ni].tcost = nets[ni].savedT
 		}
 	}
 
@@ -388,8 +520,10 @@ func sum(xs []int32) int {
 }
 
 // buildNets derives placement nets: every driver (PI or BLE output) and
-// the CLBs/pads it reaches, in deterministic (discovery) order.
-func buildNets(p *pack.Packing) []pnet {
+// the CLBs/pads it reaches, in deterministic (discovery) order. When tc
+// is non-nil every net carries the per-sink criticalities looked up
+// under (driver node, sink block).
+func buildNets(p *pack.Packing, tc *TimingCost) []pnet {
 	ln := p.Net
 	nCLB := len(p.CLBs)
 	nPI := len(ln.PIs)
@@ -438,7 +572,14 @@ func buildNets(p *pack.Packing) []pnet {
 			delete(seen, b)
 		}
 		if len(blocks) >= 2 {
-			nets = append(nets, pnet{blocks: blocks})
+			nt := pnet{blocks: blocks}
+			if tc != nil {
+				nt.crits = make([]float32, len(blocks))
+				for i, b := range blocks[1:] {
+					nt.crits[i+1] = tc.Crit[[2]int32{driver, b}]
+				}
+			}
+			nets = append(nets, nt)
 		}
 	}
 	return nets

@@ -47,6 +47,29 @@ type Result struct {
 // fails inside its box is retried unpruned.
 const bbMargin = 3
 
+// TimingCost enables criticality-weighted routing: each connection's
+// node cost blends congestion and delay by its criticality, so critical
+// connections take the fastest path while slack-rich ones absorb the
+// detours congestion negotiation demands (the classic timing-driven
+// PathFinder blend).
+type TimingCost struct {
+	// Crit maps (net driver node, sink RR node) to the connection's
+	// criticality in [0,1], as produced by timing.Analysis.RouteCrit.
+	Crit map[[2]int32]float32
+	// NodeDelay is the per-RR-node delay (ns) from
+	// fabric.RRGraph.NodeDelays.
+	NodeDelay []float32
+	// DelayScale converts ns to cost units comparable with the base
+	// congestion cost of 1 per node (typically 1/WireDelay).
+	DelayScale float32
+}
+
+// Options tunes a routing run. The zero value reproduces the default
+// congestion-only router bit for bit.
+type Options struct {
+	Timing *TimingCost
+}
+
 // router holds all search state, allocated once per Route call and
 // reused across every net and negotiation iteration.
 type router struct {
@@ -63,6 +86,7 @@ type router struct {
 	heap    rtHeap
 	xs, ys  []int16 // per node: grid coordinates for bounding-box pruning
 	path    []int32 // scratch for path reconstruction
+	tc      *TimingCost
 }
 
 func newRouter(g *fabric.RRGraph) *router {
@@ -97,8 +121,15 @@ func newRouter(g *fabric.RRGraph) *router {
 // checks ctx between nets and aborts with the context's error when it
 // is cancelled or past its deadline.
 func Route(ctx context.Context, pl *place.Placement, g *fabric.RRGraph, maxIter int) (*Result, error) {
+	return RouteOpts(ctx, pl, g, maxIter, Options{})
+}
+
+// RouteOpts is Route with options; the zero Options value is exactly
+// Route (same expansions, same trees).
+func RouteOpts(ctx context.Context, pl *place.Placement, g *fabric.RRGraph, maxIter int, o Options) (*Result, error) {
 	nets := buildNets(pl, g)
 	rt := newRouter(g)
+	rt.tc = o.Timing
 
 	// Route larger-fanout nets first.
 	order := make([]int, len(nets))
@@ -206,12 +237,16 @@ func (rt *router) routeNet(nt *Net, buf []int32, presFac float32) ([]int32, erro
 		if rt.inTree[sink] == rt.treeGen {
 			continue
 		}
-		path, err := rt.dijkstra(used, nt.Source, sink, presFac, minX, maxX, minY, maxY)
+		crit := float32(0)
+		if rt.tc != nil {
+			crit = rt.tc.Crit[[2]int32{nt.Driver, sink}]
+		}
+		path, err := rt.dijkstra(used, nt.Source, sink, presFac, crit, minX, maxX, minY, maxY)
 		if err != nil {
 			// Escape hatch: retry without the bounding box; congestion
 			// detours may legitimately leave it.
 			const wide = int16(0x3fff)
-			path, err = rt.dijkstra(used, nt.Source, sink, presFac, -wide, wide, -wide, wide)
+			path, err = rt.dijkstra(used, nt.Source, sink, presFac, crit, -wide, wide, -wide, wide)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("route: net from %s unroutable to %s: %w",
@@ -230,10 +265,18 @@ func (rt *router) routeNet(nt *Net, buf []int32, presFac float32) ([]int32, erro
 	return used, nil
 }
 
-func (rt *router) nodeCost(nd int32, presFac float32) float32 {
+// nodeCost prices one RR node: the congestion cost (base + history +
+// present-sharing penalty), blended against the node's delay by the
+// connection's criticality in timing-driven mode. crit == 0 reproduces
+// the congestion-only cost exactly.
+func (rt *router) nodeCost(nd int32, presFac, crit float32) float32 {
 	c := 1 + rt.hist[nd]
 	if rt.occ[nd] >= 1 {
 		c += presFac * float32(rt.occ[nd])
+	}
+	if crit > 0 {
+		tc := rt.tc
+		return (1-crit)*c + crit*tc.DelayScale*tc.NodeDelay[nd]
 	}
 	return c
 }
@@ -241,7 +284,7 @@ func (rt *router) nodeCost(nd int32, presFac float32) float32 {
 // dijkstra finds the cheapest path from any current-tree node to the
 // target, expanding only nodes inside the given bounding box (the
 // target itself is always admitted).
-func (rt *router) dijkstra(used []int32, source, target int32, presFac float32, minX, maxX, minY, maxY int16) ([]int32, error) {
+func (rt *router) dijkstra(used []int32, source, target int32, presFac, crit float32, minX, maxX, minY, maxY int16) ([]int32, error) {
 	rt.curGen++
 	gen := rt.curGen
 	q := rt.heap[:0]
@@ -296,7 +339,7 @@ func (rt *router) dijkstra(used []int32, source, target int32, presFac float32, 
 					continue
 				}
 			}
-			nc := it.cost + rt.nodeCost(nx, presFac)
+			nc := it.cost + rt.nodeCost(nx, presFac, crit)
 			if rt.gen[nx] == gen && nc >= rt.dist[nx] {
 				continue
 			}

@@ -32,17 +32,27 @@ func NewVectorSim(res *Result) *VectorSim {
 func (v *VectorSim) Reset() { v.sim.Reset() }
 
 // Set assigns a value to an input port (by name) for the next
-// evaluation. It panics on unknown ports to keep test code short.
+// evaluation. It panics on unknown ports to keep test code short;
+// library code driving ports derived from a *different* design (e.g.
+// co-simulating a redaction against its original) must use TrySet.
 func (v *VectorSim) Set(port string, val uint64) {
+	if err := v.TrySet(port, val); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TrySet is Set returning an error for unknown ports instead of
+// panicking.
+func (v *VectorSim) TrySet(port string, val uint64) error {
 	for _, p := range v.res.Inputs {
 		if p.Name == port {
 			for i, bit := range p.Bits {
 				v.in[bit] = i < 64 && (val>>uint(i))&1 == 1
 			}
-			return
+			return nil
 		}
 	}
-	panic(fmt.Sprintf("synth: unknown input port %q", port))
+	return fmt.Errorf("synth: unknown input port %q", port)
 }
 
 // Eval settles combinational logic with the current inputs.
@@ -51,8 +61,20 @@ func (v *VectorSim) Eval() { v.out = v.sim.Eval(v.in) }
 // Step settles combinational logic and advances one clock cycle.
 func (v *VectorSim) Step() { v.out = v.sim.Step(v.in) }
 
-// Out returns the value of an output port after Eval or Step.
+// Out returns the value of an output port after Eval or Step. It
+// panics on unknown ports to keep test code short; library code
+// reading ports derived from a different design must use TryOut.
 func (v *VectorSim) Out(port string) uint64 {
+	w, err := v.TryOut(port)
+	if err != nil {
+		panic(err.Error())
+	}
+	return w
+}
+
+// TryOut is Out returning an error for unknown ports instead of
+// panicking.
+func (v *VectorSim) TryOut(port string) (uint64, error) {
 	for _, p := range v.res.Outputs {
 		if p.Name == port {
 			var w uint64
@@ -61,10 +83,10 @@ func (v *VectorSim) Out(port string) uint64 {
 					w |= 1 << uint(i)
 				}
 			}
-			return w
+			return w, nil
 		}
 	}
-	panic(fmt.Sprintf("synth: unknown output port %q", port))
+	return 0, fmt.Errorf("synth: unknown output port %q", port)
 }
 
 // InputPorts returns the data input port names in order.

@@ -28,9 +28,23 @@ func (s *LUTSim) Reset() {
 }
 
 // Eval settles combinational logic for the inputs (ordered like PIs).
+// It panics on an input-count mismatch — a proven internal invariant
+// for callers sizing the slice from the same network's PIs; callers
+// feeding externally derived data (e.g. a decoded bitstream's network)
+// should use EvalChecked.
 func (s *LUTSim) Eval(inputs []bool) []bool {
+	out, err := s.EvalChecked(inputs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// EvalChecked is Eval returning an error instead of panicking when the
+// input count does not match the network's primary inputs.
+func (s *LUTSim) EvalChecked(inputs []bool) ([]bool, error) {
 	if len(inputs) != len(s.ln.PIs) {
-		panic(fmt.Sprintf("techmap sim: got %d inputs, want %d", len(inputs), len(s.ln.PIs)))
+		return nil, fmt.Errorf("techmap sim: got %d inputs, want %d", len(inputs), len(s.ln.PIs))
 	}
 	for i, pi := range s.ln.PIs {
 		s.val[pi] = inputs[i]
@@ -57,16 +71,22 @@ func (s *LUTSim) Eval(inputs []bool) []bool {
 	for i, po := range s.ln.POs {
 		out[i] = s.val[po]
 	}
-	return out
+	return out, nil
 }
 
 // Step evaluates and then advances one clock edge.
 func (s *LUTSim) Step(inputs []bool) []bool {
 	out := s.Eval(inputs)
+	s.Advance()
+	return out
+}
+
+// Advance registers every flip-flop's D input — the clock-edge half of
+// Step, for callers that evaluated via EvalChecked.
+func (s *LUTSim) Advance() {
 	for _, f := range s.ln.FFs {
 		s.state[f] = s.val[s.ln.Nodes[f].In[0]]
 	}
-	return out
 }
 
 // EvalWords evaluates with packed inputs (bit i drives PI i).

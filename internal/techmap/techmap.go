@@ -240,7 +240,11 @@ func MapK(n *netlist.Netlist, k int) (*LUTNetwork, error) {
 		return nil, fmt.Errorf("techmap: LUT size %d out of range [%d,%d]", k, MinK, MaxK)
 	}
 	if k == 2 {
-		n = lowerMux(n)
+		var err error
+		n, err = lowerMux(n)
+		if err != nil {
+			return nil, err
+		}
 	}
 	m := &mapper{n: n, k: int8(k)}
 	return m.run()
@@ -250,7 +254,7 @@ func MapK(n *netlist.Netlist, k int) (*LUTNetwork, error) {
 // everything else (the builder re-folds and hash-conses, which only
 // shrinks the network). Netlists without Mux gates pass through
 // untouched.
-func lowerMux(n *netlist.Netlist) *netlist.Netlist {
+func lowerMux(n *netlist.Netlist) (*netlist.Netlist, error) {
 	hasMux := false
 	for _, nd := range n.Nodes {
 		if nd.Op == netlist.Mux {
@@ -259,7 +263,7 @@ func lowerMux(n *netlist.Netlist) *netlist.Netlist {
 		}
 	}
 	if !hasMux {
-		return n
+		return n, nil
 	}
 	bd := netlist.NewBuilder(n.Name)
 	piName := make(map[int32]string, len(n.PIs))
@@ -291,8 +295,10 @@ func lowerMux(n *netlist.Netlist) *netlist.Netlist {
 			nmap[i] = bd.Or(bd.And(bd.Not(s), d0), bd.And(s, d1))
 		default:
 			// A silently-unhandled op would map to node 0 (const0) and
-			// miscompile every K=2 cone containing it.
-			panic(fmt.Sprintf("techmap: lowerMux: unhandled op %s", nd.Op))
+			// miscompile every K=2 cone containing it. Synthesized input
+			// can in principle carry ops this rewriter postdates, so this
+			// is a typed error rather than a crash.
+			return nil, fmt.Errorf("techmap: lowerMux: unhandled op %s at node %d of %s", nd.Op, i, n.Name)
 		}
 	}
 	for _, d := range n.DFFs {
@@ -301,7 +307,7 @@ func lowerMux(n *netlist.Netlist) *netlist.Netlist {
 	for i, po := range n.POs {
 		bd.Output(n.PONames[i], nmap[po])
 	}
-	return bd.N
+	return bd.N, nil
 }
 
 type nodeInfo struct {

@@ -1,0 +1,524 @@
+// Package timing implements graph-based static timing analysis over a
+// packed (and optionally placed and routed) eFPGA implementation.
+//
+// The timing graph is the mapped LUT network annotated with the
+// fabric's delay model (fabric.DelayModel): LUT reads, flip-flop
+// clock-to-Q/setup, intra-CLB crossbar hops, and — depending on how
+// much of the implementation exists — exact routed wire delays (walking
+// the router's Prev chains over the routing-resource graph),
+// placement-distance estimates, or placement-free average-distance
+// estimates. Register boundaries come from the network's FF nodes:
+// startpoints are primary inputs and FF outputs, endpoints are FF D
+// pins (plus setup) and primary outputs.
+//
+// One analysis yields the critical-path delay and Fmax, a readable
+// critical path, and per-connection criticalities (1 - slack/T) that
+// the timing-driven placer and router consume.
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"alice/internal/fabric"
+	"alice/internal/pack"
+	"alice/internal/place"
+	"alice/internal/route"
+	"alice/internal/techmap"
+)
+
+// Report summarizes one static timing analysis.
+type Report struct {
+	// CritPathNs is the slowest register-to-register / pad-to-pad path
+	// (including clock-to-Q and setup at the register boundaries).
+	CritPathNs float64
+	// FmaxMHz is 1000/CritPathNs (0 when the design has no timed path).
+	FmaxMHz float64
+	// Estimated is true when connection delays were estimated (no
+	// routing, or no placement at all) rather than taken from routed
+	// wires.
+	Estimated bool
+	// CritPath lists the critical path from startpoint to endpoint.
+	CritPath []Step
+}
+
+// Step is one node of the critical path.
+type Step struct {
+	// Node is the LUT-network node id (-1 for the endpoint pseudo-step).
+	Node int32
+	// Desc is a human-readable label ("lut 17", "ff 4", "po result[3]").
+	Desc string
+	// ArrivalNs is the signal arrival time at this step.
+	ArrivalNs float64
+}
+
+// Analysis is a full STA result: the report plus per-connection slack
+// data for place-and-route feedback.
+type Analysis struct {
+	Report
+	pk    *pack.Packing
+	edges []edge
+	crit  []float32 // per edge, 1 - slack/T in [0,1]
+}
+
+// edge is one timing-graph connection: from a driver node to a
+// consuming LUT, FF D pin, or primary output.
+type edge struct {
+	from int32 // driver node id
+	to   int32 // consuming LUT/FF node id, or -1 for a PO endpoint
+	po   int32 // PO index when to == -1
+	conn float64
+	// sinkRR is the RR node the connection enters (CLB input pin or
+	// output pad); -1 for intra-CLB hops and constant ties.
+	sinkRR int32
+	// sinkBlock is the consumer in the placer's dense block-id
+	// convention (CLBs, then PIs, then POs); -1 when not applicable.
+	sinkBlock int32
+	external  bool // crosses general routing (has a placement/routing net)
+}
+
+// connMode selects how connection delays are derived.
+type connMode int
+
+const (
+	modePacked connMode = iota // placement-free average-distance estimate
+	modePlaced                 // placement Manhattan-distance estimate
+	modeRouted                 // exact routed-path delays
+)
+
+// AnalyzeRouted runs exact STA over a placed and routed implementation.
+func AnalyzeRouted(pl *place.Placement, rt *route.Result) *Analysis {
+	return analyze(pl.Pack, pl, rt, modeRouted)
+}
+
+// AnalyzePlaced runs STA with Manhattan-distance routing estimates over
+// a placement (before routing). The graph g supplies the RR node ids of
+// the connection sinks, so RouteCrit keys line up with the router's
+// nets.
+func AnalyzePlaced(pl *place.Placement, g *fabric.RRGraph) *Analysis {
+	a := analyze(pl.Pack, pl, &route.Result{G: g}, modePlaced)
+	return a
+}
+
+// EstimatePacked runs STA over a packing alone, with every external
+// connection charged an average-distance wire estimate. This is the
+// fast-mode characterization path: it ranks (cluster × family)
+// candidates by delay without placing or routing anything.
+func EstimatePacked(p *pack.Packing) *Analysis {
+	return analyze(p, nil, nil, modePacked)
+}
+
+// estHops is the placement-free estimate of the routed wire segments an
+// external connection crosses on a W×W fabric: half the grid diagonal,
+// at least one segment.
+func estHops(w int) float64 {
+	h := float64(w+1) / 2
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+func analyze(p *pack.Packing, pl *place.Placement, rt *route.Result, mode connMode) *Analysis {
+	ln := p.Net
+	arch := p.Arch
+	dm := arch.DelayModel()
+	a := &Analysis{pk: p}
+	a.Estimated = mode != modeRouted
+
+	// Node -> CLB (covering fused LUTs, which p.Loc omits).
+	nodeCLB := make([]int32, len(ln.Nodes))
+	for i := range nodeCLB {
+		nodeCLB[i] = -1
+	}
+	for ci := range p.CLBs {
+		for _, b := range p.CLBs[ci].BLEs {
+			if b.LUT >= 0 {
+				nodeCLB[b.LUT] = int32(ci)
+			}
+			if b.FF >= 0 {
+				nodeCLB[b.FF] = int32(ci)
+			}
+		}
+	}
+	// (CLB, external input node) -> CLB input pin index.
+	pinOf := make(map[[2]int32]int32)
+	for ci := range p.CLBs {
+		for k, in := range p.CLBs[ci].Inputs {
+			pinOf[[2]int32{int32(ci), in}] = int32(k)
+		}
+	}
+
+	nCLB := len(p.CLBs)
+	nPI := len(ln.PIs)
+	piIdx := make(map[int32]int32, nPI)
+	for j, pi := range ln.PIs {
+		piIdx[pi] = int32(j)
+	}
+	isConst := func(nd int32) bool {
+		k := ln.Nodes[nd].Kind
+		return k == techmap.LConst0 || k == techmap.LConst1
+	}
+
+	// Routed-path delays per sink RR node.
+	var rrDelay map[int32]float64
+	var g *fabric.RRGraph
+	if rt != nil {
+		g = rt.G
+	}
+	if mode == modeRouted {
+		delays := g.NodeDelays(dm)
+		rrDelay = make(map[int32]float64)
+		for ni := range rt.Nets {
+			nt := &rt.Nets[ni]
+			for _, sink := range nt.Sinks {
+				d := 0.0
+				nd := sink
+				for {
+					d += float64(delays[nd])
+					if nd == nt.Source {
+						break
+					}
+					nd = rt.Prev[nd]
+					if nd < 0 {
+						break // defensive: unrouted sink keeps its partial sum
+					}
+				}
+				rrDelay[sink] = d
+			}
+		}
+	}
+
+	// Block grid positions for distance estimates and sink-RR lookup,
+	// in the placer's dense block-id convention (CLBs, PIs, POs) and
+	// with the placer's own pad geometry.
+	blockXY := func(b int32) (int, int) {
+		if pl == nil {
+			return 0, 0
+		}
+		if int(b) < nCLB {
+			xy := pl.CLBPos[b]
+			return xy.X, xy.Y
+		}
+		var pd place.Pad
+		if int(b) < nCLB+nPI {
+			pd = pl.PIPad[ln.PIs[int(b)-nCLB]]
+		} else {
+			pd = pl.POPad[int(b)-nCLB-nPI]
+		}
+		xy := place.PadGridXY(arch.W, pd)
+		return xy.X, xy.Y
+	}
+	driverBlock := func(nd int32) int32 {
+		if ci := nodeCLB[nd]; ci >= 0 {
+			return ci
+		}
+		if j, ok := piIdx[nd]; ok {
+			return int32(nCLB) + j
+		}
+		return -1
+	}
+	// conn computes the connection delay from driver nd into sink block
+	// sb (a CLB or PO pad), excluding the consuming LUT/FF delay.
+	conn := func(nd int32, sb int32, toPO bool) float64 {
+		d := 0.0
+		if _, isPI := piIdx[nd]; isPI {
+			d += dm.PadDelay
+		} else {
+			d += dm.OPinDelay
+		}
+		hops := estHops(arch.W)
+		if mode == modePlaced {
+			db := driverBlock(nd)
+			x1, y1 := blockXY(db)
+			x2, y2 := blockXY(sb)
+			hops = float64(abs(x1-x2) + abs(y1-y2))
+			if hops < 1 {
+				hops = 1
+			}
+		}
+		d += hops * dm.WireDelay
+		if toPO {
+			d += dm.PadDelay
+		} else {
+			d += dm.IPinDelay + dm.CrossbarDelay
+		}
+		return d
+	}
+
+	// Build the timing edges.
+	addLogicEdge := func(from, to int32, ci int32) {
+		e := edge{from: from, to: to, po: -1, sinkRR: -1, sinkBlock: ci}
+		switch {
+		case isConst(from):
+			// Tied off locally; zero connection delay.
+		case nodeCLB[from] == ci:
+			e.conn = dm.FeedbackDelay
+		default:
+			e.external = true
+			if mode == modeRouted || mode == modePlaced {
+				if pin, ok := pinOf[[2]int32{ci, from}]; ok {
+					pos := pl.CLBPos[ci]
+					e.sinkRR = g.IPin(pos.X, pos.Y, int(pin))
+				}
+			}
+			if mode == modeRouted {
+				if d, ok := rrDelay[e.sinkRR]; ok {
+					e.conn = d + dm.CrossbarDelay
+				} else {
+					// Defensive: an external connection whose route is
+					// missing falls back to the average-distance
+					// estimate rather than crashing (or, worse,
+					// costing zero and underreporting the path).
+					e.conn = conn(from, ci, false)
+				}
+			} else {
+				e.conn = conn(from, ci, false)
+			}
+		}
+		a.edges = append(a.edges, e)
+	}
+	for ci := range p.CLBs {
+		for _, b := range p.CLBs[ci].BLEs {
+			if b.LUT >= 0 {
+				for _, in := range ln.Nodes[b.LUT].In {
+					addLogicEdge(in, b.LUT, int32(ci))
+				}
+			}
+			if b.FF >= 0 {
+				d := ln.Nodes[b.FF].In[0]
+				if b.LUT >= 0 && d == b.LUT {
+					// Fused BLE: the LUT output latches in place.
+					a.edges = append(a.edges, edge{from: d, to: b.FF, po: -1, sinkRR: -1, sinkBlock: int32(ci)})
+				} else {
+					addLogicEdge(d, b.FF, int32(ci))
+				}
+			}
+		}
+	}
+	for i, po := range ln.POs {
+		e := edge{from: po, to: -1, po: int32(i), sinkRR: -1,
+			sinkBlock: int32(nCLB + nPI + i), external: !isConst(po)}
+		switch {
+		case isConst(po):
+		case mode == modeRouted || mode == modePlaced:
+			pd := pl.POPad[i]
+			e.sinkRR = g.IOOut(pd.Tile, pd.Pin)
+			if mode == modeRouted {
+				if d, ok := rrDelay[e.sinkRR]; ok {
+					e.conn = d
+				} else {
+					// Same defensive fallback as CLB-input sinks: an
+					// unmatched route estimates rather than costing 0.
+					e.conn = conn(po, e.sinkBlock, true)
+				}
+			} else {
+				e.conn = conn(po, e.sinkBlock, true)
+			}
+		default:
+			e.conn = conn(po, e.sinkBlock, true)
+		}
+		a.edges = append(a.edges, e)
+	}
+
+	a.sta(ln, dm)
+	return a
+}
+
+// sta runs the forward (arrival) and backward (required) passes and
+// fills the report and per-edge criticalities. LUT-network node order
+// is topological for combinational dependencies (the mapper, the
+// bitstream decoder, and the builder all guarantee it), so a single
+// index-order sweep settles arrivals.
+func (a *Analysis) sta(ln *techmap.LUTNetwork, dm fabric.DelayModel) {
+	n := len(ln.Nodes)
+	arr := make([]float64, n)
+	bestIn := make([]int32, n) // per node: edge index of the latest input
+	for i := range bestIn {
+		bestIn[i] = -1
+	}
+	inEdges := make([][]int32, n)
+	for ei := range a.edges {
+		e := &a.edges[ei]
+		if e.to >= 0 {
+			inEdges[e.to] = append(inEdges[e.to], int32(ei))
+		}
+	}
+	for i := 0; i < n; i++ {
+		switch ln.Nodes[i].Kind {
+		case techmap.LFF:
+			arr[i] = dm.FFClkQ
+		case techmap.LLUT:
+			at := 0.0
+			for _, ei := range inEdges[i] {
+				e := &a.edges[ei]
+				if t := arr[e.from] + e.conn; t >= at {
+					at = t
+					bestIn[i] = ei
+				}
+			}
+			arr[i] = at + dm.LUTDelay
+		}
+	}
+
+	// Endpoints: FF D pins (setup) and POs.
+	endAt := func(e *edge) float64 {
+		t := arr[e.from] + e.conn
+		if e.to >= 0 { // FF D
+			t += dm.FFSetup
+		}
+		return t
+	}
+	T := 0.0
+	endBest := int32(-1)
+	for ei := range a.edges {
+		e := &a.edges[ei]
+		isEnd := e.to < 0 || ln.Nodes[e.to].Kind == techmap.LFF
+		if !isEnd {
+			continue
+		}
+		if t := endAt(e); t > T || endBest < 0 {
+			T = t
+			endBest = int32(ei)
+		}
+	}
+	a.CritPathNs = T
+	if T > 0 {
+		a.FmaxMHz = 1000 / T
+	}
+
+	// Backward pass: required times and per-edge criticality.
+	req := make([]float64, n)
+	for i := range req {
+		req[i] = math.Inf(1)
+	}
+	a.crit = make([]float32, len(a.edges))
+	deadline := func(e *edge) float64 {
+		if e.to < 0 {
+			return T - e.conn
+		}
+		if ln.Nodes[e.to].Kind == techmap.LFF {
+			return T - e.conn - dm.FFSetup
+		}
+		return req[e.to] - dm.LUTDelay - e.conn
+	}
+	// Edges into later nodes must be processed before their drivers, so
+	// sweep consumers in reverse index order; endpoint edges first.
+	for ei := len(a.edges) - 1; ei >= 0; ei-- {
+		e := &a.edges[ei]
+		isEnd := e.to < 0 || ln.Nodes[e.to].Kind == techmap.LFF
+		if !isEnd {
+			continue
+		}
+		if d := deadline(e); d < req[e.from] {
+			req[e.from] = d
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		if ln.Nodes[i].Kind != techmap.LLUT {
+			continue
+		}
+		for _, ei := range inEdges[i] {
+			e := &a.edges[ei]
+			if d := deadline(e); d < req[e.from] {
+				req[e.from] = d
+			}
+		}
+	}
+	if T > 0 {
+		for ei := range a.edges {
+			e := &a.edges[ei]
+			slack := deadline(e) - arr[e.from]
+			c := 1 - slack/T
+			if c < 0 {
+				c = 0
+			} else if c > 0.99 {
+				c = 0.99
+			}
+			a.crit[ei] = float32(c)
+		}
+	}
+
+	// Critical path: walk bestIn back from the worst endpoint.
+	if endBest >= 0 {
+		e := &a.edges[endBest]
+		desc := fmt.Sprintf("ff %d (setup)", e.to)
+		if e.to < 0 {
+			desc = fmt.Sprintf("po %s", ln.PONames[e.po])
+		}
+		steps := []Step{{Node: e.to, Desc: desc, ArrivalNs: T}}
+		nd := e.from
+		for nd >= 0 {
+			steps = append(steps, Step{Node: nd, Desc: nodeDesc(ln, nd), ArrivalNs: arr[nd]})
+			if bestIn[nd] < 0 {
+				break
+			}
+			nd = a.edges[bestIn[nd]].from
+		}
+		for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+			steps[i], steps[j] = steps[j], steps[i]
+		}
+		a.CritPath = steps
+	}
+}
+
+func nodeDesc(ln *techmap.LUTNetwork, nd int32) string {
+	switch ln.Nodes[nd].Kind {
+	case techmap.LInput:
+		for i, pi := range ln.PIs {
+			if pi == nd {
+				return fmt.Sprintf("pi %s", ln.PINames[i])
+			}
+		}
+		return fmt.Sprintf("pi %d", nd)
+	case techmap.LFF:
+		return fmt.Sprintf("ff %d (clk-to-q)", nd)
+	case techmap.LLUT:
+		return fmt.Sprintf("lut %d", nd)
+	}
+	return fmt.Sprintf("%s %d", ln.Nodes[nd].Kind, nd)
+}
+
+// PlaceCrit returns per-connection criticalities in the placer's
+// (driver node, dense sink block id) convention. Only connections that
+// cross general routing are included — exactly the ones the placer's
+// wirelength nets model.
+func (a *Analysis) PlaceCrit() map[[2]int32]float32 {
+	out := make(map[[2]int32]float32)
+	for ei := range a.edges {
+		e := &a.edges[ei]
+		if !e.external || e.sinkBlock < 0 {
+			continue
+		}
+		k := [2]int32{e.from, e.sinkBlock}
+		if a.crit[ei] > out[k] {
+			out[k] = a.crit[ei]
+		}
+	}
+	return out
+}
+
+// RouteCrit returns per-connection criticalities keyed by (net driver
+// node, sink RR node) — the router's addressing of the same
+// connections.
+func (a *Analysis) RouteCrit() map[[2]int32]float32 {
+	out := make(map[[2]int32]float32)
+	for ei := range a.edges {
+		e := &a.edges[ei]
+		if !e.external || e.sinkRR < 0 {
+			continue
+		}
+		k := [2]int32{e.from, e.sinkRR}
+		if a.crit[ei] > out[k] {
+			out[k] = a.crit[ei]
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,213 @@
+package timing
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"alice/internal/fabric"
+	"alice/internal/pack"
+	"alice/internal/place"
+	"alice/internal/route"
+	"alice/internal/techmap"
+)
+
+// ln builds a LUT network in topological order from a tiny DSL-free
+// helper set, so tests can state graphs explicitly.
+type netBuilder struct {
+	ln *techmap.LUTNetwork
+}
+
+func newNet(k int) *netBuilder {
+	b := &netBuilder{ln: &techmap.LUTNetwork{Name: "t", K: k}}
+	// Node 0 is const0 by convention.
+	b.ln.Nodes = append(b.ln.Nodes, techmap.LNode{Kind: techmap.LConst0})
+	return b
+}
+
+func (b *netBuilder) pi(name string) int32 {
+	id := int32(len(b.ln.Nodes))
+	b.ln.Nodes = append(b.ln.Nodes, techmap.LNode{Kind: techmap.LInput})
+	b.ln.PIs = append(b.ln.PIs, id)
+	b.ln.PINames = append(b.ln.PINames, name)
+	return id
+}
+
+func (b *netBuilder) lut(mask uint64, ins ...int32) int32 {
+	id := int32(len(b.ln.Nodes))
+	b.ln.Nodes = append(b.ln.Nodes, techmap.LNode{Kind: techmap.LLUT, Mask: mask, In: ins})
+	return id
+}
+
+func (b *netBuilder) ff(d int32) int32 {
+	id := int32(len(b.ln.Nodes))
+	b.ln.Nodes = append(b.ln.Nodes, techmap.LNode{Kind: techmap.LFF, In: []int32{d}})
+	b.ln.FFs = append(b.ln.FFs, id)
+	return id
+}
+
+func (b *netBuilder) po(name string, nd int32) {
+	b.ln.POs = append(b.ln.POs, nd)
+	b.ln.PONames = append(b.ln.PONames, name)
+}
+
+func mustPack(t *testing.T, ln *techmap.LUTNetwork, arch fabric.Arch) *pack.Packing {
+	t.Helper()
+	p, err := pack.Pack(ln, arch)
+	if err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+	return p
+}
+
+const eps = 1e-9
+
+// TestSTACombinationalChain pins the critical path of PI -> LUT -> LUT
+// -> PO where both LUTs share one CLB: one external hop in, the
+// intra-CLB feedback between the LUTs, one external hop out.
+func TestSTACombinationalChain(t *testing.T) {
+	b := newNet(4)
+	a := b.pi("a")
+	l1 := b.lut(0x2, a)
+	l2 := b.lut(0x2, l1)
+	b.po("y", l2)
+	arch := fabric.NewArch(2)
+	p := mustPack(t, b.ln, arch)
+	if len(p.CLBs) != 1 {
+		t.Fatalf("expected both LUTs in one CLB, got %d CLBs", len(p.CLBs))
+	}
+	an := EstimatePacked(p)
+	dm := arch.DelayModel()
+	hops := estHops(arch.W)
+	want := (dm.PadDelay + hops*dm.WireDelay + dm.IPinDelay + dm.CrossbarDelay) + // a -> CLB
+		dm.LUTDelay + dm.FeedbackDelay + dm.LUTDelay + // l1 -> l2 inside the CLB
+		(dm.OPinDelay + hops*dm.WireDelay + dm.PadDelay) // l2 -> pad
+	if math.Abs(an.CritPathNs-want) > eps {
+		t.Fatalf("crit path %.6f, want %.6f\npath: %v", an.CritPathNs, want, an.CritPath)
+	}
+	if math.Abs(an.FmaxMHz-1000/want) > eps {
+		t.Fatalf("fmax %.3f, want %.3f", an.FmaxMHz, 1000/want)
+	}
+	if !an.Estimated {
+		t.Fatal("packing-level analysis must be marked estimated")
+	}
+	if len(an.CritPath) != 4 { // pi, l1, l2, po endpoint
+		t.Fatalf("critical path has %d steps, want 4: %v", len(an.CritPath), an.CritPath)
+	}
+}
+
+// TestSTARegisterBoundary checks that FFs cut timing paths: the
+// critical path of PI -> LUT -> FF -> LUT -> PO is the longer of the
+// two register-bounded halves, not their sum.
+func TestSTARegisterBoundary(t *testing.T) {
+	b := newNet(4)
+	a := b.pi("a")
+	l1 := b.lut(0x2, a)
+	f := b.ff(l1)
+	l2 := b.lut(0x2, f)
+	b.po("y", l2)
+	arch := fabric.NewArch(2)
+	p := mustPack(t, b.ln, arch)
+	if len(p.CLBs) != 1 {
+		t.Fatalf("expected one CLB, got %d", len(p.CLBs))
+	}
+	an := EstimatePacked(p)
+	dm := arch.DelayModel()
+	hops := estHops(arch.W)
+	inConn := dm.PadDelay + hops*dm.WireDelay + dm.IPinDelay + dm.CrossbarDelay
+	outConn := dm.OPinDelay + hops*dm.WireDelay + dm.PadDelay
+	// Path 1: pad -> l1 -> (fused) FF setup.
+	p1 := inConn + dm.LUTDelay + dm.FFSetup
+	// Path 2: FF clk-to-q -> feedback -> l2 -> pad.
+	p2 := dm.FFClkQ + dm.FeedbackDelay + dm.LUTDelay + outConn
+	want := math.Max(p1, p2)
+	if math.Abs(an.CritPathNs-want) > eps {
+		t.Fatalf("crit path %.6f, want max(%.6f, %.6f)\npath: %v", an.CritPathNs, p1, p2, an.CritPath)
+	}
+	if an.CritPathNs >= p1+p2-eps {
+		t.Fatal("register boundary did not cut the path")
+	}
+}
+
+// TestSTACriticality checks the slack math: on two reconverging paths
+// of different depth, the deep path's connections carry maximal
+// criticality and the shallow path's connection strictly less.
+func TestSTACriticality(t *testing.T) {
+	b := newNet(4)
+	a := b.pi("a")
+	c := b.pi("c")
+	l1 := b.lut(0x2, a)
+	l2 := b.lut(0x2, l1)
+	l3 := b.lut(0x8, l2, c) // deep (a->l1->l2) and shallow (c) reconverge
+	b.po("y", l3)
+	arch := fabric.NewArch(2)
+	p := mustPack(t, b.ln, arch)
+	an := EstimatePacked(p)
+	if an.CritPathNs <= 0 {
+		t.Fatal("no critical path")
+	}
+	var deepCrit, shallowCrit float32 = -1, -1
+	for ei := range an.edges {
+		e := &an.edges[ei]
+		if e.from == l2 && e.to == l3 {
+			deepCrit = an.crit[ei]
+		}
+		if e.from == c && e.to == l3 {
+			shallowCrit = an.crit[ei]
+		}
+	}
+	if deepCrit < 0 || shallowCrit < 0 {
+		t.Fatal("edges not found")
+	}
+	if deepCrit != 0.99 {
+		t.Fatalf("critical edge criticality %.3f, want the 0.99 cap", deepCrit)
+	}
+	if shallowCrit >= deepCrit {
+		t.Fatalf("shallow path criticality %.3f not below deep %.3f", shallowCrit, deepCrit)
+	}
+}
+
+// TestSTARoutedMatchesWireCount places and routes a chain and checks
+// the exact analysis walks the routed wires: the critical path must be
+// strictly positive, finite, and at least the estimate's logic share.
+func TestSTARoutedAgainstEstimate(t *testing.T) {
+	b := newNet(4)
+	a := b.pi("a")
+	l1 := b.lut(0x2, a)
+	l2 := b.lut(0x2, l1)
+	b.po("y", l2)
+	arch := fabric.NewArch(2)
+	p := mustPack(t, b.ln, arch)
+	pl, err := place.Place(context.Background(), p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fabric.BuildRRGraph(arch)
+	rt, err := route.Route(context.Background(), pl, g, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := AnalyzeRouted(pl, rt)
+	if an.Estimated {
+		t.Fatal("routed analysis must not be marked estimated")
+	}
+	dm := arch.DelayModel()
+	// Two LUT levels plus at least one wire segment each way.
+	min := 2*dm.LUTDelay + 2*dm.WireDelay
+	if an.CritPathNs < min {
+		t.Fatalf("routed crit path %.4f below logic floor %.4f", an.CritPathNs, min)
+	}
+	if an.CritPathNs > 100 {
+		t.Fatalf("routed crit path %.4f implausibly large", an.CritPathNs)
+	}
+	// Per-connection criticalities must address the router's nets.
+	rc := an.RouteCrit()
+	if len(rc) == 0 {
+		t.Fatal("no route criticalities")
+	}
+	for k := range rc {
+		if k[1] < 0 || int(k[1]) >= len(g.Nodes) {
+			t.Fatalf("route crit key %v is not an RR node", k)
+		}
+	}
+}
