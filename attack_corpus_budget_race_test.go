@@ -1,0 +1,12 @@
+//go:build race
+
+package alice_test
+
+// Under the race detector every solver step is ~10x slower, so the
+// corpus property test trades convergence coverage for wall time: the
+// budget still drives every fabric through the full engine (stamping,
+// cone reduction, assumption solving), just with an earlier cutoff.
+const (
+	corpusAttackConflictBudget = 4_000
+	corpusAttackIterBudget     = 40
+)

@@ -1,0 +1,13 @@
+//go:build !race
+
+package alice_test
+
+// corpusAttackConflictBudget bounds each fabric attack in the corpus
+// property test. 120k conflicts cracks the gcd 4x4 and first usb_phy
+// fabrics outright (≈ 115k and 96k conflicts respectively) and caps
+// the production-key-size survivors (des3, sha256, sasc, fir) at
+// under ~40s each.
+const (
+	corpusAttackConflictBudget = 120_000
+	corpusAttackIterBudget     = 20000
+)

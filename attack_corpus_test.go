@@ -1,0 +1,75 @@
+// Corpus-wide property test for the overhauled SAT-attack engine: for
+// every paper benchmark, redact under cfg1, then attack the functional
+// configuration of every winning fabric under a deterministic conflict
+// budget. Every attack that converges must recover a functionally
+// perfect key (VerifyKey == 100%) — the end-to-end equivalence gate of
+// the attack overhaul. Fabrics that exhaust the budget are the other
+// acceptable outcome: at production key sizes (des3's winning fabric
+// carries ~9800 configuration bits) surviving the attack is the
+// paper's security claim, and the test asserts the failure is the
+// typed budget error, never a wrong key or a crash.
+package alice_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"alice"
+	"alice/internal/attack"
+)
+
+func TestAttackCorpusKeyCorrect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus attack sweep in -short mode")
+	}
+	ctx := context.Background()
+	for _, b := range alice.Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := alice.Cfg1()
+			cfg.SelectedOutputs = b.SelectedOutputs
+			eng := alice.NewEngine(alice.WithConfig(cfg))
+			rep, err := eng.RunSource(ctx, b.Source())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Err != nil || rep.Solution == nil {
+				t.Skipf("no admissible solution under cfg1: %v", rep.Err)
+			}
+			var wg sync.WaitGroup
+			for _, fc := range rep.Solution.Fabrics {
+				fc := fc
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ar, err := attack.RecoverBitstreamOpts(fc.Fabric.LUTs, attack.Options{
+						MaxIters:     corpusAttackIterBudget,
+						Seed:         1,
+						MaxConflicts: corpusAttackConflictBudget,
+					})
+					if err != nil {
+						var be *attack.BudgetError
+						if !errors.As(err, &be) || !errors.Is(err, attack.ErrAttackBudget) {
+							t.Errorf("fabric %s: %v", fc.Fabric.Arch.Name(), err)
+							return
+						}
+						t.Logf("fabric %s survived the budget: %d key bits, %d DIPs, %d conflicts",
+							fc.Fabric.Arch.Name(), be.KeyBits, be.Iterations, be.Conflicts)
+						return
+					}
+					if bad := attack.VerifyKey(fc.Fabric.LUTs, ar.Masks, 500, 2); bad != 0 {
+						t.Errorf("fabric %s: recovered key wrong on %d/500 patterns (%d key bits, %d DIPs)",
+							fc.Fabric.Arch.Name(), bad, ar.KeyBits, ar.Iterations)
+					} else {
+						t.Logf("fabric %s cracked: %d key bits, %d DIPs, %d conflicts",
+							fc.Fabric.Arch.Name(), ar.KeyBits, ar.Iterations, ar.Conflicts)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

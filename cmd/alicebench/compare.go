@@ -14,11 +14,12 @@ import (
 // baseline and slower by at least this much wall time.
 const minRegressionSeconds = 0.25
 
-// delayTolerance is the allowed relative growth of a modeled
-// critical-path delay before it counts as a timing regression. Delay
-// entries are deterministic model outputs, not wall times, so no
-// machine-speed normalization applies and the tolerance is tight; an
-// intentional delay-model change re-baselines instead.
+// delayTolerance is the allowed relative growth of a deterministic
+// model output (critical-path delay, attack distinguishing-input
+// count) before it counts as a regression. These entries are
+// reproducible engine outputs, not wall times, so no machine-speed
+// normalization applies and the tolerance is tight; an intentional
+// model or engine change re-baselines instead.
 const delayTolerance = 1.05
 
 // compareBench reruns the benchmark sweep and fails (exit 1) when any
@@ -64,7 +65,8 @@ type compareResult struct {
 type entry struct {
 	base, now float64
 	seen      bool
-	delay     bool // modeled delay (ns): exact compare, no speed factor
+	exact     bool   // deterministic model output: exact compare, no speed factor
+	unit      string // display unit ("s" wall time, "ns" delay, "" counts)
 }
 
 // compareReports diffs two benchmark reports. It is pure (no I/O, no
@@ -86,14 +88,14 @@ type entry struct {
 func compareReports(base, now *benchReport) compareResult {
 	tracked := make(map[string]*entry)
 	key := func(kind, name, cfg string) string { return kind + ":" + name + ":" + cfg }
-	add := func(k string, v float64, delay bool) {
+	add := func(k string, v float64, exact bool, unit string) {
 		// Duplicate rows (e.g. the two fabrics of one solution sharing a
 		// name) accumulate, mirroring fill() below, so both sides of the
-		// comparison count them the same way. For delay entries the
-		// design's clock is its slowest kernel, so duplicates keep the
+		// comparison count them the same way. For exact entries the
+		// design is bounded by its worst kernel, so duplicates keep the
 		// max instead.
 		if e, ok := tracked[k]; ok {
-			if delay {
+			if exact {
 				if v > e.base {
 					e.base = v
 				}
@@ -101,33 +103,42 @@ func compareReports(base, now *benchReport) compareResult {
 				e.base += v
 			}
 		} else {
-			tracked[k] = &entry{base: v, delay: delay}
+			tracked[k] = &entry{base: v, exact: exact, unit: unit}
 		}
 	}
 	collectBase := func(r *benchReport) {
 		for _, d := range r.Designs {
-			add(key("flow", d.Design, d.Cfg), d.WallSeconds, false)
+			add(key("flow", d.Design, d.Cfg), d.WallSeconds, false, "s")
 			if d.CritPathNs > 0 {
-				add(key("delay", d.Design, d.Cfg), d.CritPathNs, true)
+				add(key("delay", d.Design, d.Cfg), d.CritPathNs, true, "ns")
 			}
 		}
 		for _, d := range r.Implement {
-			add(key("pnr", d.Design, d.Fabric), d.WallSeconds, false)
+			add(key("pnr", d.Design, d.Fabric), d.WallSeconds, false, "s")
 			if d.CritPathNs > 0 {
-				add(key("delay-pnr", d.Design, d.Fabric), d.CritPathNs, true)
+				add(key("delay-pnr", d.Design, d.Fabric), d.CritPathNs, true, "ns")
 			}
 		}
 		for _, d := range r.Attacks {
-			add(key("attack", d.Target, ""), d.WallSeconds, false)
+			add(key("attack", d.Target, ""), d.WallSeconds, false, "s")
+			if d.DIPs > 0 {
+				add(key("attack-dips", d.Target, ""), float64(d.DIPs), true, "")
+			}
+		}
+		for _, d := range r.FabricAttacks {
+			add(key("attack-fab", d.Design, d.Fabric), d.WallSeconds, false, "s")
+			if d.DIPs > 0 {
+				add(key("attack-fab-dips", d.Design, d.Fabric), float64(d.DIPs), true, "")
+			}
 		}
 	}
 	collectBase(base)
 
 	unmatched := make(map[string]float64) // in current sweep, not in baseline
-	fill := func(k string, v float64, delay bool) {
+	fill := func(k string, v float64, exact bool) {
 		e, ok := tracked[k]
 		if !ok {
-			if delay {
+			if exact {
 				if v > unmatched[k] {
 					unmatched[k] = v
 				}
@@ -136,7 +147,7 @@ func compareReports(base, now *benchReport) compareResult {
 			}
 			return
 		}
-		if delay {
+		if exact {
 			if v > e.now {
 				e.now = v
 			}
@@ -159,6 +170,15 @@ func compareReports(base, now *benchReport) compareResult {
 	}
 	for _, d := range now.Attacks {
 		fill(key("attack", d.Target, ""), d.WallSeconds, false)
+		if d.DIPs > 0 {
+			fill(key("attack-dips", d.Target, ""), float64(d.DIPs), true)
+		}
+	}
+	for _, d := range now.FabricAttacks {
+		fill(key("attack-fab", d.Design, d.Fabric), d.WallSeconds, false)
+		if d.DIPs > 0 {
+			fill(key("attack-fab-dips", d.Design, d.Fabric), float64(d.DIPs), true)
+		}
 	}
 
 	// Machine-speed factor: the lower median per-kernel wall-time ratio.
@@ -168,7 +188,7 @@ func compareReports(base, now *benchReport) compareResult {
 	// fall back to the same-machine assumption of factor 1.
 	var ratios []float64
 	for _, e := range tracked {
-		if !e.delay && e.seen && e.base > 0 {
+		if !e.exact && e.seen && e.base > 0 {
 			ratios = append(ratios, e.now/e.base)
 		}
 	}
@@ -182,12 +202,7 @@ func compareReports(base, now *benchReport) compareResult {
 	res := compareResult{}
 	fmt.Fprintf(&b, "machine-speed factor (median ratio): %.2fx\n", factor)
 	fmt.Fprintf(&b, "%-28s %10s %10s %7s\n", "kernel", "baseline", "current", "ratio")
-	unit := func(e *entry) string {
-		if e.delay {
-			return "ns"
-		}
-		return "s"
-	}
+	unit := func(e *entry) string { return e.unit }
 	for _, k := range sortedEntryKeys(tracked) {
 		e := tracked[k]
 		ratio := 0.0
@@ -199,10 +214,10 @@ func compareReports(base, now *benchReport) compareResult {
 		case !e.seen:
 			mark = "  << MISSING from current sweep"
 			res.bad++
-		case e.delay && e.now > delayTolerance*e.base:
-			mark = "  << DELAY REGRESSION"
+		case e.exact && e.now > delayTolerance*e.base:
+			mark = "  << DETERMINISTIC REGRESSION"
 			res.bad++
-		case !e.delay && e.now > 2*factor*e.base && e.now-factor*e.base > minRegressionSeconds:
+		case !e.exact && e.now > 2*factor*e.base && e.now-factor*e.base > minRegressionSeconds:
 			mark = "  << REGRESSION"
 			res.bad++
 		}

@@ -75,8 +75,8 @@ func TestCompareReportsDelayRegression(t *testing.T) {
 	// Machine 3x slower across the board: wall times forgiven by the
 	// speed factor, but a 1.5x delay growth still trips the gate.
 	res := compareReports(mk(10, 1), mk(15, 3))
-	if res.bad != 1 || !strings.Contains(res.text, "DELAY REGRESSION") {
-		t.Fatalf("bad = %d, want 1 DELAY REGRESSION\n%s", res.bad, res.text)
+	if res.bad != 1 || !strings.Contains(res.text, "DETERMINISTIC REGRESSION") {
+		t.Fatalf("bad = %d, want 1 DETERMINISTIC REGRESSION\n%s", res.bad, res.text)
 	}
 	// Within tolerance: clean.
 	res = compareReports(mk(10, 1), mk(10.2, 3))
@@ -99,5 +99,32 @@ func TestCompareReportsDuplicateRowsAccumulate(t *testing.T) {
 	res := compareReports(base, now)
 	if res.bad != 0 || res.new != 0 {
 		t.Fatalf("bad = %d new = %d, want 0/0\n%s", res.bad, res.new, res.text)
+	}
+}
+
+// Attack kernels are gated on both wall time (speed-normalized) and
+// the deterministic distinguishing-input count; fabric attacks from
+// the real flow are tracked the same way.
+func TestCompareReportsAttackGates(t *testing.T) {
+	base := rep(nil, nil, []attackBench{
+		{Target: "mix6", DIPs: 100, WallSeconds: 1},
+	})
+	base.FabricAttacks = []fabricAttackBench{{Design: "gcd", Fabric: "4x4", DIPs: 40, WallSeconds: 0.5}}
+	now := rep(nil, nil, []attackBench{
+		{Target: "mix6", DIPs: 160, WallSeconds: 1},
+	})
+	now.FabricAttacks = []fabricAttackBench{{Design: "gcd", Fabric: "4x4", DIPs: 40, WallSeconds: 0.5}}
+	res := compareReports(base, now)
+	if res.bad != 1 || !strings.Contains(res.text, "attack-dips:mix6") {
+		t.Fatalf("bad = %d, want 1 attack-dips regression\n%s", res.bad, res.text)
+	}
+	// A fabric-attack wall-time blowup trips the regular 2x gate.
+	now2 := rep(nil, nil, []attackBench{
+		{Target: "mix6", DIPs: 100, WallSeconds: 1},
+	})
+	now2.FabricAttacks = []fabricAttackBench{{Design: "gcd", Fabric: "4x4", DIPs: 40, WallSeconds: 4}}
+	res2 := compareReports(base, now2)
+	if res2.bad != 1 || !strings.Contains(res2.text, "attack-fab:gcd:4x4") {
+		t.Fatalf("bad = %d, want 1 attack-fab regression\n%s", res2.bad, res2.text)
 	}
 }

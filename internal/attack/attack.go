@@ -9,15 +9,99 @@
 // The attack demonstrates the paper's security claim quantitatively:
 // its cost grows rapidly with the number of key (configuration) bits,
 // i.e. with fabric size and utilization.
+//
+// The engine keeps the classic miter/distinguishing-input loop but
+// replaces its CNF plumbing end to end:
+//
+//   - the miter's two network copies are stamped from one CNF template
+//     (shared input variables, per-copy key and gate blocks, bulk
+//     clause loading) instead of two independent Tseitin walks;
+//   - each distinguishing input is constant-propagated through the
+//     network, so the per-iteration constraints cover only the still
+//     key-dependent cone — a LUT fed by concrete values contributes a
+//     bare key literal, and key bits the solver has proven at the root
+//     level fold to constants that shrink the cone further;
+//   - the "no distinguishing input remains" query runs under a solver
+//     assumption that activates the miter's difference clause, so the
+//     same incremental solver answers the final witness-key query with
+//     the assumption dropped — there is no separate witness solver and
+//     no third encoding of the network.
 package attack
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"alice/internal/sat"
 	"alice/internal/techmap"
 )
+
+// ErrAttackBudget is the sentinel wrapped by *BudgetError when the
+// attack exhausts its distinguishing-input budget before converging;
+// test with errors.Is.
+var ErrAttackBudget = errors.New("attack budget exhausted")
+
+// BudgetError reports a non-converged attack together with how much
+// work the budget bought — callers (e.g. alicebench sweeps) use it to
+// report "survived N DIPs / M conflicts" as a result in its own right
+// rather than a generic failure.
+type BudgetError struct {
+	// MaxIters is the distinguishing-input budget (0 if the conflict
+	// budget tripped first).
+	MaxIters int
+	// MaxConflicts is the conflict budget (0 if the iteration budget
+	// tripped first).
+	MaxConflicts int
+	// Iterations is the number of distinguishing inputs processed
+	// before exhaustion.
+	Iterations int
+	// KeyBits is the size of the attacked configuration.
+	KeyBits int
+	// Conflicts, Decisions, Propagations are the solver totals at exhaustion.
+	Conflicts    int
+	Decisions    int
+	Propagations int
+}
+
+func (e *BudgetError) Error() string {
+	if e.MaxConflicts > 0 {
+		return fmt.Sprintf("attack: conflict budget %d exhausted after %d distinguishing inputs (%d key bits)",
+			e.MaxConflicts, e.Iterations, e.KeyBits)
+	}
+	return fmt.Sprintf("attack: not converged after %d distinguishing inputs (%d key bits, %d conflicts)",
+		e.MaxIters, e.KeyBits, e.Conflicts)
+}
+
+// Unwrap makes errors.Is(err, ErrAttackBudget) work.
+func (e *BudgetError) Unwrap() error { return ErrAttackBudget }
+
+// Options configures an attack run.
+type Options struct {
+	// MaxIters bounds the number of distinguishing inputs; exhaustion
+	// returns a *BudgetError.
+	MaxIters int
+	// Seed drives distinguishing-input tie-breaking: it seeds the
+	// solver's decision phases (and the warm-up patterns, if any), so
+	// different seeds explore different DIP sequences while a fixed
+	// seed is fully deterministic.
+	Seed int64
+	// WarmupPatterns applies this many seed-driven random oracle
+	// queries before the first SAT query. Each costs only a constant
+	// propagation over the network (no solving) and typically pins key
+	// bits at the solver's root level, cutting the distinguishing-input
+	// count roughly tenfold on the corpus. Zero (the default) measures
+	// pure SAT-attack cost: the benchmarks show the SAT-chosen DIPs
+	// constrain more per clause, so wall time is usually best here, and
+	// the reported iteration count stays comparable across engines.
+	WarmupPatterns int
+	// MaxConflicts bounds the total solver conflicts across the attack
+	// (0 = unlimited). Unlike MaxIters it bounds *time*: a fabric too
+	// strong to crack exhausts it deterministically instead of hanging
+	// the sweep, and the returned *BudgetError reports how much key
+	// survived how much work.
+	MaxConflicts int
+}
 
 // Result reports an attack run.
 type Result struct {
@@ -32,6 +116,10 @@ type Result struct {
 	Conflicts    int
 	Decisions    int
 	Propagations int
+	// Learned-clause maintenance: reduction passes and clauses deleted
+	// (the attack's memory stays bounded on long runs).
+	Reductions     int
+	DeletedClauses int
 }
 
 // combView is the scan-model combinational view of a LUT network:
@@ -68,9 +156,13 @@ func newCombView(ln *techmap.LUTNetwork) *combView {
 	return v
 }
 
-// eval computes the combinational outputs for given inputs and masks.
-func (v *combView) eval(inputs []bool, masks map[int32]uint64) []bool {
-	val := make([]bool, len(v.ln.Nodes))
+// evalInto computes the combinational outputs for given inputs and
+// masks into out, using val as node-value scratch; both must have the
+// right lengths (len(v.outs) and len(v.ln.Nodes)).
+func (v *combView) evalInto(out, val, inputs []bool, masks map[int32]uint64) {
+	for i := range val {
+		val[i] = false
+	}
 	for i, id := range v.ins {
 		val[id] = inputs[i]
 	}
@@ -92,77 +184,17 @@ func (v *combView) eval(inputs []bool, masks map[int32]uint64) []bool {
 			val[i] = mask&(1<<uint(idx)) != 0
 		}
 	}
-	out := make([]bool, len(v.outs))
 	for i, id := range v.outs {
 		out[i] = val[id]
 	}
+}
+
+// eval computes the combinational outputs for given inputs and masks.
+func (v *combView) eval(inputs []bool, masks map[int32]uint64) []bool {
+	out := make([]bool, len(v.outs))
+	val := make([]bool, len(v.ln.Nodes))
+	v.evalInto(out, val, inputs, masks)
 	return out
-}
-
-// cnfCone encodes the combinational view with the given key literals
-// (one per mask bit, in LUT order) and input literals; it returns the
-// output literals.
-func (v *combView) cnfCone(s *sat.Solver, keyLits []sat.Lit, inLits []sat.Lit, lfalse, ltrue sat.Lit) []sat.Lit {
-	lit := make(map[int32]sat.Lit)
-	for i, id := range v.ins {
-		lit[id] = inLits[i]
-	}
-	kpos := 0
-	for i, n := range v.ln.Nodes {
-		switch n.Kind {
-		case techmap.LConst0:
-			lit[int32(i)] = lfalse
-		case techmap.LConst1:
-			lit[int32(i)] = ltrue
-		case techmap.LLUT:
-			nin := len(n.In)
-			rows := 1 << uint(nin)
-			var terms []sat.Lit
-			for idx := 0; idx < rows; idx++ {
-				// minterm: inputs match idx AND key bit set.
-				conj := make([]sat.Lit, 0, nin+1)
-				for k := 0; k < nin; k++ {
-					l := lit[n.In[k]]
-					if idx&(1<<uint(k)) == 0 {
-						l = l.Neg()
-					}
-					conj = append(conj, l)
-				}
-				conj = append(conj, keyLits[kpos+idx])
-				terms = append(terms, tseitinAnd(s, conj))
-			}
-			kpos += rows
-			lit[int32(i)] = tseitinOr(s, terms)
-		}
-	}
-	out := make([]sat.Lit, len(v.outs))
-	for i, id := range v.outs {
-		out[i] = lit[id]
-	}
-	return out
-}
-
-func tseitinAnd(s *sat.Solver, lits []sat.Lit) sat.Lit {
-	g := sat.MkLit(s.NewVar(), false)
-	for _, l := range lits {
-		s.AddClause(g.Neg(), l)
-	}
-	all := append([]sat.Lit{g}, nil...)
-	for _, l := range lits {
-		all = append(all, l.Neg())
-	}
-	s.AddClause(all...)
-	return g
-}
-
-func tseitinOr(s *sat.Solver, lits []sat.Lit) sat.Lit {
-	g := sat.MkLit(s.NewVar(), false)
-	for _, l := range lits {
-		s.AddClause(g, l.Neg())
-	}
-	all := append([]sat.Lit{g.Neg()}, lits...)
-	s.AddClause(all...)
-	return g
 }
 
 func tseitinXor(s *sat.Solver, a, b sat.Lit) sat.Lit {
@@ -174,120 +206,208 @@ func tseitinXor(s *sat.Solver, a, b sat.Lit) sat.Lit {
 	return g
 }
 
-// RecoverBitstream runs the classic oracle-guided SAT attack against
-// the LUT network's configuration. The network itself acts as the
-// oracle (a working programmed chip). maxIters bounds the number of
-// distinguishing inputs.
+// RecoverBitstream runs the oracle-guided SAT attack against the LUT
+// network's configuration. The network itself acts as the oracle (a
+// working programmed chip). maxIters bounds the number of
+// distinguishing inputs; on exhaustion the returned error wraps
+// ErrAttackBudget (a *BudgetError with the work done so far). The seed
+// diversifies distinguishing-input tie-breaking (it seeds the solver's
+// decision phases), so different seeds explore different DIP
+// sequences; a fixed seed is fully deterministic.
 func RecoverBitstream(ln *techmap.LUTNetwork, maxIters int, seed int64) (*Result, error) {
+	return RecoverBitstreamOpts(ln, Options{MaxIters: maxIters, Seed: seed})
+}
+
+// RecoverBitstreamOpts runs the attack with explicit Options.
+func RecoverBitstreamOpts(ln *techmap.LUTNetwork, opts Options) (*Result, error) {
+	maxIters, seed := opts.MaxIters, opts.Seed
 	v := newCombView(ln)
 	if len(v.luts) == 0 {
 		return nil, fmt.Errorf("attack: network has no LUTs")
 	}
 	s := sat.NewSolver()
+	// Note: phase saving stays off. The DIP query wants a *diverse*
+	// model each iteration (the previous model's neighbourhood has just
+	// been excluded), and measurements on the attack corpus show saved
+	// phases steering the search back into the refuted region.
 	ltrue := sat.MkLit(s.NewVar(), false)
 	s.AddClause(ltrue) // constant-true literal
 	lfalse := ltrue.Neg()
 
-	newLits := func(n int) []sat.Lit {
-		out := make([]sat.Lit, n)
-		for i := range out {
-			out[i] = sat.MkLit(s.NewVar(), false)
-		}
-		return out
+	nIn := len(v.ins)
+	xb := s.NewVars(nIn)       // shared distinguishing-input variables
+	k1b := s.NewVars(v.keyLen) // key copy 1 (also the witness key)
+	k2b := s.NewVars(v.keyLen) // key copy 2
+	s.SeedPhases(seed)         // DIP tie-breaking: seed-dependent first models
+
+	// Miter: one symbolic template of the network, stamped twice with
+	// shared inputs and per-copy key/gate blocks.
+	var tb template
+	var stampBuf []sat.Lit
+	tb.reset(nIn, v.keyLen)
+	inLits := make([]int32, nIn)
+	for i := range inLits {
+		inLits[i] = mkTLit(i+1, false)
 	}
-	k1 := newLits(v.keyLen)
-	k2 := newLits(v.keyLen)
-	x := newLits(len(v.ins))
-	o1 := v.cnfCone(s, k1, x, lfalse, ltrue)
-	o2 := v.cnfCone(s, k2, x, lfalse, ltrue)
+	outs := v.buildCone(&tb, inLits, nil)
+	g1, _ := tb.stamp(s, xb, k1b, lfalse, ltrue, &stampBuf)
+	g2, _ := tb.stamp(s, xb, k2b, lfalse, ltrue, &stampBuf)
+
+	// The difference clause is guarded by an activation literal: the
+	// distinguishing-input query solves under the assumption act, and
+	// the final witness-key query simply drops the assumption.
+	act := sat.MkLit(s.NewVar(), false)
 	var diffs []sat.Lit
-	for i := range o1 {
-		diffs = append(diffs, tseitinXor(s, o1[i], o2[i]))
-	}
-	s.AddClause(diffs...) // at least one output differs
-
-	// A second, constraints-only solver accumulates the oracle I/O
-	// relations on an independent key-variable set; once the miter goes
-	// UNSAT, its model is a correct key.
-	sc := sat.NewSolver()
-	scTrue := sat.MkLit(sc.NewVar(), false)
-	sc.AddClause(scTrue)
-	scFalse := scTrue.Neg()
-	kc := make([]sat.Lit, v.keyLen)
-	for i := range kc {
-		kc[i] = sat.MkLit(sc.NewVar(), false)
-	}
-
-	constLit := func(b bool, f, t sat.Lit) sat.Lit {
-		if b {
-			return t
+	for _, o := range outs {
+		o1 := tb.lit(o, xb, k1b, g1, lfalse, ltrue)
+		o2 := tb.lit(o, xb, k2b, g2, lfalse, ltrue)
+		if o1 == o2 {
+			continue // constant or key-independent output: never differs
 		}
-		return f
+		diffs = append(diffs, tseitinXor(s, o1, o2))
 	}
+	diffs = append(diffs, act.Neg())
+	s.AddClause(diffs...)
+
+	// keyFixed folds key bits both miter copies agree on at the root
+	// level — sound for a cone stamped against either key block.
+	keyFixed := func(k int) (value, known bool) {
+		v1, f1 := s.FixedValue(sat.MkLit(k1b+k, false))
+		if !f1 {
+			return false, false
+		}
+		v2, f2 := s.FixedValue(sat.MkLit(k2b+k, false))
+		if !f2 || v1 != v2 {
+			return false, false
+		}
+		return v1, true
+	}
+
 	res := &Result{KeyBits: v.keyLen}
-	_ = rand.New(rand.NewSource(seed))
+	dip := make([]bool, nIn)
+	dipLits := make([]int32, nIn)
+	want := make([]bool, len(v.outs))
+	val := make([]bool, len(v.ln.Nodes))
+	fill := func() {
+		res.Conflicts = s.Conflicts
+		res.Decisions = s.Decisions
+		res.Propagations = s.Propagations
+		res.Reductions = s.Reductions
+		res.DeletedClauses = s.Deleted
+	}
+	// addIOConstraint stamps "both key copies reproduce the oracle on
+	// this input pattern" using the key-cone-reduced encoding.
+	addIOConstraint := func() error {
+		v.evalInto(want, val, dip, nil)
+		tb.reset(nIn, v.keyLen)
+		for i := range dipLits {
+			if dip[i] {
+				dipLits[i] = tConst1
+			} else {
+				dipLits[i] = tConst0
+			}
+		}
+		couts := v.buildCone(&tb, dipLits, keyFixed)
+		for i, o := range couts {
+			if tIsConst(o) {
+				if (o == tConst1) != want[i] {
+					return fmt.Errorf("attack: folded output %d contradicts the oracle (internal error)", i)
+				}
+				continue
+			}
+			if want[i] {
+				tb.addClause(o)
+			} else {
+				tb.addClause(tNeg(o))
+			}
+		}
+		tb.stamp(s, xb, k1b, lfalse, ltrue, &stampBuf)
+		tb.stamp(s, xb, k2b, lfalse, ltrue, &stampBuf)
+		return nil
+	}
+	// Random-simulation warm-up: a batch of seed-driven oracle queries
+	// constrains the key space before the first SAT query. With the
+	// key-cone encoding each pattern costs a network walk plus a handful
+	// of clauses (no solving), and the root-level key bits it pins make
+	// every later cone smaller — the SAT loop then spends its iterations
+	// on the hard distinguishing inputs only.
+	if opts.WarmupPatterns > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		for p := 0; p < opts.WarmupPatterns; p++ {
+			for i := range dip {
+				dip[i] = rng.Intn(2) == 1
+			}
+			if err := addIOConstraint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	budgetErr := func(iter int) *BudgetError {
+		fill()
+		return &BudgetError{
+			MaxConflicts: opts.MaxConflicts,
+			Iterations:   iter,
+			KeyBits:      v.keyLen,
+			Conflicts:    res.Conflicts,
+			Decisions:    res.Decisions,
+			Propagations: res.Propagations,
+		}
+	}
 	for iter := 0; iter < maxIters; iter++ {
-		if !s.Solve() {
+		rem := 0 // unlimited
+		if opts.MaxConflicts > 0 {
+			rem = opts.MaxConflicts - s.Conflicts
+			if rem <= 0 {
+				return nil, budgetErr(iter)
+			}
+		}
+		satisfiable, decided := s.SolveBudgeted(rem, act)
+		if !decided {
+			return nil, budgetErr(iter)
+		}
+		if !satisfiable {
 			// No distinguishing input remains: any key satisfying the
-			// accumulated constraints is functionally correct.
+			// accumulated I/O constraints is functionally correct. The
+			// constraints are unconditional clauses, so the same solver
+			// yields a witness once the miter assumption is dropped.
 			res.Iterations = iter
-			res.Conflicts = s.Conflicts
-			res.Decisions = s.Decisions
-			res.Propagations = s.Propagations
-			if !sc.Solve() {
+			if !s.Solve() {
 				return nil, fmt.Errorf("attack: constraint set unsatisfiable (internal error)")
 			}
-			res.Masks = readMasks(v, sc, kc)
+			fill()
+			res.Masks = readMasks(v, s, k1b)
 			return res, nil
 		}
-		// Distinguishing input pattern from the model.
-		dip := make([]bool, len(v.ins))
-		for i, l := range x {
-			dip[i] = s.ValueOf(l.Var())
+		// Distinguishing input pattern from the model; constrain both key
+		// copies to reproduce the oracle on it (key-cone reduced).
+		for i := 0; i < nIn; i++ {
+			dip[i] = s.ValueOf(xb + i)
 		}
-		// Oracle response.
-		want := v.eval(dip, nil)
-		// Both miter key candidates must reproduce it.
-		for _, k := range [][]sat.Lit{k1, k2} {
-			dipLits := make([]sat.Lit, len(v.ins))
-			for i := range dip {
-				dipLits[i] = constLit(dip[i], lfalse, ltrue)
-			}
-			outs := v.cnfCone(s, k, dipLits, lfalse, ltrue)
-			for i, o := range outs {
-				if want[i] {
-					s.AddClause(o)
-				} else {
-					s.AddClause(o.Neg())
-				}
-			}
-		}
-		// And so must the witness key in the constraints-only solver.
-		dipLitsC := make([]sat.Lit, len(v.ins))
-		for i := range dip {
-			dipLitsC[i] = constLit(dip[i], scFalse, scTrue)
-		}
-		outsC := v.cnfCone(sc, kc, dipLitsC, scFalse, scTrue)
-		for i, o := range outsC {
-			if want[i] {
-				sc.AddClause(o)
-			} else {
-				sc.AddClause(o.Neg())
-			}
+		if err := addIOConstraint(); err != nil {
+			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("attack: not converged after %d distinguishing inputs", maxIters)
+	fill()
+	return nil, &BudgetError{
+		MaxIters:     maxIters,
+		Iterations:   maxIters,
+		KeyBits:      v.keyLen,
+		Conflicts:    res.Conflicts,
+		Decisions:    res.Decisions,
+		Propagations: res.Propagations,
+	}
 }
 
-// readMasks converts a key model into per-LUT masks.
-func readMasks(v *combView, s *sat.Solver, key []sat.Lit) map[int32]uint64 {
+// readMasks converts the key model at the given variable base into
+// per-LUT masks.
+func readMasks(v *combView, s *sat.Solver, keyBase int) map[int32]uint64 {
 	masks := make(map[int32]uint64, len(v.luts))
 	kpos := 0
 	for _, id := range v.luts {
 		rows := 1 << uint(len(v.ln.Nodes[id].In))
 		var m uint64
 		for idx := 0; idx < rows; idx++ {
-			if s.ValueOf(key[kpos+idx].Var()) {
+			if s.ValueOf(keyBase + kpos + idx) {
 				m |= 1 << uint(idx)
 			}
 		}
@@ -304,12 +424,15 @@ func VerifyKey(ln *techmap.LUTNetwork, masks map[int32]uint64, patterns int, see
 	r := rand.New(rand.NewSource(seed))
 	bad := 0
 	in := make([]bool, len(v.ins))
+	want := make([]bool, len(v.outs))
+	got := make([]bool, len(v.outs))
+	val := make([]bool, len(v.ln.Nodes))
 	for p := 0; p < patterns; p++ {
 		for i := range in {
 			in[i] = r.Intn(2) == 1
 		}
-		want := v.eval(in, nil)
-		got := v.eval(in, masks)
+		v.evalInto(want, val, in, nil)
+		v.evalInto(got, val, in, masks)
 		for i := range want {
 			if want[i] != got[i] {
 				bad++

@@ -1,0 +1,168 @@
+package attack
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// crossTargets is a corpus of small designs where both engines finish
+// instantly; used for production-vs-reference cross-checks.
+var crossTargets = []string{
+	`module a (input wire [1:0] a, output wire y);
+  assign y = a[0] ^ a[1];
+endmodule`,
+	`module b (input wire [3:0] a, input wire [3:0] b, output wire [4:0] y);
+  assign y = a + b;
+endmodule`,
+	`module c (input wire [5:0] a, output wire [3:0] y);
+  assign y = {a[0] ^ a[5], a[1] & a[4] | a[2], a[3] ^ (a[1] & a[0]), ^a};
+endmodule`,
+	`module d (input wire clk, input wire rst, input wire [2:0] d, output reg [2:0] q);
+  always @(posedge clk or posedge rst) begin
+    if (rst) q <= 3'd0;
+    else q <= q + d;
+  end
+endmodule`,
+}
+
+// TestEngineVsReference cross-checks the overhauled engine against the
+// preserved pre-overhaul implementation: identical key sizes, and both
+// recovered configurations must be functionally perfect against the
+// oracle.
+func TestEngineVsReference(t *testing.T) {
+	for i, src := range crossTargets {
+		ln := mapDesign(t, src)
+		got, err := RecoverBitstream(ln, 2000, 1)
+		if err != nil {
+			t.Fatalf("target %d: production engine: %v", i, err)
+		}
+		ref, err := RecoverBitstreamReference(ln, 2000, 1)
+		if err != nil {
+			t.Fatalf("target %d: reference engine: %v", i, err)
+		}
+		if got.KeyBits != ref.KeyBits {
+			t.Errorf("target %d: key bits %d (production) vs %d (reference)", i, got.KeyBits, ref.KeyBits)
+		}
+		if bad := VerifyKey(ln, got.Masks, 500, 2); bad != 0 {
+			t.Errorf("target %d: production key wrong on %d patterns", i, bad)
+		}
+		if bad := VerifyKey(ln, ref.Masks, 500, 2); bad != 0 {
+			t.Errorf("target %d: reference key wrong on %d patterns", i, bad)
+		}
+	}
+}
+
+// TestAttackDeterministic checks that a fixed seed reproduces the run
+// exactly, and that the seed genuinely steers the DIP search (it is no
+// longer the dead parameter it once was).
+func TestAttackDeterministic(t *testing.T) {
+	ln := mapDesign(t, crossTargets[1])
+	a, err := RecoverBitstream(ln, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RecoverBitstream(ln, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Iterations != b.Iterations || a.Conflicts != b.Conflicts || a.Decisions != b.Decisions {
+		t.Fatalf("same seed must reproduce the run: %+v vs %+v", a, b)
+	}
+	for id, m := range a.Masks {
+		if b.Masks[id] != m {
+			t.Fatalf("same seed, different masks at node %d", id)
+		}
+	}
+	// Different seeds explore different DIP sequences (distinct solver
+	// stats on at least one of a few tries).
+	diverged := false
+	for seed := int64(8); seed < 12 && !diverged; seed++ {
+		c, err := RecoverBitstream(ln, 2000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diverged = c.Decisions != a.Decisions || c.Iterations != a.Iterations
+	}
+	if !diverged {
+		t.Error("seed does not influence the attack at all")
+	}
+}
+
+// TestAttackBudgetError checks the typed budget failure: iteration
+// budget 1 cannot converge on a non-trivial design, and the error
+// carries the work done.
+func TestAttackBudgetError(t *testing.T) {
+	ln := mapDesign(t, crossTargets[1])
+	_, err := RecoverBitstream(ln, 1, 1)
+	if err == nil {
+		t.Fatal("budget 1 must not converge on add4")
+	}
+	if !errors.Is(err, ErrAttackBudget) {
+		t.Fatalf("want ErrAttackBudget, got %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetError, got %T", err)
+	}
+	if be.MaxIters != 1 || be.KeyBits == 0 {
+		t.Fatalf("budget error payload: %+v", be)
+	}
+	// The reference engine reports budget exhaustion the same way.
+	if _, err := RecoverBitstreamReference(ln, 1, 1); !errors.Is(err, ErrAttackBudget) {
+		t.Fatalf("reference: want ErrAttackBudget, got %v", err)
+	}
+}
+
+// TestAttackWarmupOptions checks the random-simulation warm-up: it
+// must cut the distinguishing-input count while still recovering a
+// perfect key.
+func TestAttackWarmupOptions(t *testing.T) {
+	ln := mapDesign(t, crossTargets[1])
+	plain, err := RecoverBitstreamOpts(ln, Options{MaxIters: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RecoverBitstreamOpts(ln, Options{MaxIters: 2000, Seed: 1, WarmupPatterns: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := VerifyKey(ln, warm.Masks, 500, 2); bad != 0 {
+		t.Fatalf("warm-up key wrong on %d patterns", bad)
+	}
+	if warm.Iterations >= plain.Iterations {
+		t.Errorf("warm-up should cut DIPs: %d (warm) vs %d (plain)", warm.Iterations, plain.Iterations)
+	}
+}
+
+// TestAttackAllocs bounds the engine's allocation rate per
+// distinguishing-input iteration. The per-iteration footprint is a
+// handful of template/stamp buffer growths plus solver clause arena
+// growth; the pre-overhaul engine allocated two orders of magnitude
+// more (fresh maps and Tseitin slices for three full network walks per
+// DIP).
+func TestAttackAllocs(t *testing.T) {
+	ln := mapDesign(t, crossTargets[2]) // sbox6: enough iterations to average
+	// Warm the libraries (lazy init noise out of the measurement).
+	if _, err := RecoverBitstream(ln, 2000, 1); err != nil {
+		t.Fatal(err)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, err := RecoverBitstream(ln, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	iters := res.Iterations
+	if iters == 0 {
+		t.Fatal("no iterations to average over")
+	}
+	perIter := float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+	t.Logf("%d DIPs, %.0f allocs/iteration", iters, perIter)
+	// The reference engine measures ~2600 allocs/iteration on this
+	// design; keep the overhauled engine an order of magnitude below.
+	if perIter > 260 {
+		t.Errorf("allocation regression: %.0f allocs per iteration", perIter)
+	}
+}

@@ -1,0 +1,212 @@
+package attack
+
+import (
+	"fmt"
+
+	"alice/internal/sat"
+	"alice/internal/techmap"
+)
+
+// This file preserves the pre-overhaul attack engine as an executable
+// reference. It re-encodes the full network with a fresh Tseitin walk
+// for every constraint (no key-cone reduction, no template stamping)
+// and keeps the accumulated oracle constraints in a separate
+// clause-copy witness solver instead of using assumptions. The tests
+// cross-check the production engine against it: both must recover
+// functionally correct keys on the whole corpus, and the solver's
+// assumption path must agree with the clause-copy path.
+
+// cnfConeRef encodes the combinational view with the given key
+// literals (one per mask bit, in LUT order) and input literals; it
+// returns the output literals. Every call walks and Tseitin-encodes
+// the entire network.
+func (v *combView) cnfConeRef(s *sat.Solver, keyLits []sat.Lit, inLits []sat.Lit, lfalse, ltrue sat.Lit) []sat.Lit {
+	lit := make(map[int32]sat.Lit)
+	for i, id := range v.ins {
+		lit[id] = inLits[i]
+	}
+	kpos := 0
+	for i, n := range v.ln.Nodes {
+		switch n.Kind {
+		case techmap.LConst0:
+			lit[int32(i)] = lfalse
+		case techmap.LConst1:
+			lit[int32(i)] = ltrue
+		case techmap.LLUT:
+			nin := len(n.In)
+			rows := 1 << uint(nin)
+			var terms []sat.Lit
+			for idx := 0; idx < rows; idx++ {
+				// minterm: inputs match idx AND key bit set.
+				conj := make([]sat.Lit, 0, nin+1)
+				for k := 0; k < nin; k++ {
+					l := lit[n.In[k]]
+					if idx&(1<<uint(k)) == 0 {
+						l = l.Neg()
+					}
+					conj = append(conj, l)
+				}
+				conj = append(conj, keyLits[kpos+idx])
+				terms = append(terms, tseitinAnd(s, conj))
+			}
+			kpos += rows
+			lit[int32(i)] = tseitinOr(s, terms)
+		}
+	}
+	out := make([]sat.Lit, len(v.outs))
+	for i, id := range v.outs {
+		out[i] = lit[id]
+	}
+	return out
+}
+
+func tseitinAnd(s *sat.Solver, lits []sat.Lit) sat.Lit {
+	g := sat.MkLit(s.NewVar(), false)
+	for _, l := range lits {
+		s.AddClause(g.Neg(), l)
+	}
+	all := append([]sat.Lit{g}, nil...)
+	for _, l := range lits {
+		all = append(all, l.Neg())
+	}
+	s.AddClause(all...)
+	return g
+}
+
+func tseitinOr(s *sat.Solver, lits []sat.Lit) sat.Lit {
+	g := sat.MkLit(s.NewVar(), false)
+	for _, l := range lits {
+		s.AddClause(g, l.Neg())
+	}
+	all := append([]sat.Lit{g.Neg()}, lits...)
+	s.AddClause(all...)
+	return g
+}
+
+// RecoverBitstreamReference runs the attack with the pre-overhaul
+// engine (full re-encoding per iteration, clause-copy witness solver).
+// The seed is accepted for signature parity but ignored: the reference
+// engine predates seeded DIP tie-breaking. Kept for the equivalence
+// gates and the before/after benchmarks; production callers use
+// RecoverBitstream.
+func RecoverBitstreamReference(ln *techmap.LUTNetwork, maxIters int, seed int64) (*Result, error) {
+	_ = seed
+	v := newCombView(ln)
+	if len(v.luts) == 0 {
+		return nil, fmt.Errorf("attack: network has no LUTs")
+	}
+	s := sat.NewSolver()
+	ltrue := sat.MkLit(s.NewVar(), false)
+	s.AddClause(ltrue) // constant-true literal
+	lfalse := ltrue.Neg()
+
+	newLits := func(n int) []sat.Lit {
+		out := make([]sat.Lit, n)
+		for i := range out {
+			out[i] = sat.MkLit(s.NewVar(), false)
+		}
+		return out
+	}
+	k1 := newLits(v.keyLen)
+	k2 := newLits(v.keyLen)
+	x := newLits(len(v.ins))
+	o1 := v.cnfConeRef(s, k1, x, lfalse, ltrue)
+	o2 := v.cnfConeRef(s, k2, x, lfalse, ltrue)
+	var diffs []sat.Lit
+	for i := range o1 {
+		diffs = append(diffs, tseitinXor(s, o1[i], o2[i]))
+	}
+	s.AddClause(diffs...) // at least one output differs
+
+	// A second, constraints-only solver accumulates the oracle I/O
+	// relations on an independent key-variable set; once the miter goes
+	// UNSAT, its model is a correct key.
+	sc := sat.NewSolver()
+	scTrue := sat.MkLit(sc.NewVar(), false)
+	sc.AddClause(scTrue)
+	scFalse := scTrue.Neg()
+	kc := make([]sat.Lit, v.keyLen)
+	for i := range kc {
+		kc[i] = sat.MkLit(sc.NewVar(), false)
+	}
+
+	constLit := func(b bool, f, t sat.Lit) sat.Lit {
+		if b {
+			return t
+		}
+		return f
+	}
+	res := &Result{KeyBits: v.keyLen}
+	for iter := 0; iter < maxIters; iter++ {
+		if !s.Solve() {
+			// No distinguishing input remains: any key satisfying the
+			// accumulated constraints is functionally correct.
+			res.Iterations = iter
+			res.Conflicts = s.Conflicts
+			res.Decisions = s.Decisions
+			res.Propagations = s.Propagations
+			if !sc.Solve() {
+				return nil, fmt.Errorf("attack: constraint set unsatisfiable (internal error)")
+			}
+			res.Masks = readMasksLits(v, sc, kc)
+			return res, nil
+		}
+		// Distinguishing input pattern from the model.
+		dip := make([]bool, len(v.ins))
+		for i, l := range x {
+			dip[i] = s.ValueOf(l.Var())
+		}
+		// Oracle response.
+		want := v.eval(dip, nil)
+		// Both miter key candidates must reproduce it.
+		for _, k := range [][]sat.Lit{k1, k2} {
+			dipLits := make([]sat.Lit, len(v.ins))
+			for i := range dip {
+				dipLits[i] = constLit(dip[i], lfalse, ltrue)
+			}
+			outs := v.cnfConeRef(s, k, dipLits, lfalse, ltrue)
+			for i, o := range outs {
+				if want[i] {
+					s.AddClause(o)
+				} else {
+					s.AddClause(o.Neg())
+				}
+			}
+		}
+		// And so must the witness key in the constraints-only solver.
+		dipLitsC := make([]sat.Lit, len(v.ins))
+		for i := range dip {
+			dipLitsC[i] = constLit(dip[i], scFalse, scTrue)
+		}
+		outsC := v.cnfConeRef(sc, kc, dipLitsC, scFalse, scTrue)
+		for i, o := range outsC {
+			if want[i] {
+				sc.AddClause(o)
+			} else {
+				sc.AddClause(o.Neg())
+			}
+		}
+	}
+	return nil, &BudgetError{MaxIters: maxIters, Iterations: maxIters, KeyBits: v.keyLen,
+		Conflicts: s.Conflicts, Decisions: s.Decisions, Propagations: s.Propagations}
+}
+
+// readMasksLits converts a key model given as explicit literals into
+// per-LUT masks (the reference engine's key variables are not
+// contiguous).
+func readMasksLits(v *combView, s *sat.Solver, key []sat.Lit) map[int32]uint64 {
+	masks := make(map[int32]uint64, len(v.luts))
+	kpos := 0
+	for _, id := range v.luts {
+		rows := 1 << uint(len(v.ln.Nodes[id].In))
+		var m uint64
+		for idx := 0; idx < rows; idx++ {
+			if s.ValueOf(key[kpos+idx].Var()) {
+				m |= 1 << uint(idx)
+			}
+		}
+		kpos += rows
+		masks[id] = m
+	}
+	return masks
+}

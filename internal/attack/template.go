@@ -1,0 +1,309 @@
+package attack
+
+import (
+	"alice/internal/sat"
+	"alice/internal/techmap"
+)
+
+// This file implements the CNF machinery of the overhauled attack
+// engine:
+//
+//   - a clause *template*: a Tseitin encoding of (part of) the LUT
+//     network built once over an abstract variable space, then
+//     *stamped* into the solver any number of times by mapping the
+//     abstract variables to concrete solver variables with base
+//     offsets (shared inputs, per-copy keys, per-stamp gates) and
+//     bulk-loading the clauses;
+//   - *key-cone reduction*: when the inputs are a concrete
+//     distinguishing input pattern, the encoder constant-propagates it
+//     through the network, folds key bits the solver has already
+//     proven at the root level, and emits clauses only for the part of
+//     the cone that is still key-dependent. A LUT whose inputs are all
+//     concrete reduces to a bare key literal (no clauses at all), and
+//     one whose selected key bits are already fixed folds to a
+//     constant that propagates onward.
+//
+// Template literals (tlit, an int32) mirror the solver's literal
+// encoding — (var<<1)|sign — over a 1-based abstract variable space
+// partitioned as [1..nIn] inputs, (nIn..nIn+nKey] key bits,
+// (nIn+nKey..] stamp-local gates. The two values below 1<<1 are
+// reserved constants, chosen so tNeg works on them too.
+const (
+	tConst0 int32 = 0
+	tConst1 int32 = 1
+)
+
+func mkTLit(tv int, neg bool) int32 {
+	l := int32(tv) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+func tNeg(l int32) int32 { return l ^ 1 }
+
+func tIsConst(l int32) bool { return l < 2 }
+
+// template is a reusable clause template plus the scratch buffers of
+// the cone builder; reset clears it for the next build without
+// releasing memory.
+type template struct {
+	nIn    int
+	nKey   int
+	nGates int     // abstract gate variables allocated by this build
+	lits   []int32 // clause literals, flat
+	ends   []int32 // clause end offsets into lits
+
+	// builder scratch
+	state []int32 // per network node: tlit or tConst0/1
+	conj  []int32
+	terms []int32
+	outs  []int32
+}
+
+func (tb *template) reset(nIn, nKey int) {
+	tb.nIn, tb.nKey, tb.nGates = nIn, nKey, 0
+	tb.lits = tb.lits[:0]
+	tb.ends = tb.ends[:0]
+	tb.outs = tb.outs[:0]
+}
+
+func (tb *template) keyTLit(k int) int32 { return mkTLit(1+tb.nIn+k, false) }
+
+func (tb *template) newGate() int32 {
+	tb.nGates++
+	return mkTLit(tb.nIn+tb.nKey+tb.nGates, false)
+}
+
+func (tb *template) addClause(lits ...int32) {
+	tb.lits = append(tb.lits, lits...)
+	tb.ends = append(tb.ends, int32(len(tb.lits)))
+}
+
+// mkAnd returns a tlit equivalent to the conjunction of lits,
+// simplifying constants, duplicates, and complementary pairs; a gate
+// (with its defining clauses) is emitted only when two or more
+// distinct literals remain. lits is consumed as scratch.
+func (tb *template) mkAnd(lits []int32) int32 {
+	out := lits[:0]
+	for _, l := range lits {
+		if l == tConst1 {
+			continue
+		}
+		if l == tConst0 {
+			return tConst0
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == tNeg(l) {
+				return tConst0 // x AND NOT x
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return tConst1
+	case 1:
+		return out[0]
+	}
+	g := tb.newGate()
+	for _, l := range out {
+		tb.addClause(tNeg(g), l)
+	}
+	tb.lits = append(tb.lits, g)
+	for _, l := range out {
+		tb.lits = append(tb.lits, tNeg(l))
+	}
+	tb.ends = append(tb.ends, int32(len(tb.lits)))
+	return g
+}
+
+// mkOr is the dual of mkAnd.
+func (tb *template) mkOr(lits []int32) int32 {
+	out := lits[:0]
+	for _, l := range lits {
+		if l == tConst0 {
+			continue
+		}
+		if l == tConst1 {
+			return tConst1
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == tNeg(l) {
+				return tConst1 // x OR NOT x
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return tConst0
+	case 1:
+		return out[0]
+	}
+	g := tb.newGate()
+	for _, l := range out {
+		tb.addClause(g, tNeg(l))
+	}
+	tb.lits = append(tb.lits, tNeg(g))
+	tb.lits = append(tb.lits, out...)
+	tb.ends = append(tb.ends, int32(len(tb.lits)))
+	return g
+}
+
+// lit maps a template literal to a concrete solver literal given the
+// stamp's variable bases. Constants map to the solver's constant
+// literals.
+func (tb *template) lit(tl int32, inBase, keyBase, gateBase int, lfalse, ltrue sat.Lit) sat.Lit {
+	switch tl {
+	case tConst0:
+		return lfalse
+	case tConst1:
+		return ltrue
+	}
+	tv := int(tl >> 1)
+	neg := tl&1 == 1
+	var v int
+	switch {
+	case tv <= tb.nIn:
+		v = inBase + tv - 1
+	case tv <= tb.nIn+tb.nKey:
+		v = keyBase + tv - tb.nIn - 1
+	default:
+		v = gateBase + tv - tb.nIn - tb.nKey - 1
+	}
+	return sat.MkLit(v, neg)
+}
+
+// stamp materializes one copy of the template in the solver: it
+// allocates the stamp's gate variables as one contiguous block, maps
+// every clause literal, and bulk-loads the whole clause set in a
+// single AddClausesFlat call. It returns the gate variable base (for
+// resolving output literals of this stamp) and the ok flag of the
+// clause load. buf is reusable scratch for the mapped literals.
+func (tb *template) stamp(s *sat.Solver, inBase, keyBase int, lfalse, ltrue sat.Lit, buf *[]sat.Lit) (gateBase int, ok bool) {
+	gateBase = s.NewVars(tb.nGates)
+	mapped := (*buf)[:0]
+	for _, tl := range tb.lits {
+		mapped = append(mapped, tb.lit(tl, inBase, keyBase, gateBase, lfalse, ltrue))
+	}
+	*buf = mapped
+	return gateBase, s.AddClausesFlat(mapped, tb.ends)
+}
+
+// buildCone encodes the combinational scan view into tb. inLits gives
+// the template literal (or constant) of each of the view's inputs;
+// keyFixed, when non-nil, reports key bits already proven constant
+// (the encoder folds them and drops or simplifies the affected truth
+// table rows). It returns one tlit (possibly constant) per observed
+// output, valid until the next build reusing tb.
+func (v *combView) buildCone(tb *template, inLits []int32, keyFixed func(int) (value, known bool)) []int32 {
+	if cap(tb.state) < len(v.ln.Nodes) {
+		tb.state = make([]int32, len(v.ln.Nodes))
+	}
+	state := tb.state[:len(v.ln.Nodes)]
+	for i := range state {
+		state[i] = tConst0
+	}
+	for i, id := range v.ins {
+		state[id] = inLits[i]
+	}
+	kpos := 0
+	for i, n := range v.ln.Nodes {
+		switch n.Kind {
+		case techmap.LConst0:
+			state[i] = tConst0
+		case techmap.LConst1:
+			state[i] = tConst1
+		case techmap.LLUT:
+			nin := len(n.In)
+			rows := 1 << uint(nin)
+			// Partition the LUT's inputs into constants (folded into the
+			// base row index) and symbolic literals.
+			var symPos [techmap.MaxK]int
+			var symLit [techmap.MaxK]int32
+			u := 0
+			baseIdx := 0
+			for k := 0; k < nin; k++ {
+				il := state[n.In[k]]
+				switch {
+				case il == tConst1:
+					baseIdx |= 1 << uint(k)
+				case il == tConst0:
+					// contributes 0 to the row index
+				default:
+					symPos[u], symLit[u] = k, il
+					u++
+				}
+			}
+			terms := tb.terms[:0]
+			anyDropped, allKeyFree := false, true
+			for c := 0; c < 1<<uint(u); c++ {
+				idx := baseIdx
+				for b := 0; b < u; b++ {
+					if c&(1<<uint(b)) != 0 {
+						idx |= 1 << uint(symPos[b])
+					}
+				}
+				conj := tb.conj[:0]
+				for b := 0; b < u; b++ {
+					l := symLit[b]
+					if c&(1<<uint(b)) == 0 {
+						l = tNeg(l)
+					}
+					conj = append(conj, l)
+				}
+				keyed := true
+				if keyFixed != nil {
+					if val, known := keyFixed(kpos + idx); known {
+						if !val {
+							tb.conj = conj
+							anyDropped = true
+							continue // row proven absent
+						}
+						keyed = false // row proven present: key literal folds away
+					}
+				}
+				if keyed {
+					conj = append(conj, tb.keyTLit(kpos+idx))
+					allKeyFree = false
+				}
+				t := tb.mkAnd(conj)
+				tb.conj = conj[:0]
+				if t != tConst0 {
+					terms = append(terms, t)
+				}
+			}
+			tb.terms = terms[:0]
+			kpos += rows
+			if allKeyFree && !anyDropped {
+				// Every reachable row is proven present: the output is true
+				// for every input combination, i.e. constant.
+				state[i] = tConst1
+				continue
+			}
+			state[i] = tb.mkOr(terms)
+		}
+	}
+	outs := tb.outs[:0]
+	for _, id := range v.outs {
+		outs = append(outs, state[id])
+	}
+	tb.outs = outs
+	return outs
+}

@@ -1,14 +1,23 @@
 // Package sat implements a compact CDCL SAT solver (two-watched
-// literals, first-UIP clause learning, VSIDS-style activities, Luby
-// restarts) used by the security evaluation: the oracle-guided attack
+// literals, first-UIP clause learning, VSIDS-style activities with an
+// order heap, phase saving, Luby restarts, LBD-tagged learned-clause
+// deletion) used by the security evaluation: the oracle-guided attack
 // on eFPGA bitstreams and the equivalence checks of the redaction flow.
 //
-// The hot paths are slice-based: clauses live in an arena addressed by
-// integer references (no pointer chasing), watch lists are slices
-// indexed directly by literal value, and every watch entry carries a
-// blocker literal so satisfied clauses are skipped without touching the
-// clause memory at all.
+// The hot paths are slice-based: all clause literals live in one flat
+// arena addressed by {offset,length} headers (no per-clause allocation,
+// no pointer chasing), watch lists are slices indexed directly by
+// literal value, and every watch entry carries a blocker literal so
+// satisfied clauses are skipped without touching the clause memory at
+// all. The solver is incremental in two ways: clauses can be added
+// between Solve calls (individually or in bulk with AddClausesFlat),
+// and SolveAssuming decides satisfiability under a set of assumption
+// literals without committing them, so one solver instance can answer
+// both the "is there a distinguishing input" and the "give me a
+// witness key" queries of the attack loop.
 package sat
+
+import "sort"
 
 // Lit is a literal: variable index v (1-based) encoded as 2v for the
 // positive literal and 2v+1 for the negative literal.
@@ -32,63 +41,131 @@ func (l Lit) Var() int { return int(l >> 1) }
 // Sign reports whether the literal is negated.
 func (l Lit) Sign() bool { return l&1 == 1 }
 
-type lbool int8
+// lbool is a three-valued assignment encoded so literal evaluation is
+// branchless: value(l) = assign[var] XOR sign(l), with any result >= 2
+// meaning unassigned (assign itself only ever holds 0, 1, or 2).
+type lbool uint8
 
 const (
-	lUndef lbool = iota
-	lTrue
-	lFalse
+	lTrue  lbool = 0
+	lFalse lbool = 1
+	lUndef lbool = 2
 )
 
-// cref references a clause in the solver's arena; crefUndef means none.
+// cref references a clause header in the solver's clause list;
+// crefUndef means none.
 type cref int32
 
 const crefUndef cref = -1
 
-type clause struct {
-	lits    []Lit
+// clauseMeta is one clause header: its literals are
+// clLits[off : off+n]. Learned clauses carry the LBD (literal block
+// distance: the number of distinct decision levels in the clause when
+// it was learned) that drives the deletion policy, and a used flag set
+// whenever the clause serves as an antecedent in conflict analysis —
+// recently useful clauses survive the next reduction regardless of
+// their LBD.
+type clauseMeta struct {
+	off     int32
+	n       int32
+	lbd     int32
 	learned bool
+	used    bool
 }
 
 // watcher is one two-watched-literal entry: the clause to visit and a
 // blocker literal (some other literal of the clause); when the blocker
 // is already true the clause is satisfied and the entry is skipped
-// without loading the clause.
+// without loading the clause. The clause reference is tagged in its
+// low bit: binary clauses are flagged so propagation can act on the
+// blocker (which is the clause's only other literal) without loading
+// the clause memory at all.
 type watcher struct {
-	c       cref
+	w       int32 // cref<<1 | isBinary
 	blocker Lit
 }
+
+func mkWatch(c cref, bin bool) int32 {
+	w := int32(c) << 1
+	if bin {
+		w |= 1
+	}
+	return w
+}
+
+// Learned-clause deletion policy: a reduction pass runs once the
+// conflict count passes the next threshold (checked at restarts and at
+// Solve entry, when the trail is at the root level), keeps glue
+// clauses (LBD <= lbdGlue) and locked clauses (reasons of current
+// root assignments), and deletes the worse half of the rest, ordered
+// by LBD then size.
+const (
+	reduceFirst    = 2000 // conflicts before the first reduction
+	reduceInc      = 300  // threshold growth per reduction
+	lbdGlue        = 2    // clauses at or below this LBD are kept forever
+	minLearnedKeep = 64   // never reduce tiny learned sets
+)
 
 // Solver is a CDCL SAT solver. The zero value is not usable; create
 // with NewSolver.
 type Solver struct {
-	nVars    int
-	arena    []clause    // all clauses, problem and learned
-	nProblem int         // count of non-learned clauses
-	watches  [][]watcher // indexed by int(Lit)
-	assign   []lbool     // per var (1-based)
-	level    []int
-	reason   []cref
-	trail    []Lit
-	trailLim []int
-	activity []float64
-	varInc   float64
-	qhead    int
-	unsat    bool // sticky root-level UNSAT
+	nVars     int
+	clLits    []Lit        // flat literal arena, addressed by cls headers
+	cls       []clauseMeta // all clauses, problem and learned
+	nProblem  int          // count of non-learned clauses
+	nLearned  int
+	watches   [][]watcher // indexed by int(Lit)
+	assign    []lbool     // per var (1-based)
+	level     []int
+	reason    []cref
+	trail     []Lit
+	trailLim  []int
+	activity  []float64
+	phase     []bool // saved polarity per var (true = assign true first)
+	phaseSave bool   // update phase[] from assignments on backtrack
+	varInc    float64
+	qhead     int
+	unsat     bool // sticky root-level UNSAT
 
-	seen   []bool // analyze scratch, per var
-	addTmp []Lit  // AddClause scratch
+	// VSIDS order heap: heap holds vars ordered by activity, hpos maps
+	// var -> heap index (-1 when absent).
+	heap []int32
+	hpos []int32
+
+	seen     []bool // analyze scratch, per var
+	addTmp   []Lit  // AddClause scratch
+	lbdMark  []int  // per-level stamp for LBD computation
+	lbdGen   int    // current lbdMark generation
+	redTmp   []cref // reduceDB candidate scratch
+	remap    []cref // reduceDB compaction scratch
+	lockTmp  []bool // reduceDB locked-clause scratch
+	minKeep  []Lit  // analyze: pre-minimization clause copy
+	minClear []Lit  // analyze: temporary seen marks from litRedundant
+	anStack  []Lit  // litRedundant DFS stack
+
+	nextReduce int // conflict count triggering the next reduction
+
+	// Dynamic (Glucose-style) restarts: fire early when the short-term
+	// LBD average degrades against the long-term one. Opt-in; the Luby
+	// schedule remains the backstop either way.
+	emaRestarts bool
+	lbdEmaFast  float64
+	lbdEmaSlow  float64
+
 	// Stats.
 	Conflicts    int
 	Decisions    int
 	Propagations int
+	Reductions   int // learned-clause reduction passes
+	Deleted      int // learned clauses deleted across all reductions
 }
 
 // NewSolver returns an empty solver.
 func NewSolver() *Solver {
 	return &Solver{
-		watches: make([][]watcher, 2),
-		varInc:  1.0,
+		watches:    make([][]watcher, 2),
+		varInc:     1.0,
+		nextReduce: reduceFirst,
 	}
 }
 
@@ -99,7 +176,10 @@ func (s *Solver) NewVar() int {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, crefUndef)
 	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
 	s.seen = append(s.seen, false)
+	s.lbdMark = append(s.lbdMark, 0)
+	s.hpos = append(s.hpos, -1)
 	s.watches = append(s.watches, nil, nil)
 	if s.nVars == 1 {
 		// index 0 pads the 1-based arrays
@@ -107,23 +187,86 @@ func (s *Solver) NewVar() int {
 		s.level = append(s.level, 0)
 		s.reason = append(s.reason, crefUndef)
 		s.activity = append(s.activity, 0)
+		s.phase = append(s.phase, false)
 		s.seen = append(s.seen, false)
+		s.lbdMark = append(s.lbdMark, 0)
+		s.hpos = append(s.hpos, -1)
 	}
+	s.heapInsert(int32(s.nVars))
 	return s.nVars
 }
 
+// NewVars allocates n consecutive variables and returns the index of
+// the first; the block is contiguous, which lets callers address a
+// family of related variables (e.g. the key bits of one miter copy) by
+// a base offset — the mechanism behind CNF template stamping.
+func (s *Solver) NewVars(n int) int {
+	if n <= 0 {
+		return s.nVars + 1
+	}
+	first := s.NewVar()
+	for i := 1; i < n; i++ {
+		s.NewVar()
+	}
+	return first
+}
+
+// SetPhaseSaving toggles phase saving: when enabled, a variable keeps
+// the polarity it last held when it is decided again. Off by default —
+// the default polarity-false decisions reproduce the historical search
+// order exactly. The textbook advice is to enable it for long
+// incremental runs, but measure first: the oracle-guided attack keeps
+// it off, because its distinguishing-input queries want a *diverse*
+// model per call and saved phases steer the search back into the
+// just-refuted region (see the note in attack.RecoverBitstreamOpts).
+func (s *Solver) SetPhaseSaving(on bool) { s.phaseSave = on }
+
+// SetDynamicRestarts toggles LBD-driven dynamic restarts (in addition
+// to the Luby backstop): the solver restarts early whenever the
+// short-term average LBD of learned clauses degrades against the
+// long-term average. Off by default (the Luby-only schedule reproduces
+// the historical search); enabled by callers whose workload is
+// dominated by long refutations, like the attack's final
+// "no distinguishing input remains" proof.
+func (s *Solver) SetDynamicRestarts(on bool) { s.emaRestarts = on }
+
+// SeedPhases sets a deterministic pseudo-random saved phase for every
+// currently allocated variable (splitmix64 over the seed). Callers use
+// it to diversify the first models the solver produces — e.g. the
+// distinguishing-input sequence of the oracle-guided attack — without
+// giving up run-to-run determinism for a fixed seed.
+func (s *Solver) SeedPhases(seed int64) {
+	x := uint64(seed)
+	for v := 1; v <= s.nVars; v++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		s.phase[v] = z&1 == 1
+	}
+}
+
+// value evaluates a literal branchlessly: results 0/1 are true/false,
+// anything >= lUndef is unassigned.
 func (s *Solver) value(l Lit) lbool {
-	v := s.assign[l.Var()]
-	if v == lUndef {
-		return lUndef
+	return s.assign[l.Var()] ^ lbool(l&1)
+}
+
+// FixedValue reports whether the literal is permanently assigned at
+// the root level, and its value there. Clause-building front ends use
+// it to constant-fold literals the solver has already proven.
+func (s *Solver) FixedValue(l Lit) (value, fixed bool) {
+	v := l.Var()
+	if v <= 0 || v > s.nVars || s.assign[v] == lUndef || s.level[v] != 0 {
+		return false, false
 	}
-	if l.Sign() {
-		if v == lTrue {
-			return lFalse
-		}
-		return lTrue
-	}
-	return v
+	return s.value(l) == lTrue, true
+}
+
+func (s *Solver) litsOf(c cref) []Lit {
+	m := &s.cls[c]
+	return s.clLits[m.off : m.off+m.n]
 }
 
 // AddClause adds a clause; it returns false if the formula became
@@ -176,7 +319,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 			s.unsat = true
 			return false
 		}
-		if s.value(out[0]) == lUndef {
+		if s.value(out[0]) >= lUndef {
 			s.uncheckedEnqueue(out[0], crefUndef)
 			if s.propagate() != crefUndef {
 				s.unsat = true
@@ -185,15 +328,91 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		}
 		return true
 	}
-	s.addClauseLits(out, false)
+	s.addClauseLits(out, false, 0)
+	return true
+}
+
+// AddClausesFlat bulk-loads a batch of clauses given as one flat
+// literal buffer with clause end offsets: clause i is
+// lits[ends[i-1]:ends[i]] (ends[ -1 ] = 0). It is the fast path behind
+// CNF template stamping: the whole batch is appended to the arena with
+// a single copy and one watch installation per clause, no per-clause
+// allocation or re-simplification. The caller must supply clauses that
+// are duplicate- and tautology-free; root-level assigned literals are
+// handled here (satisfied clauses are dropped, false literals are
+// stripped), so templates may reference variables the solver has since
+// fixed. Returns false if the formula became unsatisfiable.
+func (s *Solver) AddClausesFlat(lits []Lit, ends []int32) bool {
+	if s.unsat {
+		return false
+	}
+	s.cancelUntil(0)
+	start := int32(0)
+	for _, end := range ends {
+		cl := lits[start:end]
+		start = end
+		// Strip root-false literals; drop root-satisfied clauses (after
+		// cancelUntil(0) above, every assignment is a root assignment).
+		base := int32(len(s.clLits))
+		satisfied := false
+		for _, l := range cl {
+			switch s.value(l) {
+			case lTrue:
+				satisfied = true
+			case lFalse:
+				// dropped
+			default:
+				s.clLits = append(s.clLits, l)
+			}
+			if satisfied {
+				break
+			}
+		}
+		if satisfied {
+			s.clLits = s.clLits[:base]
+			continue
+		}
+		n := int32(len(s.clLits)) - base
+		switch n {
+		case 0:
+			s.clLits = s.clLits[:base]
+			s.unsat = true
+			return false
+		case 1:
+			l := s.clLits[base]
+			s.clLits = s.clLits[:base]
+			if s.value(l) == lFalse {
+				s.unsat = true
+				return false
+			}
+			if s.value(l) >= lUndef {
+				s.uncheckedEnqueue(l, crefUndef)
+				// Propagate immediately so later clauses in the batch see
+				// the fixed value and simplify against it.
+				if s.propagate() != crefUndef {
+					s.unsat = true
+					return false
+				}
+			}
+		default:
+			c := cref(len(s.cls))
+			s.cls = append(s.cls, clauseMeta{off: base, n: n})
+			s.nProblem++
+			s.watch(c)
+		}
+	}
 	return true
 }
 
 // addClauseLits copies lits into the arena and installs the watches.
-func (s *Solver) addClauseLits(lits []Lit, learned bool) cref {
-	c := cref(len(s.arena))
-	s.arena = append(s.arena, clause{lits: append([]Lit(nil), lits...), learned: learned})
-	if !learned {
+func (s *Solver) addClauseLits(lits []Lit, learned bool, lbd int) cref {
+	c := cref(len(s.cls))
+	off := int32(len(s.clLits))
+	s.clLits = append(s.clLits, lits...)
+	s.cls = append(s.cls, clauseMeta{off: off, n: int32(len(lits)), learned: learned, lbd: int32(lbd)})
+	if learned {
+		s.nLearned++
+	} else {
 		s.nProblem++
 	}
 	s.watch(c)
@@ -201,19 +420,16 @@ func (s *Solver) addClauseLits(lits []Lit, learned bool) cref {
 }
 
 func (s *Solver) watch(c cref) {
-	lits := s.arena[c].lits
+	lits := s.litsOf(c)
+	bin := len(lits) == 2
 	w0 := int(lits[0].Neg())
 	w1 := int(lits[1].Neg())
-	s.watches[w0] = append(s.watches[w0], watcher{c: c, blocker: lits[1]})
-	s.watches[w1] = append(s.watches[w1], watcher{c: c, blocker: lits[0]})
+	s.watches[w0] = append(s.watches[w0], watcher{w: mkWatch(c, bin), blocker: lits[1]})
+	s.watches[w1] = append(s.watches[w1], watcher{w: mkWatch(c, bin), blocker: lits[0]})
 }
 
 func (s *Solver) uncheckedEnqueue(l Lit, from cref) {
-	if l.Sign() {
-		s.assign[l.Var()] = lFalse
-	} else {
-		s.assign[l.Var()] = lTrue
-	}
+	s.assign[l.Var()] = lbool(l & 1)
 	s.level[l.Var()] = len(s.trailLim)
 	s.reason[l.Var()] = from
 	s.trail = append(s.trail, l)
@@ -231,19 +447,35 @@ func (s *Solver) propagate() cref {
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
 			// Blocker check: clause satisfied without loading it.
-			if s.value(w.blocker) == lTrue {
+			bv := s.value(w.blocker)
+			if bv == lTrue {
 				ws[j] = w
 				j++
 				continue
 			}
-			lits := s.arena[w.c].lits
+			if w.w&1 == 1 {
+				// Binary clause: the blocker is the only other literal, so
+				// the outcome is decided without touching clause memory.
+				ws[j] = w
+				j++
+				if bv == lFalse {
+					j += copy(ws[j:], ws[i+1:])
+					s.watches[p] = ws[:j]
+					s.qhead = len(s.trail)
+					return cref(w.w >> 1)
+				}
+				s.uncheckedEnqueue(w.blocker, cref(w.w>>1))
+				continue
+			}
+			c := cref(w.w >> 1)
+			lits := s.litsOf(c)
 			// Ensure the false literal is lits[1].
 			if lits[0] == p.Neg() {
 				lits[0], lits[1] = lits[1], lits[0]
 			}
 			first := lits[0]
 			if first != w.blocker && s.value(first) == lTrue {
-				ws[j] = watcher{c: w.c, blocker: first}
+				ws[j] = watcher{w: w.w, blocker: first}
 				j++
 				continue
 			}
@@ -253,7 +485,7 @@ func (s *Solver) propagate() cref {
 				if s.value(lits[k]) != lFalse {
 					lits[1], lits[k] = lits[k], lits[1]
 					nw := int(lits[1].Neg())
-					s.watches[nw] = append(s.watches[nw], watcher{c: w.c, blocker: first})
+					s.watches[nw] = append(s.watches[nw], watcher{w: w.w, blocker: first})
 					moved = true
 					break
 				}
@@ -261,20 +493,89 @@ func (s *Solver) propagate() cref {
 			if moved {
 				continue
 			}
-			ws[j] = watcher{c: w.c, blocker: first}
+			ws[j] = watcher{w: w.w, blocker: first}
 			j++
 			if s.value(first) == lFalse {
 				// Conflict: keep the remaining watchers and bail.
 				j += copy(ws[j:], ws[i+1:])
 				s.watches[p] = ws[:j]
 				s.qhead = len(s.trail)
-				return w.c
+				return c
 			}
-			s.uncheckedEnqueue(first, w.c)
+			s.uncheckedEnqueue(first, c)
 		}
 		s.watches[p] = ws[:j]
 	}
 	return crefUndef
+}
+
+// --- VSIDS order heap ---
+
+// heapLess orders the decision heap: higher activity first, lower
+// variable index among equals (the deterministic tie-break the old
+// linear-scan decide used).
+func (s *Solver) heapLess(a, b int32) bool {
+	if s.activity[a] != s.activity[b] {
+		return s.activity[a] > s.activity[b]
+	}
+	return a < b
+}
+
+func (s *Solver) heapSwap(i, j int) {
+	h := s.heap
+	h[i], h[j] = h[j], h[i]
+	s.hpos[h[i]] = int32(i)
+	s.hpos[h[j]] = int32(j)
+}
+
+func (s *Solver) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(s.heap[i], s.heap[p]) {
+			break
+		}
+		s.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (s *Solver) heapDown(i int) {
+	n := len(s.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && s.heapLess(s.heap[c+1], s.heap[c]) {
+			c++
+		}
+		if !s.heapLess(s.heap[c], s.heap[i]) {
+			return
+		}
+		s.heapSwap(i, c)
+		i = c
+	}
+}
+
+func (s *Solver) heapInsert(v int32) {
+	if s.hpos[v] >= 0 {
+		return
+	}
+	s.heap = append(s.heap, v)
+	s.hpos[v] = int32(len(s.heap) - 1)
+	s.heapUp(len(s.heap) - 1)
+}
+
+func (s *Solver) heapPop() int32 {
+	v := s.heap[0]
+	last := len(s.heap) - 1
+	s.heapSwap(0, last)
+	s.heap = s.heap[:last]
+	s.hpos[v] = -1
+	if last > 0 {
+		s.heapDown(0)
+	}
+	return v
 }
 
 func (s *Solver) bumpVar(v int) {
@@ -285,10 +586,14 @@ func (s *Solver) bumpVar(v int) {
 		}
 		s.varInc *= 1e-100
 	}
+	if s.hpos[v] >= 0 {
+		s.heapUp(int(s.hpos[v]))
+	}
 }
 
-// analyze produces a first-UIP learned clause and a backtrack level.
-func (s *Solver) analyze(confl cref) ([]Lit, int) {
+// analyze produces a first-UIP learned clause, its backtrack level,
+// and its LBD (number of distinct decision levels).
+func (s *Solver) analyze(confl cref) ([]Lit, int, int) {
 	seen := s.seen
 	var learnt []Lit
 	counter := 0
@@ -296,7 +601,11 @@ func (s *Solver) analyze(confl cref) ([]Lit, int) {
 	idx := len(s.trail) - 1
 	cur := confl
 	for {
-		for _, q := range s.arena[cur].lits {
+		if m := &s.cls[cur]; m.learned {
+			// Antecedent use protects the clause at the next reduction.
+			m.used = true
+		}
+		for _, q := range s.litsOf(cur) {
 			if p != -1 && q == p {
 				continue
 			}
@@ -325,18 +634,89 @@ func (s *Solver) analyze(confl cref) ([]Lit, int) {
 		cur = s.reason[p.Var()]
 	}
 	learnt = append([]Lit{p.Neg()}, learnt...)
-	// Clear the remaining marks so the scratch is clean for next time.
+	// Conflict-clause minimization (recursive, MiniSat-style): drop any
+	// literal whose reason chain is already implied by the rest of the
+	// clause. The seen marks from the collection loop above double as
+	// the "in clause" set; temporary marks made while chasing reason
+	// chains are recorded in minClear and removed below.
+	s.minKeep = append(s.minKeep[:0], learnt[1:]...)
+	abstract := uint32(0)
 	for _, l := range learnt[1:] {
+		abstract |= 1 << (uint(s.level[l.Var()]) & 31)
+	}
+	j := 1
+	for _, l := range learnt[1:] {
+		if s.reason[l.Var()] == crefUndef || !s.litRedundant(l, abstract) {
+			learnt[j] = l
+			j++
+		}
+	}
+	learnt = learnt[:j]
+	// Clear every mark so the scratch is clean for next time.
+	for _, l := range s.minKeep {
 		seen[l.Var()] = false
 	}
-	// Backtrack level: second-highest level in the clause.
+	for _, l := range s.minClear {
+		seen[l.Var()] = false
+	}
+	s.minClear = s.minClear[:0]
+	// Backtrack level: second-highest level in the clause. LBD: number
+	// of distinct levels across the clause (asserting literal included).
 	back := 0
+	s.lbdGen++
+	lbd := 0
+	// Distinct-level count via the per-level stamp array (lbdMark is
+	// indexed by decision level here; levels are bounded by nVars).
+	for _, l := range learnt {
+		lv := s.level[l.Var()]
+		if lv >= len(s.lbdMark) {
+			continue // defensive; levels are bounded by vars
+		}
+		if s.lbdMark[lv] != s.lbdGen {
+			s.lbdMark[lv] = s.lbdGen
+			lbd++
+		}
+	}
 	for _, l := range learnt[1:] {
 		if s.level[l.Var()] > back {
 			back = s.level[l.Var()]
 		}
 	}
-	return learnt, back
+	return learnt, back, lbd
+}
+
+// litRedundant reports whether p is implied by the other literals of
+// the clause under construction (whose variables are marked in seen):
+// it chases p's reason chain and succeeds if every path terminates in
+// a seen or root-level literal. Failed probes restore the temporary
+// marks they made; successful ones keep them (in minClear) so later
+// probes share the work. abstract is a Bloom-style signature of the
+// clause's decision levels — a chain literal outside those levels can
+// never be redundant, which prunes most failing probes in O(1).
+func (s *Solver) litRedundant(p Lit, abstract uint32) bool {
+	s.anStack = append(s.anStack[:0], p)
+	top := len(s.minClear)
+	for len(s.anStack) > 0 {
+		q := s.anStack[len(s.anStack)-1]
+		s.anStack = s.anStack[:len(s.anStack)-1]
+		for _, l := range s.litsOf(s.reason[q.Var()]) {
+			v := l.Var()
+			if v == q.Var() || s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] == crefUndef || (uint32(1)<<(uint(s.level[v])&31))&abstract == 0 {
+				for i := top; i < len(s.minClear); i++ {
+					s.seen[s.minClear[i].Var()] = false
+				}
+				s.minClear = s.minClear[:top]
+				return false
+			}
+			s.seen[v] = true
+			s.anStack = append(s.anStack, l)
+			s.minClear = append(s.minClear, l)
+		}
+	}
+	return true
 }
 
 func (s *Solver) cancelUntil(level int) {
@@ -345,8 +725,12 @@ func (s *Solver) cancelUntil(level int) {
 	}
 	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
 		v := s.trail[i].Var()
+		if s.phaseSave {
+			s.phase[v] = s.assign[v] == lTrue
+		}
 		s.assign[v] = lUndef
 		s.reason[v] = crefUndef
+		s.heapInsert(int32(v))
 	}
 	s.trail = s.trail[:s.trailLim[level]]
 	s.trailLim = s.trailLim[:level]
@@ -354,16 +738,13 @@ func (s *Solver) cancelUntil(level int) {
 }
 
 func (s *Solver) decide() Lit {
-	best, bestAct := 0, -1.0
-	for v := 1; v <= s.nVars; v++ {
-		if s.assign[v] == lUndef && s.activity[v] > bestAct {
-			best, bestAct = v, s.activity[v]
+	for len(s.heap) > 0 {
+		v := s.heapPop()
+		if s.assign[v] == lUndef {
+			return MkLit(int(v), !s.phase[v])
 		}
 	}
-	if best == 0 {
-		return -1
-	}
-	return MkLit(best, true) // negative polarity first
+	return -1
 }
 
 func luby(i int) int {
@@ -378,16 +759,163 @@ func luby(i int) int {
 	}
 }
 
+// reduceDB deletes the less useful half of the learned clauses (kept:
+// glue clauses with LBD <= lbdGlue, clauses locked as reasons of the
+// current root assignment, and the better-LBD half of the rest) and
+// compacts the clause arena in place, remapping clause references and
+// rebuilding the watch lists. It must be called with the trail at the
+// root level.
+func (s *Solver) reduceDB() {
+	if s.nLearned <= minLearnedKeep {
+		return
+	}
+	// Locked clauses: reasons of current (root) assignments.
+	if cap(s.lockTmp) < len(s.cls) {
+		s.lockTmp = make([]bool, len(s.cls))
+	}
+	locked := s.lockTmp[:len(s.cls)]
+	for i := range locked {
+		locked[i] = false
+	}
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != crefUndef {
+			locked[r] = true
+		}
+	}
+	// Candidate learned clauses, by (LBD, size) descending badness.
+	// Clauses used as antecedents since the last reduction are spared
+	// this round (and their protection cleared for the next one).
+	cand := s.redTmp[:0]
+	for c := range s.cls {
+		m := &s.cls[c]
+		if !m.learned {
+			continue
+		}
+		if m.used {
+			m.used = false
+			continue
+		}
+		if !locked[c] && m.lbd > lbdGlue {
+			cand = append(cand, cref(c))
+		}
+	}
+	s.redTmp = cand
+	// Partial selection: delete the worse half. Simple insertion-free
+	// approach: sort by badness descending.
+	sortCrefsByBadness(cand, s.cls)
+	del := len(cand) / 2
+	if del == 0 {
+		return
+	}
+	if cap(s.remap) < len(s.cls) {
+		s.remap = make([]cref, len(s.cls))
+	}
+	remap := s.remap[:len(s.cls)]
+	for i := range remap {
+		remap[i] = crefUndef
+	}
+	for _, c := range cand[:del] {
+		remap[c] = -2 // marked for deletion
+	}
+	// Compact arena and headers in place.
+	wLit := int32(0)
+	wCls := 0
+	for c := range s.cls {
+		if remap[c] == -2 {
+			continue
+		}
+		m := s.cls[c]
+		copy(s.clLits[wLit:wLit+m.n], s.clLits[m.off:m.off+m.n])
+		m.off = wLit
+		wLit += m.n
+		s.cls[wCls] = m
+		remap[c] = cref(wCls)
+		wCls++
+	}
+	s.clLits = s.clLits[:wLit]
+	s.cls = s.cls[:wCls]
+	s.Deleted += del
+	s.nLearned -= del
+	s.Reductions++
+	// Remap reasons of the root assignment.
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != crefUndef {
+			s.reason[l.Var()] = remap[r]
+		}
+	}
+	// Rebuild watch lists: pick two non-root-false literals per clause
+	// so the watch invariant holds under the current root assignment.
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for c := range s.cls {
+		lits := s.litsOf(cref(c))
+		w := 0
+		for i := 0; i < len(lits) && w < 2; i++ {
+			if s.value(lits[i]) != lFalse {
+				lits[i], lits[w] = lits[w], lits[i]
+				w++
+			}
+		}
+		// w < 2 means the clause is root-satisfied (a root-true literal
+		// sits at position 0 after the partition scan above): watches on
+		// root-false literals are never visited again, which is safe for
+		// a permanently satisfied clause.
+		s.watch(cref(c))
+	}
+}
+
+// sortCrefsByBadness orders candidates worst-first: higher LBD first,
+// longer clause first among equals, so the deletion pass can drop a
+// prefix.
+func sortCrefsByBadness(cand []cref, cls []clauseMeta) {
+	sort.Slice(cand, func(i, j int) bool {
+		ma, mb := &cls[cand[i]], &cls[cand[j]]
+		if ma.lbd != mb.lbd {
+			return ma.lbd > mb.lbd
+		}
+		return ma.n > mb.n
+	})
+}
+
 // Solve decides satisfiability of the current clause set. On SAT, the
 // model can be read with ValueOf. The solver is incremental: more
 // clauses may be added afterwards and Solve called again.
-func (s *Solver) Solve() bool {
+func (s *Solver) Solve() bool { return s.SolveAssuming() }
+
+// SolveAssuming decides satisfiability under the given assumption
+// literals. The assumptions are not added as clauses: they hold for
+// this call only, and learned clauses remain valid for later calls
+// with different (or no) assumptions. It returns false when the
+// formula is unsatisfiable under the assumptions — which includes the
+// formula being unsatisfiable outright.
+func (s *Solver) SolveAssuming(assumps ...Lit) bool {
+	res, _ := s.SolveBudgeted(0, assumps...)
+	return res
+}
+
+// SolveBudgeted is SolveAssuming with a conflict budget: if the search
+// exceeds maxConflicts additional conflicts the solver backtracks to
+// the root and reports decided=false (the formula keeps all learned
+// clauses, so a later call resumes the work). maxConflicts <= 0 means
+// unlimited. Security sweeps use it to bound the cost of attacking a
+// fabric that is simply too strong to crack.
+func (s *Solver) SolveBudgeted(maxConflicts int, assumps ...Lit) (result, decided bool) {
+	budget := -1
+	if maxConflicts > 0 {
+		budget = s.Conflicts + maxConflicts
+	}
 	if s.unsat {
-		return false
+		return false, true
 	}
 	s.cancelUntil(0)
 	if s.propagate() != crefUndef {
-		return false
+		s.unsat = true
+		return false, true
+	}
+	if s.Conflicts >= s.nextReduce {
+		s.reduceDB()
+		s.nextReduce = s.Conflicts + reduceFirst + reduceInc*s.Reductions
 	}
 	restart := 1
 	conflictBudget := 64 * luby(restart)
@@ -398,41 +926,80 @@ func (s *Solver) Solve() bool {
 			s.Conflicts++
 			conflicts++
 			if len(s.trailLim) == 0 {
-				return false
+				s.unsat = true
+				return false, true
 			}
-			learnt, back := s.analyze(confl)
+			if budget >= 0 && s.Conflicts >= budget {
+				s.cancelUntil(0)
+				return false, false
+			}
+			learnt, back, lbd := s.analyze(confl)
+			// LBD exponential moving averages drive dynamic restarts: a
+			// burst of high-LBD (poor) clauses relative to the long-term
+			// average means the search is stuck in an unproductive region.
+			s.lbdEmaFast += (float64(lbd) - s.lbdEmaFast) / 32
+			s.lbdEmaSlow += (float64(lbd) - s.lbdEmaSlow) / 8192
 			s.cancelUntil(back)
 			if len(learnt) == 1 {
 				s.cancelUntil(0)
 				if s.value(learnt[0]) == lFalse {
-					return false
+					s.unsat = true
+					return false, true
 				}
-				if s.value(learnt[0]) == lUndef {
+				if s.value(learnt[0]) >= lUndef {
 					s.uncheckedEnqueue(learnt[0], crefUndef)
 					if s.propagate() != crefUndef {
-						return false
+						s.unsat = true
+						return false, true
 					}
 				}
 				continue
 			}
-			c := s.addClauseLits(learnt, true)
-			if s.value(learnt[0]) == lUndef {
+			c := s.addClauseLits(learnt, true, lbd)
+			if s.value(learnt[0]) >= lUndef {
 				s.uncheckedEnqueue(learnt[0], c)
 			}
 			s.varInc *= 1.05
-			if conflicts > conflictBudget {
+			shouldRestart := conflicts > conflictBudget
+			if s.emaRestarts && !shouldRestart {
+				shouldRestart = conflicts >= 50 && s.lbdEmaFast > 1.25*s.lbdEmaSlow
+			}
+			if shouldRestart {
 				restart++
 				conflictBudget = 64 * luby(restart)
 				conflicts = 0
 				s.cancelUntil(0)
+				if s.Conflicts >= s.nextReduce {
+					s.reduceDB()
+					s.nextReduce = s.Conflicts + reduceFirst + reduceInc*s.Reductions
+				}
 			}
 			continue
 		}
-		l := s.decide()
-		if l == -1 {
-			return true // all assigned
+		// Establish pending assumptions before free decisions.
+		l := Lit(-1)
+		for len(s.trailLim) < len(assumps) {
+			p := assumps[len(s.trailLim)]
+			switch s.value(p) {
+			case lTrue:
+				// Already implied: open a dummy decision level so the
+				// level-indexed assumption bookkeeping stays aligned.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				// The formula forces the negation of an assumption.
+				return false, true
+			}
+			l = p
+			break
 		}
-		s.Decisions++
+		if l == -1 {
+			l = s.decide()
+			if l == -1 {
+				return true, true // all assigned
+			}
+			s.Decisions++
+		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(l, crefUndef)
 	}
@@ -447,3 +1014,6 @@ func (s *Solver) NumVars() int { return s.nVars }
 
 // NumClauses returns the number of problem clauses.
 func (s *Solver) NumClauses() int { return s.nProblem }
+
+// NumLearned returns the number of currently retained learned clauses.
+func (s *Solver) NumLearned() int { return s.nLearned }
