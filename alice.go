@@ -153,6 +153,11 @@ var (
 	ErrBelowFmaxFloor = core.ErrBelowFmaxFloor
 )
 
+// Cache is the characterization-cache contract WithCache accepts: the
+// in-memory CharacterizationCache, or any custom backend (the service
+// layer tiers it over a disk store so results survive restarts).
+type Cache = core.Cache
+
 // CharacterizationCache memoizes per-cluster characterizations across
 // runs and configurations; attach one with WithCache.
 type CharacterizationCache = core.CharacterizationCache

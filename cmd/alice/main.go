@@ -8,6 +8,7 @@
 //	alice -bench gcd -cfg 1 [-o redacted.v]
 //	alice -bench gcd -arch-luts 3,4,5 -arch-bles 4,8 -json
 //	alice -bench gcd -timing -delay-weight 0.5 -fmax-floor 250 -json
+//	alice serve -addr localhost:8080 -data ./alice-data
 //
 // The -arch-* flags open the fabric architecture space: every cluster
 // is characterized against the cartesian product of the listed LUT
@@ -33,6 +34,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		vFile     = flag.String("v", "", "Verilog design file")
 		cFile     = flag.String("c", "", "YAML flow configuration file")

@@ -31,7 +31,7 @@ type Engine struct {
 	cfg          *Config
 	parallelism  int
 	observer     Observer
-	cache        *CharacterizationCache
+	cache        Cache
 	archSpace    []ArchParams
 	archSpaceSet bool
 }
@@ -84,8 +84,12 @@ func WithObserver(o Observer) Option {
 
 // WithCache attaches a characterization cache, so repeated runs over
 // the same design (e.g. selection under cfg1 and cfg2, or a fabric-
-// parameter sweep) characterize each cluster once.
-func WithCache(c *CharacterizationCache) Option {
+// parameter sweep) characterize each cluster once. Any Cache
+// implementation works: the in-memory CharacterizationCache, or a
+// read-through tier over a disk store (see alice/serve), which makes
+// characterizations survive process restarts without the Engine
+// knowing.
+func WithCache(c Cache) Option {
 	return func(e *Engine) { e.cache = c }
 }
 

@@ -6,13 +6,33 @@ import (
 	"alice/internal/openfpga"
 )
 
+// Cache is the characterization-cache contract the pipeline reads and
+// writes through. The in-memory CharacterizationCache is the canonical
+// implementation; the service layer composes it with a disk-backed
+// tier so results survive process restarts. Implementations must be
+// safe for concurrent use — the pipeline calls them from the
+// characterization worker pool and from the concurrent runs of
+// Engine.RunBatch.
+//
+// A stored error is part of the result: "this cluster has no valid
+// fabric under this configuration" is as cacheable as a fabric.
+type Cache interface {
+	// Lookup returns the memoized outcome for key. ok distinguishes a
+	// hit (even a hit whose outcome is an error) from a miss.
+	Lookup(key string) (fab *openfpga.Fabric, err error, ok bool)
+	// Store memoizes the outcome for key.
+	Store(key string, fab *openfpga.Fabric, err error)
+	// Stats reports lookup hits, misses, and stored entries.
+	Stats() (hits, misses, entries int)
+}
+
 // CharacterizationCache memoizes per-cluster eFPGA characterization
-// results. The key covers the design, the cluster's instance set, and
-// the configuration fields that influence characterization (fabric
-// range, full-P&R mode, seed) — so a cache populated under cfg1 is hit
-// again when the same design is selected under cfg2, which differs only
-// in selection-side budgets. It is safe for concurrent use, including
-// across the goroutines of Engine.RunBatch.
+// results in memory. The key covers the design, the cluster's instance
+// set, and the configuration fields that influence characterization
+// (fabric range, full-P&R mode, seed) — so a cache populated under
+// cfg1 is hit again when the same design is selected under cfg2, which
+// differs only in selection-side budgets. It is safe for concurrent
+// use, including across the goroutines of Engine.RunBatch.
 type CharacterizationCache struct {
 	mu     sync.Mutex
 	m      map[string]cacheEntry
@@ -30,7 +50,8 @@ func NewCharacterizationCache() *CharacterizationCache {
 	return &CharacterizationCache{m: make(map[string]cacheEntry)}
 }
 
-func (c *CharacterizationCache) lookup(key string) (*openfpga.Fabric, error, bool) {
+// Lookup implements Cache.
+func (c *CharacterizationCache) Lookup(key string) (*openfpga.Fabric, error, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[key]
@@ -42,7 +63,8 @@ func (c *CharacterizationCache) lookup(key string) (*openfpga.Fabric, error, boo
 	return e.fab, e.err, ok
 }
 
-func (c *CharacterizationCache) store(key string, fab *openfpga.Fabric, err error) {
+// Store implements Cache.
+func (c *CharacterizationCache) Store(key string, fab *openfpga.Fabric, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m[key] = cacheEntry{fab: fab, err: err}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"alice/internal/fabric"
+)
+
+// The persistent result store (alice/serve) keys records by
+// Config.Key(), so the key must be byte-stable across processes and
+// releases: a silent change — reordered fields, a renamed field, a new
+// rendering — would orphan every stored result, and a nondeterministic
+// component (map iteration, pointer formatting) would poison the store
+// with duplicate keys. These golden values pin the exact rendering.
+// If this test fails because Config grew or changed a field, that is a
+// DELIBERATE key-format change: update the golden values AND expect
+// persistent stores to re-characterize from scratch (stale records are
+// orphaned, never wrongly served, since old keys can no longer be
+// generated).
+func TestConfigKeyGolden(t *testing.T) {
+	arch := DefaultConfig()
+	arch.ArchSpace = []fabric.Params{{LUTSize: 5, BLEsPerCLB: 8}}
+	arch.SelectedOutputs = []string{"result", "done"}
+	golden := []struct {
+		name string
+		cfg  *Config
+		want string
+	}{
+		{"default", DefaultConfig(),
+			"{Top: SelectedOutputs:[] MaxIOPins:64 MaxEFPGAs:2 Alpha:1 Beta:1 MinFabric:2 MaxFabric:20 TopScoreOnly:true FullPnR:false ImplementWinner:false Direction:0 Seed:1 MaxClusters:100000 ArchSpace:[] TimingDriven:false DelayWeight:0 FmaxFloorMHz:0}"},
+		{"cfg2", Cfg2(),
+			"{Top: SelectedOutputs:[] MaxIOPins:96 MaxEFPGAs:1 Alpha:1 Beta:1 MinFabric:2 MaxFabric:20 TopScoreOnly:true FullPnR:false ImplementWinner:false Direction:0 Seed:1 MaxClusters:100000 ArchSpace:[] TimingDriven:false DelayWeight:0 FmaxFloorMHz:0}"},
+		{"archspace", arch,
+			"{Top: SelectedOutputs:[result done] MaxIOPins:64 MaxEFPGAs:2 Alpha:1 Beta:1 MinFabric:2 MaxFabric:20 TopScoreOnly:true FullPnR:false ImplementWinner:false Direction:0 Seed:1 MaxClusters:100000 ArchSpace:[{LUTSize:5 BLEsPerCLB:8 CLBInputs:0 GPIOPerTile:0 ChannelWidth:0}] TimingDriven:false DelayWeight:0 FmaxFloorMHz:0}"},
+	}
+	for _, g := range golden {
+		if got := g.cfg.Key(); got != g.want {
+			t.Errorf("%s: Config.Key() drifted from the golden value.\n got  %q\n want %q\n"+
+				"If this change is deliberate, update the golden value; persistent stores will re-characterize.",
+				g.name, got, g.want)
+		}
+	}
+}
+
+// TestConfigKeyDeterministicKinds guards the other half of cross-
+// process stability: the %+v rendering is only deterministic for value
+// kinds. A map field would render in random iteration order, and a
+// pointer/chan/func field would render its address — both poison a
+// persistent store with restart-dependent keys. Any future Config
+// field must either stay within the allowed kinds or move Key() to an
+// explicit canonical serialization first.
+func TestConfigKeyDeterministicKinds(t *testing.T) {
+	var check func(path string, ty reflect.Type)
+	seen := map[reflect.Type]bool{}
+	check = func(path string, ty reflect.Type) {
+		if seen[ty] {
+			return
+		}
+		seen[ty] = true
+		switch ty.Kind() {
+		case reflect.Map:
+			t.Errorf("%s is a map: %%+v renders maps in random iteration order", path)
+		case reflect.Ptr, reflect.UnsafePointer, reflect.Chan, reflect.Func, reflect.Interface:
+			t.Errorf("%s is a %s: %%+v renders addresses, which differ across restarts", path, ty.Kind())
+		case reflect.Slice, reflect.Array:
+			check(path+"[]", ty.Elem())
+		case reflect.Struct:
+			for i := 0; i < ty.NumField(); i++ {
+				f := ty.Field(i)
+				check(path+"."+f.Name, f.Type)
+			}
+		}
+	}
+	check("Config", reflect.TypeOf(Config{}))
+}
+
+// TestConfigKeyStableAcrossConstructions: two configs built
+// independently with the same values must render the same key (no
+// hidden state, no allocation-order effects).
+func TestConfigKeyStableAcrossConstructions(t *testing.T) {
+	mk := func() *Config {
+		c := Cfg2()
+		c.SelectedOutputs = []string{"q"}
+		c.ArchSpace = []fabric.Params{{LUTSize: 3}, {LUTSize: 4, BLEsPerCLB: 8}}
+		c.DelayWeight = 0.25
+		return c
+	}
+	a, b := mk(), mk()
+	if a.Key() != b.Key() {
+		t.Fatalf("identical configs render different keys:\n %q\n %q", a.Key(), b.Key())
+	}
+	for i := 0; i < 100; i++ {
+		if a.Key() != b.Key() {
+			t.Fatalf("key unstable on repeated rendering (iteration %d)", i)
+		}
+	}
+}

@@ -97,11 +97,11 @@ func TestCacheKeysPerFamily(t *testing.T) {
 	if k4 == k5 {
 		t.Fatal("family cache keys alias")
 	}
-	cache.store(k4, nil, nil)
-	if _, _, ok := cache.lookup(k5); ok {
+	cache.Store(k4, nil, nil)
+	if _, _, ok := cache.Lookup(k5); ok {
 		t.Fatal("lookup under a different family hit the K=4 entry")
 	}
-	if _, _, ok := cache.lookup(k4); !ok {
+	if _, _, ok := cache.Lookup(k4); !ok {
 		t.Fatal("lookup under the same family missed")
 	}
 }

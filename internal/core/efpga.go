@@ -113,8 +113,9 @@ type CharacterizeOptions struct {
 	Parallelism int
 	// Cache, when non-nil, memoizes per-cluster characterization across
 	// runs and configurations (e.g. characterize once, select under
-	// cfg1 and cfg2).
-	Cache *CharacterizationCache
+	// cfg1 and cfg2). Any Cache implementation works: the in-memory
+	// CharacterizationCache, or a tiered memory-over-disk cache.
+	Cache Cache
 	// Progress, when non-nil, is called after each cluster completes.
 	// It may be called from multiple goroutines; the pipeline runner
 	// passes a serialized callback.
@@ -218,7 +219,7 @@ func CharacterizeClusters(ctx context.Context, d *rtl.Design, clusters []Cluster
 			// The family parameters are part of the key: two arch-space
 			// sweeps over the same design must not alias.
 			key = c.Key() + "\x00" + fp + "\x00" + fmt.Sprintf("%+v", fam)
-			if fab, err, ok := co.Cache.lookup(key); ok {
+			if fab, err, ok := co.Cache.Lookup(key); ok {
 				out[slot] = FabricCandidate{Cluster: c, Family: fam, Fabric: fab, Err: err}
 				return
 			}
@@ -238,7 +239,7 @@ func CharacterizeClusters(ctx context.Context, d *rtl.Design, clusters []Cluster
 			return // do not cache or report a cancellation artifact
 		}
 		if co.Cache != nil {
-			co.Cache.store(key, fab, err)
+			co.Cache.Store(key, fab, err)
 		}
 		out[slot] = FabricCandidate{Cluster: c, Family: fam, Fabric: fab, Err: err}
 	}

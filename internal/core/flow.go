@@ -111,7 +111,7 @@ type RunOptions struct {
 	// Observer receives per-stage progress events.
 	Observer Observer
 	// Cache memoizes cluster characterizations across runs.
-	Cache *CharacterizationCache
+	Cache Cache
 }
 
 // RunSource parses Verilog text and runs the flow.

@@ -1,0 +1,571 @@
+// Package jobq implements the asynchronous job queue of the redaction
+// service: submit → job id → poll/wait, a bounded worker pool, per-job
+// timeouts, context cancellation, graceful drain on shutdown, and
+// job-state persistence through a journal so queued work survives a
+// process restart.
+//
+// The queue is payload-agnostic: jobs carry opaque bytes in and out,
+// and a single Handler executes them. The service layer (alice/serve)
+// encodes redaction requests and reports; the queue only manages their
+// lifecycle:
+//
+//	queued ──► running ──► succeeded
+//	   │           │   └──► failed
+//	   └───────────┴──────► canceled
+//
+// Every transition is journaled before it is visible to pollers, so a
+// crash replays to a consistent picture: jobs found queued are re-run;
+// jobs found running are re-queued (their worker died with the
+// process); terminal jobs are history.
+package jobq
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether no further transition can happen.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// Job is one unit of work. Values returned by Get/List/Wait are
+// snapshots: the struct is a copy, and the queue never mutates the
+// Payload/Result bytes after handing them out.
+type Job struct {
+	// ID is the queue-assigned identifier ("job-41").
+	ID string `json:"id"`
+	// Name is the caller's label (optional, for humans).
+	Name string `json:"name,omitempty"`
+	// Payload is the opaque request handed to the Handler (read-only
+	// for the handler).
+	Payload []byte `json:"payload,omitempty"`
+	// State is the lifecycle state.
+	State State `json:"state"`
+	// Result is the Handler's output (terminal successes only).
+	Result []byte `json:"result,omitempty"`
+	// Error is the Handler's failure message (terminal failures only).
+	Error string `json:"error,omitempty"`
+	// Timeout bounds the Handler run (0 = the queue default).
+	Timeout time.Duration `json:"timeout,omitempty"`
+	// Attempts counts executions of this job; >1 means a crash requeue.
+	Attempts int `json:"attempts,omitempty"`
+	// SubmittedAt/StartedAt/FinishedAt stamp the lifecycle.
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// Handler executes one job. The context carries the per-job timeout
+// and is canceled by Cancel and by a hard queue shutdown; handlers
+// must honour it. The returned bytes become Job.Result; a non-nil
+// error marks the job failed (or canceled, if it is a cancellation).
+type Handler func(ctx context.Context, job *Job) ([]byte, error)
+
+// Journal persists job state across restarts. *store.Store satisfies
+// it. A nil Journal runs the queue in memory only.
+type Journal interface {
+	Put(key string, val []byte) error
+	Delete(key string) error
+	Get(key string) ([]byte, bool)
+	Keys(prefix string) []string
+}
+
+// journalPrefix namespaces job records inside a shared store.
+const journalPrefix = "job\x00"
+
+// Options configures New.
+type Options struct {
+	// Workers is the pool width (min 1).
+	Workers int
+	// Handler executes jobs (required).
+	Handler Handler
+	// Journal persists job state (nil = memory only).
+	Journal Journal
+	// DefaultTimeout bounds jobs that set none (0 = no limit).
+	DefaultTimeout time.Duration
+	// KeepDone bounds how many terminal jobs are retained in memory
+	// and journal (oldest evicted first; 0 = keep all).
+	KeepDone int
+}
+
+// Queue is an asynchronous job queue with a worker pool. Safe for
+// concurrent use.
+type Queue struct {
+	opts Options
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	cancels map[string]context.CancelFunc
+	waiters map[string][]chan Job
+	seq     int
+	closed  bool
+
+	// submitters tracks in-flight Submit calls past the closed check,
+	// so Shutdown can close the work channel without racing a send.
+	submitters sync.WaitGroup
+
+	work     chan string
+	done     chan struct{} // closed when all workers have exited
+	baseCtx  context.Context
+	stopBase context.CancelFunc
+}
+
+// ErrQueueClosed is returned by Submit after Shutdown began.
+var ErrQueueClosed = errors.New("jobq: queue is shut down")
+
+// ErrTimeout marks a job that exceeded its per-job timeout; it appears
+// in the job's Error field.
+var ErrTimeout = errors.New("jobq: job timed out")
+
+// New builds a queue, recovers journaled jobs, and starts the worker
+// pool. Jobs journaled as queued or running are re-enqueued in their
+// original submission order (running first resets to queued: the
+// worker executing it died with the previous process).
+func New(opts Options) (*Queue, error) {
+	if opts.Handler == nil {
+		return nil, fmt.Errorf("jobq: Options.Handler is required")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	baseCtx, stopBase := context.WithCancel(context.Background())
+	q := &Queue{
+		opts:     opts,
+		jobs:     make(map[string]*Job),
+		cancels:  make(map[string]context.CancelFunc),
+		waiters:  make(map[string][]chan Job),
+		done:     make(chan struct{}),
+		baseCtx:  baseCtx,
+		stopBase: stopBase,
+	}
+	pending, err := q.recover()
+	if err != nil {
+		stopBase()
+		return nil, err
+	}
+	// Size the buffer to hold the whole backlog, so recovery can
+	// enqueue before the workers start (and submissions rarely block).
+	capacity := 1024
+	if n := len(pending) + 16; n > capacity {
+		capacity = n
+	}
+	q.work = make(chan string, capacity)
+	for _, j := range pending {
+		q.work <- j.ID
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.worker()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(q.done)
+	}()
+	return q, nil
+}
+
+// recover replays the journal: rebuild the job table, restore the id
+// sequence, and return the interrupted jobs to re-enqueue.
+func (q *Queue) recover() ([]*Job, error) {
+	if q.opts.Journal == nil {
+		return nil, nil
+	}
+	var pending []*Job
+	for _, key := range q.opts.Journal.Keys(journalPrefix) {
+		raw, ok := q.opts.Journal.Get(key)
+		if !ok {
+			continue
+		}
+		var j Job
+		if err := json.Unmarshal(raw, &j); err != nil {
+			return nil, fmt.Errorf("jobq: journal record %q: %w", key, err)
+		}
+		if n := idSeq(j.ID); n > q.seq {
+			q.seq = n
+		}
+		jj := j
+		q.jobs[j.ID] = &jj
+		if !j.State.Terminal() {
+			pending = append(pending, &jj)
+		}
+	}
+	sort.Slice(pending, func(i, k int) bool {
+		if !pending[i].SubmittedAt.Equal(pending[k].SubmittedAt) {
+			return pending[i].SubmittedAt.Before(pending[k].SubmittedAt)
+		}
+		return idSeq(pending[i].ID) < idSeq(pending[k].ID)
+	})
+	for _, j := range pending {
+		if j.State == StateRunning {
+			j.State = StateQueued
+			j.StartedAt = time.Time{}
+			if err := q.journal(j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pending, nil
+}
+
+// idSeq extracts the numeric suffix of a job id (0 if malformed).
+func idSeq(id string) int {
+	s := strings.TrimPrefix(id, "job-")
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// journal writes a job's current state (caller holds q.mu or has
+// exclusive access to the job).
+func (q *Queue) journal(j *Job) error {
+	if q.opts.Journal == nil {
+		return nil
+	}
+	raw, err := json.Marshal(j)
+	if err != nil {
+		return fmt.Errorf("jobq: encoding job %s: %w", j.ID, err)
+	}
+	if err := q.opts.Journal.Put(journalPrefix+j.ID, raw); err != nil {
+		return fmt.Errorf("jobq: journaling job %s: %w", j.ID, err)
+	}
+	return nil
+}
+
+// SubmitOptions tunes one submission.
+type SubmitOptions struct {
+	// Name labels the job for humans.
+	Name string
+	// Timeout bounds this job's run (0 = the queue default).
+	Timeout time.Duration
+}
+
+// Submit enqueues a job and returns its snapshot (State queued). The
+// job is journaled before Submit returns, so an acknowledged
+// submission survives a crash: even if the process dies (or shutdown
+// begins) before the job reaches a worker, the next start re-runs it.
+func (q *Queue) Submit(payload []byte, opts SubmitOptions) (Job, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return Job{}, ErrQueueClosed
+	}
+	q.seq++
+	j := &Job{
+		ID:          fmt.Sprintf("job-%d", q.seq),
+		Name:        opts.Name,
+		Payload:     append([]byte(nil), payload...),
+		State:       StateQueued,
+		Timeout:     opts.Timeout,
+		SubmittedAt: time.Now().UTC(),
+	}
+	if err := q.journal(j); err != nil {
+		q.seq--
+		q.mu.Unlock()
+		return Job{}, err
+	}
+	q.jobs[j.ID] = j
+	q.submitters.Add(1)
+	snap := *j
+	q.mu.Unlock()
+	defer q.submitters.Done()
+
+	// Block outside the lock if the buffer is full: submission applies
+	// backpressure rather than growing without bound. A hard shutdown
+	// aborts the send; the job is already durable and re-runs on the
+	// next start.
+	select {
+	case q.work <- j.ID:
+	case <-q.baseCtx.Done():
+	}
+	return snap, nil
+}
+
+// worker drains the work channel until shutdown.
+func (q *Queue) worker() {
+	for {
+		select {
+		case <-q.baseCtx.Done():
+			return
+		case id, ok := <-q.work:
+			if !ok {
+				return
+			}
+			q.runOne(id)
+		}
+	}
+}
+
+// runOne executes one queued job through the handler.
+func (q *Queue) runOne(id string) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok || j.State != StateQueued {
+		// Canceled while queued, or evicted.
+		q.mu.Unlock()
+		return
+	}
+	timeout := j.Timeout
+	if timeout == 0 {
+		timeout = q.opts.DefaultTimeout
+	}
+	ctx := q.baseCtx
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeoutCause(ctx, timeout, ErrTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	j.State = StateRunning
+	j.StartedAt = time.Now().UTC()
+	j.Attempts++
+	q.cancels[id] = cancel
+	jerr := q.journal(j)
+	q.notifyLocked(j)
+	jcopy := *j
+	q.mu.Unlock()
+	if jerr != nil {
+		// The journal is the durability contract; a job we cannot
+		// journal as running must not run.
+		q.finish(id, nil, jerr)
+		return
+	}
+
+	result, err := q.opts.Handler(ctx, &jcopy)
+	if err == nil && ctx.Err() != nil {
+		// The handler ignored a cancellation; honour it anyway.
+		err = ctx.Err()
+	}
+	q.finish(id, result, err)
+}
+
+// finish moves a job to its terminal state and wakes waiters.
+func (q *Queue) finish(id string, result []byte, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok || j.State.Terminal() {
+		return
+	}
+	j.FinishedAt = time.Now().UTC()
+	delete(q.cancels, id)
+	switch {
+	case err == nil:
+		j.State = StateSucceeded
+		j.Result = append([]byte(nil), result...)
+	case errors.Is(err, context.Canceled):
+		j.State = StateCanceled
+		j.Error = err.Error()
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrTimeout):
+		j.State = StateFailed
+		j.Error = ErrTimeout.Error()
+	default:
+		j.State = StateFailed
+		j.Error = err.Error()
+	}
+	// Journal the terminal state. A journal error here cannot demote
+	// the in-memory state; the job would simply re-run after a crash.
+	_ = q.journal(j)
+	q.evictLocked()
+	q.notifyLocked(j)
+}
+
+// evictLocked drops the oldest terminal jobs beyond KeepDone.
+func (q *Queue) evictLocked() {
+	if q.opts.KeepDone <= 0 {
+		return
+	}
+	var done []*Job
+	for _, j := range q.jobs {
+		if j.State.Terminal() {
+			done = append(done, j)
+		}
+	}
+	if len(done) <= q.opts.KeepDone {
+		return
+	}
+	sort.Slice(done, func(i, k int) bool { return done[i].FinishedAt.Before(done[k].FinishedAt) })
+	for _, j := range done[:len(done)-q.opts.KeepDone] {
+		delete(q.jobs, j.ID)
+		if q.opts.Journal != nil {
+			_ = q.opts.Journal.Delete(journalPrefix + j.ID)
+		}
+	}
+}
+
+// notifyLocked delivers a snapshot to every waiter of the job.
+func (q *Queue) notifyLocked(j *Job) {
+	ws := q.waiters[j.ID]
+	if len(ws) == 0 {
+		return
+	}
+	snap := *j
+	for _, ch := range ws {
+		select {
+		case ch <- snap:
+		default:
+		}
+	}
+	if j.State.Terminal() {
+		delete(q.waiters, j.ID)
+	}
+}
+
+// Get returns a snapshot of the job.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns snapshots of all known jobs, newest submission first.
+func (q *Queue) List() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].SubmittedAt.Equal(out[k].SubmittedAt) {
+			return out[i].SubmittedAt.After(out[k].SubmittedAt)
+		}
+		return idSeq(out[i].ID) > idSeq(out[k].ID)
+	})
+	return out
+}
+
+// Cancel requests cancellation: a queued job is canceled immediately,
+// a running job has its context canceled (the handler decides how
+// fast to stop). It reports whether the job existed and was not
+// already terminal.
+func (q *Queue) Cancel(id string) bool {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok || j.State.Terminal() {
+		q.mu.Unlock()
+		return false
+	}
+	if j.State == StateQueued {
+		j.State = StateCanceled
+		j.Error = context.Canceled.Error()
+		j.FinishedAt = time.Now().UTC()
+		_ = q.journal(j)
+		q.notifyLocked(j)
+		q.mu.Unlock()
+		return true
+	}
+	cancel := q.cancels[id]
+	q.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done,
+// returning the job's final (or, on ctx expiry, current) snapshot.
+func (q *Queue) Wait(ctx context.Context, id string) (Job, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return Job{}, fmt.Errorf("jobq: unknown job %q", id)
+	}
+	if j.State.Terminal() {
+		snap := *j
+		q.mu.Unlock()
+		return snap, nil
+	}
+	ch := make(chan Job, 4)
+	q.waiters[id] = append(q.waiters[id], ch)
+	q.mu.Unlock()
+	for {
+		select {
+		case <-ctx.Done():
+			snap, _ := q.Get(id)
+			return snap, ctx.Err()
+		case snap := <-ch:
+			if snap.State.Terminal() {
+				return snap, nil
+			}
+		}
+	}
+}
+
+// Counts reports how many jobs are in each state.
+func (q *Queue) Counts() map[State]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[State]int)
+	for _, j := range q.jobs {
+		out[j.State]++
+	}
+	return out
+}
+
+// Shutdown stops accepting submissions and drains: it waits for
+// running and queued jobs to finish until ctx is done, then cancels
+// whatever is still running and waits for the workers to exit. Queued
+// jobs that never started stay journaled as queued and are re-run on
+// the next process start.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		<-q.done
+		return nil
+	}
+	q.closed = true
+	q.mu.Unlock()
+	// No new Submit can pass the closed check now; wait out the ones
+	// already past it, then close the channel they were sending on.
+	q.submitters.Wait()
+	close(q.work)
+
+	select {
+	case <-q.done:
+		// Workers exited: the closed channel emptied, every job ran to
+		// completion.
+		q.stopBase()
+		return nil
+	case <-ctx.Done():
+		// Hard stop: cancel the base context (which cancels every
+		// running job's context) and wait for the workers.
+		q.stopBase()
+		<-q.done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,369 @@
+package jobq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alice/internal/store"
+)
+
+func echoHandler(ctx context.Context, job *Job) ([]byte, error) {
+	return append([]byte("echo:"), job.Payload...), nil
+}
+
+func newQueue(t *testing.T, opts Options) *Queue {
+	t.Helper()
+	q, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		q.Shutdown(ctx)
+	})
+	return q
+}
+
+func TestSubmitRunResult(t *testing.T) {
+	q := newQueue(t, Options{Workers: 2, Handler: echoHandler})
+	j, err := q.Submit([]byte("hello"), SubmitOptions{Name: "first"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateQueued || j.ID == "" {
+		t.Fatalf("submit snapshot = %+v", j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	final, err := q.Wait(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateSucceeded || string(final.Result) != "echo:hello" {
+		t.Fatalf("final = %+v", final)
+	}
+	if final.Name != "first" || final.Attempts != 1 {
+		t.Errorf("final metadata = %+v", final)
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	q := newQueue(t, Options{Handler: echoHandler})
+	if _, ok := q.Get("job-999"); ok {
+		t.Error("Get of unknown job succeeded")
+	}
+	if _, err := q.Wait(context.Background(), "job-999"); err == nil {
+		t.Error("Wait of unknown job succeeded")
+	}
+	if q.Cancel("job-999") {
+		t.Error("Cancel of unknown job reported true")
+	}
+}
+
+func TestHandlerFailure(t *testing.T) {
+	q := newQueue(t, Options{Handler: func(ctx context.Context, job *Job) ([]byte, error) {
+		return nil, errors.New("boom")
+	}})
+	j, _ := q.Submit(nil, SubmitOptions{})
+	final, err := q.Wait(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed || final.Error != "boom" {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+func TestPerJobTimeout(t *testing.T) {
+	q := newQueue(t, Options{Handler: func(ctx context.Context, job *Job) ([]byte, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return []byte("too late"), nil
+		}
+	}})
+	j, _ := q.Submit(nil, SubmitOptions{Timeout: 30 * time.Millisecond})
+	final, err := q.Wait(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed || final.Error != ErrTimeout.Error() {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	started := make(chan struct{})
+	q := newQueue(t, Options{Handler: func(ctx context.Context, job *Job) ([]byte, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}})
+	j, _ := q.Submit(nil, SubmitOptions{})
+	<-started
+	if !q.Cancel(j.ID) {
+		t.Fatal("Cancel returned false for a running job")
+	}
+	final, err := q.Wait(context.Background(), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCanceled {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	block := make(chan struct{})
+	q := newQueue(t, Options{Workers: 1, Handler: func(ctx context.Context, job *Job) ([]byte, error) {
+		<-block
+		return nil, nil
+	}})
+	blocker, _ := q.Submit(nil, SubmitOptions{Name: "blocker"})
+	victim, _ := q.Submit(nil, SubmitOptions{Name: "victim"})
+	// The single worker is stuck on blocker; victim is still queued.
+	if !q.Cancel(victim.ID) {
+		t.Fatal("Cancel returned false for a queued job")
+	}
+	got, _ := q.Get(victim.ID)
+	if got.State != StateCanceled {
+		t.Fatalf("victim state = %s", got.State)
+	}
+	close(block)
+	if _, err := q.Wait(context.Background(), blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The canceled job must never run.
+	if got, _ := q.Get(victim.ID); got.Attempts != 0 {
+		t.Errorf("canceled job ran: %+v", got)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	var ran atomic.Int32
+	q, err := New(Options{Workers: 2, Handler: func(ctx context.Context, job *Job) ([]byte, error) {
+		time.Sleep(20 * time.Millisecond)
+		ran.Add(1)
+		return nil, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := q.Submit(nil, SubmitOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := q.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := ran.Load(); got != 6 {
+		t.Fatalf("drain ran %d jobs, want 6", got)
+	}
+	if _, err := q.Submit(nil, SubmitOptions{}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Submit after Shutdown = %v, want ErrQueueClosed", err)
+	}
+}
+
+func TestHardShutdownCancelsRunning(t *testing.T) {
+	started := make(chan struct{})
+	q, err := New(Options{Handler: func(ctx context.Context, job *Job) ([]byte, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Submit(nil, SubmitOptions{})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already-expired deadline: immediate hard stop
+	if err := q.Shutdown(ctx); err == nil {
+		t.Fatal("hard Shutdown returned nil, want context error")
+	}
+}
+
+func openJournal(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(filepath.Join(dir, "jobs.log"), store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPersistenceAcrossRestart is the restart contract: jobs journaled
+// queued or running are re-run by a new queue over the same journal,
+// terminal jobs and the id sequence survive.
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	j1 := openJournal(t, dir)
+
+	block := make(chan struct{})
+	q1, err := New(Options{Workers: 1, Journal: j1, Handler: func(ctx context.Context, job *Job) ([]byte, error) {
+		if string(job.Payload) == "block" {
+			select {
+			case <-block:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return []byte("done:" + job.Name), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished, _ := q1.Submit([]byte("fast"), SubmitOptions{Name: "fast"})
+	if _, err := q1.Wait(context.Background(), finished.ID); err != nil {
+		t.Fatal(err)
+	}
+	running, _ := q1.Submit([]byte("block"), SubmitOptions{Name: "runner"})
+	queued, _ := q1.Submit([]byte("later"), SubmitOptions{Name: "waiter"})
+	// Wait until the runner is journaled as running, then "crash":
+	// abandon the queue without draining (hard stop) and drop the
+	// journal handle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if j, _ := q1.Get(running.ID); j.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("runner never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Closing the journal first makes the post-crash terminal write
+	// fail (and be dropped), so the on-disk picture is exactly a
+	// process death: the runner committed as running, the waiter as
+	// queued.
+	j1.Close()
+	hardCtx, hc := context.WithCancel(context.Background())
+	hc()
+	q1.Shutdown(hardCtx)
+
+	// Restart over the same journal.
+	j2 := openJournal(t, dir)
+	defer j2.Close()
+	q2 := newQueue(t, Options{Workers: 2, Journal: j2, Handler: func(ctx context.Context, job *Job) ([]byte, error) {
+		return []byte("rerun:" + job.Name), nil
+	}})
+
+	// The finished job is history, with its result intact.
+	got, ok := q2.Get(finished.ID)
+	if !ok || got.State != StateSucceeded || string(got.Result) != "done:fast" {
+		t.Fatalf("finished job after restart = %+v, %v", got, ok)
+	}
+	// The interrupted running job and the queued job are re-run.
+	for _, id := range []string{running.ID, queued.ID} {
+		final, err := q2.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != StateSucceeded || !strings.HasPrefix(string(final.Result), "rerun:") {
+			t.Fatalf("job %s after restart = %+v", id, final)
+		}
+	}
+	// The runner's attempt counter shows the requeue.
+	if j, _ := q2.Get(running.ID); j.Attempts < 2 {
+		t.Errorf("requeued job attempts = %d, want >= 2", j.Attempts)
+	}
+	// New submissions do not reuse recovered ids.
+	fresh, err := q2.Submit(nil, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range []string{finished.ID, running.ID, queued.ID} {
+		if fresh.ID == old {
+			t.Fatalf("id %s reused after restart", fresh.ID)
+		}
+	}
+}
+
+func TestKeepDoneEviction(t *testing.T) {
+	dir := t.TempDir()
+	js := openJournal(t, dir)
+	defer js.Close()
+	q := newQueue(t, Options{Workers: 1, Journal: js, KeepDone: 3, Handler: echoHandler})
+	var ids []string
+	for i := 0; i < 8; i++ {
+		j, err := q.Submit([]byte(fmt.Sprint(i)), SubmitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Wait(context.Background(), j.ID); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if got := len(q.List()); got != 3 {
+		t.Fatalf("retained %d jobs, want 3", got)
+	}
+	// The newest three survive, in memory and in the journal.
+	for _, id := range ids[5:] {
+		if _, ok := q.Get(id); !ok {
+			t.Errorf("job %s evicted too early", id)
+		}
+	}
+	for _, id := range ids[:5] {
+		if _, ok := q.Get(id); ok {
+			t.Errorf("job %s not evicted", id)
+		}
+	}
+	if got := len(js.Keys("job\x00")); got != 3 {
+		t.Errorf("journal retains %d records, want 3", got)
+	}
+}
+
+func TestConcurrentSubmitWaitCancel(t *testing.T) {
+	q := newQueue(t, Options{Workers: 4, Handler: func(ctx context.Context, job *Job) ([]byte, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+		return job.Payload, nil
+	}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				j, err := q.Submit([]byte(fmt.Sprintf("g%d-%d", g, i)), SubmitOptions{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%5 == g%5 {
+					q.Cancel(j.ID)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				final, err := q.Wait(ctx, j.ID)
+				cancel()
+				if err != nil {
+					t.Errorf("wait %s: %v", j.ID, err)
+					return
+				}
+				if final.State != StateSucceeded && final.State != StateCanceled {
+					t.Errorf("job %s state %s", j.ID, final.State)
+					return
+				}
+				q.List()
+				q.Counts()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,59 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// ContentHash returns a canonical fingerprint of the netlist's logical
+// content: gate structure (ops and fan-ins), port interface (names and
+// order), and register set. Two netlists hash identically iff they are
+// structurally identical — and because synthesis is bit-deterministic,
+// Verilog sources that differ only in formatting, comments, or
+// whitespace synthesize to the same netlist and therefore the same
+// hash, while any logic change perturbs the structure and the hash.
+//
+// The persistent characterization/attack store (alice/serve) uses this
+// as the design component of its record keys, so the encoding must be
+// stable across processes and releases: fixed-width little-endian
+// fields, length-prefixed strings, SHA-256. Change it only as a
+// deliberate store-format break.
+func ContentHash(n *Netlist) string {
+	h := sha256.New()
+	var buf [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	str := func(s string) {
+		u32(uint32(len(s)))
+		h.Write([]byte(s))
+	}
+	str(n.Name)
+	u32(uint32(len(n.Nodes)))
+	for _, nd := range n.Nodes {
+		h.Write([]byte{byte(nd.Op)})
+		for _, in := range nd.In {
+			u32(uint32(in))
+		}
+	}
+	ids := func(xs []int32) {
+		u32(uint32(len(xs)))
+		for _, x := range xs {
+			u32(uint32(x))
+		}
+	}
+	names := func(xs []string) {
+		u32(uint32(len(xs)))
+		for _, x := range xs {
+			str(x)
+		}
+	}
+	ids(n.PIs)
+	names(n.PINames)
+	ids(n.POs)
+	names(n.PONames)
+	ids(n.DFFs)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,505 @@
+// Package store implements the crash-safe, disk-backed result store of
+// the redaction service: a single append-only record log plus an
+// in-memory index rebuilt on open. It memoizes characterization and
+// attack results across process restarts, designs, and clients, keyed
+// by Config.Key() + a canonical netlist content hash (the callers'
+// convention; the store itself is an opaque string→bytes map).
+//
+// Durability model:
+//
+//   - Every record is framed with a length header and a CRC32 over its
+//     payload. Commit appends the frame and (by default) fsyncs before
+//     the write is acknowledged, so an acknowledged Put survives a
+//     crash.
+//   - Open replays the log to rebuild the index. A torn tail — a
+//     partially written frame from a crash mid-append — fails its
+//     length or CRC check; the log is truncated at the last good
+//     record and every record before it is recovered. Corruption is
+//     only ever accepted at the tail: a bad frame followed by more
+//     readable data is reported as an error rather than silently
+//     dropped, since it means the log was damaged, not torn.
+//   - Writers append under a lock; readers are never blocked by the
+//     disk. Snapshot() captures an O(live-set) point-in-time view that
+//     subsequent writes do not disturb (values are immutable once
+//     stored).
+//
+// The log is an intentional minimal subset of the log-structured KV
+// design (cf. the Go-DB exemplar's kv-store): no B-tree, because the
+// working set is small enough to index in memory, and no background
+// compaction, because overwrites are rare (results are content-keyed).
+// Compact() exists for the job journal, which does delete.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// magic heads every log file; versioned so a future format change can
+// refuse (or migrate) old logs instead of misparsing them.
+const magic = "ALICESTORE1\n"
+
+// Record frame layout, after the file magic:
+//
+//	op      uint8  — opPut or opDel
+//	keyLen  uint32 (LE)
+//	valLen  uint32 (LE)
+//	crc     uint32 (LE) — CRC32 (IEEE) over op, keyLen, valLen, key, val
+//	key     keyLen bytes
+//	val     valLen bytes (empty for opDel)
+const (
+	opPut = 0x01
+	opDel = 0x02
+
+	frameHeader = 1 + 4 + 4 + 4
+	// maxKeyLen/maxValLen bound a frame so a corrupt length field can't
+	// drive a giant allocation during replay.
+	maxKeyLen = 1 << 20 // 1 MiB
+	maxValLen = 1 << 28 // 256 MiB
+)
+
+// ErrCorrupt reports mid-log damage (a bad frame with readable data
+// after it). Tail damage is not an error: it is truncated on open.
+var ErrCorrupt = errors.New("store: log corrupt")
+
+// Stats reports store effectiveness and footprint.
+type Stats struct {
+	// Records is the number of live keys.
+	Records int
+	// LogBytes is the on-disk log size, including dead records.
+	LogBytes int64
+	// Puts, Deletes, Gets count operations since open; Hits counts the
+	// Gets that found a value.
+	Puts    int
+	Deletes int
+	Gets    int
+	Hits    int
+	// Recovered is the number of records replayed at open; Truncated
+	// is the number of torn-tail bytes discarded.
+	Recovered int
+	Truncated int64
+}
+
+// Store is a disk-backed string→bytes map. It is safe for concurrent
+// use; values handed in and out are copied, so callers may mutate
+// their slices freely.
+type Store struct {
+	mu    sync.RWMutex
+	f     *os.File
+	path  string
+	index map[string][]byte
+	size  int64
+	fsync bool
+	stats Stats
+	// closed rejects writes after Close so a shut-down service fails
+	// loudly instead of appending to a closed file descriptor.
+	closed bool
+}
+
+// Options tunes Open.
+type Options struct {
+	// NoSync disables the fsync on every commit. Only for tests and
+	// throwaway stores: a crash may then lose acknowledged writes
+	// (but never corrupt earlier ones).
+	NoSync bool
+}
+
+// Open opens (creating if needed) the log at path and replays it into
+// the in-memory index. A torn tail is truncated; mid-log corruption
+// returns ErrCorrupt.
+func Open(path string, opts ...Options) (*Store, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		f:     f,
+		path:  path,
+		index: make(map[string][]byte),
+		fsync: !o.NoSync,
+	}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay rebuilds the index from the log, truncating a torn tail.
+func (s *Store) replay() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	size := info.Size()
+	if size == 0 {
+		// Fresh log: stamp the magic.
+		if _, err := s.f.Write([]byte(magic)); err != nil {
+			return fmt.Errorf("store: writing magic: %w", err)
+		}
+		if s.fsync {
+			if err := s.f.Sync(); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+		s.size = int64(len(magic))
+		return nil
+	}
+	if size < int64(len(magic)) {
+		// The magic itself was torn by a crash at creation: the log
+		// holds no records, so restart it.
+		return s.truncateTail(0, size)
+	}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(s.f, head); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if string(head) != magic {
+		return fmt.Errorf("%w: %s is not a store log (bad magic)", ErrCorrupt, s.path)
+	}
+
+	// Read the whole log once; replay frames from memory. The log is
+	// the in-memory index's persistent form, so it fits by definition.
+	data, err := io.ReadAll(s.f)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	off := 0
+	good := 0 // bytes of data covered by valid frames
+	for off < len(data) {
+		key, val, op, n, ok := parseFrame(data[off:])
+		if !ok {
+			break
+		}
+		switch op {
+		case opPut:
+			s.index[key] = val
+		case opDel:
+			delete(s.index, key)
+		}
+		s.stats.Recovered++
+		off += n
+		good = off
+	}
+	if good < len(data) {
+		// Tail damage is only acceptable as a torn final frame. If a
+		// *valid* frame parses anywhere after the damage, the middle of
+		// the log was corrupted and truncating would silently drop
+		// committed records — refuse instead.
+		for probe := good + 1; probe < len(data); probe++ {
+			if _, _, _, _, ok := parseFrame(data[probe:]); ok {
+				return fmt.Errorf("%w: bad frame at offset %d with valid data after it",
+					ErrCorrupt, int64(good)+int64(len(magic)))
+			}
+		}
+		return s.truncateTail(int64(len(magic))+int64(good), size)
+	}
+	s.size = size
+	return nil
+}
+
+// truncateTail cuts the log to keep bytes and re-appends the magic if
+// the file restarts from scratch.
+func (s *Store) truncateTail(keep, was int64) error {
+	if keep < int64(len(magic)) {
+		keep = 0
+	}
+	if err := s.f.Truncate(keep); err != nil {
+		return fmt.Errorf("store: truncating torn tail: %w", err)
+	}
+	if _, err := s.f.Seek(keep, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.stats.Truncated = was - keep
+	s.size = keep
+	if keep == 0 {
+		if _, err := s.f.Write([]byte(magic)); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.size = int64(len(magic))
+	}
+	if s.fsync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+// parseFrame decodes one frame from b. ok is false when b holds no
+// complete, CRC-valid frame at its start.
+func parseFrame(b []byte) (key string, val []byte, op byte, n int, ok bool) {
+	if len(b) < frameHeader {
+		return "", nil, 0, 0, false
+	}
+	op = b[0]
+	if op != opPut && op != opDel {
+		return "", nil, 0, 0, false
+	}
+	keyLen := binary.LittleEndian.Uint32(b[1:5])
+	valLen := binary.LittleEndian.Uint32(b[5:9])
+	crc := binary.LittleEndian.Uint32(b[9:13])
+	if keyLen > maxKeyLen || valLen > maxValLen {
+		return "", nil, 0, 0, false
+	}
+	n = frameHeader + int(keyLen) + int(valLen)
+	if len(b) < n {
+		return "", nil, 0, 0, false
+	}
+	h := crc32.NewIEEE()
+	h.Write(b[:9])
+	h.Write(b[frameHeader:n])
+	if h.Sum32() != crc {
+		return "", nil, 0, 0, false
+	}
+	key = string(b[frameHeader : frameHeader+int(keyLen)])
+	val = append([]byte(nil), b[frameHeader+int(keyLen):n]...)
+	return key, val, op, n, true
+}
+
+// appendFrame writes and (optionally) fsyncs one frame.
+func (s *Store) appendFrame(op byte, key string, val []byte) error {
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.path)
+	}
+	if len(key) > maxKeyLen {
+		return fmt.Errorf("store: key too long (%d bytes)", len(key))
+	}
+	if len(val) > maxValLen {
+		return fmt.Errorf("store: value too long (%d bytes)", len(val))
+	}
+	frame := make([]byte, frameHeader+len(key)+len(val))
+	frame[0] = op
+	binary.LittleEndian.PutUint32(frame[1:5], uint32(len(key)))
+	binary.LittleEndian.PutUint32(frame[5:9], uint32(len(val)))
+	copy(frame[frameHeader:], key)
+	copy(frame[frameHeader+len(key):], val)
+	h := crc32.NewIEEE()
+	h.Write(frame[:9])
+	h.Write(frame[frameHeader:])
+	binary.LittleEndian.PutUint32(frame[9:13], h.Sum32())
+	if _, err := s.f.Write(frame); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if s.fsync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync: %w", err)
+		}
+	}
+	s.size += int64(len(frame))
+	return nil
+}
+
+// Put commits key→val. The write is durable (fsynced) when Put
+// returns, unless the store was opened with NoSync.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendFrame(opPut, key, val); err != nil {
+		return err
+	}
+	s.index[key] = append([]byte(nil), val...)
+	s.stats.Puts++
+	return nil
+}
+
+// Delete removes key (a no-op if absent). The tombstone is durable
+// when Delete returns.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	if err := s.appendFrame(opDel, key, nil); err != nil {
+		return err
+	}
+	delete(s.index, key)
+	s.stats.Deletes++
+	return nil
+}
+
+// Get returns a copy of the value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Gets++
+	v, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	s.stats.Hits++
+	return append([]byte(nil), v...), true
+}
+
+// Has reports whether key is live, without counting a Get.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Keys returns the live keys with the prefix, sorted — a convenience
+// over Snapshot().Keys for callers (e.g. the job journal) that only
+// enumerate once.
+func (s *Store) Keys(prefix string) []string {
+	return s.Snapshot().Keys(prefix)
+}
+
+// Snapshot is a point-in-time, immutable view of the store.
+type Snapshot struct {
+	m map[string][]byte
+}
+
+// Snapshot captures the current live set. Later writes to the store do
+// not affect the snapshot; the values are shared but never mutated
+// (the store replaces, not edits, on overwrite).
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := make(map[string][]byte, len(s.index))
+	for k, v := range s.index {
+		m[k] = v
+	}
+	return &Snapshot{m: m}
+}
+
+// Get returns the value for key in the snapshot. The returned slice
+// must not be mutated.
+func (v *Snapshot) Get(key string) ([]byte, bool) {
+	b, ok := v.m[key]
+	return b, ok
+}
+
+// Len returns the snapshot's live-key count.
+func (v *Snapshot) Len() int { return len(v.m) }
+
+// Keys returns the snapshot's keys, sorted, optionally filtered to a
+// prefix.
+func (v *Snapshot) Keys(prefix string) []string {
+	var out []string
+	for k := range v.m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a consistent snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.stats
+	st.Records = len(s.index)
+	st.LogBytes = s.size
+	return st
+}
+
+// Compact rewrites the log to hold exactly the live set (dropping
+// overwritten and deleted records), atomically replacing the old log.
+// Used by the job journal, whose delete-heavy workload accretes dead
+// frames; the result-store workload rarely needs it.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.path)
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+	}
+	ns := &Store{f: tmp, path: tmpPath, fsync: false}
+	if _, err := tmp.Write([]byte(magic)); err != nil {
+		cleanup()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	ns.size = int64(len(magic))
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic log layout
+	for _, k := range keys {
+		if err := ns.appendFrame(opPut, k, s.index[k]); err != nil {
+			cleanup()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	old := s.f
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: reopening: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	old.Close()
+	s.f = f
+	s.size = ns.size
+	return nil
+}
+
+// Close fsyncs and closes the log. Further writes fail; reads keep
+// serving from the in-memory index.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.f.Close()
+}
+
+// Path returns the log file path.
+func (s *Store) Path() string { return s.path }

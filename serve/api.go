@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"encoding/json"
+	"time"
+
+	"alice/internal/jobq"
+)
+
+// JobRequest is the body of POST /v1/jobs: one design to redact, with
+// an optional SAT-attack evaluation of the chosen fabrics.
+type JobRequest struct {
+	// Name labels the job for humans (listings, logs).
+	Name string `json:"name,omitempty"`
+
+	// Exactly one of Source / Bench selects the design: inline Verilog
+	// text, or a built-in paper benchmark (gcd, sha256, fir, ...).
+	Source string `json:"source,omitempty"`
+	Bench  string `json:"bench,omitempty"`
+
+	// ConfigYAML is a YAML flow configuration (alice.LoadConfig). When
+	// empty, Cfg picks a paper configuration: 1 (64 I/O pins, <=2
+	// eFPGAs, the default) or 2 (96 I/O pins, 1 eFPGA). Bench requests
+	// inherit the benchmark's protected outputs unless the
+	// configuration names its own.
+	ConfigYAML string `json:"config_yaml,omitempty"`
+	Cfg        int    `json:"cfg,omitempty"`
+
+	// TimeoutMS bounds this job's run (0 = the server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Attack, when set, runs the SAT attack against every fabric of
+	// the chosen solution and reports per-fabric verdicts.
+	Attack *AttackRequest `json:"attack,omitempty"`
+
+	// Fresh bypasses the memoized-result store: the flow (and attack)
+	// run even if an identical request has a stored result. The store
+	// record is refreshed afterwards.
+	Fresh bool `json:"fresh,omitempty"`
+}
+
+// AttackRequest configures the optional SAT-attack stage.
+type AttackRequest struct {
+	// MaxIters bounds the distinguishing-input count; 0 applies the
+	// server default (DefaultAttackIters).
+	MaxIters int `json:"max_iters,omitempty"`
+	// MaxConflicts bounds total solver conflicts; 0 applies the server
+	// default (DefaultAttackConflicts) — an unbounded attack on an
+	// uncrackable fabric would hang a worker forever.
+	MaxConflicts int `json:"max_conflicts,omitempty"`
+	// Seed drives the attack's distinguishing-input tie-breaking; it
+	// is part of the memoization key, so different seeds are distinct
+	// results.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// AttackVerdict is the outcome of one fabric's SAT-attack evaluation.
+type AttackVerdict struct {
+	// Fabric identifies the attacked implementation ("8x8 K4/N4").
+	Fabric string `json:"fabric"`
+	// KeyBits is the attacked bitstream size.
+	KeyBits int `json:"key_bits"`
+	// Cracked is true when the attack recovered the full key.
+	Cracked bool `json:"cracked"`
+	// Iterations / Conflicts measure the attack work (distinguishing
+	// inputs and solver conflicts) until convergence or exhaustion.
+	Iterations int `json:"iterations"`
+	Conflicts  int `json:"conflicts"`
+	// BudgetExceeded is true when the fabric survived the budget — the
+	// security result the paper's threat model looks for.
+	BudgetExceeded bool `json:"budget_exceeded,omitempty"`
+	// Error carries non-budget attack failures.
+	Error string `json:"error,omitempty"`
+}
+
+// JobResult is the decoded result of a succeeded job.
+type JobResult struct {
+	// Design is the top module name.
+	Design string `json:"design"`
+	// Report is the full flow report (the same JSON as `alice -json`).
+	Report json.RawMessage `json:"report"`
+	// Attack holds one verdict per solution fabric (requests with an
+	// attack stage only).
+	Attack []AttackVerdict `json:"attack,omitempty"`
+	// Cached is true when the result was served from the persistent
+	// store without running the flow.
+	Cached bool `json:"cached"`
+	// StoreKey is the memoization key digest — identical requests map
+	// to identical keys.
+	StoreKey string `json:"store_key"`
+	// ElapsedMS is the handling time of this job (near zero for
+	// store hits).
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// JobStatus is the API view of a job: the queue snapshot plus, for
+// succeeded jobs, the decoded result.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	Name        string     `json:"name,omitempty"`
+	State       jobq.State `json:"state"`
+	Error       string     `json:"error,omitempty"`
+	Attempts    int        `json:"attempts,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   time.Time  `json:"started_at,omitzero"`
+	FinishedAt  time.Time  `json:"finished_at,omitzero"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+// jobStatus converts a queue snapshot to the API view.
+func jobStatus(j jobq.Job) JobStatus {
+	s := JobStatus{
+		ID:          j.ID,
+		Name:        j.Name,
+		State:       j.State,
+		Error:       j.Error,
+		Attempts:    j.Attempts,
+		SubmittedAt: j.SubmittedAt,
+		StartedAt:   j.StartedAt,
+		FinishedAt:  j.FinishedAt,
+	}
+	if j.State == jobq.StateSucceeded && len(j.Result) > 0 {
+		var res JobResult
+		if json.Unmarshal(j.Result, &res) == nil {
+			s.Result = &res
+		}
+	}
+	return s
+}
+
+// CacheStats reports both tiers of the characterization cache.
+type CacheStats struct {
+	MemHits    int   `json:"mem_hits"`
+	MemMisses  int   `json:"mem_misses"`
+	MemEntries int   `json:"mem_entries"`
+	DiskHits   int64 `json:"disk_hits"`
+	DiskMisses int64 `json:"disk_misses"`
+	DiskSkips  int64 `json:"disk_skips"`
+}
+
+// StatsResponse is the body of GET /v1/store/stats.
+type StatsResponse struct {
+	// Store is the persistent store's record/recovery accounting.
+	Store StoreStats `json:"store"`
+	// Cache is the tiered characterization cache.
+	Cache CacheStats `json:"cache"`
+	// Jobs counts queue jobs by state.
+	Jobs map[string]int `json:"jobs"`
+	// FlowRuns / AttackRuns count actual executions since daemon
+	// start; MemoHits counts jobs answered from the store instead.
+	FlowRuns   int64 `json:"flow_runs"`
+	AttackRuns int64 `json:"attack_runs"`
+	MemoHits   int64 `json:"memo_hits"`
+}
+
+// StoreStats mirrors store.Stats for the wire.
+type StoreStats struct {
+	Records        int   `json:"records"`
+	LogBytes       int64 `json:"log_bytes"`
+	Puts           int   `json:"puts"`
+	Deletes        int   `json:"deletes"`
+	Gets           int   `json:"gets"`
+	Hits           int   `json:"hits"`
+	Recovered      int   `json:"recovered"`
+	TruncatedBytes int64 `json:"truncated_bytes"`
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"alice/internal/jobq"
+)
+
+// maxRequestBody bounds POST bodies (Verilog sources are small; this
+// is generous).
+const maxRequestBody = 32 << 20
+
+// maxWait bounds the long-poll duration of GET /v1/jobs/{id}?wait=...
+const maxWait = 5 * time.Minute
+
+// routes wires the HTTP API:
+//
+//	POST   /v1/jobs          submit a JobRequest  -> JobStatus (201)
+//	GET    /v1/jobs          list jobs            -> []JobStatus
+//	GET    /v1/jobs/{id}     one job; ?wait=30s long-polls until
+//	                         terminal             -> JobStatus
+//	DELETE /v1/jobs/{id}     cancel               -> JobStatus
+//	GET    /v1/store/stats   store/cache/queue accounting
+//	POST   /v1/store/compact rewrite the log to live records only
+//	GET    /healthz          liveness
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/store/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/store/compact", s.handleCompact)
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Validate now so malformed requests fail the HTTP call, not an
+	// async job the client would have to poll to see fail.
+	if _, _, _, err := s.resolve(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	job, err := s.queue.Submit(payload, jobq.SubmitOptions{
+		Name:    req.Name,
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		if errors.Is(err, jobq.ErrQueueClosed) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, jobStatus(job))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.queue.List()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		js := jobStatus(j)
+		js.Result = nil // listings stay slim; fetch one job for its result
+		out = append(out, js)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.queue.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" && !job.State.Terminal() {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errors.New("wait: not a duration (try 30s)"))
+			return
+		}
+		if d > maxWait {
+			d = maxWait
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		// Wait returns the latest snapshot even when the timeout
+		// expires first; the client sees the job still running.
+		job, _ = s.queue.Wait(ctx, id)
+	}
+	writeJSON(w, http.StatusOK, jobStatus(job))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.queue.Get(id); !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	s.queue.Cancel(id)
+	job, _ := s.queue.Get(id)
+	writeJSON(w, http.StatusOK, jobStatus(job))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats())
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if err := s.st.Compact(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.stats().Store)
+}

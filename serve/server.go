@@ -1,0 +1,405 @@
+// Package serve implements redaction-as-a-service: a daemon that runs
+// the ALICE flow (and optionally the SAT-attack evaluation) behind an
+// HTTP/JSON API with an async job queue and a crash-safe persistent
+// result store.
+//
+// Three layers compose:
+//
+//   - internal/store persists everything in one append-only log:
+//     memoized flow results, gob-encoded cluster characterizations,
+//     and the job journal. Committed records survive kill -9.
+//   - internal/jobq turns submissions into job IDs processed by a
+//     worker pool with per-job timeouts; jobs survive restarts.
+//   - alice.Engine runs the flow, reading characterizations through a
+//     TieredCache (memory over disk), so a restarted daemon never
+//     re-characterizes a cluster it has seen before.
+//
+// Full-result memoization sits above the engine: requests are keyed by
+// Config.Key() + the design's canonical netlist content hash + the
+// attack parameters, so resubmitting an identical design (even
+// reformatted) returns the stored result without invoking a single
+// flow stage.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"alice"
+	"alice/internal/attack"
+	"alice/internal/jobq"
+	"alice/internal/netlist"
+	"alice/internal/rtl"
+	"alice/internal/store"
+	"alice/internal/synth"
+)
+
+// resultPrefix namespaces memoized flow results in the shared store.
+const resultPrefix = "result\x00"
+
+// DefaultAttackIters and DefaultAttackConflicts are the budgets
+// applied when an attack request sets no bound of its own (the attack
+// engine treats zero as an empty budget, not as unlimited): large
+// enough to crack every paper benchmark's fabrics, small enough that
+// an uncrackable fabric fails deterministically instead of pinning a
+// worker. They match the alicebench sweep budgets.
+const (
+	DefaultAttackIters     = 20_000
+	DefaultAttackConflicts = 2_000_000
+)
+
+// StoreFile is the name of the store log inside the data directory.
+const StoreFile = "alice.store"
+
+// Options configures a Server.
+type Options struct {
+	// DataDir holds the persistent store (created if missing).
+	DataDir string
+	// Workers is the job worker-pool width (default GOMAXPROCS).
+	Workers int
+	// JobTimeout bounds each job run (default 15m).
+	JobTimeout time.Duration
+	// KeepDone bounds retained terminal jobs (default 512).
+	KeepDone int
+	// Config is the base flow configuration for requests that carry
+	// none (default Cfg1).
+	Config *alice.Config
+	// EngineOptions are appended to every per-job engine (tests attach
+	// observers here; WithConfig/WithCache are set by the server and
+	// would be overridden).
+	EngineOptions []alice.Option
+	// NoSync disables fsync-per-commit in the store (tests only).
+	NoSync bool
+}
+
+// Server is the redaction service: store + queue + engine + HTTP API.
+// Create with New, serve s.Handler(), stop with Close.
+type Server struct {
+	opts   Options
+	st     *store.Store
+	tiered *TieredCache
+	queue  *jobq.Queue
+	mux    *http.ServeMux
+
+	flowRuns   atomic.Int64
+	attackRuns atomic.Int64
+	memoHits   atomic.Int64
+}
+
+// New opens (or creates) the data directory and store, recovers any
+// journaled jobs from a previous run, and starts the worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.DataDir == "" {
+		return nil, errors.New("serve: Options.DataDir is required")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.JobTimeout <= 0 {
+		opts.JobTimeout = 15 * time.Minute
+	}
+	if opts.KeepDone <= 0 {
+		opts.KeepDone = 512
+	}
+	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: data dir: %w", err)
+	}
+	st, err := store.Open(filepath.Join(opts.DataDir, StoreFile), store.Options{NoSync: opts.NoSync})
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening store: %w", err)
+	}
+	s := &Server{opts: opts, st: st}
+	s.tiered = NewTieredCache(alice.NewCharacterizationCache(), st)
+	q, err := jobq.New(jobq.Options{
+		Workers:        opts.Workers,
+		Handler:        s.runJob,
+		Journal:        st,
+		DefaultTimeout: opts.JobTimeout,
+		KeepDone:       opts.KeepDone,
+	})
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("serve: starting queue: %w", err)
+	}
+	s.queue = q
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the HTTP API (see routes in http.go).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the underlying store (stats, tests).
+func (s *Server) Store() *store.Store { return s.st }
+
+// Cache exposes the tiered characterization cache (stats, tests).
+func (s *Server) Cache() *TieredCache { return s.tiered }
+
+// Queue exposes the job queue (tests, embedding).
+func (s *Server) Queue() *jobq.Queue { return s.queue }
+
+// Close drains the queue (until ctx expires, then hard-stops) and
+// closes the store. Jobs still queued stay journaled and re-run on the
+// next start.
+func (s *Server) Close(ctx context.Context) error {
+	qErr := s.queue.Shutdown(ctx)
+	if err := s.st.Close(); err != nil && qErr == nil {
+		qErr = err
+	}
+	return qErr
+}
+
+// prepared is a resolved job request: the design source, the effective
+// configuration, normalized attack options, and the memoization key.
+type prepared struct {
+	src    string
+	cfg    *alice.Config
+	attack *attack.Options // nil when no attack stage
+	memoID string          // hex digest, reported as JobResult.StoreKey
+	key    string          // full store key (resultPrefix + memoID)
+}
+
+// resolve validates the request shape and resolves source + config.
+// It is cheap enough to run at submission time, so malformed requests
+// fail with 400 instead of a failed async job.
+func (s *Server) resolve(req *JobRequest) (src string, cfg *alice.Config, aopts *attack.Options, err error) {
+	var benchOutputs []string
+	switch {
+	case req.Source != "" && req.Bench != "":
+		return "", nil, nil, errors.New("request has both source and bench; pick one")
+	case req.Source != "":
+		src = req.Source
+	case req.Bench != "":
+		b, ok := alice.BenchmarkByName(req.Bench)
+		if !ok {
+			return "", nil, nil, fmt.Errorf("unknown benchmark %q", req.Bench)
+		}
+		src = b.Source()
+		benchOutputs = b.SelectedOutputs
+	default:
+		return "", nil, nil, errors.New("request needs source (Verilog text) or bench (benchmark name)")
+	}
+
+	switch {
+	case req.ConfigYAML != "":
+		cfg, err = alice.LoadConfig(req.ConfigYAML)
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("config_yaml: %w", err)
+		}
+	case req.Cfg == 0 || req.Cfg == 1:
+		if s.opts.Config != nil {
+			c := *s.opts.Config
+			cfg = &c
+		} else {
+			cfg = alice.Cfg1()
+		}
+	case req.Cfg == 2:
+		cfg = alice.Cfg2()
+	default:
+		return "", nil, nil, fmt.Errorf("cfg must be 1 or 2, got %d", req.Cfg)
+	}
+	if len(cfg.SelectedOutputs) == 0 && benchOutputs != nil {
+		cfg.SelectedOutputs = benchOutputs
+	}
+	if err := cfg.Validate(); err != nil {
+		return "", nil, nil, err
+	}
+	if _, err := alice.Parse(src); err != nil {
+		return "", nil, nil, fmt.Errorf("parsing design: %w", err)
+	}
+
+	if req.Attack != nil {
+		a := attack.Options{
+			MaxIters:     req.Attack.MaxIters,
+			MaxConflicts: req.Attack.MaxConflicts,
+			Seed:         req.Attack.Seed,
+		}
+		if a.MaxIters <= 0 {
+			a.MaxIters = DefaultAttackIters
+		}
+		if a.MaxConflicts <= 0 {
+			a.MaxConflicts = DefaultAttackConflicts
+		}
+		aopts = &a
+	}
+	return src, cfg, aopts, nil
+}
+
+// prepare resolves the request and computes its memoization key:
+// SHA-256 over Config.Key(), the canonical netlist content hash of the
+// design, and the attack parameters. The content hash is taken on the
+// synthesized netlist, so sources differing only in formatting or
+// comments memoize to the same record (synthesis is deterministic),
+// while any logic change produces a fresh key.
+func (s *Server) prepare(req *JobRequest) (*prepared, error) {
+	src, cfg, aopts, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	ast, err := alice.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := rtl.Elaborate(ast, cfg.Top)
+	if err != nil {
+		return nil, fmt.Errorf("elaborating design: %w", err)
+	}
+	sr, err := synth.Synthesize(d)
+	if err != nil {
+		return nil, fmt.Errorf("synthesizing design: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", cfg.Key(), netlist.ContentHash(sr.Netlist))
+	if aopts != nil {
+		fmt.Fprintf(h, "attack:iters=%d,conflicts=%d,seed=%d",
+			aopts.MaxIters, aopts.MaxConflicts, aopts.Seed)
+	}
+	id := hex.EncodeToString(h.Sum(nil))
+	return &prepared{
+		src:    src,
+		cfg:    cfg,
+		attack: aopts,
+		memoID: id,
+		key:    resultPrefix + id,
+	}, nil
+}
+
+// runJob is the queue handler: memo lookup, then flow + attack.
+func (s *Server) runJob(ctx context.Context, job *jobq.Job) ([]byte, error) {
+	var req JobRequest
+	if err := json.Unmarshal(job.Payload, &req); err != nil {
+		return nil, fmt.Errorf("decoding job payload: %w", err)
+	}
+	pj, err := s.prepare(&req)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	if !req.Fresh {
+		if raw, ok := s.st.Get(pj.key); ok {
+			var res JobResult
+			if json.Unmarshal(raw, &res) == nil {
+				s.memoHits.Add(1)
+				res.Cached = true
+				res.ElapsedMS = time.Since(start).Milliseconds()
+				return json.Marshal(res)
+			}
+			// Undecodable record: fall through and recompute over it.
+		}
+	}
+
+	engOpts := append([]alice.Option{
+		alice.WithConfig(pj.cfg),
+		alice.WithCache(s.tiered),
+	}, s.opts.EngineOptions...)
+	eng := alice.NewEngine(engOpts...)
+	s.flowRuns.Add(1)
+	rep, err := eng.RunSource(ctx, pj.src)
+	if err != nil {
+		// Hard failure (cancellation, elaboration error): not a
+		// memoizable outcome.
+		return nil, err
+	}
+	repJSON, err := rep.JSON()
+	if err != nil {
+		return nil, err
+	}
+	res := JobResult{
+		Design:   rep.Design,
+		Report:   repJSON,
+		StoreKey: pj.memoID,
+	}
+	if pj.attack != nil && rep.Err == nil && rep.Solution != nil {
+		for _, fc := range rep.Solution.Fabrics {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			s.attackRuns.Add(1)
+			res.Attack = append(res.Attack, runAttack(fc, *pj.attack))
+		}
+	}
+	res.ElapsedMS = time.Since(start).Milliseconds()
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	// Memoize: flow diagnostics (Report.Err) and attack budget
+	// exhaustion are deterministic outcomes, as cacheable as success.
+	// A failed Put degrades to an unmemoized success.
+	_ = s.st.Put(pj.key, raw)
+	return raw, nil
+}
+
+// runAttack evaluates one solution fabric under the SAT attack.
+func runAttack(fc *alice.FabricCandidate, opts attack.Options) AttackVerdict {
+	arch := fc.Fabric.Arch
+	v := AttackVerdict{
+		Fabric: fmt.Sprintf("%dx%d K%d/N%d", arch.W, arch.W, arch.LUTSize, arch.BLEsPerCLB),
+	}
+	res, err := attack.RecoverBitstreamOpts(fc.Fabric.LUTs, opts)
+	switch {
+	case err == nil:
+		v.Cracked = true
+		v.KeyBits = res.KeyBits
+		v.Iterations = res.Iterations
+		v.Conflicts = res.Conflicts
+	default:
+		var be *attack.BudgetError
+		if errors.As(err, &be) {
+			v.BudgetExceeded = true
+			v.KeyBits = be.KeyBits
+			v.Iterations = be.Iterations
+			v.Conflicts = be.Conflicts
+		} else {
+			v.Error = err.Error()
+		}
+	}
+	return v
+}
+
+// stats assembles the service-wide stats response.
+func (s *Server) stats() StatsResponse {
+	st := s.st.Stats()
+	mh, mm, me := s.tiered.Stats()
+	dh, dm, ds := s.tiered.DiskStats()
+	jobs := make(map[string]int)
+	for state, n := range s.queue.Counts() {
+		jobs[string(state)] = n
+	}
+	return StatsResponse{
+		Store: StoreStats{
+			Records:        st.Records,
+			LogBytes:       st.LogBytes,
+			Puts:           st.Puts,
+			Deletes:        st.Deletes,
+			Gets:           st.Gets,
+			Hits:           st.Hits,
+			Recovered:      st.Recovered,
+			TruncatedBytes: st.Truncated,
+		},
+		Cache: CacheStats{
+			MemHits:    mh,
+			MemMisses:  mm,
+			MemEntries: me,
+			DiskHits:   dh,
+			DiskMisses: dm,
+			DiskSkips:  ds,
+		},
+		Jobs:       jobs,
+		FlowRuns:   s.flowRuns.Load(),
+		AttackRuns: s.attackRuns.Load(),
+		MemoHits:   s.memoHits.Load(),
+	}
+}

@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"alice"
+	"alice/internal/store"
+)
+
+// charCounter returns an observer option counting Characterize stage
+// starts, and the counter it feeds.
+func charCounter() (alice.Option, *atomic.Int64) {
+	var n atomic.Int64
+	opt := alice.WithObserver(func(ev alice.Event) {
+		if ev.Kind == alice.EventStageStart && ev.Stage == alice.StageCharacterize {
+			n.Add(1)
+		}
+	})
+	return opt, &n
+}
+
+func newTestServer(t *testing.T, dir string, extra ...alice.Option) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(Options{
+		DataDir:       dir,
+		Workers:       2,
+		JobTimeout:    2 * time.Minute,
+		EngineOptions: extra,
+		NoSync:        true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return srv, ts
+}
+
+func closeServer(t *testing.T, srv *Server, ts *httptest.Server) {
+	t.Helper()
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func postJob(t *testing.T, base, body string) JobStatus {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/jobs: status %d: %s", resp.StatusCode, raw)
+	}
+	var js JobStatus
+	if err := json.Unmarshal(raw, &js); err != nil {
+		t.Fatalf("decoding submit response: %v\n%s", err, raw)
+	}
+	return js
+}
+
+func waitJob(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "?wait=10s")
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var js JobStatus
+		if err := json.Unmarshal(raw, &js); err != nil {
+			t.Fatalf("decoding job: %v\n%s", err, raw)
+		}
+		if js.State.Terminal() {
+			return js
+		}
+	}
+	t.Fatalf("job %s did not reach a terminal state", id)
+	return JobStatus{}
+}
+
+func getStats(t *testing.T, base string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/store/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	return st
+}
+
+// TestMemoizationAcrossRestart is the acceptance test of the service:
+// run a design (with attack evaluation) once, restart the daemon, and
+// prove the identical resubmission is answered entirely from the disk
+// store — zero Characterize stage invocations, zero flow runs, zero
+// attack runs — and that a reformatted copy of the source memoizes to
+// the same record.
+func TestMemoizationAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	// The conflict cap keeps the attack fast: the small fabric cracks,
+	// the big one exhausts the budget — both are deterministic verdicts.
+	req := `{"name":"gcd","bench":"gcd","cfg":1,"attack":{"max_conflicts":5000,"seed":7}}`
+
+	obs1, chars1 := charCounter()
+	srv1, ts1 := newTestServer(t, dir, obs1)
+	js := postJob(t, ts1.URL, req)
+	done := waitJob(t, ts1.URL, js.ID)
+	if done.State != "succeeded" {
+		t.Fatalf("first run: state %s, error %q", done.State, done.Error)
+	}
+	if done.Result == nil || done.Result.Cached {
+		t.Fatalf("first run must compute, got %+v", done.Result)
+	}
+	if len(done.Result.Attack) == 0 {
+		t.Fatalf("first run carried no attack verdicts")
+	}
+	for _, v := range done.Result.Attack {
+		if !v.Cracked && !v.BudgetExceeded {
+			t.Errorf("attack verdict neither cracked nor budget-exceeded: %+v", v)
+		}
+	}
+	if chars1.Load() == 0 {
+		t.Fatalf("first run characterized nothing (observer not wired?)")
+	}
+	st1 := getStats(t, ts1.URL)
+	if st1.FlowRuns != 1 || st1.MemoHits != 0 {
+		t.Fatalf("first run stats: %+v", st1)
+	}
+	storeKey := done.Result.StoreKey
+	closeServer(t, srv1, ts1)
+
+	// Restart: fresh process state, same data directory.
+	obs2, chars2 := charCounter()
+	srv2, ts2 := newTestServer(t, dir, obs2)
+	defer closeServer(t, srv2, ts2)
+
+	js2 := postJob(t, ts2.URL, req)
+	done2 := waitJob(t, ts2.URL, js2.ID)
+	if done2.State != "succeeded" {
+		t.Fatalf("resubmission: state %s, error %q", done2.State, done2.Error)
+	}
+	if done2.Result == nil || !done2.Result.Cached {
+		t.Fatalf("resubmission was not served from the store: %+v", done2.Result)
+	}
+	if done2.Result.StoreKey != storeKey {
+		t.Fatalf("store keys differ across restarts: %s vs %s", done2.Result.StoreKey, storeKey)
+	}
+	if got := chars2.Load(); got != 0 {
+		t.Fatalf("resubmission invoked Characterize %d times, want 0", got)
+	}
+	st2 := getStats(t, ts2.URL)
+	if st2.FlowRuns != 0 || st2.AttackRuns != 0 {
+		t.Fatalf("resubmission ran the flow/attack: flow=%d attack=%d", st2.FlowRuns, st2.AttackRuns)
+	}
+	if st2.MemoHits != 1 {
+		t.Fatalf("memo hits = %d, want 1", st2.MemoHits)
+	}
+
+	// A reformatted copy of the same design — comments, whitespace —
+	// must land on the same store record (canonical netlist hash).
+	b, _ := alice.BenchmarkByName("gcd")
+	reformatted := "// reformatted copy\n\n" + strings.ReplaceAll(b.Source(), "\n", "\n\n")
+	cfgReq, _ := json.Marshal(JobRequest{
+		Name:   "gcd-reformatted",
+		Source: reformatted,
+		ConfigYAML: "selected_outputs: [" + strings.Join(b.SelectedOutputs, ", ") + "]\n" +
+			"efpga:\n  max_io_pins: 64\n  max_instances: 2\n",
+		Attack: &AttackRequest{MaxConflicts: 5000, Seed: 7},
+	})
+	js3 := postJob(t, ts2.URL, string(cfgReq))
+	done3 := waitJob(t, ts2.URL, js3.ID)
+	if done3.State != "succeeded" {
+		t.Fatalf("reformatted run: state %s, error %q", done3.State, done3.Error)
+	}
+	if done3.Result.StoreKey != storeKey {
+		t.Fatalf("reformatted source keyed differently: %s vs %s", done3.Result.StoreKey, storeKey)
+	}
+	if !done3.Result.Cached {
+		t.Fatalf("reformatted source was not served from the store")
+	}
+}
+
+// TestTieredCacheReadThrough proves the Engine-facing cache property:
+// a fresh memory tier over an existing store serves characterizations
+// from disk (promoting them), so the flow re-runs without
+// characterizing from scratch.
+func TestTieredCacheReadThrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.store")
+	b, _ := alice.BenchmarkByName("gcd")
+	cfg := alice.Cfg1()
+	cfg.SelectedOutputs = b.SelectedOutputs
+
+	st1, err := store.Open(path, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc1 := NewTieredCache(nil, st1)
+	eng1 := alice.NewEngine(alice.WithConfig(cfg), alice.WithCache(tc1))
+	rep1, err := eng1.RunSource(context.Background(), b.Source())
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	_, _, entries := tc1.Stats()
+	if entries == 0 {
+		t.Fatalf("first run stored no characterizations")
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(path, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	tc2 := NewTieredCache(nil, st2)
+	eng2 := alice.NewEngine(alice.WithConfig(cfg), alice.WithCache(tc2))
+	rep2, err := eng2.RunSource(context.Background(), b.Source())
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	hits, _, _ := tc2.DiskStats()
+	if hits == 0 {
+		t.Fatalf("second run hit the disk tier 0 times")
+	}
+	if rep1.FabricSizes != rep2.FabricSizes {
+		t.Fatalf("cached run selected different fabrics: %q vs %q", rep1.FabricSizes, rep2.FabricSizes)
+	}
+	if _, _, entries := tc2.Stats(); entries == 0 {
+		t.Fatalf("disk hits were not promoted into the memory tier")
+	}
+}
+
+// TestSubmitValidation: malformed requests fail the HTTP call with
+// 400, not an async job.
+func TestSubmitValidation(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	defer closeServer(t, srv, ts)
+
+	bad := []string{
+		`{}`,                                   // no design
+		`{"bench":"gcd","source":"module"}`,    // both
+		`{"bench":"nonesuch"}`,                 // unknown benchmark
+		`{"bench":"gcd","cfg":3}`,              // bad cfg
+		`{"bench":"gcd","config_yaml":":::"}`,  // bad YAML
+		`{"source":"module m(; endmodule"}`,    // parse error
+		`{"bench":"gcd","unknown_field":true}`, // schema violation
+	}
+	for _, body := range bad {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jobs []JobStatus
+	json.NewDecoder(resp.Body).Decode(&jobs)
+	if len(jobs) != 0 {
+		t.Errorf("rejected submissions created %d jobs", len(jobs))
+	}
+}
+
+// TestCancelMidJobStoreIntact: canceling a running job must leave the
+// store uncorrupted — the daemon restarts clean with every committed
+// record intact.
+func TestCancelMidJobStoreIntact(t *testing.T) {
+	dir := t.TempDir()
+	// A deliberately slow observer gives the cancel a wide window.
+	slow := alice.WithObserver(func(ev alice.Event) {
+		if ev.Kind == alice.EventProgress {
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+	srv, ts := newTestServer(t, dir, slow)
+
+	// One fast job first, so the store holds a committed result the
+	// cancellation must not disturb.
+	first := postJob(t, ts.URL, `{"bench":"gcd","cfg":1}`)
+	if done := waitJob(t, ts.URL, first.ID); done.State != "succeeded" {
+		t.Fatalf("setup job: %s (%s)", done.State, done.Error)
+	}
+	recordsBefore := getStats(t, ts.URL).Store.Records
+
+	victim := postJob(t, ts.URL, `{"bench":"sha256","cfg":1,"fresh":true}`)
+	// Cancel as soon as it starts running (or immediately if queued).
+	for i := 0; i < 200; i++ {
+		resp, _ := http.Get(ts.URL + "/v1/jobs/" + victim.ID)
+		var js JobStatus
+		json.NewDecoder(resp.Body).Decode(&js)
+		resp.Body.Close()
+		if js.State == "running" || i == 199 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+victim.ID, nil)
+	if resp, err := http.DefaultClient.Do(delReq); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	end := waitJob(t, ts.URL, victim.ID)
+	if end.State != "canceled" && end.State != "succeeded" {
+		t.Fatalf("victim state %s, want canceled (or succeeded if it outran the cancel)", end.State)
+	}
+	closeServer(t, srv, ts)
+
+	// The store must reopen clean, with the committed result intact.
+	st, err := store.Open(filepath.Join(dir, StoreFile))
+	if err != nil {
+		t.Fatalf("store corrupted by cancellation: %v", err)
+	}
+	defer st.Close()
+	if got := st.Stats(); got.Records < recordsBefore {
+		t.Fatalf("committed records lost: %d, had %d", got.Records, recordsBefore)
+	}
+
+	// And a restarted server must still answer the committed result
+	// from the store.
+	st.Close()
+	srv2, ts2 := newTestServer(t, dir)
+	defer closeServer(t, srv2, ts2)
+	again := postJob(t, ts2.URL, `{"bench":"gcd","cfg":1}`)
+	if done := waitJob(t, ts2.URL, again.ID); done.State != "succeeded" || !done.Result.Cached {
+		t.Fatalf("post-cancel restart lost the memoized result: %+v", done)
+	}
+}
+
+// TestEndpoints covers the small surface: health, stats shape, list,
+// 404s, compaction.
+func TestEndpoints(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	defer closeServer(t, srv, ts)
+
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/jobs/job-999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	js := postJob(t, ts.URL, `{"name":"ep","bench":"gcd","cfg":2}`)
+	done := waitJob(t, ts.URL, js.ID)
+	if done.State != "succeeded" {
+		t.Fatalf("job: %s (%s)", done.State, done.Error)
+	}
+	if done.Name != "ep" {
+		t.Errorf("name not carried: %q", done.Name)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobStatus
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Result != nil {
+		t.Errorf("list: want 1 slim entry, got %+v", list)
+	}
+
+	st := getStats(t, ts.URL)
+	if st.Store.Records == 0 || st.FlowRuns != 1 {
+		t.Errorf("stats after one run: %+v", st)
+	}
+
+	// Compaction keeps the records and the memo hit.
+	cresp, err := http.Post(ts.URL+"/v1/store/compact", "application/json", nil)
+	if err != nil || cresp.StatusCode != 200 {
+		t.Fatalf("compact: %v %v", cresp.Status, err)
+	}
+	cresp.Body.Close()
+	again := postJob(t, ts.URL, `{"name":"ep2","bench":"gcd","cfg":2}`)
+	if done := waitJob(t, ts.URL, again.ID); !done.Result.Cached {
+		t.Errorf("memoized result lost by compaction")
+	}
+}
+
+// TestAttackBudgetMemoized: a budget-exhausted attack is a
+// deterministic verdict and must memoize like a success.
+func TestAttackBudgetMemoized(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	defer closeServer(t, srv, ts)
+
+	req := `{"bench":"gcd","cfg":1,"attack":{"max_iters":1,"seed":3}}`
+	first := waitJob(t, ts.URL, postJob(t, ts.URL, req).ID)
+	if first.State != "succeeded" {
+		t.Fatalf("budgeted run: %s (%s)", first.State, first.Error)
+	}
+	budgeted := 0
+	for _, v := range first.Result.Attack {
+		if v.BudgetExceeded {
+			budgeted++
+			if v.KeyBits == 0 {
+				t.Errorf("budget verdict lost key size: %+v", v)
+			}
+		}
+	}
+	if budgeted == 0 {
+		t.Skipf("gcd cracked within 1 DIP on every fabric; budget path untestable here: %+v", first.Result.Attack)
+	}
+	second := waitJob(t, ts.URL, postJob(t, ts.URL, req).ID)
+	if !second.Result.Cached {
+		t.Errorf("budget verdict was not memoized")
+	}
+}
