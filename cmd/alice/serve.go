@@ -32,20 +32,35 @@ func runServe(args []string) {
 		jobTimeout = fs.Duration("job-timeout", 15*time.Minute, "per-job run budget")
 		keepDone   = fs.Int("keep-done", 512, "finished jobs to retain for polling")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		queueDepth = fs.Int("queue-depth", 256, "queued-job admission limit (excess submits get 503)")
+		retries    = fs.Int("retries", 2, "attempts per job before quarantine (panics and transient faults)")
 	)
 	fs.Parse(args)
 
 	srv, err := serve.New(serve.Options{
-		DataDir:    *dataDir,
-		Workers:    *workers,
-		JobTimeout: *jobTimeout,
-		KeepDone:   *keepDone,
+		DataDir:       *dataDir,
+		Workers:       *workers,
+		JobTimeout:    *jobTimeout,
+		KeepDone:      *keepDone,
+		MaxQueueDepth: *queueDepth,
+		MaxAttempts:   *retries,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Slow-client hygiene: bound the header read and idle keep-alives so
+	// stalled connections can't pin goroutines forever. WriteTimeout
+	// stays 0 — GET /v1/jobs/{id}?wait=... long-polls legitimately hold
+	// a response open for minutes (the handler clamps its own wait).
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

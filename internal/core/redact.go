@@ -290,29 +290,50 @@ func VerifyRedaction(orig *rtl.Design, red *Redaction, steps int, seed int64) er
 	// The redacted design is a *different* design than the original, so
 	// a port the regeneration lost (or renamed) is a flow diagnostic,
 	// not a programming error: use the error-returning sim accessors and
-	// wrap mismatches as stage-attributed FlowErrors.
+	// wrap mismatches as stage-attributed FlowErrors. The original's
+	// side goes through the checked accessors too — even a violated
+	// invariant there must surface as a typed verify error, never a
+	// panic out of the library.
 	verifyErr := func(err error) error {
 		return &FlowError{Stage: StageVerify, Design: orig.Top.Name,
 			Err: fmt.Errorf("redacted design lost a port of the original: %w", err)}
 	}
+	origErr := func(err error) error {
+		return &FlowError{Stage: StageVerify, Design: orig.Top.Name,
+			Err: fmt.Errorf("simulating original: %w", err)}
+	}
 	for step := 0; step < steps; step++ {
 		for _, in := range inputs {
 			v := r.Uint64()
-			s1.Set(in, v)
+			if err := s1.TrySet(in, v); err != nil {
+				return origErr(err)
+			}
 			if err := s2.TrySet(in, v); err != nil {
 				return verifyErr(err)
 			}
 		}
-		s1.Step()
-		s2.Step()
-		s1.Eval()
-		s2.Eval()
+		if err := s1.StepChecked(); err != nil {
+			return origErr(err)
+		}
+		if err := s2.StepChecked(); err != nil {
+			return verifyErr(err)
+		}
+		if err := s1.EvalChecked(); err != nil {
+			return origErr(err)
+		}
+		if err := s2.EvalChecked(); err != nil {
+			return verifyErr(err)
+		}
 		for _, out := range outputs {
 			v2, err := s2.TryOut(out)
 			if err != nil {
 				return verifyErr(err)
 			}
-			if s1.Out(out) != v2 {
+			v1, err := s1.TryOut(out)
+			if err != nil {
+				return origErr(err)
+			}
+			if v1 != v2 {
 				return &FlowError{Stage: StageVerify, Design: orig.Top.Name,
 					Err: fmt.Errorf("redacted design diverges on output %s at step %d", out, step)}
 			}

@@ -1,0 +1,430 @@
+// Package iofault provides an injectable file-system abstraction for
+// crash and fault testing of the redaction service's durability layer.
+//
+// Production code takes an FS (and the Files it opens) instead of
+// calling the os package directly; the OS implementation is a zero-cost
+// passthrough. Tests substitute a *FaultFS driven by a Script of Rules:
+// fail the Nth write, fsync, rename, or truncate; write only a prefix
+// of the bytes (short write); tear a write and then "lose power"
+// (every later operation fails with ErrCrashed, leaving the on-disk
+// bytes exactly as the torn write left them); fail once and then heal;
+// or run an arbitrary hook at the injection point (e.g. to snapshot
+// the file for a recovery assertion).
+//
+// The package deliberately models the failure surface of a real disk
+// under a real kernel:
+//
+//   - A failed or short write may leave a prefix of the data on disk.
+//   - A failed fsync means nothing about what reached the platter; per
+//     the usual fsyncgate semantics the page-cache state is unknowable
+//     and the writer must not assume a retry will flush the old data.
+//   - A crash freezes the file at whatever bytes the simulated kernel
+//     had accepted; reopening (with a healthy FS) sees that state.
+//
+// The matrix test in internal/store walks these injection points and
+// asserts the store either recovers every acknowledged record or
+// refuses with ErrCorrupt — never silently loses a committed one.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Op names an injectable file-system operation.
+type Op string
+
+// Injectable operations. OpOpen and OpRename are FS-level; the rest
+// apply to an open File.
+const (
+	OpOpen     Op = "open"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpClose    Op = "close"
+)
+
+// ErrInjected is the base error returned by scripted faults that do
+// not specify their own.
+var ErrInjected = errors.New("iofault: injected fault")
+
+// ErrCrashed is returned by every operation after a scripted crash:
+// the simulated process lost power and the file system is gone until
+// the "machine" (a fresh FS over the same directory) comes back up.
+var ErrCrashed = errors.New("iofault: crashed")
+
+// File is the subset of *os.File the durability layer uses. *os.File
+// implements it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the subset of the os package the durability layer uses.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// OS is the passthrough FS backed by the real os package.
+type OS struct{}
+
+// OpenFile opens with os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Rename renames with os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes with os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll creates directories with os.MkdirAll.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Mode is what a triggered Rule does to its operation.
+type Mode int
+
+const (
+	// Fail returns the rule's error without performing the operation.
+	Fail Mode = iota
+	// FailOnce is Fail, but the rule disarms after firing (the fault
+	// heals): the next matching operation succeeds.
+	FailOnce
+	// Short performs a write of only TornBytes bytes (half the buffer
+	// if TornBytes is 0) and returns the short count with an error, the
+	// way a full disk does.
+	Short
+	// Torn writes only TornBytes bytes (half if 0) and then crashes:
+	// the partial data is on "disk", and every subsequent operation on
+	// the FS fails with ErrCrashed. Reopening the path with a healthy
+	// FS observes the torn state — the power-loss-mid-append scenario.
+	Torn
+	// Crash performs the operation fully, then crashes. Placing it on
+	// a sync models power loss immediately after a durable commit.
+	Crash
+)
+
+// Rule scripts one fault. A rule matches when its Op equals the
+// operation and its countdown (Nth) reaches zero: Nth=1 fires on the
+// first matching call, Nth=3 on the third. A fired rule stays active
+// (every later match also fails) unless its Mode is FailOnce or the
+// fault crashed the FS.
+type Rule struct {
+	// Op selects the operation to fault.
+	Op Op
+	// Nth fires on the Nth matching call (1-based; 0 behaves as 1).
+	Nth int
+	// Mode selects the failure behaviour (default Fail).
+	Mode Mode
+	// Err overrides the returned error (default ErrInjected).
+	Err error
+	// TornBytes bounds the bytes written by Short/Torn (0 = half).
+	TornBytes int
+	// Heal disarms the rule after it fires once, whatever its Mode —
+	// the transient-fault variant of any failure (FailOnce is shorthand
+	// for Fail+Heal).
+	Heal bool
+	// Hook, when set, runs at the injection point before the fault is
+	// applied — a crash-point hook for snapshotting state mid-fault.
+	Hook func(op Op, path string)
+
+	seen  int
+	fired bool
+	spent bool // FailOnce already consumed
+}
+
+// Script is a set of fault rules shared by an FS and its Files. It is
+// safe for concurrent use.
+type Script struct {
+	mu      sync.Mutex
+	rules   []*Rule
+	crashed bool
+	counts  map[Op]int
+}
+
+// NewScript builds a script from rules. The rules are consulted in
+// order; the first match wins.
+func NewScript(rules ...*Rule) *Script {
+	return &Script{rules: rules, counts: make(map[Op]int)}
+}
+
+// Add arms another rule (e.g. between phases of a test).
+func (s *Script) Add(r *Rule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, r)
+}
+
+// Clear disarms all rules and lifts a crash: the "machine rebooted".
+func (s *Script) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = nil
+	s.crashed = false
+}
+
+// Crashed reports whether a Torn/Crash rule has taken the FS down.
+func (s *Script) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// Count reports how many times op was attempted (including faulted
+// attempts).
+func (s *Script) Count(op Op) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[op]
+}
+
+// decide consults the script for op. It returns the matched rule (nil
+// when the operation should proceed normally) and whether the FS is
+// already crashed.
+func (s *Script) decide(op Op, path string) (*Rule, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts[op]++
+	if s.crashed {
+		return nil, true
+	}
+	for _, r := range s.rules {
+		if r.Op != op || r.spent {
+			continue
+		}
+		if !r.fired {
+			r.seen++
+			nth := r.Nth
+			if nth <= 0 {
+				nth = 1
+			}
+			if r.seen < nth {
+				continue
+			}
+			r.fired = true
+		}
+		if r.Hook != nil {
+			// Run the hook outside the lock so it may inspect the FS.
+			s.mu.Unlock()
+			r.Hook(op, path)
+			s.mu.Lock()
+		}
+		switch r.Mode {
+		case FailOnce:
+			r.spent = true
+		case Torn, Crash:
+			s.crashed = true
+		}
+		if r.Heal {
+			r.spent = true
+		}
+		return r, false
+	}
+	return nil, false
+}
+
+// ruleErr resolves a rule's error.
+func ruleErr(r *Rule) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return fmt.Errorf("%w: %s #%d", ErrInjected, r.Op, r.seen)
+}
+
+// FaultFS is an FS whose operations consult a Script. Files opened
+// through it consult the same script.
+type FaultFS struct {
+	inner  FS
+	script *Script
+}
+
+// NewFS wraps inner (nil = the real OS) with script.
+func NewFS(inner FS, script *Script) *FaultFS {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &FaultFS{inner: inner, script: script}
+}
+
+// Script returns the FS's script (to re-arm or clear between phases).
+func (fs *FaultFS) Script() *Script { return fs.script }
+
+// OpenFile opens through the inner FS unless scripted to fail.
+func (fs *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	r, crashed := fs.script.decide(OpOpen, name)
+	if crashed {
+		return nil, ErrCrashed
+	}
+	if r != nil {
+		return nil, ruleErr(r)
+	}
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultFile{inner: f, path: name, script: fs.script}, nil
+}
+
+// Rename renames through the inner FS unless scripted to fail.
+func (fs *FaultFS) Rename(oldpath, newpath string) error {
+	r, crashed := fs.script.decide(OpRename, oldpath)
+	if crashed {
+		return ErrCrashed
+	}
+	if r != nil {
+		if r.Mode == Crash {
+			// Crash-after-rename: the rename is durable, the process is
+			// not. Perform it, then take the FS down.
+			if err := fs.inner.Rename(oldpath, newpath); err != nil {
+				return err
+			}
+			return ErrCrashed
+		}
+		return ruleErr(r)
+	}
+	return fs.inner.Rename(oldpath, newpath)
+}
+
+// Remove removes through the inner FS unless scripted to fail.
+func (fs *FaultFS) Remove(name string) error {
+	r, crashed := fs.script.decide(OpRemove, name)
+	if crashed {
+		return ErrCrashed
+	}
+	if r != nil {
+		return ruleErr(r)
+	}
+	return fs.inner.Remove(name)
+}
+
+// MkdirAll is never faulted (directory creation happens once at
+// startup, before any durability contract exists).
+func (fs *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return fs.inner.MkdirAll(path, perm)
+}
+
+// FaultFile is a File whose Write/Sync/Truncate/Close consult the
+// script. Reads and seeks are never faulted: replay corruption is
+// scripted by what the faulted writes left on disk, not by lying to
+// the reader.
+type FaultFile struct {
+	inner  File
+	path   string
+	script *Script
+}
+
+// Read passes through (never faulted).
+func (f *FaultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+// Seek passes through (never faulted).
+func (f *FaultFile) Seek(offset int64, whence int) (int64, error) {
+	return f.inner.Seek(offset, whence)
+}
+
+// Stat passes through (never faulted).
+func (f *FaultFile) Stat() (os.FileInfo, error) { return f.inner.Stat() }
+
+// Write consults the script: Fail/FailOnce return an error with
+// nothing written; Short/Torn write a prefix; Torn/Crash then take the
+// FS down.
+func (f *FaultFile) Write(p []byte) (int, error) {
+	r, crashed := f.script.decide(OpWrite, f.path)
+	if crashed {
+		return 0, ErrCrashed
+	}
+	if r == nil {
+		return f.inner.Write(p)
+	}
+	switch r.Mode {
+	case Short, Torn:
+		keep := r.TornBytes
+		if keep <= 0 || keep > len(p) {
+			keep = len(p) / 2
+		}
+		n, err := f.inner.Write(p[:keep])
+		if err != nil {
+			return n, err
+		}
+		if r.Mode == Torn {
+			return n, ErrCrashed
+		}
+		return n, ruleErr(r)
+	case Crash:
+		n, err := f.inner.Write(p)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrCrashed
+	default:
+		return 0, ruleErr(r)
+	}
+}
+
+// Sync consults the script. A Crash-mode rule syncs first (the commit
+// made it to disk; the acknowledgement did not).
+func (f *FaultFile) Sync() error {
+	r, crashed := f.script.decide(OpSync, f.path)
+	if crashed {
+		return ErrCrashed
+	}
+	if r == nil {
+		return f.inner.Sync()
+	}
+	switch r.Mode {
+	case Crash:
+		if err := f.inner.Sync(); err != nil {
+			return err
+		}
+		return ErrCrashed
+	case Torn:
+		return ErrCrashed
+	default:
+		return ruleErr(r)
+	}
+}
+
+// Truncate consults the script.
+func (f *FaultFile) Truncate(size int64) error {
+	r, crashed := f.script.decide(OpTruncate, f.path)
+	if crashed {
+		return ErrCrashed
+	}
+	if r != nil {
+		if r.Mode == Crash {
+			if err := f.inner.Truncate(size); err != nil {
+				return err
+			}
+			return ErrCrashed
+		}
+		return ruleErr(r)
+	}
+	return f.inner.Truncate(size)
+}
+
+// Close always closes the underlying file (so tests never leak file
+// descriptors) but reports a scripted error if armed.
+func (f *FaultFile) Close() error {
+	r, crashed := f.script.decide(OpClose, f.path)
+	err := f.inner.Close()
+	if crashed {
+		return ErrCrashed
+	}
+	if r != nil {
+		return ruleErr(r)
+	}
+	return err
+}

@@ -1,0 +1,193 @@
+package iofault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T, fs FS) (File, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	return f, path
+}
+
+func TestOSPassthrough(t *testing.T) {
+	f, path := openTemp(t, OS{})
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("readback: %q, %v", b, err)
+	}
+}
+
+func TestFailNthWrite(t *testing.T) {
+	fs := NewFS(nil, NewScript(&Rule{Op: OpWrite, Nth: 2}))
+	f, path := openTemp(t, fs)
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: want ErrInjected, got %v", err)
+	}
+	// A plain Fail rule stays latched: write 3 fails too.
+	if _, err := f.Write([]byte("three")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 3: want ErrInjected, got %v", err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(path)
+	if string(b) != "one" {
+		t.Fatalf("disk holds %q, want %q", b, "one")
+	}
+}
+
+func TestFailOnceHeals(t *testing.T) {
+	fs := NewFS(nil, NewScript(&Rule{Op: OpSync, Nth: 1, Mode: FailOnce}))
+	f, _ := openTemp(t, fs)
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 1: want ErrInjected, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 2 after heal: %v", err)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	fs := NewFS(nil, NewScript(&Rule{Op: OpWrite, Nth: 1, Mode: Short, TornBytes: 3}))
+	f, path := openTemp(t, fs)
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(path)
+	if string(b) != "abc" {
+		t.Fatalf("disk holds %q, want %q", b, "abc")
+	}
+}
+
+func TestTornWriteCrashesFS(t *testing.T) {
+	script := NewScript(&Rule{Op: OpWrite, Nth: 2, Mode: Torn, TornBytes: 2})
+	fs := NewFS(nil, script)
+	f, path := openTemp(t, fs)
+	if _, err := f.Write([]byte("full!")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("torn!"))
+	if n != 2 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if !script.Crashed() {
+		t.Fatal("script not crashed after torn write")
+	}
+	// Everything after the crash fails, including new opens.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if _, err := fs.OpenFile(path, os.O_RDWR, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open: %v", err)
+	}
+	f.Close()
+	// The "reboot": a healthy FS sees exactly the torn prefix.
+	b, _ := os.ReadFile(path)
+	if string(b) != "full!to" {
+		t.Fatalf("disk holds %q, want %q", b, "full!to")
+	}
+}
+
+func TestCrashAfterSyncIsDurable(t *testing.T) {
+	fs := NewFS(nil, NewScript(&Rule{Op: OpSync, Nth: 1, Mode: Crash}))
+	f, path := openTemp(t, fs)
+	if _, err := f.Write([]byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync: want ErrCrashed, got %v", err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(path)
+	if string(b) != "committed" {
+		t.Fatalf("crash-after-sync lost data: %q", b)
+	}
+}
+
+func TestHookRunsAtInjectionPoint(t *testing.T) {
+	var sawOp Op
+	var sawPath string
+	fs := NewFS(nil, NewScript(&Rule{
+		Op: OpTruncate, Nth: 1,
+		Hook: func(op Op, path string) { sawOp, sawPath = op, path },
+	}))
+	f, path := openTemp(t, fs)
+	defer f.Close()
+	if err := f.Truncate(0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncate: %v", err)
+	}
+	if sawOp != OpTruncate || sawPath != path {
+		t.Fatalf("hook saw (%s, %s), want (%s, %s)", sawOp, sawPath, OpTruncate, path)
+	}
+}
+
+func TestRenameFaultAndCrash(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	os.WriteFile(a, []byte("x"), 0o644)
+	fs := NewFS(nil, NewScript(&Rule{Op: OpRename, Nth: 1, Mode: FailOnce}))
+	if err := fs.Rename(a, b); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename 1: %v", err)
+	}
+	if _, err := os.Stat(a); err != nil {
+		t.Fatalf("failed rename moved the file: %v", err)
+	}
+	if err := fs.Rename(a, b); err != nil {
+		t.Fatalf("rename 2 after heal: %v", err)
+	}
+
+	// Crash-after-rename: durable rename, dead process.
+	os.WriteFile(a, []byte("y"), 0o644)
+	fs2 := NewFS(nil, NewScript(&Rule{Op: OpRename, Nth: 1, Mode: Crash}))
+	if err := fs2.Rename(a, b); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash rename: %v", err)
+	}
+	got, _ := os.ReadFile(b)
+	if string(got) != "y" {
+		t.Fatalf("crash rename not durable: %q", got)
+	}
+}
+
+func TestClearRebootsAndCounts(t *testing.T) {
+	script := NewScript(&Rule{Op: OpWrite, Nth: 1, Mode: Torn})
+	fs := NewFS(nil, script)
+	f, path := openTemp(t, fs)
+	f.Write([]byte("abcd"))
+	f.Close()
+	if got := script.Count(OpWrite); got != 1 {
+		t.Fatalf("write count %d, want 1", got)
+	}
+	script.Clear()
+	if script.Crashed() {
+		t.Fatal("Clear did not lift the crash")
+	}
+	f2, err := fs.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("open after reboot: %v", err)
+	}
+	f2.Close()
+}

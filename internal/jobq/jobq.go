@@ -10,13 +10,27 @@
 // lifecycle:
 //
 //	queued ──► running ──► succeeded
-//	   │           │   └──► failed
-//	   └───────────┴──────► canceled
+//	   ▲           │   ├──► failed
+//	   │(retry)    │   └──► quarantined
+//	   └───────────┤
+//	   ────────────┴──────► canceled
 //
 // Every transition is journaled before it is visible to pollers, so a
 // crash replays to a consistent picture: jobs found queued are re-run;
 // jobs found running are re-queued (their worker died with the
 // process); terminal jobs are history.
+//
+// Failure domains. A Handler that panics does not kill its worker:
+// the panic is caught and converted to a *JobPanicError carrying the
+// panic value and stack, so one poison payload cannot take the daemon
+// down. Failures classified retryable — panics always, other errors
+// when Options.Retryable says so — are re-queued with capped
+// exponential backoff plus jitter, up to Options.MaxAttempts total
+// executions; the attempt count is journaled, so the budget survives
+// restarts. A job that exhausts its budget on retryable failures is
+// quarantined: a terminal state distinct from failed, flagging a
+// poison job for operator inspection rather than silently retrying
+// forever. Cancellations and timeouts never retry.
 package jobq
 
 import (
@@ -24,6 +38,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -40,11 +56,15 @@ const (
 	StateSucceeded State = "succeeded"
 	StateFailed    State = "failed"
 	StateCanceled  State = "canceled"
+	// StateQuarantined marks a poison job: it exhausted its attempt
+	// budget on retryable failures (panics included) and is parked for
+	// inspection instead of being retried forever.
+	StateQuarantined State = "quarantined"
 )
 
 // Terminal reports whether no further transition can happen.
 func (s State) Terminal() bool {
-	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled || s == StateQuarantined
 }
 
 // Job is one unit of work. Values returned by Get/List/Wait are
@@ -66,12 +86,18 @@ type Job struct {
 	Error string `json:"error,omitempty"`
 	// Timeout bounds the Handler run (0 = the queue default).
 	Timeout time.Duration `json:"timeout,omitempty"`
-	// Attempts counts executions of this job; >1 means a crash requeue.
+	// Attempts counts executions of this job; >1 means a retry or a
+	// crash requeue. Journaled, so the retry budget survives restarts.
 	Attempts int `json:"attempts,omitempty"`
 	// SubmittedAt/StartedAt/FinishedAt stamp the lifecycle.
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
 	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	// RetryAt is when a queued-for-retry job becomes runnable again
+	// (zero for first-time queued jobs). Informational: a restart
+	// re-enqueues the job immediately rather than honouring the
+	// remaining backoff.
+	RetryAt time.Time `json:"retry_at,omitzero"`
 }
 
 // Handler executes one job. The context carries the per-job timeout
@@ -105,6 +131,22 @@ type Options struct {
 	// KeepDone bounds how many terminal jobs are retained in memory
 	// and journal (oldest evicted first; 0 = keep all).
 	KeepDone int
+	// MaxAttempts is the total execution budget per job for retryable
+	// failures (min 1 = no retries). A retryable failure with budget
+	// left re-queues the job after a backoff; once the budget is spent
+	// the job is quarantined.
+	MaxAttempts int
+	// RetryBaseDelay seeds the capped exponential backoff between
+	// attempts (default 250ms): attempt n waits about
+	// BaseDelay·2^(n-1), jittered, capped at RetryMaxDelay.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff (default 30s).
+	RetryMaxDelay time.Duration
+	// Retryable classifies handler errors as transient (worth another
+	// attempt) or deterministic. Nil means no handler error is
+	// retryable; panics are always treated as retryable regardless.
+	// Cancellations and timeouts are never consulted.
+	Retryable func(error) bool
 }
 
 // Queue is an asynchronous job queue with a worker pool. Safe for
@@ -116,6 +158,7 @@ type Queue struct {
 	jobs    map[string]*Job
 	cancels map[string]context.CancelFunc
 	waiters map[string][]chan Job
+	retries map[string]*time.Timer
 	seq     int
 	closed  bool
 
@@ -136,6 +179,21 @@ var ErrQueueClosed = errors.New("jobq: queue is shut down")
 // in the job's Error field.
 var ErrTimeout = errors.New("jobq: job timed out")
 
+// JobPanicError reports a Handler panic, contained by the worker: the
+// worker survives, the daemon keeps serving, and the job fails (or
+// retries, then quarantines) with the panic value and stack attached.
+type JobPanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at the panic site.
+	Stack []byte
+}
+
+// Error renders the panic value and stack.
+func (e *JobPanicError) Error() string {
+	return fmt.Sprintf("jobq: job panicked: %v\n%s", e.Value, e.Stack)
+}
+
 // New builds a queue, recovers journaled jobs, and starts the worker
 // pool. Jobs journaled as queued or running are re-enqueued in their
 // original submission order (running first resets to queued: the
@@ -147,12 +205,22 @@ func New(opts Options) (*Queue, error) {
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
+	if opts.MaxAttempts < 1 {
+		opts.MaxAttempts = 1
+	}
+	if opts.RetryBaseDelay <= 0 {
+		opts.RetryBaseDelay = 250 * time.Millisecond
+	}
+	if opts.RetryMaxDelay <= 0 {
+		opts.RetryMaxDelay = 30 * time.Second
+	}
 	baseCtx, stopBase := context.WithCancel(context.Background())
 	q := &Queue{
 		opts:     opts,
 		jobs:     make(map[string]*Job),
 		cancels:  make(map[string]context.CancelFunc),
 		waiters:  make(map[string][]chan Job),
+		retries:  make(map[string]*time.Timer),
 		done:     make(chan struct{}),
 		baseCtx:  baseCtx,
 		stopBase: stopBase,
@@ -346,6 +414,7 @@ func (q *Queue) runOne(id string) {
 	defer cancel()
 	j.State = StateRunning
 	j.StartedAt = time.Now().UTC()
+	j.RetryAt = time.Time{}
 	j.Attempts++
 	q.cancels[id] = cancel
 	jerr := q.journal(j)
@@ -359,7 +428,7 @@ func (q *Queue) runOne(id string) {
 		return
 	}
 
-	result, err := q.opts.Handler(ctx, &jcopy)
+	result, err := q.safeRun(ctx, &jcopy)
 	if err == nil && ctx.Err() != nil {
 		// The handler ignored a cancellation; honour it anyway.
 		err = ctx.Err()
@@ -367,7 +436,21 @@ func (q *Queue) runOne(id string) {
 	q.finish(id, result, err)
 }
 
-// finish moves a job to its terminal state and wakes waiters.
+// safeRun executes the handler with panic containment: a panicking
+// payload yields a *JobPanicError instead of killing the worker (and
+// with it, the whole daemon).
+func (q *Queue) safeRun(ctx context.Context, j *Job) (result []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &JobPanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return q.opts.Handler(ctx, j)
+}
+
+// finish moves a job to its terminal state — or, for a retryable
+// failure with attempt budget left, back to queued with a backoff —
+// and wakes waiters.
 func (q *Queue) finish(id string, result []byte, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -375,7 +458,6 @@ func (q *Queue) finish(id string, result []byte, err error) {
 	if !ok || j.State.Terminal() {
 		return
 	}
-	j.FinishedAt = time.Now().UTC()
 	delete(q.cancels, id)
 	switch {
 	case err == nil:
@@ -385,17 +467,92 @@ func (q *Queue) finish(id string, result []byte, err error) {
 		j.State = StateCanceled
 		j.Error = err.Error()
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrTimeout):
+		// A job that spent its own run budget would spend it again:
+		// never retried.
 		j.State = StateFailed
 		j.Error = ErrTimeout.Error()
 	default:
-		j.State = StateFailed
+		var pe *JobPanicError
+		retryable := errors.As(err, &pe) ||
+			(q.opts.Retryable != nil && q.opts.Retryable(err))
+		if retryable && j.Attempts < q.opts.MaxAttempts {
+			q.retryLocked(j, err)
+			return
+		}
+		if retryable {
+			// The attempt budget is spent: park the poison job.
+			j.State = StateQuarantined
+		} else {
+			j.State = StateFailed
+		}
 		j.Error = err.Error()
 	}
+	j.FinishedAt = time.Now().UTC()
 	// Journal the terminal state. A journal error here cannot demote
 	// the in-memory state; the job would simply re-run after a crash.
 	_ = q.journal(j)
 	q.evictLocked()
 	q.notifyLocked(j)
+}
+
+// retryLocked re-queues a job after a retryable failure (caller holds
+// q.mu): the failure and attempt count are journaled first, so the
+// budget survives a crash, then a timer re-enqueues the job after a
+// capped, jittered exponential backoff.
+func (q *Queue) retryLocked(j *Job, cause error) {
+	j.State = StateQueued
+	j.Error = cause.Error()
+	j.StartedAt = time.Time{}
+	delay := q.backoff(j.Attempts)
+	j.RetryAt = time.Now().UTC().Add(delay)
+	_ = q.journal(j)
+	q.notifyLocked(j)
+	id := j.ID
+	// Count the pending send like an in-flight Submit, so Shutdown
+	// cannot close the work channel under it.
+	q.submitters.Add(1)
+	q.retries[id] = time.AfterFunc(delay, func() { q.enqueueRetry(id) })
+}
+
+// backoff computes the delay before attempt n+1: base·2^(n-1) capped
+// at the max, with up to 50% random jitter shaved off so synchronized
+// failures do not retry in lockstep.
+func (q *Queue) backoff(attempts int) time.Duration {
+	d := q.opts.RetryBaseDelay
+	for i := 1; i < attempts && d < q.opts.RetryMaxDelay; i++ {
+		d *= 2
+	}
+	if d > q.opts.RetryMaxDelay {
+		d = q.opts.RetryMaxDelay
+	}
+	if d > 1 {
+		d -= time.Duration(rand.Int63n(int64(d) / 2))
+	}
+	return d
+}
+
+// enqueueRetry is the retry timer's callback: hand the job back to the
+// workers unless it was canceled or the queue shut down meanwhile.
+func (q *Queue) enqueueRetry(id string) {
+	defer q.submitters.Done()
+	q.mu.Lock()
+	delete(q.retries, id)
+	if q.closed {
+		// Shutdown won the race: the job stays journaled as queued and
+		// re-runs on the next process start.
+		q.mu.Unlock()
+		return
+	}
+	j, ok := q.jobs[id]
+	if !ok || j.State != StateQueued {
+		q.mu.Unlock()
+		return
+	}
+	q.mu.Unlock()
+	select {
+	case q.work <- id:
+	case <-q.baseCtx.Done():
+	}
 }
 
 // evictLocked drops the oldest terminal jobs beyond KeepDone.
@@ -515,6 +672,20 @@ func (q *Queue) Wait(ctx context.Context, id string) (Job, error) {
 	for {
 		select {
 		case <-ctx.Done():
+			// Deregister so an abandoned long-poll does not pin its
+			// waiter channel in the map for the life of the job.
+			q.mu.Lock()
+			ws := q.waiters[id]
+			for i, c := range ws {
+				if c == ch {
+					q.waiters[id] = append(ws[:i], ws[i+1:]...)
+					break
+				}
+			}
+			if len(q.waiters[id]) == 0 {
+				delete(q.waiters, id)
+			}
+			q.mu.Unlock()
 			snap, _ := q.Get(id)
 			return snap, ctx.Err()
 		case snap := <-ch:
@@ -549,6 +720,15 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	q.closed = true
+	// Stop pending retry timers: their jobs are journaled as queued and
+	// re-run on the next start. A timer whose callback already fired
+	// settles its own submitters count; one we stop first, we settle.
+	for id, tm := range q.retries {
+		if tm.Stop() {
+			q.submitters.Done()
+		}
+		delete(q.retries, id)
+	}
 	q.mu.Unlock()
 	// No new Submit can pass the closed check now; wait out the ones
 	// already past it, then close the channel they were sending on.

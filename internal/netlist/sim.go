@@ -85,13 +85,27 @@ func (s *Simulator) EvalChecked(inputs []bool) ([]bool, error) {
 
 // Step evaluates combinational logic for the given inputs and then
 // advances one clock edge, registering every flip-flop's D input.
-// It returns the pre-edge primary output values.
+// It returns the pre-edge primary output values. Like Eval, it panics
+// on an input-count mismatch; library code should use StepChecked.
 func (s *Simulator) Step(inputs []bool) []bool {
-	out := s.Eval(inputs)
+	out, err := s.StepChecked(inputs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// StepChecked is Step returning an error instead of panicking when the
+// input count does not match the netlist's primary inputs.
+func (s *Simulator) StepChecked(inputs []bool) ([]bool, error) {
+	out, err := s.EvalChecked(inputs)
+	if err != nil {
+		return nil, err
+	}
 	for _, d := range s.n.DFFs {
 		s.state[d] = s.val[s.n.Nodes[d].In[0]]
 	}
-	return out
+	return out, nil
 }
 
 // Value returns the most recently evaluated value of a node.

@@ -355,7 +355,11 @@ func VerifyBitstream(f *Fabric, steps int, seed int64) error {
 				in2[j] = in1[i]
 			}
 		}
-		o1 := s1.Step(in1)
+		o1, err := s1.EvalChecked(in1)
+		if err != nil {
+			return fmt.Errorf("openfpga: mapped fabric rejects stimulus: %w", err)
+		}
+		s1.Advance()
 		// The decoded network is derived from the bitstream, not from
 		// the mapped network, so drive it through the checked entry
 		// point: a PI-count mismatch is a decode diagnostic, not an

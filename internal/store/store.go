@@ -28,6 +28,21 @@
 // working set is small enough to index in memory, and no background
 // compaction, because overwrites are rare (results are content-keyed).
 // Compact() exists for the job journal, which does delete.
+//
+// Failure domains: all file I/O goes through an injectable
+// iofault.FS/File (Options.FS; the default is the real OS), so every
+// injection point — write, fsync, truncate, rename — is walked by the
+// fault-matrix test. A failed append is rolled back (the log is
+// truncated to the last committed frame) so the next append lands on a
+// clean tail; if the rollback itself fails, or an fsync fails (after
+// a failed fsync the page-cache state is unknowable, so retrying the
+// same fd could silently "commit" data that never reached the disk),
+// the store seals its write path: Put/Delete/Compact return the
+// sealing error (wrapped in ErrSealed), while Get/Snapshot keep
+// serving from the in-memory index. Reopen() re-probes the disk — it
+// replays the log through a fresh descriptor and, on success, swaps in
+// the replayed state and lifts the seal. The serve layer uses this for
+// degraded-mode operation with background re-probing.
 package store
 
 import (
@@ -41,6 +56,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"alice/internal/iofault"
 )
 
 // magic heads every log file; versioned so a future format change can
@@ -70,6 +87,12 @@ const (
 // after it). Tail damage is not an error: it is truncated on open.
 var ErrCorrupt = errors.New("store: log corrupt")
 
+// ErrSealed wraps the error that sealed the write path: an fsync
+// failure, or an append failure whose rollback also failed. A sealed
+// store still serves reads from memory; Reopen lifts the seal once the
+// disk answers again.
+var ErrSealed = errors.New("store: write path sealed")
+
 // Stats reports store effectiveness and footprint.
 type Stats struct {
 	// Records is the number of live keys.
@@ -86,6 +109,13 @@ type Stats struct {
 	// is the number of torn-tail bytes discarded.
 	Recovered int
 	Truncated int64
+	// Rollbacks counts appends whose write failed and whose partial
+	// frame was successfully cut back off the log; Seals counts the
+	// times the write path sealed; Reopens counts successful Reopen
+	// probes that lifted a seal.
+	Rollbacks int
+	Seals     int
+	Reopens   int
 }
 
 // Store is a disk-backed string→bytes map. It is safe for concurrent
@@ -93,12 +123,16 @@ type Stats struct {
 // their slices freely.
 type Store struct {
 	mu    sync.RWMutex
-	f     *os.File
+	fs    iofault.FS
+	f     iofault.File
 	path  string
 	index map[string][]byte
 	size  int64
 	fsync bool
 	stats Stats
+	// sealed, when non-nil, is the error that shut the write path
+	// (fsync failure or an unrecoverable append). Reads keep serving.
+	sealed error
 	// closed rejects writes after Close so a shut-down service fails
 	// loudly instead of appending to a closed file descriptor.
 	closed bool
@@ -110,6 +144,9 @@ type Options struct {
 	// throwaway stores: a crash may then lose acknowledged writes
 	// (but never corrupt earlier ones).
 	NoSync bool
+	// FS overrides the file system (fault-injection tests). Nil means
+	// the real OS.
+	FS iofault.FS
 }
 
 // Open opens (creating if needed) the log at path and replays it into
@@ -120,16 +157,25 @@ func Open(path string, opts ...Options) (*Store, error) {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	fs := o.FS
+	if fs == nil {
+		fs = iofault.OS{}
+	}
 	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fs.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	// A leftover .compact file is a compaction the previous process
+	// started but never renamed into place; it holds no committed state
+	// the main log does not.
+	_ = fs.Remove(path + ".compact")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
+		fs:    fs,
 		f:     f,
 		path:  path,
 		index: make(map[string][]byte),
@@ -274,10 +320,16 @@ func parseFrame(b []byte) (key string, val []byte, op byte, n int, ok bool) {
 	return key, val, op, n, true
 }
 
-// appendFrame writes and (optionally) fsyncs one frame.
+// appendFrame writes and (optionally) fsyncs one frame. A failed write
+// is rolled back (the partial frame is cut off the log) so the next
+// append starts on a committed boundary; an unrecoverable rollback or
+// a failed fsync seals the write path.
 func (s *Store) appendFrame(op byte, key string, val []byte) error {
 	if s.closed {
 		return fmt.Errorf("store: %s is closed", s.path)
+	}
+	if s.sealed != nil {
+		return fmt.Errorf("%w: %w", ErrSealed, s.sealed)
 	}
 	if len(key) > maxKeyLen {
 		return fmt.Errorf("store: key too long (%d bytes)", len(key))
@@ -296,14 +348,105 @@ func (s *Store) appendFrame(op byte, key string, val []byte) error {
 	h.Write(frame[frameHeader:])
 	binary.LittleEndian.PutUint32(frame[9:13], h.Sum32())
 	if _, err := s.f.Write(frame); err != nil {
+		// A failed (possibly short) write may have left a prefix of the
+		// frame on disk. Left there, the *next* append would land after
+		// it and turn the partial frame into mid-log corruption — so
+		// cut the log back to the last committed record now.
+		s.rollback(err)
 		return fmt.Errorf("store: append: %w", err)
 	}
 	if s.fsync {
 		if err := s.f.Sync(); err != nil {
+			// After a failed fsync the page-cache state is unknowable
+			// (retrying the same descriptor can report success without
+			// the data ever reaching the disk), so no further append is
+			// trustworthy: seal until a Reopen re-probes the disk.
+			s.seal(fmt.Errorf("store: fsync: %w", err))
 			return fmt.Errorf("store: fsync: %w", err)
 		}
 	}
 	s.size += int64(len(frame))
+	return nil
+}
+
+// rollback cuts a partially appended frame back off the log (caller
+// holds the write lock). If the disk refuses even the rollback, the
+// write path seals — nothing more can safely be appended.
+func (s *Store) rollback(cause error) {
+	if err := s.f.Truncate(s.size); err != nil {
+		s.seal(fmt.Errorf("store: append failed (%v) and rollback failed: %w", cause, err))
+		return
+	}
+	if _, err := s.f.Seek(s.size, io.SeekStart); err != nil {
+		s.seal(fmt.Errorf("store: append failed (%v) and rollback seek failed: %w", cause, err))
+		return
+	}
+	s.stats.Rollbacks++
+}
+
+// seal shuts the write path (caller holds the write lock).
+func (s *Store) seal(cause error) {
+	if s.sealed == nil {
+		s.sealed = cause
+		s.stats.Seals++
+	}
+}
+
+// Sealed returns the error that sealed the write path, or nil when the
+// store accepts writes. Reads work either way.
+func (s *Store) Sealed() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sealed
+}
+
+// Reopen re-probes the disk through a fresh descriptor: it replays the
+// log into a fresh index and, on success, swaps in the replayed state
+// and lifts any seal. Acknowledged records are on disk by the
+// durability contract, so the replayed index is never behind what a
+// crash-restart would see. Used by the serve layer's degraded-mode
+// probe loop; safe to call on a healthy store (it is then just a
+// consistency re-check).
+func (s *Store) Reopen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.path)
+	}
+	f, err := s.fs.OpenFile(s.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen: %w", err)
+	}
+	probe := &Store{
+		fs:    s.fs,
+		f:     f,
+		path:  s.path,
+		index: make(map[string][]byte),
+		fsync: s.fsync,
+	}
+	if err := probe.replay(); err != nil {
+		f.Close()
+		return err
+	}
+	// Replay can succeed without writing anything; prove the disk also
+	// accepts a flush before declaring the write path healthy.
+	if s.fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: reopen probe sync: %w", err)
+		}
+	}
+	old := s.f
+	s.f = f
+	s.index = probe.index
+	s.size = probe.size
+	s.stats.Recovered += probe.stats.Recovered
+	s.stats.Truncated += probe.stats.Truncated
+	if s.sealed != nil {
+		s.stats.Reopens++
+		s.sealed = nil
+	}
+	old.Close()
 	return nil
 }
 
@@ -432,16 +575,19 @@ func (s *Store) Compact() error {
 	if s.closed {
 		return fmt.Errorf("store: %s is closed", s.path)
 	}
+	if s.sealed != nil {
+		return fmt.Errorf("%w: %w", ErrSealed, s.sealed)
+	}
 	tmpPath := s.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := s.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	cleanup := func() {
 		tmp.Close()
-		os.Remove(tmpPath)
+		s.fs.Remove(tmpPath)
 	}
-	ns := &Store{f: tmp, path: tmpPath, fsync: false}
+	ns := &Store{fs: s.fs, f: tmp, path: tmpPath, fsync: false}
 	if _, err := tmp.Write([]byte(magic)); err != nil {
 		cleanup()
 		return fmt.Errorf("store: compact: %w", err)
@@ -466,13 +612,16 @@ func (s *Store) Compact() error {
 		cleanup()
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	if err := os.Rename(tmpPath, s.path); err != nil {
-		os.Remove(tmpPath)
+	if err := s.fs.Rename(tmpPath, s.path); err != nil {
+		s.fs.Remove(tmpPath)
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	old := s.f
-	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	f, err := s.fs.OpenFile(s.path, os.O_RDWR, 0o644)
 	if err != nil {
+		// The compacted log is in place but we hold no descriptor to it:
+		// appends can no longer reach the live file. Seal; Reopen heals.
+		s.seal(fmt.Errorf("store: compact: reopening: %w", err))
 		return fmt.Errorf("store: compact: reopening: %w", err)
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
@@ -494,6 +643,11 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.sealed != nil {
+		// Nothing unsynced is trustworthy anyway; just release the fd.
+		s.f.Close()
+		return fmt.Errorf("%w: %w", ErrSealed, s.sealed)
+	}
 	if err := s.f.Sync(); err != nil {
 		s.f.Close()
 		return fmt.Errorf("store: %w", err)

@@ -58,8 +58,31 @@ func (v *VectorSim) TrySet(port string, val uint64) error {
 // Eval settles combinational logic with the current inputs.
 func (v *VectorSim) Eval() { v.out = v.sim.Eval(v.in) }
 
+// EvalChecked is Eval returning an error instead of panicking when the
+// wrapped netlist rejects the input vector — for library code where a
+// width mismatch is a diagnostic, not a proven invariant.
+func (v *VectorSim) EvalChecked() error {
+	out, err := v.sim.EvalChecked(v.in)
+	if err != nil {
+		return err
+	}
+	v.out = out
+	return nil
+}
+
 // Step settles combinational logic and advances one clock cycle.
 func (v *VectorSim) Step() { v.out = v.sim.Step(v.in) }
+
+// StepChecked is Step returning an error instead of panicking, like
+// EvalChecked.
+func (v *VectorSim) StepChecked() error {
+	out, err := v.sim.StepChecked(v.in)
+	if err != nil {
+		return err
+	}
+	v.out = out
+	return nil
+}
 
 // Out returns the value of an output port after Eval or Step. It
 // panics on unknown ports to keep test code short; library code

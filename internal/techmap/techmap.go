@@ -414,7 +414,10 @@ func (m *mapper) run() (*LUTNetwork, error) {
 			}
 			ins = append(ins, nmap[leaf])
 		}
-		mask := m.truthTable(id, best)
+		mask, err := m.truthTable(id, best)
+		if err != nil {
+			return nil, fmt.Errorf("techmap: %s: %w", n.Name, err)
+		}
 		nmap[id] = emit(LLUT, mask, ins)
 	}
 	// Connect FFs.
@@ -541,16 +544,24 @@ var leafPats = [MaxK]uint64{
 	0xFFFFFFFF00000000,
 }
 
-// truthTable evaluates the cone rooted at id over the cut leaves.
-func (m *mapper) truthTable(id int32, c cut) uint64 {
+// truthTable evaluates the cone rooted at id over the cut leaves. A
+// cone that reaches an un-evaluable node (a PI, FF, or unknown op that
+// the cut should have listed as a leaf) is a mapper invariant
+// violation reported as a typed error, not a panic: it reaches this
+// code through MapK, whose callers expect errors for bad inputs.
+func (m *mapper) truthTable(id int32, c cut) (uint64, error) {
 	memo := make(map[int32]uint64)
 	for i := int8(0); i < c.size; i++ {
 		memo[c.leaves[i]] = leafPats[i]
 	}
+	var evalErr error
 	var eval func(x int32) uint64
 	eval = func(x int32) uint64 {
 		if v, ok := memo[x]; ok {
 			return v
+		}
+		if evalErr != nil {
+			return 0
 		}
 		nd := m.n.Nodes[x]
 		var v uint64
@@ -571,16 +582,20 @@ func (m *mapper) truthTable(id int32, c cut) uint64 {
 			s := eval(nd.In[0])
 			v = (^s & eval(nd.In[1])) | (s & eval(nd.In[2]))
 		default:
-			panic(fmt.Sprintf("techmap: leaf %d (%s) not in cut", x, nd.Op))
+			evalErr = fmt.Errorf("techmap: node %d cone: leaf %d (%s) not in cut", id, x, nd.Op)
+			return 0
 		}
 		memo[x] = v
 		return v
 	}
 	full := eval(id)
+	if evalErr != nil {
+		return 0, evalErr
+	}
 	// Truncate to the cut's actual arity.
 	bits := 1 << uint(c.size)
 	if bits >= 64 {
-		return full
+		return full, nil
 	}
-	return full & ((uint64(1) << uint(bits)) - 1)
+	return full & ((uint64(1) << uint(bits)) - 1), nil
 }

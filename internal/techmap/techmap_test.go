@@ -200,3 +200,29 @@ func TestMapConstOutput(t *testing.T) {
 		t.Fatalf("const outputs = %b, want 10", out)
 	}
 }
+
+// TestMapCorruptOpIsTypedError: a netlist carrying an op the mapper
+// does not know (corrupt IR, or a future gate type reaching an old
+// mapper) must come back as a typed error from Map, never a panic —
+// MapK is reachable from user input via the flow.
+func TestMapCorruptOpIsTypedError(t *testing.T) {
+	bd := netlist.NewBuilder("corrupt")
+	a := bd.Input("a")
+	b := bd.Input("b")
+	bd.Output("z", bd.And(a, b))
+	n := bd.N
+	// Corrupt the AND gate in place after building.
+	for i := range n.Nodes {
+		if n.Nodes[i].Op == netlist.And {
+			n.Nodes[i].Op = netlist.Op(99)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Map panicked on corrupt op: %v", r)
+		}
+	}()
+	if _, err := Map(n); err == nil {
+		t.Fatal("Map accepted a netlist with an unknown op")
+	}
+}

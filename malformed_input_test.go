@@ -32,6 +32,13 @@ func TestMalformedInputNeverPanics(t *testing.T) {
 		"sanitizeCollision": "module top(input [7:0] a, output [7:0] z1, output [7:0] z2);\n" +
 			"sub u_x(.a(a), .z(z1)); sub2 u(.x__a(a), .x__z(z2)); endmodule\n" + sub +
 			"module sub2(input [7:0] x__a, output [7:0] x__z); assign x__z = x__a ^ 8'h5; endmodule",
+		"unknownPortConn": "module top(input a, output z); s u0(.a(a), .nope(z)); endmodule\n" +
+			"module s(input a, output z); assign z = a; endmodule",
+		"constOutputs":     "module top(input a, output z0, output z1); assign z0 = 1'b0; assign z1 = 1'b1; endmodule",
+		"outputSelfAssign": "module top(input a, output z); assign z = z; endmodule",
+		"seqSelfFeedback": "module top(input clk, input rst, input d, output q);\n" +
+			"reg r;\nalways @(posedge clk or posedge rst) begin\n" +
+			"  if (rst) r <= 1'b0; else r <= d ^ q;\nend\nassign q = r;\nendmodule",
 	}
 	for name, src := range cases {
 		t.Run(name, func(t *testing.T) {

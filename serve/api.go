@@ -138,6 +138,16 @@ type CacheStats struct {
 	DiskSkips  int64 `json:"disk_skips"`
 }
 
+// HealthResponse is the body of GET /healthz. Status is "ok" (HTTP
+// 200) or "degraded" (HTTP 503, Reason explains why — typically a
+// sealed store). A degraded daemon still answers jobs from the
+// memory tier; readiness probes should treat 503 as "keep traffic
+// low", not "dead".
+type HealthResponse struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
 // StatsResponse is the body of GET /v1/store/stats.
 type StatsResponse struct {
 	// Store is the persistent store's record/recovery accounting.
@@ -151,6 +161,10 @@ type StatsResponse struct {
 	FlowRuns   int64 `json:"flow_runs"`
 	AttackRuns int64 `json:"attack_runs"`
 	MemoHits   int64 `json:"memo_hits"`
+	// Rejected counts submissions refused by admission control (503).
+	Rejected int64 `json:"rejected"`
+	// Health mirrors GET /healthz.
+	Health HealthResponse `json:"health"`
 }
 
 // StoreStats mirrors store.Stats for the wire.
@@ -163,4 +177,7 @@ type StoreStats struct {
 	Hits           int   `json:"hits"`
 	Recovered      int   `json:"recovered"`
 	TruncatedBytes int64 `json:"truncated_bytes"`
+	Rollbacks      int   `json:"rollbacks"`
+	Seals          int   `json:"seals"`
+	Reopens        int   `json:"reopens"`
 }

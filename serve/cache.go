@@ -33,6 +33,11 @@ type TieredCache struct {
 	mem core.Cache
 	st  *store.Store
 
+	// OnWriteError, when set, observes disk-tier put failures (the
+	// server routes them into its degraded-health state). The cache
+	// itself still degrades gracefully to memory-only.
+	OnWriteError func(error)
+
 	diskHits   atomic.Int64
 	diskMisses atomic.Int64
 	diskSkips  atomic.Int64
@@ -95,6 +100,9 @@ func (t *TieredCache) Store(key string, fab *openfpga.Fabric, err error) {
 	}
 	if putErr := t.st.Put(charPrefix+key, buf.Bytes()); putErr != nil {
 		t.diskSkips.Add(1)
+		if t.OnWriteError != nil {
+			t.OnWriteError(putErr)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"alice/internal/jobq"
+	"alice/internal/store"
 )
 
 // maxRequestBody bounds POST bodies (Verilog sources are small; this
@@ -26,11 +27,9 @@ const maxWait = 5 * time.Minute
 //	DELETE /v1/jobs/{id}     cancel               -> JobStatus
 //	GET    /v1/store/stats   store/cache/queue accounting
 //	POST   /v1/store/compact rewrite the log to live records only
-//	GET    /healthz          liveness
+//	GET    /healthz          readiness: 200 ok / 503 degraded
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -56,7 +55,27 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Admission control: refuse new work while the backlog is at
+	// capacity. Running jobs don't count — only the queued depth a new
+	// submission would grow. 503 + Retry-After tells well-behaved
+	// clients to back off instead of timing out on a long poll.
+	if s.queue.Counts()[jobq.StateQueued] >= s.opts.MaxQueueDepth {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("queue full: retry later"))
+		return
+	}
 	var req JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
@@ -80,7 +99,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 	})
 	if err != nil {
-		if errors.Is(err, jobq.ErrQueueClosed) {
+		// A sealed store means the journal cannot commit the submission;
+		// acknowledging it anyway would promise durability we don't
+		// have. Refuse with 503 until the probe loop heals the disk.
+		if errors.Is(err, jobq.ErrQueueClosed) || errors.Is(err, store.ErrSealed) {
+			w.Header().Set("Retry-After", "5")
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}

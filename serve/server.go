@@ -19,6 +19,20 @@
 // attack parameters, so resubmitting an identical design (even
 // reformatted) returns the stored result without invoking a single
 // flow stage.
+//
+// Failure domains. The daemon is built to keep serving through the
+// failures production delivers:
+//
+//   - A panicking job payload is contained by the queue (the worker
+//     recovers, the job quarantines after its attempt budget) and the
+//     daemon keeps accepting and completing other jobs.
+//   - Submissions beyond MaxQueueDepth are refused with 503 and a
+//     Retry-After instead of blocking the accept loop.
+//   - When the store's write path fails (fsync errors, full disk), the
+//     server degrades instead of dying: jobs keep running and are
+//     answered from the memory cache tier, /healthz flips to
+//     "degraded" (HTTP 503, a readiness signal), and a background
+//     probe re-opens the store until the disk answers again.
 package serve
 
 import (
@@ -37,6 +51,7 @@ import (
 
 	"alice"
 	"alice/internal/attack"
+	"alice/internal/iofault"
 	"alice/internal/jobq"
 	"alice/internal/netlist"
 	"alice/internal/rtl"
@@ -46,6 +61,10 @@ import (
 
 // resultPrefix namespaces memoized flow results in the shared store.
 const resultPrefix = "result\x00"
+
+// probeKey is the scratch record the degraded-mode probe loop writes
+// and deletes to prove the disk accepts commits again.
+const probeKey = "probe\x00health"
 
 // DefaultAttackIters and DefaultAttackConflicts are the budgets
 // applied when an attack request sets no bound of its own (the attack
@@ -80,6 +99,22 @@ type Options struct {
 	EngineOptions []alice.Option
 	// NoSync disables fsync-per-commit in the store (tests only).
 	NoSync bool
+	// MaxQueueDepth bounds the submission backlog: submits beyond this
+	// many queued jobs are refused with 503 + Retry-After instead of
+	// blocking (default 256).
+	MaxQueueDepth int
+	// MaxAttempts is the per-job execution budget for retryable
+	// failures — panicking payloads included — before quarantine
+	// (default 2: one retry).
+	MaxAttempts int
+	// RetryBaseDelay seeds the retry backoff (default 1s).
+	RetryBaseDelay time.Duration
+	// ProbeInterval paces the degraded-mode disk re-probe loop
+	// (default 3s).
+	ProbeInterval time.Duration
+	// StoreFS overrides the store's file system (fault-injection
+	// tests only).
+	StoreFS iofault.FS
 }
 
 // Server is the redaction service: store + queue + engine + HTTP API.
@@ -94,6 +129,14 @@ type Server struct {
 	flowRuns   atomic.Int64
 	attackRuns atomic.Int64
 	memoHits   atomic.Int64
+
+	// storeErr is the latest store write failure (empty when healthy);
+	// together with store.Sealed it drives the degraded health state.
+	storeErr   atomic.Pointer[string]
+	rejected   atomic.Int64 // submissions refused by admission control
+	probeStop  chan struct{}
+	probeDone  chan struct{}
+	degradedAt atomic.Int64 // unix nanos of the first unresolved failure (0 = healthy)
 }
 
 // New opens (or creates) the data directory and store, recovers any
@@ -111,21 +154,37 @@ func New(opts Options) (*Server, error) {
 	if opts.KeepDone <= 0 {
 		opts.KeepDone = 512
 	}
+	if opts.MaxQueueDepth <= 0 {
+		opts.MaxQueueDepth = 256
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 2
+	}
+	if opts.RetryBaseDelay <= 0 {
+		opts.RetryBaseDelay = time.Second
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 3 * time.Second
+	}
 	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: data dir: %w", err)
 	}
-	st, err := store.Open(filepath.Join(opts.DataDir, StoreFile), store.Options{NoSync: opts.NoSync})
+	st, err := store.Open(filepath.Join(opts.DataDir, StoreFile),
+		store.Options{NoSync: opts.NoSync, FS: opts.StoreFS})
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening store: %w", err)
 	}
-	s := &Server{opts: opts, st: st}
+	s := &Server{opts: opts, st: st, probeStop: make(chan struct{}), probeDone: make(chan struct{})}
 	s.tiered = NewTieredCache(alice.NewCharacterizationCache(), st)
+	s.tiered.OnWriteError = s.noteStoreErr
 	q, err := jobq.New(jobq.Options{
 		Workers:        opts.Workers,
 		Handler:        s.runJob,
 		Journal:        st,
 		DefaultTimeout: opts.JobTimeout,
 		KeepDone:       opts.KeepDone,
+		MaxAttempts:    opts.MaxAttempts,
+		RetryBaseDelay: opts.RetryBaseDelay,
 	})
 	if err != nil {
 		st.Close()
@@ -134,6 +193,7 @@ func New(opts Options) (*Server, error) {
 	s.queue = q
 	s.mux = http.NewServeMux()
 	s.routes()
+	go s.probeLoop()
 	return s, nil
 }
 
@@ -149,15 +209,71 @@ func (s *Server) Cache() *TieredCache { return s.tiered }
 // Queue exposes the job queue (tests, embedding).
 func (s *Server) Queue() *jobq.Queue { return s.queue }
 
-// Close drains the queue (until ctx expires, then hard-stops) and
-// closes the store. Jobs still queued stay journaled and re-run on the
-// next start.
+// Close stops the probe loop, drains the queue (until ctx expires,
+// then hard-stops), and closes the store. Jobs still queued stay
+// journaled and re-run on the next start.
 func (s *Server) Close(ctx context.Context) error {
+	close(s.probeStop)
+	<-s.probeDone
 	qErr := s.queue.Shutdown(ctx)
 	if err := s.st.Close(); err != nil && qErr == nil {
 		qErr = err
 	}
 	return qErr
+}
+
+// noteStoreErr records a store write failure: the health state flips
+// to degraded until the probe loop proves the disk answers again.
+func (s *Server) noteStoreErr(err error) {
+	msg := err.Error()
+	s.storeErr.Store(&msg)
+	s.degradedAt.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// health resolves the current health state. Degraded means the store's
+// write path is failing; reads (and therefore jobs) still serve from
+// the memory tier and the in-memory index.
+func (s *Server) health() HealthResponse {
+	if err := s.st.Sealed(); err != nil {
+		return HealthResponse{Status: "degraded", Reason: err.Error()}
+	}
+	if msg := s.storeErr.Load(); msg != nil {
+		return HealthResponse{Status: "degraded", Reason: *msg}
+	}
+	return HealthResponse{Status: "ok"}
+}
+
+// probeLoop is the degraded-mode re-probe: while the store's write
+// path is failing it periodically re-opens the log (a fresh descriptor
+// plus a replay — the only trustworthy move after a failed fsync) and
+// proves a round-trip write, flipping health back to ok on success.
+func (s *Server) probeLoop() {
+	defer close(s.probeDone)
+	t := time.NewTicker(s.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.probeStop:
+			return
+		case <-t.C:
+		}
+		if s.st.Sealed() == nil && s.storeErr.Load() == nil {
+			continue
+		}
+		if s.st.Sealed() != nil {
+			if err := s.st.Reopen(); err != nil {
+				continue // disk still sick; try again next tick
+			}
+		}
+		// Prove a full commit round-trips before declaring health.
+		if err := s.st.Put(probeKey, []byte("ok")); err != nil {
+			s.noteStoreErr(err)
+			continue
+		}
+		_ = s.st.Delete(probeKey)
+		s.storeErr.Store(nil)
+		s.degradedAt.Store(0)
+	}
 }
 
 // prepared is a resolved job request: the design source, the effective
@@ -337,8 +453,12 @@ func (s *Server) runJob(ctx context.Context, job *jobq.Job) ([]byte, error) {
 	}
 	// Memoize: flow diagnostics (Report.Err) and attack budget
 	// exhaustion are deterministic outcomes, as cacheable as success.
-	// A failed Put degrades to an unmemoized success.
-	_ = s.st.Put(pj.key, raw)
+	// A failed Put degrades to an unmemoized success — the job still
+	// completes from memory — but flips health to degraded so the
+	// probe loop starts chasing the disk.
+	if err := s.st.Put(pj.key, raw); err != nil {
+		s.noteStoreErr(err)
+	}
 	return raw, nil
 }
 
@@ -379,6 +499,7 @@ func (s *Server) stats() StatsResponse {
 		jobs[string(state)] = n
 	}
 	return StatsResponse{
+		Health: s.health(),
 		Store: StoreStats{
 			Records:        st.Records,
 			LogBytes:       st.LogBytes,
@@ -388,6 +509,9 @@ func (s *Server) stats() StatsResponse {
 			Hits:           st.Hits,
 			Recovered:      st.Recovered,
 			TruncatedBytes: st.Truncated,
+			Rollbacks:      st.Rollbacks,
+			Seals:          st.Seals,
+			Reopens:        st.Reopens,
 		},
 		Cache: CacheStats{
 			MemHits:    mh,
@@ -401,5 +525,6 @@ func (s *Server) stats() StatsResponse {
 		FlowRuns:   s.flowRuns.Load(),
 		AttackRuns: s.attackRuns.Load(),
 		MemoHits:   s.memoHits.Load(),
+		Rejected:   s.rejected.Load(),
 	}
 }
