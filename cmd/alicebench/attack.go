@@ -81,29 +81,7 @@ func runAttackCorpus() []attackOutcome {
 			defer wg.Done()
 			for i := range jobs {
 				tgt := attackTargets[i]
-				o := attackOutcome{name: tgt.name}
-				ln, err := mapTarget(tgt.src)
-				if err != nil {
-					o.err = err
-					out[i] = o
-					continue
-				}
-				start := time.Now()
-				ar, err := attack.RecoverBitstreamOpts(ln, attack.Options{MaxIters: attackBudget, Seed: 1, MaxConflicts: 2_000_000})
-				o.wall = time.Since(start)
-				switch {
-				case err == nil:
-					o.res = ar
-					o.keyBits = ar.KeyBits
-					if bad := attack.VerifyKey(ln, ar.Masks, 300, 2); bad != 0 {
-						o.err = fmt.Errorf("attack on %s recovered a wrong key (%d bad patterns)", tgt.name, bad)
-					}
-				case errors.As(err, &o.budget):
-					o.keyBits = o.budget.KeyBits
-				default:
-					o.err = err
-				}
-				out[i] = o
+				out[i] = attackOne(tgt.name, tgt.src, false)
 			}
 		}()
 	}
@@ -113,6 +91,36 @@ func runAttackCorpus() []attackOutcome {
 	close(jobs)
 	wg.Wait()
 	return out
+}
+
+// attackOne synthesizes and attacks one corpus target; it is the
+// shared kernel of the -attack table, the -json attack rows, and the
+// sharded attack units.
+func attackOne(name, src string, noWarmup bool) attackOutcome {
+	o := attackOutcome{name: name}
+	ln, err := mapTarget(src)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	start := time.Now()
+	ar, err := attack.RecoverBitstreamOpts(ln, attack.Options{
+		MaxIters: attackBudget, Seed: 1, MaxConflicts: 2_000_000, NoWarmup: noWarmup,
+	})
+	o.wall = time.Since(start)
+	switch {
+	case err == nil:
+		o.res = ar
+		o.keyBits = ar.KeyBits
+		if bad := attack.VerifyKey(ln, ar.Masks, 300, 2); bad != 0 {
+			o.err = fmt.Errorf("attack on %s recovered a wrong key (%d bad patterns)", name, bad)
+		}
+	case errors.As(err, &o.budget):
+		o.keyBits = o.budget.KeyBits
+	default:
+		o.err = err
+	}
+	return o
 }
 
 func mapTarget(src string) (*techmap.LUTNetwork, error) {

@@ -2,26 +2,26 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 	"time"
-
-	"alice"
-	"alice/internal/attack"
-	"alice/internal/techmap"
 )
+
+// benchSchemaVersion is the BENCH.json schema. Version 4 adds the
+// sim-throughput rows and re-baselines the attack rows under the
+// default-on random-simulation warm-up (the corpus DIP counts dropped
+// roughly tenfold, and the -compare DIP gates are exact).
+const benchSchemaVersion = 4
 
 // benchReport is the machine-readable performance trajectory written by
 // `alicebench -json`: per-benchmark wall times for the flow under both
 // paper configurations, full place&route metrics (routed PathFinder
 // iterations, placement cost, bitstream bits) for the small designs,
-// SAT-attack statistics (conflicts, propagations), and allocator
-// totals. Future PRs compare their BENCH.json against the committed
-// history to keep the perf story honest.
+// SAT-attack statistics (conflicts, propagations), simulation
+// throughput, and allocator totals. Future PRs compare their
+// BENCH.json against the committed history to keep the perf story
+// honest.
 type benchReport struct {
 	SchemaVersion int    `json:"schema_version"`
 	GoVersion     string `json:"go_version"`
@@ -32,10 +32,11 @@ type benchReport struct {
 	Implement     []implBench         `json:"implement"`
 	Attacks       []attackBench       `json:"attacks"`
 	FabricAttacks []fabricAttackBench `json:"fabric_attacks,omitempty"`
+	Sims          []simBench          `json:"sims,omitempty"`
 
 	TotalSeconds float64 `json:"total_seconds"`
-	AllocBytes   uint64  `json:"alloc_bytes"`
-	Mallocs      uint64  `json:"mallocs"`
+	AllocBytes   uint64  `json:"alloc_bytes,omitempty"`
+	Mallocs      uint64  `json:"mallocs,omitempty"`
 }
 
 // designBench is one fast-mode flow run (a Table-2 row with timing).
@@ -102,180 +103,69 @@ type fabricAttackBench struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 }
 
+// simBench is one simulation-throughput measurement: the scalar
+// reference Simulator against the 64-lane bit-parallel WordSim on the
+// same optimized benchmark netlist. The per-million-pattern costs are
+// wall-derived (lower is better), so -compare gates them with the
+// speed-normalized 2x rule like every other wall entry; Speedup is the
+// headline bit-parallel factor and is informational.
+type simBench struct {
+	Design        string  `json:"design"`
+	Nodes         int     `json:"nodes"`
+	ScalarSecPerM float64 `json:"scalar_sec_per_mpat"`
+	WordSecPerM   float64 `json:"word_sec_per_mpat"`
+	Speedup       float64 `json:"speedup"`
+	WallSeconds   float64 `json:"wall_seconds"`
+}
+
 // implDesigns are the designs whose winning solutions are fully placed
 // and routed for the JSON report; kept to the small fabrics so the
-// sweep stays fast enough for CI.
+// sweep stays fast enough for CI. The fabric-attack and sim-throughput
+// units cover the same designs.
 var implDesigns = []string{"gcd", "usb_phy", "sasc"}
 
+// benchNoWarmup propagates -no-warmup into the sweep grid: the attack
+// units then measure pure SAT cost (and get distinct unit ids, so warm
+// and cold shard stores never alias).
+var benchNoWarmup bool
+
+// benchJSON runs the full sweep in-process: the same unit grid the
+// sharded runner executes, fanned across a worker pool, merged in grid
+// order. -shard runs the identical units as journaled resumable jobs.
 func benchJSON(outPath string) {
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
-	rep := &benchReport{
-		SchemaVersion: 3,
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-	}
-	ctx := context.Background()
 
-	// Fast-mode flow across both paper configurations.
-	for _, cfgCase := range []struct {
-		name string
-		mk   func() *alice.Config
-	}{{"cfg1", alice.Cfg1}, {"cfg2", alice.Cfg2}} {
-		for _, b := range alice.Benchmarks() {
-			cfg := cfgCase.mk()
-			cfg.SelectedOutputs = b.SelectedOutputs
-			eng := alice.NewEngine(alice.WithConfig(cfg))
-			start := time.Now()
-			r, err := eng.RunSource(ctx, b.Source())
-			check(err)
-			db := designBench{
-				Design:      b.Name,
-				Cfg:         cfgCase.name,
-				WallSeconds: time.Since(start).Seconds(),
-				Candidates:  r.R,
-				Clusters:    r.C,
-				ValidEFPGAs: r.ValidEFPGAs,
-				Solutions:   r.S,
-				Redacted:    r.Redacted,
-				Fabrics:     r.FabricSizes,
-			}
-			if r.Solution != nil {
-				// The design's clock is bounded by its slowest fabric.
-				for _, f := range r.Solution.Fabrics {
-					if t := f.Fabric.Timing; t != nil && t.CritPathNs > db.CritPathNs {
-						db.CritPathNs = t.CritPathNs
-					}
-				}
-				if db.CritPathNs > 0 {
-					db.FmaxMHz = 1000 / db.CritPathNs
-				}
-			}
-			if r.Err != nil {
-				db.Error = r.Err.Error()
-			}
-			rep.Designs = append(rep.Designs, db)
-		}
-	}
-
-	// Full place&route of the winning solutions for the small designs:
-	// this exercises the annealer and PathFinder hot paths and records
-	// the routed iteration counts. The winning fabrics also feed the
-	// per-design attack rows below.
-	type fabNet struct {
-		design, fabric string
-		luts           *techmap.LUTNetwork
-	}
-	var fabNets []fabNet
-	for _, name := range implDesigns {
-		b, ok := alice.BenchmarkByName(name)
-		if !ok {
-			continue
-		}
-		cfg := alice.Cfg1()
-		cfg.SelectedOutputs = b.SelectedOutputs
-		eng := alice.NewEngine(alice.WithConfig(cfg))
-		r, err := eng.RunSource(ctx, b.Source())
-		check(err)
-		if r.Err != nil || r.Solution == nil {
-			continue
-		}
-		start := time.Now()
-		check(eng.Implement(ctx, r.Solution))
-		wall := time.Since(start).Seconds()
-		for _, f := range r.Solution.Fabrics {
-			ib := implBench{
-				Design:      b.Name,
-				Cfg:         "cfg1",
-				Fabric:      f.Fabric.Arch.Name(),
-				ConfigBits:  f.Fabric.ConfigBits(),
-				WallSeconds: wall,
-			}
-			if f.Fabric.Routing != nil {
-				ib.RouteIterations = f.Fabric.Routing.Iterations
-			}
-			if f.Fabric.Placement != nil {
-				ib.PlaceCost = f.Fabric.Placement.Cost
-			}
-			if t := f.Fabric.Timing; t != nil && !t.Estimated {
-				ib.CritPathNs = t.CritPathNs
-				ib.FmaxMHz = t.FmaxMHz
-			}
-			rep.Implement = append(rep.Implement, ib)
-			fabNets = append(fabNets, fabNet{design: b.Name, fabric: f.Fabric.Arch.Name(), luts: f.Fabric.LUTs})
-		}
-	}
-
-	// Oracle-guided SAT attacks on the synthetic corpus (the
-	// security-evaluation hot kernel), fanned across the worker pool.
-	for _, o := range runAttackCorpus() {
-		check(o.err)
-		ab := attackBench{
-			Target:      o.name,
-			KeyBits:     o.keyBits,
-			WallSeconds: o.wall.Seconds(),
-		}
-		if o.budget != nil {
-			ab.BudgetExhausted = true
-			ab.DIPs = o.budget.Iterations
-			ab.Conflicts = o.budget.Conflicts
-			ab.Propagations = o.budget.Propagations
-		} else {
-			ab.DIPs = o.res.Iterations
-			ab.Conflicts = o.res.Conflicts
-			ab.Propagations = o.res.Propagations
-		}
-		rep.Attacks = append(rep.Attacks, ab)
-	}
-
-	// Per-design attacks: the winning fabrics' functional configurations
-	// (the key sizes the paper's security argument is actually about),
-	// attacked in parallel.
-	fabRows := make([]fabricAttackBench, len(fabNets))
+	grid := sweepGrid(benchNoWarmup)
+	results := make([]unitResult, len(grid))
+	errs := make([]error, len(grid))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, fn := range fabNets {
+	ctx := context.Background()
+	for i, u := range grid {
 		wg.Add(1)
-		go func(i int, fn fabNet) {
+		go func(i int, u sweepUnit) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			start := time.Now()
-			ar, err := attack.RecoverBitstreamOpts(fn.luts, attack.Options{
-				MaxIters: attackBudget, Seed: 1, MaxConflicts: fabricConflictBudget,
-			})
-			row := fabricAttackBench{Design: fn.design, Fabric: fn.fabric}
-			var be *attack.BudgetError
-			switch {
-			case err == nil:
-				if bad := attack.VerifyKey(fn.luts, ar.Masks, 300, 2); bad != 0 {
-					check(fmt.Errorf("fabric attack on %s/%s recovered a wrong key", fn.design, fn.fabric))
-				}
-				row.KeyBits, row.DIPs, row.Conflicts = ar.KeyBits, ar.Iterations, ar.Conflicts
-			case errors.As(err, &be):
-				row.BudgetExhausted = true
-				row.KeyBits, row.DIPs, row.Conflicts = be.KeyBits, be.Iterations, be.Conflicts
-			default:
-				check(err)
-			}
-			row.WallSeconds = time.Since(start).Seconds()
-			fabRows[i] = row
-		}(i, fn)
+			results[i], errs[i] = runUnit(ctx, u)
+		}(i, u)
 	}
 	wg.Wait()
-	rep.FabricAttacks = fabRows
+	for i, err := range errs {
+		if err != nil {
+			check(fmt.Errorf("unit %s: %w", grid[i].id(), err))
+		}
+	}
 
+	rep := mergeUnits(results)
 	rep.TotalSeconds = time.Since(t0).Seconds()
 	runtime.ReadMemStats(&m1)
 	rep.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
 	rep.Mallocs = m1.Mallocs - m0.Mallocs
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	check(err)
-	data = append(data, '\n')
-	check(os.WriteFile(outPath, data, 0o644))
-	fmt.Printf("wrote %s: %d flow runs, %d implementations, %d attacks in %.1fs\n",
-		outPath, len(rep.Designs), len(rep.Implement), len(rep.Attacks), rep.TotalSeconds)
+	check(writeReport(rep, outPath))
+	fmt.Printf("wrote %s: %d flow runs, %d implementations, %d attacks, %d sim rows in %.1fs\n",
+		outPath, len(rep.Designs), len(rep.Implement), len(rep.Attacks), len(rep.Sims), rep.TotalSeconds)
 }

@@ -131,6 +131,17 @@ func compareReports(base, now *benchReport) compareResult {
 				add(key("attack-fab-dips", d.Design, d.Fabric), float64(d.DIPs), true, "")
 			}
 		}
+		// Sim-throughput rows: per-million-pattern costs are
+		// wall-derived (lower is better), gated like wall times — they
+		// keep the bit-parallel engine's win from eroding silently.
+		for _, d := range r.Sims {
+			if d.ScalarSecPerM > 0 {
+				add(key("sim-scalar", d.Design, ""), d.ScalarSecPerM, false, "s")
+			}
+			if d.WordSecPerM > 0 {
+				add(key("sim-word", d.Design, ""), d.WordSecPerM, false, "s")
+			}
+		}
 	}
 	collectBase(base)
 
@@ -178,6 +189,14 @@ func compareReports(base, now *benchReport) compareResult {
 		fill(key("attack-fab", d.Design, d.Fabric), d.WallSeconds, false)
 		if d.DIPs > 0 {
 			fill(key("attack-fab-dips", d.Design, d.Fabric), float64(d.DIPs), true)
+		}
+	}
+	for _, d := range now.Sims {
+		if d.ScalarSecPerM > 0 {
+			fill(key("sim-scalar", d.Design, ""), d.ScalarSecPerM, false)
+		}
+		if d.WordSecPerM > 0 {
+			fill(key("sim-word", d.Design, ""), d.WordSecPerM, false)
 		}
 	}
 

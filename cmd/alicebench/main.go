@@ -11,6 +11,7 @@
 //	alicebench -arch [-design gcd] # fabric-family sweep: security vs overhead
 //	alicebench -json               # benchmark sweep -> BENCH.json (perf trajectory)
 //	alicebench -compare BENCH.json # fail on >2x kernel wall-time regression
+//	alicebench -shard -data DIR    # the -json sweep as resumable journaled units
 package main
 
 import (
@@ -34,11 +35,19 @@ func main() {
 		jsonOut = flag.Bool("json", false, "run the benchmark sweep and write a machine-readable report")
 		outPath = flag.String("out", "BENCH.json", "output path for -json")
 		compare = flag.String("compare", "", "baseline BENCH.json: rerun the sweep and fail on >2x wall-time regression")
+		shard   = flag.Bool("shard", false, "run the -json sweep as resumable journaled units; re-run with the same -data to resume after a crash")
+		dataDir = flag.String("data", "bench-shards", "journal/result directory for -shard")
+		workers = flag.Int("workers", 0, "worker pool width for -shard (0 = GOMAXPROCS)")
+		gridSel = flag.String("grid", "", "comma-separated unit-id prefixes restricting the -shard grid (e.g. attack:,sim:)")
+		noWarm  = flag.Bool("no-warmup", false, "disable the attack warm-up in sweeps (pure SAT-attack cost)")
 	)
 	flag.Parse()
+	benchNoWarmup = *noWarm
 	switch {
 	case *compare != "":
 		compareBench(*compare, *outPath)
+	case *shard:
+		runSharded(*dataDir, *workers, *gridSel, *outPath, *noWarm)
 	case *archSw:
 		d := *only
 		if d == "" {

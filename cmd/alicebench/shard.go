@@ -1,0 +1,581 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"alice"
+	"alice/internal/attack"
+	"alice/internal/jobq"
+	"alice/internal/netlist"
+	"alice/internal/opt"
+	"alice/internal/rtl"
+	"alice/internal/store"
+	"alice/internal/synth"
+	"alice/internal/techmap"
+)
+
+// The BENCH.json sweep is decomposed into independently runnable work
+// units — one per (design, cfg) flow run, per implemented design, per
+// attack-corpus target, per fabric-attack design, and per
+// sim-throughput design. The plain -json path runs the same units
+// through an in-memory worker pool; -shard runs them as journaled jobs
+// over internal/jobq + internal/store, so a killed sweep resumes where
+// it stopped: finished units are read back from the store, the unit a
+// dead worker held is re-run, and the merged report is assembled from
+// per-unit rows in deterministic grid order (merging an already
+// complete store twice is byte-identical).
+
+// unitPrefix namespaces per-unit result records inside the shard store,
+// next to the queue's own "job\x00" journal records.
+const unitPrefix = "unit\x00"
+
+// sweepUnit is one independently runnable cell of the sweep grid. The
+// JSON encoding is the job payload; the id doubles as the store key
+// suffix and the jobq job name.
+type sweepUnit struct {
+	// Kind is flow | impl | attack | fabattack | sim.
+	Kind string `json:"kind"`
+	// Design selects the benchmark (flow/impl/fabattack/sim units).
+	Design string `json:"design,omitempty"`
+	// Cfg is the paper configuration of a flow unit ("cfg1"/"cfg2").
+	Cfg string `json:"cfg,omitempty"`
+	// Target selects the attack-corpus design (attack units).
+	Target string `json:"target,omitempty"`
+	// NoWarmup disables the attack warm-up (pure SAT cost). It is part
+	// of the unit id: warm and cold runs of the same cell are distinct
+	// results and never alias in the store.
+	NoWarmup bool `json:"no_warmup,omitempty"`
+}
+
+// id is the unit's stable identity across runs.
+func (u sweepUnit) id() string {
+	parts := []string{u.Kind}
+	if u.Design != "" {
+		parts = append(parts, u.Design)
+	}
+	if u.Cfg != "" {
+		parts = append(parts, u.Cfg)
+	}
+	if u.Target != "" {
+		parts = append(parts, u.Target)
+	}
+	if u.NoWarmup {
+		parts = append(parts, "nowarmup")
+	}
+	return strings.Join(parts, ":")
+}
+
+func unitKey(id string) string { return unitPrefix + id }
+
+// unitResult carries the BENCH rows one unit produced; the merged
+// report is the concatenation of these in grid order.
+type unitResult struct {
+	Designs       []designBench       `json:"designs,omitempty"`
+	Implement     []implBench         `json:"implement,omitempty"`
+	Attacks       []attackBench       `json:"attacks,omitempty"`
+	FabricAttacks []fabricAttackBench `json:"fabric_attacks,omitempty"`
+	Sims          []simBench          `json:"sims,omitempty"`
+}
+
+// sweepGrid enumerates the full sweep in its canonical (merge) order:
+// flows across both paper configurations, implementations, the attack
+// corpus, the fabric attacks, and the sim-throughput rows.
+func sweepGrid(noWarmup bool) []sweepUnit {
+	var grid []sweepUnit
+	for _, cfg := range []string{"cfg1", "cfg2"} {
+		for _, b := range alice.Benchmarks() {
+			grid = append(grid, sweepUnit{Kind: "flow", Design: b.Name, Cfg: cfg})
+		}
+	}
+	for _, d := range implDesigns {
+		grid = append(grid, sweepUnit{Kind: "impl", Design: d})
+	}
+	for _, tgt := range attackTargets {
+		grid = append(grid, sweepUnit{Kind: "attack", Target: tgt.name, NoWarmup: noWarmup})
+	}
+	for _, d := range implDesigns {
+		grid = append(grid, sweepUnit{Kind: "fabattack", Design: d, NoWarmup: noWarmup})
+	}
+	for _, d := range implDesigns {
+		grid = append(grid, sweepUnit{Kind: "sim", Design: d})
+	}
+	return grid
+}
+
+// filterGrid keeps the units whose id starts with one of the
+// comma-separated prefixes (empty selector keeps everything).
+func filterGrid(grid []sweepUnit, selector string) []sweepUnit {
+	if selector == "" {
+		return grid
+	}
+	var prefixes []string
+	for _, p := range strings.Split(selector, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
+	var out []sweepUnit
+	for _, u := range grid {
+		for _, p := range prefixes {
+			if strings.HasPrefix(u.id(), p) {
+				out = append(out, u)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// runUnit executes one sweep cell and returns its rows.
+func runUnit(ctx context.Context, u sweepUnit) (unitResult, error) {
+	switch u.Kind {
+	case "flow":
+		return runFlowUnit(ctx, u.Design, u.Cfg)
+	case "impl":
+		return runImplUnit(ctx, u.Design)
+	case "attack":
+		return runAttackUnit(u.Target, u.NoWarmup)
+	case "fabattack":
+		return runFabricAttackUnit(ctx, u.Design, u.NoWarmup)
+	case "sim":
+		return runSimUnit(u.Design)
+	default:
+		return unitResult{}, fmt.Errorf("unknown sweep unit kind %q", u.Kind)
+	}
+}
+
+func benchConfig(design, cfgName string) (*alice.Config, alice.Benchmark, error) {
+	b, ok := alice.BenchmarkByName(design)
+	if !ok {
+		return nil, b, fmt.Errorf("unknown benchmark %q", design)
+	}
+	var cfg *alice.Config
+	if cfgName == "cfg2" {
+		cfg = alice.Cfg2()
+	} else {
+		cfg = alice.Cfg1()
+	}
+	cfg.SelectedOutputs = b.SelectedOutputs
+	return cfg, b, nil
+}
+
+// runFlowUnit is one fast-mode flow run (a Table-2 row with timing).
+func runFlowUnit(ctx context.Context, design, cfgName string) (unitResult, error) {
+	cfg, b, err := benchConfig(design, cfgName)
+	if err != nil {
+		return unitResult{}, err
+	}
+	eng := alice.NewEngine(alice.WithConfig(cfg))
+	start := time.Now()
+	r, err := eng.RunSource(ctx, b.Source())
+	if err != nil {
+		return unitResult{}, err
+	}
+	db := designBench{
+		Design:      b.Name,
+		Cfg:         cfgName,
+		WallSeconds: time.Since(start).Seconds(),
+		Candidates:  r.R,
+		Clusters:    r.C,
+		ValidEFPGAs: r.ValidEFPGAs,
+		Solutions:   r.S,
+		Redacted:    r.Redacted,
+		Fabrics:     r.FabricSizes,
+	}
+	if r.Solution != nil {
+		// The design's clock is bounded by its slowest fabric.
+		for _, f := range r.Solution.Fabrics {
+			if t := f.Fabric.Timing; t != nil && t.CritPathNs > db.CritPathNs {
+				db.CritPathNs = t.CritPathNs
+			}
+		}
+		if db.CritPathNs > 0 {
+			db.FmaxMHz = 1000 / db.CritPathNs
+		}
+	}
+	if r.Err != nil {
+		db.Error = r.Err.Error()
+	}
+	return unitResult{Designs: []designBench{db}}, nil
+}
+
+// runImplUnit fully places and routes the winning solution of one
+// design (cfg1): the annealer and PathFinder hot paths, with the
+// routed STA results recorded per fabric.
+func runImplUnit(ctx context.Context, design string) (unitResult, error) {
+	cfg, b, err := benchConfig(design, "cfg1")
+	if err != nil {
+		return unitResult{}, err
+	}
+	eng := alice.NewEngine(alice.WithConfig(cfg))
+	r, err := eng.RunSource(ctx, b.Source())
+	if err != nil {
+		return unitResult{}, err
+	}
+	if r.Err != nil || r.Solution == nil {
+		return unitResult{}, nil
+	}
+	start := time.Now()
+	if err := eng.Implement(ctx, r.Solution); err != nil {
+		return unitResult{}, err
+	}
+	wall := time.Since(start).Seconds()
+	var res unitResult
+	for _, f := range r.Solution.Fabrics {
+		ib := implBench{
+			Design:      b.Name,
+			Cfg:         "cfg1",
+			Fabric:      f.Fabric.Arch.Name(),
+			ConfigBits:  f.Fabric.ConfigBits(),
+			WallSeconds: wall,
+		}
+		if f.Fabric.Routing != nil {
+			ib.RouteIterations = f.Fabric.Routing.Iterations
+		}
+		if f.Fabric.Placement != nil {
+			ib.PlaceCost = f.Fabric.Placement.Cost
+		}
+		if t := f.Fabric.Timing; t != nil && !t.Estimated {
+			ib.CritPathNs = t.CritPathNs
+			ib.FmaxMHz = t.FmaxMHz
+		}
+		res.Implement = append(res.Implement, ib)
+	}
+	return res, nil
+}
+
+// runAttackUnit attacks one synthetic corpus target.
+func runAttackUnit(target string, noWarmup bool) (unitResult, error) {
+	for _, tgt := range attackTargets {
+		if tgt.name != target {
+			continue
+		}
+		o := attackOne(tgt.name, tgt.src, noWarmup)
+		if o.err != nil {
+			return unitResult{}, o.err
+		}
+		ab := attackBench{
+			Target:      o.name,
+			KeyBits:     o.keyBits,
+			WallSeconds: o.wall.Seconds(),
+		}
+		if o.budget != nil {
+			ab.BudgetExhausted = true
+			ab.DIPs = o.budget.Iterations
+			ab.Conflicts = o.budget.Conflicts
+			ab.Propagations = o.budget.Propagations
+		} else {
+			ab.DIPs = o.res.Iterations
+			ab.Conflicts = o.res.Conflicts
+			ab.Propagations = o.res.Propagations
+		}
+		return unitResult{Attacks: []attackBench{ab}}, nil
+	}
+	return unitResult{}, fmt.Errorf("unknown attack target %q", target)
+}
+
+// runFabricAttackUnit attacks the functional configurations of one
+// design's winning fabrics (the key sizes the paper's security
+// argument is actually about). The fabrics come from the fast-mode
+// flow: the attack needs only the mapped LUT networks, not the routed
+// implementation.
+func runFabricAttackUnit(ctx context.Context, design string, noWarmup bool) (unitResult, error) {
+	cfg, b, err := benchConfig(design, "cfg1")
+	if err != nil {
+		return unitResult{}, err
+	}
+	eng := alice.NewEngine(alice.WithConfig(cfg))
+	r, err := eng.RunSource(ctx, b.Source())
+	if err != nil {
+		return unitResult{}, err
+	}
+	if r.Err != nil || r.Solution == nil {
+		return unitResult{}, nil
+	}
+	var res unitResult
+	for _, f := range r.Solution.Fabrics {
+		row, err := attackFabric(design, f.Fabric.Arch.Name(), f.Fabric.LUTs, noWarmup)
+		if err != nil {
+			return unitResult{}, err
+		}
+		res.FabricAttacks = append(res.FabricAttacks, row)
+	}
+	return res, nil
+}
+
+// simPatterns fixes the per-row stimulus volume of the sim-throughput
+// units: enough patterns for a stable wall measurement, small enough
+// that the rows stay a fraction of the sweep.
+const simPatterns = 1 << 16
+
+// runSimUnit measures simulation throughput on one benchmark's
+// optimized gate netlist: the scalar single-pattern Simulator against
+// the 64-lane WordSim, both over simPatterns random patterns. The
+// recorded values are seconds per million patterns — lower is better,
+// so -compare gates them exactly like wall times (machine-speed
+// normalized); Speedup is the headline bit-parallel factor.
+func runSimUnit(design string) (unitResult, error) {
+	cfg, b, err := benchConfig(design, "cfg1")
+	if err != nil {
+		return unitResult{}, err
+	}
+	ast, err := alice.Parse(b.Source())
+	if err != nil {
+		return unitResult{}, err
+	}
+	d, err := rtl.Elaborate(ast, cfg.Top)
+	if err != nil {
+		return unitResult{}, err
+	}
+	sr, err := synth.Synthesize(d)
+	if err != nil {
+		return unitResult{}, err
+	}
+	n := opt.Optimize(sr.Netlist)
+
+	start := time.Now()
+	ss := netlist.NewSimulator(n)
+	in := make([]bool, len(n.PIs))
+	for i := range in {
+		in[i] = i%3 == 1
+	}
+	for p := 0; p < simPatterns; p++ {
+		ss.Step(in)
+	}
+	scalarWall := time.Since(start).Seconds()
+
+	wstart := time.Now()
+	ws := netlist.NewWordSim(n)
+	win := make([]uint64, len(n.PIs))
+	for i := range win {
+		win[i] = 0x5a5a_a5a5_5a5a_a5a5 >> uint(i%7)
+	}
+	words := simPatterns / 64
+	for p := 0; p < words; p++ {
+		ws.Step(win)
+	}
+	wordWall := time.Since(wstart).Seconds()
+
+	row := simBench{
+		Design:        design,
+		Nodes:         len(n.Nodes),
+		ScalarSecPerM: scalarWall / simPatterns * 1e6,
+		WordSecPerM:   wordWall / float64(words*64) * 1e6,
+		WallSeconds:   scalarWall + wordWall,
+	}
+	if row.WordSecPerM > 0 {
+		row.Speedup = row.ScalarSecPerM / row.WordSecPerM
+	}
+	return unitResult{Sims: []simBench{row}}, nil
+}
+
+// mergeUnits assembles the report from per-unit rows in grid order.
+// The merge is deterministic and byte-stable: the same stored unit
+// results always produce the same report bytes (TotalSeconds is the
+// sum of the recorded per-row walls, not a fresh wall-clock reading).
+func mergeUnits(results []unitResult) *benchReport {
+	rep := &benchReport{
+		SchemaVersion: benchSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+	}
+	for _, r := range results {
+		rep.Designs = append(rep.Designs, r.Designs...)
+		rep.Implement = append(rep.Implement, r.Implement...)
+		rep.Attacks = append(rep.Attacks, r.Attacks...)
+		rep.FabricAttacks = append(rep.FabricAttacks, r.FabricAttacks...)
+		rep.Sims = append(rep.Sims, r.Sims...)
+	}
+	for _, d := range rep.Designs {
+		rep.TotalSeconds += d.WallSeconds
+	}
+	for _, d := range rep.Implement {
+		rep.TotalSeconds += d.WallSeconds
+	}
+	for _, d := range rep.Attacks {
+		rep.TotalSeconds += d.WallSeconds
+	}
+	for _, d := range rep.FabricAttacks {
+		rep.TotalSeconds += d.WallSeconds
+	}
+	for _, d := range rep.Sims {
+		rep.TotalSeconds += d.WallSeconds
+	}
+	return rep
+}
+
+// writeReport marshals the report to its canonical byte form.
+func writeReport(rep *benchReport, outPath string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+// shardHandler builds the jobq handler executing sweep units against a
+// result store. The handler is idempotent: a unit whose result is
+// already stored (its worker died between the store write and the
+// queue's success journal) is acked from the store without recompute.
+func shardHandler(st *store.Store) jobq.Handler {
+	return func(ctx context.Context, job *jobq.Job) ([]byte, error) {
+		var u sweepUnit
+		if err := json.Unmarshal(job.Payload, &u); err != nil {
+			return nil, fmt.Errorf("decoding unit payload: %w", err)
+		}
+		key := unitKey(u.id())
+		if res, ok := st.Get(key); ok {
+			return res, nil
+		}
+		res, err := runUnit(ctx, u)
+		if err != nil {
+			return nil, err
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			return nil, err
+		}
+		if err := st.Put(key, data); err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
+}
+
+// runShardedStore drives a sharded sweep over an open store: submit
+// the units that have neither a stored result nor a recovered live
+// job, wait for completion, and merge the stored rows in grid order.
+// It is the testable core of runSharded.
+func runShardedStore(st *store.Store, grid []sweepUnit, workers int, progress func(format string, args ...any)) (*benchReport, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("sweep grid is empty")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	q, err := jobq.New(jobq.Options{
+		Workers: workers,
+		Journal: st,
+		Handler: shardHandler(st),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	defer q.Shutdown(ctx)
+
+	// Jobs recovered from the journal of a killed run are already
+	// enqueued; wait for them instead of submitting duplicates.
+	live := make(map[string]string)
+	for _, j := range q.List() {
+		if !j.State.Terminal() {
+			live[j.Name] = j.ID
+		}
+	}
+	var waitIDs []string
+	done := 0
+	for _, u := range grid {
+		id := u.id()
+		if _, ok := st.Get(unitKey(id)); ok {
+			done++
+			continue
+		}
+		if jobID, ok := live[id]; ok {
+			waitIDs = append(waitIDs, jobID)
+			continue
+		}
+		payload, err := json.Marshal(u)
+		if err != nil {
+			return nil, err
+		}
+		j, err := q.Submit(payload, jobq.SubmitOptions{Name: id})
+		if err != nil {
+			return nil, err
+		}
+		waitIDs = append(waitIDs, j.ID)
+	}
+	progress("sharded sweep: %d units (%d stored, %d to run, %d workers)",
+		len(grid), done, len(waitIDs), workers)
+	for _, jobID := range waitIDs {
+		j, err := q.Wait(ctx, jobID)
+		if err != nil {
+			return nil, err
+		}
+		if j.State != jobq.StateSucceeded {
+			return nil, fmt.Errorf("unit %s %s: %s", j.Name, j.State, j.Error)
+		}
+		progress("  done %s (attempt %d)", j.Name, j.Attempts)
+	}
+	if err := q.Shutdown(ctx); err != nil {
+		return nil, err
+	}
+
+	results := make([]unitResult, len(grid))
+	for i, u := range grid {
+		data, ok := st.Get(unitKey(u.id()))
+		if !ok {
+			return nil, fmt.Errorf("unit %s completed but has no stored result", u.id())
+		}
+		if err := json.Unmarshal(data, &results[i]); err != nil {
+			return nil, fmt.Errorf("unit %s: decoding stored result: %w", u.id(), err)
+		}
+	}
+	return mergeUnits(results), nil
+}
+
+// runSharded is the -shard entry point: a resumable BENCH.json sweep
+// journaled under dataDir. Re-running after a crash (or kill -9)
+// re-executes only the units that had not finished; re-running a
+// complete sweep just re-merges the stored rows, byte-identically.
+func runSharded(dataDir string, workers int, gridSelector, outPath string, noWarmup bool) {
+	check(os.MkdirAll(dataDir, 0o755))
+	st, err := store.Open(filepath.Join(dataDir, "sweep.store"))
+	check(err)
+	defer st.Close()
+	grid := filterGrid(sweepGrid(noWarmup), gridSelector)
+	if len(grid) == 0 {
+		check(fmt.Errorf("grid selector %q matches no sweep units", gridSelector))
+	}
+	rep, err := runShardedStore(st, grid, workers, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	check(err)
+	check(writeReport(rep, outPath))
+	fmt.Printf("wrote %s: %d flow runs, %d implementations, %d attacks, %d sim rows\n",
+		outPath, len(rep.Designs), len(rep.Implement), len(rep.Attacks), len(rep.Sims))
+}
+
+// attackFabric prices one fabric's functional configuration against
+// the oracle-guided attack.
+func attackFabric(design, fabric string, luts *techmap.LUTNetwork, noWarmup bool) (fabricAttackBench, error) {
+	start := time.Now()
+	ar, err := attack.RecoverBitstreamOpts(luts, attack.Options{
+		MaxIters: attackBudget, Seed: 1, MaxConflicts: fabricConflictBudget, NoWarmup: noWarmup,
+	})
+	row := fabricAttackBench{Design: design, Fabric: fabric}
+	var be *attack.BudgetError
+	switch {
+	case err == nil:
+		if bad := attack.VerifyKey(luts, ar.Masks, 300, 2); bad != 0 {
+			return row, fmt.Errorf("fabric attack on %s/%s recovered a wrong key", design, fabric)
+		}
+		row.KeyBits, row.DIPs, row.Conflicts = ar.KeyBits, ar.Iterations, ar.Conflicts
+	case errors.As(err, &be):
+		row.BudgetExhausted = true
+		row.KeyBits, row.DIPs, row.Conflicts = be.KeyBits, be.Iterations, be.Conflicts
+	default:
+		return row, err
+	}
+	row.WallSeconds = time.Since(start).Seconds()
+	return row, nil
+}

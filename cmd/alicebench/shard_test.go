@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"alice/internal/jobq"
+	"alice/internal/store"
+)
+
+func TestSweepGridIDsStableAndUnique(t *testing.T) {
+	grid := sweepGrid(false)
+	if len(grid) == 0 {
+		t.Fatal("empty sweep grid")
+	}
+	seen := make(map[string]bool)
+	for _, u := range grid {
+		id := u.id()
+		if seen[id] {
+			t.Fatalf("duplicate unit id %s", id)
+		}
+		seen[id] = true
+	}
+	// Warm and cold runs of the same cell must have distinct ids, so
+	// their stored results never alias.
+	warm := sweepUnit{Kind: "attack", Target: "mix6"}
+	cold := sweepUnit{Kind: "attack", Target: "mix6", NoWarmup: true}
+	if warm.id() == cold.id() {
+		t.Fatalf("warm/cold unit ids alias: %s", warm.id())
+	}
+}
+
+func TestFilterGrid(t *testing.T) {
+	grid := sweepGrid(false)
+	attacks := filterGrid(grid, "attack:")
+	if len(attacks) != len(attackTargets) {
+		t.Fatalf("attack: filter kept %d units, want %d", len(attacks), len(attackTargets))
+	}
+	one := filterGrid(grid, "attack:xor2, sim:gcd")
+	if len(one) != 2 {
+		t.Fatalf("two-prefix filter kept %d units, want 2", len(one))
+	}
+	if len(filterGrid(grid, "nosuch:")) != 0 {
+		t.Fatal("bogus prefix matched units")
+	}
+	if len(filterGrid(grid, "")) != len(grid) {
+		t.Fatal("empty selector must keep the full grid")
+	}
+}
+
+// TestShardMergeDeterministic pins the acceptance property of the
+// sharded runner: merging the same stored unit results is byte-stable,
+// and a resumed run that recomputes nothing reproduces the report
+// byte-identically.
+func TestShardMergeDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(filepath.Join(dir, "sweep.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := filterGrid(sweepGrid(false), "attack:xor2")
+	if len(grid) != 1 {
+		t.Fatalf("grid = %d units, want 1", len(grid))
+	}
+	quiet := func(string, ...any) {}
+	rep1, err := runShardedStore(st, grid, 1, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(dir, "a.json")
+	p2 := filepath.Join(dir, "b.json")
+	if err := writeReport(rep1, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the store (a fresh process) and run again: every unit is
+	// already stored, so this is a pure merge.
+	st2, err := store.Open(filepath.Join(dir, "sweep.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rep2, err := runShardedStore(st2, grid, 1, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeReport(rep2, p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("resumed merge is not byte-identical:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// TestShardRecoversKilledWorkerUnit simulates a worker killed mid-unit:
+// the job sits in the journal in state running with no stored result.
+// The next run must re-enqueue it, execute it to completion, and merge
+// a full report.
+func TestShardRecoversKilledWorkerUnit(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(filepath.Join(dir, "sweep.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	grid := filterGrid(sweepGrid(false), "attack:xor2")
+	payload, err := json.Marshal(grid[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := jobq.Job{
+		ID:          "job-1",
+		Name:        grid[0].id(),
+		Payload:     payload,
+		State:       jobq.StateRunning,
+		Attempts:    1,
+		SubmittedAt: time.Now().UTC(),
+		StartedAt:   time.Now().UTC(),
+	}
+	raw, err := json.Marshal(&killed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "job\x00" is the queue's journal namespace inside the shared
+	// store (jobq journals under it; the runner must not collide).
+	if err := st.Put("job\x00job-1", raw); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := runShardedStore(st, grid, 1, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Attacks) != 1 || rep.Attacks[0].Target != "xor2" {
+		t.Fatalf("recovered sweep produced %+v, want one xor2 attack row", rep.Attacks)
+	}
+	if _, ok := st.Get(unitKey(grid[0].id())); !ok {
+		t.Fatal("recovered unit left no stored result")
+	}
+	// The interrupted execution counts: the retried job records a
+	// second attempt in its journal entry.
+	data, ok := st.Get("job\x00job-1")
+	if !ok {
+		t.Fatal("job journal entry evicted")
+	}
+	var after jobq.Job
+	if err := json.Unmarshal(data, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.State != jobq.StateSucceeded || after.Attempts < 2 {
+		t.Fatalf("recovered job: state %s attempts %d, want succeeded/2+", after.State, after.Attempts)
+	}
+}
+
+// TestShardHandlerIdempotent pins the crash window between the result
+// Put and the queue's success journal: a re-run of a unit whose result
+// is already stored must ack from the store without recomputing.
+func TestShardHandlerIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(filepath.Join(dir, "sweep.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	u := sweepUnit{Kind: "attack", Target: "xor2"}
+	canned := unitResult{Attacks: []attackBench{{Target: "xor2", KeyBits: 99, DIPs: 7}}}
+	data, err := json.Marshal(canned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(unitKey(u.id()), data); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := shardHandler(st)
+	got, err := h(t.Context(), &jobq.Job{ID: "job-1", Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("handler recomputed a stored unit: got %s want %s", got, data)
+	}
+}

@@ -31,6 +31,7 @@ package attack
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"alice/internal/sat"
@@ -76,6 +77,12 @@ func (e *BudgetError) Error() string {
 // Unwrap makes errors.Is(err, ErrAttackBudget) work.
 func (e *BudgetError) Unwrap() error { return ErrAttackBudget }
 
+// DefaultWarmupPatterns is the warm-up batch applied when Options
+// neither sets WarmupPatterns nor opts out: exactly one word of the
+// bit-parallel oracle, so the whole default warm-up costs a single
+// 64-lane network evaluation plus root-level clause stamping.
+const DefaultWarmupPatterns = 64
+
 // Options configures an attack run.
 type Options struct {
 	// MaxIters bounds the number of distinguishing inputs; exhaustion
@@ -87,20 +94,38 @@ type Options struct {
 	// seed is fully deterministic.
 	Seed int64
 	// WarmupPatterns applies this many seed-driven random oracle
-	// queries before the first SAT query. Each costs only a constant
-	// propagation over the network (no solving) and typically pins key
-	// bits at the solver's root level, cutting the distinguishing-input
-	// count roughly tenfold on the corpus. Zero (the default) measures
-	// pure SAT-attack cost: the benchmarks show the SAT-chosen DIPs
-	// constrain more per clause, so wall time is usually best here, and
-	// the reported iteration count stays comparable across engines.
+	// queries before the first SAT query. The patterns are evaluated
+	// 64 lanes at a time on the bit-parallel oracle, so each batch
+	// costs one word-level network walk (no solving) and typically
+	// pins key bits at the solver's root level, cutting the
+	// distinguishing-input count roughly tenfold on the corpus. Zero
+	// means DefaultWarmupPatterns; set NoWarmup to measure pure
+	// SAT-attack cost instead.
 	WarmupPatterns int
+	// NoWarmup disables the random-simulation warm-up entirely,
+	// overriding WarmupPatterns. Use it to measure pure SAT-attack
+	// cost (every key constraint comes from a SAT-chosen
+	// distinguishing input) or to reproduce pre-warm-up baselines.
+	NoWarmup bool
 	// MaxConflicts bounds the total solver conflicts across the attack
 	// (0 = unlimited). Unlike MaxIters it bounds *time*: a fabric too
 	// strong to crack exhausts it deterministically instead of hanging
 	// the sweep, and the returned *BudgetError reports how much key
 	// survived how much work.
 	MaxConflicts int
+}
+
+// EffectiveWarmup resolves the warm-up pattern count: NoWarmup wins,
+// an explicit WarmupPatterns is honored, and the zero value gets the
+// default batch.
+func (o Options) EffectiveWarmup() int {
+	if o.NoWarmup {
+		return 0
+	}
+	if o.WarmupPatterns > 0 {
+		return o.WarmupPatterns
+	}
+	return DefaultWarmupPatterns
 }
 
 // Result reports an attack run.
@@ -195,6 +220,38 @@ func (v *combView) eval(inputs []bool, masks map[int32]uint64) []bool {
 	val := make([]bool, len(v.ln.Nodes))
 	v.evalInto(out, val, inputs, masks)
 	return out
+}
+
+// evalWordsInto is evalInto bit-parallel over 64 lanes: inputs[i]
+// carries scan input i across the lanes, and out[i] holds observed
+// output i the same way. One call evaluates 64 oracle queries, which
+// is what makes warm-up and VerifyKey sweeps cheap.
+func (v *combView) evalWordsInto(out, val, inputs []uint64, masks map[int32]uint64, ibuf *[techmap.MaxK]uint64) {
+	for i := range val {
+		val[i] = 0
+	}
+	for i, id := range v.ins {
+		val[id] = inputs[i]
+	}
+	for i, n := range v.ln.Nodes {
+		switch n.Kind {
+		case techmap.LConst1:
+			val[i] = ^uint64(0)
+		case techmap.LLUT:
+			ins := ibuf[:len(n.In)]
+			for k, in := range n.In {
+				ins[k] = val[in]
+			}
+			mask := n.Mask
+			if m, ok := masks[int32(i)]; ok {
+				mask = m
+			}
+			val[i] = techmap.EvalMaskWords(mask, ins)
+		}
+	}
+	for i, id := range v.outs {
+		out[i] = val[id]
+	}
 }
 
 func tseitinXor(s *sat.Solver, a, b sat.Lit) sat.Lit {
@@ -295,10 +352,13 @@ func RecoverBitstreamOpts(ln *techmap.LUTNetwork, opts Options) (*Result, error)
 		res.Reductions = s.Reductions
 		res.DeletedClauses = s.Deleted
 	}
-	// addIOConstraint stamps "both key copies reproduce the oracle on
-	// this input pattern" using the key-cone-reduced encoding.
-	addIOConstraint := func() error {
-		v.evalInto(want, val, dip, nil)
+	// stampIOConstraint stamps "both key copies reproduce the oracle on
+	// the pattern in dip, whose oracle response is in want" using the
+	// key-cone-reduced encoding. addIOConstraint is the scalar-oracle
+	// wrapper; the warm-up batches 64 oracle responses per word
+	// evaluation and stamps each lane through stampIOConstraint
+	// directly.
+	stampIOConstraint := func() error {
 		tb.reset(nIn, v.keyLen)
 		for i := range dipLits {
 			if dip[i] {
@@ -325,20 +385,43 @@ func RecoverBitstreamOpts(ln *techmap.LUTNetwork, opts Options) (*Result, error)
 		tb.stamp(s, xb, k2b, lfalse, ltrue, &stampBuf)
 		return nil
 	}
-	// Random-simulation warm-up: a batch of seed-driven oracle queries
-	// constrains the key space before the first SAT query. With the
-	// key-cone encoding each pattern costs a network walk plus a handful
-	// of clauses (no solving), and the root-level key bits it pins make
-	// every later cone smaller — the SAT loop then spends its iterations
-	// on the hard distinguishing inputs only.
-	if opts.WarmupPatterns > 0 {
+	addIOConstraint := func() error {
+		v.evalInto(want, val, dip, nil)
+		return stampIOConstraint()
+	}
+	// Random-simulation warm-up (on by default, see Options.NoWarmup):
+	// a batch of seed-driven oracle queries constrains the key space
+	// before the first SAT query. The oracle runs bit-parallel — one
+	// word-level network walk answers 64 patterns — and each lane then
+	// costs only a key-cone walk plus a handful of clauses (no
+	// solving). The root-level key bits the batch pins make every later
+	// cone smaller, so the SAT loop spends its iterations on the hard
+	// distinguishing inputs only.
+	if warmup := opts.EffectiveWarmup(); warmup > 0 {
 		rng := rand.New(rand.NewSource(seed))
-		for p := 0; p < opts.WarmupPatterns; p++ {
-			for i := range dip {
-				dip[i] = rng.Intn(2) == 1
+		win := make([]uint64, nIn)
+		wout := make([]uint64, len(v.outs))
+		wval := make([]uint64, len(v.ln.Nodes))
+		var ibuf [techmap.MaxK]uint64
+		for done := 0; done < warmup; done += 64 {
+			batch := warmup - done
+			if batch > 64 {
+				batch = 64
 			}
-			if err := addIOConstraint(); err != nil {
-				return nil, err
+			for i := range win {
+				win[i] = rng.Uint64()
+			}
+			v.evalWordsInto(wout, wval, win, nil, &ibuf)
+			for L := 0; L < batch; L++ {
+				for i := range dip {
+					dip[i] = (win[i]>>uint(L))&1 == 1
+				}
+				for i := range want {
+					want[i] = (wout[i]>>uint(L))&1 == 1
+				}
+				if err := stampIOConstraint(); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -419,26 +502,35 @@ func readMasks(v *combView, s *sat.Solver, keyBase int) map[int32]uint64 {
 
 // VerifyKey checks a recovered configuration against the oracle over
 // random scan patterns; it returns the number of mismatching patterns.
+// Patterns run 64 lanes at a time on the bit-parallel evaluator, so
+// the sweep costs ~patterns/64 network walks per configuration.
 func VerifyKey(ln *techmap.LUTNetwork, masks map[int32]uint64, patterns int, seed int64) int {
 	v := newCombView(ln)
 	r := rand.New(rand.NewSource(seed))
 	bad := 0
-	in := make([]bool, len(v.ins))
-	want := make([]bool, len(v.outs))
-	got := make([]bool, len(v.outs))
-	val := make([]bool, len(v.ln.Nodes))
-	for p := 0; p < patterns; p++ {
+	in := make([]uint64, len(v.ins))
+	want := make([]uint64, len(v.outs))
+	got := make([]uint64, len(v.outs))
+	val := make([]uint64, len(v.ln.Nodes))
+	var ibuf [techmap.MaxK]uint64
+	for p := 0; p < patterns; p += 64 {
+		batch := patterns - p
+		if batch > 64 {
+			batch = 64
+		}
 		for i := range in {
-			in[i] = r.Intn(2) == 1
+			in[i] = r.Uint64()
 		}
-		v.evalInto(want, val, in, nil)
-		v.evalInto(got, val, in, masks)
+		v.evalWordsInto(want, val, in, nil, &ibuf)
+		v.evalWordsInto(got, val, in, masks, &ibuf)
+		var diff uint64
 		for i := range want {
-			if want[i] != got[i] {
-				bad++
-				break
-			}
+			diff |= want[i] ^ got[i]
 		}
+		if batch < 64 {
+			diff &= (1 << uint(batch)) - 1
+		}
+		bad += bits.OnesCount64(diff)
 	}
 	return bad
 }

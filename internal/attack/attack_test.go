@@ -36,7 +36,9 @@ func TestAttackRecoversCombinational(t *testing.T) {
 module f (input wire [3:0] a, input wire [3:0] b, output wire [3:0] y, output wire c);
   assign {c, y} = a + b;
 endmodule`)
-	res, err := RecoverBitstream(ln, 200, 1)
+	// NoWarmup: this test pins the DIP loop itself, so the warm-up
+	// (default-on) must not pre-solve the key.
+	res, err := RecoverBitstreamOpts(ln, Options{MaxIters: 200, Seed: 1, NoWarmup: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -94,7 +94,9 @@ func TestAttackDeterministic(t *testing.T) {
 // carries the work done.
 func TestAttackBudgetError(t *testing.T) {
 	ln := mapDesign(t, crossTargets[1])
-	_, err := RecoverBitstream(ln, 1, 1)
+	// NoWarmup: with the default warm-up the key can converge before
+	// the first DIP, which would defeat the budget this test pins.
+	_, err := RecoverBitstreamOpts(ln, Options{MaxIters: 1, Seed: 1, NoWarmup: true})
 	if err == nil {
 		t.Fatal("budget 1 must not converge on add4")
 	}
@@ -114,24 +116,36 @@ func TestAttackBudgetError(t *testing.T) {
 	}
 }
 
-// TestAttackWarmupOptions checks the random-simulation warm-up: it
-// must cut the distinguishing-input count while still recovering a
-// perfect key.
+// TestAttackWarmupOptions checks the random-simulation warm-up, which
+// is on by default: the zero-value Options must apply
+// DefaultWarmupPatterns and cut the distinguishing-input count versus
+// an explicit NoWarmup run, while still recovering a perfect key.
 func TestAttackWarmupOptions(t *testing.T) {
 	ln := mapDesign(t, crossTargets[1])
-	plain, err := RecoverBitstreamOpts(ln, Options{MaxIters: 2000, Seed: 1})
+	plain, err := RecoverBitstreamOpts(ln, Options{MaxIters: 2000, Seed: 1, NoWarmup: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := RecoverBitstreamOpts(ln, Options{MaxIters: 2000, Seed: 1, WarmupPatterns: 64})
+	warm, err := RecoverBitstreamOpts(ln, Options{MaxIters: 2000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if bad := VerifyKey(ln, warm.Masks, 500, 2); bad != 0 {
 		t.Fatalf("warm-up key wrong on %d patterns", bad)
 	}
+	if bad := VerifyKey(ln, plain.Masks, 500, 2); bad != 0 {
+		t.Fatalf("no-warm-up key wrong on %d patterns", bad)
+	}
 	if warm.Iterations >= plain.Iterations {
 		t.Errorf("warm-up should cut DIPs: %d (warm) vs %d (plain)", warm.Iterations, plain.Iterations)
+	}
+	// An explicit pattern count is honored too and must not lose the key.
+	exp, err := RecoverBitstreamOpts(ln, Options{MaxIters: 2000, Seed: 1, WarmupPatterns: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := VerifyKey(ln, exp.Masks, 500, 2); bad != 0 {
+		t.Fatalf("128-pattern warm-up key wrong on %d patterns", bad)
 	}
 }
 
@@ -143,13 +157,16 @@ func TestAttackWarmupOptions(t *testing.T) {
 // DIP).
 func TestAttackAllocs(t *testing.T) {
 	ln := mapDesign(t, crossTargets[2]) // sbox6: enough iterations to average
+	// NoWarmup: the measurement wants many DIP iterations to average
+	// over; the default warm-up would leave only a handful.
+	noWarm := Options{MaxIters: 2000, Seed: 1, NoWarmup: true}
 	// Warm the libraries (lazy init noise out of the measurement).
-	if _, err := RecoverBitstream(ln, 2000, 1); err != nil {
+	if _, err := RecoverBitstreamOpts(ln, noWarm); err != nil {
 		t.Fatal(err)
 	}
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
-	res, err := RecoverBitstream(ln, 2000, 1)
+	res, err := RecoverBitstreamOpts(ln, noWarm)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,8 @@ type Simulator struct {
 	n     *Netlist
 	val   []bool
 	state []bool // indexed like Nodes; meaningful for DFF ids
+	out   []bool // scratch for EvalChecked; reused across calls
+	wbits []bool // scratch for EvalWords/StepWords input unpacking
 }
 
 // NewSimulator returns a simulator with all flip-flops reset to 0.
@@ -18,6 +20,8 @@ func NewSimulator(n *Netlist) *Simulator {
 		n:     n,
 		val:   make([]bool, len(n.Nodes)),
 		state: make([]bool, len(n.Nodes)),
+		out:   make([]bool, len(n.POs)),
+		wbits: make([]bool, len(n.PIs)),
 	}
 }
 
@@ -42,7 +46,9 @@ func (s *Simulator) Eval(inputs []bool) []bool {
 }
 
 // EvalChecked is Eval returning an error instead of panicking when the
-// input count does not match the netlist's primary inputs.
+// input count does not match the netlist's primary inputs. The
+// returned slice is scratch owned by the simulator: it stays valid
+// until the next Eval/Step call.
 func (s *Simulator) EvalChecked(inputs []bool) ([]bool, error) {
 	if len(inputs) != len(s.n.PIs) {
 		return nil, fmt.Errorf("netlist sim: got %d inputs, want %d", len(inputs), len(s.n.PIs))
@@ -76,11 +82,10 @@ func (s *Simulator) EvalChecked(inputs []bool) ([]bool, error) {
 			}
 		}
 	}
-	out := make([]bool, len(s.n.POs))
 	for i, po := range s.n.POs {
-		out[i] = s.val[po]
+		s.out[i] = s.val[po]
 	}
-	return out, nil
+	return s.out, nil
 }
 
 // Step evaluates combinational logic for the given inputs and then
@@ -115,7 +120,7 @@ func (s *Simulator) Value(id int32) bool { return s.val[id] }
 // drives PI i; at most 64 PIs) and returns outputs packed the same way.
 // Convenience for property tests.
 func (s *Simulator) EvalWords(in uint64) uint64 {
-	bits := make([]bool, len(s.n.PIs))
+	bits := s.wbits
 	for i := range bits {
 		bits[i] = (in>>uint(i))&1 == 1
 	}

@@ -1,0 +1,127 @@
+package netlist
+
+import "fmt"
+
+// WordSim is the bit-parallel counterpart of Simulator: every node
+// carries a uint64 whose 64 bits are 64 independent simulation lanes,
+// so one pass over the netlist evaluates 64 patterns. Combinational
+// ops become single word instructions (AND/OR/XOR/complement, mux as
+// (s&d1)|(^s&d0)), and flip-flop state is a word per DFF, i.e. 64
+// independent machine states advancing in lockstep.
+//
+// Lane semantics: bit L of an input word is the value primary input i
+// takes in lane L; bit L of an output word is lane L's value of that
+// output. Lanes never interact, so WordSim is bit-exact with running
+// the scalar Simulator 64 times (the corpus property test pins this).
+//
+// The scalar Simulator remains the single-pattern path and the
+// cross-check reference; WordSim is the engine behind the batch
+// consumers (attack warm-up, VerifyKey, the co-simulation sweeps of
+// VerifyRedaction/VerifyBitstream).
+type WordSim struct {
+	n     *Netlist
+	val   []uint64
+	state []uint64 // indexed like Nodes; meaningful for DFF ids
+	out   []uint64 // scratch for EvalChecked; reused across calls
+}
+
+// NewWordSim returns a 64-lane simulator with all flip-flops reset to
+// 0 in every lane.
+func NewWordSim(n *Netlist) *WordSim {
+	return &WordSim{
+		n:     n,
+		val:   make([]uint64, len(n.Nodes)),
+		state: make([]uint64, len(n.Nodes)),
+		out:   make([]uint64, len(n.POs)),
+	}
+}
+
+// Reset asserts the global asynchronous reset in all 64 lanes.
+func (s *WordSim) Reset() {
+	for _, d := range s.n.DFFs {
+		s.state[d] = 0
+	}
+}
+
+// Eval applies the input words (ordered like PIs, one word of 64 lane
+// values per input) and settles combinational logic, returning the
+// output words. Like Simulator.Eval it panics on an input-count
+// mismatch; library code should use EvalChecked. The returned slice is
+// scratch reused by the next Eval/Step call.
+func (s *WordSim) Eval(inputs []uint64) []uint64 {
+	out, err := s.EvalChecked(inputs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// EvalChecked is Eval returning an error instead of panicking when the
+// input count does not match the netlist's primary inputs. The
+// returned slice is scratch owned by the simulator: it stays valid
+// until the next Eval/Step call.
+func (s *WordSim) EvalChecked(inputs []uint64) ([]uint64, error) {
+	if len(inputs) != len(s.n.PIs) {
+		return nil, fmt.Errorf("netlist word sim: got %d inputs, want %d", len(inputs), len(s.n.PIs))
+	}
+	val := s.val
+	for i, pi := range s.n.PIs {
+		val[pi] = inputs[i]
+	}
+	for i, nd := range s.n.Nodes {
+		switch nd.Op {
+		case Const0:
+			val[i] = 0
+		case Const1:
+			val[i] = ^uint64(0)
+		case Input:
+			// value already set from the inputs slice
+		case DFF:
+			val[i] = s.state[i]
+		case Not:
+			val[i] = ^val[nd.In[0]]
+		case And:
+			val[i] = val[nd.In[0]] & val[nd.In[1]]
+		case Or:
+			val[i] = val[nd.In[0]] | val[nd.In[1]]
+		case Xor:
+			val[i] = val[nd.In[0]] ^ val[nd.In[1]]
+		case Mux:
+			sel := val[nd.In[0]]
+			val[i] = (sel & val[nd.In[2]]) | (^sel & val[nd.In[1]])
+		}
+	}
+	for i, po := range s.n.POs {
+		s.out[i] = val[po]
+	}
+	return s.out, nil
+}
+
+// Step evaluates combinational logic for the given input words and
+// then advances one clock edge in all lanes, registering every
+// flip-flop's D input. It returns the pre-edge output words (scratch,
+// valid until the next Eval/Step). It panics on an input-count
+// mismatch; library code should use StepChecked.
+func (s *WordSim) Step(inputs []uint64) []uint64 {
+	out, err := s.StepChecked(inputs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// StepChecked is Step returning an error instead of panicking when the
+// input count does not match the netlist's primary inputs.
+func (s *WordSim) StepChecked(inputs []uint64) ([]uint64, error) {
+	out, err := s.EvalChecked(inputs)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range s.n.DFFs {
+		s.state[d] = s.val[s.n.Nodes[d].In[0]]
+	}
+	return out, nil
+}
+
+// Value returns the most recently evaluated word of a node.
+func (s *WordSim) Value(id int32) uint64 { return s.val[id] }

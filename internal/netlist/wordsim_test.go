@@ -1,0 +1,192 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomNetlist builds a random DAG of gates with nIn inputs, nOut
+// outputs, and nDFFs flip-flops whose D inputs close feedback loops —
+// enough structural variety to exercise every op of the word
+// evaluator.
+func randomNetlist(r *rand.Rand, nIn, nGates, nOut, nDFFs int) *Netlist {
+	bd := NewBuilder("rand")
+	var pool []int32
+	pool = append(pool, bd.Const(false), bd.Const(true))
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, bd.Input(string(rune('a'+i%26))+string(rune('0'+i/26))))
+	}
+	var dffs []int32
+	for i := 0; i < nDFFs; i++ {
+		d := bd.DFF()
+		dffs = append(dffs, d)
+		pool = append(pool, d)
+	}
+	pick := func() int32 { return pool[r.Intn(len(pool))] }
+	for g := 0; g < nGates; g++ {
+		var id int32
+		switch r.Intn(5) {
+		case 0:
+			id = bd.Not(pick())
+		case 1:
+			id = bd.And(pick(), pick())
+		case 2:
+			id = bd.Or(pick(), pick())
+		case 3:
+			id = bd.Xor(pick(), pick())
+		case 4:
+			id = bd.Mux(pick(), pick(), pick())
+		}
+		pool = append(pool, id)
+	}
+	for _, d := range dffs {
+		bd.SetD(d, pick())
+	}
+	for i := 0; i < nOut; i++ {
+		bd.Output(string(rune('y'))+string(rune('0'+i%10))+string(rune('0'+i/10)), pick())
+	}
+	return bd.N
+}
+
+// laneInputs extracts lane L's scalar input pattern from word inputs.
+func laneInputs(words []uint64, lane int, dst []bool) []bool {
+	dst = dst[:0]
+	for _, w := range words {
+		dst = append(dst, (w>>uint(lane))&1 == 1)
+	}
+	return dst
+}
+
+// TestWordSimMatchesScalarEval drives random netlists with random word
+// patterns and checks every lane of WordSim.Eval against 64 scalar
+// Simulator.Eval runs.
+func TestWordSimMatchesScalarEval(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := randomNetlist(r, 2+r.Intn(10), 5+r.Intn(120), 1+r.Intn(8), 0)
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		ws := NewWordSim(n)
+		ss := NewSimulator(n)
+		words := make([]uint64, len(n.PIs))
+		var lane []bool
+		for round := 0; round < 4; round++ {
+			for i := range words {
+				words[i] = r.Uint64()
+			}
+			wout, err := ws.EvalChecked(words)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for L := 0; L < 64; L++ {
+				lane = laneInputs(words, L, lane)
+				sout := ss.Eval(lane)
+				for o := range sout {
+					want := sout[o]
+					got := (wout[o]>>uint(L))&1 == 1
+					if got != want {
+						t.Fatalf("trial %d round %d lane %d output %d: word %v, scalar %v",
+							trial, round, L, o, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWordSimMatchesScalarStep runs sequential Step sequences (with a
+// mid-run Reset) on netlists with flip-flops: every lane of the word
+// simulator must track an independent scalar machine in lockstep.
+func TestWordSimMatchesScalarStep(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := randomNetlist(r, 2+r.Intn(8), 10+r.Intn(80), 1+r.Intn(6), 1+r.Intn(8))
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		ws := NewWordSim(n)
+		ws.Reset()
+		scalars := make([]*Simulator, 64)
+		for L := range scalars {
+			scalars[L] = NewSimulator(n)
+			scalars[L].Reset()
+		}
+		words := make([]uint64, len(n.PIs))
+		var lane []bool
+		steps := 12 + r.Intn(20)
+		resetAt := steps / 2
+		for step := 0; step < steps; step++ {
+			if step == resetAt {
+				ws.Reset()
+				for _, s := range scalars {
+					s.Reset()
+				}
+			}
+			for i := range words {
+				words[i] = r.Uint64()
+			}
+			wout, err := ws.StepChecked(words)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for L := 0; L < 64; L++ {
+				lane = laneInputs(words, L, lane)
+				sout := scalars[L].Step(lane)
+				for o := range sout {
+					if ((wout[o]>>uint(L))&1 == 1) != sout[o] {
+						t.Fatalf("trial %d step %d lane %d output %d diverged", trial, step, L, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWordSimChecked pins the input-width diagnostics of the checked
+// entry points.
+func TestWordSimChecked(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := randomNetlist(r, 4, 10, 2, 1)
+	ws := NewWordSim(n)
+	if _, err := ws.EvalChecked(make([]uint64, 3)); err == nil {
+		t.Fatal("EvalChecked accepted a short input vector")
+	}
+	if _, err := ws.StepChecked(make([]uint64, 5)); err == nil {
+		t.Fatal("StepChecked accepted a long input vector")
+	}
+	if _, err := ws.EvalChecked(make([]uint64, 4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulatorEvalAllocFree pins the scratch-buffer fix: steady-state
+// EvalChecked and EvalWords/StepWords must not allocate per call.
+func TestSimulatorEvalAllocFree(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	n := randomNetlist(r, 6, 60, 4, 4)
+	s := NewSimulator(n)
+	in := make([]bool, len(n.PIs))
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := s.EvalChecked(in); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("EvalChecked allocates %.1f objects per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		s.EvalWords(0x5a5a)
+		s.StepWords(0xa5a5)
+	}); avg != 0 {
+		t.Errorf("EvalWords/StepWords allocate %.1f objects per call, want 0", avg)
+	}
+	ws := NewWordSim(n)
+	win := make([]uint64, len(n.PIs))
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := ws.StepChecked(win); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("WordSim.StepChecked allocates %.1f objects per call, want 0", avg)
+	}
+}

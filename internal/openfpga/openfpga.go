@@ -341,16 +341,20 @@ func VerifyBitstream(f *Fabric, steps int, seed int64) error {
 		poPerm[i] = j
 	}
 
+	// The sweep runs bit-parallel: each step drives 64 independent
+	// random sequences through both machines (every lane of a word is
+	// its own stimulus stream), so coverage is 64 patterns per network
+	// walk. LUTSim remains the single-pattern reference elsewhere.
 	r := rand.New(rand.NewSource(seed))
-	s1 := techmap.NewLUTSim(f.LUTs)
-	s2 := techmap.NewLUTSim(dec)
+	s1 := techmap.NewLUTWordSim(f.LUTs)
+	s2 := techmap.NewLUTWordSim(dec)
 	s1.Reset()
 	s2.Reset()
-	in1 := make([]bool, len(f.LUTs.PIs))
-	in2 := make([]bool, len(dec.PIs))
+	in1 := make([]uint64, len(f.LUTs.PIs))
+	in2 := make([]uint64, len(dec.PIs))
 	for step := 0; step < steps; step++ {
 		for i := range in1 {
-			in1[i] = r.Intn(2) == 1
+			in1[i] = r.Uint64()
 			if j := piPerm[i]; j >= 0 {
 				in2[j] = in1[i]
 			}

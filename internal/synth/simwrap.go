@@ -10,22 +10,36 @@ import (
 // bit-blasted PI/PO mapping. It is the main tool used by tests and by
 // the equivalence checks of the redaction flow.
 type VectorSim struct {
-	res *Result
-	sim *netlist.Simulator
-	in  []bool
-	out []bool
+	res    *Result
+	sim    *netlist.Simulator
+	in     []bool
+	out    []bool
+	inIdx  map[string]int // port name -> index in res.Inputs
+	outIdx map[string]int // port name -> index in res.Outputs
 }
 
 // NewVectorSim returns a simulator for a synthesis result with all
 // flip-flops reset.
 func NewVectorSim(res *Result) *VectorSim {
 	v := &VectorSim{
-		res: res,
-		sim: netlist.NewSimulator(res.Netlist),
-		in:  make([]bool, len(res.Netlist.PIs)),
+		res:    res,
+		sim:    netlist.NewSimulator(res.Netlist),
+		in:     make([]bool, len(res.Netlist.PIs)),
+		inIdx:  portIndex(res.Inputs),
+		outIdx: portIndex(res.Outputs),
 	}
 	v.sim.Reset()
 	return v
+}
+
+// portIndex builds the name -> position map the Set/Out hot paths use
+// instead of scanning the port list on every call.
+func portIndex(ports []PortVec) map[string]int {
+	m := make(map[string]int, len(ports))
+	for i, p := range ports {
+		m[p.Name] = i
+	}
+	return m
 }
 
 // Reset asserts the global asynchronous reset.
@@ -44,15 +58,14 @@ func (v *VectorSim) Set(port string, val uint64) {
 // TrySet is Set returning an error for unknown ports instead of
 // panicking.
 func (v *VectorSim) TrySet(port string, val uint64) error {
-	for _, p := range v.res.Inputs {
-		if p.Name == port {
-			for i, bit := range p.Bits {
-				v.in[bit] = i < 64 && (val>>uint(i))&1 == 1
-			}
-			return nil
-		}
+	pi, ok := v.inIdx[port]
+	if !ok {
+		return fmt.Errorf("synth: unknown input port %q", port)
 	}
-	return fmt.Errorf("synth: unknown input port %q", port)
+	for i, bit := range v.res.Inputs[pi].Bits {
+		v.in[bit] = i < 64 && (val>>uint(i))&1 == 1
+	}
+	return nil
 }
 
 // Eval settles combinational logic with the current inputs.
@@ -98,18 +111,17 @@ func (v *VectorSim) Out(port string) uint64 {
 // TryOut is Out returning an error for unknown ports instead of
 // panicking.
 func (v *VectorSim) TryOut(port string) (uint64, error) {
-	for _, p := range v.res.Outputs {
-		if p.Name == port {
-			var w uint64
-			for i, bit := range p.Bits {
-				if v.out[bit] && i < 64 {
-					w |= 1 << uint(i)
-				}
-			}
-			return w, nil
+	pi, ok := v.outIdx[port]
+	if !ok {
+		return 0, fmt.Errorf("synth: unknown output port %q", port)
+	}
+	var w uint64
+	for i, bit := range v.res.Outputs[pi].Bits {
+		if v.out[bit] && i < 64 {
+			w |= 1 << uint(i)
 		}
 	}
-	return 0, fmt.Errorf("synth: unknown output port %q", port)
+	return w, nil
 }
 
 // InputPorts returns the data input port names in order.

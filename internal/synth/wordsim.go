@@ -1,0 +1,146 @@
+package synth
+
+import (
+	"fmt"
+
+	"alice/internal/netlist"
+)
+
+// WordVectorSim is the 64-lane counterpart of VectorSim: it drives a
+// synthesized netlist by port name with every port bit carrying a
+// uint64 of 64 independent simulation lanes. One Eval/Step settles 64
+// patterns, which is what makes the batch equivalence sweeps
+// (VerifyRedaction, characterization's functional checks) cheap.
+//
+// The word layout is per-bit: words[i] holds port bit i across all 64
+// lanes (bit L of words[i] is bit i's value in lane L). Random
+// stimulus therefore needs no transposition — filling each bit word
+// with 64 random bits drives 64 independent random port values.
+type WordVectorSim struct {
+	res    *Result
+	sim    *netlist.WordSim
+	in     []uint64
+	out    []uint64
+	inIdx  map[string]int
+	outIdx map[string]int
+	pbuf   []uint64 // scratch returned by TryOut; reused across calls
+}
+
+// NewWordVectorSim returns a 64-lane simulator for a synthesis result
+// with all flip-flops reset in every lane.
+func NewWordVectorSim(res *Result) *WordVectorSim {
+	maxW := 0
+	for _, p := range res.Outputs {
+		if len(p.Bits) > maxW {
+			maxW = len(p.Bits)
+		}
+	}
+	v := &WordVectorSim{
+		res:    res,
+		sim:    netlist.NewWordSim(res.Netlist),
+		in:     make([]uint64, len(res.Netlist.PIs)),
+		inIdx:  portIndex(res.Inputs),
+		outIdx: portIndex(res.Outputs),
+		pbuf:   make([]uint64, maxW),
+	}
+	v.sim.Reset()
+	return v
+}
+
+// Reset asserts the global asynchronous reset in all lanes.
+func (v *WordVectorSim) Reset() { v.sim.Reset() }
+
+// Set assigns per-bit lane words to an input port for the next
+// evaluation: words[i] drives port bit i, missing high bits are driven
+// 0 in every lane. It panics on unknown ports; library code driving
+// ports derived from a different design must use TrySet.
+func (v *WordVectorSim) Set(port string, words []uint64) {
+	if err := v.TrySet(port, words); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TrySet is Set returning an error for unknown ports instead of
+// panicking.
+func (v *WordVectorSim) TrySet(port string, words []uint64) error {
+	pi, ok := v.inIdx[port]
+	if !ok {
+		return fmt.Errorf("synth: unknown input port %q", port)
+	}
+	for i, bit := range v.res.Inputs[pi].Bits {
+		if i < len(words) {
+			v.in[bit] = words[i]
+		} else {
+			v.in[bit] = 0
+		}
+	}
+	return nil
+}
+
+// Eval settles combinational logic with the current inputs in all
+// lanes.
+func (v *WordVectorSim) Eval() { v.out = v.sim.Eval(v.in) }
+
+// EvalChecked is Eval returning an error instead of panicking when the
+// wrapped netlist rejects the input vector.
+func (v *WordVectorSim) EvalChecked() error {
+	out, err := v.sim.EvalChecked(v.in)
+	if err != nil {
+		return err
+	}
+	v.out = out
+	return nil
+}
+
+// Step settles combinational logic and advances one clock cycle in all
+// lanes.
+func (v *WordVectorSim) Step() { v.out = v.sim.Step(v.in) }
+
+// StepChecked is Step returning an error instead of panicking, like
+// EvalChecked.
+func (v *WordVectorSim) StepChecked() error {
+	out, err := v.sim.StepChecked(v.in)
+	if err != nil {
+		return err
+	}
+	v.out = out
+	return nil
+}
+
+// Out returns the per-bit lane words of an output port after Eval or
+// Step: result[i] is port bit i across all 64 lanes. The returned
+// slice is scratch owned by the simulator — valid until the next
+// Out/TryOut/Eval/Step on this simulator, so co-simulation against a
+// second design reads one port from each simulator at a time. It
+// panics on unknown ports; library code must use TryOut.
+func (v *WordVectorSim) Out(port string) []uint64 {
+	w, err := v.TryOut(port)
+	if err != nil {
+		panic(err.Error())
+	}
+	return w
+}
+
+// TryOut is Out returning an error for unknown ports instead of
+// panicking.
+func (v *WordVectorSim) TryOut(port string) ([]uint64, error) {
+	pi, ok := v.outIdx[port]
+	if !ok {
+		return nil, fmt.Errorf("synth: unknown output port %q", port)
+	}
+	bits := v.res.Outputs[pi].Bits
+	w := v.pbuf[:len(bits)]
+	for i, bit := range bits {
+		w[i] = v.out[bit]
+	}
+	return w, nil
+}
+
+// InputPorts returns the data input port names in order.
+func (v *WordVectorSim) InputPorts() []string {
+	var out []string
+	for _, p := range v.res.Inputs {
+		out = append(out, p.Name)
+	}
+	return out
+}

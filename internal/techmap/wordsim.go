@@ -1,0 +1,117 @@
+package techmap
+
+import "fmt"
+
+// EvalMaskWords evaluates a K-input LUT truth table bit-parallel over
+// 64 lanes: ins[k] carries input k's value in each of the 64 lanes,
+// and bit L of the result is the LUT output in lane L. The mask is
+// folded by Shannon decomposition, one input per level — 2^K-1 word
+// muxes instead of 64 scalar table lookups — which is what makes the
+// word-parallel LUT simulators (and the attack's batched oracle
+// queries) cheap.
+func EvalMaskWords(mask uint64, ins []uint64) uint64 {
+	// rows[r] starts as the broadcast of mask bit r (all-ones or zero);
+	// folding input k halves the table by muxing adjacent pairs, since
+	// input k is bit k of the truth-table index.
+	var rows [1 << MaxK]uint64
+	n := 1 << uint(len(ins))
+	for r := 0; r < n; r++ {
+		rows[r] = -((mask >> uint(r)) & 1)
+	}
+	for _, in := range ins {
+		n >>= 1
+		for r := 0; r < n; r++ {
+			rows[r] = (in & rows[2*r+1]) | (^in & rows[2*r])
+		}
+	}
+	return rows[0]
+}
+
+// LUTWordSim is the 64-lane counterpart of LUTSim: every node carries
+// a uint64 of 64 independent simulation lanes, so one pass over the
+// network evaluates 64 patterns. It is the engine behind the batch
+// verification sweeps (VerifyBitstream) and the attack's bulk oracle
+// queries; LUTSim remains the single-pattern reference.
+type LUTWordSim struct {
+	ln    *LUTNetwork
+	val   []uint64
+	state []uint64
+	out   []uint64 // scratch for EvalChecked; reused across calls
+	ibuf  [MaxK]uint64
+}
+
+// NewLUTWordSim returns a 64-lane simulator with all flip-flops reset
+// to 0 in every lane.
+func NewLUTWordSim(ln *LUTNetwork) *LUTWordSim {
+	return &LUTWordSim{
+		ln:    ln,
+		val:   make([]uint64, len(ln.Nodes)),
+		state: make([]uint64, len(ln.Nodes)),
+		out:   make([]uint64, len(ln.POs)),
+	}
+}
+
+// Reset clears all flip-flops in all lanes.
+func (s *LUTWordSim) Reset() {
+	for _, f := range s.ln.FFs {
+		s.state[f] = 0
+	}
+}
+
+// EvalChecked settles combinational logic for the input words (ordered
+// like PIs; bit L of a word is lane L's value) and returns the output
+// words. The returned slice is scratch owned by the simulator: it
+// stays valid until the next Eval call.
+func (s *LUTWordSim) EvalChecked(inputs []uint64) ([]uint64, error) {
+	if len(inputs) != len(s.ln.PIs) {
+		return nil, fmt.Errorf("techmap word sim: got %d inputs, want %d", len(inputs), len(s.ln.PIs))
+	}
+	for i, pi := range s.ln.PIs {
+		s.val[pi] = inputs[i]
+	}
+	for i, nd := range s.ln.Nodes {
+		switch nd.Kind {
+		case LConst0:
+			s.val[i] = 0
+		case LConst1:
+			s.val[i] = ^uint64(0)
+		case LFF:
+			s.val[i] = s.state[i]
+		case LLUT:
+			ins := s.ibuf[:len(nd.In)]
+			for k, in := range nd.In {
+				ins[k] = s.val[in]
+			}
+			s.val[i] = EvalMaskWords(nd.Mask, ins)
+		}
+	}
+	for i, po := range s.ln.POs {
+		s.out[i] = s.val[po]
+	}
+	return s.out, nil
+}
+
+// Eval is EvalChecked panicking on an input-count mismatch, for
+// callers sizing the slice from the same network's PIs.
+func (s *LUTWordSim) Eval(inputs []uint64) []uint64 {
+	out, err := s.EvalChecked(inputs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// Advance registers every flip-flop's D input in all lanes — the
+// clock-edge half of Step.
+func (s *LUTWordSim) Advance() {
+	for _, f := range s.ln.FFs {
+		s.state[f] = s.val[s.ln.Nodes[f].In[0]]
+	}
+}
+
+// Step evaluates and then advances one clock edge in all lanes.
+func (s *LUTWordSim) Step(inputs []uint64) []uint64 {
+	out := s.Eval(inputs)
+	s.Advance()
+	return out
+}

@@ -1,0 +1,141 @@
+package techmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"alice/internal/netlist"
+)
+
+// TestEvalMaskWordsExhaustive cross-checks the Shannon word fold
+// against direct truth-table lookup for every K in [MinK, MaxK] over
+// random masks and lane patterns.
+func TestEvalMaskWordsExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for k := MinK; k <= MaxK; k++ {
+		rows := 1 << uint(k)
+		for trial := 0; trial < 50; trial++ {
+			mask := r.Uint64()
+			if rows < 64 {
+				mask &= (1 << uint(rows)) - 1
+			}
+			ins := make([]uint64, k)
+			for i := range ins {
+				ins[i] = r.Uint64()
+			}
+			got := EvalMaskWords(mask, ins)
+			for L := 0; L < 64; L++ {
+				idx := 0
+				for i := range ins {
+					if (ins[i]>>uint(L))&1 == 1 {
+						idx |= 1 << uint(i)
+					}
+				}
+				want := mask&(1<<uint(idx)) != 0
+				if ((got>>uint(L))&1 == 1) != want {
+					t.Fatalf("K=%d mask=%#x lane %d idx %d: got %v want %v",
+						k, mask, L, idx, !want, want)
+				}
+			}
+		}
+	}
+}
+
+// wordTestNetworks maps a few structurally different designs at every
+// K, giving the word/scalar cross-check real LUT networks (FFs
+// included) rather than synthetic tables only.
+func wordTestNetworks(t *testing.T) []*LUTNetwork {
+	t.Helper()
+	r := rand.New(rand.NewSource(2))
+	var nets []*LUTNetwork
+	for k := MinK; k <= MaxK; k++ {
+		bd := netlist.NewBuilder("t")
+		var pool []int32
+		for i := 0; i < 6; i++ {
+			pool = append(pool, bd.Input(string(rune('a'+i))))
+		}
+		var dffs []int32
+		for i := 0; i < 4; i++ {
+			d := bd.DFF()
+			dffs = append(dffs, d)
+			pool = append(pool, d)
+		}
+		pick := func() int32 { return pool[r.Intn(len(pool))] }
+		for g := 0; g < 120; g++ {
+			var id int32
+			switch r.Intn(4) {
+			case 0:
+				id = bd.And(pick(), pick())
+			case 1:
+				id = bd.Or(pick(), pick())
+			case 2:
+				id = bd.Xor(pick(), pick())
+			case 3:
+				id = bd.Mux(pick(), pick(), pick())
+			}
+			pool = append(pool, id)
+		}
+		for _, d := range dffs {
+			bd.SetD(d, pick())
+		}
+		for i := 0; i < 5; i++ {
+			bd.Output(string(rune('y'))+string(rune('0'+i)), pick())
+		}
+		ln, err := MapK(bd.N, k)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		nets = append(nets, ln)
+	}
+	return nets
+}
+
+// TestLUTWordSimMatchesScalar pins LUTWordSim bit-exact against 64
+// scalar LUTSim machines over sequential Step sequences with a mid-run
+// Reset, across LUT sizes.
+func TestLUTWordSimMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for ni, ln := range wordTestNetworks(t) {
+		ws := NewLUTWordSim(ln)
+		ws.Reset()
+		scalars := make([]*LUTSim, 64)
+		for L := range scalars {
+			scalars[L] = NewLUTSim(ln)
+			scalars[L].Reset()
+		}
+		words := make([]uint64, len(ln.PIs))
+		lane := make([]bool, len(ln.PIs))
+		for step := 0; step < 24; step++ {
+			if step == 12 {
+				ws.Reset()
+				for _, s := range scalars {
+					s.Reset()
+				}
+			}
+			for i := range words {
+				words[i] = r.Uint64()
+			}
+			wout := ws.Step(words)
+			for L := 0; L < 64; L++ {
+				for i := range lane {
+					lane[i] = (words[i]>>uint(L))&1 == 1
+				}
+				sout := scalars[L].Step(lane)
+				for o := range sout {
+					if ((wout[o]>>uint(L))&1 == 1) != sout[o] {
+						t.Fatalf("net %d step %d lane %d output %d diverged", ni, step, L, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLUTWordSimChecked pins the input-width diagnostic.
+func TestLUTWordSimChecked(t *testing.T) {
+	ln := wordTestNetworks(t)[0]
+	ws := NewLUTWordSim(ln)
+	if _, err := ws.EvalChecked(make([]uint64, len(ln.PIs)+1)); err == nil {
+		t.Fatal("EvalChecked accepted a wrong-width input vector")
+	}
+}

@@ -52,6 +52,13 @@ type AttackRequest struct {
 	// is part of the memoization key, so different seeds are distinct
 	// results.
 	Seed int64 `json:"seed,omitempty"`
+	// WarmupPatterns sets the random-simulation warm-up budget; 0
+	// applies the engine default (attack.DefaultWarmupPatterns). The
+	// resolved count is part of the memoization key.
+	WarmupPatterns int `json:"warmup_patterns,omitempty"`
+	// NoWarmup disables the warm-up entirely (pure SAT-attack cost),
+	// overriding WarmupPatterns.
+	NoWarmup bool `json:"no_warmup,omitempty"`
 }
 
 // AttackVerdict is the outcome of one fabric's SAT-attack evaluation.

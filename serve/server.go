@@ -337,9 +337,11 @@ func (s *Server) resolve(req *JobRequest) (src string, cfg *alice.Config, aopts 
 
 	if req.Attack != nil {
 		a := attack.Options{
-			MaxIters:     req.Attack.MaxIters,
-			MaxConflicts: req.Attack.MaxConflicts,
-			Seed:         req.Attack.Seed,
+			MaxIters:       req.Attack.MaxIters,
+			MaxConflicts:   req.Attack.MaxConflicts,
+			Seed:           req.Attack.Seed,
+			WarmupPatterns: req.Attack.WarmupPatterns,
+			NoWarmup:       req.Attack.NoWarmup,
 		}
 		if a.MaxIters <= 0 {
 			a.MaxIters = DefaultAttackIters
@@ -378,8 +380,11 @@ func (s *Server) prepare(req *JobRequest) (*prepared, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00%s\x00", cfg.Key(), netlist.ContentHash(sr.Netlist))
 	if aopts != nil {
-		fmt.Fprintf(h, "attack:iters=%d,conflicts=%d,seed=%d",
-			aopts.MaxIters, aopts.MaxConflicts, aopts.Seed)
+		// The *resolved* warm-up count is part of the key, so flipping
+		// the engine default (or opting out) never aliases records
+		// computed under a different warm-up regime.
+		fmt.Fprintf(h, "attack:iters=%d,conflicts=%d,seed=%d,warmup=%d",
+			aopts.MaxIters, aopts.MaxConflicts, aopts.Seed, aopts.EffectiveWarmup())
 	}
 	id := hex.EncodeToString(h.Sum(nil))
 	return &prepared{
