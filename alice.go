@@ -45,6 +45,7 @@ import (
 	"alice/internal/core"
 	"alice/internal/fabric"
 	"alice/internal/rtl"
+	"alice/internal/structural"
 	"alice/internal/timing"
 	"alice/internal/verilog"
 )
@@ -89,6 +90,16 @@ type ArchParams = fabric.Params
 // Arch is one concrete fabric configuration (a family instantiated at
 // a grid width).
 type Arch = fabric.Arch
+
+// StructuralReport is the oracle-free structural analysis of a
+// programmed fabric: every key bit classified as leaked, dead, or
+// opaque with per-bit provenance, plus removal-attack candidates and
+// the surviving effective key length. Selection computes one per
+// characterized candidate (FabricCandidate.Structural) and prices the
+// effective key length into ranking when Config.KeyWeight is set;
+// Config.MinEffectiveKeyBits turns it into a hard floor
+// (ErrBelowKeyFloor).
+type StructuralReport = structural.Report
 
 // TimingReport is the static timing analysis of one fabric
 // implementation: critical-path delay, Fmax, and the critical path
@@ -151,6 +162,7 @@ var (
 	ErrNoSolution     = core.ErrNoSolution
 	ErrClusterBudget  = core.ErrClusterBudget
 	ErrBelowFmaxFloor = core.ErrBelowFmaxFloor
+	ErrBelowKeyFloor  = core.ErrBelowKeyFloor
 )
 
 // Cache is the characterization-cache contract WithCache accepts: the

@@ -8,6 +8,7 @@
 //	alice -bench gcd -cfg 1 [-o redacted.v]
 //	alice -bench gcd -arch-luts 3,4,5 -arch-bles 4,8 -json
 //	alice -bench gcd -timing -delay-weight 0.5 -fmax-floor 250 -json
+//	alice -bench gcd -key-weight 0.5 -min-key-bits 64 -json
 //	alice serve -addr localhost:8080 -data ./alice-data
 //
 // The -arch-* flags open the fabric architecture space: every cluster
@@ -20,6 +21,12 @@
 // an Fmax term to the selection score, and -fmax-floor rejects fabrics
 // that miss the frequency constraint. Reports always carry each
 // fabric's critical-path delay and Fmax.
+//
+// The security flags price the oracle-free structural analysis into
+// selection: -key-weight rewards fabrics whose key survives the
+// analysis (more effective key bits), and -min-key-bits rejects
+// fabrics whose effective key length falls below the floor. Reports
+// always carry each fabric's key_bits / effective_key_bits breakdown.
 package main
 
 import (
@@ -56,6 +63,8 @@ func main() {
 		timingOn  = flag.Bool("timing", false, "timing-driven mode: criticality steers placement and routing")
 		delayW    = flag.Float64("delay-weight", -1, "selection weight of the Fmax term (gamma; <0 keeps the config's value)")
 		fmaxFloor = flag.Float64("fmax-floor", -1, "reject fabrics below this Fmax in MHz (<0 keeps the config's value)")
+		keyW      = flag.Float64("key-weight", -1, "selection weight of the effective-key-length term (<0 keeps the config's value)")
+		keyFloor  = flag.Int("min-key-bits", -1, "reject fabrics whose effective key length is below this many bits (<0 keeps the config's value)")
 	)
 	flag.Parse()
 
@@ -124,6 +133,12 @@ func main() {
 	}
 	if *fmaxFloor >= 0 {
 		cfg.FmaxFloorMHz = *fmaxFloor
+	}
+	if *keyW >= 0 {
+		cfg.KeyWeight = *keyW
+	}
+	if *keyFloor >= 0 {
+		cfg.MinEffectiveKeyBits = *keyFloor
 	}
 	if err := cfg.Validate(); err != nil {
 		fatalf("%v", err)

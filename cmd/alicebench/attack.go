@@ -41,14 +41,24 @@ endmodule`},
 	{"mix8", `module t (input wire [7:0] a, input wire [7:0] k, output wire [7:0] y);
   assign y = (a + k) ^ {a[3:0], k[7:4]};
 endmodule`},
+	// inv8 is the structurally degenerate end of the corpus: every LUT
+	// reduces to an inverter, so the oracle-free structural analysis
+	// leaks the whole key and seeding the SAT attack with it needs zero
+	// distinguishing inputs (the structural sweep rows record both DIP
+	// counts). It anchors the claim that redacting trivial logic buys
+	// no security.
+	{"inv8", `module t (input wire [7:0] a, output wire [7:0] y);
+  assign y = ~a;
+endmodule`},
 }
 
 // attackBudget bounds the distinguishing inputs per corpus attack, and
 // fabricConflictBudget bounds the solver conflicts per fabric attack —
 // a fabric that survives it is reported as such (the security result),
-// not as an error.
+// not as an error. The per-target budgets are the attack engine's own
+// defaults (shared with the serve daemon).
 const (
-	attackBudget         = 20000
+	attackBudget         = attack.DefaultMaxIters
 	fabricConflictBudget = 250_000
 )
 
@@ -105,7 +115,7 @@ func attackOne(name, src string, noWarmup bool) attackOutcome {
 	}
 	start := time.Now()
 	ar, err := attack.RecoverBitstreamOpts(ln, attack.Options{
-		MaxIters: attackBudget, Seed: 1, MaxConflicts: 2_000_000, NoWarmup: noWarmup,
+		MaxIters: attackBudget, Seed: 1, MaxConflicts: attack.DefaultMaxConflicts, NoWarmup: noWarmup,
 	})
 	o.wall = time.Since(start)
 	switch {

@@ -11,8 +11,11 @@ import (
 // benchSchemaVersion is the BENCH.json schema. Version 4 adds the
 // sim-throughput rows and re-baselines the attack rows under the
 // default-on random-simulation warm-up (the corpus DIP counts dropped
-// roughly tenfold, and the -compare DIP gates are exact).
-const benchSchemaVersion = 4
+// roughly tenfold, and the -compare DIP gates are exact). Version 5
+// adds the structural rows (oracle-free key-bit classification, with
+// seeded-vs-unseeded attack DIP counts on the corpus targets) and the
+// inv8 corpus target, re-baselining the attack rows.
+const benchSchemaVersion = 5
 
 // benchReport is the machine-readable performance trajectory written by
 // `alicebench -json`: per-benchmark wall times for the flow under both
@@ -33,6 +36,7 @@ type benchReport struct {
 	Attacks       []attackBench       `json:"attacks"`
 	FabricAttacks []fabricAttackBench `json:"fabric_attacks,omitempty"`
 	Sims          []simBench          `json:"sims,omitempty"`
+	Structural    []structuralBench   `json:"structural,omitempty"`
 
 	TotalSeconds float64 `json:"total_seconds"`
 	AllocBytes   uint64  `json:"alloc_bytes,omitempty"`
@@ -118,6 +122,32 @@ type simBench struct {
 	WallSeconds   float64 `json:"wall_seconds"`
 }
 
+// structuralBench is one oracle-free structural-analysis row: the
+// key-bit classification of a programmed LUT network. Corpus-target
+// rows (Fabric empty) additionally attack the network twice — cold
+// and seeded with the structurally known bits — so the DIP saving the
+// leak buys an attacker is a tracked number (inv8 leaks its whole key
+// and drops to zero DIPs). Flow rows (Fabric set) classify each
+// winning fabric of the design's cfg1 solution, the per-fabric column
+// of the attack matrix. All counts are deterministic engine outputs,
+// gated exactly by -compare; WallSeconds is machine-dependent.
+type structuralBench struct {
+	Design            string `json:"design"`
+	Fabric            string `json:"fabric,omitempty"`
+	KeyBits           int    `json:"key_bits"`
+	EffectiveKeyBits  int    `json:"effective_key_bits"`
+	LeakedBits        int    `json:"leaked_bits"`
+	DeadBits          int    `json:"dead_bits"`
+	RemovalCandidates int    `json:"removal_candidates"`
+	// Attacked marks rows carrying the DIP pair; both attacks run
+	// without warm-up so the counts isolate the seeding effect.
+	Attacked        bool    `json:"attacked,omitempty"`
+	DIPs            int     `json:"dips"`
+	SeededDIPs      int     `json:"seeded_dips"`
+	BudgetExhausted bool    `json:"budget_exhausted,omitempty"`
+	WallSeconds     float64 `json:"wall_seconds"`
+}
+
 // implDesigns are the designs whose winning solutions are fully placed
 // and routed for the JSON report; kept to the small fabrics so the
 // sweep stays fast enough for CI. The fabric-attack and sim-throughput
@@ -166,6 +196,6 @@ func benchJSON(outPath string) {
 	rep.Mallocs = m1.Mallocs - m0.Mallocs
 
 	check(writeReport(rep, outPath))
-	fmt.Printf("wrote %s: %d flow runs, %d implementations, %d attacks, %d sim rows in %.1fs\n",
-		outPath, len(rep.Designs), len(rep.Implement), len(rep.Attacks), len(rep.Sims), rep.TotalSeconds)
+	fmt.Printf("wrote %s: %d flow runs, %d implementations, %d attacks, %d sim rows, %d structural rows in %.1fs\n",
+		outPath, len(rep.Designs), len(rep.Implement), len(rep.Attacks), len(rep.Sims), len(rep.Structural), rep.TotalSeconds)
 }

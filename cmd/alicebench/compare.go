@@ -142,6 +142,19 @@ func compareReports(base, now *benchReport) compareResult {
 				add(key("sim-word", d.Design, ""), d.WordSecPerM, false, "s")
 			}
 		}
+		// Structural rows: the counts are deterministic analysis
+		// outputs, gated exactly. Effective key bits growing means the
+		// analysis lost leak/dead coverage; seeded DIPs growing means
+		// the seeding stopped paying — both are engine regressions.
+		for _, d := range r.Structural {
+			add(key("structural", d.Design, d.Fabric), d.WallSeconds, false, "s")
+			if d.EffectiveKeyBits > 0 {
+				add(key("structural-effkey", d.Design, d.Fabric), float64(d.EffectiveKeyBits), true, "")
+			}
+			if d.Attacked && d.SeededDIPs > 0 {
+				add(key("structural-sdips", d.Design, d.Fabric), float64(d.SeededDIPs), true, "")
+			}
+		}
 	}
 	collectBase(base)
 
@@ -197,6 +210,15 @@ func compareReports(base, now *benchReport) compareResult {
 		}
 		if d.WordSecPerM > 0 {
 			fill(key("sim-word", d.Design, ""), d.WordSecPerM, false)
+		}
+	}
+	for _, d := range now.Structural {
+		fill(key("structural", d.Design, d.Fabric), d.WallSeconds, false)
+		if d.EffectiveKeyBits > 0 {
+			fill(key("structural-effkey", d.Design, d.Fabric), float64(d.EffectiveKeyBits), true)
+		}
+		if d.Attacked && d.SeededDIPs > 0 {
+			fill(key("structural-sdips", d.Design, d.Fabric), float64(d.SeededDIPs), true)
 		}
 	}
 

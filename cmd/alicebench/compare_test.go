@@ -128,3 +128,31 @@ func TestCompareReportsAttackGates(t *testing.T) {
 		t.Fatalf("bad = %d, want 1 attack-fab regression\n%s", res2.bad, res2.text)
 	}
 }
+
+// Structural rows gate two deterministic engine outputs exactly:
+// effective key bits growing (the analysis lost leak/dead coverage)
+// and seeded DIPs growing (the seeding stopped paying).
+func TestCompareReportsStructuralGates(t *testing.T) {
+	mk := func(eff, sdips int) *benchReport {
+		r := rep(nil, nil, nil)
+		r.Structural = []structuralBench{
+			{Design: "mix6", KeyBits: 100, EffectiveKeyBits: eff, Attacked: true, DIPs: 30, SeededDIPs: sdips, WallSeconds: 0.1},
+			{Design: "gcd", Fabric: "3x3", KeyBits: 216, EffectiveKeyBits: 184, LeakedBits: 32, WallSeconds: 0.1},
+		}
+		return r
+	}
+	res := compareReports(mk(80, 20), mk(80, 20))
+	if res.bad != 0 || res.new != 0 {
+		t.Fatalf("identical structural rows flagged: bad=%d new=%d\n%s", res.bad, res.new, res.text)
+	}
+	// Effective key bits jumping up means lost classification coverage.
+	res = compareReports(mk(80, 20), mk(95, 20))
+	if res.bad != 1 || !strings.Contains(res.text, "structural-effkey:mix6") {
+		t.Fatalf("bad = %d, want 1 structural-effkey regression\n%s", res.bad, res.text)
+	}
+	// Seeded DIPs jumping up means the seeding regressed.
+	res = compareReports(mk(80, 20), mk(80, 32))
+	if res.bad != 1 || !strings.Contains(res.text, "structural-sdips:mix6") {
+		t.Fatalf("bad = %d, want 1 structural-sdips regression\n%s", res.bad, res.text)
+	}
+}

@@ -12,10 +12,12 @@
 //	alicebench -json               # benchmark sweep -> BENCH.json (perf trajectory)
 //	alicebench -compare BENCH.json # fail on >2x kernel wall-time regression
 //	alicebench -shard -data DIR    # the -json sweep as resumable journaled units
+//	alicebench -structural gcd     # per-fabric structural key analysis as JSON
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,10 +42,13 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool width for -shard (0 = GOMAXPROCS)")
 		gridSel = flag.String("grid", "", "comma-separated unit-id prefixes restricting the -shard grid (e.g. attack:,sim:)")
 		noWarm  = flag.Bool("no-warmup", false, "disable the attack warm-up in sweeps (pure SAT-attack cost)")
+		structD = flag.String("structural", "", "run the flow on one design and print its per-fabric structural key analysis as JSON")
 	)
 	flag.Parse()
 	benchNoWarmup = *noWarm
 	switch {
+	case *structD != "":
+		structuralRows(*structD)
 	case *compare != "":
 		compareBench(*compare, *outPath)
 	case *shard:
@@ -142,6 +147,20 @@ func figure4() {
 func attackScaling() {
 	fmt.Println("SAT-attack cost vs configuration size (threat model, Sec. 2.1)")
 	runAttackScaling(os.Stdout)
+}
+
+// structuralRows prints the per-fabric structural-analysis rows of one
+// design's cfg1 solution as a JSON array on stdout — the CI smoke path
+// asserting every fabric's effective key length is consistent.
+func structuralRows(design string) {
+	res, err := runStructuralFlowUnit(context.Background(), design)
+	check(err)
+	if len(res.Structural) == 0 {
+		check(fmt.Errorf("design %s produced no solution fabrics to analyze", design))
+	}
+	data, err := json.MarshalIndent(res.Structural, "", "  ")
+	check(err)
+	fmt.Println(string(data))
 }
 
 func check(err error) {

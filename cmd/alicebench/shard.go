@@ -18,14 +18,16 @@ import (
 	"alice/internal/opt"
 	"alice/internal/rtl"
 	"alice/internal/store"
+	"alice/internal/structural"
 	"alice/internal/synth"
 	"alice/internal/techmap"
 )
 
 // The BENCH.json sweep is decomposed into independently runnable work
 // units — one per (design, cfg) flow run, per implemented design, per
-// attack-corpus target, per fabric-attack design, and per
-// sim-throughput design. The plain -json path runs the same units
+// attack-corpus target, per fabric-attack design, per sim-throughput
+// design, and per structural-analysis row (corpus targets and
+// implemented designs). The plain -json path runs the same units
 // through an in-memory worker pool; -shard runs them as journaled jobs
 // over internal/jobq + internal/store, so a killed sweep resumes where
 // it stopped: finished units are read back from the store, the unit a
@@ -41,7 +43,7 @@ const unitPrefix = "unit\x00"
 // JSON encoding is the job payload; the id doubles as the store key
 // suffix and the jobq job name.
 type sweepUnit struct {
-	// Kind is flow | impl | attack | fabattack | sim.
+	// Kind is flow | impl | attack | fabattack | sim | structural.
 	Kind string `json:"kind"`
 	// Design selects the benchmark (flow/impl/fabattack/sim units).
 	Design string `json:"design,omitempty"`
@@ -83,11 +85,13 @@ type unitResult struct {
 	Attacks       []attackBench       `json:"attacks,omitempty"`
 	FabricAttacks []fabricAttackBench `json:"fabric_attacks,omitempty"`
 	Sims          []simBench          `json:"sims,omitempty"`
+	Structural    []structuralBench   `json:"structural,omitempty"`
 }
 
 // sweepGrid enumerates the full sweep in its canonical (merge) order:
 // flows across both paper configurations, implementations, the attack
-// corpus, the fabric attacks, and the sim-throughput rows.
+// corpus, the fabric attacks, the sim-throughput rows, and the
+// structural-analysis rows.
 func sweepGrid(noWarmup bool) []sweepUnit {
 	var grid []sweepUnit
 	for _, cfg := range []string{"cfg1", "cfg2"} {
@@ -106,6 +110,15 @@ func sweepGrid(noWarmup bool) []sweepUnit {
 	}
 	for _, d := range implDesigns {
 		grid = append(grid, sweepUnit{Kind: "sim", Design: d})
+	}
+	// Structural rows: corpus targets (with the seeded/unseeded attack
+	// pair; always warm-up-free, so no NoWarmup split), then the
+	// per-fabric rows of the implemented designs.
+	for _, tgt := range attackTargets {
+		grid = append(grid, sweepUnit{Kind: "structural", Target: tgt.name})
+	}
+	for _, d := range implDesigns {
+		grid = append(grid, sweepUnit{Kind: "structural", Design: d})
 	}
 	return grid
 }
@@ -147,6 +160,11 @@ func runUnit(ctx context.Context, u sweepUnit) (unitResult, error) {
 		return runFabricAttackUnit(ctx, u.Design, u.NoWarmup)
 	case "sim":
 		return runSimUnit(u.Design)
+	case "structural":
+		if u.Target != "" {
+			return runStructuralTargetUnit(u.Target)
+		}
+		return runStructuralFlowUnit(ctx, u.Design)
 	default:
 		return unitResult{}, fmt.Errorf("unknown sweep unit kind %q", u.Kind)
 	}
@@ -311,6 +329,112 @@ func runFabricAttackUnit(ctx context.Context, design string, noWarmup bool) (uni
 	return res, nil
 }
 
+// runStructuralTargetUnit classifies one corpus target's key bits with
+// the oracle-free structural analysis, then attacks the network twice
+// — cold and seeded with the structurally known bits — to price the
+// DIP saving the leak buys an attacker. Both attacks run without
+// warm-up so the counts isolate the seeding effect.
+func runStructuralTargetUnit(target string) (unitResult, error) {
+	for _, tgt := range attackTargets {
+		if tgt.name != target {
+			continue
+		}
+		ln, err := mapTarget(tgt.src)
+		if err != nil {
+			return unitResult{}, err
+		}
+		start := time.Now()
+		rep, err := structural.Analyze(ln, structural.Options{Seed: 1})
+		if err != nil {
+			return unitResult{}, err
+		}
+		row := structuralBench{
+			Design:            target,
+			KeyBits:           rep.KeyBits,
+			EffectiveKeyBits:  rep.EffectiveKeyBits,
+			LeakedBits:        rep.LeakedBits,
+			DeadBits:          rep.DeadBits,
+			RemovalCandidates: len(rep.Removals),
+			Attacked:          true,
+		}
+		cold := attack.Options{
+			MaxIters: attackBudget, MaxConflicts: attack.DefaultMaxConflicts, Seed: 1, NoWarmup: true,
+		}
+		if row.DIPs, row.BudgetExhausted, err = structDIPs(ln, cold); err != nil {
+			return unitResult{}, fmt.Errorf("structural %s cold attack: %w", target, err)
+		}
+		seeded := cold
+		seeded.FixedKey = rep.FixedKey()
+		var exhausted bool
+		if row.SeededDIPs, exhausted, err = structDIPs(ln, seeded); err != nil {
+			return unitResult{}, fmt.Errorf("structural %s seeded attack: %w", target, err)
+		}
+		row.BudgetExhausted = row.BudgetExhausted || exhausted
+		row.WallSeconds = time.Since(start).Seconds()
+		return unitResult{Structural: []structuralBench{row}}, nil
+	}
+	return unitResult{}, fmt.Errorf("unknown structural target %q", target)
+}
+
+// structDIPs runs one attack for a structural row, returning the
+// distinguishing-input count and whether the budget ran out (a data
+// point, not an error).
+func structDIPs(ln *techmap.LUTNetwork, opts attack.Options) (int, bool, error) {
+	ar, err := attack.RecoverBitstreamOpts(ln, opts)
+	if err == nil {
+		if bad := attack.VerifyKey(ln, ar.Masks, 300, 2); bad != 0 {
+			return 0, false, fmt.Errorf("recovered a wrong key (%d bad patterns)", bad)
+		}
+		return ar.Iterations, false, nil
+	}
+	var be *attack.BudgetError
+	if errors.As(err, &be) {
+		return be.Iterations, true, nil
+	}
+	return 0, false, err
+}
+
+// runStructuralFlowUnit classifies each winning fabric of one design's
+// cfg1 solution — the per-fabric structural column of the attack
+// matrix. Selection already analyzed every characterized candidate, so
+// the rows normally just project FabricCandidate.Structural.
+func runStructuralFlowUnit(ctx context.Context, design string) (unitResult, error) {
+	cfg, b, err := benchConfig(design, "cfg1")
+	if err != nil {
+		return unitResult{}, err
+	}
+	eng := alice.NewEngine(alice.WithConfig(cfg))
+	start := time.Now()
+	r, err := eng.RunSource(ctx, b.Source())
+	if err != nil {
+		return unitResult{}, err
+	}
+	if r.Err != nil || r.Solution == nil {
+		return unitResult{}, nil
+	}
+	wall := time.Since(start).Seconds()
+	var res unitResult
+	for _, f := range r.Solution.Fabrics {
+		s := f.Structural
+		if s == nil {
+			if s, err = structural.Analyze(f.Fabric.LUTs, structural.Options{Seed: cfg.Seed}); err != nil {
+				return unitResult{}, err
+			}
+		}
+		res.Structural = append(res.Structural, structuralBench{
+			Design:            design,
+			Fabric:            f.Fabric.Arch.Name(),
+			KeyBits:           s.KeyBits,
+			EffectiveKeyBits:  s.EffectiveKeyBits,
+			LeakedBits:        s.LeakedBits,
+			DeadBits:          s.DeadBits,
+			RemovalCandidates: len(s.Removals),
+			WallSeconds:       wall,
+		})
+	}
+	return res, nil
+}
+
 // simPatterns fixes the per-row stimulus volume of the sim-throughput
 // units: enough patterns for a stable wall measurement, small enough
 // that the rows stay a fraction of the sweep.
@@ -394,6 +518,7 @@ func mergeUnits(results []unitResult) *benchReport {
 		rep.Attacks = append(rep.Attacks, r.Attacks...)
 		rep.FabricAttacks = append(rep.FabricAttacks, r.FabricAttacks...)
 		rep.Sims = append(rep.Sims, r.Sims...)
+		rep.Structural = append(rep.Structural, r.Structural...)
 	}
 	for _, d := range rep.Designs {
 		rep.TotalSeconds += d.WallSeconds
@@ -408,6 +533,9 @@ func mergeUnits(results []unitResult) *benchReport {
 		rep.TotalSeconds += d.WallSeconds
 	}
 	for _, d := range rep.Sims {
+		rep.TotalSeconds += d.WallSeconds
+	}
+	for _, d := range rep.Structural {
 		rep.TotalSeconds += d.WallSeconds
 	}
 	return rep
@@ -551,8 +679,8 @@ func runSharded(dataDir string, workers int, gridSelector, outPath string, noWar
 	})
 	check(err)
 	check(writeReport(rep, outPath))
-	fmt.Printf("wrote %s: %d flow runs, %d implementations, %d attacks, %d sim rows\n",
-		outPath, len(rep.Designs), len(rep.Implement), len(rep.Attacks), len(rep.Sims))
+	fmt.Printf("wrote %s: %d flow runs, %d implementations, %d attacks, %d sim rows, %d structural rows\n",
+		outPath, len(rep.Designs), len(rep.Implement), len(rep.Attacks), len(rep.Sims), len(rep.Structural))
 }
 
 // attackFabric prices one fabric's functional configuration against

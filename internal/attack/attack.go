@@ -31,6 +31,7 @@ package attack
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/bits"
 	"math/rand"
 
@@ -84,9 +85,16 @@ func (e *BudgetError) Unwrap() error { return ErrAttackBudget }
 const DefaultWarmupPatterns = 64
 
 // Options configures an attack run.
+//
+// The zero value is NOT a usable configuration: a zero MaxIters is an
+// empty distinguishing-input budget, not an unlimited one, and
+// RecoverBitstreamOpts rejects it with an error. Start from
+// DefaultBudget() for the production sweep budgets or Unlimited() for
+// a run that must converge on its own.
 type Options struct {
 	// MaxIters bounds the number of distinguishing inputs; exhaustion
-	// returns a *BudgetError.
+	// returns a *BudgetError. Zero or negative is an empty budget and
+	// is rejected — use Unlimited() to run without one.
 	MaxIters int
 	// Seed drives distinguishing-input tie-breaking: it seeds the
 	// solver's decision phases (and the warm-up patterns, if any), so
@@ -113,6 +121,38 @@ type Options struct {
 	// the sweep, and the returned *BudgetError reports how much key
 	// survived how much work.
 	MaxConflicts int
+	// FixedKey pins key bits before the attack starts: each entry adds
+	// unit clauses on both miter key copies at that bit position (key
+	// bits are indexed LUT-node order, 2^arity rows per LUT — the same
+	// layout Result.KeyBits counts). The structural analyzer
+	// (internal/structural) emits exactly this map for its leaked and
+	// dead bits; folding them in shrinks every key cone touching them,
+	// which measurably cuts the distinguishing-input count.
+	FixedKey map[int]bool
+}
+
+// Default attack budgets, shared by the benchmark sweep and the serve
+// daemon: generous enough to crack every production fabric the corpus
+// cracks, bounded enough that an uncrackable fabric exhausts
+// deterministically instead of hanging a sweep.
+const (
+	DefaultMaxIters     = 20_000
+	DefaultMaxConflicts = 2_000_000
+)
+
+// DefaultBudget returns Options carrying the production budgets. Callers
+// overlay seed/warm-up settings on top.
+func DefaultBudget() Options {
+	return Options{MaxIters: DefaultMaxIters, MaxConflicts: DefaultMaxConflicts}
+}
+
+// Unlimited returns Options with no iteration or conflict budget — the
+// attack runs until it converges (or forever: prefer DefaultBudget()
+// plus a deadline for anything unattended). This is the explicit
+// spelling of what a zero-valued Options looks like it means but does
+// not mean.
+func Unlimited() Options {
+	return Options{MaxIters: math.MaxInt}
 }
 
 // EffectiveWarmup resolves the warm-up pattern count: NoWarmup wins,
@@ -278,6 +318,9 @@ func RecoverBitstream(ln *techmap.LUTNetwork, maxIters int, seed int64) (*Result
 // RecoverBitstreamOpts runs the attack with explicit Options.
 func RecoverBitstreamOpts(ln *techmap.LUTNetwork, opts Options) (*Result, error) {
 	maxIters, seed := opts.MaxIters, opts.Seed
+	if maxIters <= 0 {
+		return nil, fmt.Errorf("attack: MaxIters %d is an empty budget, not an unlimited one; use attack.Unlimited() or attack.DefaultBudget()", maxIters)
+	}
 	v := newCombView(ln)
 	if len(v.luts) == 0 {
 		return nil, fmt.Errorf("attack: network has no LUTs")
@@ -296,6 +339,20 @@ func RecoverBitstreamOpts(ln *techmap.LUTNetwork, opts Options) (*Result, error)
 	k1b := s.NewVars(v.keyLen) // key copy 1 (also the witness key)
 	k2b := s.NewVars(v.keyLen) // key copy 2
 	s.SeedPhases(seed)         // DIP tie-breaking: seed-dependent first models
+
+	// Structurally resolved key bits arrive as root-level unit clauses
+	// on both copies, in bit order for determinism.
+	for k := range opts.FixedKey {
+		if k < 0 || k >= v.keyLen {
+			return nil, fmt.Errorf("attack: FixedKey bit %d outside key [0,%d)", k, v.keyLen)
+		}
+	}
+	for k := 0; k < v.keyLen; k++ {
+		if b, ok := opts.FixedKey[k]; ok {
+			s.AddClause(sat.MkLit(k1b+k, !b))
+			s.AddClause(sat.MkLit(k2b+k, !b))
+		}
+	}
 
 	// Miter: one symbolic template of the network, stamped twice with
 	// shared inputs and per-copy key/gate blocks.

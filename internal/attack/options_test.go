@@ -1,0 +1,101 @@
+package attack
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"alice/internal/techmap"
+)
+
+// TestEmptyBudgetRejected pins the zero-value footgun: a zero MaxIters
+// is an empty budget, and the engine must refuse it loudly instead of
+// returning an instant *BudgetError that looks like a strong fabric.
+func TestEmptyBudgetRejected(t *testing.T) {
+	ln := mapDesign(t, `
+module f (input wire [1:0] a, output wire y);
+  assign y = a[0] ^ a[1];
+endmodule`)
+	_, err := RecoverBitstreamOpts(ln, Options{Seed: 1})
+	if err == nil {
+		t.Fatal("zero-valued Options accepted; want an empty-budget error")
+	}
+	if errors.Is(err, ErrAttackBudget) {
+		t.Fatalf("empty budget reported as budget exhaustion: %v", err)
+	}
+	if !strings.Contains(err.Error(), "Unlimited") {
+		t.Fatalf("error should point at the Unlimited()/DefaultBudget() constructors: %v", err)
+	}
+}
+
+// TestUnlimitedConverges: Unlimited() really is unlimited — no
+// iteration cap, no conflict cap — and the defaults carry the
+// documented production budgets.
+func TestUnlimitedConverges(t *testing.T) {
+	ln := mapDesign(t, `
+module f (input wire [2:0] a, input wire [2:0] b, output wire [2:0] y);
+  assign y = a ^ b;
+endmodule`)
+	o := Unlimited()
+	if o.MaxConflicts != 0 {
+		t.Fatalf("Unlimited().MaxConflicts = %d, want 0 (no cap)", o.MaxConflicts)
+	}
+	o.Seed = 1
+	res, err := RecoverBitstreamOpts(ln, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := VerifyKey(ln, res.Masks, 300, 2); bad != 0 {
+		t.Fatalf("recovered key wrong on %d patterns", bad)
+	}
+	if d := DefaultBudget(); d.MaxIters != DefaultMaxIters || d.MaxConflicts != DefaultMaxConflicts {
+		t.Fatalf("DefaultBudget() = %+v", d)
+	}
+}
+
+// TestFixedKeySeeding pre-pins the whole recovered key and reruns the
+// attack: the DIP count must collapse (every cone folds to constants)
+// and the recovered key must still verify. Out-of-range bits error.
+func TestFixedKeySeeding(t *testing.T) {
+	ln := mapDesign(t, `
+module f (input wire [3:0] a, input wire [3:0] b, output wire [3:0] y);
+  assign y = (a & b) | (a + b);
+endmodule`)
+	base, err := RecoverBitstreamOpts(ln, Options{MaxIters: 500, Seed: 1, NoWarmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the key-bit layout (LUT nodes in id order, 2^arity rows)
+	// from the recovered per-node masks.
+	fixed := make(map[int]bool)
+	kpos := 0
+	for i, nd := range ln.Nodes {
+		if nd.Kind != techmap.LLUT {
+			continue
+		}
+		m := base.Masks[int32(i)]
+		for r := 0; r < 1<<uint(len(nd.In)); r++ {
+			fixed[kpos] = m&(1<<uint(r)) != 0
+			kpos++
+		}
+	}
+	if kpos != base.KeyBits {
+		t.Fatalf("layout mismatch: rebuilt %d bits, attack says %d", kpos, base.KeyBits)
+	}
+	seeded, err := RecoverBitstreamOpts(ln, Options{MaxIters: 500, Seed: 1, NoWarmup: true, FixedKey: fixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Iterations >= base.Iterations {
+		t.Fatalf("fully seeded attack took %d DIPs, unseeded %d — seeding must cut the count",
+			seeded.Iterations, base.Iterations)
+	}
+	if bad := VerifyKey(ln, seeded.Masks, 300, 2); bad != 0 {
+		t.Fatalf("seeded key wrong on %d patterns", bad)
+	}
+
+	if _, err := RecoverBitstreamOpts(ln, Options{MaxIters: 10, Seed: 1,
+		FixedKey: map[int]bool{base.KeyBits: true}}); err == nil {
+		t.Fatal("out-of-range FixedKey bit accepted")
+	}
+}

@@ -91,6 +91,20 @@ type Config struct {
 	// carry (fast-mode estimates unless FullPnR is on), and
 	// ImplementSolution re-checks it against the exact routed timing.
 	FmaxFloorMHz float64
+	// KeyWeight weights the security term of selection: each candidate's
+	// score gains KeyWeight * EffectiveKeyBits/MaxEffectiveKeyBits, where
+	// the effective key length comes from the oracle-free structural
+	// analysis (internal/structural) of the redacted fabric — leaked and
+	// dead configuration bits don't count. 0 disables the term,
+	// reproducing the paper's ranking.
+	KeyWeight float64
+	// MinEffectiveKeyBits rejects candidate fabrics whose structural
+	// effective key length falls below this floor (0 = no floor). This is
+	// the security-constrained redaction workload: a fabric whose key
+	// leaks down to a weak residue is inadmissible no matter how cheap,
+	// mirroring FmaxFloorMHz for timing. Rejections carry
+	// ErrBelowKeyFloor.
+	MinEffectiveKeyBits int
 }
 
 // archSpace returns the normalized architecture space (defaulting to
@@ -156,6 +170,9 @@ func Cfg2() *Config {
 //	  driven: true             # criticality-driven place & route
 //	  delay_weight: 0.5        # gamma: Fmax term weight in selection
 //	  fmax_floor_mhz: 250      # reject fabrics slower than this
+//	security:
+//	  key_weight: 0.5          # effective-key term weight in selection
+//	  min_effective_key_bits: 64  # reject fabrics leaking below this
 //	arch_space:
 //	  lut_sizes: [4, 5]        # K values to explore
 //	  bles_per_clb: [4, 8]     # N values to explore (cartesian with K)
@@ -203,6 +220,10 @@ func LoadConfig(src string) (*Config, error) {
 		cfg.TimingDriven = yamlcfg.GetBool(t, "driven", cfg.TimingDriven)
 		cfg.DelayWeight = yamlcfg.GetFloat(t, "delay_weight", cfg.DelayWeight)
 		cfg.FmaxFloorMHz = yamlcfg.GetFloat(t, "fmax_floor_mhz", cfg.FmaxFloorMHz)
+	}
+	if sec, ok := yamlcfg.GetMap(m["security"]); ok {
+		cfg.KeyWeight = yamlcfg.GetFloat(sec, "key_weight", cfg.KeyWeight)
+		cfg.MinEffectiveKeyBits = yamlcfg.GetInt(sec, "min_effective_key_bits", cfg.MinEffectiveKeyBits)
 	}
 	if a, ok := yamlcfg.GetMap(m["arch_space"]); ok {
 		space, err := parseArchSpace(a)
@@ -326,8 +347,9 @@ func (c *Config) characterizationFingerprint() string {
 	// TimingDriven changes the characterized fabric only when place &
 	// route actually runs during characterization (FullPnR); in fast
 	// mode the flag is keyed out so timing-on and timing-off sweeps
-	// share cached fabrics. DelayWeight and FmaxFloorMHz only affect
-	// selection and deliberately stay out of the key.
+	// share cached fabrics. DelayWeight, FmaxFloorMHz, KeyWeight and
+	// MinEffectiveKeyBits only affect selection and deliberately stay
+	// out of the key.
 	return fmt.Sprintf("w[%d,%d]|pnr=%t|seed=%d|timing=%t",
 		c.MinFabric, c.MaxFabric, c.FullPnR, c.Seed, c.FullPnR && c.TimingDriven)
 }
@@ -351,6 +373,12 @@ func (c *Config) Validate() error {
 	}
 	if c.FmaxFloorMHz < 0 {
 		return fmt.Errorf("core: timing.fmax_floor_mhz must be non-negative (got %g)", c.FmaxFloorMHz)
+	}
+	if c.KeyWeight < 0 {
+		return fmt.Errorf("core: security.key_weight must be non-negative (got %g)", c.KeyWeight)
+	}
+	if c.MinEffectiveKeyBits < 0 {
+		return fmt.Errorf("core: security.min_effective_key_bits must be non-negative (got %d)", c.MinEffectiveKeyBits)
 	}
 	for _, p := range c.ArchSpace {
 		if err := p.Validate(); err != nil {

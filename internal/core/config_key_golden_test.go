@@ -28,11 +28,11 @@ func TestConfigKeyGolden(t *testing.T) {
 		want string
 	}{
 		{"default", DefaultConfig(),
-			"{Top: SelectedOutputs:[] MaxIOPins:64 MaxEFPGAs:2 Alpha:1 Beta:1 MinFabric:2 MaxFabric:20 TopScoreOnly:true FullPnR:false ImplementWinner:false Direction:0 Seed:1 MaxClusters:100000 ArchSpace:[] TimingDriven:false DelayWeight:0 FmaxFloorMHz:0}"},
+			"{Top: SelectedOutputs:[] MaxIOPins:64 MaxEFPGAs:2 Alpha:1 Beta:1 MinFabric:2 MaxFabric:20 TopScoreOnly:true FullPnR:false ImplementWinner:false Direction:0 Seed:1 MaxClusters:100000 ArchSpace:[] TimingDriven:false DelayWeight:0 FmaxFloorMHz:0 KeyWeight:0 MinEffectiveKeyBits:0}"},
 		{"cfg2", Cfg2(),
-			"{Top: SelectedOutputs:[] MaxIOPins:96 MaxEFPGAs:1 Alpha:1 Beta:1 MinFabric:2 MaxFabric:20 TopScoreOnly:true FullPnR:false ImplementWinner:false Direction:0 Seed:1 MaxClusters:100000 ArchSpace:[] TimingDriven:false DelayWeight:0 FmaxFloorMHz:0}"},
+			"{Top: SelectedOutputs:[] MaxIOPins:96 MaxEFPGAs:1 Alpha:1 Beta:1 MinFabric:2 MaxFabric:20 TopScoreOnly:true FullPnR:false ImplementWinner:false Direction:0 Seed:1 MaxClusters:100000 ArchSpace:[] TimingDriven:false DelayWeight:0 FmaxFloorMHz:0 KeyWeight:0 MinEffectiveKeyBits:0}"},
 		{"archspace", arch,
-			"{Top: SelectedOutputs:[result done] MaxIOPins:64 MaxEFPGAs:2 Alpha:1 Beta:1 MinFabric:2 MaxFabric:20 TopScoreOnly:true FullPnR:false ImplementWinner:false Direction:0 Seed:1 MaxClusters:100000 ArchSpace:[{LUTSize:5 BLEsPerCLB:8 CLBInputs:0 GPIOPerTile:0 ChannelWidth:0}] TimingDriven:false DelayWeight:0 FmaxFloorMHz:0}"},
+			"{Top: SelectedOutputs:[result done] MaxIOPins:64 MaxEFPGAs:2 Alpha:1 Beta:1 MinFabric:2 MaxFabric:20 TopScoreOnly:true FullPnR:false ImplementWinner:false Direction:0 Seed:1 MaxClusters:100000 ArchSpace:[{LUTSize:5 BLEsPerCLB:8 CLBInputs:0 GPIOPerTile:0 ChannelWidth:0}] TimingDriven:false DelayWeight:0 FmaxFloorMHz:0 KeyWeight:0 MinEffectiveKeyBits:0}"},
 	}
 	for _, g := range golden {
 		if got := g.cfg.Key(); got != g.want {

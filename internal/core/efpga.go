@@ -11,6 +11,7 @@ import (
 	"alice/internal/netlist"
 	"alice/internal/openfpga"
 	"alice/internal/rtl"
+	"alice/internal/structural"
 	"alice/internal/techmap"
 	"alice/internal/verilog"
 )
@@ -97,6 +98,12 @@ type FabricCandidate struct {
 	// Slack is Eq. 1 exactly as printed in the paper (see select.go).
 	Score float64
 	Slack float64
+	// Structural is the oracle-free structural analysis of the
+	// programmed fabric (key-bit classification and effective key
+	// length). Selection fills it in — it lives on the candidate, not
+	// the fabric, because cached fabrics are shared across configs and
+	// may predate the analyzer.
+	Structural *structural.Report
 }
 
 // Valid reports whether the eFPGA implementation is admissible: it

@@ -44,6 +44,11 @@ var (
 	// ErrBelowFmaxFloor: a characterized fabric was rejected by the
 	// configuration's Fmax floor (Config.FmaxFloorMHz).
 	ErrBelowFmaxFloor = errors.New("fabric Fmax below the configured floor")
+	// ErrBelowKeyFloor: a characterized fabric was rejected by the
+	// configuration's structural-security floor
+	// (Config.MinEffectiveKeyBits): too few key bits survive the
+	// oracle-free structural analysis.
+	ErrBelowKeyFloor = errors.New("fabric effective key length below the configured floor")
 )
 
 // FlowError is a stage-attributed flow diagnostic. It wraps one of the

@@ -361,6 +361,9 @@ func (r *Report) Summary() string {
 				}
 				fmt.Fprintf(&b, " critpath=%.2fns fmax=%.0fMHz%s", t.CritPathNs, t.FmaxMHz, est)
 			}
+			if s := f.Structural; s != nil {
+				fmt.Fprintf(&b, " effkey=%d (leaked=%d dead=%d)", s.EffectiveKeyBits, s.LeakedBits, s.DeadBits)
+			}
 			b.WriteByte('\n')
 		}
 	}

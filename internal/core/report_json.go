@@ -56,6 +56,16 @@ type fabricJSON struct {
 	CritPathNs      float64 `json:"crit_path_ns,omitempty"`
 	FmaxMHz         float64 `json:"fmax_mhz,omitempty"`
 	TimingEstimated bool    `json:"timing_estimated,omitempty"`
+	// Oracle-free structural analysis of the programmed fabric: the
+	// functional key size, how much of it is structurally leaked or
+	// dead, what survives, and how many removal-attack candidates the
+	// redundancy pass flagged. KeyBits can differ from ConfigBits (the
+	// latter counts routing bits too).
+	KeyBits           int `json:"key_bits"`
+	EffectiveKeyBits  int `json:"effective_key_bits"`
+	LeakedKeyBits     int `json:"leaked_key_bits"`
+	DeadKeyBits       int `json:"dead_key_bits"`
+	RemovalCandidates int `json:"removal_candidates"`
 }
 
 // archJSON is the per-family row of an architecture-space run.
@@ -116,6 +126,13 @@ func (r *Report) JSON() ([]byte, error) {
 				fj.CritPathNs = t.CritPathNs
 				fj.FmaxMHz = t.FmaxMHz
 				fj.TimingEstimated = t.Estimated
+			}
+			if s := f.Structural; s != nil {
+				fj.KeyBits = s.KeyBits
+				fj.EffectiveKeyBits = s.EffectiveKeyBits
+				fj.LeakedKeyBits = s.LeakedBits
+				fj.DeadKeyBits = s.DeadBits
+				fj.RemovalCandidates = len(s.Removals)
 			}
 			s.Fabrics = append(s.Fabrics, fj)
 		}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"alice/internal/rtl"
+	"alice/internal/structural"
 )
 
 // Solution is one admissible set of non-overlapping eFPGA
@@ -49,10 +50,12 @@ type SelectionResult struct {
 	// Best is the chosen solution (nil when none exists).
 	Best *Solution
 	// MaxIOUtil / MaxCLBUtil are the normalization terms of Eq. 1;
-	// MaxFmaxMHz normalizes the delay term the same way.
-	MaxIOUtil  float64
-	MaxCLBUtil float64
-	MaxFmaxMHz float64
+	// MaxFmaxMHz normalizes the delay term and MaxEffectiveKeyBits the
+	// security term the same way.
+	MaxIOUtil           float64
+	MaxCLBUtil          float64
+	MaxFmaxMHz          float64
+	MaxEffectiveKeyBits int
 	// Direction records the Eq.-1 ranking used, so per-family reporting
 	// compares candidates with the same metric selection did.
 	Direction ScoreDirection
@@ -73,21 +76,45 @@ func SelectEFPGAs(ctx context.Context, cands []FabricCandidate, cfg *Config) (*S
 	cands = append([]FabricCandidate(nil), cands...)
 	res := &SelectionResult{Candidates: cands, Direction: cfg.Direction}
 	floorRejected := 0
+	keyRejected := 0
 	for i := range cands {
 		c := &cands[i]
-		if c.Err != nil && errors.Is(c.Err, ErrBelowFmaxFloor) {
-			c.Err = nil // this config's floor decides below
+		if c.Err != nil && (errors.Is(c.Err, ErrBelowFmaxFloor) || errors.Is(c.Err, ErrBelowKeyFloor)) {
+			c.Err = nil // this config's floors decide below
 		}
-		if cfg.FmaxFloorMHz <= 0 || !c.Valid() {
+		if c.Fabric == nil {
 			continue
 		}
-		fm := 0.0
-		if c.Fabric.Timing != nil {
-			fm = c.Fabric.Timing.FmaxMHz
+		// Oracle-free structural analysis of the programmed fabric: the
+		// report prices the security term, feeds the floor, and rides to
+		// the flow report. It lives on the candidate copy because cached
+		// fabrics are shared across configurations.
+		if c.Structural == nil {
+			c.Structural, _ = structural.Analyze(c.Fabric.LUTs, structural.Options{Seed: cfg.Seed})
 		}
-		if fm < cfg.FmaxFloorMHz {
-			c.Err = fmt.Errorf("%.1f MHz < floor %.1f MHz: %w", fm, cfg.FmaxFloorMHz, ErrBelowFmaxFloor)
-			floorRejected++
+		if !c.Valid() {
+			continue
+		}
+		if cfg.FmaxFloorMHz > 0 {
+			fm := 0.0
+			if c.Fabric.Timing != nil {
+				fm = c.Fabric.Timing.FmaxMHz
+			}
+			if fm < cfg.FmaxFloorMHz {
+				c.Err = fmt.Errorf("%.1f MHz < floor %.1f MHz: %w", fm, cfg.FmaxFloorMHz, ErrBelowFmaxFloor)
+				floorRejected++
+				continue
+			}
+		}
+		if cfg.MinEffectiveKeyBits > 0 {
+			if c.Structural == nil {
+				c.Err = fmt.Errorf("structural analysis unavailable: %w", ErrBelowKeyFloor)
+				keyRejected++
+			} else if eff := c.Structural.EffectiveKeyBits; eff < cfg.MinEffectiveKeyBits {
+				c.Err = fmt.Errorf("%d effective key bits (of %d) < floor %d: %w",
+					eff, c.Structural.KeyBits, cfg.MinEffectiveKeyBits, ErrBelowKeyFloor)
+				keyRejected++
+			}
 		}
 	}
 	var valid []*FabricCandidate
@@ -98,6 +125,10 @@ func SelectEFPGAs(ctx context.Context, cands []FabricCandidate, cfg *Config) (*S
 	}
 	res.ValidCount = len(valid)
 	if len(valid) == 0 {
+		if keyRejected > 0 {
+			return res, fmt.Errorf("%w (%d fabrics rejected: %w of %d bits)",
+				ErrNoValidEFPGA, keyRejected, ErrBelowKeyFloor, cfg.MinEffectiveKeyBits)
+		}
 		if floorRejected > 0 {
 			return res, fmt.Errorf("%w (%d fabrics rejected: %w at %.1f MHz)",
 				ErrNoValidEFPGA, floorRejected, ErrBelowFmaxFloor, cfg.FmaxFloorMHz)
@@ -116,10 +147,13 @@ func SelectEFPGAs(ctx context.Context, cands []FabricCandidate, cfg *Config) (*S
 		if t := f.Fabric.Timing; t != nil && t.FmaxMHz > res.MaxFmaxMHz {
 			res.MaxFmaxMHz = t.FmaxMHz
 		}
+		if s := f.Structural; s != nil && s.EffectiveKeyBits > res.MaxEffectiveKeyBits {
+			res.MaxEffectiveKeyBits = s.EffectiveKeyBits
+		}
 	}
 	for _, f := range valid {
-		f.Slack = eq1(f, res.MaxIOUtil, res.MaxCLBUtil, res.MaxFmaxMHz, cfg)
-		f.Score = utilReward(f, res.MaxIOUtil, res.MaxCLBUtil, res.MaxFmaxMHz, cfg)
+		f.Slack = eq1(f, res.MaxIOUtil, res.MaxCLBUtil, res.MaxFmaxMHz, res.MaxEffectiveKeyBits, cfg)
+		f.Score = utilReward(f, res.MaxIOUtil, res.MaxCLBUtil, res.MaxFmaxMHz, res.MaxEffectiveKeyBits, cfg)
 	}
 
 	// Pairwise conflicts: shared instances or hierarchy containment.
@@ -227,9 +261,11 @@ func SelectEFPGAs(ctx context.Context, cands []FabricCandidate, cfg *Config) (*S
 //	    + beta  * (MaxCLBUtil - CLBUtil_f) / MaxCLBUtil
 //
 // extended by the delay-overhead term of the timing-driven flow,
-// gamma * (MaxFmax - Fmax_f) / MaxFmax (0 when DelayWeight is 0).
+// gamma * (MaxFmax - Fmax_f) / MaxFmax (0 when DelayWeight is 0), and
+// by the security-slack term KeyWeight * (MaxEff - Eff_f) / MaxEff over
+// the structural effective key length (0 when KeyWeight is 0).
 // This is a slack: 0 for the best fabric on every axis.
-func eq1(f *FabricCandidate, maxIO, maxCLB, maxFmax float64, cfg *Config) float64 {
+func eq1(f *FabricCandidate, maxIO, maxCLB, maxFmax float64, maxEff int, cfg *Config) float64 {
 	t := 0.0
 	if maxIO > 0 {
 		t += cfg.Alpha * (maxIO - f.Fabric.IOUtil) / maxIO
@@ -240,6 +276,9 @@ func eq1(f *FabricCandidate, maxIO, maxCLB, maxFmax float64, cfg *Config) float6
 	if cfg.DelayWeight > 0 && maxFmax > 0 {
 		t += cfg.DelayWeight * (maxFmax - fmaxOf(f)) / maxFmax
 	}
+	if cfg.KeyWeight > 0 && maxEff > 0 {
+		t += cfg.KeyWeight * float64(maxEff-effKeyOf(f)) / float64(maxEff)
+	}
 	return t
 }
 
@@ -248,8 +287,9 @@ func eq1(f *FabricCandidate, maxIO, maxCLB, maxFmax float64, cfg *Config) float6
 // with high I/O and CLB utilization (harder to attack per Sec. 6) score
 // higher, and solutions with more well-utilized fabrics win. The
 // timing-driven flow adds gamma*Fmax/MaxFmax, rewarding faster fabrics
-// the same normalized way.
-func utilReward(f *FabricCandidate, maxIO, maxCLB, maxFmax float64, cfg *Config) float64 {
+// the same normalized way, and KeyWeight adds Eff/MaxEff, rewarding
+// fabrics whose configuration survives structural analysis.
+func utilReward(f *FabricCandidate, maxIO, maxCLB, maxFmax float64, maxEff int, cfg *Config) float64 {
 	t := 0.0
 	if maxIO > 0 {
 		t += cfg.Alpha * f.Fabric.IOUtil / maxIO
@@ -260,6 +300,9 @@ func utilReward(f *FabricCandidate, maxIO, maxCLB, maxFmax float64, cfg *Config)
 	if cfg.DelayWeight > 0 && maxFmax > 0 {
 		t += cfg.DelayWeight * fmaxOf(f) / maxFmax
 	}
+	if cfg.KeyWeight > 0 && maxEff > 0 {
+		t += cfg.KeyWeight * float64(effKeyOf(f)) / float64(maxEff)
+	}
 	return t
 }
 
@@ -267,6 +310,15 @@ func utilReward(f *FabricCandidate, maxIO, maxCLB, maxFmax float64, cfg *Config)
 func fmaxOf(f *FabricCandidate) float64 {
 	if t := f.Fabric.Timing; t != nil {
 		return t.FmaxMHz
+	}
+	return 0
+}
+
+// effKeyOf returns a candidate's structural effective key length
+// (0 when the analysis is absent).
+func effKeyOf(f *FabricCandidate) int {
+	if s := f.Structural; s != nil {
+		return s.EffectiveKeyBits
 	}
 	return 0
 }

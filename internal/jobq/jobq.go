@@ -166,6 +166,11 @@ type Queue struct {
 	// so Shutdown can close the work channel without racing a send.
 	submitters sync.WaitGroup
 
+	// jitter feeds the retry backoff (guarded by mu, like every
+	// backoff call): queue-owned so the package never perturbs the
+	// process-global math/rand stream.
+	jitter *rand.Rand
+
 	work     chan string
 	done     chan struct{} // closed when all workers have exited
 	baseCtx  context.Context
@@ -224,6 +229,7 @@ func New(opts Options) (*Queue, error) {
 		done:     make(chan struct{}),
 		baseCtx:  baseCtx,
 		stopBase: stopBase,
+		jitter:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	pending, err := q.recover()
 	if err != nil {
@@ -526,7 +532,7 @@ func (q *Queue) backoff(attempts int) time.Duration {
 		d = q.opts.RetryMaxDelay
 	}
 	if d > 1 {
-		d -= time.Duration(rand.Int63n(int64(d) / 2))
+		d -= time.Duration(q.jitter.Int63n(int64(d) / 2))
 	}
 	return d
 }

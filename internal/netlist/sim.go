@@ -40,7 +40,7 @@ func (s *Simulator) Reset() {
 func (s *Simulator) Eval(inputs []bool) []bool {
 	out, err := s.EvalChecked(inputs)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //alicelint:allow-panic — wrapper over the Checked/Try variant; errors here are caller bugs
 	}
 	return out
 }
@@ -95,7 +95,7 @@ func (s *Simulator) EvalChecked(inputs []bool) ([]bool, error) {
 func (s *Simulator) Step(inputs []bool) []bool {
 	out, err := s.StepChecked(inputs)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //alicelint:allow-panic — wrapper over the Checked/Try variant; errors here are caller bugs
 	}
 	return out
 }

@@ -51,7 +51,7 @@ func (s *WordSim) Reset() {
 func (s *WordSim) Eval(inputs []uint64) []uint64 {
 	out, err := s.EvalChecked(inputs)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //alicelint:allow-panic — wrapper over the Checked/Try variant; errors here are caller bugs
 	}
 	return out
 }
@@ -105,7 +105,7 @@ func (s *WordSim) EvalChecked(inputs []uint64) ([]uint64, error) {
 func (s *WordSim) Step(inputs []uint64) []uint64 {
 	out, err := s.StepChecked(inputs)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //alicelint:allow-panic — wrapper over the Checked/Try variant; errors here are caller bugs
 	}
 	return out
 }

@@ -51,7 +51,7 @@ func (v *VectorSim) Reset() { v.sim.Reset() }
 // co-simulating a redaction against its original) must use TrySet.
 func (v *VectorSim) Set(port string, val uint64) {
 	if err := v.TrySet(port, val); err != nil {
-		panic(err.Error())
+		panic(err.Error()) //alicelint:allow-panic — wrapper over the Checked/Try variant; errors here are caller bugs
 	}
 }
 
@@ -103,7 +103,7 @@ func (v *VectorSim) StepChecked() error {
 func (v *VectorSim) Out(port string) uint64 {
 	w, err := v.TryOut(port)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //alicelint:allow-panic — wrapper over the Checked/Try variant; errors here are caller bugs
 	}
 	return w
 }

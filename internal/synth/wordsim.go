@@ -56,7 +56,7 @@ func (v *WordVectorSim) Reset() { v.sim.Reset() }
 // ports derived from a different design must use TrySet.
 func (v *WordVectorSim) Set(port string, words []uint64) {
 	if err := v.TrySet(port, words); err != nil {
-		panic(err.Error())
+		panic(err.Error()) //alicelint:allow-panic — wrapper over the Checked/Try variant; errors here are caller bugs
 	}
 }
 
@@ -116,7 +116,7 @@ func (v *WordVectorSim) StepChecked() error {
 func (v *WordVectorSim) Out(port string) []uint64 {
 	w, err := v.TryOut(port)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //alicelint:allow-panic — wrapper over the Checked/Try variant; errors here are caller bugs
 	}
 	return w
 }

@@ -35,7 +35,7 @@ func (s *LUTSim) Reset() {
 func (s *LUTSim) Eval(inputs []bool) []bool {
 	out, err := s.EvalChecked(inputs)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //alicelint:allow-panic — wrapper over the Checked/Try variant; errors here are caller bugs
 	}
 	return out
 }

@@ -96,7 +96,7 @@ func (s *LUTWordSim) EvalChecked(inputs []uint64) ([]uint64, error) {
 func (s *LUTWordSim) Eval(inputs []uint64) []uint64 {
 	out, err := s.EvalChecked(inputs)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //alicelint:allow-panic — wrapper over the Checked/Try variant; errors here are caller bugs
 	}
 	return out
 }

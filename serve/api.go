@@ -33,6 +33,14 @@ type JobRequest struct {
 	// the chosen solution and reports per-fabric verdicts.
 	Attack *AttackRequest `json:"attack,omitempty"`
 
+	// Structural, when true, reports the oracle-free structural
+	// analysis of every solution fabric (key-bit classification and
+	// effective key length). When an attack stage is also requested,
+	// the structurally leaked and dead bits seed the SAT attack as
+	// fixed key assignments, the way a real attacker would combine the
+	// two. It is part of the memoization key.
+	Structural bool `json:"structural,omitempty"`
+
 	// Fresh bypasses the memoized-result store: the flow (and attack)
 	// run even if an identical request has a stored result. The store
 	// record is refreshed afterwards.
@@ -80,6 +88,27 @@ type AttackVerdict struct {
 	Error string `json:"error,omitempty"`
 }
 
+// StructuralVerdict is the oracle-free structural analysis of one
+// solution fabric: how much of its key an attacker learns without a
+// working oracle, and what survives.
+type StructuralVerdict struct {
+	// Fabric identifies the analyzed implementation ("8x8 K4/N4").
+	Fabric string `json:"fabric"`
+	// KeyBits is the functional key size (LUT mask bits; routing bits
+	// are not part of the attack surface).
+	KeyBits int `json:"key_bits"`
+	// EffectiveKeyBits is what survives the analysis: KeyBits minus
+	// the leaked and dead bits.
+	EffectiveKeyBits int `json:"effective_key_bits"`
+	// LeakedBits counts bits whose value the analysis recovered
+	// outright; DeadBits counts bits that cannot influence any output.
+	LeakedBits int `json:"leaked_bits"`
+	DeadBits   int `json:"dead_bits"`
+	// RemovalCandidates counts fabric outputs structurally equivalent
+	// to nearby static nets (removal-attack starting points).
+	RemovalCandidates int `json:"removal_candidates"`
+}
+
 // JobResult is the decoded result of a succeeded job.
 type JobResult struct {
 	// Design is the top module name.
@@ -89,6 +118,9 @@ type JobResult struct {
 	// Attack holds one verdict per solution fabric (requests with an
 	// attack stage only).
 	Attack []AttackVerdict `json:"attack,omitempty"`
+	// Structural holds one verdict per solution fabric (requests with
+	// structural analysis only).
+	Structural []StructuralVerdict `json:"structural,omitempty"`
 	// Cached is true when the result was served from the persistent
 	// store without running the flow.
 	Cached bool `json:"cached"`

@@ -68,13 +68,14 @@ const probeKey = "probe\x00health"
 
 // DefaultAttackIters and DefaultAttackConflicts are the budgets
 // applied when an attack request sets no bound of its own (the attack
-// engine treats zero as an empty budget, not as unlimited): large
-// enough to crack every paper benchmark's fabrics, small enough that
-// an uncrackable fabric fails deterministically instead of pinning a
-// worker. They match the alicebench sweep budgets.
+// engine treats zero as an empty budget, not as unlimited — see
+// attack.DefaultBudget): large enough to crack every paper
+// benchmark's fabrics, small enough that an uncrackable fabric fails
+// deterministically instead of pinning a worker. They are the attack
+// engine's own defaults, shared with the alicebench sweep budgets.
 const (
-	DefaultAttackIters     = 20_000
-	DefaultAttackConflicts = 2_000_000
+	DefaultAttackIters     = attack.DefaultMaxIters
+	DefaultAttackConflicts = attack.DefaultMaxConflicts
 )
 
 // StoreFile is the name of the store log inside the data directory.
@@ -279,11 +280,12 @@ func (s *Server) probeLoop() {
 // prepared is a resolved job request: the design source, the effective
 // configuration, normalized attack options, and the memoization key.
 type prepared struct {
-	src    string
-	cfg    *alice.Config
-	attack *attack.Options // nil when no attack stage
-	memoID string          // hex digest, reported as JobResult.StoreKey
-	key    string          // full store key (resultPrefix + memoID)
+	src        string
+	cfg        *alice.Config
+	attack     *attack.Options // nil when no attack stage
+	structural bool            // report structural verdicts (and seed the attack)
+	memoID     string          // hex digest, reported as JobResult.StoreKey
+	key        string          // full store key (resultPrefix + memoID)
 }
 
 // resolve validates the request shape and resolves source + config.
@@ -386,13 +388,21 @@ func (s *Server) prepare(req *JobRequest) (*prepared, error) {
 		fmt.Fprintf(h, "attack:iters=%d,conflicts=%d,seed=%d,warmup=%d",
 			aopts.MaxIters, aopts.MaxConflicts, aopts.Seed, aopts.EffectiveWarmup())
 	}
+	if req.Structural {
+		// Appended only when set, so every pre-structural record keeps
+		// its key. A structural request changes the result shape (the
+		// verdicts) and, with an attack stage, its work (seeding), so
+		// it must not alias a plain record.
+		fmt.Fprintf(h, "\x00structural")
+	}
 	id := hex.EncodeToString(h.Sum(nil))
 	return &prepared{
-		src:    src,
-		cfg:    cfg,
-		attack: aopts,
-		memoID: id,
-		key:    resultPrefix + id,
+		src:        src,
+		cfg:        cfg,
+		attack:     aopts,
+		structural: req.Structural,
+		memoID:     id,
+		key:        resultPrefix + id,
 	}, nil
 }
 
@@ -442,13 +452,25 @@ func (s *Server) runJob(ctx context.Context, job *jobq.Job) ([]byte, error) {
 		Report:   repJSON,
 		StoreKey: pj.memoID,
 	}
-	if pj.attack != nil && rep.Err == nil && rep.Solution != nil {
+	if rep.Err == nil && rep.Solution != nil {
 		for _, fc := range rep.Solution.Fabrics {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			s.attackRuns.Add(1)
-			res.Attack = append(res.Attack, runAttack(fc, *pj.attack))
+			if pj.structural {
+				res.Structural = append(res.Structural, structuralVerdict(fc))
+			}
+			if pj.attack != nil {
+				s.attackRuns.Add(1)
+				aopts := *pj.attack
+				if pj.structural && fc.Structural != nil {
+					// Seed the attack with the structurally known bits,
+					// the way an attacker would: leaked bits at their
+					// recovered values, dead bits at any fixed value.
+					aopts.FixedKey = fc.Structural.FixedKey()
+				}
+				res.Attack = append(res.Attack, runAttack(fc, aopts))
+			}
 		}
 	}
 	res.ElapsedMS = time.Since(start).Milliseconds()
@@ -465,6 +487,25 @@ func (s *Server) runJob(ctx context.Context, job *jobq.Job) ([]byte, error) {
 		s.noteStoreErr(err)
 	}
 	return raw, nil
+}
+
+// structuralVerdict projects a selection-time structural report onto
+// the API view. Selection analyzes every characterized fabric, so a
+// missing report (a candidate predating the analyzer in a persisted
+// cache) degrades to a zeroed verdict rather than failing the job.
+func structuralVerdict(fc *alice.FabricCandidate) StructuralVerdict {
+	arch := fc.Fabric.Arch
+	v := StructuralVerdict{
+		Fabric: fmt.Sprintf("%dx%d K%d/N%d", arch.W, arch.W, arch.LUTSize, arch.BLEsPerCLB),
+	}
+	if s := fc.Structural; s != nil {
+		v.KeyBits = s.KeyBits
+		v.EffectiveKeyBits = s.EffectiveKeyBits
+		v.LeakedBits = s.LeakedBits
+		v.DeadBits = s.DeadBits
+		v.RemovalCandidates = len(s.Removals)
+	}
+	return v
 }
 
 // runAttack evaluates one solution fabric under the SAT attack.

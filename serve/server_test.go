@@ -436,3 +436,61 @@ func TestAttackBudgetMemoized(t *testing.T) {
 		t.Errorf("budget verdict was not memoized")
 	}
 }
+
+// TestStructuralVerdicts: a structural request carries one verdict per
+// solution fabric with a consistent key-bit breakdown, memoizes under
+// its own key (it changes both the result shape and the attack
+// seeding), and an attack stage alongside it still reaches a
+// deterministic verdict with the leaked/dead bits pinned.
+func TestStructuralVerdicts(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	defer closeServer(t, srv, ts)
+
+	plainReq := `{"bench":"gcd","cfg":1,"attack":{"max_conflicts":5000,"seed":7}}`
+	plain := waitJob(t, ts.URL, postJob(t, ts.URL, plainReq).ID)
+	if plain.State != "succeeded" {
+		t.Fatalf("plain run: %s (%s)", plain.State, plain.Error)
+	}
+	if len(plain.Result.Structural) != 0 {
+		t.Fatalf("plain run carried structural verdicts: %+v", plain.Result.Structural)
+	}
+
+	structReq := `{"bench":"gcd","cfg":1,"structural":true,"attack":{"max_conflicts":5000,"seed":7}}`
+	done := waitJob(t, ts.URL, postJob(t, ts.URL, structReq).ID)
+	if done.State != "succeeded" {
+		t.Fatalf("structural run: %s (%s)", done.State, done.Error)
+	}
+	res := done.Result
+	if res.Cached {
+		t.Fatalf("structural request aliased the plain record")
+	}
+	if res.StoreKey == plain.Result.StoreKey {
+		t.Fatalf("structural flag absent from the memo key: %s", res.StoreKey)
+	}
+	if len(res.Structural) == 0 {
+		t.Fatalf("structural run carried no verdicts")
+	}
+	if len(res.Structural) != len(res.Attack) {
+		t.Fatalf("verdict counts differ: %d structural vs %d attack", len(res.Structural), len(res.Attack))
+	}
+	for _, v := range res.Structural {
+		if v.KeyBits <= 0 {
+			t.Errorf("fabric %s: key_bits %d", v.Fabric, v.KeyBits)
+		}
+		if v.EffectiveKeyBits != v.KeyBits-v.LeakedBits-v.DeadBits {
+			t.Errorf("fabric %s: inconsistent breakdown %+v", v.Fabric, v)
+		}
+	}
+	for _, v := range res.Attack {
+		if !v.Cracked && !v.BudgetExceeded {
+			t.Errorf("seeded attack verdict neither cracked nor budget-exceeded: %+v", v)
+		}
+	}
+
+	// The identical structural request memoizes to the same record.
+	again := waitJob(t, ts.URL, postJob(t, ts.URL, structReq).ID)
+	if !again.Result.Cached || again.Result.StoreKey != res.StoreKey {
+		t.Errorf("structural result not memoized: cached=%v key=%s want %s",
+			again.Result.Cached, again.Result.StoreKey, res.StoreKey)
+	}
+}

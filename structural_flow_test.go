@@ -1,0 +1,236 @@
+package alice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"alice/internal/attack"
+	"alice/internal/opt"
+	"alice/internal/rtl"
+	"alice/internal/structural"
+	"alice/internal/synth"
+	"alice/internal/techmap"
+	"alice/internal/verilog"
+)
+
+// mapDesign synthesizes Verilog source and maps the optimized netlist
+// at LUT size k — the same front half the flow's characterization uses.
+func mapDesign(t *testing.T, src string, k int) *techmap.LUTNetwork {
+	t.Helper()
+	ast, err := verilog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	d, err := rtl.Elaborate(ast, "")
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	sr, err := synth.Synthesize(d)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	ln, err := techmap.MapK(opt.Optimize(sr.Netlist), k)
+	if err != nil {
+		t.Fatalf("map K=%d: %v", k, err)
+	}
+	return ln
+}
+
+// TestMinEffectiveKeyBitsFloor mirrors the Fmax-floor contract for the
+// structural-security floor: an unreachable floor yields the typed
+// no-valid-eFPGA diagnostic with every rejected candidate carrying
+// ErrBelowKeyFloor (and its structural report), while a permissive
+// floor changes nothing.
+func TestMinEffectiveKeyBitsFloor(t *testing.T) {
+	b, _ := BenchmarkByName("gcd")
+	run := func(floor int) *Report {
+		cfg := Cfg1()
+		cfg.SelectedOutputs = b.SelectedOutputs
+		cfg.MinEffectiveKeyBits = floor
+		r, err := NewEngine(WithConfig(cfg)).RunSource(context.Background(), b.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if r := run(0); r.Err != nil {
+		t.Fatalf("no floor: %v", r.Err)
+	}
+	if r := run(1); r.Err != nil {
+		t.Fatalf("permissive floor: %v", r.Err)
+	}
+	r := run(1 << 20)
+	if r.Err == nil {
+		t.Fatal("impossible floor accepted")
+	}
+	if !errors.Is(r.Err, ErrBelowKeyFloor) || !errors.Is(r.Err, ErrNoValidEFPGA) {
+		t.Fatalf("flow diagnostic must wrap both sentinels, got: %v", r.Err)
+	}
+	found := false
+	for _, c := range r.Selection.Candidates {
+		if c.Fabric != nil && c.Err != nil {
+			found = true
+			if !errors.Is(c.Err, ErrBelowKeyFloor) {
+				t.Fatalf("unexpected rejection reason: %v", c.Err)
+			}
+			if c.Structural == nil {
+				t.Fatal("rejected candidate lacks its structural report")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no candidate carries the key-floor rejection")
+	}
+}
+
+// TestStructuralCrossCheckCorpus is the analyzer's ground-truth
+// property test over the whole benchmark corpus × K ∈ {3,4,6}: the
+// key-bit layout must match the attack engine's, every bit must be
+// classified with provenance, every leaked bit must carry the true
+// programmed mask value (zero false leaks), and flipping every dead
+// bit must leave the network functionally identical to the original
+// (checked by the attack's own key verifier). At least one corpus
+// design must actually leak — an analyzer that never fires would pass
+// the soundness checks vacuously.
+func TestStructuralCrossCheckCorpus(t *testing.T) {
+	leaky := 0
+	for _, b := range Benchmarks() {
+		for _, k := range []int{3, 4, 6} {
+			name := fmt.Sprintf("%s/K%d", b.Name, k)
+			ln := mapDesign(t, b.Source(), k)
+			rep, err := structural.Analyze(ln, structural.Options{Seed: 7})
+			if err != nil {
+				t.Fatalf("%s: Analyze: %v", name, err)
+			}
+
+			// Layout agreement: the attack engine assigns each LUT node
+			// 2^arity key bits in node-id order; the report must index
+			// the same space.
+			wantBits := 0
+			for _, nd := range ln.Nodes {
+				if nd.Kind == techmap.LLUT {
+					wantBits += 1 << len(nd.In)
+				}
+			}
+			if rep.KeyBits != wantBits || len(rep.Bits) != wantBits {
+				t.Fatalf("%s: key layout mismatch: KeyBits=%d len(Bits)=%d want %d",
+					name, rep.KeyBits, len(rep.Bits), wantBits)
+			}
+			if rep.LeakedBits+rep.DeadBits+rep.OpaqueBits != rep.KeyBits ||
+				rep.EffectiveKeyBits != rep.OpaqueBits {
+				t.Fatalf("%s: classification is not a partition: %s", name, rep.String())
+			}
+
+			// Per-bit provenance and zero false leaks; assemble the
+			// flip-all-dead key alongside.
+			masks := make(map[int32]uint64, ln.NumLUTs())
+			for id, nd := range ln.Nodes {
+				if nd.Kind == techmap.LLUT {
+					masks[int32(id)] = nd.Mask
+				}
+			}
+			for _, bit := range rep.Bits {
+				truth := (ln.Nodes[bit.LUT].Mask>>bit.Row)&1 == 1
+				switch bit.Class {
+				case structural.Leaked:
+					if bit.Cause == structural.CauseNone {
+						t.Fatalf("%s: leaked bit %d/%d lacks provenance", name, bit.LUT, bit.Row)
+					}
+					if bit.Value != truth {
+						t.Fatalf("%s: FALSE LEAK: LUT %d row %d claims %v, programmed %v",
+							name, bit.LUT, bit.Row, bit.Value, truth)
+					}
+				case structural.Dead:
+					if bit.Cause == structural.CauseNone {
+						t.Fatalf("%s: dead bit %d/%d lacks provenance", name, bit.LUT, bit.Row)
+					}
+					masks[bit.LUT] ^= 1 << bit.Row // flip: must not matter
+				case structural.Opaque:
+					if bit.Cause != structural.CauseNone {
+						t.Fatalf("%s: opaque bit %d/%d carries cause %v", name, bit.LUT, bit.Row, bit.Cause)
+					}
+				}
+			}
+			if bad := attack.VerifyKey(ln, masks, 300, 11); bad != 0 {
+				t.Fatalf("%s: flipping the %d dead bits changed behavior on %d/300 patterns",
+					name, rep.DeadBits, bad)
+			}
+			if rep.LeakedBits+rep.DeadBits > 0 {
+				leaky++
+			}
+		}
+	}
+	if leaky == 0 {
+		t.Fatal("no corpus design leaked at any K; the analyzer never fired")
+	}
+}
+
+// TestStructuralSeedingCutsDIPs: seeding the SAT attack with the
+// structurally known bits measurably cuts the distinguishing-input
+// count. The inverter chain is the guaranteed case — its whole key
+// leaks, so the seeded miter is unsatisfiable from the start and the
+// attack converges with zero DIPs. On the real gcd flow fabrics
+// (whose 3x3 leaks 32 bits) seeding must never cost DIPs.
+func TestStructuralSeedingCutsDIPs(t *testing.T) {
+	budget := attack.Options{MaxIters: 20_000, MaxConflicts: 200_000, Seed: 1, NoWarmup: true}
+	dips := func(t *testing.T, ln *techmap.LUTNetwork, fixed map[int]bool) int {
+		t.Helper()
+		o := budget
+		o.FixedKey = fixed
+		res, err := attack.RecoverBitstreamOpts(ln, o)
+		if err != nil {
+			t.Fatalf("attack: %v", err)
+		}
+		if bad := attack.VerifyKey(ln, res.Masks, 300, 2); bad != 0 {
+			t.Fatalf("recovered key fails on %d/300 patterns", bad)
+		}
+		return res.Iterations
+	}
+
+	const notchain = `module notchain (input wire [7:0] a, output wire [7:0] y);
+  assign y = ~a;
+endmodule`
+	ln := mapDesign(t, notchain, 4)
+	rep, err := structural.Analyze(ln, structural.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LeakedBits == 0 {
+		t.Fatalf("inverter chain leaked nothing: %s", rep.String())
+	}
+	cold, seeded := dips(t, ln, nil), dips(t, ln, rep.FixedKey())
+	if seeded >= cold {
+		t.Fatalf("seeding did not cut DIPs: %d -> %d", cold, seeded)
+	}
+	if rep.EffectiveKeyBits == 0 && seeded != 0 {
+		t.Fatalf("fully leaked key still needed %d DIPs seeded", seeded)
+	}
+
+	// The real flow's fabrics: seeding never hurts, and the corpus
+	// contains at least one fabric with structurally known bits.
+	b, _ := BenchmarkByName("gcd")
+	cfg := Cfg1()
+	cfg.SelectedOutputs = b.SelectedOutputs
+	r, err := NewEngine(WithConfig(cfg)).RunSource(context.Background(), b.Source())
+	if err != nil || r.Err != nil {
+		t.Fatalf("gcd flow: %v / %v", err, r.Err)
+	}
+	known := 0
+	for _, f := range r.Solution.Fabrics {
+		s := f.Structural
+		if s == nil {
+			t.Fatalf("fabric %s has no structural report from selection", f.Fabric.Arch.Name())
+		}
+		known += s.LeakedBits + s.DeadBits
+		cold := dips(t, f.Fabric.LUTs, nil)
+		seeded := dips(t, f.Fabric.LUTs, s.FixedKey())
+		if seeded > cold {
+			t.Errorf("fabric %s: seeding cost DIPs: %d -> %d", f.Fabric.Arch.Name(), cold, seeded)
+		}
+	}
+	if known == 0 {
+		t.Fatal("no gcd fabric carries structurally known bits")
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSrc(t *testing.T, src string) []string {
+	t.Helper()
+	out, err := lintFile(token.NewFileSet(), "x.go", src)
+	if err != nil {
+		t.Fatalf("lintFile: %v", err)
+	}
+	return out
+}
+
+func TestPanicForbidden(t *testing.T) {
+	got := lintSrc(t, `package p
+func f() { panic("boom") }
+`)
+	if len(got) != 1 || !strings.Contains(got[0], "x.go:2: panic") {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPanicDirectiveAllows(t *testing.T) {
+	for _, src := range []string{
+		`package p
+func f() {
+	//alicelint:allow-panic — sim wrappers convert can't-happen errors
+	panic("boom")
+}
+`,
+		`package p
+func f() { panic("boom") //alicelint:allow-panic
+}
+`,
+	} {
+		if got := lintSrc(t, src); len(got) != 0 {
+			t.Fatalf("directive not honoured: %v", got)
+		}
+	}
+}
+
+func TestGlobalRandForbidden(t *testing.T) {
+	got := lintSrc(t, `package p
+import "math/rand"
+func f() int { return rand.Intn(4) }
+`)
+	if len(got) != 1 || !strings.Contains(got[0], "rand.Intn") {
+		t.Fatalf("got %v", got)
+	}
+	// Aliased import is still caught.
+	got = lintSrc(t, `package p
+import mrand "math/rand"
+func f() { mrand.Seed(1) }
+`)
+	if len(got) != 1 || !strings.Contains(got[0], "rand.Seed") {
+		t.Fatalf("aliased import: got %v", got)
+	}
+}
+
+func TestLocalRandAllowed(t *testing.T) {
+	src := `package p
+import "math/rand"
+func f() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(4)
+}
+`
+	if got := lintSrc(t, src); len(got) != 0 {
+		t.Fatalf("local generator flagged: %v", got)
+	}
+}
+
+func TestOtherRandPackageIgnored(t *testing.T) {
+	src := `package p
+import "crypto/rand"
+func f() { _, _ = rand.Read(nil) }
+`
+	if got := lintSrc(t, src); len(got) != 0 {
+		t.Fatalf("crypto/rand flagged: %v", got)
+	}
+}
