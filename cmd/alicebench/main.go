@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"alice"
 	"alice/internal/celllib"
@@ -37,9 +38,11 @@ func main() {
 		jsonOut = flag.Bool("json", false, "run the benchmark sweep and write a machine-readable report")
 		outPath = flag.String("out", "BENCH.json", "output path for -json")
 		compare = flag.String("compare", "", "baseline BENCH.json: rerun the sweep and fail on >2x wall-time regression")
-		shard   = flag.Bool("shard", false, "run the -json sweep as resumable journaled units; re-run with the same -data to resume after a crash")
-		dataDir = flag.String("data", "bench-shards", "journal/result directory for -shard")
+		shard   = flag.Bool("shard", false, "run the -json sweep as resumable lease-owned units; any number of processes may share one -data dir, and re-running resumes after a crash")
+		dataDir = flag.String("data", "bench-shards", "shared coordination/result directory for -shard")
 		workers = flag.Int("workers", 0, "worker pool width for -shard (0 = GOMAXPROCS)")
+		workID  = flag.String("worker-id", "", "stable worker identity for -shard (default w<pid>); reusing a crashed worker's id adopts its leases without waiting out the TTL")
+		leaseT  = flag.Duration("lease-ttl", 10*time.Second, "lease TTL for -shard: a worker silent this long is presumed dead and its units are reclaimed")
 		gridSel = flag.String("grid", "", "comma-separated unit-id prefixes restricting the -shard grid (e.g. attack:,sim:)")
 		noWarm  = flag.Bool("no-warmup", false, "disable the attack warm-up in sweeps (pure SAT-attack cost)")
 		structD = flag.String("structural", "", "run the flow on one design and print its per-fabric structural key analysis as JSON")
@@ -52,7 +55,7 @@ func main() {
 	case *compare != "":
 		compareBench(*compare, *outPath)
 	case *shard:
-		runSharded(*dataDir, *workers, *gridSel, *outPath, *noWarm)
+		runSharded(*dataDir, *workID, *workers, *leaseT, *gridSel, *outPath, *noWarm)
 	case *archSw:
 		d := *only
 		if d == "" {

@@ -6,18 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"alice"
 	"alice/internal/attack"
-	"alice/internal/jobq"
 	"alice/internal/netlist"
 	"alice/internal/opt"
 	"alice/internal/rtl"
-	"alice/internal/store"
 	"alice/internal/structural"
 	"alice/internal/synth"
 	"alice/internal/techmap"
@@ -28,12 +25,13 @@ import (
 // attack-corpus target, per fabric-attack design, per sim-throughput
 // design, and per structural-analysis row (corpus targets and
 // implemented designs). The plain -json path runs the same units
-// through an in-memory worker pool; -shard runs them as journaled jobs
-// over internal/jobq + internal/store, so a killed sweep resumes where
-// it stopped: finished units are read back from the store, the unit a
-// dead worker held is re-run, and the merged report is assembled from
-// per-unit rows in deterministic grid order (merging an already
-// complete store twice is byte-identical).
+// through an in-memory worker pool; -shard runs them as lease-owned
+// jobs over internal/lease + internal/jobq + internal/store (see
+// worker.go), so a killed sweep resumes where it stopped and any
+// number of worker processes can cooperate on one data directory; the
+// merged report is assembled from committed per-unit rows in
+// deterministic grid order (merging a complete sweep twice is
+// byte-identical).
 
 // unitPrefix namespaces per-unit result records inside the shard store,
 // next to the queue's own "job\x00" journal records.
@@ -549,138 +547,6 @@ func writeReport(rep *benchReport, outPath string) error {
 	}
 	data = append(data, '\n')
 	return os.WriteFile(outPath, data, 0o644)
-}
-
-// shardHandler builds the jobq handler executing sweep units against a
-// result store. The handler is idempotent: a unit whose result is
-// already stored (its worker died between the store write and the
-// queue's success journal) is acked from the store without recompute.
-func shardHandler(st *store.Store) jobq.Handler {
-	return func(ctx context.Context, job *jobq.Job) ([]byte, error) {
-		var u sweepUnit
-		if err := json.Unmarshal(job.Payload, &u); err != nil {
-			return nil, fmt.Errorf("decoding unit payload: %w", err)
-		}
-		key := unitKey(u.id())
-		if res, ok := st.Get(key); ok {
-			return res, nil
-		}
-		res, err := runUnit(ctx, u)
-		if err != nil {
-			return nil, err
-		}
-		data, err := json.Marshal(res)
-		if err != nil {
-			return nil, err
-		}
-		if err := st.Put(key, data); err != nil {
-			return nil, err
-		}
-		return data, nil
-	}
-}
-
-// runShardedStore drives a sharded sweep over an open store: submit
-// the units that have neither a stored result nor a recovered live
-// job, wait for completion, and merge the stored rows in grid order.
-// It is the testable core of runSharded.
-func runShardedStore(st *store.Store, grid []sweepUnit, workers int, progress func(format string, args ...any)) (*benchReport, error) {
-	if len(grid) == 0 {
-		return nil, fmt.Errorf("sweep grid is empty")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	q, err := jobq.New(jobq.Options{
-		Workers: workers,
-		Journal: st,
-		Handler: shardHandler(st),
-	})
-	if err != nil {
-		return nil, err
-	}
-	ctx := context.Background()
-	defer q.Shutdown(ctx)
-
-	// Jobs recovered from the journal of a killed run are already
-	// enqueued; wait for them instead of submitting duplicates.
-	live := make(map[string]string)
-	for _, j := range q.List() {
-		if !j.State.Terminal() {
-			live[j.Name] = j.ID
-		}
-	}
-	var waitIDs []string
-	done := 0
-	for _, u := range grid {
-		id := u.id()
-		if _, ok := st.Get(unitKey(id)); ok {
-			done++
-			continue
-		}
-		if jobID, ok := live[id]; ok {
-			waitIDs = append(waitIDs, jobID)
-			continue
-		}
-		payload, err := json.Marshal(u)
-		if err != nil {
-			return nil, err
-		}
-		j, err := q.Submit(payload, jobq.SubmitOptions{Name: id})
-		if err != nil {
-			return nil, err
-		}
-		waitIDs = append(waitIDs, j.ID)
-	}
-	progress("sharded sweep: %d units (%d stored, %d to run, %d workers)",
-		len(grid), done, len(waitIDs), workers)
-	for _, jobID := range waitIDs {
-		j, err := q.Wait(ctx, jobID)
-		if err != nil {
-			return nil, err
-		}
-		if j.State != jobq.StateSucceeded {
-			return nil, fmt.Errorf("unit %s %s: %s", j.Name, j.State, j.Error)
-		}
-		progress("  done %s (attempt %d)", j.Name, j.Attempts)
-	}
-	if err := q.Shutdown(ctx); err != nil {
-		return nil, err
-	}
-
-	results := make([]unitResult, len(grid))
-	for i, u := range grid {
-		data, ok := st.Get(unitKey(u.id()))
-		if !ok {
-			return nil, fmt.Errorf("unit %s completed but has no stored result", u.id())
-		}
-		if err := json.Unmarshal(data, &results[i]); err != nil {
-			return nil, fmt.Errorf("unit %s: decoding stored result: %w", u.id(), err)
-		}
-	}
-	return mergeUnits(results), nil
-}
-
-// runSharded is the -shard entry point: a resumable BENCH.json sweep
-// journaled under dataDir. Re-running after a crash (or kill -9)
-// re-executes only the units that had not finished; re-running a
-// complete sweep just re-merges the stored rows, byte-identically.
-func runSharded(dataDir string, workers int, gridSelector, outPath string, noWarmup bool) {
-	check(os.MkdirAll(dataDir, 0o755))
-	st, err := store.Open(filepath.Join(dataDir, "sweep.store"))
-	check(err)
-	defer st.Close()
-	grid := filterGrid(sweepGrid(noWarmup), gridSelector)
-	if len(grid) == 0 {
-		check(fmt.Errorf("grid selector %q matches no sweep units", gridSelector))
-	}
-	rep, err := runShardedStore(st, grid, workers, func(format string, args ...any) {
-		fmt.Printf(format+"\n", args...)
-	})
-	check(err)
-	check(writeReport(rep, outPath))
-	fmt.Printf("wrote %s: %d flow runs, %d implementations, %d attacks, %d sim rows, %d structural rows\n",
-		outPath, len(rep.Designs), len(rep.Implement), len(rep.Attacks), len(rep.Sims), len(rep.Structural))
 }
 
 // attackFabric prices one fabric's functional configuration against

@@ -2,14 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"alice/internal/jobq"
-	"alice/internal/store"
 )
 
 func TestSweepGridIDsStableAndUnique(t *testing.T) {
@@ -52,22 +54,62 @@ func TestFilterGrid(t *testing.T) {
 	}
 }
 
-// TestShardMergeDeterministic pins the acceptance property of the
-// sharded runner: merging the same stored unit results is byte-stable,
-// and a resumed run that recomputes nothing reproduces the report
-// byte-identically.
-func TestShardMergeDeterministic(t *testing.T) {
-	dir := t.TempDir()
-	st, err := store.Open(filepath.Join(dir, "sweep.store"))
+// cannedRunner returns a deterministic per-unit result without running
+// any real flow: sweep-engine tests exercise the coordination
+// machinery, not the benchmarks.
+func cannedRunner(calls *atomic.Int64) func(ctx context.Context, u sweepUnit) (unitResult, error) {
+	return func(ctx context.Context, u sweepUnit) (unitResult, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		if err := ctx.Err(); err != nil {
+			return unitResult{}, err
+		}
+		return unitResult{Attacks: []attackBench{{
+			Target:      u.Target,
+			KeyBits:     int(len(u.id())),
+			DIPs:        7,
+			WallSeconds: 0.25,
+		}}}, nil
+	}
+}
+
+// newTestWorker builds a shard worker with a canned runner and a short
+// lease TTL.
+func newTestWorker(t *testing.T, dir, id string, ttl time.Duration, grid []sweepUnit, calls *atomic.Int64) *shardWorker {
+	t.Helper()
+	w, err := newShardWorker(dir, id, ttl, 2, grid, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	grid := filterGrid(sweepGrid(false), "attack:xor2")
-	if len(grid) != 1 {
-		t.Fatalf("grid = %d units, want 1", len(grid))
+	w.runner = cannedRunner(calls)
+	t.Cleanup(w.close)
+	return w
+}
+
+func runToCompletion(t *testing.T, w *shardWorker) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := w.run(ctx, time.Second); err != nil {
+		t.Fatal(err)
 	}
-	quiet := func(string, ...any) {}
-	rep1, err := runShardedStore(st, grid, 1, quiet)
+	if _, done, err := w.complete(); err != nil || !done {
+		t.Fatalf("sweep incomplete (err=%v)", err)
+	}
+}
+
+// TestShardMergeDeterministic pins the acceptance property of the
+// sharded runner: a second worker on a completed data dir recomputes
+// nothing and reproduces the report byte for byte.
+func TestShardMergeDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	grid := filterGrid(sweepGrid(false), "attack:")
+	var calls atomic.Int64
+
+	w1 := newTestWorker(t, dir, "w1", time.Second, grid, &calls)
+	runToCompletion(t, w1)
+	rep1, err := w1.merge()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,23 +118,24 @@ func TestShardMergeDeterministic(t *testing.T) {
 	if err := writeReport(rep1, p1); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Close(); err != nil {
-		t.Fatal(err)
+	ran := calls.Load()
+	if ran != int64(len(grid)) {
+		t.Fatalf("first pass ran %d units, want %d", ran, len(grid))
 	}
 
-	// Reopen the store (a fresh process) and run again: every unit is
-	// already stored, so this is a pure merge.
-	st2, err := store.Open(filepath.Join(dir, "sweep.store"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer st2.Close()
-	rep2, err := runShardedStore(st2, grid, 1, quiet)
+	// A fresh worker (a separate process in production) finds every
+	// unit committed: zero recomputes, pure merge.
+	w2 := newTestWorker(t, dir, "w2", time.Second, grid, &calls)
+	runToCompletion(t, w2)
+	rep2, err := w2.merge()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := writeReport(rep2, p2); err != nil {
 		t.Fatal(err)
+	}
+	if calls.Load() != ran {
+		t.Fatalf("resumed run recomputed units: %d calls, want %d", calls.Load(), ran)
 	}
 	b1, err := os.ReadFile(p1)
 	if err != nil {
@@ -107,95 +150,205 @@ func TestShardMergeDeterministic(t *testing.T) {
 	}
 }
 
-// TestShardRecoversKilledWorkerUnit simulates a worker killed mid-unit:
-// the job sits in the journal in state running with no stored result.
-// The next run must re-enqueue it, execute it to completion, and merge
-// a full report.
-func TestShardRecoversKilledWorkerUnit(t *testing.T) {
+// TestShardReclaimsKilledWorkerUnit simulates a worker killed mid-unit:
+// its lease sits unexpired and unreleased on disk, its journal holds
+// the running job, and no result was committed. A different worker
+// must wait out the TTL, reclaim the unit at the next epoch, and
+// complete the grid.
+func TestShardReclaimsKilledWorkerUnit(t *testing.T) {
 	dir := t.TempDir()
-	st, err := store.Open(filepath.Join(dir, "sweep.store"))
-	if err != nil {
+	grid := filterGrid(sweepGrid(false), "attack:xor2,attack:add4")
+	if len(grid) != 2 {
+		t.Fatalf("grid = %d units, want 2", len(grid))
+	}
+
+	// The victim claims a unit and "dies": no release, no renewal.
+	dead := newTestWorker(t, dir, "dead", 300*time.Millisecond, grid, nil)
+	if _, err := dead.lm.Acquire(grid[0].id()); err != nil {
 		t.Fatal(err)
 	}
-	defer st.Close()
-	grid := filterGrid(sweepGrid(false), "attack:xor2")
 	payload, err := json.Marshal(grid[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	killed := jobq.Job{
-		ID:          "job-1",
-		Name:        grid[0].id(),
-		Payload:     payload,
-		State:       jobq.StateRunning,
-		Attempts:    1,
-		SubmittedAt: time.Now().UTC(),
-		StartedAt:   time.Now().UTC(),
+		ID: "job-1", Name: grid[0].id(), Payload: payload,
+		State: jobq.StateRunning, Attempts: 1,
+		SubmittedAt: time.Now().UTC(), StartedAt: time.Now().UTC(),
 	}
 	raw, err := json.Marshal(&killed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// "job\x00" is the queue's journal namespace inside the shared
-	// store (jobq journals under it; the runner must not collide).
-	if err := st.Put("job\x00job-1", raw); err != nil {
+	if err := dead.st.Put("job\x00job-1", raw); err != nil {
 		t.Fatal(err)
 	}
+	dead.close()
 
-	rep, err := runShardedStore(st, grid, 1, func(string, ...any) {})
+	var calls atomic.Int64
+	surv := newTestWorker(t, dir, "surv", 300*time.Millisecond, grid, &calls)
+	runToCompletion(t, surv)
+	if got := surv.lm.Stats().Reclaims; got < 1 {
+		t.Fatalf("survivor reclaimed %d leases, want >= 1", got)
+	}
+	commits, err := surv.lm.Commits()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Attacks) != 1 || rep.Attacks[0].Target != "xor2" {
-		t.Fatalf("recovered sweep produced %+v, want one xor2 attack row", rep.Attacks)
+	for _, u := range grid {
+		c, ok := commits[u.id()]
+		if !ok || c.Worker != "surv" {
+			t.Fatalf("unit %s committed by %+v, want surv", u.id(), c)
+		}
 	}
-	if _, ok := st.Get(unitKey(grid[0].id())); !ok {
-		t.Fatal("recovered unit left no stored result")
-	}
-	// The interrupted execution counts: the retried job records a
-	// second attempt in its journal entry.
-	data, ok := st.Get("job\x00job-1")
-	if !ok {
-		t.Fatal("job journal entry evicted")
-	}
-	var after jobq.Job
-	if err := json.Unmarshal(data, &after); err != nil {
+	rep, err := surv.merge()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if after.State != jobq.StateSucceeded || after.Attempts < 2 {
-		t.Fatalf("recovered job: state %s attempts %d, want succeeded/2+", after.State, after.Attempts)
+	if len(rep.Attacks) != 2 {
+		t.Fatalf("merged %d attack rows, want 2", len(rep.Attacks))
+	}
+}
+
+// TestShardAdoptsOwnLeaseAfterRestart pins the crash-restart fast
+// path: a worker restarted under the same -worker-id re-acquires its
+// own unexpired lease immediately (an adoption, no TTL wait).
+func TestShardAdoptsOwnLeaseAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	grid := filterGrid(sweepGrid(false), "attack:xor2")
+
+	first := newTestWorker(t, dir, "w1", time.Hour, grid, nil)
+	if _, err := first.lm.Acquire(grid[0].id()); err != nil {
+		t.Fatal(err)
+	}
+	first.close() // crash: the hour-long lease stays on disk
+
+	reborn := newTestWorker(t, dir, "w1", time.Hour, grid, nil)
+	start := time.Now()
+	runToCompletion(t, reborn)
+	if e := time.Since(start); e > 30*time.Second {
+		t.Fatalf("adoption took %s, should not wait out the TTL", e)
+	}
+	st := reborn.lm.Stats()
+	if st.Adoptions < 1 {
+		t.Fatalf("stats = %+v, want at least one adoption", st)
 	}
 }
 
 // TestShardHandlerIdempotent pins the crash window between the result
-// Put and the queue's success journal: a re-run of a unit whose result
-// is already stored must ack from the store without recomputing.
+// Put and the commit: a handler seeing its own stored result must
+// commit it without recomputing.
 func TestShardHandlerIdempotent(t *testing.T) {
 	dir := t.TempDir()
-	st, err := store.Open(filepath.Join(dir, "sweep.store"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer st.Close()
-	u := sweepUnit{Kind: "attack", Target: "xor2"}
+	grid := filterGrid(sweepGrid(false), "attack:xor2")
+	var calls atomic.Int64
+	w := newTestWorker(t, dir, "w1", time.Second, grid, &calls)
+
+	u := grid[0]
 	canned := unitResult{Attacks: []attackBench{{Target: "xor2", KeyBits: 99, DIPs: 7}}}
 	data, err := json.Marshal(canned)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Put(unitKey(u.id()), data); err != nil {
+	if err := w.st.Put(unitKey(u.id()), data); err != nil {
 		t.Fatal(err)
 	}
 	payload, err := json.Marshal(u)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := shardHandler(st)
-	got, err := h(t.Context(), &jobq.Job{ID: "job-1", Payload: payload})
+	got, err := w.handle(t.Context(), &jobq.Job{ID: "job-1", Payload: payload})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, data) {
-		t.Fatalf("handler recomputed a stored unit: got %s want %s", got, data)
+	var o unitOutcome
+	if err := json.Unmarshal(got, &o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Status != outcomeCommitted {
+		t.Fatalf("outcome %+v, want committed", o)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("handler recomputed a stored unit")
+	}
+	// Running the same unit again acks the existing commit.
+	got, err = w.handle(t.Context(), &jobq.Job{ID: "job-2", Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(got, &o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Status != outcomeAlready || o.Worker != "w1" {
+		t.Fatalf("second run outcome %+v, want already/w1", o)
+	}
+	// The committed row is what the merge serves.
+	rep, err := w.merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Attacks) != 1 || rep.Attacks[0].KeyBits != 99 {
+		t.Fatalf("merge served %+v, want the stored canned row", rep.Attacks)
+	}
+}
+
+// TestShardFailingUnitAbortsSweep pins failure propagation: a unit
+// whose compute errors deterministically must abort the run with that
+// error, not spin forever re-offering the unit.
+func TestShardFailingUnitAbortsSweep(t *testing.T) {
+	dir := t.TempDir()
+	grid := filterGrid(sweepGrid(false), "attack:xor2")
+	w := newTestWorker(t, dir, "w1", time.Second, grid, nil)
+	w.runner = func(ctx context.Context, u sweepUnit) (unitResult, error) {
+		return unitResult{}, fmt.Errorf("boom: synthetic unit failure")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := w.run(ctx, time.Second)
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("boom")) {
+		t.Fatalf("run error = %v, want the unit failure", err)
+	}
+	// The failed unit's lease was released, so a fixed-up retry need
+	// not wait out the TTL.
+	if _, held, err := w.lm.Holder(grid[0].id()); err != nil || held {
+		t.Fatalf("failed unit still holds its lease (held=%v err=%v)", held, err)
+	}
+}
+
+// TestShardDrainReleasesLeases pins the graceful-drain satellite: a
+// canceled run stops claiming units and releases the leases its
+// in-flight units held, so a successor need not wait out the TTL.
+func TestShardDrainReleasesLeases(t *testing.T) {
+	dir := t.TempDir()
+	grid := filterGrid(sweepGrid(false), "attack:")
+	w := newTestWorker(t, dir, "w1", time.Hour, grid, nil)
+	started := make(chan struct{}, len(grid))
+	block := make(chan struct{})
+	w.runner = func(ctx context.Context, u sweepUnit) (unitResult, error) {
+		started <- struct{}{}
+		select {
+		case <-ctx.Done():
+			return unitResult{}, ctx.Err()
+		case <-block:
+			return cannedRunner(nil)(ctx, u)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- w.run(ctx, 2*time.Second) }()
+	<-started // at least one unit is mid-compute and holds a lease
+	cancel()  // SIGINT analog
+	if err := <-errc; err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	close(block)
+	// Every lease the worker held must be released: with an hour-long
+	// TTL, anything left would block a successor for an hour.
+	for _, u := range grid {
+		if _, held, err := w.lm.Holder(u.id()); err != nil {
+			t.Fatal(err)
+		} else if held {
+			t.Fatalf("unit %s still held after drain", u.id())
+		}
 	}
 }

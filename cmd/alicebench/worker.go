@@ -1,0 +1,439 @@
+package main
+
+// The fault-tolerant multi-process sweep engine behind -shard.
+//
+// N alicebench processes share one data directory. Each worker owns a
+// private internal/store log (single-writer preserved: no cross-
+// process log sharing) and coordinates unit ownership through
+// internal/lease: a unit is claimed with an epoch-fenced lease file,
+// computed under a heartbeat Guard, appended to the worker's own log,
+// and then committed with the lease manager's exactly-once done
+// marker. A worker that dies mid-unit stops renewing; after the TTL
+// any survivor reclaims the unit at the next epoch. A worker that
+// merely stalled (a zombie) wakes to find its commit fenced with a
+// typed *lease.StaleEpochError — its result never enters the merge.
+//
+// The merge walks the canonical grid order, resolves each unit's
+// committing worker from its done marker, and reads that worker's log
+// through store.ReadSnapshot. Since exactly one result per unit ever
+// commits and the grid order is fixed, the merged BENCH.json is
+// byte-identical regardless of worker count, crash schedule, or
+// reclamation history.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"alice/internal/jobq"
+	"alice/internal/lease"
+	"alice/internal/store"
+)
+
+// workersDirName holds the per-worker store logs inside the data dir.
+const workersDirName = "workers"
+
+// Unit outcome statuses. Protocol outcomes (held, lost, already,
+// fenced) are successful job results, not errors: they are expected
+// multi-worker traffic, and routing them through jobq's failure path
+// would retry or quarantine perfectly healthy coordination.
+const (
+	outcomeCommitted = "committed" // this worker computed and committed the unit
+	outcomeAlready   = "already"   // another worker had already committed it
+	outcomeHeld      = "held"      // another worker holds a live lease; revisit later
+	outcomeLost      = "lost"      // our lease was reclaimed mid-compute (guard fired)
+	outcomeFenced    = "fenced"    // we computed, but the commit was epoch-fenced
+)
+
+// unitOutcome is the job-result envelope for one unit attempt.
+type unitOutcome struct {
+	Status string `json:"status"`
+	Worker string `json:"worker,omitempty"`
+}
+
+func outcomeJSON(status, worker string) ([]byte, error) {
+	return json.Marshal(unitOutcome{Status: status, Worker: worker})
+}
+
+// shardWorker is one sweep worker process: its own store log, a lease
+// manager over the shared directory, and a local jobq pool.
+type shardWorker struct {
+	dir      string
+	id       string
+	workers  int
+	grid     []sweepUnit
+	poll     time.Duration
+	st       *store.Store
+	lm       *lease.Manager
+	progress func(format string, args ...any)
+	// runner executes one unit; tests substitute a canned runner.
+	runner func(ctx context.Context, u sweepUnit) (unitResult, error)
+
+	// kick wakes the source's poll sleep when a local job settles, so
+	// grid completion is noticed immediately instead of on the next
+	// TTL-paced scan.
+	kick chan struct{}
+
+	mu       sync.Mutex
+	failures map[string]string // unit id -> first compute error
+	fenced   int               // fenced outcomes observed (zombie side)
+}
+
+// newShardWorker opens the worker's store log and lease manager.
+func newShardWorker(dataDir, workerID string, ttl time.Duration, workers int, grid []sweepUnit, progress func(format string, args ...any)) (*shardWorker, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("sweep grid is empty")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	lm, err := lease.Open(dataDir, workerID, lease.Options{TTL: ttl})
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.Open(filepath.Join(dataDir, workersDirName, workerID+".store"))
+	if err != nil {
+		return nil, err
+	}
+	w := &shardWorker{
+		dir:      dataDir,
+		id:       workerID,
+		workers:  workers,
+		grid:     grid,
+		poll:     lm.TTL() / 3,
+		st:       st,
+		lm:       lm,
+		progress: progress,
+		runner:   runUnit,
+		kick:     make(chan struct{}, 1),
+		failures: make(map[string]string),
+	}
+	if w.poll <= 0 {
+		w.poll = time.Millisecond
+	}
+	return w, nil
+}
+
+func (w *shardWorker) close() { _ = w.st.Close() }
+
+func (w *shardWorker) storePath(workerID string) string {
+	return filepath.Join(w.dir, workersDirName, workerID+".store")
+}
+
+// handle executes one unit under the lease protocol. It is idempotent
+// across crashes: a unit already committed is acked without recompute,
+// and a result that reached our log before a crash (the window between
+// store write and commit) is reused rather than recomputed.
+func (w *shardWorker) handle(ctx context.Context, job *jobq.Job) ([]byte, error) {
+	var u sweepUnit
+	if err := json.Unmarshal(job.Payload, &u); err != nil {
+		return nil, fmt.Errorf("decoding unit payload: %w", err)
+	}
+	id := u.id()
+	if c, ok, err := w.lm.Committed(id); err != nil {
+		return nil, err
+	} else if ok {
+		return outcomeJSON(outcomeAlready, c.Worker)
+	}
+	l, err := w.lm.Acquire(id)
+	if err != nil {
+		var held *lease.HeldError
+		if errors.As(err, &held) {
+			return outcomeJSON(outcomeHeld, held.Holder)
+		}
+		var comm *lease.CommittedError
+		if errors.As(err, &comm) {
+			return outcomeJSON(outcomeAlready, comm.By.Worker)
+		}
+		return nil, err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			// Give the unit back immediately so peers need not wait out
+			// the TTL — the graceful half of every non-commit exit
+			// (compute error, drain cancellation, fencing).
+			_ = w.lm.Release(l)
+		}
+	}()
+	gctx, stopGuard := w.lm.Guard(ctx, l)
+	defer stopGuard()
+
+	key := unitKey(id)
+	data, ok := w.st.Get(key)
+	if !ok {
+		res, err := w.runner(gctx, u)
+		if err != nil {
+			if gctx.Err() != nil {
+				var stale *lease.StaleEpochError
+				if cause := context.Cause(gctx); errors.As(cause, &stale) {
+					// Reclaimed mid-compute: not a failure, the unit is
+					// someone else's now.
+					return outcomeJSON(outcomeLost, stale.Holder)
+				}
+			}
+			return nil, err
+		}
+		if data, err = json.Marshal(res); err != nil {
+			return nil, err
+		}
+		if err := w.st.Put(key, data); err != nil {
+			return nil, err
+		}
+	}
+	err = w.lm.Commit(l)
+	var stale *lease.StaleEpochError
+	var comm *lease.CommittedError
+	switch {
+	case err == nil:
+		committed = true
+		return outcomeJSON(outcomeCommitted, w.id)
+	case errors.As(err, &stale):
+		// The zombie path: we stalled past the TTL, someone reclaimed
+		// the unit, and the fencing epoch refused our late commit. The
+		// computed result stays in our log as dead weight; the merge
+		// only ever reads the committed worker's copy.
+		return outcomeJSON(outcomeFenced, stale.Holder)
+	case errors.As(err, &comm):
+		return outcomeJSON(outcomeAlready, comm.By.Worker)
+	default:
+		return nil, err
+	}
+}
+
+// leaseSource feeds the jobq pool with claimable units: uncommitted,
+// not already live in this process's queue, and not under a live
+// foreign lease. It blocks (polling) while uncommitted units are held
+// elsewhere — they may yet expire and need reclaiming — and drains
+// only when every grid unit has a done marker.
+type leaseSource struct {
+	w *shardWorker
+	q *jobq.Queue
+}
+
+func (s *leaseSource) Next(ctx context.Context) (jobq.SourceItem, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return jobq.SourceItem{}, err
+		}
+		s.w.mu.Lock()
+		for id, msg := range s.w.failures {
+			s.w.mu.Unlock()
+			return jobq.SourceItem{}, fmt.Errorf("unit %s failed: %s", id, msg)
+		}
+		s.w.mu.Unlock()
+		commits, err := s.w.lm.Commits()
+		if err != nil {
+			return jobq.SourceItem{}, err
+		}
+		live := make(map[string]bool)
+		for _, j := range s.q.List() {
+			if !j.State.Terminal() {
+				live[j.Name] = true
+			}
+		}
+		allDone := true
+		for _, u := range s.w.grid {
+			id := u.id()
+			if _, ok := commits[id]; ok {
+				continue
+			}
+			allDone = false
+			if live[id] {
+				continue
+			}
+			if h, held, err := s.w.lm.Holder(id); err != nil {
+				return jobq.SourceItem{}, err
+			} else if held && h.Worker != s.w.id {
+				continue
+			}
+			payload, err := json.Marshal(u)
+			if err != nil {
+				return jobq.SourceItem{}, err
+			}
+			return jobq.SourceItem{Name: id, Payload: payload}, nil
+		}
+		if allDone {
+			return jobq.SourceItem{}, jobq.ErrSourceDrained
+		}
+		select {
+		case <-ctx.Done():
+			return jobq.SourceItem{}, ctx.Err()
+		case <-s.w.kick:
+		case <-time.After(s.w.poll):
+		}
+	}
+}
+
+// noteDone records each settled unit attempt: compute failures abort
+// the sweep via the source; protocol outcomes are just logged.
+func (w *shardWorker) noteDone(j jobq.Job) {
+	defer func() {
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}()
+	switch j.State {
+	case jobq.StateSucceeded:
+		var o unitOutcome
+		_ = json.Unmarshal(j.Result, &o)
+		if o.Status == outcomeFenced {
+			w.mu.Lock()
+			w.fenced++
+			w.mu.Unlock()
+		}
+		w.progress("  %s %s (worker %s, attempt %d)", j.Name, o.Status, o.Worker, j.Attempts)
+	case jobq.StateFailed, jobq.StateQuarantined:
+		w.mu.Lock()
+		if _, ok := w.failures[j.Name]; !ok {
+			w.failures[j.Name] = j.Error
+		}
+		w.mu.Unlock()
+	}
+}
+
+// run drives the worker until the grid is fully committed, a unit
+// fails, or ctx is canceled (SIGINT/SIGTERM graceful drain: stop
+// claiming new units, give in-flight ones the drain budget to finish
+// and commit, then release whatever is left).
+func (w *shardWorker) run(ctx context.Context, drainBudget time.Duration) error {
+	q, err := jobq.New(jobq.Options{
+		Workers: w.workers,
+		Journal: w.st,
+		Handler: w.handle,
+	})
+	if err != nil {
+		return err
+	}
+	src := &leaseSource{w: w, q: q}
+	runErr := q.DrainSource(ctx, src, w.noteDone)
+	if ctx.Err() != nil {
+		// Interrupted: units that never started must not start now.
+		// Canceling them is a protocol no-op — a queued job holds no
+		// lease (handlers acquire on start) — and leaves them
+		// uncommitted for the next run to claim.
+		for _, j := range q.List() {
+			if j.State == jobq.StateQueued {
+				q.Cancel(j.ID)
+			}
+		}
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+	defer cancel()
+	// Graceful drain: in-flight handlers keep running (finishing a
+	// near-done unit beats re-running it) until the budget expires;
+	// a hard stop then cancels them, and each handler's deferred
+	// Release gives its lease back before exiting.
+	_ = q.Shutdown(sctx)
+	return runErr
+}
+
+// complete reports whether every grid unit has a committed result, and
+// how many do.
+func (w *shardWorker) complete() (int, bool, error) {
+	commits, err := w.lm.Commits()
+	if err != nil {
+		return 0, false, err
+	}
+	n := 0
+	for _, u := range w.grid {
+		if _, ok := commits[u.id()]; ok {
+			n++
+		}
+	}
+	return n, n == len(w.grid), nil
+}
+
+// merge assembles the report from the committed results, reading each
+// committing worker's log read-only in canonical grid order.
+func (w *shardWorker) merge() (*benchReport, error) {
+	commits, err := w.lm.Commits()
+	if err != nil {
+		return nil, err
+	}
+	snaps := make(map[string]*store.Snapshot)
+	results := make([]unitResult, len(w.grid))
+	for i, u := range w.grid {
+		id := u.id()
+		c, ok := commits[id]
+		if !ok {
+			return nil, fmt.Errorf("unit %s has no committed result", id)
+		}
+		snap, ok := snaps[c.Worker]
+		if !ok {
+			if snap, err = store.ReadSnapshot(w.storePath(c.Worker)); err != nil {
+				return nil, fmt.Errorf("reading worker %s log: %w", c.Worker, err)
+			}
+			snaps[c.Worker] = snap
+		}
+		data, ok := snap.Get(unitKey(id))
+		if !ok {
+			return nil, fmt.Errorf("unit %s committed by worker %s but missing from its log", id, c.Worker)
+		}
+		if err := json.Unmarshal(data, &results[i]); err != nil {
+			return nil, fmt.Errorf("unit %s: decoding stored result: %w", id, err)
+		}
+	}
+	return mergeUnits(results), nil
+}
+
+// runSharded is the -shard entry point: a resumable, multi-process
+// BENCH.json sweep coordinated under dataDir. Any number of processes
+// may run this concurrently on the same directory (each with a unique
+// -worker-id); re-running after a crash resumes exactly where the dead
+// worker stopped, and a complete sweep just re-merges, byte-
+// identically.
+func runSharded(dataDir, workerID string, workers int, ttl time.Duration, gridSelector, outPath string, noWarmup bool) {
+	check(os.MkdirAll(dataDir, 0o755))
+	if workerID == "" {
+		workerID = fmt.Sprintf("w%d", os.Getpid())
+	}
+	grid := filterGrid(sweepGrid(noWarmup), gridSelector)
+	if len(grid) == 0 {
+		check(fmt.Errorf("grid selector %q matches no sweep units", gridSelector))
+	}
+	w, err := newShardWorker(dataDir, workerID, ttl, workers, grid, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	check(err)
+	defer w.close()
+	fmt.Printf("sharded sweep: %d units, worker %s (%d slots, lease TTL %s)\n",
+		len(grid), workerID, w.workers, w.lm.TTL())
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	runErr := w.run(ctx, w.lm.TTL())
+	n, done, err := w.complete()
+	check(err)
+	if !done {
+		if ctx.Err() != nil {
+			fmt.Printf("sweep interrupted: %d/%d units committed, leases released; resume with the same -data\n",
+				n, len(grid))
+			os.Exit(1)
+		}
+		if runErr != nil {
+			check(runErr)
+		}
+		check(fmt.Errorf("sweep incomplete: %d/%d units committed", n, len(grid)))
+	}
+	rep, err := w.merge()
+	check(err)
+	check(writeReport(rep, outPath))
+	ls := w.lm.Stats()
+	fmt.Printf("wrote %s: %d flow runs, %d implementations, %d attacks, %d sim rows, %d structural rows\n",
+		outPath, len(rep.Designs), len(rep.Implement), len(rep.Attacks), len(rep.Sims), len(rep.Structural))
+	fmt.Printf("worker %s: %d acquired, %d adopted, %d reclaimed, %d committed, %d fenced\n",
+		workerID, ls.Acquires, ls.Adoptions, ls.Reclaims, ls.Commits, ls.Fenced)
+}

@@ -37,8 +37,8 @@ import (
 // Op names an injectable file-system operation.
 type Op string
 
-// Injectable operations. OpOpen and OpRename are FS-level; the rest
-// apply to an open File.
+// Injectable operations. OpOpen, OpRename, OpLink are FS-level; the
+// rest apply to an open File.
 const (
 	OpOpen     Op = "open"
 	OpWrite    Op = "write"
@@ -46,6 +46,7 @@ const (
 	OpTruncate Op = "truncate"
 	OpRename   Op = "rename"
 	OpRemove   Op = "remove"
+	OpLink     Op = "link"
 	OpClose    Op = "close"
 )
 
@@ -76,6 +77,15 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
 	MkdirAll(path string, perm os.FileMode) error
+	// Link hard-links newpath to oldpath. Unlike Rename it never
+	// replaces an existing newpath — it fails with an fs.ErrExist —
+	// which makes it the exactly-once commit primitive: of N racing
+	// linkers exactly one succeeds.
+	Link(oldpath, newpath string) error
+	// ReadDir lists a directory (never faulted: like File reads,
+	// directory listings observe whatever the faulted writes left
+	// behind, the reader is not lied to).
+	ReadDir(name string) ([]os.DirEntry, error)
 }
 
 // OS is the passthrough FS backed by the real os package.
@@ -94,6 +104,12 @@ func (OS) Remove(name string) error { return os.Remove(name) }
 
 // MkdirAll creates directories with os.MkdirAll.
 func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Link hard-links with os.Link.
+func (OS) Link(oldpath, newpath string) error { return os.Link(oldpath, newpath) }
+
+// ReadDir lists with os.ReadDir.
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
 
 // Mode is what a triggered Rule does to its operation.
 type Mode int
@@ -315,6 +331,32 @@ func (fs *FaultFS) Remove(name string) error {
 // startup, before any durability contract exists).
 func (fs *FaultFS) MkdirAll(path string, perm os.FileMode) error {
 	return fs.inner.MkdirAll(path, perm)
+}
+
+// Link links through the inner FS unless scripted to fail. As with
+// Rename, a Crash-mode rule performs the link first: the commit is
+// durable, the acknowledgement is not.
+func (fs *FaultFS) Link(oldpath, newpath string) error {
+	r, crashed := fs.script.decide(OpLink, newpath)
+	if crashed {
+		return ErrCrashed
+	}
+	if r != nil {
+		if r.Mode == Crash {
+			if err := fs.inner.Link(oldpath, newpath); err != nil {
+				return err
+			}
+			return ErrCrashed
+		}
+		return ruleErr(r)
+	}
+	return fs.inner.Link(oldpath, newpath)
+}
+
+// ReadDir is never faulted: listings observe whatever the faulted
+// writes left on disk.
+func (fs *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	return fs.inner.ReadDir(name)
 }
 
 // FaultFile is a File whose Write/Sync/Truncate/Close consult the

@@ -191,3 +191,52 @@ func TestClearRebootsAndCounts(t *testing.T) {
 	}
 	f2.Close()
 }
+
+func TestLinkFaultCrashAndPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a")
+	os.WriteFile(a, []byte("x"), 0o644)
+
+	fs := NewFS(nil, NewScript(&Rule{Op: OpLink, Nth: 1, Mode: FailOnce}))
+	if err := fs.Link(a, filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("link 1: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b")); !os.IsNotExist(err) {
+		t.Fatalf("failed link created the file: %v", err)
+	}
+	if err := fs.Link(a, filepath.Join(dir, "b")); err != nil {
+		t.Fatalf("link 2 after heal: %v", err)
+	}
+
+	// Crash-after-link: the link is durable, the process is dead.
+	fs2 := NewFS(nil, NewScript(&Rule{Op: OpLink, Nth: 1, Mode: Crash}))
+	if err := fs2.Link(a, filepath.Join(dir, "c")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash link: %v", err)
+	}
+	got, _ := os.ReadFile(filepath.Join(dir, "c"))
+	if string(got) != "x" {
+		t.Fatalf("crash link not durable: %q", got)
+	}
+	if err := fs2.Link(a, filepath.Join(dir, "d")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("link after crash: %v", err)
+	}
+
+	// The real-OS EEXIST — the lose-the-commit-race signal — passes
+	// through untouched so callers can branch on it.
+	fs3 := NewFS(nil, NewScript())
+	if err := fs3.Link(a, filepath.Join(dir, "b")); !errors.Is(err, os.ErrExist) {
+		t.Fatalf("link onto existing path: %v, want ErrExist", err)
+	}
+}
+
+func TestReadDirPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "f1"), []byte("x"), 0o644)
+	// ReadDir is deliberately not faultable: scans must observe the
+	// real directory state even mid-script.
+	fs := NewFS(nil, NewScript(&Rule{Op: OpOpen, Nth: 1}))
+	ents, err := fs.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "f1" {
+		t.Fatalf("readdir: %v %v", ents, err)
+	}
+}

@@ -175,6 +175,33 @@ type Queue struct {
 	done     chan struct{} // closed when all workers have exited
 	baseCtx  context.Context
 	stopBase context.CancelFunc
+
+	stats Stats
+}
+
+// Stats counts lifecycle outcomes since the queue was built. Unlike
+// Counts — a snapshot of the jobs currently in the table, which
+// KeepDone eviction erodes — these are monotonic, so operators can see
+// retry and quarantine pressure over time.
+type Stats struct {
+	// Submitted counts accepted submissions (recovered jobs included).
+	Submitted int64 `json:"submitted"`
+	// Succeeded/Failed/Canceled/Quarantined count terminal outcomes.
+	Succeeded   int64 `json:"succeeded"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+	Quarantined int64 `json:"quarantined"`
+	// Retries counts retryable failures that were re-queued.
+	Retries int64 `json:"retries"`
+	// Panics counts handler panics contained by the pool.
+	Panics int64 `json:"panics"`
+}
+
+// Stats returns a snapshot of the monotonic lifecycle counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
 }
 
 // ErrQueueClosed is returned by Submit after Shutdown began.
@@ -236,6 +263,7 @@ func New(opts Options) (*Queue, error) {
 		stopBase()
 		return nil, err
 	}
+	q.stats.Submitted += int64(len(pending))
 	// Size the buffer to hold the whole backlog, so recovery can
 	// enqueue before the workers start (and submissions rarely block).
 	capacity := 1024
@@ -366,6 +394,7 @@ func (q *Queue) Submit(payload []byte, opts SubmitOptions) (Job, error) {
 		return Job{}, err
 	}
 	q.jobs[j.ID] = j
+	q.stats.Submitted++
 	q.submitters.Add(1)
 	snap := *j
 	q.mu.Unlock()
@@ -469,17 +498,23 @@ func (q *Queue) finish(id string, result []byte, err error) {
 	case err == nil:
 		j.State = StateSucceeded
 		j.Result = append([]byte(nil), result...)
+		q.stats.Succeeded++
 	case errors.Is(err, context.Canceled):
 		j.State = StateCanceled
 		j.Error = err.Error()
+		q.stats.Canceled++
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrTimeout):
 		// A job that spent its own run budget would spend it again:
 		// never retried.
 		j.State = StateFailed
 		j.Error = ErrTimeout.Error()
+		q.stats.Failed++
 	default:
 		var pe *JobPanicError
-		retryable := errors.As(err, &pe) ||
+		if errors.As(err, &pe) {
+			q.stats.Panics++
+		}
+		retryable := pe != nil ||
 			(q.opts.Retryable != nil && q.opts.Retryable(err))
 		if retryable && j.Attempts < q.opts.MaxAttempts {
 			q.retryLocked(j, err)
@@ -488,8 +523,10 @@ func (q *Queue) finish(id string, result []byte, err error) {
 		if retryable {
 			// The attempt budget is spent: park the poison job.
 			j.State = StateQuarantined
+			q.stats.Quarantined++
 		} else {
 			j.State = StateFailed
+			q.stats.Failed++
 		}
 		j.Error = err.Error()
 	}
@@ -509,6 +546,7 @@ func (q *Queue) retryLocked(j *Job, cause error) {
 	j.State = StateQueued
 	j.Error = cause.Error()
 	j.StartedAt = time.Time{}
+	q.stats.Retries++
 	delay := q.backoff(j.Attempts)
 	j.RetryAt = time.Now().UTC().Add(delay)
 	_ = q.journal(j)

@@ -1,0 +1,76 @@
+package jobq
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrSourceDrained is returned by Source.Next when the source has no
+// more work and never will: DrainSource then returns once every job it
+// submitted has settled.
+var ErrSourceDrained = errors.New("jobq: source drained")
+
+// SourceItem is one unit of work produced by a Source.
+type SourceItem struct {
+	// Name labels the job (and lets the source correlate completions).
+	Name string
+	// Payload is the opaque request for the Handler.
+	Payload []byte
+	// Timeout bounds this job's run (0 = the queue default).
+	Timeout time.Duration
+}
+
+// Source produces work for DrainSource. Next blocks until an item is
+// available, the source is permanently exhausted (ErrSourceDrained),
+// or ctx is done (ctx.Err()). Next is called from a single goroutine,
+// sequentially — an implementation may consult queue state between
+// calls without racing its own yields.
+type Source interface {
+	Next(ctx context.Context) (SourceItem, error)
+}
+
+// DrainSource pulls items from src and runs them through the queue
+// until the source is drained, then waits for every submitted job to
+// settle. onDone (optional) is invoked with each job's terminal
+// snapshot, concurrently with further submissions — a lease-aware
+// source uses it to decide whether a unit needs to be offered again.
+//
+// The pull loop is sequential (Next → Submit → Next …), so a blocking
+// Submit applies the queue's backpressure to the source. On ctx
+// cancellation DrainSource stops pulling and returns ctx.Err() after
+// the already-submitted jobs settle (which a queue Shutdown with a
+// drain budget bounds); submitted jobs are journaled, so nothing
+// acknowledged is lost.
+func (q *Queue) DrainSource(ctx context.Context, src Source, onDone func(Job)) error {
+	var wg sync.WaitGroup
+	var loopErr error
+	for {
+		item, err := src.Next(ctx)
+		if err != nil {
+			if !errors.Is(err, ErrSourceDrained) {
+				loopErr = err
+			}
+			break
+		}
+		j, err := q.Submit(item.Payload, SubmitOptions{Name: item.Name, Timeout: item.Timeout})
+		if err != nil {
+			loopErr = err
+			break
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			done, err := q.Wait(ctx, id)
+			if err == nil && onDone != nil {
+				onDone(done)
+			}
+		}(j.ID)
+	}
+	wg.Wait()
+	if loopErr != nil {
+		return loopErr
+	}
+	return ctx.Err()
+}

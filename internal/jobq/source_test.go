@@ -1,0 +1,151 @@
+package jobq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sliceSource yields a fixed list of items, then drains.
+type sliceSource struct {
+	mu    sync.Mutex
+	items []SourceItem
+}
+
+func (s *sliceSource) Next(ctx context.Context) (SourceItem, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return SourceItem{}, ErrSourceDrained
+	}
+	it := s.items[0]
+	s.items = s.items[1:]
+	return it, nil
+}
+
+func TestDrainSourceRunsEveryItem(t *testing.T) {
+	q := newQueue(t, Options{Workers: 3, Handler: echoHandler})
+	src := &sliceSource{}
+	for i := 0; i < 10; i++ {
+		src.items = append(src.items, SourceItem{
+			Name:    fmt.Sprintf("item-%d", i),
+			Payload: []byte(fmt.Sprintf("p%d", i)),
+		})
+	}
+	var mu sync.Mutex
+	done := make(map[string]string)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := q.DrainSource(ctx, src, func(j Job) {
+		mu.Lock()
+		done[j.Name] = string(j.Result)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 10 {
+		t.Fatalf("onDone saw %d jobs, want 10", len(done))
+	}
+	if done["item-3"] != "echo:p3" {
+		t.Fatalf("item-3 result = %q", done["item-3"])
+	}
+	st := q.Stats()
+	if st.Submitted < 10 || st.Succeeded != 10 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+}
+
+func TestDrainSourceStopsOnContextCancel(t *testing.T) {
+	block := make(chan struct{})
+	q := newQueue(t, Options{Workers: 1, Handler: func(ctx context.Context, job *Job) ([]byte, error) {
+		select {
+		case <-block:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}})
+	// An endless source: only cancellation can end the drain.
+	endless := sourceFunc(func(ctx context.Context) (SourceItem, error) {
+		select {
+		case <-ctx.Done():
+			return SourceItem{}, ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+			return SourceItem{Name: "more", Payload: []byte("x")}, nil
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	errc := make(chan error, 1)
+	go func() { errc <- q.DrainSource(ctx, endless, nil) }()
+	close(block)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("drain error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DrainSource did not return after cancel")
+	}
+}
+
+type sourceFunc func(ctx context.Context) (SourceItem, error)
+
+func (f sourceFunc) Next(ctx context.Context) (SourceItem, error) { return f(ctx) }
+
+func TestDrainSourcePropagatesSourceError(t *testing.T) {
+	q := newQueue(t, Options{Workers: 1, Handler: echoHandler})
+	boom := errors.New("source exploded")
+	n := 0
+	src := sourceFunc(func(ctx context.Context) (SourceItem, error) {
+		n++
+		if n > 2 {
+			return SourceItem{}, boom
+		}
+		return SourceItem{Name: fmt.Sprintf("ok-%d", n), Payload: []byte("x")}, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var completed atomic.Int64
+	err := q.DrainSource(ctx, src, func(Job) { completed.Add(1) })
+	if !errors.Is(err, boom) {
+		t.Fatalf("drain error = %v, want the source error", err)
+	}
+	// In-flight jobs submitted before the error still complete and
+	// reach onDone — the drain waits rather than abandoning them.
+	if completed.Load() != 2 {
+		t.Fatalf("completed = %d, want 2", completed.Load())
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	q := newQueue(t, Options{Workers: 2, Handler: func(ctx context.Context, job *Job) ([]byte, error) {
+		if string(job.Payload) == "bad" {
+			return nil, errors.New("handler failure")
+		}
+		return []byte("ok"), nil
+	}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	good, _ := q.Submit([]byte("good"), SubmitOptions{})
+	bad, _ := q.Submit([]byte("bad"), SubmitOptions{})
+	q.Wait(ctx, good.ID)
+	q.Wait(ctx, bad.ID)
+	st := q.Stats()
+	if st.Submitted != 2 || st.Succeeded != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Stats are monotonic session counters: KeepDone eviction and
+	// queue-state churn never decrement them.
+	if st.Retries != 0 || st.Panics != 0 || st.Canceled != 0 {
+		t.Fatalf("unexpected nonzero counters: %+v", st)
+	}
+}

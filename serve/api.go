@@ -185,16 +185,27 @@ type CacheStats struct {
 type HealthResponse struct {
 	Status string `json:"status"`
 	Reason string `json:"reason,omitempty"`
+	// RetryAfterS is the probe loop's current backoff in seconds —
+	// when the daemon itself won't look at the disk again for this
+	// long, clients gain nothing by polling sooner. Degraded responses
+	// also carry it as the standard Retry-After header.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
 }
 
-// StatsResponse is the body of GET /v1/store/stats.
+// StatsResponse is the body of GET /v1/stats (and its older alias
+// GET /v1/store/stats).
 type StatsResponse struct {
 	// Store is the persistent store's record/recovery accounting.
 	Store StoreStats `json:"store"`
 	// Cache is the tiered characterization cache.
 	Cache CacheStats `json:"cache"`
-	// Jobs counts queue jobs by state.
+	// Jobs counts queue jobs by state. It is a point-in-time census of
+	// retained jobs: terminal entries erode as KeepDone evicts them.
 	Jobs map[string]int `json:"jobs"`
+	// JobTotals are the queue's monotonic since-start counters —
+	// unlike Jobs they never shrink, so rates and deltas are safe to
+	// derive from them.
+	JobTotals jobq.Stats `json:"job_totals"`
 	// FlowRuns / AttackRuns count actual executions since daemon
 	// start; MemoHits counts jobs answered from the store instead.
 	FlowRuns   int64 `json:"flow_runs"`
@@ -202,6 +213,8 @@ type StatsResponse struct {
 	MemoHits   int64 `json:"memo_hits"`
 	// Rejected counts submissions refused by admission control (503).
 	Rejected int64 `json:"rejected"`
+	// Probes counts degraded-mode disk probe attempts.
+	Probes int64 `json:"probes"`
 	// Health mirrors GET /healthz.
 	Health HealthResponse `json:"health"`
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"alice/internal/jobq"
@@ -25,15 +26,19 @@ const maxWait = 5 * time.Minute
 //	GET    /v1/jobs/{id}     one job; ?wait=30s long-polls until
 //	                         terminal             -> JobStatus
 //	DELETE /v1/jobs/{id}     cancel               -> JobStatus
-//	GET    /v1/store/stats   store/cache/queue accounting
+//	GET    /v1/stats         service-wide accounting: store, cache,
+//	                         queue census + monotonic totals, health
+//	GET    /v1/store/stats   older alias of /v1/stats
 //	POST   /v1/store/compact rewrite the log to live records only
-//	GET    /healthz          readiness: 200 ok / 503 degraded
+//	GET    /healthz          readiness: 200 ok / 503 degraded (with
+//	                         Retry-After = the probe loop's backoff)
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/store/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/store/compact", s.handleCompact)
 }
@@ -60,6 +65,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	if h.Status != "ok" {
 		code = http.StatusServiceUnavailable
+		// Tell pollers when the daemon will next look at the disk
+		// itself: probing /healthz more often than that learns nothing.
+		w.Header().Set("Retry-After", strconv.Itoa(h.RetryAfterS))
 	}
 	writeJSON(w, code, h)
 }

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"alice/internal/iofault"
+	"alice/internal/jobq"
+)
+
+// TestProbeBackoffCappedAndRetryAfter: while the disk stays dead, the
+// re-probe loop must back off exponentially from ProbeInterval to
+// ProbeMaxInterval — not hammer a failing device at a fixed rate — and
+// degraded /healthz responses must advertise the current backoff as
+// Retry-After. When the disk heals, the backoff resets.
+func TestProbeBackoffCappedAndRetryAfter(t *testing.T) {
+	const (
+		probeEvery = 20 * time.Millisecond
+		probeCap   = 160 * time.Millisecond
+	)
+	dir := t.TempDir()
+	script := iofault.NewScript()
+	srv, err := New(Options{
+		DataDir:          dir,
+		Workers:          1,
+		StoreFS:          iofault.NewFS(iofault.OS{}, script),
+		ProbeInterval:    probeEvery,
+		ProbeMaxInterval: probeCap,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer closeServer(t, srv, ts)
+
+	// Break the disk completely: every fsync fails (sealing the store)
+	// and every open fails (so the probe's Reopen cannot succeed).
+	script.Add(&iofault.Rule{Op: iofault.OpSync, Mode: iofault.Fail})
+	script.Add(&iofault.Rule{Op: iofault.OpOpen, Mode: iofault.Fail})
+	if err := srv.Store().Put("trip", []byte("x")); err == nil {
+		t.Fatal("Put succeeded with fsync broken")
+	}
+
+	// The probe delay must climb to the cap and stay there.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Duration(srv.probeDelay.Load()) != probeCap {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe delay never reached the cap: %v", time.Duration(srv.probeDelay.Load()))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.probes.Load() < 3 {
+		t.Fatalf("probes = %d; the delay cannot have doubled to the cap", srv.probes.Load())
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz = %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("degraded Retry-After = %q, want a positive integer", ra)
+	}
+	if h.RetryAfterS != secs {
+		t.Fatalf("body retry_after_s = %d, header = %d", h.RetryAfterS, secs)
+	}
+
+	// The disk heals: health returns, the backoff resets, and healthy
+	// responses carry no Retry-After.
+	script.Clear()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		ra := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if code == http.StatusOK {
+			if ra != "" {
+				t.Fatalf("healthy /healthz carries Retry-After %q", ra)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never healed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Duration(srv.probeDelay.Load()) != probeEvery {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe delay did not reset after heal: %v", time.Duration(srv.probeDelay.Load()))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if getStats(t, ts.URL).Probes < 3 {
+		t.Fatal("stats do not report the probe attempts")
+	}
+}
+
+// TestStatsEndpointReportsJobTotals: GET /v1/stats (the new canonical
+// path) must serve the same body as the older /v1/store/stats, and the
+// monotonic queue totals must survive KeepDone eviction of the jobs
+// they count.
+func TestStatsEndpointReportsJobTotals(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Options{
+		DataDir:  dir,
+		Workers:  1,
+		NoSync:   true,
+		KeepDone: 1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer closeServer(t, srv, ts)
+
+	js := postJob(t, ts.URL, `{"bench":"gcd","cfg":1}`)
+	if done := waitJob(t, ts.URL, js.ID); done.State != jobq.StateSucceeded {
+		t.Fatalf("job state %s, error %q", done.State, done.Error)
+	}
+	// The memo hit exercises a second submission cheaply.
+	js2 := postJob(t, ts.URL, `{"bench":"gcd","cfg":1}`)
+	if done := waitJob(t, ts.URL, js2.ID); done.State != jobq.StateSucceeded {
+		t.Fatalf("second job state %s, error %q", done.State, done.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.JobTotals.Submitted != 2 || st.JobTotals.Succeeded != 2 {
+		t.Fatalf("job totals %+v, want 2 submitted / 2 succeeded", st.JobTotals)
+	}
+	// KeepDone=1 evicted the first job from the census; the monotonic
+	// totals must not have shrunk with it.
+	kept := 0
+	for _, n := range st.Jobs {
+		kept += n
+	}
+	if kept > 1 {
+		t.Fatalf("jobs census retains %d jobs with KeepDone=1", kept)
+	}
+	if st.Health.Status != "ok" || st.Health.RetryAfterS != 0 {
+		t.Fatalf("healthy stats health = %+v", st.Health)
+	}
+
+	// The older path answers identically (modulo point-in-time noise).
+	legacy := getStats(t, ts.URL)
+	if legacy.JobTotals != st.JobTotals {
+		t.Fatalf("/v1/store/stats totals %+v != /v1/stats totals %+v",
+			legacy.JobTotals, st.JobTotals)
+	}
+}

@@ -111,8 +111,15 @@ type Options struct {
 	// RetryBaseDelay seeds the retry backoff (default 1s).
 	RetryBaseDelay time.Duration
 	// ProbeInterval paces the degraded-mode disk re-probe loop
-	// (default 3s).
+	// (default 3s). Consecutive failed probes back off exponentially
+	// from this interval up to ProbeMaxInterval, so a disk that stays
+	// dead for hours is probed (and error-logged by the kernel) a few
+	// times a minute, not hundreds.
 	ProbeInterval time.Duration
+	// ProbeMaxInterval caps the probe backoff (default 16x
+	// ProbeInterval). The current delay is surfaced to clients as the
+	// Retry-After of degraded /healthz responses.
+	ProbeMaxInterval time.Duration
 	// StoreFS overrides the store's file system (fault-injection
 	// tests only).
 	StoreFS iofault.FS
@@ -138,6 +145,8 @@ type Server struct {
 	probeStop  chan struct{}
 	probeDone  chan struct{}
 	degradedAt atomic.Int64 // unix nanos of the first unresolved failure (0 = healthy)
+	probes     atomic.Int64 // degraded-mode probe attempts
+	probeDelay atomic.Int64 // current probe backoff (ns) — the degraded Retry-After
 }
 
 // New opens (or creates) the data directory and store, recovers any
@@ -166,6 +175,12 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.ProbeInterval <= 0 {
 		opts.ProbeInterval = 3 * time.Second
+	}
+	if opts.ProbeMaxInterval <= 0 {
+		opts.ProbeMaxInterval = 16 * opts.ProbeInterval
+	}
+	if opts.ProbeMaxInterval < opts.ProbeInterval {
+		opts.ProbeMaxInterval = opts.ProbeInterval
 	}
 	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: data dir: %w", err)
@@ -236,10 +251,10 @@ func (s *Server) noteStoreErr(err error) {
 // the memory tier and the in-memory index.
 func (s *Server) health() HealthResponse {
 	if err := s.st.Sealed(); err != nil {
-		return HealthResponse{Status: "degraded", Reason: err.Error()}
+		return HealthResponse{Status: "degraded", Reason: err.Error(), RetryAfterS: s.retryAfterSeconds()}
 	}
 	if msg := s.storeErr.Load(); msg != nil {
-		return HealthResponse{Status: "degraded", Reason: *msg}
+		return HealthResponse{Status: "degraded", Reason: *msg, RetryAfterS: s.retryAfterSeconds()}
 	}
 	return HealthResponse{Status: "ok"}
 }
@@ -248,9 +263,14 @@ func (s *Server) health() HealthResponse {
 // path is failing it periodically re-opens the log (a fresh descriptor
 // plus a replay — the only trustworthy move after a failed fsync) and
 // proves a round-trip write, flipping health back to ok on success.
+// Consecutive failures back off exponentially (ProbeInterval doubling
+// up to ProbeMaxInterval, reset on success or health), and the current
+// delay is what degraded /healthz responses advertise as Retry-After.
 func (s *Server) probeLoop() {
 	defer close(s.probeDone)
-	t := time.NewTicker(s.opts.ProbeInterval)
+	delay := s.opts.ProbeInterval
+	s.probeDelay.Store(int64(delay))
+	t := time.NewTimer(delay)
 	defer t.Stop()
 	for {
 		select {
@@ -259,22 +279,53 @@ func (s *Server) probeLoop() {
 		case <-t.C:
 		}
 		if s.st.Sealed() == nil && s.storeErr.Load() == nil {
-			continue
-		}
-		if s.st.Sealed() != nil {
-			if err := s.st.Reopen(); err != nil {
-				continue // disk still sick; try again next tick
+			delay = s.opts.ProbeInterval
+		} else {
+			s.probes.Add(1)
+			if s.probeOnce() {
+				delay = s.opts.ProbeInterval
+			} else {
+				delay *= 2
+				if delay > s.opts.ProbeMaxInterval {
+					delay = s.opts.ProbeMaxInterval
+				}
 			}
 		}
-		// Prove a full commit round-trips before declaring health.
-		if err := s.st.Put(probeKey, []byte("ok")); err != nil {
-			s.noteStoreErr(err)
-			continue
-		}
-		_ = s.st.Delete(probeKey)
-		s.storeErr.Store(nil)
-		s.degradedAt.Store(0)
+		s.probeDelay.Store(int64(delay))
+		t.Reset(delay)
 	}
+}
+
+// probeOnce makes one attempt to prove the disk answers again: reopen
+// a sealed store, then round-trip a scratch commit. It reports whether
+// the daemon is healthy again.
+func (s *Server) probeOnce() bool {
+	if s.st.Sealed() != nil {
+		if err := s.st.Reopen(); err != nil {
+			return false // disk still sick; back off
+		}
+	}
+	// Prove a full commit round-trips before declaring health.
+	if err := s.st.Put(probeKey, []byte("ok")); err != nil {
+		s.noteStoreErr(err)
+		return false
+	}
+	_ = s.st.Delete(probeKey)
+	s.storeErr.Store(nil)
+	s.degradedAt.Store(0)
+	return true
+}
+
+// retryAfterSeconds is the client-facing backoff hint while degraded:
+// the probe loop's current delay, rounded up to whole seconds (the
+// Retry-After unit), never less than 1.
+func (s *Server) retryAfterSeconds() int {
+	d := time.Duration(s.probeDelay.Load())
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // prepared is a resolved job request: the design source, the effective
@@ -568,9 +619,11 @@ func (s *Server) stats() StatsResponse {
 			DiskSkips:  ds,
 		},
 		Jobs:       jobs,
+		JobTotals:  s.queue.Stats(),
 		FlowRuns:   s.flowRuns.Load(),
 		AttackRuns: s.attackRuns.Load(),
 		MemoHits:   s.memoHits.Load(),
 		Rejected:   s.rejected.Load(),
+		Probes:     s.probes.Load(),
 	}
 }
